@@ -1,0 +1,25 @@
+//! Baseline predictors ConvMeter is evaluated against.
+//!
+//! * [`single_metric`] — linear models on one metric at a time (FLOPs only,
+//!   inputs only, outputs only). Figure 2 of the paper shows these are
+//!   individually insufficient and that combining all three wins.
+//! * [`paleo`] — a PALEO-style analytic model (Qi et al., ICLR '17): each
+//!   layer's time is data-in/bandwidth + FLOPs/throughput + data-out/
+//!   bandwidth with two fitted device rates. Represents the "FLOPs +
+//!   nominal rates" school the paper argues is too coarse.
+//! * [`mlp`] — a from-scratch multi-layer perceptron regressor over graph
+//!   features, standing in for DIPPM (Panner Selvam & Brorsson, Euro-Par
+//!   '23), the learned predictor ConvMeter is compared with in Figure 6.
+//!   Like DIPPM it needs hundreds of training epochs and generalises worse
+//!   to out-of-distribution architectures than ConvMeter's 4-coefficient
+//!   model.
+
+#![warn(missing_docs)]
+
+pub mod mlp;
+pub mod paleo;
+pub mod single_metric;
+
+pub use mlp::{MlpConfig, MlpPredictor};
+pub use paleo::PaleoModel;
+pub use single_metric::{Metric, SingleMetricModel};

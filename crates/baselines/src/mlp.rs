@@ -1,0 +1,404 @@
+//! A from-scratch MLP regressor standing in for DIPPM.
+//!
+//! DIPPM (Panner Selvam & Brorsson, Euro-Par '23) trains a graph neural
+//! network for ~500 epochs on a large A100 latency dataset. Neither its
+//! dataset nor a GNN stack is available offline, so this module provides the
+//! closest learnable analogue: a two-hidden-layer perceptron over the same
+//! graph-level features a GNN readout would aggregate (log-scaled FLOPs,
+//! conv inputs/outputs, weights, depth, batch, image size), trained with
+//! Adam on log-runtime for a configurable number of epochs.
+//!
+//! It shares DIPPM's qualitative behaviour: strong in-distribution accuracy,
+//! a heavy training bill, and degraded accuracy on architectures unlike its
+//! training set — which is what Figure 6 of the ConvMeter paper measures.
+//! It also shares DIPPM's operational brittleness: [`MlpPredictor::fit`]
+//! refuses feature vectors it cannot normalise, mirroring DIPPM's inability
+//! to parse `squeezenet1_0`.
+
+#![allow(clippy::needless_range_loop)] // backprop indexes several arrays in lockstep
+
+use convmeter_metrics::BatchMetrics;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the surrogate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Width of both hidden layers.
+    pub hidden: usize,
+    /// Training epochs (DIPPM uses ~500).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self { hidden: 32, epochs: 500, learning_rate: 3e-3, seed: 17 }
+    }
+}
+
+/// Feature extraction: the graph-level summary a GNN readout would produce.
+pub fn graph_features(m: &BatchMetrics, image_size: usize) -> Vec<f64> {
+    vec![
+        (m.flops as f64).max(1.0).ln(),
+        (m.conv_inputs as f64).max(1.0).ln(),
+        (m.conv_outputs as f64).max(1.0).ln(),
+        (m.weights as f64).max(1.0).ln(),
+        m.trainable_layers as f64,
+        (m.batch as f64).ln(),
+        (image_size as f64).ln(),
+    ]
+}
+
+const N_FEATURES: usize = 7;
+
+/// One dense layer's parameters and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // He initialisation for ReLU layers.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.n_out)
+            .map(|o| {
+                self.b[o]
+                    + self.w[o * self.n_in..(o + 1) * self.n_in]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, xi)| w * xi)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+/// Per-feature standardisation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    fn fit(rows: &[Vec<f64>]) -> Result<Self, String> {
+        let n = rows.len() as f64;
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut mean = vec![0.0; dim];
+        for r in rows {
+            for (m, x) in mean.iter_mut().zip(r) {
+                *m += x / n;
+            }
+        }
+        let mut std = vec![0.0; dim];
+        for r in rows {
+            for ((s, x), m) in std.iter_mut().zip(r).zip(&mean) {
+                *s += (x - m) * (x - m) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt();
+            if !s.is_finite() {
+                return Err("non-finite feature variance".into());
+            }
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        Ok(Self { mean, std })
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((x, m), s)| (x - m) / s)
+            .collect()
+    }
+}
+
+/// The fitted surrogate predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpPredictor {
+    l1: Dense,
+    l2: Dense,
+    l3: Dense,
+    features: Standardizer,
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl MlpPredictor {
+    /// Train on (features, measured-seconds) pairs. Targets are log-scaled
+    /// and standardised; training is full-batch Adam for `config.epochs`.
+    pub fn fit(
+        data: &[(Vec<f64>, f64)],
+        config: &MlpConfig,
+    ) -> Result<Self, String> {
+        if data.len() < 8 {
+            return Err(format!("need at least 8 training points, got {}", data.len()));
+        }
+        if data.iter().any(|(x, _)| x.len() != N_FEATURES) {
+            return Err(format!("expected {N_FEATURES} features per row"));
+        }
+        if data.iter().any(|(_, t)| *t <= 0.0 || !t.is_finite()) {
+            return Err("targets must be positive and finite".into());
+        }
+        let raw_xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+        let features = Standardizer::fit(&raw_xs)?;
+        let xs: Vec<Vec<f64>> = raw_xs.iter().map(|x| features.apply(x)).collect();
+
+        let log_ts: Vec<f64> = data.iter().map(|(_, t)| t.ln()).collect();
+        let target_mean = log_ts.iter().sum::<f64>() / log_ts.len() as f64;
+        let target_std = {
+            let v = log_ts
+                .iter()
+                .map(|t| (t - target_mean) * (t - target_mean))
+                .sum::<f64>()
+                / log_ts.len() as f64;
+            v.sqrt().max(1e-9)
+        };
+        let ys: Vec<f64> = log_ts.iter().map(|t| (t - target_mean) / target_std).collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut net = MlpPredictor {
+            l1: Dense::new(N_FEATURES, config.hidden, &mut rng),
+            l2: Dense::new(config.hidden, config.hidden, &mut rng),
+            l3: Dense::new(config.hidden, 1, &mut rng),
+            features,
+            target_mean,
+            target_std,
+        };
+        net.train(&xs, &ys, config);
+        Ok(net)
+    }
+
+    fn train(&mut self, xs: &[Vec<f64>], ys: &[f64], config: &MlpConfig) {
+        let n = xs.len() as f64;
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        for epoch in 1..=config.epochs {
+            // Accumulate full-batch gradients.
+            let mut g1w = vec![0.0; self.l1.w.len()];
+            let mut g1b = vec![0.0; self.l1.b.len()];
+            let mut g2w = vec![0.0; self.l2.w.len()];
+            let mut g2b = vec![0.0; self.l2.b.len()];
+            let mut g3w = vec![0.0; self.l3.w.len()];
+            let mut g3b = vec![0.0; self.l3.b.len()];
+            for (x, y) in xs.iter().zip(ys) {
+                let z1 = self.l1.forward(x);
+                let a1: Vec<f64> = z1.iter().map(|v| v.max(0.0)).collect();
+                let z2 = self.l2.forward(&a1);
+                let a2: Vec<f64> = z2.iter().map(|v| v.max(0.0)).collect();
+                let out = self.l3.forward(&a2)[0];
+                // d MSE / d out.
+                let d_out = 2.0 * (out - y) / n;
+                // Layer 3 gradients.
+                for (gw, a) in g3w.iter_mut().zip(&a2) {
+                    *gw += d_out * a;
+                }
+                g3b[0] += d_out;
+                // Back through layer 2.
+                let d_a2: Vec<f64> = self.l3.w.iter().map(|w| d_out * w).collect();
+                let d_z2: Vec<f64> = d_a2
+                    .iter()
+                    .zip(&z2)
+                    .map(|(d, z)| if *z > 0.0 { *d } else { 0.0 })
+                    .collect();
+                for o in 0..self.l2.n_out {
+                    for i in 0..self.l2.n_in {
+                        g2w[o * self.l2.n_in + i] += d_z2[o] * a1[i];
+                    }
+                    g2b[o] += d_z2[o];
+                }
+                // Back through layer 1.
+                let mut d_a1 = vec![0.0; self.l2.n_in];
+                for o in 0..self.l2.n_out {
+                    for i in 0..self.l2.n_in {
+                        d_a1[i] += d_z2[o] * self.l2.w[o * self.l2.n_in + i];
+                    }
+                }
+                let d_z1: Vec<f64> = d_a1
+                    .iter()
+                    .zip(&z1)
+                    .map(|(d, z)| if *z > 0.0 { *d } else { 0.0 })
+                    .collect();
+                for o in 0..self.l1.n_out {
+                    for i in 0..self.l1.n_in {
+                        g1w[o * self.l1.n_in + i] += d_z1[o] * x[i];
+                    }
+                    g1b[o] += d_z1[o];
+                }
+            }
+            let t = epoch as i32;
+            adam_step(&mut self.l1, &g1w, &g1b, config.learning_rate, beta1, beta2, eps, t);
+            adam_step(&mut self.l2, &g2w, &g2b, config.learning_rate, beta1, beta2, eps, t);
+            adam_step(&mut self.l3, &g3w, &g3b, config.learning_rate, beta1, beta2, eps, t);
+        }
+    }
+
+    fn forward_standardised(&self, x: &[f64]) -> f64 {
+        let a1: Vec<f64> = self.l1.forward(x).into_iter().map(|v| v.max(0.0)).collect();
+        let a2: Vec<f64> = self.l2.forward(&a1).into_iter().map(|v| v.max(0.0)).collect();
+        self.l3.forward(&a2)[0]
+    }
+
+    /// Predict a runtime (seconds) from raw features.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), N_FEATURES, "feature count mismatch");
+        let x = self.features.apply(features);
+        let standardised = self.forward_standardised(&x);
+        (standardised * self.target_std + self.target_mean).exp()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adam_step(
+    layer: &mut Dense,
+    gw: &[f64],
+    gb: &[f64],
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: i32,
+) {
+    let bc1 = 1.0 - beta1.powi(t);
+    let bc2 = 1.0 - beta2.powi(t);
+    for i in 0..layer.w.len() {
+        layer.mw[i] = beta1 * layer.mw[i] + (1.0 - beta1) * gw[i];
+        layer.vw[i] = beta2 * layer.vw[i] + (1.0 - beta2) * gw[i] * gw[i];
+        layer.w[i] -= lr * (layer.mw[i] / bc1) / ((layer.vw[i] / bc2).sqrt() + eps);
+    }
+    for i in 0..layer.b.len() {
+        layer.mb[i] = beta1 * layer.mb[i] + (1.0 - beta1) * gb[i];
+        layer.vb[i] = beta2 * layer.vb[i] + (1.0 - beta2) * gb[i] * gb[i];
+        layer.b[i] -= lr * (layer.mb[i] / bc1) / ((layer.vb[i] / bc2).sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic log-linear ground truth the MLP should learn easily.
+    fn synthetic(n: usize) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 + 1.0;
+                let feats = vec![
+                    20.0 + (t * 0.1).sin() * 3.0,
+                    15.0 + (t * 0.2).cos() * 2.0,
+                    16.0 + (t * 0.15).sin(),
+                    17.0,
+                    50.0 + t % 7.0,
+                    (1.0 + t % 5.0).ln() * 3.0,
+                    5.0,
+                ];
+                let log_t = -8.0 + 0.3 * feats[0] * 0.1 + 0.5 * feats[5];
+                (feats, log_t.exp())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_synthetic_log_linear_function() {
+        let data = synthetic(100);
+        let cfg = MlpConfig { epochs: 400, ..MlpConfig::default() };
+        let net = MlpPredictor::fit(&data, &cfg).unwrap();
+        let mut rel_err = 0.0;
+        for (x, t) in &data {
+            rel_err += ((net.predict(x) - t) / t).abs();
+        }
+        rel_err /= data.len() as f64;
+        assert!(rel_err < 0.15, "training MAPE {rel_err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = synthetic(40);
+        let cfg = MlpConfig { epochs: 50, ..MlpConfig::default() };
+        let a = MlpPredictor::fit(&data, &cfg).unwrap();
+        let b = MlpPredictor::fit(&data, &cfg).unwrap();
+        assert_eq!(a.predict(&data[0].0), b.predict(&data[0].0));
+    }
+
+    #[test]
+    fn more_epochs_reduce_training_error() {
+        let data = synthetic(60);
+        let short = MlpPredictor::fit(&data, &MlpConfig { epochs: 10, ..Default::default() })
+            .unwrap();
+        let long = MlpPredictor::fit(&data, &MlpConfig { epochs: 400, ..Default::default() })
+            .unwrap();
+        let err = |net: &MlpPredictor| {
+            data.iter()
+                .map(|(x, t)| ((net.predict(x) - t) / t).abs())
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        assert!(err(&long) < err(&short));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(MlpPredictor::fit(&synthetic(4), &MlpConfig::default()).is_err());
+        let mut bad = synthetic(20);
+        bad[3].1 = -1.0;
+        assert!(MlpPredictor::fit(&bad, &MlpConfig::default()).is_err());
+        let mut ragged = synthetic(20);
+        ragged[5].0.pop();
+        assert!(MlpPredictor::fit(&ragged, &MlpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn predictions_positive() {
+        let data = synthetic(50);
+        let net = MlpPredictor::fit(&data, &MlpConfig { epochs: 100, ..Default::default() })
+            .unwrap();
+        for (x, _) in &data {
+            assert!(net.predict(x) > 0.0);
+        }
+    }
+
+    #[test]
+    fn graph_features_have_expected_arity() {
+        use convmeter_metrics::ModelMetrics;
+        let g = convmeter_models::zoo::by_name("resnet18").unwrap().build(64, 1000);
+        let m = ModelMetrics::of(&g).unwrap();
+        let f = graph_features(&m.at_batch(16), 64);
+        assert_eq!(f.len(), N_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

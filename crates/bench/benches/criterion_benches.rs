@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the library itself: how fast is the
+//! modelling pipeline that the paper claims is cheap ("building the
+//! performance model is significantly faster" than learned predictors)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use convmeter::prelude::*;
+use convmeter_distsim::{simulate_step_threaded, ClusterConfig};
+use convmeter_linalg::LinearRegression;
+use convmeter_models::zoo;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph-construction");
+    for name in ["resnet50", "densenet121", "efficientnet_b0"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            let spec = zoo::by_name(name).unwrap();
+            b.iter(|| black_box(spec.build(224, 1000)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_metric_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric-extraction");
+    for name in ["alexnet", "resnet50", "densenet121", "inception_v3"] {
+        let graph = zoo::by_name(name).unwrap().build(224, 1000);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| ModelMetrics::of(black_box(graph)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_regression_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regression-fit");
+    for n in [100usize, 1000, 5000] {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                vec![t * 1e9, (t * 0.37).sin().abs() * 1e6 + t * 1e5, t * 2e5]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3e-12 * x[0] + 1e-9 * x[1] + 2e-9 * x[2] + 1e-3)
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                LinearRegression::new()
+                    .with_ridge(1e-6)
+                    .fit(black_box(&xs), black_box(&ys))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end_fit(c: &mut Criterion) {
+    // The paper's "modeling effort" argument: a full device model from a
+    // quick sweep in well under a second.
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::quick());
+    c.bench_function("forward-model-fit-from-sweep", |b| {
+        b.iter(|| ForwardModel::fit(black_box(&data)).unwrap());
+    });
+    let model = ForwardModel::fit(&data).unwrap();
+    let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(224, 1000)).unwrap();
+    c.bench_function("forward-model-predict", |b| {
+        b.iter(|| model.predict_metrics(black_box(&metrics), black_box(64)));
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    // ViT metric extraction exercises the token-shape path.
+    let vit = convmeter_models::vit::vit_b_16(224, 1000);
+    c.bench_function("metric-extraction/vit_b_16", |b| {
+        b.iter(|| ModelMetrics::of(black_box(&vit)).unwrap());
+    });
+    // Pipeline planning over a deep network.
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::quick());
+    let model = ForwardModel::fit(&data).unwrap();
+    let graph = zoo::by_name("resnet101").unwrap().build(224, 1000);
+    c.bench_function("pipeline-plan-resnet101-8stage", |b| {
+        b.iter(|| convmeter::plan_pipeline(black_box(&model), black_box(&graph), 8, 8).unwrap());
+    });
+    // Graph transforms.
+    let r50 = zoo::by_name("resnet50").unwrap().build(224, 1000);
+    c.bench_function("fold-batch-norm-resnet50", |b| {
+        b.iter(|| convmeter_graph::fold_batch_norm(black_box(&r50)));
+    });
+    c.bench_function("liveness-resnet50", |b| {
+        b.iter(|| convmeter_graph::peak_activation_elements(black_box(&r50)).unwrap());
+    });
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let device = DeviceProfile::a100_80gb();
+    let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(224, 1000)).unwrap();
+    c.bench_function("hwsim-inference-resnet50", |b| {
+        b.iter(|| {
+            convmeter_hwsim::expected_inference_time(
+                black_box(&device),
+                black_box(&metrics),
+                black_box(64),
+            )
+        });
+    });
+    let cluster = ClusterConfig::hpc_cluster(4);
+    c.bench_function("distsim-analytic-step-16gpu", |b| {
+        b.iter(|| {
+            convmeter_distsim::expected_distributed_phases(
+                black_box(&device),
+                black_box(&cluster),
+                black_box(&metrics),
+                black_box(64),
+            )
+        });
+    });
+    let small = ClusterConfig::workstation(4);
+    c.bench_function("distsim-threaded-step-4gpu", |b| {
+        b.iter(|| {
+            simulate_step_threaded(
+                black_box(&device),
+                black_box(&small),
+                black_box(&metrics),
+                black_box(16),
+                black_box(1),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_metric_extraction,
+    bench_regression_fit,
+    bench_end_to_end_fit,
+    bench_extensions,
+    bench_simulators
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerate Figure 2: single-metric vs combined inference prediction.
+fn main() {
+    let series = convmeter_bench::exp_inference::fig2();
+    convmeter_bench::exp_inference::print_fig2(&series);
+}

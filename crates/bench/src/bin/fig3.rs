@@ -1,0 +1,5 @@
+//! Regenerate Figure 3: measured-vs-predicted inference scatter (CPU & GPU).
+fn main() {
+    let result = convmeter_bench::exp_inference::fig3();
+    convmeter_bench::exp_inference::print_fig3(&result);
+}

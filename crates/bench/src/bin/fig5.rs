@@ -1,0 +1,9 @@
+//! Regenerate Figure 5: single-GPU training-phase prediction scatter.
+fn main() {
+    let result = convmeter_bench::exp_training::fig5();
+    convmeter_bench::exp_training::print_phases(
+        "fig5",
+        "Figure 5: training phases, single A100 (held-out)",
+        &result,
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 6: ConvMeter vs DIPPM-surrogate MAPE comparison.
+fn main() {
+    let rows = convmeter_bench::exp_compare::fig6();
+    convmeter_bench::exp_compare::print_fig6(&rows);
+}

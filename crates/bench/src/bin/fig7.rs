@@ -1,0 +1,9 @@
+//! Regenerate Figure 7: distributed training-phase prediction scatter.
+fn main() {
+    let result = convmeter_bench::exp_training::fig7();
+    convmeter_bench::exp_training::print_phases(
+        "fig7",
+        "Figure 7: training phases, multi-node A100 cluster (held-out)",
+        &result,
+    );
+}

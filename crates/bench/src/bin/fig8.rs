@@ -1,0 +1,5 @@
+//! Regenerate Figure 8: throughput vs node count per ConvNet.
+fn main() {
+    let curves = convmeter_bench::exp_scaling::fig8();
+    convmeter_bench::exp_scaling::print_fig8(&curves);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 9: throughput vs batch size per ConvNet.
+fn main() {
+    let curves = convmeter_bench::exp_scaling::fig9();
+    convmeter_bench::exp_scaling::print_fig9(&curves);
+}

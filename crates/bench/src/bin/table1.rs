@@ -1,0 +1,5 @@
+//! Regenerate Table 1: per-ConvNet inference prediction errors (CPU & GPU).
+fn main() {
+    let result = convmeter_bench::exp_inference::table1();
+    convmeter_bench::exp_inference::print_table1(&result);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 2: block-wise inference prediction errors.
+fn main() {
+    let result = convmeter_bench::exp_blocks::table2();
+    convmeter_bench::exp_blocks::print_table2(&result);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 3: training-step prediction errors (single GPU & multi-node).
+fn main() {
+    let (result, _, _) = convmeter_bench::exp_training::table3();
+    convmeter_bench::exp_training::print_table3(&result);
+}

@@ -1,0 +1,171 @@
+//! Training experiments: Table 3, Figure 5 (single GPU), Figure 7
+//! (distributed).
+
+use crate::report::{save_json, Table};
+use convmeter::prelude::*;
+use convmeter_linalg::cv::LeaveOneGroupOut;
+use convmeter_linalg::stats::ErrorReport;
+use serde::{Deserialize, Serialize};
+
+/// Scatter of one training phase: (measured, predicted) with context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseScatter {
+    /// Phase name: `forward`, `backward`, `grad_update`, `step`.
+    pub phase: String,
+    /// Points: (model, measured, predicted).
+    pub points: Vec<(String, f64, f64)>,
+    /// Error metrics across the phase.
+    pub report: ErrorReport,
+}
+
+/// Result of a training-phase evaluation (Figure 5 or 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingPhasesResult {
+    /// One scatter per phase plus the full step.
+    pub phases: Vec<PhaseScatter>,
+    /// Per-model step-time reports (Table 3 columns).
+    pub per_model: Vec<PerModelReport>,
+    /// Overall step-time metrics.
+    pub overall: ErrorReport,
+}
+
+/// Leave-one-model-out evaluation of all phases on a training dataset.
+fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
+    let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
+    let mut fwd = Vec::new();
+    let mut bwd = Vec::new();
+    let mut grad = Vec::new();
+    let mut step = Vec::new();
+    let mut per_model = Vec::new();
+    for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
+        let train: Vec<TrainingPoint> =
+            split.train.iter().map(|&i| points[i].clone()).collect();
+        let fitted = TrainingModel::fit(&train).expect("training fit");
+        let mut step_pred = Vec::new();
+        let mut step_meas = Vec::new();
+        for &i in &split.test {
+            let p = &points[i];
+            let name = p.model.clone();
+            fwd.push((name.clone(), p.fwd, fitted.predict_forward(&p.metrics)));
+            bwd.push((name.clone(), p.bwd, fitted.predict_backward(&p.metrics)));
+            grad.push((name.clone(), p.grad, fitted.predict_grad_update(&p.metrics, p.nodes)));
+            let s = fitted.predict_step(&p.metrics, p.nodes);
+            step.push((name, p.step_time(), s));
+            step_pred.push(s);
+            step_meas.push(p.step_time());
+        }
+        per_model.push(PerModelReport {
+            model: model_name.to_string(),
+            report: ErrorReport::compute(&step_pred, &step_meas),
+        });
+    }
+    let to_scatter = |phase: &str, pts: Vec<(String, f64, f64)>| {
+        let meas: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let pred: Vec<f64> = pts.iter().map(|p| p.2).collect();
+        PhaseScatter {
+            phase: phase.to_string(),
+            report: ErrorReport::compute(&pred, &meas),
+            points: pts,
+        }
+    };
+    let phases = vec![
+        to_scatter("forward", fwd),
+        to_scatter("backward", bwd),
+        to_scatter("grad_update", grad),
+        to_scatter("step", step),
+    ];
+    let overall = phases.last().unwrap().report;
+    TrainingPhasesResult { phases, per_model, overall }
+}
+
+/// Run Figure 5: single-GPU training phases.
+pub fn fig5() -> TrainingPhasesResult {
+    let device = DeviceProfile::a100_80gb();
+    let data = training_dataset(&device, &SweepConfig::paper_training());
+    evaluate_phases(&data)
+}
+
+/// Run Figure 7: distributed training phases across nodes.
+pub fn fig7() -> TrainingPhasesResult {
+    let device = DeviceProfile::a100_80gb();
+    let cfg = DistSweepConfig::paper();
+    let data = distributed_dataset(&device, &cfg);
+    evaluate_phases(&data)
+}
+
+/// Result of Table 3: single-GPU and distributed per-model step errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// Single-GPU per-model reports.
+    pub single: Vec<PerModelReport>,
+    /// Distributed per-model reports.
+    pub distributed: Vec<PerModelReport>,
+    /// Overall single-GPU step metrics.
+    pub single_overall: ErrorReport,
+    /// Overall distributed step metrics.
+    pub distributed_overall: ErrorReport,
+}
+
+/// Run Table 3 from the same evaluations behind Figures 5 and 7.
+pub fn table3() -> (Table3Result, TrainingPhasesResult, TrainingPhasesResult) {
+    let single = fig5();
+    let distributed = fig7();
+    let result = Table3Result {
+        single_overall: single.overall,
+        distributed_overall: distributed.overall,
+        single: single.per_model.clone(),
+        distributed: distributed.per_model.clone(),
+    };
+    (result, single, distributed)
+}
+
+/// Render and persist Table 3.
+pub fn print_table3(result: &Table3Result) {
+    let mut t = Table::new(
+        "Table 3: training-step prediction per ConvNet (leave-one-model-out)",
+        &[
+            "model",
+            "1-GPU R2",
+            "1-GPU RMSE",
+            "1-GPU MAPE",
+            "multi R2",
+            "multi RMSE",
+            "multi MAPE",
+        ],
+    );
+    for (s, d) in result.single.iter().zip(&result.distributed) {
+        assert_eq!(s.model, d.model);
+        t.row(vec![
+            s.model.clone(),
+            format!("{:.2}", s.report.r2),
+            format!("{:.1} ms", s.report.rmse * 1e3),
+            format!("{:.2}", s.report.mape),
+            format!("{:.2}", d.report.r2),
+            format!("{:.1} ms", d.report.rmse * 1e3),
+            format!("{:.2}", d.report.mape),
+        ]);
+    }
+    t.print();
+    println!(
+        "Overall:\n  single GPU:  {}\n  distributed: {}\n  Paper: single R2=0.88 RMSE=29.4ms NRMSE=0.26 MAPE=0.18 | multi R2=0.78 RMSE=38.7ms NRMSE=0.18 MAPE=0.15\n",
+        result.single_overall, result.distributed_overall
+    );
+    let _ = save_json("table3", result);
+}
+
+/// Render and persist a phase evaluation (Figure 5 or 7).
+pub fn print_phases(name: &str, title: &str, result: &TrainingPhasesResult) {
+    let mut t = Table::new(title, &["phase", "points", "R2", "RMSE (ms)", "NRMSE", "MAPE"]);
+    for p in &result.phases {
+        t.row(vec![
+            p.phase.clone(),
+            p.points.len().to_string(),
+            format!("{:.3}", p.report.r2),
+            format!("{:.2}", p.report.rmse * 1e3),
+            format!("{:.3}", p.report.nrmse),
+            format!("{:.3}", p.report.mape),
+        ]);
+    }
+    t.print();
+    let _ = save_json(name, result);
+}

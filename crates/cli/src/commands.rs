@@ -1,0 +1,562 @@
+//! Implementations of the CLI subcommands. Each takes parsed [`Args`] and a
+//! writer, so the test suite can drive them without spawning processes.
+
+use crate::args::Args;
+use crate::CliError;
+use convmeter::persist;
+use convmeter::prelude::*;
+use convmeter_hwsim::training_memory_bytes;
+use convmeter_metrics::ModelMetrics;
+use convmeter_models::zoo;
+use std::io::Write;
+
+fn device_by_name(name: &str) -> Result<DeviceProfile, CliError> {
+    match name {
+        "gpu" | "a100" => Ok(DeviceProfile::a100_80gb()),
+        "cpu" | "xeon" => Ok(DeviceProfile::xeon_gold_5318y_core()),
+        other => Err(CliError::Usage(format!(
+            "unknown device '{other}' (expected gpu|cpu)"
+        ))),
+    }
+}
+
+fn apply_precision(device: DeviceProfile, args: &Args) -> Result<DeviceProfile, CliError> {
+    use convmeter_hwsim::Precision;
+    Ok(match args.get_or("precision", "fp32".to_string())?.as_str() {
+        "fp32" => device,
+        "tf32" => device.with_precision(Precision::Tf32),
+        "fp16" | "amp" => device.with_precision(Precision::Fp16),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown precision '{other}' (expected fp32|tf32|fp16)"
+            )))
+        }
+    })
+}
+
+fn model_metrics(name: &str, image: usize) -> Result<ModelMetrics, CliError> {
+    let spec = zoo::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown model '{name}'; see `convmeter list-models`"
+        ))
+    })?;
+    if !spec.supports(image) {
+        return Err(CliError::Usage(format!(
+            "{name} needs images >= {} px, got {image}",
+            spec.min_image_size
+        )));
+    }
+    ModelMetrics::of(&spec.build(image, 1000))
+        .map_err(|e| CliError::Usage(format!("graph error: {e}")))
+}
+
+/// `convmeter list-models`
+pub fn list_models(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{:<20} {:>10} {:>14} {:>8} {:>7}",
+        "model", "params (M)", "GFLOPs @224", "layers", "min px"
+    )?;
+    for spec in zoo::ZOO.iter().chain(zoo::EXTENDED_ZOO) {
+        let m = ModelMetrics::of(&spec.build(224, 1000)).expect("zoo validates");
+        writeln!(
+            out,
+            "{:<20} {:>10.2} {:>14.2} {:>8} {:>7}",
+            spec.name,
+            m.weights as f64 / 1e6,
+            m.flops as f64 / 1e9,
+            m.trainable_layers,
+            spec.min_image_size
+        )?;
+    }
+    Ok(())
+}
+
+/// `convmeter metrics <model> [--image N] [--batch N]`
+pub fn metrics(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let batch = args.get_or("batch", 1usize)?;
+    let m = model_metrics(name, image)?;
+    let b = m.at_batch(batch);
+    writeln!(out, "{name} @ {image}px, batch {batch}")?;
+    writeln!(out, "  FLOPs (F):         {:>16}", b.flops)?;
+    writeln!(out, "  conv inputs (I):   {:>16}", b.conv_inputs)?;
+    writeln!(out, "  conv outputs (O):  {:>16}", b.conv_outputs)?;
+    writeln!(out, "  weights (W):       {:>16}", b.weights)?;
+    writeln!(out, "  trainable layers:  {:>16}", b.trainable_layers)?;
+    writeln!(out, "  graph nodes:       {:>16}", m.node_count)?;
+    writeln!(
+        out,
+        "  training memory:   {:>13.2} GB",
+        training_memory_bytes(&m, batch) as f64 / (1u64 << 30) as f64
+    )?;
+    Ok(())
+}
+
+/// `convmeter benchmark --device gpu|cpu --kind inference|training --out FILE [--quick]`
+pub fn benchmark(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let device = apply_precision(
+        device_by_name(args.get_or("device", "gpu".to_string())?.as_str())?,
+        args,
+    )?;
+    let kind = args.get_or("kind", "inference".to_string())?;
+    let path = args.required("out")?;
+    let sweep = if args.switch("quick") {
+        SweepConfig::quick()
+    } else {
+        match (kind.as_str(), device.kind) {
+            ("inference", convmeter_hwsim::DeviceKind::Cpu) => SweepConfig::paper_cpu(),
+            ("inference", _) => SweepConfig::paper_gpu(),
+            ("training", _) => SweepConfig::paper_training(),
+            _ => return Err(CliError::Usage(format!("unknown kind '{kind}'"))),
+        }
+    };
+    match kind.as_str() {
+        "inference" => {
+            let data = inference_dataset(&device, &sweep);
+            persist::save_inference_dataset(path, &data)?;
+            writeln!(out, "wrote {} inference points to {path}", data.len())?;
+        }
+        "training" => {
+            let data = training_dataset(&device, &sweep);
+            persist::save_training_dataset(path, &data)?;
+            writeln!(out, "wrote {} training points to {path}", data.len())?;
+        }
+        other => return Err(CliError::Usage(format!("unknown kind '{other}'"))),
+    }
+    Ok(())
+}
+
+/// `convmeter benchmark-distributed --out FILE [--nodes 1,2,4] [--quick]`
+pub fn benchmark_distributed(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let device = device_by_name(args.get_or("device", "gpu".to_string())?.as_str())?;
+    let path = args.required("out")?;
+    let mut cfg = if args.switch("quick") {
+        DistSweepConfig::quick()
+    } else {
+        DistSweepConfig::paper()
+    };
+    cfg.node_counts = args.list_or("nodes", &cfg.node_counts.clone())?;
+    let data = distributed_dataset(&device, &cfg);
+    persist::save_training_dataset(path, &data)?;
+    writeln!(out, "wrote {} distributed training points to {path}", data.len())?;
+    Ok(())
+}
+
+/// `convmeter fit --data FILE --kind inference|training --out MODEL`
+pub fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let data_path = args.required("data")?;
+    let model_path = args.required("out")?;
+    let kind = args.get_or("kind", "inference".to_string())?;
+    match kind.as_str() {
+        "inference" => {
+            let data = persist::load_inference_dataset(data_path)?;
+            let model = ForwardModel::fit(&data)
+                .map_err(|e| CliError::Usage(format!("fit failed: {e}")))?;
+            let preds: Vec<f64> = data.iter().map(|p| model.predict(&p.metrics)).collect();
+            let meas: Vec<f64> = data.iter().map(|p| p.measured).collect();
+            persist::save_forward_model(model_path, &model)?;
+            writeln!(
+                out,
+                "fitted c1={:.4e} c2={:.4e} c3={:.4e} c4={:.4e}",
+                model.coefficients()[0],
+                model.coefficients()[1],
+                model.coefficients()[2],
+                model.intercept()
+            )?;
+            writeln!(
+                out,
+                "training fit: {}",
+                convmeter_linalg::stats::ErrorReport::compute(&preds, &meas)
+            )?;
+        }
+        "training" => {
+            let data = persist::load_training_dataset(data_path)?;
+            let model = TrainingModel::fit(&data)
+                .map_err(|e| CliError::Usage(format!("fit failed: {e}")))?;
+            let preds: Vec<f64> = data
+                .iter()
+                .map(|p| model.predict_step(&p.metrics, p.nodes))
+                .collect();
+            let meas: Vec<f64> = data.iter().map(|p| p.step_time()).collect();
+            persist::save_training_model(model_path, &model)?;
+            writeln!(
+                out,
+                "training-step fit: {}",
+                convmeter_linalg::stats::ErrorReport::compute(&preds, &meas)
+            )?;
+        }
+        other => return Err(CliError::Usage(format!("unknown kind '{other}'"))),
+    }
+    writeln!(out, "model saved to {model_path}")?;
+    Ok(())
+}
+
+/// `convmeter predict --model-file FILE <model> [--image N] [--batch N]`
+pub fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let batch = args.get_or("batch", 1usize)?;
+    let model = persist::load_forward_model(model_path)?;
+    let m = model_metrics(name, image)?;
+    let t = model.predict_metrics(&m, batch);
+    writeln!(
+        out,
+        "{name} @ {image}px batch {batch}: predicted inference {:.3} ms ({:.1} images/s)",
+        t * 1e3,
+        batch as f64 / t
+    )?;
+    Ok(())
+}
+
+/// `convmeter predict-training --model-file FILE <model> [--image] [--batch]
+/// [--nodes N] [--gpus-per-node 4] [--dataset-size D] [--epochs E]`
+pub fn predict_training(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let batch = args.get_or("batch", 64usize)?;
+    let nodes = args.get_or("nodes", 1usize)?;
+    let gpus = args.get_or("gpus-per-node", 4usize)?;
+    let model = persist::load_training_model(model_path)?;
+    let m = model_metrics(name, image)?;
+    let bm = m.at_batch(batch);
+    let step = model.predict_step(&bm, nodes);
+    writeln!(
+        out,
+        "{name} @ {image}px, batch {batch}/device, {nodes} node(s) x {gpus} GPUs:"
+    )?;
+    writeln!(out, "  forward:      {:>10.2} ms", model.predict_forward(&bm) * 1e3)?;
+    writeln!(out, "  bwd+grad:     {:>10.2} ms", model.predict_bwd_grad(&bm, nodes) * 1e3)?;
+    writeln!(out, "  step total:   {:>10.2} ms", step * 1e3)?;
+    writeln!(
+        out,
+        "  throughput:   {:>10.0} images/s",
+        (batch * nodes * gpus) as f64 / step
+    )?;
+    if let Some(dataset) = args.opt("dataset-size") {
+        let d: usize = dataset.parse().map_err(|_| {
+            CliError::Usage("--dataset-size expects an integer".to_string())
+        })?;
+        let epochs = args.get_or("epochs", 1usize)?;
+        let epoch = model.predict_epoch(&m, d, batch, nodes, nodes * gpus);
+        writeln!(out, "  epoch:        {:>10.1} s", epoch)?;
+        writeln!(out, "  {epochs} epochs:    {:>10.2} h", epoch * epochs as f64 / 3600.0)?;
+    }
+    Ok(())
+}
+
+/// `convmeter scale-nodes --model-file FILE <model> [--batch] [--nodes 1,2,4,8,16]`
+pub fn scale_nodes(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 128usize)?;
+    let batch = args.get_or("batch", 64usize)?;
+    let nodes = args.list_or("nodes", &[1, 2, 4, 8, 16])?;
+    let model = persist::load_training_model(model_path)?;
+    let m = model_metrics(name, image)?;
+    let curve = throughput_vs_nodes(&model, &m, batch, &nodes, 4);
+    writeln!(out, "{name} @ {image}px, batch {batch}/device:")?;
+    writeln!(out, "  nodes  devices  step (ms)  images/s")?;
+    for p in &curve {
+        writeln!(
+            out,
+            "  {:>5}  {:>7}  {:>9.2}  {:>8.0}",
+            p.nodes,
+            p.devices,
+            p.step_time * 1e3,
+            p.images_per_sec
+        )?;
+    }
+    let tp = turning_point(&curve, 0.05);
+    writeln!(out, "  diminishing-returns turning point: ~{tp} nodes")?;
+    Ok(())
+}
+
+/// `convmeter scale-batch --model-file FILE <model> [--batches 8,...,4096] [--nodes 1]`
+pub fn scale_batch(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 128usize)?;
+    let nodes = args.get_or("nodes", 1usize)?;
+    let batches = args.list_or("batches", &[8, 16, 32, 64, 128, 256, 512, 1024, 2048])?;
+    let model = persist::load_training_model(model_path)?;
+    let m = model_metrics(name, image)?;
+    let device = DeviceProfile::a100_80gb();
+    let curve = throughput_vs_batch(&model, &m, &batches, nodes, 4);
+    writeln!(out, "{name} @ {image}px, {nodes} node(s):")?;
+    writeln!(out, "  batch/dev  images/s  fits 80GB")?;
+    for p in &curve {
+        let fits = training_memory_bytes(&m, p.per_device_batch) <= device.memory_capacity;
+        writeln!(
+            out,
+            "  {:>9}  {:>8.0}  {}",
+            p.per_device_batch,
+            p.images_per_sec,
+            if fits { "yes" } else { "no (extrapolated)" }
+        )?;
+    }
+    Ok(())
+}
+
+/// `convmeter bottlenecks --model-file FILE <model> [--image] [--batch] [--top N]`
+pub fn bottlenecks(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let batch = args.get_or("batch", 32usize)?;
+    let top = args.get_or("top", 10usize)?;
+    let model = persist::load_forward_model(model_path)?;
+    let spec = zoo::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let graph = spec.build(image, 1000);
+    let report = convmeter::bottleneck_report(&model, &graph, batch)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    writeln!(out, "{name} @ {image}px batch {batch} — top {top} blocks by predicted latency:")?;
+    writeln!(out, "  {:<24} {:>10} {:>7} {:>10}", "block", "latency", "share", "GFLOPs")?;
+    for b in report.blocks.iter().take(top) {
+        writeln!(
+            out,
+            "  {:<24} {:>7.3} ms {:>6.1}% {:>10.2}",
+            b.block,
+            b.predicted * 1e3,
+            b.share * 100.0,
+            b.flops as f64 / 1e9
+        )?;
+    }
+    writeln!(
+        out,
+        "  whole-model prediction: {:.3} ms",
+        report.whole_model * 1e3
+    )?;
+    Ok(())
+}
+
+/// `convmeter eval --data FILE`
+pub fn eval(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let data = persist::load_inference_dataset(args.required("data")?)?;
+    let (reports, _, overall) = leave_one_model_out_inference(&data)
+        .map_err(|e| CliError::Usage(format!("evaluation failed: {e}")))?;
+    writeln!(out, "leave-one-model-out evaluation ({} points):", data.len())?;
+    for r in &reports {
+        writeln!(out, "  {:<22} {}", r.model, r.report)?;
+    }
+    writeln!(out, "  overall: {overall}")?;
+    Ok(())
+}
+
+/// `convmeter pipeline <model> --model-file FILE [--stages K]
+/// [--micro-batch M] [--micro-batches N] [--link-gbps G]`
+pub fn pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = args.required("model-file")?;
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let stages = args.get_or("stages", 4usize)?;
+    let micro_batch = args.get_or("micro-batch", 8usize)?;
+    let micro_batches = args.get_or("micro-batches", 32usize)?;
+    let link = args.get_or("link-gbps", 230.0f64)? * 1e9;
+    let model = persist::load_forward_model(model_path)?;
+    let spec = zoo::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let graph = spec.build(image, 1000);
+    let plan = convmeter::plan_pipeline(&model, &graph, stages, micro_batch)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    writeln!(
+        out,
+        "{name} split into {stages} pipeline stages (micro-batch {micro_batch}):"
+    )?;
+    writeln!(out, "  stage  nodes        compute  boundary (MB)")?;
+    for (i, s) in plan.stages.iter().enumerate() {
+        writeln!(
+            out,
+            "  {i:>5}  {:>4}..{:<4}  {:>7.3} ms  {:>12.2}",
+            s.start,
+            s.end,
+            s.compute * 1e3,
+            s.boundary_elements as f64 * micro_batch as f64 * 4.0 / 1e6
+        )?;
+    }
+    writeln!(out, "  imbalance (bottleneck/mean): {:.2}", plan.imbalance())?;
+    writeln!(
+        out,
+        "  step time for {micro_batches} micro-batches: {:.2} ms; steady-state {:.0} images/s",
+        plan.step_time(micro_batches, link) * 1e3,
+        plan.throughput(link)
+    )?;
+    Ok(())
+}
+
+/// `convmeter compare-strategies <model> [--nodes N] [--batch B] [--image I]`
+pub fn compare_strategies(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_distsim::{
+        expected_distributed_phases_with_strategy, ClusterConfig, SyncStrategy,
+    };
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 128usize)?;
+    let batch = args.get_or("batch", 64usize)?;
+    let nodes = args.get_or("nodes", 4usize)?;
+    let device = DeviceProfile::a100_80gb();
+    let metrics = model_metrics(name, image)?;
+    let cluster = ClusterConfig::hpc_cluster(nodes);
+    writeln!(
+        out,
+        "{name} @ {image}px, batch {batch}/device, {nodes} nodes x 4 GPUs (simulated):"
+    )?;
+    writeln!(out, "  strategy          step (ms)  grad update (ms)  images/s")?;
+    for (label, strategy) in [
+        ("flat ring", SyncStrategy::FlatRing),
+        ("hierarchical", SyncStrategy::Hierarchical),
+        ("parameter server", SyncStrategy::ParameterServer),
+    ] {
+        let p = expected_distributed_phases_with_strategy(
+            &device, &cluster, &metrics, batch, strategy,
+        );
+        writeln!(
+            out,
+            "  {:<16}  {:>9.2}  {:>16.2}  {:>8.0}",
+            label,
+            p.total() * 1e3,
+            p.grad_update * 1e3,
+            (batch * cluster.total_devices()) as f64 / p.total()
+        )?;
+    }
+    Ok(())
+}
+
+/// `convmeter nas --model-file FILE [--budget-ms B] [--batch N]
+/// [--image I] [--population P] [--rounds R] [--seed S]`
+pub fn nas(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter::nas::{search, NasConfig};
+    let model_path = args.required("model-file")?;
+    let model = persist::load_forward_model(model_path)?;
+    let cfg = NasConfig {
+        latency_budget: args.get_or("budget-ms", 2.0f64)? * 1e-3,
+        batch: args.get_or("batch", 16usize)?,
+        image_size: args.get_or("image", 64usize)?,
+        population: args.get_or("population", 32usize)?,
+        rounds: args.get_or("rounds", 5usize)?,
+        seed: args.get_or("seed", 42u64)?,
+    };
+    let result = search(&model, &cfg);
+    writeln!(
+        out,
+        "evaluated {} candidates against a {:.2} ms budget (batch {}, {} px)",
+        result.evaluations,
+        cfg.latency_budget * 1e3,
+        cfg.batch,
+        cfg.image_size
+    )?;
+    match &result.best {
+        Some(best) => {
+            writeln!(out, "best feasible architecture: {}", best.name)?;
+            writeln!(
+                out,
+                "  predicted latency {:.3} ms, {:.2} GFLOPs, {:.2} M params",
+                best.predicted_latency * 1e3,
+                best.flops as f64 / 1e9,
+                best.weights as f64 / 1e6
+            )?;
+        }
+        None => writeln!(out, "no feasible architecture found; relax the budget")?,
+    }
+    Ok(())
+}
+
+/// `convmeter trace <model> --out FILE [--nodes N] [--batch B] [--image I]`
+pub fn trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_distsim::{trace_step, ClusterConfig, SyncStrategy};
+    let name = args.positional(0, "model")?;
+    let path = args.required("out")?;
+    let image = args.get_or("image", 128usize)?;
+    let batch = args.get_or("batch", 64usize)?;
+    let nodes = args.get_or("nodes", 2usize)?;
+    let device = DeviceProfile::a100_80gb();
+    let metrics = model_metrics(name, image)?;
+    let cluster = ClusterConfig::hpc_cluster(nodes);
+    let trace = trace_step(&device, &cluster, &metrics, batch, SyncStrategy::FlatRing);
+    std::fs::write(path, trace.to_json())?;
+    writeln!(
+        out,
+        "wrote {} events to {path} (open in chrome://tracing or Perfetto)",
+        trace.trace_events.len()
+    )?;
+    writeln!(
+        out,
+        "step {:.2} ms on {} devices; {:.0}% of communication overlapped with backward",
+        trace.metadata.step_seconds * 1e3,
+        trace.metadata.devices,
+        trace.comm_overlap_fraction() * 100.0
+    )?;
+    Ok(())
+}
+
+/// `convmeter calibrate --data FILE --out PROFILE [--device gpu|cpu]`
+///
+/// The data file is a JSON array of `{"model": .., "image": .., "batch": ..,
+/// "measured_s": ..}` observations from the user's real hardware.
+pub fn calibrate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    #[derive(serde::Deserialize)]
+    struct Row {
+        model: String,
+        image: usize,
+        batch: usize,
+        measured_s: f64,
+    }
+    let data_path = args.required("data")?;
+    let out_path = args.required("out")?;
+    let base = device_by_name(args.get_or("device", "gpu".to_string())?.as_str())?;
+    let body = std::fs::read_to_string(data_path)?;
+    let rows: Vec<Row> = serde_json::from_str(&body)
+        .map_err(|e| CliError::Usage(format!("bad calibration data: {e}")))?;
+    if rows.is_empty() {
+        return Err(CliError::Usage("calibration data is empty".into()));
+    }
+    // Resolve metrics once per (model, image).
+    let mut cache: std::collections::BTreeMap<(String, usize), ModelMetrics> =
+        std::collections::BTreeMap::new();
+    for r in &rows {
+        if let std::collections::btree_map::Entry::Vacant(e) = cache.entry((r.model.clone(), r.image)) {
+            e.insert(model_metrics(&r.model, r.image)?);
+        }
+    }
+    let observations: Vec<convmeter_hwsim::Observation<'_>> = rows
+        .iter()
+        .map(|r| convmeter_hwsim::Observation {
+            metrics: &cache[&(r.model.clone(), r.image)],
+            batch: r.batch,
+            measured: r.measured_s,
+        })
+        .collect();
+    let cal = convmeter_hwsim::calibrate(&base, &observations);
+    persist::save_device_profile(out_path, &cal.profile)?;
+    writeln!(
+        out,
+        "calibrated on {} observations: RMSLE {:.4} -> {:.4}",
+        rows.len(),
+        cal.initial_rmsle,
+        cal.final_rmsle
+    )?;
+    writeln!(
+        out,
+        "  compute efficiency {:.3}, memory efficiency {:.3}, launch {:.2} us, base {:.2} us",
+        cal.profile.compute_efficiency,
+        cal.profile.memory_efficiency,
+        cal.profile.kernel_launch_overhead * 1e6,
+        cal.profile.base_overhead * 1e6
+    )?;
+    writeln!(out, "profile saved to {out_path}")?;
+    Ok(())
+}
+
+/// `convmeter dot <model> [--image N]`
+pub fn dot(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let name = args.positional(0, "model")?;
+    let image = args.get_or("image", 224usize)?;
+    let spec = zoo::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let graph = spec.build(image, 1000);
+    write!(out, "{}", convmeter_graph::dot::to_dot(&graph))?;
+    Ok(())
+}

@@ -1,0 +1,364 @@
+//! The `convmeter` command-line tool.
+//!
+//! Subcommands cover the full paper workflow:
+//!
+//! ```text
+//! convmeter list-models                               # the model zoo
+//! convmeter metrics resnet50 --image 224 --batch 32   # static F/I/O/W/L
+//! convmeter benchmark --device gpu --out data.json    # run a sweep
+//! convmeter fit --data data.json --out model.json     # fit Eq. 2
+//! convmeter predict --model-file model.json resnet50 --batch 32
+//! convmeter predict-training --model-file train.json resnet50 --nodes 4
+//! convmeter scale-nodes --model-file train.json alexnet --batch 64
+//! convmeter scale-batch --model-file train.json resnet18
+//! convmeter bottlenecks --model-file model.json resnet50
+//! convmeter eval --data data.json                     # LOOCV per model
+//! convmeter dot resnet18 > resnet18.dot               # Graphviz export
+//! ```
+
+pub mod args;
+pub mod commands;
+
+use args::{ArgError, Args};
+use std::io::Write;
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, bad flags, unknown model, ...
+    Usage(String),
+    /// Argument parsing failed.
+    Args(ArgError),
+    /// I/O failure writing output.
+    Io(std::io::Error),
+    /// Persistence failure loading/saving artefacts.
+    Persist(convmeter::persist::PersistError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<convmeter::persist::PersistError> for CliError {
+    fn from(e: convmeter::persist::PersistError) -> Self {
+        CliError::Persist(e)
+    }
+}
+
+/// Usage text printed by `convmeter help`.
+pub const USAGE: &str = "\
+convmeter — ConvNet runtime & scalability prediction (ConvMeter, ICPP'24)
+
+USAGE: convmeter <command> [args]
+
+COMMANDS:
+  list-models                       list the model zoo
+  metrics <model>                   static metrics (F, I, O, W, L)
+                                      [--image 224] [--batch 1]
+  benchmark                         run a benchmark sweep and save it
+                                      --out FILE [--device gpu|cpu]
+                                      [--kind inference|training] [--quick]
+  benchmark-distributed             multi-node training sweep
+                                      --out FILE [--nodes 1,2,4,8,16] [--quick]
+  fit                               fit a performance model from a dataset
+                                      --data FILE --out FILE
+                                      [--kind inference|training]
+  predict <model>                   predict inference time
+                                      --model-file FILE [--image] [--batch]
+  predict-training <model>          predict a training step / epoch
+                                      --model-file FILE [--batch] [--nodes]
+                                      [--dataset-size D] [--epochs E]
+  scale-nodes <model>               throughput vs node count
+                                      --model-file FILE [--batch] [--nodes ...]
+  scale-batch <model>               throughput vs batch size
+                                      --model-file FILE [--batches ...]
+  bottlenecks <model>               rank blocks by predicted latency
+                                      --model-file FILE [--batch] [--top N]
+  pipeline <model>                  plan K-stage model parallelism
+                                      --model-file FILE [--stages K]
+                                      [--micro-batch M] [--link-gbps G]
+  compare-strategies <model>        flat ring vs hierarchical vs param server
+                                      [--nodes N] [--batch B]
+  nas                               latency-constrained architecture search
+                                      --model-file FILE [--budget-ms B]
+  trace <model>                     Chrome-trace timeline of one training step
+                                      --out FILE [--nodes N] [--batch B]
+  calibrate                         fit a device profile to real measurements
+                                      --data FILE --out PROFILE
+  eval                              leave-one-model-out accuracy report
+                                      --data FILE
+  dot <model>                       emit the graph in Graphviz DOT
+  help                              show this message
+";
+
+/// Run the CLI with `argv` (excluding the program name), writing to `out`.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        writeln!(out, "{USAGE}")?;
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "list-models" => commands::list_models(out),
+        "metrics" => commands::metrics(&args, out),
+        "benchmark" => commands::benchmark(&args, out),
+        "benchmark-distributed" => commands::benchmark_distributed(&args, out),
+        "fit" => commands::fit(&args, out),
+        "predict" => commands::predict(&args, out),
+        "predict-training" => commands::predict_training(&args, out),
+        "scale-nodes" => commands::scale_nodes(&args, out),
+        "scale-batch" => commands::scale_batch(&args, out),
+        "bottlenecks" => commands::bottlenecks(&args, out),
+        "pipeline" => commands::pipeline(&args, out),
+        "compare-strategies" => commands::compare_strategies(&args, out),
+        "trace" => commands::trace(&args, out),
+        "nas" => commands::nas(&args, out),
+        "calibrate" => commands::calibrate(&args, out),
+        "eval" => commands::eval(&args, out),
+        "dot" => commands::dot(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => {
+            writeln!(out, "{USAGE}")?;
+            Err(CliError::Usage(format!("unknown command '{other}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(argv: &[&str]) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        run(&argv, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmpfile(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("convmeter-cli-{name}-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("scale-nodes"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let mut buf = Vec::new();
+        let err = run(&["frobnicate".to_string()], &mut buf).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn list_models_shows_zoo() {
+        let out = run_str(&["list-models"]).unwrap();
+        assert!(out.contains("resnet50"));
+        assert!(out.contains("efficientnet_b0"));
+        // 17 paper models + 16 extended + header.
+        assert_eq!(out.lines().count(), 34);
+        assert!(out.contains("efficientnet_b4"));
+    }
+
+    #[test]
+    fn metrics_prints_static_values() {
+        let out = run_str(&["metrics", "resnet50", "--image", "224", "--batch", "2"]).unwrap();
+        assert!(out.contains("FLOPs"));
+        assert!(out.contains("25557032"), "{out}");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_model_and_small_image() {
+        assert!(run_str(&["metrics", "resnet999"]).is_err());
+        assert!(run_str(&["metrics", "inception_v3", "--image", "32"]).is_err());
+    }
+
+    #[test]
+    fn benchmark_fit_predict_roundtrip() {
+        let data = tmpfile("data");
+        let model = tmpfile("model");
+        let out = run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
+        assert!(out.contains("inference points"));
+        let out = run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
+        assert!(out.contains("fitted c1="));
+        let out =
+            run_str(&["predict", "--model-file", &model, "resnet50", "--batch", "16"]).unwrap();
+        assert!(out.contains("predicted inference"));
+        let out = run_str(&["bottlenecks", "--model-file", &model, "resnet50", "--top", "3"])
+            .unwrap();
+        assert!(out.contains("Bottleneck"));
+        let out = run_str(&["eval", "--data", &data]).unwrap();
+        assert!(out.contains("overall:"));
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn training_workflow() {
+        let data = tmpfile("dist");
+        let model = tmpfile("tmodel");
+        run_str(&["benchmark-distributed", "--out", &data, "--quick"]).unwrap();
+        let out = run_str(&[
+            "fit", "--data", &data, "--kind", "training", "--out", &model,
+        ])
+        .unwrap();
+        assert!(out.contains("training-step fit"));
+        let out = run_str(&[
+            "predict-training",
+            "--model-file",
+            &model,
+            "resnet18",
+            "--nodes",
+            "4",
+            "--dataset-size",
+            "1281167",
+            "--epochs",
+            "90",
+        ])
+        .unwrap();
+        assert!(out.contains("step total"));
+        assert!(out.contains("90 epochs"));
+        let out = run_str(&[
+            "scale-nodes", "--model-file", &model, "alexnet", "--nodes", "1,2,4",
+        ])
+        .unwrap();
+        assert!(out.contains("turning point"));
+        let out = run_str(&["scale-batch", "--model-file", &model, "resnet18"]).unwrap();
+        assert!(out.contains("batch/dev"));
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn pipeline_and_strategy_commands() {
+        let data = tmpfile("pipe-data");
+        let model = tmpfile("pipe-model");
+        run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
+        run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
+        let out = run_str(&[
+            "pipeline", "--model-file", &model, "vgg16", "--stages", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("pipeline stages"));
+        assert!(out.contains("imbalance"));
+        let out = run_str(&["compare-strategies", "alexnet", "--nodes", "8"]).unwrap();
+        assert!(out.contains("parameter server"));
+        assert!(out.contains("hierarchical"));
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn benchmark_accepts_precision_flag() {
+        let data = tmpfile("prec-data");
+        let out = run_str(&[
+            "benchmark", "--out", &data, "--quick", "--precision", "tf32",
+        ])
+        .unwrap();
+        assert!(out.contains("inference points"));
+        assert!(run_str(&[
+            "benchmark", "--out", &data, "--quick", "--precision", "int4",
+        ])
+        .is_err());
+        std::fs::remove_file(data).ok();
+    }
+
+    #[test]
+    fn nas_command_finds_architecture() {
+        let data = tmpfile("nas-data");
+        let model = tmpfile("nas-model");
+        run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
+        run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
+        let out = run_str(&[
+            "nas", "--model-file", &model, "--budget-ms", "4", "--population", "12",
+            "--rounds", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("best feasible architecture"), "{out}");
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn trace_command_writes_chrome_json() {
+        let path = tmpfile("trace");
+        let out = run_str(&["trace", "resnet18", "--out", &path, "--nodes", "2"]).unwrap();
+        assert!(out.contains("chrome://tracing"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("traceEvents"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calibrate_command_fits_profile() {
+        // Build synthetic "real" measurements from a detuned simulator.
+        use convmeter_hwsim::expected_inference_time;
+        use convmeter_metrics::ModelMetrics;
+        let mut truth = convmeter_hwsim::DeviceProfile::a100_80gb();
+        truth.compute_efficiency *= 0.7;
+        let mut rows = Vec::new();
+        for model in ["resnet18", "vgg11"] {
+            let m = ModelMetrics::of(
+                &convmeter_models::zoo::by_name(model).unwrap().build(128, 1000),
+            )
+            .unwrap();
+            for batch in [1usize, 16, 128] {
+                rows.push(serde_json::json!({
+                    "model": model,
+                    "image": 128,
+                    "batch": batch,
+                    "measured_s": expected_inference_time(&truth, &m, batch),
+                }));
+            }
+        }
+        let data = tmpfile("cal-data");
+        let profile = tmpfile("cal-profile");
+        std::fs::write(&data, serde_json::to_string(&rows).unwrap()).unwrap();
+        let out =
+            run_str(&["calibrate", "--data", &data, "--out", &profile]).unwrap();
+        assert!(out.contains("RMSLE"));
+        assert!(out.contains("profile saved"));
+        let fitted = convmeter::persist::load_device_profile(&profile).unwrap();
+        assert!((fitted.compute_efficiency / truth.compute_efficiency - 1.0).abs() < 0.25);
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(profile).ok();
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run_str(&["dot", "squeezenet1_0", "--image", "64"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("Conv2d"));
+    }
+}

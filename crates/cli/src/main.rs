@@ -1,0 +1,10 @@
+//! Binary entry point for the `convmeter` CLI.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = convmeter_cli::run(&argv, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

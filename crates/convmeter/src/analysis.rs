@@ -1,0 +1,162 @@
+//! Bottleneck analysis: per-block latency breakdown of a model.
+//!
+//! The paper motivates block-wise prediction with exactly this use case:
+//! "fine-grained runtime information is particularly useful for neural
+//! architecture search and network optimization methods to spot and tune
+//! the network's bottlenecks". Given a fitted [`ForwardModel`] and a graph
+//! with registered block spans, [`bottleneck_report`] predicts every block's
+//! latency and ranks them.
+
+use crate::forward::ForwardModel;
+use convmeter_graph::Graph;
+use convmeter_metrics::ModelMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One block's entry in a bottleneck report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockTiming {
+    /// Block name (from its registered span).
+    pub block: String,
+    /// Predicted latency at the report's batch size, seconds.
+    pub predicted: f64,
+    /// Share of the summed block latency (0..1).
+    pub share: f64,
+    /// Block FLOPs at the report's batch size.
+    pub flops: u64,
+    /// Block parameter count.
+    pub weights: u64,
+}
+
+/// A per-block latency breakdown for one model at one batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Model name.
+    pub model: String,
+    /// Batch size the report was computed for.
+    pub batch: usize,
+    /// Blocks, sorted by predicted latency, slowest first.
+    pub blocks: Vec<BlockTiming>,
+    /// Predicted whole-model latency (for comparison with the block sum —
+    /// blocks do not cover stem/head layers).
+    pub whole_model: f64,
+}
+
+/// Errors from bottleneck analysis.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// The graph has no registered block spans.
+    NoBlocks,
+    /// A registered block failed to extract or validate.
+    Block(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::NoBlocks => write!(f, "graph has no registered blocks"),
+            AnalysisError::Block(e) => write!(f, "block error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Predict the latency of every registered block of `graph` at `batch`,
+/// producing a ranked bottleneck report.
+pub fn bottleneck_report(
+    model: &ForwardModel,
+    graph: &Graph,
+    batch: usize,
+) -> Result<BottleneckReport, AnalysisError> {
+    if graph.blocks().is_empty() {
+        return Err(AnalysisError::NoBlocks);
+    }
+    let whole_metrics =
+        ModelMetrics::of(graph).map_err(|e| AnalysisError::Block(e.to_string()))?;
+    let whole_model = model.predict_metrics(&whole_metrics, batch);
+
+    let mut blocks = Vec::with_capacity(graph.blocks().len());
+    for span in graph.blocks() {
+        let block = graph
+            .extract_block(span)
+            .map_err(AnalysisError::Block)?;
+        let metrics =
+            ModelMetrics::of(&block).map_err(|e| AnalysisError::Block(e.to_string()))?;
+        let bm = metrics.at_batch(batch);
+        blocks.push(BlockTiming {
+            block: span.name.clone(),
+            predicted: model.predict_metrics(&metrics, batch),
+            share: 0.0,
+            flops: bm.flops,
+            weights: metrics.weights,
+        });
+    }
+    let total: f64 = blocks.iter().map(|b| b.predicted).sum();
+    if total > 0.0 {
+        for b in &mut blocks {
+            b.share = b.predicted / total;
+        }
+    }
+    blocks.sort_by(|a, b| b.predicted.total_cmp(&a.predicted));
+    Ok(BottleneckReport {
+        model: graph.name().to_string(),
+        batch,
+        blocks,
+        whole_model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::inference_dataset;
+    use convmeter_hwsim::{DeviceProfile, SweepConfig};
+    use convmeter_models::zoo;
+
+    fn fitted() -> ForwardModel {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        ForwardModel::fit(&data).unwrap()
+    }
+
+    #[test]
+    fn resnet50_report_ranks_blocks() {
+        let model = fitted();
+        let graph = zoo::by_name("resnet50").unwrap().build(224, 1000);
+        let report = bottleneck_report(&model, &graph, 32).unwrap();
+        assert_eq!(report.blocks.len(), 16);
+        // Sorted descending.
+        for w in report.blocks.windows(2) {
+            assert!(w[0].predicted >= w[1].predicted);
+        }
+        // Shares sum to ~1.
+        let total: f64 = report.blocks.iter().map(|b| b.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The whole model is at least as expensive as the block sum minus
+        // slack (stem/head are outside the blocks; intercepts differ).
+        assert!(report.whole_model > 0.0);
+    }
+
+    #[test]
+    fn early_high_resolution_bottlenecks_rank_high() {
+        // In ResNet-50 at 224 px the stage-1 bottlenecks run at 56x56 and
+        // are individually the most expensive blocks.
+        let model = fitted();
+        let graph = zoo::by_name("resnet50").unwrap().build(224, 1000);
+        let report = bottleneck_report(&model, &graph, 32).unwrap();
+        let top = &report.blocks[0].block;
+        let idx: usize = top.trim_start_matches("Bottleneck").parse().unwrap();
+        assert!(idx <= 3, "expected a stage-1 bottleneck on top, got {top}");
+    }
+
+    #[test]
+    fn graph_without_blocks_is_an_error() {
+        let model = fitted();
+        let mut b = convmeter_graph::GraphBuilder::new("flat", convmeter_graph::Shape::image(3, 32));
+        b.conv_bn(3, 8, 3, 1, 1);
+        let g = b.finish();
+        assert!(matches!(
+            bottleneck_report(&model, &g, 1),
+            Err(AnalysisError::NoBlocks)
+        ));
+    }
+}

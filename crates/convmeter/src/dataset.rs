@@ -1,0 +1,188 @@
+//! Dataset assembly: turn raw benchmark sweeps into feature-annotated data
+//! points ready for regression.
+//!
+//! The simulator's sweep outputs carry only (model, image, batch, time);
+//! this module resolves each configuration's static metrics through the
+//! model zoo — the "parsing its computational graph" step — and attaches the
+//! feature values.
+
+use convmeter_distsim::{distributed_sweep, DistSweepConfig};
+use convmeter_hwsim::{inference_sweep, training_sweep, DeviceProfile, SweepConfig};
+use convmeter_metrics::{BatchMetrics, ModelMetrics};
+use convmeter_models::zoo;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One inference observation with its resolved features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferencePoint {
+    /// Model name (the leave-one-out group key).
+    pub model: String,
+    /// Square image size, pixels.
+    pub image_size: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Batch-scaled static metrics.
+    pub metrics: BatchMetrics,
+    /// Measured inference time, seconds.
+    pub measured: f64,
+}
+
+/// One training observation (single- or multi-node) with resolved features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingPoint {
+    /// Model name (the leave-one-out group key).
+    pub model: String,
+    /// Square image size, pixels.
+    pub image_size: usize,
+    /// Per-device batch size.
+    pub batch: usize,
+    /// Number of nodes (1 for single-device training).
+    pub nodes: usize,
+    /// Total participating devices.
+    pub devices: usize,
+    /// Batch-scaled static metrics (per device).
+    pub metrics: BatchMetrics,
+    /// Measured forward-pass time, seconds.
+    pub fwd: f64,
+    /// Measured backward-pass time, seconds.
+    pub bwd: f64,
+    /// Measured gradient-update time, seconds.
+    pub grad: f64,
+}
+
+impl TrainingPoint {
+    /// Measured total step time (Eq. 1).
+    pub fn step_time(&self) -> f64 {
+        self.fwd + self.bwd + self.grad
+    }
+}
+
+/// Cache of model metrics per (model, image size), shared across a sweep.
+#[derive(Default)]
+struct MetricsCache {
+    cache: HashMap<(String, usize), ModelMetrics>,
+}
+
+impl MetricsCache {
+    fn get(&mut self, model: &str, image: usize) -> &ModelMetrics {
+        self.cache
+            .entry((model.to_string(), image))
+            .or_insert_with(|| {
+                let spec = zoo::by_name(model)
+                    .unwrap_or_else(|| panic!("unknown model '{model}'"));
+                ModelMetrics::of(&spec.build(image, 1000)).expect("zoo models validate")
+            })
+    }
+}
+
+/// Run an inference sweep on `device` and annotate every sample with its
+/// static features.
+pub fn inference_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferencePoint> {
+    let mut cache = MetricsCache::default();
+    inference_sweep(device, config)
+        .into_iter()
+        .map(|s| {
+            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
+            InferencePoint {
+                model: s.model,
+                image_size: s.image_size,
+                batch: s.batch,
+                metrics,
+                measured: s.time_s,
+            }
+        })
+        .collect()
+}
+
+/// Run a single-device training sweep and annotate it (nodes = devices = 1).
+pub fn training_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingPoint> {
+    let mut cache = MetricsCache::default();
+    training_sweep(device, config)
+        .into_iter()
+        .map(|s| {
+            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
+            TrainingPoint {
+                model: s.model,
+                image_size: s.image_size,
+                batch: s.batch,
+                nodes: 1,
+                devices: 1,
+                metrics,
+                fwd: s.phases.forward,
+                bwd: s.phases.backward,
+                grad: s.phases.grad_update,
+            }
+        })
+        .collect()
+}
+
+/// Run a distributed-training sweep and annotate it.
+pub fn distributed_dataset(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+) -> Vec<TrainingPoint> {
+    let mut cache = MetricsCache::default();
+    distributed_sweep(device, config)
+        .into_iter()
+        .map(|s| {
+            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
+            TrainingPoint {
+                model: s.model.clone(),
+                image_size: s.image_size,
+                batch: s.batch,
+                nodes: s.nodes,
+                devices: s.total_devices(),
+                metrics,
+                fwd: s.phases.forward,
+                bwd: s.phases.backward,
+                grad: s.phases.grad_update,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_dataset_attaches_features() {
+        let d = DeviceProfile::a100_80gb();
+        let points = inference_dataset(&d, &SweepConfig::quick());
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.metrics.flops > 0);
+            assert_eq!(p.metrics.batch, p.batch);
+            assert!(p.measured > 0.0);
+        }
+        // Features scale with batch within a (model, image) group.
+        let r18_64: Vec<_> = points
+            .iter()
+            .filter(|p| p.model == "resnet18" && p.image_size == 64)
+            .collect();
+        assert!(r18_64.len() >= 2);
+        let a = r18_64[0];
+        let b = r18_64[1];
+        assert_eq!(
+            a.metrics.flops * b.batch as u64,
+            b.metrics.flops * a.batch as u64
+        );
+    }
+
+    #[test]
+    fn training_dataset_single_node() {
+        let d = DeviceProfile::a100_80gb();
+        let points = training_dataset(&d, &SweepConfig::quick());
+        assert!(points.iter().all(|p| p.nodes == 1 && p.devices == 1));
+        assert!(points.iter().all(|p| p.step_time() > p.fwd));
+    }
+
+    #[test]
+    fn distributed_dataset_node_counts() {
+        let d = DeviceProfile::a100_80gb();
+        let points = distributed_dataset(&d, &DistSweepConfig::quick());
+        assert!(points.iter().any(|p| p.nodes == 4 && p.devices == 16));
+        assert!(points.iter().all(|p| p.devices == p.nodes * 4));
+    }
+}

@@ -1,0 +1,257 @@
+//! The paper's evaluation protocol: leave-one-model-out error reporting.
+//!
+//! "To obtain the error rates per ConvNet, we develop a performance model
+//! for each ConvNet, excluding its own data from the training set to ensure
+//! unbiased evaluation" (Section 4, Benchmarks). This module implements that
+//! protocol for both inference (Table 1) and training (Table 3), and emits
+//! the scatter data behind Figures 3–5 and 7.
+
+use crate::dataset::{InferencePoint, TrainingPoint};
+use crate::forward::ForwardModel;
+use crate::training::TrainingModel;
+use convmeter_linalg::cv::LeaveOneGroupOut;
+use convmeter_linalg::stats::ErrorReport;
+use convmeter_linalg::FitError;
+use serde::{Deserialize, Serialize};
+
+/// Per-ConvNet error report (one row of Table 1 / Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerModelReport {
+    /// The held-out ConvNet.
+    pub model: String,
+    /// Error metrics over the held-out points.
+    pub report: ErrorReport,
+}
+
+/// One scatter-plot point: measured vs. predicted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Model the point belongs to.
+    pub model: String,
+    /// Square image size.
+    pub image_size: usize,
+    /// Batch size (per device where applicable).
+    pub batch: usize,
+    /// Measured time, seconds.
+    pub measured: f64,
+    /// Predicted time, seconds.
+    pub predicted: f64,
+}
+
+/// Leave-one-model-out evaluation of the inference model.
+///
+/// Returns per-model reports plus all held-out scatter points, and the
+/// overall report across every held-out prediction.
+pub fn leave_one_model_out_inference(
+    points: &[InferencePoint],
+) -> Result<(Vec<PerModelReport>, Vec<ScatterPoint>, ErrorReport), FitError> {
+    let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
+    let mut reports = Vec::new();
+    let mut scatter = Vec::new();
+    let mut all_pred = Vec::new();
+    let mut all_meas = Vec::new();
+    for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
+        let train: Vec<InferencePoint> =
+            split.train.iter().map(|&i| points[i].clone()).collect();
+        let fitted = ForwardModel::fit(&train)?;
+        let mut pred = Vec::with_capacity(split.test.len());
+        let mut meas = Vec::with_capacity(split.test.len());
+        for &i in &split.test {
+            let p = &points[i];
+            let y_hat = fitted.predict(&p.metrics);
+            pred.push(y_hat);
+            meas.push(p.measured);
+            scatter.push(ScatterPoint {
+                model: p.model.clone(),
+                image_size: p.image_size,
+                batch: p.batch,
+                measured: p.measured,
+                predicted: y_hat,
+            });
+        }
+        all_pred.extend_from_slice(&pred);
+        all_meas.extend_from_slice(&meas);
+        reports.push(PerModelReport {
+            model: model_name.to_string(),
+            report: ErrorReport::compute(&pred, &meas),
+        });
+    }
+    let overall = ErrorReport::compute(&all_pred, &all_meas);
+    Ok((reports, scatter, overall))
+}
+
+/// Leave-one-model-out evaluation of the full training-step model.
+pub fn leave_one_model_out_training(
+    points: &[TrainingPoint],
+) -> Result<(Vec<PerModelReport>, Vec<ScatterPoint>, ErrorReport), FitError> {
+    let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
+    let mut reports = Vec::new();
+    let mut scatter = Vec::new();
+    let mut all_pred = Vec::new();
+    let mut all_meas = Vec::new();
+    for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
+        let train: Vec<TrainingPoint> =
+            split.train.iter().map(|&i| points[i].clone()).collect();
+        let fitted = TrainingModel::fit(&train)?;
+        let mut pred = Vec::with_capacity(split.test.len());
+        let mut meas = Vec::with_capacity(split.test.len());
+        for &i in &split.test {
+            let p = &points[i];
+            let y_hat = fitted.predict_step(&p.metrics, p.nodes);
+            pred.push(y_hat);
+            meas.push(p.step_time());
+            scatter.push(ScatterPoint {
+                model: p.model.clone(),
+                image_size: p.image_size,
+                batch: p.batch,
+                measured: p.step_time(),
+                predicted: y_hat,
+            });
+        }
+        all_pred.extend_from_slice(&pred);
+        all_meas.extend_from_slice(&meas);
+        reports.push(PerModelReport {
+            model: model_name.to_string(),
+            report: ErrorReport::compute(&pred, &meas),
+        });
+    }
+    let overall = ErrorReport::compute(&all_pred, &all_meas);
+    Ok((reports, scatter, overall))
+}
+
+/// K-fold cross-validated evaluation of the inference model: a generic
+/// generalisation check that mixes all models in every fold (contrast with
+/// the stricter leave-one-model-out protocol).
+pub fn kfold_inference(
+    points: &[InferencePoint],
+    k: usize,
+) -> Result<ErrorReport, FitError> {
+    let folds = convmeter_linalg::KFold::new(k).splits(points.len());
+    let mut preds = Vec::with_capacity(points.len());
+    let mut meas = Vec::with_capacity(points.len());
+    for split in folds {
+        let train: Vec<InferencePoint> =
+            split.train.iter().map(|&i| points[i].clone()).collect();
+        let fitted = ForwardModel::fit(&train)?;
+        for &i in &split.test {
+            preds.push(fitted.predict(&points[i].metrics));
+            meas.push(points[i].measured);
+        }
+    }
+    Ok(ErrorReport::compute(&preds, &meas))
+}
+
+/// Error breakdown of a scatter by a grouping key — e.g. by batch size to
+/// quantify the paper's "the prediction is more accurate for larger batch
+/// sizes" observation, or by image size.
+pub fn breakdown_by<K: Ord + Clone>(
+    scatter: &[ScatterPoint],
+    key: impl Fn(&ScatterPoint) -> K,
+) -> Vec<(K, ErrorReport)> {
+    let mut groups: std::collections::BTreeMap<K, (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for s in scatter {
+        let entry = groups.entry(key(s)).or_default();
+        entry.0.push(s.predicted);
+        entry.1.push(s.measured);
+    }
+    groups
+        .into_iter()
+        .map(|(k, (p, m))| (k, ErrorReport::compute(&p, &m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{inference_dataset, training_dataset};
+    use convmeter_hwsim::{DeviceProfile, SweepConfig};
+
+    /// A mid-size sweep: big enough that leave-one-model-out generalisation
+    /// is meaningful (the 18-point quick sweep is not), small enough for
+    /// fast tests.
+    fn eval_config() -> SweepConfig {
+        let mut cfg = SweepConfig::quick();
+        cfg.models = vec![
+            "resnet18".into(),
+            "resnet50".into(),
+            "mobilenet_v2".into(),
+            "vgg11".into(),
+            "alexnet".into(),
+            "densenet121".into(),
+        ];
+        cfg.image_sizes = vec![64, 128, 224];
+        cfg.batch_sizes = vec![1, 4, 16, 64, 256];
+        cfg
+    }
+
+    #[test]
+    fn inference_loocv_reports_per_model() {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let (reports, scatter, overall) = leave_one_model_out_inference(&data).unwrap();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(scatter.len(), data.len());
+        assert!(overall.n == data.len());
+        // Held-out predictions should still be decent on the simulator.
+        assert!(overall.r2 > 0.8, "overall {overall}");
+        for r in &reports {
+            assert!(r.report.mape < 1.0, "{}: {}", r.model, r.report);
+        }
+    }
+
+    #[test]
+    fn training_loocv_runs() {
+        let data = training_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let (reports, scatter, overall) = leave_one_model_out_training(&data).unwrap();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(scatter.len(), data.len());
+        assert!(overall.r2 > 0.7, "overall {overall}");
+    }
+
+    #[test]
+    fn kfold_beats_leave_one_model_out() {
+        // K-fold mixes every model into training, so it must be at least as
+        // accurate as the stricter unseen-model protocol.
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let kfold = kfold_inference(&data, 5).unwrap();
+        let (_, _, loocv) = leave_one_model_out_inference(&data).unwrap();
+        assert!(kfold.r2 >= loocv.r2 - 0.02, "kfold {kfold} vs loocv {loocv}");
+        assert!(kfold.mape <= loocv.mape * 1.1);
+    }
+
+    #[test]
+    fn accuracy_improves_with_batch_size() {
+        // The paper: "the prediction is more accurate for larger batch
+        // sizes." Compare relative error at the extremes of the sweep.
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let (_, scatter, _) = leave_one_model_out_inference(&data).unwrap();
+        let by_batch = breakdown_by(&scatter, |s| s.batch);
+        let small = by_batch.first().unwrap();
+        let large = by_batch.last().unwrap();
+        assert!(small.0 < large.0);
+        assert!(
+            large.1.mape < small.1.mape,
+            "batch {} MAPE {} should beat batch {} MAPE {}",
+            large.0,
+            large.1.mape,
+            small.0,
+            small.1.mape
+        );
+    }
+
+    #[test]
+    fn held_out_model_not_in_training_set() {
+        // Indirect check: per-model error should differ from an in-sample
+        // fit; more importantly, every point appears exactly once in the
+        // scatter output.
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let (_, scatter, _) = leave_one_model_out_inference(&data).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for s in &scatter {
+            *counts
+                .entry((s.model.clone(), s.image_size, s.batch))
+                .or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 1));
+    }
+}

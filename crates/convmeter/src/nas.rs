@@ -1,0 +1,207 @@
+//! Latency-constrained architecture search on top of the predictor.
+//!
+//! The paper's introduction motivates ConvMeter with exactly this workload:
+//! "NAS can significantly reduce the time and effort required to design
+//! hardware-aware DNNs, yet requires extensive computational capacity", and
+//! "the effective operation of ... NAS ... commonly depends on or can
+//! profit from a performance prediction tool". This module is that loop: a
+//! simple evolutionary search over the random-ConvNet design space
+//! ([`convmeter_models::random`]) plus width mutations
+//! ([`convmeter_graph::transform::scale_width`]), scored entirely by the
+//! fitted model — **zero benchmark runs per candidate**.
+//!
+//! The fitness proxy is FLOPs-at-budget: among candidates whose *predicted*
+//! latency fits the budget, prefer the most computational capacity (a
+//! standard accuracy proxy in predictor-based NAS).
+
+use crate::forward::ForwardModel;
+use convmeter_graph::{transform::scale_width, Graph};
+use convmeter_metrics::ModelMetrics;
+use convmeter_models::random::random_convnet;
+use serde::{Deserialize, Serialize};
+
+/// Search configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NasConfig {
+    /// Predicted-latency budget, seconds, at `batch`.
+    pub latency_budget: f64,
+    /// Batch size candidates are scored at.
+    pub batch: usize,
+    /// Input image size.
+    pub image_size: usize,
+    /// Initial random population size.
+    pub population: usize,
+    /// Evolution rounds (each round mutates the current elite).
+    pub rounds: usize,
+    /// RNG seed (drives candidate generation deterministically).
+    pub seed: u64,
+}
+
+impl Default for NasConfig {
+    fn default() -> Self {
+        Self {
+            latency_budget: 5e-3,
+            batch: 16,
+            image_size: 64,
+            population: 24,
+            rounds: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Architecture name (generator seed + mutations).
+    pub name: String,
+    /// Predicted latency at the search batch size, seconds.
+    pub predicted_latency: f64,
+    /// FLOPs at batch 1 (the capacity proxy).
+    pub flops: u64,
+    /// Parameter count.
+    pub weights: u64,
+    /// Whether it fits the latency budget.
+    pub feasible: bool,
+}
+
+/// Search outcome: the best feasible candidate (if any) plus the full
+/// scored history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NasResult {
+    /// Best feasible candidate by the FLOPs proxy.
+    pub best: Option<Candidate>,
+    /// Everything evaluated, in evaluation order.
+    pub evaluated: Vec<Candidate>,
+    /// Number of candidate evaluations (= model predictions; no benchmarks).
+    pub evaluations: usize,
+}
+
+fn score(model: &ForwardModel, graph: &Graph, cfg: &NasConfig) -> Option<Candidate> {
+    let metrics = ModelMetrics::of(graph).ok()?;
+    let predicted = model.predict_metrics(&metrics, cfg.batch);
+    Some(Candidate {
+        name: graph.name().to_string(),
+        predicted_latency: predicted,
+        flops: metrics.flops,
+        weights: metrics.weights,
+        feasible: predicted <= cfg.latency_budget && predicted > 0.0,
+    })
+}
+
+/// Run the search. Deterministic per config.
+pub fn search(model: &ForwardModel, cfg: &NasConfig) -> NasResult {
+    let mut evaluated = Vec::new();
+    let mut pool: Vec<(Graph, Candidate)> = Vec::new();
+
+    // Round 0: random population.
+    for i in 0..cfg.population {
+        let g = random_convnet(cfg.seed.wrapping_add(i as u64), cfg.image_size, 1000);
+        if let Some(c) = score(model, &g, cfg) {
+            evaluated.push(c.clone());
+            pool.push((g, c));
+        }
+    }
+
+    // Evolution: mutate the current elite's width up and down; keep the
+    // best feasible candidates.
+    for round in 0..cfg.rounds {
+        // Elite = feasible with max flops; fall back to fastest.
+        pool.sort_by(|a, b| match (a.1.feasible, b.1.feasible) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (true, true) => b.1.flops.cmp(&a.1.flops),
+            (false, false) => a
+                .1
+                .predicted_latency
+                .total_cmp(&b.1.predicted_latency),
+        });
+        pool.truncate((cfg.population / 2).max(1));
+        let parents: Vec<Graph> = pool.iter().take(4).map(|(g, _)| g.clone()).collect();
+        for (pi, parent) in parents.iter().enumerate() {
+            for &factor in &[0.75, 1.25, 1.5] {
+                if let Some(mut child) = scale_width(parent, factor) {
+                    child.set_name(format!("{}-r{round}p{pi}x{factor}", parent.name()));
+                    if let Some(c) = score(model, &child, cfg) {
+                        evaluated.push(c.clone());
+                        pool.push((child, c));
+                    }
+                }
+            }
+        }
+    }
+
+    let best = evaluated
+        .iter()
+        .filter(|c| c.feasible)
+        .max_by_key(|c| c.flops)
+        .cloned();
+    NasResult { evaluations: evaluated.len(), evaluated, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::inference_dataset;
+    use convmeter_hwsim::{DeviceProfile, SweepConfig};
+
+    fn fitted() -> ForwardModel {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        ForwardModel::fit(&data).unwrap()
+    }
+
+    fn cfg() -> NasConfig {
+        NasConfig { latency_budget: 4e-3, ..Default::default() }
+    }
+
+    #[test]
+    fn search_finds_a_feasible_candidate() {
+        let result = search(&fitted(), &cfg());
+        let best = result.best.expect("budget is generous enough");
+        assert!(best.feasible);
+        assert!(best.predicted_latency <= 4e-3);
+        assert!(result.evaluations >= cfg().population);
+    }
+
+    #[test]
+    fn best_maximises_flops_among_feasible() {
+        let result = search(&fitted(), &cfg());
+        let best = result.best.unwrap();
+        for c in result.evaluated.iter().filter(|c| c.feasible) {
+            assert!(c.flops <= best.flops);
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_yield_smaller_models() {
+        let model = fitted();
+        let loose = search(&model, &NasConfig { latency_budget: 8e-3, ..cfg() });
+        let tight = search(&model, &NasConfig { latency_budget: 1e-3, ..cfg() });
+        match (loose.best, tight.best) {
+            (Some(l), Some(t)) => assert!(t.flops <= l.flops, "tight {} loose {}", t.flops, l.flops),
+            (Some(_), None) => {} // tight budget may be infeasible entirely
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = fitted();
+        let a = search(&model, &cfg());
+        let b = search(&model, &cfg());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(
+            a.best.as_ref().map(|c| c.name.clone()),
+            b.best.as_ref().map(|c| c.name.clone())
+        );
+    }
+
+    #[test]
+    fn mutation_rounds_improve_or_match_round_zero() {
+        let model = fitted();
+        let no_rounds = search(&model, &NasConfig { rounds: 0, ..cfg() });
+        let with_rounds = search(&model, &NasConfig { rounds: 4, ..cfg() });
+        let flops = |r: &NasResult| r.best.as_ref().map_or(0, |c| c.flops);
+        assert!(flops(&with_rounds) >= flops(&no_rounds));
+    }
+}

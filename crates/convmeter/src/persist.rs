@@ -1,0 +1,251 @@
+//! Persistence: save and load fitted performance models and benchmark
+//! datasets as JSON.
+//!
+//! The paper's workflow is two-phase — benchmark a device once, then predict
+//! forever — so the fitted coefficients and the benchmark dataset are
+//! first-class artefacts. This module gives them a stable on-disk format
+//! with a version tag, so a model fitted by one build keeps loading in the
+//! next.
+
+use crate::dataset::{InferencePoint, TrainingPoint};
+use crate::forward::ForwardModel;
+use crate::training::TrainingModel;
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Envelope wrapping every persisted artefact.
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope<T> {
+    format_version: u32,
+    kind: String,
+    payload: T,
+}
+
+/// Errors from saving/loading artefacts.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialisation/deserialisation error.
+    Json(serde_json::Error),
+    /// The file's format version or kind does not match.
+    Format {
+        /// What was expected.
+        expected: String,
+        /// What the file contained.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Format { expected, found } => {
+                write!(f, "format mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+fn save<T: Serialize>(path: &Path, kind: &str, payload: &T) -> Result<(), PersistError> {
+    let envelope = Envelope {
+        format_version: FORMAT_VERSION,
+        kind: kind.to_string(),
+        payload,
+    };
+    let json = serde_json::to_string_pretty(&envelope)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: &Path, kind: &str) -> Result<T, PersistError> {
+    let body = std::fs::read_to_string(path)?;
+    let envelope: Envelope<T> = serde_json::from_str(&body)?;
+    if envelope.format_version != FORMAT_VERSION {
+        return Err(PersistError::Format {
+            expected: format!("version {FORMAT_VERSION}"),
+            found: format!("version {}", envelope.format_version),
+        });
+    }
+    if envelope.kind != kind {
+        return Err(PersistError::Format {
+            expected: kind.to_string(),
+            found: envelope.kind,
+        });
+    }
+    Ok(envelope.payload)
+}
+
+/// Save a fitted forward (inference) model.
+pub fn save_forward_model(path: impl AsRef<Path>, model: &ForwardModel) -> Result<(), PersistError> {
+    save(path.as_ref(), "forward-model", model)
+}
+
+/// Load a fitted forward (inference) model.
+pub fn load_forward_model(path: impl AsRef<Path>) -> Result<ForwardModel, PersistError> {
+    load(path.as_ref(), "forward-model")
+}
+
+/// Save a fitted training model.
+pub fn save_training_model(
+    path: impl AsRef<Path>,
+    model: &TrainingModel,
+) -> Result<(), PersistError> {
+    save(path.as_ref(), "training-model", model)
+}
+
+/// Load a fitted training model.
+pub fn load_training_model(path: impl AsRef<Path>) -> Result<TrainingModel, PersistError> {
+    load(path.as_ref(), "training-model")
+}
+
+/// Save an inference benchmark dataset.
+pub fn save_inference_dataset(
+    path: impl AsRef<Path>,
+    data: &[InferencePoint],
+) -> Result<(), PersistError> {
+    save(path.as_ref(), "inference-dataset", &data)
+}
+
+/// Load an inference benchmark dataset.
+pub fn load_inference_dataset(
+    path: impl AsRef<Path>,
+) -> Result<Vec<InferencePoint>, PersistError> {
+    load(path.as_ref(), "inference-dataset")
+}
+
+/// Save a device profile (e.g. after calibration).
+pub fn save_device_profile(
+    path: impl AsRef<Path>,
+    profile: &convmeter_hwsim::DeviceProfile,
+) -> Result<(), PersistError> {
+    save(path.as_ref(), "device-profile", profile)
+}
+
+/// Load a device profile.
+pub fn load_device_profile(
+    path: impl AsRef<Path>,
+) -> Result<convmeter_hwsim::DeviceProfile, PersistError> {
+    load(path.as_ref(), "device-profile")
+}
+
+/// Save a training benchmark dataset (single- or multi-node).
+pub fn save_training_dataset(
+    path: impl AsRef<Path>,
+    data: &[TrainingPoint],
+) -> Result<(), PersistError> {
+    save(path.as_ref(), "training-dataset", &data)
+}
+
+/// Load a training benchmark dataset.
+pub fn load_training_dataset(
+    path: impl AsRef<Path>,
+) -> Result<Vec<TrainingPoint>, PersistError> {
+    load(path.as_ref(), "training-dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::inference_dataset;
+    use convmeter_hwsim::{DeviceProfile, SweepConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("convmeter-persist-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn forward_model_roundtrip() {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let model = ForwardModel::fit(&data).unwrap();
+        let path = tmp("fwd");
+        save_forward_model(&path, &model).unwrap();
+        let loaded = load_forward_model(&path).unwrap();
+        assert_eq!(model.coefficients(), loaded.coefficients());
+        assert_eq!(model.intercept(), loaded.intercept());
+        for p in data.iter().take(3) {
+            assert_eq!(model.predict(&p.metrics), loaded.predict(&p.metrics));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let path = tmp("data");
+        save_inference_dataset(&path, &data).unwrap();
+        let loaded = load_inference_dataset(&path).unwrap();
+        assert_eq!(data.len(), loaded.len());
+        assert_eq!(data[0].measured, loaded[0].measured);
+        assert_eq!(data[0].metrics, loaded[0].metrics);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn training_model_roundtrip() {
+        let data =
+            crate::dataset::training_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let model = TrainingModel::fit(&data).unwrap();
+        let path = tmp("train");
+        save_training_model(&path, &model).unwrap();
+        let loaded = load_training_model(&path).unwrap();
+        let m = data[0].metrics;
+        assert_eq!(model.predict_step(&m, 1), loaded.predict_step(&m, 1));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn device_profile_roundtrip() {
+        let p = convmeter_hwsim::DeviceProfile::a100_80gb();
+        let path = tmp("device");
+        save_device_profile(&path, &p).unwrap();
+        let loaded = load_device_profile(&path).unwrap();
+        assert_eq!(p, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let model = ForwardModel::fit(&data).unwrap();
+        let path = tmp("kind");
+        save_forward_model(&path, &model).unwrap();
+        match load_training_model(&path) {
+            Err(PersistError::Format { .. }) | Err(PersistError::Json(_)) => {}
+            other => panic!("expected format rejection, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_forward_model("/definitely/not/here.json") {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

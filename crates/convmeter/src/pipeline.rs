@@ -1,0 +1,358 @@
+//! Pipeline (model) parallelism prediction — the extension path the paper
+//! sketches in Section 3: "ConvMeter can be extended to support other
+//! parallelization strategies, such as model parallelism, by leveraging
+//! ConvMeter's capability to predict subgraphs or blocks of DL models."
+//!
+//! A ConvNet is split into `K` contiguous stages, one per device. Each
+//! stage is a subgraph, so the fitted [`ForwardModel`] prices it exactly as
+//! it prices a block. A GPipe-style schedule with `M` micro-batches then
+//! costs:
+//!
+//! ```text
+//! T_pipeline = (M + K - 1) · max_i (t_i + c_i)
+//! ```
+//!
+//! where `t_i` is stage `i`'s predicted compute time per micro-batch and
+//! `c_i` the time to ship its boundary activations to the next device.
+
+use crate::forward::ForwardModel;
+use convmeter_graph::{Graph, NodeId};
+use convmeter_metrics::ModelMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous stage assignment: nodes `[start, end)` of the source graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// First node index (inclusive).
+    pub start: usize,
+    /// One past the last node index (exclusive).
+    pub end: usize,
+    /// Predicted per-micro-batch compute time, seconds.
+    pub compute: f64,
+    /// Elements crossing the boundary *out of* this stage per batch item
+    /// (0 for the last stage).
+    pub boundary_elements: u64,
+}
+
+/// A complete pipeline plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelinePlan {
+    /// Model name.
+    pub model: String,
+    /// Stage assignments, in order.
+    pub stages: Vec<Stage>,
+    /// Micro-batch size used for stage costing.
+    pub micro_batch: usize,
+}
+
+/// Errors from pipeline planning.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Fewer nodes than requested stages.
+    TooFewNodes {
+        /// Graph node count.
+        nodes: usize,
+        /// Requested stages.
+        stages: usize,
+    },
+    /// The graph failed shape inference.
+    Graph(String),
+    /// A split point would cut a residual/branch edge, making a stage
+    /// depend on more than its predecessor's boundary tensor.
+    NonLinearCut {
+        /// Node index of the offending cut.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TooFewNodes { nodes, stages } => {
+                write!(f, "cannot split {nodes} nodes into {stages} stages")
+            }
+            PipelineError::Graph(e) => write!(f, "graph error: {e}"),
+            PipelineError::NonLinearCut { at } => {
+                write!(f, "no branch-free cut available near node {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Find the node indices where the graph can be cut without severing a
+/// branch: position `p` is a valid cut iff no node at index >= p consumes a
+/// tensor produced before `p` other than the single tensor produced at
+/// `p - 1`.
+pub fn valid_cut_points(graph: &Graph) -> Vec<usize> {
+    let n = graph.len();
+    // latest_consumer[i] = largest node index that consumes node i's output.
+    let mut latest_consumer = vec![0usize; n];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        for input in &node.inputs {
+            if *input != NodeId::INPUT {
+                latest_consumer[input.index()] = latest_consumer[input.index()].max(i);
+            }
+        }
+    }
+    // A cut before node p is valid iff every node j < p-1 has all consumers
+    // < p — i.e. only node p-1's output crosses the boundary.
+    (1..n)
+        .filter(|&p| (0..p - 1).all(|j| latest_consumer[j] < p))
+        .collect()
+}
+
+/// Split `graph` into `k` stages balanced by predicted compute, cutting only
+/// at branch-free positions. Greedy: target each stage at `total/k` and cut
+/// at the nearest valid point.
+pub fn plan_pipeline(
+    model: &ForwardModel,
+    graph: &Graph,
+    k: usize,
+    micro_batch: usize,
+) -> Result<PipelinePlan, PipelineError> {
+    assert!(k >= 1, "need at least one stage");
+    let n = graph.len();
+    if n < k {
+        return Err(PipelineError::TooFewNodes { nodes: n, stages: k });
+    }
+    let shapes = graph
+        .infer_shapes()
+        .map_err(|e| PipelineError::Graph(e.to_string()))?;
+    let metrics = ModelMetrics::of(graph).map_err(|e| PipelineError::Graph(e.to_string()))?;
+
+    // Per-node cost proxy: the same linear combination the model applies,
+    // evaluated per node (conv nodes carry the I/O terms).
+    let coefs = model.coefficients();
+    let node_cost: Vec<f64> = metrics
+        .per_node
+        .iter()
+        .map(|c| {
+            let mut t = coefs[0] * c.flops as f64 * micro_batch as f64;
+            if c.is_conv {
+                t += coefs[1] * c.input_elements as f64 * micro_batch as f64
+                    + coefs[2] * c.output_elements as f64 * micro_batch as f64;
+            }
+            t.max(0.0)
+        })
+        .collect();
+    let total: f64 = node_cost.iter().sum();
+
+    let cuts = valid_cut_points(graph);
+    // Prefix sums of node costs, so cut evaluation is O(1).
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, c) in node_cost.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let mut boundaries = Vec::with_capacity(k + 1);
+    boundaries.push(0usize);
+    for stage in 1..k {
+        let target = total * stage as f64 / k as f64;
+        // The first valid cut past the previous boundary whose prefix cost
+        // reaches the target; if none reaches it, the last available cut.
+        let prev = *boundaries.last().expect("non-empty");
+        let mut best: Option<usize> = None;
+        for &cut in &cuts {
+            if cut <= prev || cut >= n {
+                continue;
+            }
+            best = Some(cut);
+            if prefix[cut] >= target {
+                break;
+            }
+        }
+        let cut = best.ok_or(PipelineError::NonLinearCut { at: stage })?;
+        boundaries.push(cut);
+    }
+    boundaries.push(n);
+
+    // Cost each stage with the fitted coefficients. The intercept `c4`
+    // represents per-invocation framework overhead; splitting the network
+    // into K stages does not multiply that fixed cost, so each stage
+    // carries `c4 / K`.
+    let mut stages = Vec::with_capacity(k);
+    for w in boundaries.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        let compute: f64 = {
+            let flops: f64 = metrics.per_node[start..end]
+                .iter()
+                .map(|c| c.flops as f64)
+                .sum();
+            let inputs: f64 = metrics.per_node[start..end]
+                .iter()
+                .filter(|c| c.is_conv)
+                .map(|c| c.input_elements as f64)
+                .sum();
+            let outputs: f64 = metrics.per_node[start..end]
+                .iter()
+                .filter(|c| c.is_conv)
+                .map(|c| c.output_elements as f64)
+                .sum();
+            let b = micro_batch as f64;
+            coefs[0] * flops * b + coefs[1] * inputs * b + coefs[2] * outputs * b
+                + model.intercept() / k as f64
+        };
+        let boundary_elements = if end == n {
+            0
+        } else {
+            shapes[end - 1].output.elements()
+        };
+        stages.push(Stage { start, end, compute: compute.max(0.0), boundary_elements });
+    }
+    Ok(PipelinePlan {
+        model: graph.name().to_string(),
+        stages,
+        micro_batch,
+    })
+}
+
+impl PipelinePlan {
+    /// Per-micro-batch bottleneck time given an inter-stage link bandwidth
+    /// (bytes/s): `max_i (t_i + c_i)`.
+    pub fn bottleneck_time(&self, link_bandwidth: f64) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| {
+                s.compute
+                    + (s.boundary_elements as f64 * self.micro_batch as f64 * 4.0)
+                        / link_bandwidth
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// GPipe-style fill-and-drain time for `m` micro-batches.
+    pub fn step_time(&self, m: usize, link_bandwidth: f64) -> f64 {
+        assert!(m >= 1);
+        (m + self.stages.len() - 1) as f64 * self.bottleneck_time(link_bandwidth)
+    }
+
+    /// Steady-state pipeline throughput, images per second.
+    pub fn throughput(&self, link_bandwidth: f64) -> f64 {
+        self.micro_batch as f64 / self.bottleneck_time(link_bandwidth)
+    }
+
+    /// Load imbalance: bottleneck stage time over mean stage time (1.0 is
+    /// perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let times: Vec<f64> = self.stages.iter().map(|s| s.compute).collect();
+        let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::inference_dataset;
+    use convmeter_hwsim::{DeviceProfile, SweepConfig};
+    use convmeter_models::zoo;
+
+    fn fitted() -> ForwardModel {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        ForwardModel::fit(&data).unwrap()
+    }
+
+    #[test]
+    fn cut_points_avoid_residual_edges() {
+        let graph = zoo::by_name("resnet18").unwrap().build(64, 1000);
+        let cuts = valid_cut_points(&graph);
+        assert!(!cuts.is_empty());
+        // No cut may fall strictly inside a residual block: every block
+        // span's interior indices that carry the skip edge are excluded.
+        // Verify by construction: for each cut, extracting [0, cut) as a
+        // "stage" must not leave any later node consuming a pre-cut tensor
+        // other than the boundary.
+        for &cut in &cuts {
+            for (i, node) in graph.nodes().iter().enumerate().skip(cut) {
+                for input in &node.inputs {
+                    if *input != convmeter_graph::NodeId::INPUT {
+                        let idx = input.index();
+                        assert!(
+                            idx >= cut || idx == cut - 1,
+                            "cut {cut}: node {i} reaches back to {idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vgg_is_fully_cuttable() {
+        // Sequential networks can cut almost anywhere.
+        let graph = zoo::by_name("vgg11").unwrap().build(64, 1000);
+        let cuts = valid_cut_points(&graph);
+        assert!(cuts.len() > graph.len() / 2);
+    }
+
+    #[test]
+    fn plan_balances_stages() {
+        let model = fitted();
+        let graph = zoo::by_name("vgg16").unwrap().build(224, 1000);
+        let plan = plan_pipeline(&model, &graph, 4, 8).unwrap();
+        assert_eq!(plan.stages.len(), 4);
+        // Stages tile the graph exactly.
+        assert_eq!(plan.stages[0].start, 0);
+        assert_eq!(plan.stages.last().unwrap().end, graph.len());
+        for w in plan.stages.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Greedy balance: bottleneck within 3x of mean (VGG's huge first
+        // stage limits how even it can get).
+        assert!(plan.imbalance() < 3.0, "imbalance {}", plan.imbalance());
+    }
+
+    #[test]
+    fn residual_networks_are_plannable() {
+        let model = fitted();
+        let graph = zoo::by_name("resnet50").unwrap().build(224, 1000);
+        let plan = plan_pipeline(&model, &graph, 4, 4).unwrap();
+        assert_eq!(plan.stages.len(), 4);
+        assert!(plan.stages.iter().all(|s| s.compute > 0.0));
+        // Interior boundaries carry activations.
+        assert!(plan.stages[..3].iter().all(|s| s.boundary_elements > 0));
+        assert_eq!(plan.stages[3].boundary_elements, 0);
+    }
+
+    #[test]
+    fn pipelining_amortises_fill_and_drain() {
+        let model = fitted();
+        let graph = zoo::by_name("resnet50").unwrap().build(128, 1000);
+        let plan = plan_pipeline(&model, &graph, 4, 4).unwrap();
+        let bw = 2.3e11; // NVLink
+        let t1 = plan.step_time(1, bw);
+        let t32 = plan.step_time(32, bw);
+        // 32 micro-batches cost far less than 32 single-batch steps.
+        assert!(t32 < 32.0 * t1 * 0.5);
+        // Steady-state throughput is positive and finite.
+        assert!(plan.throughput(bw) > 0.0);
+    }
+
+    #[test]
+    fn slow_links_move_the_bottleneck() {
+        let model = fitted();
+        let graph = zoo::by_name("vgg16").unwrap().build(224, 1000);
+        let plan = plan_pipeline(&model, &graph, 4, 8).unwrap();
+        let fast = plan.bottleneck_time(2.3e11);
+        let slow = plan.bottleneck_time(1e9); // 1 GB/s ethernet-ish
+        assert!(slow > fast, "activation shipping must start to dominate");
+    }
+
+    #[test]
+    fn too_many_stages_is_an_error() {
+        let model = fitted();
+        let mut b = convmeter_graph::GraphBuilder::new("tiny", convmeter_graph::Shape::image(3, 32));
+        b.conv_bn(3, 8, 3, 1, 1);
+        let g = b.finish();
+        assert!(matches!(
+            plan_pipeline(&model, &g, 10, 1),
+            Err(PipelineError::TooFewNodes { .. })
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Scalability analysis (Section 4.3): throughput as a function of node
+//! count and batch size, and the diminishing-returns turning point.
+
+use crate::training::TrainingModel;
+use convmeter_metrics::ModelMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One point of a predicted scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total devices.
+    pub devices: usize,
+    /// Per-device batch size.
+    pub per_device_batch: usize,
+    /// Predicted step time, seconds.
+    pub step_time: f64,
+    /// Predicted throughput, images per second.
+    pub images_per_sec: f64,
+}
+
+/// Predict throughput across node counts at a fixed per-device batch —
+/// Figure 8. `gpus_per_node` is 4 in the paper's cluster.
+pub fn throughput_vs_nodes(
+    model: &TrainingModel,
+    metrics: &ModelMetrics,
+    per_device_batch: usize,
+    node_counts: &[usize],
+    gpus_per_node: usize,
+) -> Vec<ThroughputPoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let devices = nodes * gpus_per_node;
+            let step = model.predict_step_at(metrics, per_device_batch, nodes);
+            ThroughputPoint {
+                nodes,
+                devices,
+                per_device_batch,
+                step_time: step,
+                images_per_sec: (per_device_batch * devices) as f64 / step.max(1e-12),
+            }
+        })
+        .collect()
+}
+
+/// Predict throughput across per-device batch sizes at a fixed node count —
+/// Figure 9. Works for batch sizes beyond device memory: the performance
+/// model has no notion of capacity, which is exactly the paper's
+/// "simulating large batch sizes" feature.
+pub fn throughput_vs_batch(
+    model: &TrainingModel,
+    metrics: &ModelMetrics,
+    batch_sizes: &[usize],
+    nodes: usize,
+    gpus_per_node: usize,
+) -> Vec<ThroughputPoint> {
+    let devices = nodes * gpus_per_node;
+    batch_sizes
+        .iter()
+        .map(|&batch| {
+            let step = model.predict_step_at(metrics, batch, nodes);
+            ThroughputPoint {
+                nodes,
+                devices,
+                per_device_batch: batch,
+                step_time: step,
+                images_per_sec: (batch * devices) as f64 / step.max(1e-12),
+            }
+        })
+        .collect()
+}
+
+/// Epoch time for a dataset of `dataset_size` images: `D/(B·N) · T_iter`.
+pub fn epoch_time(dataset_size: usize, global_batch: usize, step_time: f64) -> f64 {
+    (dataset_size as f64 / global_batch as f64) * step_time
+}
+
+/// Find the scaling turning point: the smallest node count whose marginal
+/// throughput gain over the previous point drops below `threshold`
+/// (fractional gain per added node, e.g. 0.05). Returns the last point's
+/// node count if no diminishing return is observed.
+pub fn turning_point(curve: &[ThroughputPoint], threshold: f64) -> usize {
+    for w in curve.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let added_nodes = (b.nodes - a.nodes) as f64;
+        if added_nodes <= 0.0 {
+            continue;
+        }
+        let gain = (b.images_per_sec - a.images_per_sec) / a.images_per_sec;
+        if gain / added_nodes < threshold {
+            return a.nodes;
+        }
+    }
+    curve.last().map_or(0, |p| p.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::distributed_dataset;
+    use convmeter_distsim::DistSweepConfig;
+    use convmeter_hwsim::DeviceProfile;
+    use convmeter_models::zoo::by_name;
+
+    fn fitted() -> TrainingModel {
+        let cfg = DistSweepConfig {
+            models: vec!["resnet50".into(), "resnet18".into(), "vgg11".into()],
+            image_sizes: vec![128],
+            batch_sizes: vec![16, 64],
+            node_counts: vec![1, 2, 4, 8],
+            seed: 5,
+        };
+        let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg);
+        TrainingModel::fit(&data).unwrap()
+    }
+
+    fn metrics(name: &str) -> ModelMetrics {
+        ModelMetrics::of(&by_name(name).unwrap().build(128, 1000)).unwrap()
+    }
+
+    #[test]
+    fn throughput_grows_with_nodes_sublinearly() {
+        let model = fitted();
+        let curve = throughput_vs_nodes(&model, &metrics("resnet50"), 64, &[1, 2, 4, 8], 4);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1].images_per_sec > w[0].images_per_sec);
+        }
+        // Sublinear: 8 nodes < 8x the single-node throughput.
+        assert!(curve[3].images_per_sec < 8.0 * curve[0].images_per_sec);
+    }
+
+    #[test]
+    fn alexnet_turns_earlier_than_resnet() {
+        // AlexNet (61 M params, tiny compute) saturates the network sooner —
+        // the Figure 8 observation.
+        let model = {
+            let cfg = DistSweepConfig {
+                models: vec![
+                    "resnet50".into(),
+                    "resnet18".into(),
+                    "vgg11".into(),
+                    "mobilenet_v2".into(),
+                ],
+                image_sizes: vec![128],
+                batch_sizes: vec![16, 64],
+                node_counts: vec![1, 2, 4, 8, 16],
+                seed: 6,
+            };
+            let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg);
+            TrainingModel::fit(&data).unwrap()
+        };
+        let nodes = [1usize, 2, 4, 8, 16];
+        let alex = throughput_vs_nodes(&model, &metrics("alexnet"), 64, &nodes, 4);
+        let r50 = throughput_vs_nodes(&model, &metrics("resnet50"), 64, &nodes, 4);
+        // Relative speedup from 1 to 16 nodes.
+        let speedup = |c: &[ThroughputPoint]| c.last().unwrap().images_per_sec / c[0].images_per_sec;
+        assert!(
+            speedup(&alex) < speedup(&r50),
+            "alexnet {:.2}x vs resnet50 {:.2}x",
+            speedup(&alex),
+            speedup(&r50)
+        );
+    }
+
+    #[test]
+    fn batch_scaling_curve_monotone_in_throughput() {
+        let model = fitted();
+        let curve =
+            throughput_vs_batch(&model, &metrics("resnet50"), &[8, 32, 128, 512, 2048], 1, 4);
+        for w in curve.windows(2) {
+            assert!(w[1].images_per_sec >= w[0].images_per_sec * 0.95);
+        }
+        // Predicting beyond plausible memory limits still works.
+        let huge = throughput_vs_batch(&model, &metrics("resnet50"), &[16384], 1, 4);
+        assert!(huge[0].images_per_sec.is_finite());
+        assert!(huge[0].step_time > 0.0);
+    }
+
+    #[test]
+    fn epoch_time_formula() {
+        assert!((epoch_time(1000, 100, 2.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turning_point_detection() {
+        let mk = |nodes: usize, tp: f64| ThroughputPoint {
+            nodes,
+            devices: nodes * 4,
+            per_device_batch: 64,
+            step_time: 1.0,
+            images_per_sec: tp,
+        };
+        // Strong gains then a plateau after 4 nodes.
+        let curve = vec![mk(1, 100.0), mk(2, 190.0), mk(4, 350.0), mk(8, 360.0)];
+        assert_eq!(turning_point(&curve, 0.05), 4);
+        // Never plateaus -> last node count.
+        let linear = vec![mk(1, 100.0), mk(2, 200.0), mk(4, 400.0)];
+        assert_eq!(turning_point(&linear, 0.05), 4);
+    }
+}

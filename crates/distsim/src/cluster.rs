@@ -1,0 +1,113 @@
+//! Cluster topology configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Topology and link parameters of a (simulated) GPU cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Effective NVLink bandwidth between GPUs in a node, bytes/s.
+    pub nvlink_bandwidth: f64,
+    /// Effective InfiniBand bandwidth between nodes, bytes/s per ring.
+    pub ib_bandwidth: f64,
+    /// Per-hop latency on NVLink, seconds.
+    pub nvlink_latency: f64,
+    /// Per-hop latency on InfiniBand, seconds.
+    pub ib_latency: f64,
+    /// Horovod fusion buffer threshold, bytes.
+    pub fusion_buffer_bytes: u64,
+    /// Per-tensor coordination overhead (Horovod negotiation), seconds.
+    pub per_tensor_overhead: f64,
+    /// Log-normal sigma of per-device compute jitter (stragglers).
+    pub straggler_sigma: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's workstation: one node, four A100s, NVLink3.
+    pub fn workstation(gpus: usize) -> Self {
+        ClusterConfig {
+            nodes: 1,
+            gpus_per_node: gpus,
+            // NVLink3 on A100: 600 GB/s aggregate; an all-reduce ring
+            // sustains roughly 230 GB/s per direction in practice.
+            nvlink_bandwidth: 2.3e11,
+            // Unused on one node, but configured for consistency.
+            ib_bandwidth: 2.1e10,
+            nvlink_latency: 2.0e-6,
+            ib_latency: 6.0e-6,
+            fusion_buffer_bytes: 64 << 20,
+            per_tensor_overhead: 8.0e-6,
+            straggler_sigma: 0.03,
+        }
+    }
+
+    /// The paper's HPC cluster: `nodes` nodes x 4 A100s, HDR-200 InfiniBand
+    /// (200 Gb/s = 25 GB/s per NIC; ~21 GB/s effective).
+    pub fn hpc_cluster(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            gpus_per_node: 4,
+            nvlink_bandwidth: 2.3e11,
+            ib_bandwidth: 2.1e10,
+            nvlink_latency: 2.0e-6,
+            ib_latency: 6.0e-6,
+            fusion_buffer_bytes: 64 << 20,
+            per_tensor_overhead: 8.0e-6,
+            straggler_sigma: 0.05,
+        }
+    }
+
+    /// Total number of devices participating in training.
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Whether any communication crosses node boundaries.
+    pub fn is_multi_node(&self) -> bool {
+        self.nodes > 1
+    }
+
+    /// Bandwidth of the slowest link a spanning ring must traverse.
+    pub fn bottleneck_bandwidth(&self) -> f64 {
+        if self.is_multi_node() {
+            self.ib_bandwidth
+        } else {
+            self.nvlink_bandwidth
+        }
+    }
+
+    /// Latency of the slowest hop on the ring.
+    pub fn bottleneck_latency(&self) -> f64 {
+        if self.is_multi_node() {
+            self.ib_latency
+        } else {
+            self.nvlink_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workstation_is_single_node() {
+        let c = ClusterConfig::workstation(4);
+        assert_eq!(c.total_devices(), 4);
+        assert!(!c.is_multi_node());
+        assert_eq!(c.bottleneck_bandwidth(), c.nvlink_bandwidth);
+    }
+
+    #[test]
+    fn cluster_bottleneck_is_infiniband() {
+        let c = ClusterConfig::hpc_cluster(4);
+        assert_eq!(c.total_devices(), 16);
+        assert!(c.is_multi_node());
+        assert_eq!(c.bottleneck_bandwidth(), c.ib_bandwidth);
+        assert!(c.ib_bandwidth < c.nvlink_bandwidth / 5.0);
+        assert!(c.ib_latency > c.nvlink_latency);
+    }
+}

@@ -1,0 +1,183 @@
+//! The IO phase of a training step.
+//!
+//! Figure 1 of the paper decomposes a synchronous step as **IO** (reading
+//! the next mini-batch), forward, backward, and gradient update, with IO
+//! prefetched in parallel with compute. This module models that pipeline:
+//! per-step IO time from a storage profile, and the *visible* IO stall once
+//! prefetching overlaps loading with the previous step's compute.
+
+use convmeter_hwsim::TrainingPhases;
+use serde::{Deserialize, Serialize};
+
+/// Storage/data-pipeline profile for the input pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Sustained read bandwidth per node, bytes/s.
+    pub read_bandwidth: f64,
+    /// Per-request latency (open/seek/queue), seconds.
+    pub request_latency: f64,
+    /// CPU-side decode+augment throughput per node, images/s (JPEG decode,
+    /// crops, normalisation) — often the real bottleneck.
+    pub decode_throughput: f64,
+    /// Number of prefetch slots (steps of lookahead). 0 disables overlap.
+    pub prefetch_depth: usize,
+}
+
+impl StorageProfile {
+    /// A node-local NVMe array with a well-tuned loader: ~6 GB/s reads,
+    /// ~4000 decoded images/s per node.
+    pub fn local_nvme() -> Self {
+        StorageProfile {
+            name: "local-nvme".into(),
+            read_bandwidth: 6.0e9,
+            request_latency: 1.0e-4,
+            decode_throughput: 4000.0,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// A shared parallel filesystem (Lustre/GPFS-class) under load:
+    /// ~1.5 GB/s per node, higher latency.
+    pub fn parallel_fs() -> Self {
+        StorageProfile {
+            name: "parallel-fs".into(),
+            read_bandwidth: 1.5e9,
+            request_latency: 2.0e-3,
+            decode_throughput: 4000.0,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// Raw time to load + decode one batch of `batch` images of
+    /// `image_size` px (uncompressed FP32-equivalent accounting would
+    /// overstate JPEGs; we use ~150 KB/image at 224 px, scaled by area).
+    pub fn batch_load_time(&self, batch: usize, image_size: usize) -> f64 {
+        let bytes_per_image = 150_000.0 * (image_size as f64 / 224.0).powi(2);
+        let read = self.request_latency + batch as f64 * bytes_per_image / self.read_bandwidth;
+        let decode = batch as f64 / self.decode_throughput;
+        read + decode
+    }
+}
+
+/// One training step including the input pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepWithIo {
+    /// Compute phases (fwd/bwd/grad).
+    pub phases: TrainingPhases,
+    /// Raw per-step IO time (load + decode).
+    pub io_time: f64,
+    /// IO stall actually visible per steady-state step after prefetch
+    /// overlap: `max(0, io - compute)` with prefetching, `io` without.
+    pub io_stall: f64,
+}
+
+impl StepWithIo {
+    /// Steady-state step time: compute plus the visible stall.
+    pub fn total(&self) -> f64 {
+        self.phases.total() + self.io_stall
+    }
+
+    /// Whether the input pipeline, not the GPUs, bounds throughput.
+    pub fn io_bound(&self) -> bool {
+        self.io_stall > 0.0
+    }
+}
+
+/// Combine compute phases with the input pipeline.
+pub fn step_with_io(
+    phases: TrainingPhases,
+    storage: &StorageProfile,
+    batch: usize,
+    image_size: usize,
+) -> StepWithIo {
+    let io_time = storage.batch_load_time(batch, image_size);
+    let io_stall = if storage.prefetch_depth > 0 {
+        (io_time - phases.total()).max(0.0)
+    } else {
+        io_time
+    };
+    StepWithIo { phases, io_time, io_stall }
+}
+
+/// Epoch time over `dataset_size` images with the steady-state step,
+/// including the un-overlapped first load (pipeline fill).
+pub fn epoch_time_with_io(
+    step: &StepWithIo,
+    dataset_size: usize,
+    global_batch: usize,
+) -> f64 {
+    let steps = (dataset_size as f64 / global_batch as f64).ceil();
+    step.io_time + steps * step.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases(total: f64) -> TrainingPhases {
+        TrainingPhases {
+            forward: total * 0.3,
+            backward: total * 0.6,
+            grad_update: total * 0.1,
+        }
+    }
+
+    #[test]
+    fn fast_storage_hides_behind_compute() {
+        let s = StorageProfile::local_nvme();
+        // 100 ms of compute per step easily covers loading 256 images.
+        let step = step_with_io(phases(0.1), &s, 256, 224);
+        assert!(!step.io_bound());
+        assert!((step.total() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_storage_stalls_fast_models() {
+        let s = StorageProfile::parallel_fs();
+        // 5 ms of compute cannot cover a 2048-image batch from a busy PFS.
+        let step = step_with_io(phases(0.005), &s, 2048, 224);
+        assert!(step.io_bound());
+        assert!(step.total() > 0.005);
+        assert!((step.total() - (0.005 + step.io_stall)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn without_prefetch_io_always_adds() {
+        let mut s = StorageProfile::local_nvme();
+        s.prefetch_depth = 0;
+        let step = step_with_io(phases(0.1), &s, 256, 224);
+        assert!(step.io_stall > 0.0);
+        assert_eq!(step.io_stall, step.io_time);
+    }
+
+    #[test]
+    fn io_time_scales_with_batch_and_image_area() {
+        let s = StorageProfile::local_nvme();
+        let t1 = s.batch_load_time(64, 224);
+        let t2 = s.batch_load_time(128, 224);
+        let t3 = s.batch_load_time(64, 448);
+        assert!(t2 > 1.8 * t1 && t2 < 2.2 * t1);
+        assert!(t3 > t1, "4x pixels per image must cost more to read");
+    }
+
+    #[test]
+    fn epoch_includes_pipeline_fill() {
+        let s = StorageProfile::local_nvme();
+        let step = step_with_io(phases(0.1), &s, 256, 224);
+        let epoch = epoch_time_with_io(&step, 256 * 10, 256);
+        assert!((epoch - (step.io_time + 10.0 * step.total())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_throughput_can_be_the_bottleneck() {
+        let mut s = StorageProfile::local_nvme();
+        s.decode_throughput = 500.0; // weak CPU loaders
+        // 1024 images at 500/s = ~2 s of decode: dwarfs both read time and
+        // a 100 ms compute step.
+        let step = step_with_io(phases(0.1), &s, 1024, 224);
+        assert!(step.io_bound());
+        assert!(step.io_time > 2.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Horovod-style tensor fusion.
+//!
+//! "A significant optimization available in Horovod is to start synchronizing
+//! the gradient updates during the backward propagation. Instead of waiting
+//! until all gradient updates are computed [...], the tensor fusion method
+//! synchronizes gradients once they are computed." (paper, Section 3.2)
+//!
+//! Gradient tensors become available in reverse layer order during the
+//! backward pass. Fusion batches them into buckets of at most
+//! `fusion_buffer_bytes`; a bucket is dispatched to the communication stream
+//! as soon as it fills (or when the backward pass finishes).
+
+use serde::{Deserialize, Serialize};
+
+/// One fused bucket of gradient tensors awaiting all-reduce.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Indices (into the reverse-ordered gradient list) of fused tensors.
+    pub tensor_indices: Vec<usize>,
+    /// Total payload, bytes.
+    pub bytes: u64,
+}
+
+/// Fuse a reverse-ordered list of gradient tensor sizes (bytes) into
+/// dispatch buckets of at most `buffer_bytes` each.
+///
+/// A tensor larger than the buffer gets a bucket of its own (Horovod
+/// likewise falls back to unfused transmission).
+pub fn fuse_gradients(tensor_bytes: &[u64], buffer_bytes: u64) -> Vec<Bucket> {
+    assert!(buffer_bytes > 0, "fusion buffer must be positive");
+    let mut buckets = Vec::new();
+    let mut current = Bucket { tensor_indices: Vec::new(), bytes: 0 };
+    for (i, &size) in tensor_bytes.iter().enumerate() {
+        if size == 0 {
+            continue;
+        }
+        if current.bytes > 0 && current.bytes + size > buffer_bytes {
+            buckets.push(std::mem::replace(
+                &mut current,
+                Bucket { tensor_indices: Vec::new(), bytes: 0 },
+            ));
+        }
+        current.tensor_indices.push(i);
+        current.bytes += size;
+    }
+    if current.bytes > 0 {
+        buckets.push(current);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_fits_in_one_bucket() {
+        let buckets = fuse_gradients(&[10, 20, 30], 100);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].bytes, 60);
+        assert_eq!(buckets[0].tensor_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn splits_at_threshold() {
+        let buckets = fuse_gradients(&[40, 40, 40], 100);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].bytes, 80);
+        assert_eq!(buckets[1].bytes, 40);
+    }
+
+    #[test]
+    fn oversized_tensor_gets_own_bucket() {
+        let buckets = fuse_gradients(&[10, 500, 10], 100);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[1].bytes, 500);
+        assert_eq!(buckets[1].tensor_indices, vec![1]);
+    }
+
+    #[test]
+    fn zero_sized_tensors_are_skipped() {
+        let buckets = fuse_gradients(&[0, 10, 0, 20, 0], 100);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].tensor_indices, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_input_no_buckets() {
+        assert!(fuse_gradients(&[], 100).is_empty());
+        assert!(fuse_gradients(&[0, 0], 100).is_empty());
+    }
+
+    #[test]
+    fn total_bytes_preserved() {
+        let sizes = [3u64, 99, 1, 250, 64, 64, 64, 7];
+        let buckets = fuse_gradients(&sizes, 128);
+        let total: u64 = buckets.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, sizes.iter().sum::<u64>());
+        // Every index appears exactly once.
+        let mut all: Vec<usize> = buckets.iter().flat_map(|b| b.tensor_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..sizes.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion buffer must be positive")]
+    fn zero_buffer_panics() {
+        let _ = fuse_gradients(&[1], 0);
+    }
+}

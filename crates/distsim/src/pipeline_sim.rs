@@ -1,0 +1,200 @@
+//! Pipeline-parallel execution simulator.
+//!
+//! `convmeter::pipeline` *predicts* a K-stage pipeline's step time from the
+//! fitted linear model; this module *simulates* one, so the prediction can
+//! be validated the same way the data-parallel predictions are validated
+//! against [`crate::step`].
+//!
+//! The simulated schedule is synchronous GPipe: micro-batch `m` may start on
+//! stage `s` once (a) stage `s` finished micro-batch `m-1`, and (b) stage
+//! `s-1` finished micro-batch `m` *and* its boundary activations arrived.
+//! Per-stage compute times come from the same hwsim kernel model used
+//! everywhere else, with optional per-(stage, microbatch) jitter.
+
+use convmeter_hwsim::kernel::forward_layer_time;
+use convmeter_hwsim::{DeviceProfile, NoiseModel};
+use convmeter_metrics::{LayerCost, ModelMetrics};
+use serde::{Deserialize, Serialize};
+
+/// A stage: a contiguous slice of the model's nodes plus the bytes it ships
+/// to its successor per micro-batch item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStage {
+    /// First node index (inclusive).
+    pub start: usize,
+    /// One past the last node index (exclusive).
+    pub end: usize,
+    /// Boundary activation elements per batch item (0 for the last stage).
+    pub boundary_elements: u64,
+}
+
+/// Result of simulating a pipeline schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineSimResult {
+    /// Completion time of the last micro-batch on the last stage, seconds.
+    pub makespan: f64,
+    /// Completion times per (stage, micro-batch), seconds.
+    pub finish_times: Vec<Vec<f64>>,
+    /// Mean utilisation across stages (busy time / makespan).
+    pub utilisation: f64,
+}
+
+/// Simulate a synchronous K-stage pipeline over `micro_batches` micro-batches
+/// of `micro_batch` items each. `link_bandwidth` is the inter-stage link in
+/// bytes/s; `jitter_sigma` adds log-normal noise per (stage, micro-batch)
+/// compute slot (0 = deterministic).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pipeline(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    stages: &[SimStage],
+    micro_batch: usize,
+    micro_batches: usize,
+    link_bandwidth: f64,
+    jitter_sigma: f64,
+    seed: u64,
+) -> PipelineSimResult {
+    assert!(!stages.is_empty() && micro_batches >= 1);
+    let k = stages.len();
+    let mut noise = NoiseModel::new(seed, jitter_sigma);
+
+    // Base compute time per stage (shared across micro-batches; jitter is
+    // applied per slot).
+    let stage_compute: Vec<f64> = stages
+        .iter()
+        .map(|s| {
+            metrics.per_node[s.start..s.end]
+                .iter()
+                .map(|c: &LayerCost| forward_layer_time(device, c, micro_batch))
+                .sum()
+        })
+        .collect();
+    let stage_comm: Vec<f64> = stages
+        .iter()
+        .map(|s| s.boundary_elements as f64 * micro_batch as f64 * 4.0 / link_bandwidth)
+        .collect();
+
+    // finish[s][m] = when stage s finishes micro-batch m (compute only; the
+    // transfer occupies the link afterwards).
+    let mut finish = vec![vec![0.0f64; micro_batches]; k];
+    let mut busy = vec![0.0f64; k];
+    for m in 0..micro_batches {
+        for s in 0..k {
+            let ready_from_prev_stage = if s == 0 {
+                0.0
+            } else {
+                finish[s - 1][m] + stage_comm[s - 1]
+            };
+            let ready_self = if m == 0 { 0.0 } else { finish[s][m - 1] };
+            let start = ready_from_prev_stage.max(ready_self);
+            let dur = noise.jitter(stage_compute[s]);
+            finish[s][m] = start + dur;
+            busy[s] += dur;
+        }
+    }
+    let makespan = finish[k - 1][micro_batches - 1];
+    let utilisation = busy.iter().sum::<f64>() / (k as f64 * makespan.max(1e-12));
+    PipelineSimResult { makespan, finish_times: finish, utilisation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_models::zoo::by_name;
+
+    fn gpu() -> DeviceProfile {
+        DeviceProfile::a100_80gb()
+    }
+
+    /// Equal-cost synthetic stages for closed-form checks.
+    fn uniform_stages(metrics: &ModelMetrics, k: usize) -> Vec<SimStage> {
+        let n = metrics.per_node.len();
+        (0..k)
+            .map(|i| SimStage {
+                start: i * n / k,
+                end: (i + 1) * n / k,
+                boundary_elements: 0,
+            })
+            .collect()
+    }
+
+    fn r18() -> ModelMetrics {
+        ModelMetrics::of(&by_name("resnet18").unwrap().build(64, 1000)).unwrap()
+    }
+
+    #[test]
+    fn single_stage_is_sequential_execution() {
+        let m = r18();
+        let stages = vec![SimStage { start: 0, end: m.per_node.len(), boundary_elements: 0 }];
+        let r = simulate_pipeline(&gpu(), &m, &stages, 8, 5, 1e12, 0.0, 0);
+        let per_mb: f64 = m
+            .per_node
+            .iter()
+            .map(|c| forward_layer_time(&gpu(), c, 8))
+            .sum();
+        assert!((r.makespan - 5.0 * per_mb).abs() / r.makespan < 1e-9);
+        assert!((r.utilisation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpipe_formula_holds_for_uniform_stages() {
+        // With equal stage times t and no comm, makespan = (M + K - 1) t.
+        let m = r18();
+        let k = 4;
+        let stages = uniform_stages(&m, k);
+        let r = simulate_pipeline(&gpu(), &m, &stages, 8, 16, 1e12, 0.0, 0);
+        // Stage times are not exactly equal; bound by the bottleneck.
+        let bottleneck = (0..k)
+            .map(|i| {
+                m.per_node[stages[i].start..stages[i].end]
+                    .iter()
+                    .map(|c| forward_layer_time(&gpu(), c, 8))
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let lower = (16 + k - 1) as f64 * bottleneck / k as f64; // loose
+        let upper = (16 + k - 1) as f64 * bottleneck;
+        assert!(r.makespan >= lower && r.makespan <= upper * 1.01, "{}", r.makespan);
+    }
+
+    #[test]
+    fn more_microbatches_improve_utilisation() {
+        let m = r18();
+        let stages = uniform_stages(&m, 4);
+        let few = simulate_pipeline(&gpu(), &m, &stages, 8, 2, 1e12, 0.0, 0);
+        let many = simulate_pipeline(&gpu(), &m, &stages, 8, 64, 1e12, 0.0, 0);
+        assert!(many.utilisation > few.utilisation);
+        assert!(many.utilisation > 0.5);
+    }
+
+    #[test]
+    fn slow_links_stretch_the_makespan() {
+        let m = r18();
+        let mut stages = uniform_stages(&m, 4);
+        for s in &mut stages[..3] {
+            s.boundary_elements = 1_000_000;
+        }
+        let fast = simulate_pipeline(&gpu(), &m, &stages, 8, 8, 2.3e11, 0.0, 0);
+        let slow = simulate_pipeline(&gpu(), &m, &stages, 8, 8, 1e9, 0.0, 0);
+        assert!(slow.makespan > fast.makespan);
+    }
+
+    #[test]
+    fn jitter_slows_pipelines_in_expectation() {
+        // Log-normal jitter has mean exp(sigma^2/2) > 1, and the pipeline's
+        // max-composition amplifies it; averaged over seeds the jittered
+        // makespan must exceed the clean one.
+        let m = r18();
+        let stages = uniform_stages(&m, 4);
+        let clean = simulate_pipeline(&gpu(), &m, &stages, 8, 32, 1e12, 0.0, 0);
+        let avg: f64 = (0..24)
+            .map(|s| simulate_pipeline(&gpu(), &m, &stages, 8, 32, 1e12, 0.25, s).makespan)
+            .sum::<f64>()
+            / 24.0;
+        assert!(
+            avg > 1.01 * clean.makespan,
+            "jittered {avg} vs clean {}",
+            clean.makespan
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Ring all-reduce cost model.
+//!
+//! NCCL's ring all-reduce over `N` devices moves each byte around the ring
+//! twice (reduce-scatter + all-gather): `2(N-1)` steps, each transferring
+//! `S/N` bytes over the slowest link in the ring. With per-hop latency α and
+//! bottleneck bandwidth B:
+//!
+//! ```text
+//! T = 2 (N-1) · (α + S / (N · B))
+//! ```
+//!
+//! which approaches `2S/B` for large N — the classic bandwidth-optimal
+//! bound — while the latency term grows linearly with N. That latency growth
+//! times the per-layer tensor count is exactly the `c1·L + c3·N` structure
+//! the paper's gradient-update model captures.
+
+use crate::cluster::ClusterConfig;
+
+/// Time for one all-reduce of `bytes` over the cluster's spanning ring.
+/// Returns 0 for a single device (no communication).
+pub fn all_reduce_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
+    let n = cluster.total_devices();
+    if n <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let steps = 2 * (n - 1);
+    let chunk = bytes as f64 / n as f64;
+    steps as f64 * (cluster.bottleneck_latency() + chunk / cluster.bottleneck_bandwidth())
+}
+
+/// Time for a reduce-scatter only (half an all-reduce); exposed for
+/// completeness and for testing the algebra.
+pub fn reduce_scatter_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
+    let n = cluster.total_devices();
+    if n <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let steps = n - 1;
+    let chunk = bytes as f64 / n as f64;
+    steps as f64 * (cluster.bottleneck_latency() + chunk / cluster.bottleneck_bandwidth())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_device_is_free() {
+        let c = ClusterConfig::workstation(1);
+        assert_eq!(all_reduce_time(&c, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let c = ClusterConfig::hpc_cluster(4);
+        assert_eq!(all_reduce_time(&c, 0), 0.0);
+    }
+
+    #[test]
+    fn reduce_scatter_is_half_of_all_reduce() {
+        let c = ClusterConfig::hpc_cluster(4);
+        let bytes = 100 << 20;
+        assert!(
+            (2.0 * reduce_scatter_time(&c, bytes) - all_reduce_time(&c, bytes)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn bandwidth_term_matches_optimal_ring_bound() {
+        // Large message: T -> 2(N-1)/N * S/B plus the latency term.
+        let c = ClusterConfig::hpc_cluster(16);
+        let n = c.total_devices();
+        let bytes: u64 = 1 << 30;
+        let t = all_reduce_time(&c, bytes);
+        let bound = 2.0 * (n - 1) as f64 / n as f64 * bytes as f64 / c.ib_bandwidth;
+        assert!(t > bound, "latency must push above the bandwidth bound");
+        assert!(t < 1.05 * bound, "but only slightly for a 1 GiB payload: {t} vs {bound}");
+        // And it never beats the hard 2S/B asymptote scaled by (N-1)/N.
+        assert!(t < 2.0 * bytes as f64 / c.ib_bandwidth + 1.0e-3);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let c = ClusterConfig::hpc_cluster(8);
+        let n = c.total_devices();
+        let t = all_reduce_time(&c, 1024);
+        let latency_only = 2.0 * (n - 1) as f64 * c.ib_latency;
+        assert!((t - latency_only) / latency_only < 0.01);
+    }
+
+    #[test]
+    fn multi_node_much_slower_than_single_node() {
+        let single = ClusterConfig::workstation(4);
+        let multi = ClusterConfig::hpc_cluster(1 + 3); // 16 GPUs over IB
+        let bytes = 100 << 20;
+        assert!(all_reduce_time(&multi, bytes) > 5.0 * all_reduce_time(&single, bytes));
+    }
+
+    #[test]
+    fn time_grows_with_devices_for_fixed_bytes() {
+        let bytes = 64 << 20;
+        let mut last = 0.0;
+        for nodes in [2, 4, 8, 16] {
+            let t = all_reduce_time(&ClusterConfig::hpc_cluster(nodes), bytes);
+            assert!(t > last, "nodes {nodes}");
+            last = t;
+        }
+    }
+}

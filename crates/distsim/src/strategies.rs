@@ -1,0 +1,149 @@
+//! Alternative gradient-synchronisation strategies.
+//!
+//! The paper motivates its choice: "All-reduce strategy is more widely used
+//! in distributed training due to its faster convergence, scalability, low
+//! communication overhead, and flexibility" compared to the parameter
+//! server (Section 2). This module makes that comparison quantitative by
+//! modelling both alternatives next to the flat ring of [`crate::ring`]:
+//!
+//! * [`hierarchical_all_reduce_time`] — NCCL-style two-level reduction:
+//!   reduce-scatter inside each node over NVLink, ring all-reduce among node
+//!   leaders over InfiniBand, broadcast back over NVLink. For multi-node
+//!   clusters this beats the flat ring, whose every hop pays the IB price.
+//! * [`parameter_server_time`] — workers push gradients to a central server
+//!   and pull averaged weights back; the server's NIC is the bottleneck, so
+//!   time grows *linearly* with worker count.
+
+use crate::cluster::ClusterConfig;
+use crate::ring::all_reduce_time;
+
+/// Ring all-reduce restricted to one level of the hierarchy.
+fn level_ring(devices: usize, bytes: u64, latency: f64, bandwidth: f64) -> f64 {
+    if devices <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let steps = 2 * (devices - 1);
+    let chunk = bytes as f64 / devices as f64;
+    steps as f64 * (latency + chunk / bandwidth)
+}
+
+/// Two-level hierarchical all-reduce:
+/// 1. intra-node reduce-scatter+gather over NVLink (a local all-reduce),
+/// 2. inter-node ring over InfiniBand among one leader per node on `1/g` of
+///    the payload each (g = GPUs per node).
+pub fn hierarchical_all_reduce_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
+    let g = cluster.gpus_per_node;
+    let n = cluster.nodes;
+    if cluster.total_devices() <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    // Intra-node phase (full payload, NVLink).
+    let intra = level_ring(g, bytes, cluster.nvlink_latency, cluster.nvlink_bandwidth);
+    // Inter-node phase: each leader owns bytes/g of the reduction.
+    let inter = level_ring(
+        n,
+        bytes / g.max(1) as u64,
+        cluster.ib_latency,
+        cluster.ib_bandwidth,
+    );
+    intra + inter
+}
+
+/// Parameter-server synchronisation: all `N` workers push `bytes` of
+/// gradients to the server and pull `bytes` of fresh weights back. The
+/// server NIC (InfiniBand-class) serialises `2·N·bytes` of traffic.
+pub fn parameter_server_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
+    let n = cluster.total_devices();
+    if n <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let server_bandwidth = cluster.ib_bandwidth;
+    let per_transfer_latency = cluster.ib_latency;
+    2.0 * n as f64 * (per_transfer_latency + bytes as f64 / server_bandwidth)
+}
+
+/// Which synchronisation strategy a simulation should cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SyncStrategy {
+    /// Flat ring over all devices (the default; bottleneck link prices
+    /// every hop).
+    FlatRing,
+    /// Two-level NVLink + InfiniBand reduction.
+    Hierarchical,
+    /// Central parameter server.
+    ParameterServer,
+}
+
+/// Cost `bytes` of gradient synchronisation under the chosen strategy.
+pub fn sync_time(cluster: &ClusterConfig, bytes: u64, strategy: SyncStrategy) -> f64 {
+    match strategy {
+        SyncStrategy::FlatRing => all_reduce_time(cluster, bytes),
+        SyncStrategy::Hierarchical => hierarchical_all_reduce_time(cluster, bytes),
+        SyncStrategy::ParameterServer => parameter_server_time(cluster, bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB100: u64 = 100 << 20;
+
+    #[test]
+    fn single_device_is_free_for_all_strategies() {
+        let c = ClusterConfig::workstation(1);
+        for s in [SyncStrategy::FlatRing, SyncStrategy::Hierarchical, SyncStrategy::ParameterServer]
+        {
+            assert_eq!(sync_time(&c, MB100, s), 0.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // With 4 GPUs per node, the flat ring drags the whole payload over
+        // IB on every hop; the hierarchy moves only 1/4 of it between nodes.
+        for nodes in [2usize, 4, 8, 16] {
+            let c = ClusterConfig::hpc_cluster(nodes);
+            let flat = all_reduce_time(&c, MB100);
+            let hier = hierarchical_all_reduce_time(&c, MB100);
+            assert!(
+                hier < flat,
+                "nodes {nodes}: hierarchical {hier} !< flat {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_equals_nvlink_ring_on_one_node() {
+        let c = ClusterConfig::workstation(4);
+        let hier = hierarchical_all_reduce_time(&c, MB100);
+        let flat = all_reduce_time(&c, MB100);
+        // One node: both are a pure NVLink ring over 4 devices.
+        assert!((hier - flat).abs() / flat < 1e-9);
+    }
+
+    #[test]
+    fn parameter_server_scales_linearly_and_loses_at_scale() {
+        // PS time ~ N; all-reduce bandwidth term saturates. The crossover
+        // is the paper's rationale for choosing all-reduce.
+        let small = ClusterConfig::hpc_cluster(2);
+        let large = ClusterConfig::hpc_cluster(16);
+        let ps_small = parameter_server_time(&small, MB100);
+        let ps_large = parameter_server_time(&large, MB100);
+        assert!((ps_large / ps_small - 8.0).abs() < 0.5, "PS should scale ~linearly");
+        let ar_large = all_reduce_time(&large, MB100);
+        assert!(
+            ps_large > 5.0 * ar_large,
+            "at 64 devices the PS must be far slower: ps {ps_large} vs ar {ar_large}"
+        );
+    }
+
+    #[test]
+    fn all_strategies_monotone_in_bytes() {
+        let c = ClusterConfig::hpc_cluster(4);
+        for s in [SyncStrategy::FlatRing, SyncStrategy::Hierarchical, SyncStrategy::ParameterServer]
+        {
+            assert!(sync_time(&c, 2 * MB100, s) > sync_time(&c, MB100, s));
+        }
+    }
+}

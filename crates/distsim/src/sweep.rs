@@ -1,0 +1,196 @@
+//! Multi-node benchmark sweep: the distributed-training dataset behind
+//! Table 3 (right half), Figure 7, and Figure 8 of the paper.
+
+use crate::cluster::ClusterConfig;
+use crate::step::measure_distributed_step;
+use convmeter_hwsim::{training_memory_bytes, DeviceProfile, NoiseModel, TrainingPhases};
+use convmeter_metrics::ModelMetrics;
+use convmeter_models::zoo;
+use serde::{Deserialize, Serialize};
+
+/// One measured distributed-training data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistTrainingSample {
+    /// Model name.
+    pub model: String,
+    /// Square image size in pixels.
+    pub image_size: usize,
+    /// Per-device batch size.
+    pub batch: usize,
+    /// Number of nodes used.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Measured phase times.
+    pub phases: TrainingPhases,
+}
+
+impl DistTrainingSample {
+    /// Total devices for this sample.
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Training throughput in images per second (global batch / step time).
+    pub fn throughput(&self) -> f64 {
+        (self.batch * self.total_devices()) as f64 / self.phases.total()
+    }
+}
+
+/// Configuration of a distributed-training sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistSweepConfig {
+    /// Model names to include.
+    pub models: Vec<String>,
+    /// Square image sizes.
+    pub image_sizes: Vec<usize>,
+    /// Per-device batch sizes.
+    pub batch_sizes: Vec<usize>,
+    /// Node counts to sweep (each node contributes 4 GPUs by default).
+    pub node_counts: Vec<usize>,
+    /// Master noise seed.
+    pub seed: u64,
+}
+
+impl DistSweepConfig {
+    /// The paper's multi-node sweep: all models, several image/batch sizes,
+    /// 1–16 nodes.
+    pub fn paper() -> Self {
+        DistSweepConfig {
+            models: zoo::model_names().iter().map(|s| s.to_string()).collect(),
+            image_sizes: vec![64, 128, 224],
+            batch_sizes: vec![8, 32, 64, 128, 256],
+            node_counts: vec![1, 2, 4, 8, 16],
+            seed: 0xD157,
+        }
+    }
+
+    /// Small sweep for tests.
+    pub fn quick() -> Self {
+        DistSweepConfig {
+            models: vec!["resnet18".into(), "alexnet".into()],
+            image_sizes: vec![128],
+            batch_sizes: vec![32, 64],
+            node_counts: vec![1, 2, 4],
+            seed: 3,
+        }
+    }
+
+    fn point_seed(&self, model: &str, image: usize, batch: usize, nodes: usize) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for b in model
+            .as_bytes()
+            .iter()
+            .copied()
+            .chain(image.to_le_bytes())
+            .chain(batch.to_le_bytes())
+            .chain(nodes.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Run a distributed-training sweep. Configurations whose per-device
+/// footprint exceeds device memory are skipped, as in the paper.
+pub fn distributed_sweep(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<DistTrainingSample> {
+    let mut out = Vec::new();
+    for model in &config.models {
+        let spec = zoo::by_name(model)
+            .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
+        for &image in &config.image_sizes {
+            if !spec.supports(image) {
+                continue;
+            }
+            let metrics = ModelMetrics::of(&spec.build(image, 1000)).expect("zoo models validate");
+            for &batch in &config.batch_sizes {
+                if training_memory_bytes(&metrics, batch) > device.memory_capacity {
+                    continue;
+                }
+                for &nodes in &config.node_counts {
+                    let cluster = ClusterConfig::hpc_cluster(nodes);
+                    let mut noise = NoiseModel::new(
+                        config.point_seed(model, image, batch, nodes),
+                        device.noise_sigma,
+                    );
+                    let phases =
+                        measure_distributed_step(device, &cluster, &metrics, batch, &mut noise);
+                    out.push(DistTrainingSample {
+                        model: model.clone(),
+                        image_size: image,
+                        batch,
+                        nodes,
+                        gpus_per_node: cluster.gpus_per_node,
+                        phases,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_grid() {
+        let d = DeviceProfile::a100_80gb();
+        let samples = distributed_sweep(&d, &DistSweepConfig::quick());
+        // 2 models x 1 image x 2 batches x 3 node counts.
+        assert_eq!(samples.len(), 12);
+        assert!(samples.iter().all(|s| s.phases.total() > 0.0));
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let s = DistTrainingSample {
+            model: "x".into(),
+            image_size: 128,
+            batch: 64,
+            nodes: 2,
+            gpus_per_node: 4,
+            phases: TrainingPhases { forward: 0.1, backward: 0.3, grad_update: 0.1 },
+        };
+        assert_eq!(s.total_devices(), 8);
+        assert!((s.throughput() - (64.0 * 8.0) / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_scaling_throughput_grows_sublinearly() {
+        // Adding nodes at fixed per-device batch increases throughput but
+        // below linearly (communication overhead) — the premise of Figure 8.
+        let d = DeviceProfile::a100_80gb();
+        let cfg = DistSweepConfig {
+            models: vec!["resnet50".into()],
+            image_sizes: vec![128],
+            batch_sizes: vec![64],
+            node_counts: vec![1, 4],
+            seed: 1,
+        };
+        let samples = distributed_sweep(&d, &cfg);
+        let tp = |nodes: usize| {
+            samples
+                .iter()
+                .find(|s| s.nodes == nodes)
+                .map(DistTrainingSample::throughput)
+                .unwrap()
+        };
+        let speedup = tp(4) / tp(1);
+        assert!(speedup > 1.5, "speedup {speedup}");
+        assert!(speedup < 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DeviceProfile::a100_80gb();
+        let a = distributed_sweep(&d, &DistSweepConfig::quick());
+        let b = distributed_sweep(&d, &DistSweepConfig::quick());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.phases, y.phases);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Named block spans.
+//!
+//! Modern ConvNets are built from recurring blocks (Bottleneck,
+//! InvertedResidual, MBConv, Fire, ...). ConvMeter predicts the runtime of
+//! individual blocks (paper, Section 4.1.2, Table 2) — a feature aimed at
+//! neural-architecture-search workflows. A [`BlockSpan`] tags a contiguous
+//! range of graph nodes as one such block.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous, named span of nodes `[start, end)` within a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpan {
+    /// Human-readable block name, e.g. `Bottleneck4`.
+    pub name: String,
+    /// First node index (inclusive).
+    pub start: usize,
+    /// One past the last node index (exclusive).
+    pub end: usize,
+}
+
+impl BlockSpan {
+    /// Create a span. `start < end` is validated by
+    /// [`crate::Graph::validate_blocks`], not here, so builders can create
+    /// spans incrementally.
+    pub fn new(name: impl Into<String>, start: usize, end: usize) -> Self {
+        Self { name: name.into(), start, end }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_len() {
+        let s = BlockSpan::new("b", 3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(BlockSpan::new("e", 5, 5).is_empty());
+        // Backwards spans are empty, not negative.
+        assert!(BlockSpan::new("r", 7, 3).is_empty());
+    }
+}

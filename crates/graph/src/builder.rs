@@ -1,0 +1,299 @@
+//! Fluent graph construction.
+//!
+//! [`GraphBuilder`] keeps a *cursor* on the most recently added node, so
+//! sequential architectures chain naturally, while residual/branchy
+//! structures save and restore the cursor. Common composites of the model
+//! zoo (conv+BN+activation, squeeze-and-excitation, classifier heads) are
+//! provided as single calls.
+
+use crate::block::BlockSpan;
+use crate::graph::{Graph, NodeId};
+use crate::layer::{conv2d, conv2d_depthwise, Activation, Layer, PoolKind};
+use crate::shape::Shape;
+
+/// Incremental builder for [`Graph`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    cursor: NodeId,
+    open_blocks: Vec<(String, usize)>,
+}
+
+impl GraphBuilder {
+    /// Start a graph with the given model name and input shape.
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        Self {
+            graph: Graph::new(name, input_shape),
+            cursor: NodeId::INPUT,
+            open_blocks: Vec::new(),
+        }
+    }
+
+    /// The current cursor (output of the last added node, or the input).
+    pub fn cursor(&self) -> NodeId {
+        self.cursor
+    }
+
+    /// Move the cursor to an existing node (branching).
+    pub fn set_cursor(&mut self, id: NodeId) {
+        self.cursor = id;
+    }
+
+    /// Append a layer consuming the cursor; the cursor advances to it.
+    pub fn layer(&mut self, layer: Layer) -> NodeId {
+        let id = self.graph.push(layer, vec![self.cursor], None);
+        self.cursor = id;
+        id
+    }
+
+    /// Append a named layer consuming the cursor.
+    pub fn named_layer(&mut self, name: impl Into<String>, layer: Layer) -> NodeId {
+        let id = self.graph.push(layer, vec![self.cursor], Some(name.into()));
+        self.cursor = id;
+        id
+    }
+
+    /// Append a layer with explicit inputs; the cursor advances to it.
+    pub fn layer_from(&mut self, layer: Layer, inputs: Vec<NodeId>) -> NodeId {
+        let id = self.graph.push(layer, inputs, None);
+        self.cursor = id;
+        id
+    }
+
+    /// Residual addition: `Add(cursor, other)`.
+    pub fn add_residual(&mut self, other: NodeId) -> NodeId {
+        let lhs = self.cursor;
+        self.layer_from(Layer::Add, vec![lhs, other])
+    }
+
+    /// Channel concat of the given nodes.
+    pub fn concat(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.layer_from(Layer::Concat, inputs)
+    }
+
+    /// Begin a named block; nodes added until [`GraphBuilder::end_block`]
+    /// belong to it. Blocks may nest.
+    pub fn begin_block(&mut self, name: impl Into<String>) {
+        self.open_blocks.push((name.into(), self.graph.len()));
+    }
+
+    /// Close the innermost open block.
+    ///
+    /// # Panics
+    /// Panics if no block is open.
+    pub fn end_block(&mut self) {
+        let (name, start) = self.open_blocks.pop().expect("no open block");
+        self.graph.add_block(BlockSpan::new(name, start, self.graph.len()));
+    }
+
+    /// Finish, returning the graph.
+    ///
+    /// # Panics
+    /// Panics if blocks are left open.
+    pub fn finish(self) -> Graph {
+        assert!(
+            self.open_blocks.is_empty(),
+            "unclosed blocks: {:?}",
+            self.open_blocks.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        self.graph
+    }
+
+    // ---- composite helpers used throughout the model zoo ----
+
+    /// `Conv2d -> BatchNorm2d` (biasless conv, as universally paired with BN).
+    pub fn conv_bn(
+        &mut self,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
+        self.layer(conv2d(in_ch, out_ch, kernel, stride, padding));
+        self.layer(Layer::BatchNorm2d { channels: out_ch })
+    }
+
+    /// `Conv2d -> BatchNorm2d -> activation`.
+    pub fn conv_bn_act(
+        &mut self,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        act: Activation,
+    ) -> NodeId {
+        self.conv_bn(in_ch, out_ch, kernel, stride, padding);
+        self.layer(Layer::Act(act))
+    }
+
+    /// Grouped `Conv2d -> BatchNorm2d -> activation` (ResNeXt, RegNet).
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped_conv_bn_act(
+        &mut self,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+        act: Activation,
+    ) -> NodeId {
+        self.layer(crate::layer::conv2d_grouped(in_ch, out_ch, kernel, stride, padding, groups));
+        self.layer(Layer::BatchNorm2d { channels: out_ch });
+        self.layer(Layer::Act(act))
+    }
+
+    /// Depthwise `Conv2d -> BatchNorm2d -> activation` (MobileNet/EfficientNet).
+    pub fn depthwise_bn_act(
+        &mut self,
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        act: Activation,
+    ) -> NodeId {
+        self.layer(conv2d_depthwise(channels, kernel, stride, padding));
+        self.layer(Layer::BatchNorm2d { channels });
+        self.layer(Layer::Act(act))
+    }
+
+    /// Max pooling shortcut.
+    pub fn maxpool(&mut self, kernel: usize, stride: usize, padding: usize) -> NodeId {
+        self.layer(Layer::Pool2d {
+            kind: PoolKind::Max,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        })
+    }
+
+    /// Average pooling shortcut.
+    pub fn avgpool(&mut self, kernel: usize, stride: usize, padding: usize) -> NodeId {
+        self.layer(Layer::Pool2d {
+            kind: PoolKind::Avg,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        })
+    }
+
+    /// Squeeze-and-excitation: global pool -> 1x1 reduce -> act -> 1x1
+    /// expand -> gate -> channel-wise scale of the cursor tensor.
+    ///
+    /// `squeeze_ch` is the bottleneck width (already rounded by the caller,
+    /// since rounding rules differ between MobileNetV3 and EfficientNet).
+    pub fn se_block(
+        &mut self,
+        channels: usize,
+        squeeze_ch: usize,
+        act: Activation,
+        gate: Activation,
+    ) -> NodeId {
+        let trunk = self.cursor;
+        self.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+        // 1x1 convs on the 1x1 map, biased (as in torchvision SE modules).
+        self.layer(crate::layer::conv2d_biased(channels, squeeze_ch, 1, 1, 0));
+        self.layer(Layer::Act(act));
+        self.layer(crate::layer::conv2d_biased(squeeze_ch, channels, 1, 1, 0));
+        let scale = self.layer(Layer::Act(gate));
+        self.layer_from(Layer::Mul, vec![trunk, scale])
+    }
+
+    /// Standard classifier head: global average pool -> flatten -> linear.
+    pub fn classifier(&mut self, features: usize, classes: usize) -> NodeId {
+        self.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+        self.layer(Layer::Flatten);
+        self.layer(Layer::Linear { in_features: features, out_features: classes, bias: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_chain_advances_cursor() {
+        let mut b = GraphBuilder::new("seq", Shape::image(3, 32));
+        b.conv_bn_act(3, 16, 3, 1, 1, Activation::ReLU);
+        b.maxpool(2, 2, 0);
+        b.classifier(16 * 16 * 16, 10);
+        // classifier flattens a 16x16x16 map? No: classifier pools to 1x1
+        // first, so features must be the channel count.
+        let g = b.finish();
+        assert!(g.infer_shapes().is_err()); // wrong feature count above
+    }
+
+    #[test]
+    fn classifier_after_gap_uses_channel_count() {
+        let mut b = GraphBuilder::new("seq", Shape::image(3, 32));
+        b.conv_bn_act(3, 16, 3, 1, 1, Activation::ReLU);
+        b.classifier(16, 10);
+        let g = b.finish();
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(10));
+    }
+
+    #[test]
+    fn residual_block_via_cursor_save() {
+        let mut b = GraphBuilder::new("res", Shape::image(16, 8));
+        let entry = b.cursor();
+        b.conv_bn_act(16, 16, 3, 1, 1, Activation::ReLU);
+        b.conv_bn(16, 16, 3, 1, 1);
+        // `entry` here is INPUT; Add(x, INPUT) is valid.
+        assert_eq!(entry, NodeId::INPUT);
+        b.add_residual(entry);
+        b.layer(Layer::Act(Activation::ReLU));
+        let g = b.finish();
+        assert_eq!(g.output_shape().unwrap(), Shape::image(16, 8));
+    }
+
+    #[test]
+    fn se_block_shapes_check_out() {
+        let mut b = GraphBuilder::new("se", Shape::image(96, 14));
+        b.se_block(96, 24, Activation::ReLU, Activation::HardSigmoid);
+        let g = b.finish();
+        assert_eq!(g.output_shape().unwrap(), Shape::image(96, 14));
+        // GAP, 2 convs, 2 acts, mul = 6 nodes.
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn blocks_nest_and_register() {
+        let mut b = GraphBuilder::new("blocks", Shape::image(3, 32));
+        b.begin_block("stage1");
+        b.begin_block("unit1");
+        b.conv_bn_act(3, 8, 3, 1, 1, Activation::ReLU);
+        b.end_block();
+        b.begin_block("unit2");
+        b.conv_bn_act(8, 8, 3, 1, 1, Activation::ReLU);
+        b.end_block();
+        b.end_block();
+        let g = b.finish();
+        assert_eq!(g.blocks().len(), 3);
+        g.validate_blocks().unwrap();
+        let names: Vec<_> = g.blocks().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["unit1", "unit2", "stage1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed blocks")]
+    fn finish_panics_on_open_block() {
+        let mut b = GraphBuilder::new("open", Shape::image(3, 32));
+        b.begin_block("never-closed");
+        b.conv_bn(3, 8, 3, 1, 1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn concat_branches() {
+        let mut b = GraphBuilder::new("inception-ish", Shape::image(8, 16));
+        let input = b.cursor();
+        let br1 = b.conv_bn_act(8, 4, 1, 1, 0, Activation::ReLU);
+        b.set_cursor(input);
+        let br2 = b.conv_bn_act(8, 12, 3, 1, 1, Activation::ReLU);
+        b.concat(vec![br1, br2]);
+        let g = b.finish();
+        assert_eq!(g.output_shape().unwrap(), Shape::image(16, 16));
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz DOT export for visual inspection of constructed graphs.
+
+use crate::graph::{Graph, NodeId};
+
+/// Render the graph in Graphviz DOT syntax.
+///
+/// Shapes are annotated on edges when inference succeeds; an invalid graph
+/// still renders (without shape labels) so it can be debugged visually.
+pub fn to_dot(graph: &Graph) -> String {
+    let shapes = graph.infer_shapes().ok();
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(graph.name())));
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    out.push_str(&format!(
+        "  input [label=\"input {}\", shape=ellipse];\n",
+        graph.input_shape()
+    ));
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let label = match &node.name {
+            Some(n) => format!("{n}\\n{}", node.layer),
+            None => node.layer.to_string(),
+        };
+        out.push_str(&format!("  n{i} [label=\"{}\"];\n", escape(&label)));
+        for input in &node.inputs {
+            let src = if *input == NodeId::INPUT {
+                "input".to_string()
+            } else {
+                format!("n{}", input.index())
+            };
+            let edge_label = match (&shapes, input) {
+                (Some(s), id) if *id != NodeId::INPUT => {
+                    format!(" [label=\"{}\"]", s[id.index()].output)
+                }
+                (Some(_), _) => format!(" [label=\"{}\"]", graph.input_shape()),
+                (None, _) => String::new(),
+            };
+            out.push_str(&format!("  {src} -> n{i}{edge_label};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::layer::Activation;
+    use crate::shape::Shape;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new("dot-test", Shape::image(3, 32));
+        b.conv_bn_act(3, 8, 3, 1, 1, Activation::ReLU);
+        let g = b.finish();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        assert!(dot.contains("input ["));
+        assert!(dot.contains("n0"));
+        assert!(dot.contains("n2"));
+        assert!(dot.contains("input -> n0"));
+        assert!(dot.contains("n1 -> n2"));
+        // Shape labels present for a valid graph.
+        assert!(dot.contains("8x32x32"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn invalid_graph_still_renders_without_shapes() {
+        let mut b = GraphBuilder::new("bad", Shape::image(3, 32));
+        b.conv_bn(5, 8, 3, 1, 1); // channel mismatch
+        let g = b.finish();
+        let dot = to_dot(&g);
+        assert!(dot.contains("input -> n0;"));
+        assert!(!dot.contains("label=\"3x32x32\""));
+    }
+}

@@ -1,0 +1,801 @@
+//! Layer definitions and per-layer shape inference.
+//!
+//! The layer set covers everything the paper's model zoo needs (AlexNet
+//! through EfficientNet/RegNet): grouped/depthwise convolutions, batch norm,
+//! the activation zoo, pooling (max/avg/adaptive), linear layers, residual
+//! adds, channel concatenation (DenseNet/Inception), and channel-wise scaling
+//! (squeeze-and-excitation).
+
+use crate::shape::{conv_out_dim, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Activation functions appearing in the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    ReLU,
+    /// ReLU clamped at 6 (MobileNet).
+    ReLU6,
+    /// Sigmoid.
+    Sigmoid,
+    /// Hard sigmoid (MobileNetV3 SE gates).
+    HardSigmoid,
+    /// Swish / SiLU (EfficientNet).
+    SiLU,
+    /// Hard swish (MobileNetV3).
+    HardSwish,
+    /// Gaussian error linear unit.
+    GELU,
+}
+
+/// Pooling flavour for fixed-window pooling layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// A single operator node in a ConvNet graph.
+///
+/// Arity: [`Layer::Add`] and [`Layer::Mul`] take exactly two inputs,
+/// [`Layer::Concat`] takes two or more, everything else takes exactly one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution. `groups == in_channels == out_channels` gives a
+    /// depthwise convolution; `groups == 1` is a dense convolution.
+    Conv2d {
+        /// Input channel count.
+        in_channels: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Kernel size (height, width).
+        kernel: (usize, usize),
+        /// Stride (height, width).
+        stride: (usize, usize),
+        /// Zero padding (height, width).
+        padding: (usize, usize),
+        /// Group count. Both channel counts must be divisible by it.
+        groups: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// 2-D batch normalisation over channels.
+    BatchNorm2d {
+        /// Channel count (must match the input).
+        channels: usize,
+    },
+    /// Element-wise activation.
+    Act(Activation),
+    /// Fixed-window pooling.
+    Pool2d {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window size (height, width).
+        kernel: (usize, usize),
+        /// Stride (height, width).
+        stride: (usize, usize),
+        /// Zero padding (height, width).
+        padding: (usize, usize),
+    },
+    /// Adaptive average pooling to a fixed output size.
+    AdaptiveAvgPool2d {
+        /// Target (height, width).
+        output: (usize, usize),
+    },
+    /// Fully connected layer on a flat feature vector.
+    Linear {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Collapse a `C x H x W` map into a flat vector of `C*H*W` features.
+    Flatten,
+    /// Dropout (a no-op for shapes and metrics; kept for graph fidelity).
+    Dropout,
+    /// Element-wise addition of two identically shaped inputs (residual).
+    Add,
+    /// Element-wise multiplication of two inputs. The second input may be a
+    /// `C x 1 x 1` per-channel scale (squeeze-and-excitation broadcast).
+    Mul,
+    /// Channel-dimension concatenation of two or more inputs with matching
+    /// spatial sizes.
+    Concat,
+    /// A contiguous channel slice `[offset, offset + channels)` of a feature
+    /// map — `torch.chunk`-style splits (ShuffleNetV2). A view: no kernel.
+    ChannelSlice {
+        /// First channel taken.
+        offset: usize,
+        /// Number of channels taken.
+        channels: usize,
+    },
+    /// Interleave channels across `groups` (ShuffleNet channel shuffle).
+    /// A real permutation copy, not a view.
+    ChannelShuffle {
+        /// Shuffle group count; must divide the channel count.
+        groups: usize,
+    },
+    /// Channel-wise layer normalisation over a feature map (ConvNeXt's
+    /// "LayerNorm2d"): per-position normalisation across channels with a
+    /// learned scale and shift per channel.
+    LayerNorm2d {
+        /// Channel count (must match the input).
+        channels: usize,
+    },
+    /// Learned per-channel scaling (ConvNeXt's layer scale): one trainable
+    /// multiplier per channel.
+    LayerScale {
+        /// Channel count (must match the input).
+        channels: usize,
+    },
+    /// Reinterpret a `C x H x W` feature map as `H*W` tokens of `C` features
+    /// (the flatten+transpose after a ViT patch-embedding conv). A view.
+    ToTokens,
+    /// Prepend a learned class token and add learned position embeddings
+    /// (ViT). Parameters: `dim` (class token) + `(seq+1) * dim` (positions).
+    ClassTokenAndPosition {
+        /// Embedding dimension.
+        dim: usize,
+        /// Patch-token count of the *input* (excluding the class token);
+        /// fixes the position-embedding parameter count.
+        seq: usize,
+    },
+    /// Layer normalisation over each token's features. Parameters: `2*dim`.
+    TokenLayerNorm {
+        /// Embedding dimension (must match the input).
+        dim: usize,
+    },
+    /// Per-token fully connected layer (applied independently to every
+    /// token). Parameters: `in*out (+ out bias)`.
+    TokenLinear {
+        /// Input feature count per token.
+        in_features: usize,
+        /// Output feature count per token.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Multi-head self-attention over a token sequence (fused QKV and
+    /// output projections, all biased, as in torchvision).
+    MultiHeadAttention {
+        /// Embedding dimension.
+        dim: usize,
+        /// Head count (must divide `dim`).
+        heads: usize,
+    },
+    /// Select one token (e.g. the class token) as a flat feature vector.
+    TokenSelect,
+}
+
+impl Layer {
+    /// Number of inputs this layer consumes. `None` means "two or more"
+    /// (variadic concat).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Layer::Add | Layer::Mul => Some(2),
+            Layer::Concat => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Whether this layer is a convolution — the layer class whose inputs
+    /// and outputs ConvMeter sums (paper, Section 3: "we calculate the
+    /// inputs and outputs of a ConvNet by [...] summing the metrics for each
+    /// convolutional layer").
+    pub fn is_conv(&self) -> bool {
+        matches!(self, Layer::Conv2d { .. })
+    }
+
+    /// Number of trainable parameters in this layer.
+    pub fn parameter_count(&self) -> u64 {
+        match *self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                bias,
+                ..
+            } => {
+                let weights = out_channels as u64 * (in_channels / groups) as u64
+                    * kernel.0 as u64
+                    * kernel.1 as u64;
+                weights + if bias { out_channels as u64 } else { 0 }
+            }
+            // Scale and shift per channel.
+            Layer::BatchNorm2d { channels } => 2 * channels as u64,
+            Layer::LayerNorm2d { channels } => 2 * channels as u64,
+            Layer::LayerScale { channels } => channels as u64,
+            Layer::TokenLayerNorm { dim } => 2 * dim as u64,
+            Layer::TokenLinear { in_features, out_features, bias } => {
+                in_features as u64 * out_features as u64
+                    + if bias { out_features as u64 } else { 0 }
+            }
+            // Fused QKV (d x 3d + 3d) plus output projection (d x d + d).
+            Layer::MultiHeadAttention { dim, .. } => {
+                let d = dim as u64;
+                d * 3 * d + 3 * d + d * d + d
+            }
+            // Class token (dim) + position embeddings ((seq+1) * dim).
+            Layer::ClassTokenAndPosition { dim, seq } => {
+                dim as u64 + (seq as u64 + 1) * dim as u64
+            }
+            Layer::Linear { in_features, out_features, bias } => {
+                in_features as u64 * out_features as u64
+                    + if bias { out_features as u64 } else { 0 }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether the layer carries trainable parameters (and thus contributes
+    /// a gradient tensor during all-reduce).
+    pub fn has_parameters(&self) -> bool {
+        self.parameter_count() > 0
+    }
+
+    /// Infer the output shape from the input shapes.
+    ///
+    /// Returns a description of the violated constraint on failure.
+    pub fn infer_output(&self, inputs: &[Shape]) -> Result<Shape, String> {
+        match self.arity() {
+            Some(n) if inputs.len() != n => {
+                return Err(format!(
+                    "{self:?} expects {n} input(s), got {}",
+                    inputs.len()
+                ));
+            }
+            None if inputs.len() < 2 => {
+                return Err(format!("Concat expects >= 2 inputs, got {}", inputs.len()));
+            }
+            _ => {}
+        }
+
+        match *self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
+                let Shape::Chw { c, h, w } = inputs[0] else {
+                    return Err("Conv2d requires a CxHxW input".into());
+                };
+                if c != in_channels {
+                    return Err(format!(
+                        "Conv2d expects {in_channels} input channels, got {c}"
+                    ));
+                }
+                if groups == 0 || in_channels % groups != 0 || out_channels % groups != 0 {
+                    return Err(format!(
+                        "invalid groups={groups} for {in_channels}->{out_channels} channels"
+                    ));
+                }
+                let oh = conv_out_dim(h, kernel.0, stride.0, padding.0)
+                    .ok_or_else(|| format!("Conv2d kernel {kernel:?} does not fit {h}x{w}"))?;
+                let ow = conv_out_dim(w, kernel.1, stride.1, padding.1)
+                    .ok_or_else(|| format!("Conv2d kernel {kernel:?} does not fit {h}x{w}"))?;
+                Ok(Shape::chw(out_channels, oh, ow))
+            }
+            Layer::BatchNorm2d { channels } => {
+                let Shape::Chw { c, .. } = inputs[0] else {
+                    return Err("BatchNorm2d requires a CxHxW input".into());
+                };
+                if c != channels {
+                    return Err(format!("BatchNorm2d expects {channels} channels, got {c}"));
+                }
+                Ok(inputs[0])
+            }
+            Layer::LayerNorm2d { channels } | Layer::LayerScale { channels } => {
+                let Shape::Chw { c, .. } = inputs[0] else {
+                    return Err(format!("{self:?} requires a CxHxW input"));
+                };
+                if c != channels {
+                    return Err(format!("{self:?} expects {channels} channels, got {c}"));
+                }
+                Ok(inputs[0])
+            }
+            Layer::Act(_) | Layer::Dropout => Ok(inputs[0]),
+            Layer::Pool2d { kernel, stride, padding, .. } => {
+                let Shape::Chw { c, h, w } = inputs[0] else {
+                    return Err("Pool2d requires a CxHxW input".into());
+                };
+                let oh = conv_out_dim(h, kernel.0, stride.0, padding.0)
+                    .ok_or_else(|| format!("pool kernel {kernel:?} does not fit {h}x{w}"))?;
+                let ow = conv_out_dim(w, kernel.1, stride.1, padding.1)
+                    .ok_or_else(|| format!("pool kernel {kernel:?} does not fit {h}x{w}"))?;
+                Ok(Shape::chw(c, oh, ow))
+            }
+            Layer::AdaptiveAvgPool2d { output } => {
+                let Shape::Chw { c, .. } = inputs[0] else {
+                    return Err("AdaptiveAvgPool2d requires a CxHxW input".into());
+                };
+                Ok(Shape::chw(c, output.0, output.1))
+            }
+            Layer::Linear { in_features, out_features, .. } => {
+                let Shape::Flat(n) = inputs[0] else {
+                    return Err("Linear requires a flat input (insert Flatten)".into());
+                };
+                if n != in_features {
+                    return Err(format!("Linear expects {in_features} features, got {n}"));
+                }
+                Ok(Shape::Flat(out_features))
+            }
+            Layer::Flatten => Ok(Shape::Flat(inputs[0].elements() as usize)),
+            Layer::Add => {
+                if inputs[0] != inputs[1] {
+                    return Err(format!(
+                        "Add requires matching shapes, got {} and {}",
+                        inputs[0], inputs[1]
+                    ));
+                }
+                Ok(inputs[0])
+            }
+            Layer::Mul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if a == b {
+                    return Ok(a);
+                }
+                // Channel-wise broadcast: (C,H,W) * (C,1,1).
+                match (a, b) {
+                    (Shape::Chw { c, .. }, Shape::Chw { c: cb, h: 1, w: 1 }) if c == cb => Ok(a),
+                    _ => Err(format!("Mul cannot broadcast {b} onto {a}")),
+                }
+            }
+            Layer::ChannelSlice { offset, channels } => {
+                let Shape::Chw { c, h, w } = inputs[0] else {
+                    return Err("ChannelSlice requires a CxHxW input".into());
+                };
+                if offset + channels > c {
+                    return Err(format!(
+                        "ChannelSlice [{offset}, {}) exceeds {c} channels",
+                        offset + channels
+                    ));
+                }
+                if channels == 0 {
+                    return Err("ChannelSlice must take at least one channel".into());
+                }
+                Ok(Shape::chw(channels, h, w))
+            }
+            Layer::ChannelShuffle { groups } => {
+                let Shape::Chw { c, .. } = inputs[0] else {
+                    return Err("ChannelShuffle requires a CxHxW input".into());
+                };
+                if groups == 0 || c % groups != 0 {
+                    return Err(format!("ChannelShuffle groups {groups} must divide {c}"));
+                }
+                Ok(inputs[0])
+            }
+            Layer::ToTokens => {
+                let Shape::Chw { c, h, w } = inputs[0] else {
+                    return Err("ToTokens requires a CxHxW input".into());
+                };
+                Ok(Shape::tokens(h * w, c))
+            }
+            Layer::ClassTokenAndPosition { dim, seq } => {
+                let Shape::Tokens { seq: s, dim: d } = inputs[0] else {
+                    return Err("ClassTokenAndPosition requires a token input".into());
+                };
+                if d != dim {
+                    return Err(format!("expected dim {dim}, got {d}"));
+                }
+                if s != seq {
+                    return Err(format!("expected {seq} patch tokens, got {s}"));
+                }
+                Ok(Shape::tokens(seq + 1, dim))
+            }
+            Layer::TokenLayerNorm { dim } => {
+                let Shape::Tokens { dim: d, .. } = inputs[0] else {
+                    return Err("TokenLayerNorm requires a token input".into());
+                };
+                if d != dim {
+                    return Err(format!("expected dim {dim}, got {d}"));
+                }
+                Ok(inputs[0])
+            }
+            Layer::TokenLinear { in_features, out_features, .. } => {
+                let Shape::Tokens { seq, dim } = inputs[0] else {
+                    return Err("TokenLinear requires a token input".into());
+                };
+                if dim != in_features {
+                    return Err(format!("expected {in_features} features, got {dim}"));
+                }
+                Ok(Shape::tokens(seq, out_features))
+            }
+            Layer::MultiHeadAttention { dim, heads } => {
+                let Shape::Tokens { dim: d, .. } = inputs[0] else {
+                    return Err("MultiHeadAttention requires a token input".into());
+                };
+                if d != dim {
+                    return Err(format!("expected dim {dim}, got {d}"));
+                }
+                if heads == 0 || dim % heads != 0 {
+                    return Err(format!("heads {heads} must divide dim {dim}"));
+                }
+                Ok(inputs[0])
+            }
+            Layer::TokenSelect => {
+                let Shape::Tokens { dim, .. } = inputs[0] else {
+                    return Err("TokenSelect requires a token input".into());
+                };
+                Ok(Shape::Flat(dim))
+            }
+            Layer::Concat => {
+                let Shape::Chw { h, w, .. } = inputs[0] else {
+                    return Err("Concat requires CxHxW inputs".into());
+                };
+                let mut channels = 0usize;
+                for s in inputs {
+                    let Shape::Chw { c, h: hi, w: wi } = *s else {
+                        return Err("Concat requires CxHxW inputs".into());
+                    };
+                    if (hi, wi) != (h, w) {
+                        return Err(format!(
+                            "Concat spatial mismatch: {s} vs {}x{}",
+                            h, w
+                        ));
+                    }
+                    channels += c;
+                }
+                Ok(Shape::chw(channels, h, w))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Conv2d { in_channels, out_channels, kernel, stride, groups, .. } => {
+                write!(
+                    f,
+                    "Conv2d({in_channels}->{out_channels}, k{}x{}, s{}",
+                    kernel.0, kernel.1, stride.0
+                )?;
+                if *groups > 1 {
+                    write!(f, ", g{groups}")?;
+                }
+                write!(f, ")")
+            }
+            Layer::BatchNorm2d { channels } => write!(f, "BatchNorm2d({channels})"),
+            Layer::Act(a) => write!(f, "{a:?}"),
+            Layer::Pool2d { kind, kernel, stride, .. } => {
+                write!(f, "{kind:?}Pool(k{}x{}, s{})", kernel.0, kernel.1, stride.0)
+            }
+            Layer::AdaptiveAvgPool2d { output } => {
+                write!(f, "AdaptiveAvgPool({}x{})", output.0, output.1)
+            }
+            Layer::Linear { in_features, out_features, .. } => {
+                write!(f, "Linear({in_features}->{out_features})")
+            }
+            Layer::Flatten => write!(f, "Flatten"),
+            Layer::Dropout => write!(f, "Dropout"),
+            Layer::Add => write!(f, "Add"),
+            Layer::Mul => write!(f, "Mul"),
+            Layer::Concat => write!(f, "Concat"),
+            Layer::ChannelSlice { offset, channels } => {
+                write!(f, "ChannelSlice({offset}..{})", offset + channels)
+            }
+            Layer::ChannelShuffle { groups } => write!(f, "ChannelShuffle(g{groups})"),
+            Layer::LayerNorm2d { channels } => write!(f, "LayerNorm2d({channels})"),
+            Layer::LayerScale { channels } => write!(f, "LayerScale({channels})"),
+            Layer::ToTokens => write!(f, "ToTokens"),
+            Layer::ClassTokenAndPosition { dim, seq } => {
+                write!(f, "ClassToken+Pos({seq}+1 x {dim})")
+            }
+            Layer::TokenLayerNorm { dim } => write!(f, "TokenLayerNorm({dim})"),
+            Layer::TokenLinear { in_features, out_features, .. } => {
+                write!(f, "TokenLinear({in_features}->{out_features})")
+            }
+            Layer::MultiHeadAttention { dim, heads } => {
+                write!(f, "MHSA({dim}, h{heads})")
+            }
+            Layer::TokenSelect => write!(f, "TokenSelect"),
+        }
+    }
+}
+
+/// Shorthand constructor for a dense (group = 1, biasless) convolution —
+/// the overwhelmingly common case in batch-normalised ConvNets.
+pub fn conv2d(
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Layer {
+    Layer::Conv2d {
+        in_channels,
+        out_channels,
+        kernel: (kernel, kernel),
+        stride: (stride, stride),
+        padding: (padding, padding),
+        groups: 1,
+        bias: false,
+    }
+}
+
+/// Shorthand for a grouped convolution (biasless).
+pub fn conv2d_grouped(
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> Layer {
+    Layer::Conv2d {
+        in_channels,
+        out_channels,
+        kernel: (kernel, kernel),
+        stride: (stride, stride),
+        padding: (padding, padding),
+        groups,
+        bias: false,
+    }
+}
+
+/// Shorthand for a depthwise convolution (`groups == channels`).
+pub fn conv2d_depthwise(channels: usize, kernel: usize, stride: usize, padding: usize) -> Layer {
+    conv2d_grouped(channels, channels, kernel, stride, padding, channels)
+}
+
+/// Shorthand for a rectangular-kernel dense convolution (biasless), as used
+/// by Inception's factorised 1x7/7x1 convolutions.
+pub fn conv2d_rect(
+    in_channels: usize,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Layer {
+    Layer::Conv2d {
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        groups: 1,
+        bias: false,
+    }
+}
+
+/// Shorthand for a biased convolution (pre-batchnorm-era nets: AlexNet, VGG,
+/// SqueezeNet).
+pub fn conv2d_biased(
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Layer {
+    Layer::Conv2d {
+        in_channels,
+        out_channels,
+        kernel: (kernel, kernel),
+        stride: (stride, stride),
+        padding: (padding, padding),
+        groups: 1,
+        bias: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let l = conv2d(3, 64, 7, 2, 3);
+        let out = l.infer_output(&[Shape::image(3, 224)]).unwrap();
+        assert_eq!(out, Shape::image(64, 112));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let l = conv2d(3, 64, 3, 1, 1);
+        assert!(l.infer_output(&[Shape::image(4, 32)]).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_flat_input() {
+        let l = conv2d(3, 64, 3, 1, 1);
+        assert!(l.infer_output(&[Shape::Flat(10)]).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_bad_groups() {
+        let l = conv2d_grouped(6, 8, 3, 1, 1, 4); // 6 % 4 != 0
+        assert!(l.infer_output(&[Shape::image(6, 8)]).is_err());
+    }
+
+    #[test]
+    fn conv_parameter_counts() {
+        // Dense 3x3: 64*64*3*3 = 36864, no bias.
+        assert_eq!(conv2d(64, 64, 3, 1, 1).parameter_count(), 36864);
+        // Biased adds out_channels.
+        assert_eq!(conv2d_biased(64, 64, 3, 1, 1).parameter_count(), 36864 + 64);
+        // Depthwise 3x3 over 64 channels: 64*1*3*3 = 576.
+        assert_eq!(conv2d_depthwise(64, 3, 1, 1).parameter_count(), 576);
+        // Grouped halves the per-filter depth.
+        assert_eq!(conv2d_grouped(64, 64, 3, 1, 1, 2).parameter_count(), 18432);
+    }
+
+    #[test]
+    fn linear_parameter_count_and_shape() {
+        let l = Layer::Linear { in_features: 512, out_features: 1000, bias: true };
+        assert_eq!(l.parameter_count(), 512 * 1000 + 1000);
+        assert_eq!(l.infer_output(&[Shape::Flat(512)]).unwrap(), Shape::Flat(1000));
+        assert!(l.infer_output(&[Shape::Flat(100)]).is_err());
+        assert!(l.infer_output(&[Shape::image(3, 8)]).is_err());
+    }
+
+    #[test]
+    fn batchnorm_preserves_shape_and_counts_params() {
+        let l = Layer::BatchNorm2d { channels: 128 };
+        assert_eq!(l.parameter_count(), 256);
+        let s = Shape::image(128, 14);
+        assert_eq!(l.infer_output(&[s]).unwrap(), s);
+        assert!(l.infer_output(&[Shape::image(64, 14)]).is_err());
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        // ResNet stem maxpool: 3x3 s2 p1, 112 -> 56.
+        let mp = Layer::Pool2d {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (1, 1),
+        };
+        assert_eq!(
+            mp.infer_output(&[Shape::image(64, 112)]).unwrap(),
+            Shape::image(64, 56)
+        );
+        let gap = Layer::AdaptiveAvgPool2d { output: (1, 1) };
+        assert_eq!(
+            gap.infer_output(&[Shape::image(512, 7)]).unwrap(),
+            Shape::image(512, 1)
+        );
+    }
+
+    #[test]
+    fn flatten_linearises() {
+        assert_eq!(
+            Layer::Flatten.infer_output(&[Shape::image(512, 1)]).unwrap(),
+            Shape::Flat(512)
+        );
+        assert_eq!(
+            Layer::Flatten.infer_output(&[Shape::chw(256, 6, 6)]).unwrap(),
+            Shape::Flat(256 * 36)
+        );
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let s = Shape::image(64, 56);
+        assert_eq!(Layer::Add.infer_output(&[s, s]).unwrap(), s);
+        assert!(Layer::Add.infer_output(&[s, Shape::image(64, 28)]).is_err());
+        assert!(Layer::Add.infer_output(&[s]).is_err());
+    }
+
+    #[test]
+    fn mul_broadcasts_se_scale() {
+        let fm = Shape::image(96, 14);
+        let scale = Shape::chw(96, 1, 1);
+        assert_eq!(Layer::Mul.infer_output(&[fm, scale]).unwrap(), fm);
+        assert_eq!(Layer::Mul.infer_output(&[fm, fm]).unwrap(), fm);
+        assert!(Layer::Mul
+            .infer_output(&[fm, Shape::chw(32, 1, 1)])
+            .is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let a = Shape::image(32, 28);
+        let b = Shape::image(64, 28);
+        let c = Shape::image(16, 28);
+        assert_eq!(
+            Layer::Concat.infer_output(&[a, b, c]).unwrap(),
+            Shape::image(112, 28)
+        );
+        assert!(Layer::Concat
+            .infer_output(&[a, Shape::image(64, 14)])
+            .is_err());
+        assert!(Layer::Concat.infer_output(&[a]).is_err());
+    }
+
+    #[test]
+    fn activation_and_dropout_are_shape_transparent() {
+        let s = Shape::chw(10, 3, 5);
+        for l in [Layer::Act(Activation::ReLU), Layer::Act(Activation::HardSwish), Layer::Dropout]
+        {
+            assert_eq!(l.infer_output(&[s]).unwrap(), s);
+            assert_eq!(l.parameter_count(), 0);
+        }
+    }
+
+    #[test]
+    fn transformer_ops_shapes_and_params() {
+        // ViT-B/16 at 224px: 14x14 patches of dim 768.
+        let map = Shape::chw(768, 14, 14);
+        let toks = Layer::ToTokens.infer_output(&[map]).unwrap();
+        assert_eq!(toks, Shape::tokens(196, 768));
+        let ct = Layer::ClassTokenAndPosition { dim: 768, seq: 196 };
+        assert_eq!(ct.infer_output(&[toks]).unwrap(), Shape::tokens(197, 768));
+        assert_eq!(ct.parameter_count(), 768 + 197 * 768);
+        let ln = Layer::TokenLayerNorm { dim: 768 };
+        let seq = Shape::tokens(197, 768);
+        assert_eq!(ln.infer_output(&[seq]).unwrap(), seq);
+        assert_eq!(ln.parameter_count(), 1536);
+        let mhsa = Layer::MultiHeadAttention { dim: 768, heads: 12 };
+        assert_eq!(mhsa.infer_output(&[seq]).unwrap(), seq);
+        // in_proj 768*2304+2304 + out_proj 768*768+768.
+        assert_eq!(mhsa.parameter_count(), 768 * 2304 + 2304 + 768 * 768 + 768);
+        assert!(Layer::MultiHeadAttention { dim: 768, heads: 7 }
+            .infer_output(&[seq])
+            .is_err());
+        let mlp = Layer::TokenLinear { in_features: 768, out_features: 3072, bias: true };
+        assert_eq!(mlp.infer_output(&[seq]).unwrap(), Shape::tokens(197, 3072));
+        assert_eq!(mlp.parameter_count(), 768 * 3072 + 3072);
+        assert_eq!(
+            Layer::TokenSelect.infer_output(&[seq]).unwrap(),
+            Shape::Flat(768)
+        );
+        // Residual adds work on token shapes.
+        assert_eq!(Layer::Add.infer_output(&[seq, seq]).unwrap(), seq);
+    }
+
+    #[test]
+    fn layernorm_and_layerscale_shapes_and_params() {
+        let s = Shape::image(96, 28);
+        let ln = Layer::LayerNorm2d { channels: 96 };
+        assert_eq!(ln.infer_output(&[s]).unwrap(), s);
+        assert_eq!(ln.parameter_count(), 192);
+        assert!(ln.infer_output(&[Shape::image(64, 28)]).is_err());
+        let scale = Layer::LayerScale { channels: 96 };
+        assert_eq!(scale.infer_output(&[s]).unwrap(), s);
+        assert_eq!(scale.parameter_count(), 96);
+        assert!(scale.has_parameters());
+    }
+
+    #[test]
+    fn channel_slice_and_shuffle_shapes() {
+        let s = Shape::image(116, 28);
+        let half = Layer::ChannelSlice { offset: 58, channels: 58 };
+        assert_eq!(half.infer_output(&[s]).unwrap(), Shape::image(58, 28));
+        assert!(Layer::ChannelSlice { offset: 100, channels: 20 }
+            .infer_output(&[s])
+            .is_err());
+        assert!(Layer::ChannelSlice { offset: 0, channels: 0 }
+            .infer_output(&[s])
+            .is_err());
+        let shuffle = Layer::ChannelShuffle { groups: 2 };
+        assert_eq!(shuffle.infer_output(&[s]).unwrap(), s);
+        assert!(Layer::ChannelShuffle { groups: 3 }.infer_output(&[s]).is_err());
+        assert!(shuffle.infer_output(&[Shape::Flat(10)]).is_err());
+        assert_eq!(half.parameter_count(), 0);
+        assert_eq!(shuffle.parameter_count(), 0);
+    }
+
+    #[test]
+    fn is_conv_discriminates() {
+        assert!(conv2d(3, 8, 3, 1, 1).is_conv());
+        assert!(!Layer::Flatten.is_conv());
+        assert!(!Layer::Linear { in_features: 1, out_features: 1, bias: false }.is_conv());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(conv2d(3, 64, 7, 2, 3).to_string(), "Conv2d(3->64, k7x7, s2)");
+        assert_eq!(conv2d_depthwise(32, 3, 1, 1).to_string(), "Conv2d(32->32, k3x3, s1, g32)");
+    }
+}

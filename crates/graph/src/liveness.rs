@@ -1,0 +1,145 @@
+//! Activation liveness analysis: the peak number of tensor elements that
+//! must be resident simultaneously during a forward pass.
+//!
+//! The coarse "largest input+output pair" heuristic under-counts branchy
+//! networks: a residual block keeps its skip tensor alive across the whole
+//! block body, and DenseNet keeps *every* previous feature map alive within
+//! a dense block. This pass walks the topological order, retiring each
+//! tensor after its last consumer, and reports the true peak working set.
+
+use crate::graph::{Graph, GraphError, NodeId};
+
+/// Peak live activation elements (batch size 1) across the forward pass.
+///
+/// At each execution step the working set is: all not-yet-retired outputs
+/// of earlier nodes that still have pending consumers, plus the node's own
+/// output. The graph input is live until its last consumer.
+pub fn peak_activation_elements(graph: &Graph) -> Result<u64, GraphError> {
+    let shapes = graph.infer_shapes()?;
+    let n = graph.len();
+
+    // Last consumer step of every producer (and of the graph input).
+    let mut last_use = vec![0usize; n];
+    let mut input_last_use = 0usize;
+    for (i, node) in graph.nodes().iter().enumerate() {
+        for input in &node.inputs {
+            if *input == NodeId::INPUT {
+                input_last_use = input_last_use.max(i);
+            } else {
+                last_use[input.index()] = last_use[input.index()].max(i);
+            }
+        }
+    }
+    // The final node's output is the result: alive at the end.
+    if n > 0 {
+        last_use[n - 1] = n;
+    }
+
+    let out_elems: Vec<u64> = shapes.iter().map(|s| s.output.elements()).collect();
+    let input_elements = graph.input_shape().elements();
+    let mut live = input_elements;
+    let mut peak = live;
+    for i in 0..n {
+        // The node's output materialises while its inputs are still live.
+        live += out_elems[i];
+        peak = peak.max(live);
+        // Retire tensors whose last consumer was this node.
+        if input_last_use == i {
+            live -= input_elements;
+        }
+        for j in 0..i {
+            if last_use[j] == i {
+                live -= out_elems[j];
+            }
+        }
+        // (The just-produced output retires later, at its own last_use.)
+    }
+    Ok(peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::layer::{conv2d, Activation, Layer};
+    use crate::shape::Shape;
+
+    #[test]
+    fn sequential_peak_is_largest_adjacent_pair() {
+        // input(3*32*32) -> conv(16ch) -> conv(8ch): the working set peaks
+        // while conv2 runs, holding conv1's output and its own:
+        // max(3072+16384, 16384+8192) = 24576.
+        let mut b = GraphBuilder::new("seq", Shape::image(3, 32));
+        b.layer(conv2d(3, 16, 3, 1, 1));
+        b.layer(conv2d(16, 8, 3, 1, 1));
+        let g = b.finish();
+        let peak = peak_activation_elements(&g).unwrap();
+        assert_eq!(peak, 16 * 1024 + 8 * 1024);
+    }
+
+    #[test]
+    fn residual_block_keeps_skip_alive() {
+        // input -> conv -> conv -> add(input): while the convs run, the
+        // graph input must stay alive for the skip.
+        let mut b = GraphBuilder::new("res", Shape::image(8, 16));
+        let entry = b.cursor();
+        b.layer(conv2d(8, 8, 3, 1, 1));
+        b.layer(conv2d(8, 8, 3, 1, 1));
+        b.add_residual(entry);
+        let g = b.finish();
+        let peak = peak_activation_elements(&g).unwrap();
+        let t = 8 * 16 * 16u64;
+        // At the second conv: input (skip) + conv1 out + conv2 out.
+        assert_eq!(peak, 3 * t);
+
+        // Same chain without the residual peaks one tensor lower.
+        let mut b2 = GraphBuilder::new("nores", Shape::image(8, 16));
+        b2.layer(conv2d(8, 8, 3, 1, 1));
+        b2.layer(conv2d(8, 8, 3, 1, 1));
+        let g2 = b2.finish();
+        assert_eq!(peak_activation_elements(&g2).unwrap(), 2 * t);
+    }
+
+    #[test]
+    fn densenet_style_concat_accumulates() {
+        // Three layers each concat their input with a new 4-channel map:
+        // the working set grows with every layer.
+        let mut b = GraphBuilder::new("dense", Shape::image(4, 8));
+        let mut ch = 4;
+        for _ in 0..3 {
+            let entry = b.cursor();
+            let fresh = b.layer(conv2d(ch, 4, 3, 1, 1));
+            b.set_cursor(entry);
+            // Re-point: concat(entry, fresh).
+            b.set_cursor(fresh);
+            b.layer_from(Layer::Concat, vec![entry, fresh]);
+            ch += 4;
+        }
+        let g = b.finish();
+        let peak = peak_activation_elements(&g).unwrap();
+        // Final concat: input to it is 12ch map + 4ch fresh, output 16ch:
+        // 12 + 4 + 16 channels of 64 px = 2048 elements at least.
+        assert!(peak >= 32 * 64, "peak {peak}");
+    }
+
+    #[test]
+    fn activation_layers_do_not_double_count_forever() {
+        let mut b = GraphBuilder::new("acts", Shape::image(8, 8));
+        for _ in 0..6 {
+            b.layer(Layer::Act(Activation::ReLU));
+        }
+        let g = b.finish();
+        // Every ReLU output is retired right after the next one reads it:
+        // peak = input + 2 live activations at most.
+        let t = 8 * 8 * 8u64;
+        assert!(peak_activation_elements(&g).unwrap() <= 3 * t);
+    }
+
+    #[test]
+    fn peak_at_least_final_output() {
+        let mut b = GraphBuilder::new("wide-out", Shape::image(2, 4));
+        b.layer(conv2d(2, 512, 3, 1, 1));
+        let g = b.finish();
+        assert!(peak_activation_elements(&g).unwrap() >= 512 * 16);
+    }
+}

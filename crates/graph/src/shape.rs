@@ -1,0 +1,167 @@
+//! Batch-free tensor shapes.
+//!
+//! The graph tracks shapes without a batch dimension. ConvMeter's metrics
+//! scale linearly in batch size (paper, Section 3), so the batch is supplied
+//! as a multiplier at prediction time instead of being threaded through shape
+//! inference.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A batch-free tensor shape flowing along a graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// A feature map: channels x height x width.
+    Chw {
+        /// Channel count.
+        c: usize,
+        /// Spatial height in pixels.
+        h: usize,
+        /// Spatial width in pixels.
+        w: usize,
+    },
+    /// A flat feature vector of the given length (after `Flatten`).
+    Flat(usize),
+    /// A token sequence (vision transformers): `seq` tokens of `dim`
+    /// features each.
+    Tokens {
+        /// Sequence length (patches + class token).
+        seq: usize,
+        /// Embedding dimension per token.
+        dim: usize,
+    },
+}
+
+impl Shape {
+    /// Convenience constructor for a `C x H x W` feature map.
+    pub const fn chw(c: usize, h: usize, w: usize) -> Self {
+        Shape::Chw { c, h, w }
+    }
+
+    /// Convenience constructor for a square image: `C x S x S`.
+    pub const fn image(c: usize, s: usize) -> Self {
+        Shape::Chw { c, h: s, w: s }
+    }
+
+    /// Convenience constructor for a token sequence.
+    pub const fn tokens(seq: usize, dim: usize) -> Self {
+        Shape::Tokens { seq, dim }
+    }
+
+    /// Total number of elements (per batch item).
+    pub fn elements(&self) -> u64 {
+        match *self {
+            Shape::Chw { c, h, w } => c as u64 * h as u64 * w as u64,
+            Shape::Flat(n) => n as u64,
+            Shape::Tokens { seq, dim } => seq as u64 * dim as u64,
+        }
+    }
+
+    /// Channel count; for a flat vector this is its length, for tokens the
+    /// embedding dimension.
+    pub fn channels(&self) -> usize {
+        match *self {
+            Shape::Chw { c, .. } => c,
+            Shape::Flat(n) => n,
+            Shape::Tokens { dim, .. } => dim,
+        }
+    }
+
+    /// Spatial (height, width); `(1, 1)` for a flat vector, `(seq, 1)` for
+    /// tokens.
+    pub fn spatial(&self) -> (usize, usize) {
+        match *self {
+            Shape::Chw { h, w, .. } => (h, w),
+            Shape::Flat(_) => (1, 1),
+            Shape::Tokens { seq, .. } => (seq, 1),
+        }
+    }
+
+    /// True if this is a spatial feature map.
+    pub fn is_chw(&self) -> bool {
+        matches!(self, Shape::Chw { .. })
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Shape::Chw { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            Shape::Flat(n) => write!(f, "flat({n})"),
+            Shape::Tokens { seq, dim } => write!(f, "tokens({seq}x{dim})"),
+        }
+    }
+}
+
+/// Output spatial size of a convolution/pooling window:
+/// `floor((input + 2*padding - kernel) / stride) + 1`.
+///
+/// Returns `None` when the window does not fit (the layer would be invalid).
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = input + 2 * padding;
+    if padded < kernel || stride == 0 {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_counts_products() {
+        assert_eq!(Shape::chw(3, 224, 224).elements(), 3 * 224 * 224);
+        assert_eq!(Shape::Flat(4096).elements(), 4096);
+        assert_eq!(Shape::image(64, 56).elements(), 64 * 56 * 56);
+    }
+
+    #[test]
+    fn conv_out_dim_standard_cases() {
+        // 3x3 stride 1 pad 1 preserves size.
+        assert_eq!(conv_out_dim(56, 3, 1, 1), Some(56));
+        // 3x3 stride 2 pad 1 halves (rounding up): 56 -> 28, 57 -> 29.
+        assert_eq!(conv_out_dim(56, 3, 2, 1), Some(28));
+        assert_eq!(conv_out_dim(57, 3, 2, 1), Some(29));
+        // 7x7 stride 2 pad 3 (ResNet stem): 224 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), Some(112));
+        // 11x11 stride 4 pad 2 (AlexNet stem): 224 -> 55.
+        assert_eq!(conv_out_dim(224, 11, 4, 2), Some(55));
+        // 1x1 stride 1 pad 0 preserves.
+        assert_eq!(conv_out_dim(14, 1, 1, 0), Some(14));
+    }
+
+    #[test]
+    fn conv_out_dim_rejects_too_small_inputs() {
+        assert_eq!(conv_out_dim(2, 7, 2, 0), None);
+        assert_eq!(conv_out_dim(10, 3, 0, 1), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::chw(3, 32, 32).to_string(), "3x32x32");
+        assert_eq!(Shape::Flat(10).to_string(), "flat(10)");
+        assert_eq!(Shape::tokens(197, 768).to_string(), "tokens(197x768)");
+    }
+
+    #[test]
+    fn token_accessors() {
+        let t = Shape::tokens(197, 768);
+        assert_eq!(t.elements(), 197 * 768);
+        assert_eq!(t.channels(), 768);
+        assert_eq!(t.spatial(), (197, 1));
+        assert!(!t.is_chw());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Shape::chw(16, 8, 4);
+        assert_eq!(s.channels(), 16);
+        assert_eq!(s.spatial(), (8, 4));
+        assert!(s.is_chw());
+        let f = Shape::Flat(100);
+        assert_eq!(f.channels(), 100);
+        assert_eq!(f.spatial(), (1, 1));
+        assert!(!f.is_chw());
+    }
+}

@@ -1,0 +1,322 @@
+//! Graph transformations.
+//!
+//! Two rewrites that matter for runtime prediction:
+//!
+//! * [`fold_batch_norm`] — inference frameworks fold `BatchNorm` into the
+//!   preceding convolution (the scale/shift becomes part of the conv
+//!   weights and a bias). The folded graph has fewer nodes and slightly
+//!   fewer FLOPs; predicting against a deployment runtime that folds BN is
+//!   more faithful with the folded graph.
+//! * [`scale_width`] — multiply every channel dimension by a width factor
+//!   (rounded to a multiple of 8), the classic width-multiplier axis of
+//!   MobileNet/EfficientNet design spaces. Useful for NAS-style sweeps over
+//!   an existing architecture.
+
+use crate::graph::{Graph, NodeId};
+use crate::layer::Layer;
+
+/// Fold every `BatchNorm2d` that directly follows a `Conv2d` into that
+/// convolution (the conv gains a bias; the BN node disappears). BN nodes
+/// not fed by a conv are kept. Block spans are dropped (node indices shift);
+/// use this on graphs headed for whole-model prediction.
+pub fn fold_batch_norm(graph: &Graph) -> Graph {
+    let mut out = Graph::new(format!("{}-bnfolded", graph.name()), graph.input_shape());
+    // Map from old node id -> new node id (for surviving nodes).
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    // Count consumers per node so we only fold BNs whose conv has a single
+    // consumer (the BN itself); a conv also feeding a skip edge cannot
+    // absorb the BN.
+    let mut consumers = vec![0usize; graph.len()];
+    for node in graph.nodes() {
+        for input in &node.inputs {
+            if *input != NodeId::INPUT {
+                consumers[input.index()] += 1;
+            }
+        }
+    }
+
+    for (i, node) in graph.nodes().iter().enumerate() {
+        // Is this a BN directly after a conv that only feeds this BN?
+        if let Layer::BatchNorm2d { .. } = node.layer {
+            if node.inputs.len() == 1 && node.inputs[0] != NodeId::INPUT {
+                let src = node.inputs[0].index();
+                if consumers[src] == 1 {
+                    if let Layer::Conv2d { .. } = graph.nodes()[src].layer {
+                        // Alias the BN to the (biased) conv.
+                        remap[i] = remap[src];
+                        continue;
+                    }
+                }
+            }
+        }
+        // Rewrite inputs through the map.
+        let inputs: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .map(|id| {
+                if *id == NodeId::INPUT {
+                    NodeId::INPUT
+                } else {
+                    remap[id.index()].expect("topological order guarantees mapping")
+                }
+            })
+            .collect();
+        // A conv followed by a foldable BN gains a bias vector.
+        let layer = match &node.layer {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
+                let feeds_foldable_bn = graph.nodes().iter().enumerate().any(|(j, n)| {
+                    matches!(n.layer, Layer::BatchNorm2d { .. })
+                        && n.inputs.len() == 1
+                        && n.inputs[0] == NodeId(i as u32)
+                        && consumers[i] == 1
+                        && j > i
+                });
+                Layer::Conv2d {
+                    in_channels: *in_channels,
+                    out_channels: *out_channels,
+                    kernel: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                    groups: *groups,
+                    bias: node.layer.parameter_count() > 0 && feeds_foldable_bn
+                        || matches!(node.layer, Layer::Conv2d { bias: true, .. }),
+                }
+            }
+            other => other.clone(),
+        };
+        let id = out.push(layer, inputs, node.name.clone());
+        remap[i] = Some(id);
+    }
+    out
+}
+
+/// Round to the nearest multiple of `div`, minimum `div`.
+fn round_channels(c: usize, factor: f64, div: usize) -> usize {
+    (((c as f64 * factor / div as f64).round() as usize) * div).max(div)
+}
+
+/// Scale every channel dimension of the graph by `factor` (channels rounded
+/// to multiples of 8). The input's channel count and final `Linear` output
+/// (class count) are preserved; `Linear` inputs and intermediate features
+/// scale. Fails (returns `None`) on graphs whose concat arithmetic cannot
+/// be consistently rescaled node-locally.
+pub fn scale_width(graph: &Graph, factor: f64) -> Option<Graph> {
+    assert!(factor > 0.0);
+    let shapes = graph.infer_shapes().ok()?;
+    let mut out = Graph::new(
+        format!("{}-w{factor:.2}", graph.name()),
+        graph.input_shape(),
+    );
+    // New channel count of each node's output.
+    let mut new_ch: Vec<usize> = Vec::with_capacity(graph.len());
+    let ch_of = |id: &NodeId, new_ch: &[usize], graph: &Graph| -> usize {
+        if *id == NodeId::INPUT {
+            graph.input_shape().channels()
+        } else {
+            new_ch[id.index()]
+        }
+    };
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let in_ch_new = ch_of(&node.inputs[0], &new_ch, graph);
+        let (layer, out_c) = match &node.layer {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                bias,
+            } => {
+                let new_out = round_channels(*out_channels, factor, 8);
+                let new_groups = if *groups == *in_channels && *groups == *out_channels {
+                    // Depthwise: groups follow channels.
+                    in_ch_new
+                } else if *groups > 1 {
+                    // Grouped: keep the group count if it divides, else fall
+                    // back to 1.
+                    if in_ch_new % groups == 0 && new_out.is_multiple_of(*groups) {
+                        *groups
+                    } else {
+                        1
+                    }
+                } else {
+                    1
+                };
+                let new_out = if *groups == *in_channels && *groups == *out_channels {
+                    in_ch_new // depthwise keeps channel count
+                } else {
+                    new_out
+                };
+                (
+                    Layer::Conv2d {
+                        in_channels: in_ch_new,
+                        out_channels: new_out,
+                        kernel: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                        groups: new_groups,
+                        bias: *bias,
+                    },
+                    new_out,
+                )
+            }
+            Layer::BatchNorm2d { .. } => (Layer::BatchNorm2d { channels: in_ch_new }, in_ch_new),
+            Layer::Linear { out_features, bias, .. } => {
+                // Feature count follows the (scaled) upstream flatten.
+                (
+                    Layer::Linear {
+                        in_features: in_ch_new,
+                        out_features: *out_features,
+                        bias: *bias,
+                    },
+                    *out_features,
+                )
+            }
+            Layer::Concat => {
+                let total: usize = node
+                    .inputs
+                    .iter()
+                    .map(|id| ch_of(id, &new_ch, graph))
+                    .sum();
+                (Layer::Concat, total)
+            }
+            Layer::Flatten => {
+                // Elements = channels * spatial of the (scaled) input; the
+                // spatial size is unchanged by width scaling.
+                let (h, w) = shapes[i].inputs[0].spatial();
+                (Layer::Flatten, in_ch_new * h * w)
+            }
+            other => (other.clone(), in_ch_new),
+        };
+        new_ch.push(out_c);
+        out.push(layer, node.inputs.clone(), node.name.clone());
+    }
+    // Validate: shape inference must succeed on the result.
+    out.infer_shapes().ok()?;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::layer::Activation;
+    use crate::shape::Shape;
+
+    fn conv_bn_net() -> Graph {
+        let mut b = GraphBuilder::new("net", Shape::image(3, 32));
+        b.conv_bn_act(3, 16, 3, 1, 1, Activation::ReLU);
+        b.conv_bn_act(16, 32, 3, 2, 1, Activation::ReLU);
+        b.classifier(32, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn bn_folding_removes_bn_and_adds_bias() {
+        let g = conv_bn_net();
+        let folded = fold_batch_norm(&g);
+        assert_eq!(folded.len(), g.len() - 2, "two BNs folded away");
+        folded.infer_shapes().unwrap();
+        // Convs are now biased.
+        let biased = folded
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Conv2d { bias: true, .. }))
+            .count();
+        assert_eq!(biased, 2);
+        // Parameter count drops by one BN's worth per fold (scale+shift 2C
+        // becomes a bias C).
+        assert_eq!(
+            folded.parameter_count(),
+            g.parameter_count() - 16 - 32
+        );
+        assert_eq!(folded.output_shape().unwrap(), g.output_shape().unwrap());
+    }
+
+    #[test]
+    fn bn_folding_skips_shared_conv_outputs() {
+        // conv output feeds both a BN and a residual add: cannot fold.
+        let mut b = GraphBuilder::new("skip", Shape::image(8, 16));
+        let c = b.layer(crate::layer::conv2d(8, 8, 3, 1, 1));
+        b.layer(Layer::BatchNorm2d { channels: 8 });
+        b.add_residual(c);
+        let g = b.finish();
+        let folded = fold_batch_norm(&g);
+        assert_eq!(folded.len(), g.len(), "shared conv must keep its BN");
+    }
+
+    #[test]
+    fn bn_folding_preserves_residual_networks() {
+        let g = crate::builder::GraphBuilder::new("res", Shape::image(16, 8));
+        let mut b = g;
+        let entry = b.cursor();
+        b.conv_bn_act(16, 16, 3, 1, 1, Activation::ReLU);
+        b.conv_bn(16, 16, 3, 1, 1);
+        b.add_residual(entry);
+        let g = b.finish();
+        let folded = fold_batch_norm(&g);
+        folded.infer_shapes().unwrap();
+        assert_eq!(folded.output_shape().unwrap(), g.output_shape().unwrap());
+        assert!(folded.len() < g.len());
+    }
+
+    #[test]
+    fn width_scaling_doubles_channels() {
+        let g = conv_bn_net();
+        let wide = scale_width(&g, 2.0).unwrap();
+        wide.infer_shapes().unwrap();
+        // First conv now 3 -> 32.
+        match wide.nodes()[0].layer {
+            Layer::Conv2d { out_channels, .. } => assert_eq!(out_channels, 32),
+            ref l => panic!("unexpected {l:?}"),
+        }
+        // Classifier still emits 10 classes.
+        assert_eq!(wide.output_shape().unwrap(), Shape::Flat(10));
+        // Roughly 4x the parameters in conv layers.
+        assert!(wide.parameter_count() > 3 * g.parameter_count());
+    }
+
+    #[test]
+    fn width_scaling_half_shrinks() {
+        let g = conv_bn_net();
+        let slim = scale_width(&g, 0.5).unwrap();
+        slim.infer_shapes().unwrap();
+        assert!(slim.parameter_count() < g.parameter_count());
+        assert_eq!(slim.output_shape().unwrap(), Shape::Flat(10));
+    }
+
+    #[test]
+    fn width_scaling_handles_depthwise() {
+        let mut b = GraphBuilder::new("dw", Shape::image(3, 32));
+        b.conv_bn_act(3, 16, 3, 2, 1, Activation::ReLU6);
+        b.depthwise_bn_act(16, 3, 1, 1, Activation::ReLU6);
+        b.conv_bn(16, 24, 1, 1, 0);
+        b.classifier(24, 10);
+        let g = b.finish();
+        let wide = scale_width(&g, 2.0).unwrap();
+        wide.infer_shapes().unwrap();
+        // The depthwise conv keeps groups == channels at the new width.
+        let dw = wide
+            .nodes()
+            .iter()
+            .find_map(|n| match n.layer {
+                Layer::Conv2d { groups, in_channels, out_channels, .. } if groups > 1 => {
+                    Some((groups, in_channels, out_channels))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(dw.0, dw.1);
+        assert_eq!(dw.1, dw.2);
+        assert_eq!(dw.0, 32);
+    }
+}

@@ -1,0 +1,207 @@
+//! Device-profile calibration from external measurements.
+//!
+//! To port ConvMeter to hardware this repository has no profile for, a user
+//! supplies real `(model, batch, measured seconds)` observations and a
+//! spec-sheet starting point (peak FLOP/s, bandwidth). [`calibrate`] then
+//! fits the profile's *effectiveness* knobs — sustained compute efficiency,
+//! sustained bandwidth efficiency, per-kernel launch overhead, and fixed
+//! per-call overhead — by cyclic coordinate descent on the mean squared
+//! log-error of the simulator against the observations.
+//!
+//! Log-error is the right objective here for the same reason the noise model
+//! is log-normal: timing residuals are multiplicative.
+
+use crate::device::DeviceProfile;
+use crate::runner::expected_inference_time;
+use convmeter_metrics::ModelMetrics;
+
+/// One calibration observation.
+#[derive(Debug, Clone)]
+pub struct Observation<'a> {
+    /// Static metrics of the measured network.
+    pub metrics: &'a ModelMetrics,
+    /// Batch size of the measurement.
+    pub batch: usize,
+    /// Measured wall time, seconds.
+    pub measured: f64,
+}
+
+/// Calibration outcome.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The fitted profile.
+    pub profile: DeviceProfile,
+    /// Root mean squared log-error before fitting.
+    pub initial_rmsle: f64,
+    /// Root mean squared log-error after fitting.
+    pub final_rmsle: f64,
+    /// Coordinate-descent sweeps performed.
+    pub sweeps: usize,
+}
+
+fn rmsle(profile: &DeviceProfile, obs: &[Observation<'_>]) -> f64 {
+    let sse: f64 = obs
+        .iter()
+        .map(|o| {
+            let predicted = expected_inference_time(profile, o.metrics, o.batch);
+            let e = (o.measured.max(1e-12) / predicted.max(1e-12)).ln();
+            e * e
+        })
+        .sum();
+    (sse / obs.len() as f64).sqrt()
+}
+
+/// Golden-section minimisation of `f` over `[lo, hi]`.
+fn golden_min(mut lo: f64, mut hi: f64, iters: usize, mut f: impl FnMut(f64) -> f64) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - PHI * (hi - lo);
+    let mut x2 = lo + PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..iters {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    if f1 < f2 {
+        x1
+    } else {
+        x2
+    }
+}
+
+/// Calibrate the effectiveness knobs of `base` against `observations`.
+///
+/// # Panics
+/// Panics on an empty observation set.
+pub fn calibrate(base: &DeviceProfile, observations: &[Observation<'_>]) -> Calibration {
+    assert!(!observations.is_empty(), "need at least one observation");
+    let mut profile = base.clone();
+    let initial_rmsle = rmsle(&profile, observations);
+    let sweeps = 4;
+    for _ in 0..sweeps {
+        // Compute efficiency in (0.05, 1.0].
+        profile.compute_efficiency = golden_min(0.05, 1.0, 24, |x| {
+            let mut p = profile.clone();
+            p.compute_efficiency = x;
+            rmsle(&p, observations)
+        });
+        // Memory efficiency in (0.05, 1.0].
+        profile.memory_efficiency = golden_min(0.05, 1.0, 24, |x| {
+            let mut p = profile.clone();
+            p.memory_efficiency = x;
+            rmsle(&p, observations)
+        });
+        // Launch overhead in [0, 20 us].
+        profile.kernel_launch_overhead = golden_min(0.0, 2e-5, 24, |x| {
+            let mut p = profile.clone();
+            p.kernel_launch_overhead = x;
+            rmsle(&p, observations)
+        });
+        // Base overhead in [0, 5 ms].
+        profile.base_overhead = golden_min(0.0, 5e-3, 24, |x| {
+            let mut p = profile.clone();
+            p.base_overhead = x;
+            rmsle(&p, observations)
+        });
+    }
+    let final_rmsle = rmsle(&profile, observations);
+    Calibration { profile, initial_rmsle, final_rmsle, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_models::zoo;
+
+    fn observations_from<'a>(
+        truth: &DeviceProfile,
+        metrics: &'a [ModelMetrics],
+    ) -> Vec<Observation<'a>> {
+        let mut obs = Vec::new();
+        for m in metrics {
+            for batch in [1usize, 8, 64, 256] {
+                obs.push(Observation {
+                    metrics: m,
+                    batch,
+                    measured: expected_inference_time(truth, m, batch),
+                });
+            }
+        }
+        obs
+    }
+
+    fn zoo_metrics() -> Vec<ModelMetrics> {
+        ["resnet18", "resnet50", "mobilenet_v2", "vgg11"]
+            .iter()
+            .map(|n| ModelMetrics::of(&zoo::by_name(n).unwrap().build(128, 1000)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_perturbed_efficiencies() {
+        // Ground truth: an A100 running 30 % less efficiently than the
+        // preset believes, with a heavier launch overhead.
+        let mut truth = DeviceProfile::a100_80gb();
+        truth.compute_efficiency *= 0.7;
+        truth.memory_efficiency *= 0.8;
+        truth.kernel_launch_overhead = 4e-6;
+
+        let metrics = zoo_metrics();
+        let obs = observations_from(&truth, &metrics);
+        let cal = calibrate(&DeviceProfile::a100_80gb(), &obs);
+        assert!(cal.final_rmsle < cal.initial_rmsle);
+        assert!(cal.final_rmsle < 0.05, "residual {}", cal.final_rmsle);
+        // Predictions within ~10 % everywhere.
+        for o in &obs {
+            let p = expected_inference_time(&cal.profile, o.metrics, o.batch);
+            assert!(
+                (p / o.measured - 1.0).abs() < 0.12,
+                "batch {}: {p} vs {}",
+                o.batch,
+                o.measured
+            );
+        }
+    }
+
+    #[test]
+    fn already_correct_profile_stays_good() {
+        let truth = DeviceProfile::a100_80gb();
+        let metrics = zoo_metrics();
+        let obs = observations_from(&truth, &metrics);
+        let cal = calibrate(&truth, &obs);
+        assert!(cal.initial_rmsle < 1e-9);
+        assert!(cal.final_rmsle < 1e-3);
+    }
+
+    #[test]
+    fn calibration_transfers_to_unseen_models() {
+        let mut truth = DeviceProfile::a100_80gb();
+        truth.compute_efficiency *= 0.6;
+        let metrics = zoo_metrics();
+        let obs = observations_from(&truth, &metrics);
+        let cal = calibrate(&DeviceProfile::a100_80gb(), &obs);
+        // Check on a model not in the calibration set.
+        let unseen =
+            ModelMetrics::of(&zoo::by_name("densenet121").unwrap().build(128, 1000)).unwrap();
+        let p = expected_inference_time(&cal.profile, &unseen, 64);
+        let t = expected_inference_time(&truth, &unseen, 64);
+        assert!((p / t - 1.0).abs() < 0.15, "{p} vs {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = calibrate(&DeviceProfile::a100_80gb(), &[]);
+    }
+}

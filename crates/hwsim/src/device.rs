@@ -1,0 +1,167 @@
+//! Device profiles.
+//!
+//! A profile is the complete parameterisation of the simulator for one
+//! processor. The two presets mirror the paper's testbed:
+//! [`DeviceProfile::a100_80gb`] and [`DeviceProfile::xeon_gold_5318y_core`]
+//! (the paper runs CPU inference on a *single core*).
+
+use serde::{Deserialize, Serialize};
+
+/// Processor class; affects kernel-scheduling overhead modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A CPU core (or socket) executing kernels synchronously.
+    Cpu,
+    /// A throughput-oriented accelerator with kernel-launch latency and an
+    /// occupancy ramp.
+    Gpu,
+}
+
+/// Full parameterisation of one simulated processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Peak FP32 throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fraction of peak FLOP/s achievable by well-shaped dense convolutions.
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth achievable by streaming kernels.
+    pub memory_efficiency: f64,
+    /// Fixed cost to launch/dispatch one kernel, seconds.
+    pub kernel_launch_overhead: f64,
+    /// Fixed per-invocation framework overhead, seconds.
+    pub base_overhead: f64,
+    /// Occupancy ramp: FLOPs of work at which a kernel reaches ~50 % of the
+    /// device's sustainable throughput. Small kernels underutilise wide
+    /// devices; 0 disables the ramp.
+    pub occupancy_half_work: f64,
+    /// Fixed per-layer cost of the optimizer step, seconds. Eager frameworks
+    /// walk the parameter list in the host language, paying dispatch and
+    /// kernel-launch costs for every tensor — which is why gradient-update
+    /// time scales with the *layer count*, the structure ConvMeter's
+    /// `c1 * L` model exploits.
+    pub optimizer_layer_overhead: f64,
+    /// Standard deviation of multiplicative log-normal measurement noise.
+    pub noise_sigma: f64,
+    /// Device memory capacity, bytes (for out-of-memory gating in sweeps).
+    pub memory_capacity: u64,
+}
+
+impl DeviceProfile {
+    /// An NVIDIA A100-80GB-class accelerator (SXM): 19.5 TFLOP/s FP32,
+    /// ~2.0 TB/s HBM2e, ~5 µs launch latency, 80 GB.
+    pub fn a100_80gb() -> Self {
+        DeviceProfile {
+            name: "a100-80gb".into(),
+            kind: DeviceKind::Gpu,
+            peak_flops: 19.5e12,
+            mem_bandwidth: 2.0e12,
+            compute_efficiency: 0.62,
+            memory_efficiency: 0.78,
+            kernel_launch_overhead: 5.0e-7,
+            base_overhead: 2.5e-4,
+            // ~0.15 GFLOP of work to reach half throughput: batch-1 layers
+            // on small images run far below peak, as the paper observes.
+            occupancy_half_work: 3.0e7,
+            optimizer_layer_overhead: 2.0e-5,
+            noise_sigma: 0.055,
+            memory_capacity: 80 * (1 << 30),
+        }
+    }
+
+    /// One core of an Intel Xeon Gold 5318Y (Ice Lake, 2.1 GHz base /
+    /// ~3.4 GHz turbo, AVX-512): ~100 GFLOP/s peak FP32, ~18 GB/s effective
+    /// per-core DRAM bandwidth. The paper's CPU runs use a single core.
+    pub fn xeon_gold_5318y_core() -> Self {
+        DeviceProfile {
+            name: "xeon-5318y-core".into(),
+            kind: DeviceKind::Cpu,
+            peak_flops: 1.0e11,
+            mem_bandwidth: 1.8e10,
+            compute_efficiency: 0.45,
+            memory_efficiency: 0.60,
+            // Function-call, not kernel-launch, granularity.
+            kernel_launch_overhead: 2.0e-6,
+            base_overhead: 2.0e-4,
+            // CPUs have no occupancy ramp to speak of.
+            occupancy_half_work: 0.0,
+            optimizer_layer_overhead: 4.0e-6,
+            noise_sigma: 0.045,
+            // 256 GB host RAM.
+            memory_capacity: 256 * (1 << 30),
+        }
+    }
+
+    /// Effective sustained compute throughput for a kernel achieving
+    /// `efficiency_scale` of the device's dense-conv efficiency.
+    pub fn effective_flops(&self, efficiency_scale: f64) -> f64 {
+        self.peak_flops * self.compute_efficiency * efficiency_scale
+    }
+
+    /// Effective sustained memory bandwidth.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.mem_bandwidth * self.memory_efficiency
+    }
+
+    /// Occupancy factor in (0, 1] for a kernel of `work` FLOPs: the fraction
+    /// of sustainable throughput the device actually reaches.
+    pub fn occupancy(&self, work: f64) -> f64 {
+        if self.occupancy_half_work <= 0.0 {
+            return 1.0;
+        }
+        // Even a one-thread kernel retires some work per cycle: floor the
+        // occupancy so tiny kernels are bounded by launch overhead instead
+        // of arbitrarily slow arithmetic.
+        (work / (work + self.occupancy_half_work)).max(0.4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let gpu = DeviceProfile::a100_80gb();
+        let cpu = DeviceProfile::xeon_gold_5318y_core();
+        assert!(gpu.peak_flops > 100.0 * cpu.peak_flops);
+        assert!(gpu.mem_bandwidth > 50.0 * cpu.mem_bandwidth);
+        assert_eq!(gpu.kind, DeviceKind::Gpu);
+        assert_eq!(cpu.kind, DeviceKind::Cpu);
+        assert!(gpu.memory_capacity < cpu.memory_capacity);
+    }
+
+    #[test]
+    fn occupancy_ramps_with_work() {
+        let gpu = DeviceProfile::a100_80gb();
+        let small = gpu.occupancy(1e6);
+        let big = gpu.occupancy(1e12);
+        // Tiny kernels hit the floor; huge kernels saturate.
+        assert_eq!(small, 0.4, "tiny kernels should hit the occupancy floor");
+        assert!(big > 0.99, "huge kernels should saturate: {big}");
+        // Half work reaches exactly 50 % (above the floor).
+        let half = gpu.occupancy(gpu.occupancy_half_work);
+        assert!((half - 0.5).abs() < 1e-12);
+        // Monotone in between.
+        assert!(gpu.occupancy(1e8) > gpu.occupancy(5e7));
+    }
+
+    #[test]
+    fn cpu_has_no_ramp() {
+        let cpu = DeviceProfile::xeon_gold_5318y_core();
+        assert_eq!(cpu.occupancy(1.0), 1.0);
+        assert_eq!(cpu.occupancy(1e15), 1.0);
+    }
+
+    #[test]
+    fn effective_rates_below_peak() {
+        let gpu = DeviceProfile::a100_80gb();
+        assert!(gpu.effective_flops(1.0) < gpu.peak_flops);
+        assert!(gpu.effective_bandwidth() < gpu.mem_bandwidth);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-kernel cost model: the roofline core of the simulator.
+//!
+//! Each graph node becomes one (or, in the backward pass, two) kernels. A
+//! kernel's time is `max(compute, memory)` at effective rates, divided by an
+//! occupancy factor for small workloads, plus a launch overhead. These are
+//! the nonlinearities the linear performance model has to average over.
+
+use crate::device::DeviceProfile;
+use convmeter_metrics::LayerCost;
+
+const BYTES: f64 = 4.0;
+
+/// Compute-efficiency scale of a kernel relative to a well-shaped dense
+/// convolution. MAC-structured kernels (conv/linear) run at full conv
+/// efficiency; element-wise kernels achieve less of the ALUs but are memory
+/// bound regardless.
+fn efficiency_scale(cost: &LayerCost) -> f64 {
+    if cost.macs > 0 {
+        1.0
+    } else {
+        0.5
+    }
+}
+
+/// Roofline time for a kernel of `flops` and `bytes`, including occupancy
+/// ramp and launch overhead.
+fn kernel_time(device: &DeviceProfile, flops: f64, bytes: f64, eff_scale: f64) -> f64 {
+    let occ = device.occupancy(flops.max(bytes));
+    let compute = if flops > 0.0 {
+        flops / (device.effective_flops(eff_scale) * occ)
+    } else {
+        0.0
+    };
+    let memory = bytes / (device.effective_bandwidth() * occ.max(0.5));
+    compute.max(memory) + device.kernel_launch_overhead
+}
+
+/// Forward-pass (= inference) time of one layer at the given batch size.
+///
+/// Shape-only nodes (flatten, dropout) cost nothing: frameworks fold them
+/// into neighbouring kernels.
+pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize) -> f64 {
+    let b = batch as f64;
+    if cost.is_view {
+        return 0.0;
+    }
+    if cost.flops == 0 {
+        // Pure data movement (concat): copy in + out.
+        let bytes = (cost.input_elements + cost.output_elements) as f64 * b * BYTES;
+        return kernel_time(device, 0.0, bytes, 1.0);
+    }
+    let flops = cost.flops as f64 * b;
+    let bytes =
+        ((cost.input_elements + cost.output_elements) as f64 * b + cost.param_elements as f64)
+            * BYTES;
+    kernel_time(device, flops, bytes, efficiency_scale(cost))
+}
+
+/// Backward-pass time of one layer at the given batch size.
+///
+/// Parameterised layers run two kernels (input gradient and weight
+/// gradient), roughly doubling the forward FLOPs; activation gradients also
+/// re-read the stored forward activations.
+pub fn backward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize) -> f64 {
+    let b = batch as f64;
+    if cost.is_view {
+        return 0.0;
+    }
+    let eff = efficiency_scale(cost);
+    let flops_scale = if cost.is_trainable { 2.0 } else { 1.0 };
+    let flops = cost.flops as f64 * b * flops_scale;
+    // Read upstream gradient + saved activations, write input gradient and
+    // (for trainable layers) the weight gradient.
+    let bytes = ((2.0 * cost.input_elements as f64 + cost.output_elements as f64) * b
+        + 2.0 * cost.param_elements as f64)
+        * BYTES;
+    let t = kernel_time(device, flops, bytes, eff);
+    if cost.is_trainable {
+        // Second kernel launch for the weight-gradient pass.
+        t + device.kernel_launch_overhead
+    } else {
+        t
+    }
+}
+
+/// Optimizer (Adam) update time for one *trainable* layer: one kernel per
+/// layer (the granularity at which Horovod synchronises), streaming the
+/// weights, gradients, and both moment tensors.
+pub fn optimizer_layer_time(device: &DeviceProfile, cost: &LayerCost) -> f64 {
+    if !cost.is_trainable {
+        return 0.0;
+    }
+    let params = cost.param_elements as f64;
+    // Adam: ~10 FLOPs/param; traffic: read w,g,m,v + write w,m,v. The
+    // per-layer host-side dispatch overhead dominates for all but the
+    // largest tensors.
+    let flops = 10.0 * params;
+    let bytes = 7.0 * params * BYTES;
+    kernel_time(device, flops, bytes, 0.75) + device.optimizer_layer_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_graph::layer::{conv2d, conv2d_depthwise, Layer};
+    use convmeter_graph::Shape;
+
+    fn cost_of(layer: &Layer, input: Shape) -> LayerCost {
+        let out = layer.infer_output(&[input]).unwrap();
+        LayerCost::of(layer, &[input], out)
+    }
+
+    fn gpu() -> DeviceProfile {
+        DeviceProfile::a100_80gb()
+    }
+
+    #[test]
+    fn forward_time_scales_superlinearly_then_linearly_with_batch() {
+        // At tiny batches the occupancy ramp makes per-item time shrink as
+        // batch grows; at large batches time is ~linear in batch.
+        let c = cost_of(&conv2d(64, 128, 3, 1, 1), Shape::image(64, 56));
+        let d = gpu();
+        let t1 = forward_layer_time(&d, &c, 1);
+        let t8 = forward_layer_time(&d, &c, 8);
+        let t256 = forward_layer_time(&d, &c, 256);
+        let t512 = forward_layer_time(&d, &c, 512);
+        assert!(t8 < 8.0 * t1, "ramp should make batching sublinear: {t8} vs {t1}");
+        let ratio = t512 / t256;
+        assert!((ratio - 2.0).abs() < 0.1, "large-batch scaling ~linear: {ratio}");
+    }
+
+    #[test]
+    fn depthwise_conv_is_memory_bound() {
+        let d = gpu();
+        let dw = cost_of(&conv2d_depthwise(256, 3, 1, 1), Shape::image(256, 56));
+        // Memory time exceeds compute time for a depthwise conv at batch 64.
+        let b = 64.0;
+        let flops = dw.flops as f64 * b;
+        let bytes = ((dw.input_elements + dw.output_elements) as f64 * b
+            + dw.param_elements as f64)
+            * 4.0;
+        let compute = flops / d.effective_flops(1.0);
+        let memory = bytes / d.effective_bandwidth();
+        assert!(memory > compute, "depthwise should be memory-bound");
+    }
+
+    #[test]
+    fn dense_conv_is_compute_bound_at_scale() {
+        let d = gpu();
+        let c = cost_of(&conv2d(256, 256, 3, 1, 1), Shape::image(256, 56));
+        let b = 64.0;
+        let flops = c.flops as f64 * b;
+        let bytes =
+            ((c.input_elements + c.output_elements) as f64 * b + c.param_elements as f64) * 4.0;
+        let compute = flops / d.effective_flops(1.0);
+        let memory = bytes / d.effective_bandwidth();
+        assert!(compute > memory, "dense 3x3 should be compute-bound");
+    }
+
+    #[test]
+    fn backward_slower_than_forward() {
+        let d = gpu();
+        let c = cost_of(&conv2d(64, 128, 3, 1, 1), Shape::image(64, 56));
+        for batch in [1, 16, 256] {
+            assert!(
+                backward_layer_time(&d, &c, batch) > forward_layer_time(&d, &c, batch),
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_time_zero_for_nonparametric() {
+        let d = gpu();
+        let relu = cost_of(
+            &Layer::Act(convmeter_graph::Activation::ReLU),
+            Shape::image(64, 56),
+        );
+        assert_eq!(optimizer_layer_time(&d, &relu), 0.0);
+        let conv = cost_of(&conv2d(64, 64, 3, 1, 1), Shape::image(64, 56));
+        assert!(optimizer_layer_time(&d, &conv) > 0.0);
+    }
+
+    #[test]
+    fn optimizer_time_batch_independent_and_scales_with_params() {
+        let d = gpu();
+        let small = cost_of(&conv2d(16, 16, 3, 1, 1), Shape::image(16, 28));
+        let big = cost_of(&conv2d(256, 256, 3, 1, 1), Shape::image(256, 28));
+        assert!(optimizer_layer_time(&d, &big) > optimizer_layer_time(&d, &small));
+    }
+
+    #[test]
+    fn shape_only_nodes_are_free() {
+        let d = gpu();
+        let flat = cost_of(&Layer::Flatten, Shape::image(512, 1));
+        assert_eq!(forward_layer_time(&d, &flat, 64), 0.0);
+        assert_eq!(backward_layer_time(&d, &flat, 64), 0.0);
+    }
+
+    #[test]
+    fn cpu_slower_than_gpu() {
+        let cpu = DeviceProfile::xeon_gold_5318y_core();
+        let c = cost_of(&conv2d(64, 128, 3, 1, 1), Shape::image(64, 56));
+        assert!(forward_layer_time(&cpu, &c, 32) > 20.0 * forward_layer_time(&gpu(), &c, 32));
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic measurement noise.
+//!
+//! Real benchmark measurements jitter: clock scaling, scheduling, cache
+//! state. The simulator applies multiplicative log-normal noise — a standard
+//! model for timing jitter — deterministically seeded so every experiment in
+//! the repository is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded noise source producing multiplicative log-normal factors.
+#[derive(Debug)]
+pub struct NoiseModel {
+    rng: StdRng,
+    sigma: f64,
+}
+
+impl NoiseModel {
+    /// Create a noise model with log-std-dev `sigma`, seeded deterministically.
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        Self { rng: StdRng::seed_from_u64(seed), sigma }
+    }
+
+    /// A noiseless model (sigma = 0) for expectation queries.
+    pub fn disabled() -> Self {
+        Self::new(0, 0.0)
+    }
+
+    /// Draw a standard normal variate (Box–Muller).
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Multiplicative jitter factor: `exp(sigma * N(0,1))`, median 1.
+    pub fn factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        (self.sigma * self.standard_normal()).exp()
+    }
+
+    /// Apply jitter to a time value.
+    pub fn jitter(&mut self, t: f64) -> f64 {
+        t * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = NoiseModel::new(42, 0.1);
+        let mut b = NoiseModel::new(42, 0.1);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(1, 0.1);
+        let mut b = NoiseModel::new(2, 0.1);
+        let same = (0..50).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut n = NoiseModel::disabled();
+        for t in [0.0, 1.0, 123.456] {
+            assert_eq!(n.jitter(t), t);
+        }
+    }
+
+    #[test]
+    fn factors_center_near_one() {
+        let mut n = NoiseModel::new(7, 0.05);
+        let samples: Vec<f64> = (0..5000).map(|_| n.factor()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(samples.iter().all(|&f| f > 0.0));
+        // Spread matches sigma roughly: ~68 % within exp(±sigma).
+        let within = samples
+            .iter()
+            .filter(|&&f| f > (-0.05f64).exp() && f < 0.05f64.exp())
+            .count();
+        let frac = within as f64 / samples.len() as f64;
+        assert!((frac - 0.68).abs() < 0.05, "frac {frac}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Numeric-precision modes.
+//!
+//! The paper benchmarks FP32 PyTorch, but an A100 offers TF32 and FP16
+//! tensor-core paths that downstream users of a runtime predictor care
+//! about. A precision mode derives a new [`DeviceProfile`] rather than
+//! threading a flag through the kernel model:
+//!
+//! * **TF32** raises matrix-math throughput (8x on A100: 156 vs
+//!   19.5 TFLOP/s) at unchanged tensor sizes,
+//! * **FP16/AMP** raises throughput further (16x peak) *and* halves every
+//!   tensor byte, which we fold into doubled effective bandwidth and
+//!   doubled usable capacity.
+//!
+//! Since the derived profile is still just a `DeviceProfile`, every sweep,
+//! fit, and prediction works unchanged — one ConvMeter model per
+//! (device, precision) pair, exactly as the paper fits one per device.
+
+use crate::device::{DeviceKind, DeviceProfile};
+use serde::{Deserialize, Serialize};
+
+/// Numeric execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE FP32 (the paper's setting).
+    Fp32,
+    /// TF32 tensor-core matmuls (A100 default for `torch.backends` opt-in).
+    Tf32,
+    /// FP16/BF16 mixed precision.
+    Fp16,
+}
+
+impl Precision {
+    /// Multiplier on peak arithmetic throughput (A100-class ratios).
+    pub fn compute_scale(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Tf32 => 8.0,
+            Precision::Fp16 => 16.0,
+        }
+    }
+
+    /// Multiplier on effective bandwidth/capacity from smaller elements.
+    pub fn storage_scale(self) -> f64 {
+        match self {
+            Precision::Fp32 | Precision::Tf32 => 1.0,
+            Precision::Fp16 => 2.0,
+        }
+    }
+}
+
+impl DeviceProfile {
+    /// Derive the profile for running in `precision`. Only meaningful for
+    /// GPUs; CPU profiles are returned unchanged (scalar FP32 pipelines).
+    pub fn with_precision(&self, precision: Precision) -> DeviceProfile {
+        if self.kind != DeviceKind::Gpu {
+            return self.clone();
+        }
+        let mut p = self.clone();
+        p.name = format!("{}-{}", self.name, match precision {
+            Precision::Fp32 => "fp32",
+            Precision::Tf32 => "tf32",
+            Precision::Fp16 => "fp16",
+        });
+        p.peak_flops *= precision.compute_scale();
+        p.mem_bandwidth *= precision.storage_scale();
+        p.memory_capacity =
+            (p.memory_capacity as f64 * precision.storage_scale()) as u64;
+        // Tensor-core kernels are harder to keep fed: sustained efficiency
+        // drops as peak rises.
+        p.compute_efficiency *= match precision {
+            Precision::Fp32 => 1.0,
+            Precision::Tf32 => 0.75,
+            Precision::Fp16 => 0.65,
+        };
+        // More throughput means small kernels underutilise even harder.
+        p.occupancy_half_work *= precision.compute_scale().sqrt();
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::expected_inference_time;
+    use convmeter_metrics::ModelMetrics;
+    use convmeter_models::zoo;
+
+    fn r50() -> ModelMetrics {
+        ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(224, 1000)).unwrap()
+    }
+
+    #[test]
+    fn faster_precisions_are_faster_at_scale() {
+        let base = DeviceProfile::a100_80gb();
+        let m = r50();
+        let fp32 = expected_inference_time(&base.with_precision(Precision::Fp32), &m, 256);
+        let tf32 = expected_inference_time(&base.with_precision(Precision::Tf32), &m, 256);
+        let fp16 = expected_inference_time(&base.with_precision(Precision::Fp16), &m, 256);
+        assert!(tf32 < fp32 * 0.5, "tf32 {tf32} vs fp32 {fp32}");
+        assert!(fp16 < tf32, "fp16 {fp16} vs tf32 {tf32}");
+    }
+
+    #[test]
+    fn speedup_shrinks_at_small_batch() {
+        // Launch overheads and occupancy dominate at batch 1: the tensor
+        // cores barely help — the real-world behaviour users see.
+        let base = DeviceProfile::a100_80gb();
+        let m = r50();
+        let ratio = |batch: usize| {
+            expected_inference_time(&base, &m, batch)
+                / expected_inference_time(&base.with_precision(Precision::Tf32), &m, batch)
+        };
+        let (small, large) = (ratio(1), ratio(256));
+        assert!(
+            large > 1.2 * small,
+            "large-batch speedup {large:.2} must exceed small-batch {small:.2}"
+        );
+    }
+
+    #[test]
+    fn fp16_doubles_capacity() {
+        let base = DeviceProfile::a100_80gb();
+        let fp16 = base.with_precision(Precision::Fp16);
+        assert_eq!(fp16.memory_capacity, 2 * base.memory_capacity);
+        assert_eq!(
+            base.with_precision(Precision::Tf32).memory_capacity,
+            base.memory_capacity
+        );
+    }
+
+    #[test]
+    fn cpu_profiles_are_unchanged() {
+        let cpu = DeviceProfile::xeon_gold_5318y_core();
+        let derived = cpu.with_precision(Precision::Fp16);
+        assert_eq!(cpu, derived);
+    }
+
+    #[test]
+    fn fp32_mode_only_renames() {
+        let base = DeviceProfile::a100_80gb();
+        let same = base.with_precision(Precision::Fp32);
+        assert_eq!(same.peak_flops, base.peak_flops);
+        assert_eq!(same.mem_bandwidth, base.mem_bandwidth);
+        assert!(same.name.ends_with("fp32"));
+    }
+
+    #[test]
+    fn convmeter_fits_each_precision_separately() {
+        // A performance model fitted on FP32 data must not be applied to a
+        // TF32 device — refit with the same pipeline instead (the paper's
+        // per-platform coefficients argument).
+        use crate::sweep::{inference_sweep, SweepConfig};
+        let base = DeviceProfile::a100_80gb();
+        let tf32 = base.with_precision(Precision::Tf32);
+        let cfg = SweepConfig::quick();
+        let fp32_times: f64 = inference_sweep(&base, &cfg).iter().map(|s| s.time_s).sum();
+        let tf32_times: f64 = inference_sweep(&tf32, &cfg).iter().map(|s| s.time_s).sum();
+        assert!(tf32_times < fp32_times);
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-level inference "measurement".
+
+use crate::device::DeviceProfile;
+use crate::kernel::forward_layer_time;
+use crate::noise::NoiseModel;
+use convmeter_metrics::ModelMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One measured inference data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceSample {
+    /// Model name.
+    pub model: String,
+    /// Square image size in pixels.
+    pub image_size: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Measured (simulated) wall time, seconds.
+    pub time_s: f64,
+}
+
+/// Noise-free expected inference time: the simulator's ground truth, before
+/// measurement jitter. Sums per-kernel roofline times plus the framework's
+/// fixed dispatch overhead.
+pub fn expected_inference_time(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    batch: usize,
+) -> f64 {
+    let kernels: f64 = metrics
+        .per_node
+        .iter()
+        .map(|c| forward_layer_time(device, c, batch))
+        .sum();
+    kernels + device.base_overhead
+}
+
+/// A noisy "measurement" of inference time, as a real benchmark would record.
+pub fn measure_inference(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    batch: usize,
+    noise: &mut NoiseModel,
+) -> f64 {
+    noise.jitter(expected_inference_time(device, metrics, batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_models::zoo::by_name;
+
+    fn metrics(name: &str, size: usize) -> ModelMetrics {
+        ModelMetrics::of(&by_name(name).unwrap().build(size, 1000)).unwrap()
+    }
+
+    #[test]
+    fn resnet50_a100_batch1_in_realistic_range() {
+        // Real A100 measurements put ResNet-50 batch-1 FP32 inference at
+        // roughly 1-10 ms. The simulator should land in that decade.
+        let t = expected_inference_time(
+            &DeviceProfile::a100_80gb(),
+            &metrics("resnet50", 224),
+            1,
+        );
+        assert!(t > 5e-4 && t < 2e-2, "got {t} s");
+    }
+
+    #[test]
+    fn resnet50_cpu_core_much_slower() {
+        let gpu = expected_inference_time(
+            &DeviceProfile::a100_80gb(),
+            &metrics("resnet50", 224),
+            1,
+        );
+        let cpu = expected_inference_time(
+            &DeviceProfile::xeon_gold_5318y_core(),
+            &metrics("resnet50", 224),
+            1,
+        );
+        assert!(cpu > 20.0 * gpu, "cpu {cpu} vs gpu {gpu}");
+        // Single Xeon core: hundreds of ms.
+        assert!(cpu > 0.05 && cpu < 5.0, "cpu {cpu}");
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let d = DeviceProfile::a100_80gb();
+        let small = expected_inference_time(&d, &metrics("squeezenet1_0", 224), 64);
+        let big = expected_inference_time(&d, &metrics("vgg16", 224), 64);
+        assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    fn alexnet_fast_despite_many_params() {
+        // The paper: "some models, such as AlexNet, have a significantly
+        // lower execution time despite the image and batch size due to their
+        // lower computational complexity."
+        let d = DeviceProfile::a100_80gb();
+        let alex = expected_inference_time(&d, &metrics("alexnet", 224), 128);
+        let r50 = expected_inference_time(&d, &metrics("resnet50", 224), 128);
+        assert!(alex < r50);
+    }
+
+    #[test]
+    fn batch_and_image_scaling_monotonic() {
+        let d = DeviceProfile::a100_80gb();
+        let m = metrics("resnet18", 224);
+        let mut last = 0.0;
+        for b in [1, 4, 16, 64, 256] {
+            let t = expected_inference_time(&d, &m, b);
+            assert!(t > last);
+            last = t;
+        }
+        let small_img = expected_inference_time(&d, &metrics("resnet18", 64), 32);
+        let big_img = expected_inference_time(&d, &metrics("resnet18", 224), 32);
+        assert!(big_img > small_img);
+    }
+
+    #[test]
+    fn measurement_jitters_around_expectation() {
+        let d = DeviceProfile::a100_80gb();
+        let m = metrics("resnet18", 128);
+        let expected = expected_inference_time(&d, &m, 32);
+        let mut noise = NoiseModel::new(3, d.noise_sigma);
+        let samples: Vec<f64> = (0..200)
+            .map(|_| measure_inference(&d, &m, 32, &mut noise))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean / expected - 1.0).abs() < 0.03);
+        assert!(samples.iter().any(|&s| s != expected));
+    }
+}

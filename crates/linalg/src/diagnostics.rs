@@ -1,0 +1,138 @@
+//! Regression diagnostics: residual spread and prediction intervals.
+//!
+//! A runtime predictor used for infrastructure planning should say not just
+//! "about 120 ms" but "120 ms ± 18 ms". ConvMeter's residuals are strongly
+//! *multiplicative* (timing noise and model mismatch scale with the runtime
+//! itself), so intervals here are computed on the log-residuals:
+//! `log(measured / predicted)` is summarised by its standard deviation, and
+//! an interval at `z` sigmas is `[pred · e^(−zσ), pred · e^(+zσ)]`.
+
+use crate::stats::mean;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative residual summary of a fitted model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidualProfile {
+    /// Mean of `ln(measured/predicted)` — a persistent bias factor.
+    pub log_bias: f64,
+    /// Standard deviation of `ln(measured/predicted)`.
+    pub log_sigma: f64,
+    /// Number of residuals summarised.
+    pub n: usize,
+}
+
+impl ResidualProfile {
+    /// Summarise residuals from (predicted, measured) pairs. Pairs where
+    /// either value is non-positive are skipped (no defined log-residual).
+    pub fn from_predictions(predicted: &[f64], measured: &[f64]) -> Self {
+        assert_eq!(predicted.len(), measured.len());
+        let logs: Vec<f64> = predicted
+            .iter()
+            .zip(measured)
+            .filter(|(p, m)| **p > 0.0 && **m > 0.0)
+            .map(|(p, m)| (m / p).ln())
+            .collect();
+        let log_bias = mean(&logs);
+        let var = if logs.len() > 1 {
+            logs.iter().map(|l| (l - log_bias) * (l - log_bias)).sum::<f64>()
+                / (logs.len() - 1) as f64
+        } else {
+            0.0
+        };
+        ResidualProfile { log_bias, log_sigma: var.sqrt(), n: logs.len() }
+    }
+
+    /// A prediction interval around `predicted` at `z` standard deviations
+    /// (z = 1.96 for ~95 %), bias-corrected. Returns `(low, center, high)`.
+    pub fn interval(&self, predicted: f64, z: f64) -> (f64, f64, f64) {
+        let center = predicted * self.log_bias.exp();
+        (
+            center * (-z * self.log_sigma).exp(),
+            center,
+            center * (z * self.log_sigma).exp(),
+        )
+    }
+
+    /// The multiplicative half-width at `z` sigmas: 0.2 means "±20 %".
+    pub fn relative_halfwidth(&self, z: f64) -> f64 {
+        (z * self.log_sigma).exp() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_zero_width() {
+        let p = [1.0, 2.0, 4.0];
+        let r = ResidualProfile::from_predictions(&p, &p);
+        assert_eq!(r.log_bias, 0.0);
+        assert_eq!(r.log_sigma, 0.0);
+        let (lo, mid, hi) = r.interval(10.0, 1.96);
+        assert_eq!((lo, mid, hi), (10.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn constant_bias_is_corrected() {
+        // Measured is always 2x predicted.
+        let pred = [1.0, 3.0, 10.0];
+        let meas = [2.0, 6.0, 20.0];
+        let r = ResidualProfile::from_predictions(&pred, &meas);
+        assert!((r.log_bias - 2.0f64.ln()).abs() < 1e-12);
+        assert!(r.log_sigma < 1e-12);
+        let (_, mid, _) = r.interval(5.0, 1.0);
+        assert!((mid - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_covers_noisy_data() {
+        // Log-normal noise with sigma 0.1: a 2-sigma interval should cover
+        // ~95 % of fresh residuals drawn from the same distribution.
+        let mut state = 1234u64;
+        let mut rand = || {
+            // xorshift + Box-Muller-ish pair: crude but deterministic.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pred: Vec<f64> = (1..500).map(|i| i as f64).collect();
+        let meas: Vec<f64> = pred
+            .iter()
+            .map(|p| {
+                let u1: f64 = rand().max(1e-12);
+                let u2: f64 = rand();
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                p * (0.1 * n).exp()
+            })
+            .collect();
+        let r = ResidualProfile::from_predictions(&pred, &meas);
+        assert!((r.log_sigma - 0.1).abs() < 0.02, "sigma {}", r.log_sigma);
+        let covered = pred
+            .iter()
+            .zip(&meas)
+            .filter(|(p, m)| {
+                let (lo, _, hi) = r.interval(**p, 2.0);
+                **m >= lo && **m <= hi
+            })
+            .count();
+        let frac = covered as f64 / pred.len() as f64;
+        assert!(frac > 0.9, "coverage {frac}");
+    }
+
+    #[test]
+    fn relative_halfwidth_matches_interval() {
+        let r = ResidualProfile { log_bias: 0.0, log_sigma: 0.15, n: 10 };
+        let (lo, mid, hi) = r.interval(100.0, 1.0);
+        let hw = r.relative_halfwidth(1.0);
+        assert!((hi / mid - 1.0 - hw).abs() < 1e-12);
+        assert!(lo < mid);
+    }
+
+    #[test]
+    fn nonpositive_pairs_are_skipped() {
+        let r = ResidualProfile::from_predictions(&[1.0, -1.0, 2.0], &[1.0, 5.0, 0.0]);
+        assert_eq!(r.n, 1);
+    }
+}

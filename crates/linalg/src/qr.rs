@@ -1,0 +1,291 @@
+//! Householder QR factorisation and least-squares solving.
+//!
+//! For an `m x n` matrix `A` with `m >= n`, we compute `A = Q R` using
+//! Householder reflections applied in place, then solve the least-squares
+//! problem `min ||A x - b||` by applying the reflections to `b` and
+//! back-substituting through `R`. This avoids forming `AᵀA`, whose condition
+//! number is the square of `A`'s — a real concern for ConvMeter's design
+//! matrices, where FLOPs, Inputs, and Outputs are strongly correlated across
+//! ConvNets.
+
+use crate::matrix::Matrix;
+
+/// Error returned when a least-squares system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QrError {
+    /// The system is underdetermined (`rows < cols`).
+    Underdetermined {
+        /// Number of rows (observations).
+        rows: usize,
+        /// Number of columns (unknowns).
+        cols: usize,
+    },
+    /// `R` has a (near-)zero diagonal entry: the columns of `A` are linearly
+    /// dependent at working precision.
+    RankDeficient {
+        /// Index of the offending column.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for QrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QrError::Underdetermined { rows, cols } => {
+                write!(f, "underdetermined system: {rows} rows < {cols} columns")
+            }
+            QrError::RankDeficient { column } => {
+                write!(f, "rank-deficient design matrix (column {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QrError {}
+
+/// The compact result of a Householder QR factorisation.
+///
+/// `qr` stores `R` in the upper triangle and the essential parts of the
+/// Householder vectors below the diagonal; `beta` stores the scalar factors.
+#[derive(Debug, Clone)]
+pub struct HouseholderQr {
+    qr: Matrix,
+    beta: Vec<f64>,
+}
+
+impl HouseholderQr {
+    /// Factor `a` (which must have `rows >= cols`).
+    pub fn new(a: &Matrix) -> Result<Self, QrError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(QrError::Underdetermined { rows: m, cols: n });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Compute the Householder vector for column k, rows k..m.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // Normalise so v[k] = 1 implicitly; store v[k+1..] scaled by 1/v0.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            beta[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply the reflector to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Self { qr, beta })
+    }
+
+    /// Number of unknowns (columns of the factored matrix).
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Solve `min ||A x - b||` for `x` given the factorisation of `A`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factored matrix's row count.
+    #[allow(clippy::needless_range_loop)] // lockstep indexing into qr and y/x
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, QrError> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        assert_eq!(b.len(), m, "rhs length mismatch");
+        let mut y = b.to_vec();
+        // Apply Qᵀ to b.
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.beta[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute through R.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = y[k];
+            for j in (k + 1)..n {
+                s -= self.qr[(k, j)] * x[j];
+            }
+            let rkk = self.qr[(k, k)];
+            // Scale-aware singularity test: a diagonal entry is "zero" when it
+            // is negligible relative to the matrix magnitude.
+            let tol = f64::EPSILON * (m as f64) * self.qr.max_abs().max(1e-300);
+            if rkk.abs() <= tol {
+                return Err(QrError::RankDeficient { column: k });
+            }
+            x[k] = s / rkk;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares: solve `min ||a x - b||`.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, QrError> {
+    HouseholderQr::new(a)?.solve(b)
+}
+
+/// Ridge-regularised least squares: solve `min ||a x - b||² + lambda ||x||²`
+/// by augmenting the system with `sqrt(lambda) * I` rows. `lambda = 0`
+/// reduces exactly to [`lstsq`].
+pub fn ridge_lstsq(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, QrError> {
+    assert!(lambda >= 0.0, "ridge lambda must be non-negative");
+    if lambda == 0.0 {
+        return lstsq(a, b);
+    }
+    let n = a.cols();
+    let mut reg = Matrix::zeros(n, n);
+    let s = lambda.sqrt();
+    for i in 0..n {
+        reg[(i, i)] = s;
+    }
+    let aug = a.vstack(&reg);
+    let mut rhs = b.to_vec();
+    rhs.extend(std::iter::repeat_n(0.0, n));
+    lstsq(&aug, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        // x + 2y = 5; 3x + 4y = 11 => x = 1, y = 2.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = lstsq(&a, &[5.0, 11.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn recovers_planted_coefficients_overdetermined() {
+        // y = 2a - 3b + 0.5c over 50 noise-free rows.
+        let truth = [2.0, -3.0, 0.5];
+        let mut rows = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..50 {
+            let f = i as f64;
+            let feats = vec![f, (f * 0.37).sin() * 10.0, f * f * 0.01];
+            b.push(feats.iter().zip(&truth).map(|(x, c)| x * c).sum());
+            rows.push(feats);
+        }
+        let x = lstsq(&Matrix::from_rows(&rows), &b).unwrap();
+        assert_close(&x, &truth, 1e-8);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        // For the LS solution, Aᵀ(Ax - b) = 0.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ]);
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let x = lstsq(&a, &b).unwrap();
+        let pred = a.matvec(&x);
+        let resid: Vec<f64> = pred.iter().zip(&b).map(|(p, y)| p - y).collect();
+        let atr = a.transpose().matvec(&resid);
+        assert!(atr.iter().all(|v| v.abs() < 1e-10), "{atr:?}");
+    }
+
+    #[test]
+    fn detects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lstsq(&a, &[0.0, 0.0]),
+            Err(QrError::Underdetermined { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is exactly twice the first.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(QrError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_resolves_rank_deficiency() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let x = ridge_lstsq(&a, &[1.0, 2.0, 3.0], 1e-6).unwrap();
+        // Ridge splits the weight across the collinear columns; the fitted
+        // values must still reproduce b.
+        let pred = a.matvec(&x);
+        assert_close(&pred, &[1.0, 2.0, 3.0], 1e-3);
+    }
+
+    #[test]
+    fn ridge_zero_equals_ols() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.3, 2.0], vec![1.5, 1.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let ols = lstsq(&a, &b).unwrap();
+        let ridge = ridge_lstsq(&a, &b, 0.0).unwrap();
+        assert_eq!(ols, ridge);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let b = [10.0, 10.0, 20.0];
+        let ols = lstsq(&a, &b).unwrap();
+        let ridge = ridge_lstsq(&a, &b, 10.0).unwrap();
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        assert!(norm(&ridge) < norm(&ols));
+    }
+
+    #[test]
+    fn handles_badly_scaled_columns() {
+        // FLOPs ~ 1e9, tensor sizes ~ 1e6: column scales differ by 1e3+.
+        let truth = [3e-12, 4e-9, 1e-3];
+        let mut rows = Vec::new();
+        let mut b = Vec::new();
+        for i in 1..40 {
+            let f = i as f64;
+            let feats = vec![f * 1e9, f * f * 1e6, 1.0];
+            b.push(feats.iter().zip(&truth).map(|(x, c)| x * c).sum());
+            rows.push(feats);
+        }
+        let x = lstsq(&Matrix::from_rows(&rows), &b).unwrap();
+        for (got, want) in x.iter().zip(&truth) {
+            assert!((got - want).abs() / want.abs() < 1e-6, "{x:?}");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Ordinary least squares regression with optional intercept and ridge
+//! damping — the entire "machine learning" apparatus of ConvMeter.
+//!
+//! The paper's central methodological claim is that *linear regression is
+//! enough*: four coefficients for the forward pass (Eq. 2), four for the
+//! backward pass, three for the gradient update, seven for the fused
+//! backward+gradient phase. [`LinearRegression`] is the single fitting
+//! routine behind all of those.
+
+use crate::matrix::Matrix;
+use crate::qr::{self, QrError};
+use crate::stats::ErrorReport;
+use serde::{Deserialize, Serialize};
+
+/// Error from fitting a linear model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Not enough observations for the number of unknowns.
+    TooFewObservations {
+        /// Observations provided.
+        have: usize,
+        /// Unknowns to determine (including intercept if enabled).
+        need: usize,
+    },
+    /// The design matrix is rank deficient and ridge damping was zero.
+    RankDeficient,
+    /// Feature rows had inconsistent lengths.
+    RaggedFeatures,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewObservations { have, need } => {
+                write!(f, "too few observations: have {have}, need at least {need}")
+            }
+            FitError::RankDeficient => write!(f, "rank-deficient design matrix"),
+            FitError::RaggedFeatures => write!(f, "feature rows have inconsistent lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<QrError> for FitError {
+    fn from(e: QrError) -> Self {
+        match e {
+            QrError::Underdetermined { rows, cols } => {
+                FitError::TooFewObservations { have: rows, need: cols }
+            }
+            QrError::RankDeficient { .. } => FitError::RankDeficient,
+        }
+    }
+}
+
+/// Summary of a completed fit: coefficients plus in-sample error metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitSummary {
+    /// Fitted coefficients, one per feature (intercept excluded).
+    pub coefficients: Vec<f64>,
+    /// Fitted intercept (0 when the model was configured without one).
+    pub intercept: f64,
+    /// In-sample (training) error metrics.
+    pub training_error: ErrorReport,
+}
+
+/// A fitted (or to-be-fitted) ordinary least squares model.
+///
+/// ```
+/// use convmeter_linalg::LinearRegression;
+///
+/// // y = 3 x0 + 2 x1 + 1
+/// let xs = vec![
+///     vec![1.0, 0.0],
+///     vec![0.0, 1.0],
+///     vec![1.0, 1.0],
+///     vec![2.0, 3.0],
+/// ];
+/// let ys = vec![4.0, 3.0, 6.0, 13.0];
+/// let model = LinearRegression::new().fit(&xs, &ys).unwrap();
+/// assert!((model.predict(&[5.0, 5.0]) - 26.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    with_intercept: bool,
+    ridge_lambda: f64,
+    coefficients: Vec<f64>,
+    intercept: f64,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearRegression {
+    /// A model with an intercept and no ridge damping (the paper's default).
+    pub fn new() -> Self {
+        Self {
+            with_intercept: true,
+            ridge_lambda: 0.0,
+            coefficients: Vec::new(),
+            intercept: 0.0,
+        }
+    }
+
+    /// Enable or disable the intercept term (`c4` in Eq. 2).
+    pub fn with_intercept(mut self, yes: bool) -> Self {
+        self.with_intercept = yes;
+        self
+    }
+
+    /// Set a ridge damping factor (0 = pure OLS). Useful when the metric
+    /// columns are collinear, e.g. when fitting on a single ConvNet whose
+    /// FLOPs and Outputs scale identically with batch size.
+    pub fn with_ridge(mut self, lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "ridge lambda must be non-negative");
+        self.ridge_lambda = lambda;
+        self
+    }
+
+    /// Fit the model on feature rows `xs` and targets `ys`, consuming the
+    /// builder and returning the fitted model.
+    pub fn fit(mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, FitError> {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        let n_features = xs.first().map_or(0, |r| r.len());
+        if xs.iter().any(|r| r.len() != n_features) {
+            return Err(FitError::RaggedFeatures);
+        }
+        let unknowns = n_features + usize::from(self.with_intercept);
+        if xs.len() < unknowns {
+            return Err(FitError::TooFewObservations { have: xs.len(), need: unknowns });
+        }
+
+        // Column scaling: the ConvMeter metrics span ~12 orders of magnitude
+        // (FLOPs ~1e9 vs. intercept ~1). Normalising each column by its max
+        // absolute value keeps QR honest; coefficients are unscaled after.
+        let design = Matrix::from_rows(xs);
+        let design = if self.with_intercept {
+            design.with_ones_column()
+        } else {
+            design
+        };
+        let mut scales = vec![1.0f64; design.cols()];
+        for (c, scale) in scales.iter_mut().enumerate() {
+            let m = design
+                .col(c)
+                .iter()
+                .fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            if m > 0.0 {
+                *scale = m;
+            }
+        }
+        let mut scaled = design.clone();
+        for r in 0..scaled.rows() {
+            let row = scaled.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v /= scales[c];
+            }
+        }
+
+        let solution = qr::ridge_lstsq(&scaled, ys, self.ridge_lambda)?;
+        let mut coefs: Vec<f64> = solution
+            .iter()
+            .zip(&scales)
+            .map(|(b, s)| b / s)
+            .collect();
+        self.intercept = if self.with_intercept {
+            coefs.pop().expect("intercept column present")
+        } else {
+            0.0
+        };
+        self.coefficients = coefs;
+        Ok(self)
+    }
+
+    /// Fit and return both the fitted model and a [`FitSummary`] with
+    /// in-sample error metrics.
+    pub fn fit_with_summary(
+        self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<(Self, FitSummary), FitError> {
+        let fitted = self.fit(xs, ys)?;
+        let preds = fitted.predict_batch(xs);
+        let summary = FitSummary {
+            coefficients: fitted.coefficients.clone(),
+            intercept: fitted.intercept,
+            training_error: ErrorReport::compute(&preds, ys),
+        };
+        Ok((fitted, summary))
+    }
+
+    /// Predict a single observation.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the fitted feature count.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.coefficients.len(),
+            "feature count mismatch: model has {}, got {}",
+            self.coefficients.len(),
+            x.len()
+        );
+        self.intercept
+            + x.iter()
+                .zip(&self.coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+
+    /// Predict a batch of observations.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// The fitted feature coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The fitted intercept (0 if disabled).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether this model includes an intercept term.
+    pub fn has_intercept(&self) -> bool {
+        self.with_intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(coefs: &[f64], intercept: f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 + 1.0;
+            let row: Vec<f64> = (0..coefs.len())
+                .map(|j| (t * (j as f64 + 1.3)).sin() * 5.0 + t * (j as f64 + 0.5))
+                .collect();
+            ys.push(intercept + row.iter().zip(coefs).map(|(x, c)| x * c).sum::<f64>());
+            xs.push(row);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_coefficients_and_intercept() {
+        let truth = [1.5, -2.0, 0.25];
+        let (xs, ys) = synthetic(&truth, 7.0, 60);
+        let m = LinearRegression::new().fit(&xs, &ys).unwrap();
+        for (got, want) in m.coefficients().iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-8, "{:?}", m.coefficients());
+        }
+        assert!((m.intercept() - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn no_intercept_forces_through_origin() {
+        let (xs, ys) = synthetic(&[2.0], 0.0, 20);
+        let m = LinearRegression::new()
+            .with_intercept(false)
+            .fit(&xs, &ys)
+            .unwrap();
+        assert_eq!(m.intercept(), 0.0);
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn summary_reports_perfect_r2_for_noiseless_data() {
+        let (xs, ys) = synthetic(&[1.0, 2.0], 3.0, 30);
+        let (_, summary) = LinearRegression::new().fit_with_summary(&xs, &ys).unwrap();
+        assert!(summary.training_error.r2 > 0.999999);
+        assert!(summary.training_error.mape < 1e-6);
+    }
+
+    #[test]
+    fn too_few_observations_is_an_error() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![3.0];
+        assert!(matches!(
+            LinearRegression::new().fit(&xs, &ys),
+            Err(FitError::TooFewObservations { have: 1, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn ragged_features_is_an_error() {
+        let xs = vec![vec![1.0], vec![1.0, 2.0], vec![3.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            LinearRegression::new().fit(&xs, &ys),
+            Err(FitError::RaggedFeatures)
+        ));
+    }
+
+    #[test]
+    fn collinear_features_error_without_ridge_and_succeed_with() {
+        let xs: Vec<Vec<f64>> = (1..20)
+            .map(|i| vec![i as f64, 2.0 * i as f64])
+            .collect();
+        let ys: Vec<f64> = (1..20).map(|i| 5.0 * i as f64).collect();
+        assert!(matches!(
+            LinearRegression::new().with_intercept(false).fit(&xs, &ys),
+            Err(FitError::RankDeficient)
+        ));
+        let m = LinearRegression::new()
+            .with_intercept(false)
+            .with_ridge(1e-8)
+            .fit(&xs, &ys)
+            .unwrap();
+        assert!((m.predict(&[10.0, 20.0]) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_convmeter_scale_features() {
+        // FLOPs ~ 1e9..1e12, tensor elements ~ 1e5..1e8, coefficients in
+        // seconds-per-unit: c1 ~ 1e-12, c2/c3 ~ 1e-9, intercept ~ 1e-3.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 1..200 {
+            let b = i as f64;
+            let flops = 4.1e9 * b;
+            let inputs = 2.3e6 * b;
+            let outputs = 3.7e6 * b;
+            xs.push(vec![flops, inputs, outputs]);
+            ys.push(3e-12 * flops + 1.5e-9 * inputs + 2.5e-9 * outputs + 4e-4);
+        }
+        // All three columns scale with b only => collinear. Ridge sorts it.
+        let m = LinearRegression::new()
+            .with_ridge(1e-9)
+            .fit(&xs, &ys)
+            .unwrap();
+        let pred = m.predict(&[4.1e11, 2.3e8, 3.7e8]);
+        let truth = 3e-12 * 4.1e11 + 1.5e-9 * 2.3e8 + 2.5e-9 * 3.7e8 + 4e-4;
+        assert!((pred - truth).abs() / truth < 1e-6, "pred={pred}, truth={truth}");
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (xs, ys) = synthetic(&[1.0, -1.0], 0.5, 25);
+        let m = LinearRegression::new().fit(&xs, &ys).unwrap();
+        let batch = m.predict_batch(&xs);
+        for (b, x) in batch.iter().zip(&xs) {
+            assert_eq!(*b, m.predict(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_rejects_wrong_arity() {
+        let (xs, ys) = synthetic(&[1.0, 2.0], 0.0, 10);
+        let m = LinearRegression::new().fit(&xs, &ys).unwrap();
+        let _ = m.predict(&[1.0]);
+    }
+
+    #[test]
+    fn clone_preserves_predictions() {
+        let (xs, ys) = synthetic(&[1.0, 2.0, 3.0], 4.0, 40);
+        let m = LinearRegression::new().fit(&xs, &ys).unwrap();
+        let m2 = m.clone();
+        assert_eq!(m.predict(&xs[0]), m2.predict(&xs[0]));
+    }
+}

@@ -1,0 +1,248 @@
+//! Goodness-of-fit statistics reported by the ConvMeter paper.
+//!
+//! The paper (Section 4, "Metrics") evaluates predictions with four numbers:
+//! R², RMSE, NRMSE (RMSE normalised by the *range* of the measured data), and
+//! MAPE. All of them are implemented here over plain slices so that every
+//! crate in the workspace reports errors the same way.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for fewer than two
+/// elements.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+fn check_lengths(predicted: &[f64], measured: &[f64]) {
+    assert_eq!(
+        predicted.len(),
+        measured.len(),
+        "predicted/measured length mismatch"
+    );
+    assert!(!predicted.is_empty(), "empty prediction set");
+}
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot.
+///
+/// If the measured values are constant (SS_tot = 0), returns 1.0 when the
+/// predictions are exact and 0.0 otherwise, matching scikit-learn's edge-case
+/// convention closely enough for reporting.
+pub fn r_squared(predicted: &[f64], measured: &[f64]) -> f64 {
+    check_lengths(predicted, measured);
+    let m = mean(measured);
+    let ss_tot: f64 = measured.iter().map(|y| (y - m) * (y - m)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Root mean square error, in the units of the measurements.
+pub fn rmse(predicted: &[f64], measured: &[f64]) -> f64 {
+    check_lengths(predicted, measured);
+    (predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// RMSE normalised by the range (max − min) of the measured values — the
+/// "relative RMSE normalized by the range of the data points" from the paper.
+/// Returns plain RMSE if the range is zero.
+pub fn nrmse(predicted: &[f64], measured: &[f64]) -> f64 {
+    check_lengths(predicted, measured);
+    let max = measured.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+    let range = max - min;
+    let e = rmse(predicted, measured);
+    if range > 0.0 {
+        e / range
+    } else {
+        e
+    }
+}
+
+/// Mean absolute percentage error, as a fraction (0.17 = 17 %).
+///
+/// Points with a measured value of exactly zero are skipped — they have no
+/// defined percentage error. (The simulator never produces zero runtimes, so
+/// in practice nothing is skipped.)
+pub fn mape(predicted: &[f64], measured: &[f64]) -> f64 {
+    check_lengths(predicted, measured);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, y) in predicted.iter().zip(measured) {
+        if *y != 0.0 {
+            total += ((p - y) / y).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Mean absolute error.
+pub fn mae(predicted: &[f64], measured: &[f64]) -> f64 {
+    check_lengths(predicted, measured);
+    predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, y)| (p - y).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// A bundle of all four paper metrics for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorReport {
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Root mean square error (measurement units).
+    pub rmse: f64,
+    /// Range-normalised RMSE.
+    pub nrmse: f64,
+    /// Mean absolute percentage error (fraction).
+    pub mape: f64,
+    /// Number of evaluated points.
+    pub n: usize,
+}
+
+impl ErrorReport {
+    /// Compute all four metrics at once.
+    pub fn compute(predicted: &[f64], measured: &[f64]) -> Self {
+        Self {
+            r2: r_squared(predicted, measured),
+            rmse: rmse(predicted, measured),
+            nrmse: nrmse(predicted, measured),
+            mape: mape(predicted, measured),
+            n: predicted.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "R2={:.3} RMSE={:.4} NRMSE={:.3} MAPE={:.3} (n={})",
+            self.r2, self.rmse, self.nrmse, self.mape, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.13809).abs() < 1e-4);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_perfectly() {
+        let y = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(nrmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_gives_zero_r2() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r_squared(&p, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative_for_terrible_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [30.0, -10.0, 99.0];
+        assert!(r_squared(&p, &y) < 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let y = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        // sqrt((9 + 16) / 2) = sqrt(12.5)
+        assert!((rmse(&p, &y) - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_normalises_by_range() {
+        let y = [0.0, 10.0];
+        let p = [1.0, 9.0];
+        // rmse = 1, range = 10 -> 0.1
+        assert!((nrmse(&p, &y) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_is_scale_free() {
+        let y1 = [10.0, 20.0];
+        let p1 = [11.0, 22.0];
+        let y2 = [1000.0, 2000.0];
+        let p2 = [1100.0, 2200.0];
+        assert!((mape(&p1, &y1) - mape(&p2, &y2)).abs() < 1e-12);
+        assert!((mape(&p1, &y1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_measured() {
+        let y = [0.0, 10.0];
+        let p = [5.0, 11.0];
+        assert!((mape(&p, &y) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_measured_edge_case() {
+        let y = [5.0, 5.0];
+        assert_eq!(r_squared(&[5.0, 5.0], &y), 1.0);
+        assert_eq!(r_squared(&[4.0, 6.0], &y), 0.0);
+        // nrmse falls back to rmse when range is zero.
+        assert_eq!(nrmse(&[4.0, 6.0], &y), rmse(&[4.0, 6.0], &y));
+    }
+
+    #[test]
+    fn error_report_bundles_everything() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.1, 1.9, 3.2, 3.8];
+        let r = ErrorReport::compute(&p, &y);
+        assert_eq!(r.n, 4);
+        assert!((r.r2 - r_squared(&p, &y)).abs() < 1e-15);
+        assert!((r.mape - mape(&p, &y)).abs() < 1e-15);
+        assert!(r.to_string().contains("R2="));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

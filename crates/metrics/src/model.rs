@@ -1,0 +1,206 @@
+//! Whole-model and block-level metric aggregation.
+
+use crate::flops::LayerCost;
+use convmeter_graph::{Graph, GraphError};
+use serde::{Deserialize, Serialize};
+
+/// The five ConvMeter metrics for one graph at batch size 1, plus the
+/// per-node cost breakdown the hardware simulator consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelMetrics {
+    /// Model (or block) name.
+    pub name: String,
+    /// `F`: FLOPs of all layers, batch 1.
+    pub flops: u64,
+    /// `I`: summed input tensor elements of all *conv* layers, batch 1.
+    pub conv_inputs: u64,
+    /// `O`: summed output tensor elements of all *conv* layers, batch 1.
+    pub conv_outputs: u64,
+    /// Summed input tensor elements of all token compute ops (attention,
+    /// per-token linears), batch 1 — the transformer analogue of `I`.
+    pub token_inputs: u64,
+    /// Summed output tensor elements of all token compute ops, batch 1.
+    pub token_outputs: u64,
+    /// `W`: trainable parameter count (batch-independent).
+    pub weights: u64,
+    /// `L`: number of parameterised layers (gradient-sync granularity).
+    pub trainable_layers: usize,
+    /// Total graph nodes, including shape-only ops.
+    pub node_count: usize,
+    /// Peak simultaneously-live activation elements at batch 1 (liveness
+    /// analysis over the DAG; see `convmeter_graph::liveness`).
+    pub peak_live_elements: u64,
+    /// Per-node cost profiles, in topological order.
+    pub per_node: Vec<LayerCost>,
+}
+
+impl ModelMetrics {
+    /// Extract metrics from a graph by running shape inference and summing
+    /// per-layer costs — the "parsing its computational graph" step of the
+    /// paper.
+    pub fn of(graph: &Graph) -> Result<Self, GraphError> {
+        let shapes = graph.infer_shapes()?;
+        let per_node: Vec<LayerCost> = graph
+            .nodes()
+            .iter()
+            .zip(&shapes)
+            .map(|(node, s)| LayerCost::of(&node.layer, &s.inputs, s.output))
+            .collect();
+        let conv = |f: fn(&LayerCost) -> u64| -> u64 {
+            per_node.iter().filter(|c| c.is_conv).map(f).sum()
+        };
+        let token = |f: fn(&LayerCost) -> u64| -> u64 {
+            per_node.iter().filter(|c| c.is_token_op).map(f).sum()
+        };
+        Ok(ModelMetrics {
+            name: graph.name().to_string(),
+            flops: per_node.iter().map(|c| c.flops).sum(),
+            conv_inputs: conv(|c| c.input_elements),
+            conv_outputs: conv(|c| c.output_elements),
+            token_inputs: token(|c| c.input_elements),
+            token_outputs: token(|c| c.output_elements),
+            weights: graph.parameter_count(),
+            trainable_layers: graph.trainable_layer_count(),
+            node_count: graph.len(),
+            peak_live_elements: convmeter_graph::liveness::peak_activation_elements(graph)?,
+            per_node,
+        })
+    }
+
+    /// Scale the batch-linear metrics to a given batch size.
+    pub fn at_batch(&self, batch: usize) -> BatchMetrics {
+        let b = batch as u64;
+        BatchMetrics {
+            batch,
+            flops: self.flops * b,
+            conv_inputs: self.conv_inputs * b,
+            conv_outputs: self.conv_outputs * b,
+            token_inputs: self.token_inputs * b,
+            token_outputs: self.token_outputs * b,
+            weights: self.weights,
+            trainable_layers: self.trainable_layers,
+        }
+    }
+
+    /// Total FP32 activation + parameter traffic in bytes at batch 1 —
+    /// a rough memory-footprint proxy used by the simulator's OOM model.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|c| c.bytes_read() + c.bytes_written())
+            .sum()
+    }
+}
+
+/// [`ModelMetrics`] scaled to a specific batch size. This is the feature
+/// vector the performance model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// The batch size these metrics are scaled to.
+    pub batch: usize,
+    /// FLOPs at this batch size.
+    pub flops: u64,
+    /// Conv input elements at this batch size.
+    pub conv_inputs: u64,
+    /// Conv output elements at this batch size.
+    pub conv_outputs: u64,
+    /// Token-op input elements at this batch size (0 for pure ConvNets).
+    pub token_inputs: u64,
+    /// Token-op output elements at this batch size.
+    pub token_outputs: u64,
+    /// Parameter count (batch-independent).
+    pub weights: u64,
+    /// Parameterised layer count (batch-independent).
+    pub trainable_layers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_graph::layer::Activation;
+    use convmeter_graph::{GraphBuilder, Shape};
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new("toy", Shape::image(3, 32));
+        b.conv_bn_act(3, 16, 3, 1, 1, Activation::ReLU);
+        b.conv_bn_act(16, 32, 3, 2, 1, Activation::ReLU);
+        b.classifier(32, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn metrics_sum_conv_layers_only() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        // conv1 input: 3*32*32; conv2 input: 16*32*32.
+        assert_eq!(m.conv_inputs, 3 * 1024 + 16 * 1024);
+        // conv1 output: 16*32*32; conv2 output: 32*16*16.
+        assert_eq!(m.conv_outputs, 16 * 1024 + 32 * 256);
+        // trainable: 2 convs + 2 BNs + 1 linear.
+        assert_eq!(m.trainable_layers, 5);
+        assert_eq!(
+            m.weights,
+            (16 * 3 * 9) as u64
+                + 32
+                + (32 * 16 * 9) as u64
+                + 64
+                + (32 * 10 + 10) as u64
+        );
+        assert_eq!(m.node_count, 9);
+        assert_eq!(m.per_node.len(), 9);
+    }
+
+    #[test]
+    fn flops_dominated_by_convs() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        let conv_flops: u64 = m
+            .per_node
+            .iter()
+            .filter(|c| c.is_conv)
+            .map(|c| c.flops)
+            .sum();
+        assert!(conv_flops * 10 > m.flops * 9, "convs should be >90% of FLOPs");
+    }
+
+    #[test]
+    fn batch_scaling_is_linear() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        let b1 = m.at_batch(1);
+        let b64 = m.at_batch(64);
+        assert_eq!(b64.flops, 64 * b1.flops);
+        assert_eq!(b64.conv_inputs, 64 * b1.conv_inputs);
+        assert_eq!(b64.conv_outputs, 64 * b1.conv_outputs);
+        // Weights and layer count do not scale with batch.
+        assert_eq!(b64.weights, b1.weights);
+        assert_eq!(b64.trainable_layers, b1.trainable_layers);
+    }
+
+    #[test]
+    fn invalid_graph_propagates_error() {
+        let mut b = GraphBuilder::new("bad", Shape::image(3, 32));
+        b.conv_bn(4, 8, 3, 1, 1);
+        assert!(ModelMetrics::of(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn token_metrics_zero_for_convnets() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        assert_eq!(m.token_inputs, 0);
+        assert_eq!(m.token_outputs, 0);
+    }
+
+    #[test]
+    fn peak_live_between_bounds() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        // At least the largest single tensor, at most the sum of all.
+        let largest = m.per_node.iter().map(|c| c.output_elements).max().unwrap();
+        let total: u64 = m.per_node.iter().map(|c| c.output_elements).sum();
+        assert!(m.peak_live_elements >= largest);
+        assert!(m.peak_live_elements <= total + 3 * 1024);
+    }
+
+    #[test]
+    fn traffic_bytes_positive() {
+        let m = ModelMetrics::of(&toy()).unwrap();
+        assert!(m.traffic_bytes() > 4 * (m.conv_inputs + m.conv_outputs));
+    }
+}

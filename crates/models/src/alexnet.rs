@@ -1,0 +1,90 @@
+//! AlexNet (Krizhevsky, 2014 — the "one weird trick" variant, as shipped in
+//! torchvision and benchmarked by the paper).
+
+use convmeter_graph::layer::{conv2d_biased, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// Build AlexNet for a square input of `image_size` pixels.
+///
+/// All convolutions carry biases (AlexNet predates batch normalisation).
+/// The adaptive average pool in front of the classifier makes the network
+/// valid for any image size its stem can digest (>= 63 px, the same minimum
+/// torchvision enforces: below that, the final 3x3 max-pool has no window).
+pub fn alexnet(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("alexnet", Shape::image(3, image_size));
+    let relu = Activation::ReLU;
+
+    b.begin_block("Features");
+    b.layer(conv2d_biased(3, 64, 11, 4, 2));
+    b.layer(Layer::Act(relu));
+    b.maxpool(3, 2, 0);
+    b.layer(conv2d_biased(64, 192, 5, 1, 2));
+    b.layer(Layer::Act(relu));
+    b.maxpool(3, 2, 0);
+    b.layer(conv2d_biased(192, 384, 3, 1, 1));
+    b.layer(Layer::Act(relu));
+    b.layer(conv2d_biased(384, 256, 3, 1, 1));
+    b.layer(Layer::Act(relu));
+    b.layer(conv2d_biased(256, 256, 3, 1, 1));
+    b.layer(Layer::Act(relu));
+    b.maxpool(3, 2, 0);
+    b.end_block();
+
+    b.layer(Layer::AdaptiveAvgPool2d { output: (6, 6) });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: 256 * 36, out_features: 4096, bias: true });
+    b.layer(Layer::Act(relu));
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: 4096, out_features: 4096, bias: true });
+    b.layer(Layer::Act(relu));
+    b.layer(Layer::Linear { in_features: 4096, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision.models.alexnet: 61,100,840 parameters.
+        assert_eq!(alexnet(224, 1000).parameter_count(), 61_100_840);
+    }
+
+    #[test]
+    fn output_is_class_logits() {
+        let g = alexnet(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+    }
+
+    #[test]
+    fn small_images_still_validate() {
+        for s in [63, 64, 128] {
+            let g = alexnet(s, 1000);
+            assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000), "size {s}");
+        }
+    }
+
+    #[test]
+    fn below_minimum_size_is_rejected() {
+        // 32 px dies at the last max-pool, exactly like torchvision.
+        assert!(alexnet(32, 1000).output_shape().is_err());
+    }
+
+    #[test]
+    fn parameter_count_is_image_size_independent() {
+        assert_eq!(
+            alexnet(32, 1000).parameter_count(),
+            alexnet(224, 1000).parameter_count()
+        );
+    }
+
+    #[test]
+    fn stem_shapes_match_paper_figures() {
+        let g = alexnet(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // First conv output: 64 x 55 x 55.
+        assert_eq!(shapes[0].output, Shape::image(64, 55));
+    }
+}

@@ -1,0 +1,122 @@
+//! ConvNeXt-Tiny (Liu et al., 2022): the modernised ConvNet — 7x7 depthwise
+//! convolutions, channel-wise LayerNorm, inverted-bottleneck MLPs with GELU,
+//! and learned layer scales. Included as an extended-zoo member to show the
+//! IR and metric pipeline handle post-2020 designs.
+//!
+//! The pointwise MLP is expressed as 1x1 convolutions (mathematically
+//! identical to torchvision's permute+Linear implementation, with the same
+//! parameter count).
+
+use convmeter_graph::layer::{conv2d_depthwise, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+const DEPTHS: [usize; 4] = [3, 3, 9, 3];
+const DIMS: [usize; 4] = [96, 192, 384, 768];
+
+fn biased_conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize) -> Layer {
+    Layer::Conv2d {
+        in_channels: in_ch,
+        out_channels: out_ch,
+        kernel: (kernel, kernel),
+        stride: (stride, stride),
+        padding: (0, 0),
+        groups: 1,
+        bias: true,
+    }
+}
+
+fn cn_block(b: &mut GraphBuilder, index: usize, dim: usize) {
+    b.begin_block(format!("CNBlock{index}"));
+    let entry = b.cursor();
+    // torchvision's depthwise conv here carries a bias.
+    b.layer(Layer::Conv2d {
+        in_channels: dim,
+        out_channels: dim,
+        kernel: (7, 7),
+        stride: (1, 1),
+        padding: (3, 3),
+        groups: dim,
+        bias: true,
+    });
+    b.layer(Layer::LayerNorm2d { channels: dim });
+    b.layer(biased_conv(dim, 4 * dim, 1, 1));
+    b.layer(Layer::Act(Activation::GELU));
+    b.layer(biased_conv(4 * dim, dim, 1, 1));
+    b.layer(Layer::LayerScale { channels: dim });
+    b.add_residual(entry);
+    b.end_block();
+}
+
+/// Build ConvNeXt-Tiny.
+pub fn convnext_tiny(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("convnext_tiny", Shape::image(3, image_size));
+    // Patchify stem: 4x4 stride-4 conv + norm.
+    b.layer(biased_conv(3, DIMS[0], 4, 4));
+    b.layer(Layer::LayerNorm2d { channels: DIMS[0] });
+
+    let mut index = 1usize;
+    for (stage, (&depth, &dim)) in DEPTHS.iter().zip(&DIMS).enumerate() {
+        if stage > 0 {
+            // Downsample: norm + 2x2 stride-2 conv.
+            b.layer(Layer::LayerNorm2d { channels: DIMS[stage - 1] });
+            b.layer(biased_conv(DIMS[stage - 1], dim, 2, 2));
+        }
+        for _ in 0..depth {
+            cn_block(&mut b, index, dim);
+            index += 1;
+        }
+    }
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::LayerNorm2d { channels: DIMS[3] });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Linear { in_features: DIMS[3], out_features: num_classes, bias: true });
+    b.finish()
+}
+
+// The depthwise helper is exercised elsewhere; blocks here need the biased
+// variant directly.
+#[allow(unused_imports)]
+use conv2d_depthwise as _dw_marker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(convnext_tiny(224, 1000).parameter_count(), 28_589_128);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = convnext_tiny(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+        assert_eq!(g.blocks().len(), 3 + 3 + 9 + 3);
+    }
+
+    #[test]
+    fn blocks_extract_with_layer_scale() {
+        let g = convnext_tiny(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "CNBlock10").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        assert!(block
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.layer, Layer::LayerScale { .. })));
+        assert_eq!(block.conv_layer_count(), 3); // dw + 2 pointwise
+    }
+
+    #[test]
+    fn patchify_stem_quarters_resolution() {
+        let g = convnext_tiny(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        assert_eq!(shapes[0].output, Shape::image(96, 56));
+    }
+
+    #[test]
+    fn works_at_small_sizes() {
+        assert_eq!(convnext_tiny(64, 10).output_shape().unwrap(), Shape::Flat(10));
+    }
+}

@@ -1,0 +1,155 @@
+//! DenseNet-121 (Huang et al., 2017): densely connected blocks where every
+//! layer's input is the channel-concatenation of all earlier feature maps.
+//!
+//! The paper singles DenseNet out in Section 3.1: its conv *input* tensor
+//! sizes grow through each dense block while the output size stays fixed at
+//! the growth rate — which is why outputs alone cannot predict its runtime
+//! and the combined (F, I, O) model is needed.
+
+use convmeter_graph::layer::{conv2d, Activation, Layer, PoolKind};
+use convmeter_graph::{Graph, GraphBuilder, NodeId, Shape};
+
+const GROWTH_RATE: usize = 32;
+const BN_SIZE: usize = 4;
+const INIT_FEATURES: usize = 64;
+
+/// Pre-activation dense layer: BN-ReLU-Conv1x1-BN-ReLU-Conv3x3, producing
+/// `GROWTH_RATE` channels, concatenated with the layer input.
+fn dense_layer(b: &mut GraphBuilder, name: String, in_ch: usize) -> usize {
+    b.begin_block(name);
+    let entry = b.cursor();
+    b.layer(Layer::BatchNorm2d { channels: in_ch });
+    b.layer(Layer::Act(Activation::ReLU));
+    b.layer(conv2d(in_ch, BN_SIZE * GROWTH_RATE, 1, 1, 0));
+    b.layer(Layer::BatchNorm2d { channels: BN_SIZE * GROWTH_RATE });
+    b.layer(Layer::Act(Activation::ReLU));
+    let new_features = b.layer(conv2d(BN_SIZE * GROWTH_RATE, GROWTH_RATE, 3, 1, 1));
+    b.layer_from(Layer::Concat, vec![entry, new_features]);
+    b.end_block();
+    in_ch + GROWTH_RATE
+}
+
+fn transition(b: &mut GraphBuilder, in_ch: usize) -> usize {
+    let out_ch = in_ch / 2;
+    b.layer(Layer::BatchNorm2d { channels: in_ch });
+    b.layer(Layer::Act(Activation::ReLU));
+    b.layer(conv2d(in_ch, out_ch, 1, 1, 0));
+    b.layer(Layer::Pool2d {
+        kind: PoolKind::Avg,
+        kernel: (2, 2),
+        stride: (2, 2),
+        padding: (0, 0),
+    });
+    out_ch
+}
+
+fn densenet(name: &str, block_config: [usize; 4], image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(name, Shape::image(3, image_size));
+    b.conv_bn_act(3, INIT_FEATURES, 7, 2, 3, Activation::ReLU);
+    b.maxpool(3, 2, 1);
+    let mut ch = INIT_FEATURES;
+    let mut layer_index = 1usize;
+    for (block_i, &layers) in block_config.iter().enumerate() {
+        for _ in 0..layers {
+            ch = dense_layer(&mut b, format!("DenseLayer{layer_index}"), ch);
+            layer_index += 1;
+        }
+        if block_i + 1 != block_config.len() {
+            ch = transition(&mut b, ch);
+        }
+    }
+    b.layer(Layer::BatchNorm2d { channels: ch });
+    b.layer(Layer::Act(Activation::ReLU));
+    b.classifier(ch, num_classes);
+    b.finish()
+}
+
+/// Build DenseNet-121.
+pub fn densenet121(image_size: usize, num_classes: usize) -> Graph {
+    densenet("densenet121", [6, 12, 24, 16], image_size, num_classes)
+}
+
+/// Build DenseNet-169.
+pub fn densenet169(image_size: usize, num_classes: usize) -> Graph {
+    densenet("densenet169", [6, 12, 32, 32], image_size, num_classes)
+}
+
+/// Build DenseNet-201.
+pub fn densenet201(image_size: usize, num_classes: usize) -> Graph {
+    densenet("densenet201", [6, 12, 48, 32], image_size, num_classes)
+}
+
+#[allow(unused)]
+fn _marker(_: NodeId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_graph::Layer;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(densenet121(224, 1000).parameter_count(), 7_978_856);
+        assert_eq!(densenet169(224, 1000).parameter_count(), 14_149_480);
+        assert_eq!(densenet201(224, 1000).parameter_count(), 20_013_928);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = densenet121(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn channel_growth_through_blocks() {
+        let g = densenet121(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // Final feature map before the classifier head is 1024 channels, 7x7.
+        let gap_idx = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::AdaptiveAvgPool2d { .. }))
+            .unwrap();
+        assert_eq!(shapes[gap_idx].inputs[0], Shape::image(1024, 7));
+    }
+
+    #[test]
+    fn has_58_dense_layers() {
+        let g = densenet121(224, 1000);
+        assert_eq!(g.blocks().len(), 6 + 12 + 24 + 16);
+    }
+
+    #[test]
+    fn dense_layer_inputs_grow_outputs_stay_fixed() {
+        // The paper's motivating observation (Section 3.1).
+        let g = densenet121(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // First conv of DenseLayer1 and DenseLayer6 (within dense block 1):
+        // input channels grow 64 -> 224; the 3x3 output is always 32ch.
+        let convs_1x1: Vec<usize> = g
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.layer {
+                Layer::Conv2d { kernel: (1, 1), in_channels, .. }
+                    if in_channels < 1024 && shapes[i].output.is_chw() =>
+                {
+                    Some(in_channels)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(convs_1x1[0], 64);
+        assert_eq!(convs_1x1[5], 64 + 5 * 32);
+    }
+
+    #[test]
+    fn dense_layers_extract_as_blocks() {
+        let g = densenet121(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "DenseLayer10").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        assert_eq!(block.conv_layer_count(), 2);
+    }
+}

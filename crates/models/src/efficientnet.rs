@@ -1,0 +1,181 @@
+//! The EfficientNet family (Tan & Le, 2019): MBConv blocks — expand,
+//! depthwise, squeeze-and-excitation, project — with SiLU activations, and
+//! the compound scaling rule that derives B1–B4 from the B0 base: widths
+//! scale by `width_mult` (rounded to multiples of 8), depths by
+//! `ceil(n * depth_mult)`.
+
+use crate::make_divisible;
+use convmeter_graph::layer::{Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// One stage: (expand_ratio, kernel, stride, input_ch, output_ch, repeats).
+const B0_SETTINGS: &[(usize, usize, usize, usize, usize, usize)] = &[
+    (1, 3, 1, 32, 16, 1),
+    (6, 3, 2, 16, 24, 2),
+    (6, 5, 2, 24, 40, 2),
+    (6, 3, 2, 40, 80, 3),
+    (6, 5, 1, 80, 112, 3),
+    (6, 5, 2, 112, 192, 4),
+    (6, 3, 1, 192, 320, 1),
+];
+
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    index: usize,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    expand: usize,
+) {
+    b.begin_block(format!("MBConv{index}"));
+    let entry = b.cursor();
+    let hidden = in_ch * expand;
+    if expand != 1 {
+        b.conv_bn_act(in_ch, hidden, 1, 1, 0, Activation::SiLU);
+    }
+    b.depthwise_bn_act(hidden, kernel, stride, kernel / 2, Activation::SiLU);
+    // torchvision: squeeze_channels = max(1, input_channels // 4), computed
+    // from the *block input*, not the expanded width.
+    let squeeze = (in_ch / 4).max(1);
+    b.se_block(hidden, squeeze, Activation::SiLU, Activation::Sigmoid);
+    b.conv_bn(hidden, out_ch, 1, 1, 0);
+    if stride == 1 && in_ch == out_ch {
+        // Stochastic depth in training; a plain residual for graph purposes.
+        b.add_residual(entry);
+    }
+    b.end_block();
+}
+
+/// torchvision's channel adjustment: multiples of 8, 90 % floor.
+fn adjust_channels(channels: usize, width_mult: f64) -> usize {
+    make_divisible(channels as f64 * width_mult, 8)
+}
+
+/// torchvision's depth adjustment: `ceil(n * depth_mult)`.
+fn adjust_depth(layers: usize, depth_mult: f64) -> usize {
+    (layers as f64 * depth_mult).ceil() as usize
+}
+
+fn efficientnet(
+    name: &str,
+    width_mult: f64,
+    depth_mult: f64,
+    image_size: usize,
+    num_classes: usize,
+) -> Graph {
+    let mut b = GraphBuilder::new(name, Shape::image(3, image_size));
+    let stem = adjust_channels(32, width_mult);
+    b.conv_bn_act(3, stem, 3, 2, 1, Activation::SiLU);
+    let mut index = 1usize;
+    let mut last_out = stem;
+    for &(t, k, s, cin, cout, n) in B0_SETTINGS {
+        let cin = adjust_channels(cin, width_mult);
+        let cout = adjust_channels(cout, width_mult);
+        let n = adjust_depth(n, depth_mult);
+        for unit in 0..n {
+            let (in_ch, stride) = if unit == 0 { (cin, s) } else { (cout, 1) };
+            mbconv(&mut b, index, in_ch, cout, k, stride, t);
+            index += 1;
+        }
+        last_out = cout;
+    }
+    let head = 4 * last_out;
+    b.conv_bn_act(last_out, head, 1, 1, 0, Activation::SiLU);
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: head, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+/// Build EfficientNet-B0 (the base network).
+pub fn efficientnet_b0(image_size: usize, num_classes: usize) -> Graph {
+    efficientnet("efficientnet_b0", 1.0, 1.0, image_size, num_classes)
+}
+
+/// Build EfficientNet-B1 (depth x1.1).
+pub fn efficientnet_b1(image_size: usize, num_classes: usize) -> Graph {
+    efficientnet("efficientnet_b1", 1.0, 1.1, image_size, num_classes)
+}
+
+/// Build EfficientNet-B2 (width x1.1, depth x1.2).
+pub fn efficientnet_b2(image_size: usize, num_classes: usize) -> Graph {
+    efficientnet("efficientnet_b2", 1.1, 1.2, image_size, num_classes)
+}
+
+/// Build EfficientNet-B3 (width x1.2, depth x1.4).
+pub fn efficientnet_b3(image_size: usize, num_classes: usize) -> Graph {
+    efficientnet("efficientnet_b3", 1.2, 1.4, image_size, num_classes)
+}
+
+/// Build EfficientNet-B4 (width x1.4, depth x1.8).
+pub fn efficientnet_b4(image_size: usize, num_classes: usize) -> Graph {
+    efficientnet("efficientnet_b4", 1.4, 1.8, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(efficientnet_b0(224, 1000).parameter_count(), 5_288_548);
+        assert_eq!(efficientnet_b1(240, 1000).parameter_count(), 7_794_184);
+        assert_eq!(efficientnet_b2(260, 1000).parameter_count(), 9_109_994);
+        assert_eq!(efficientnet_b3(300, 1000).parameter_count(), 12_233_232);
+        assert_eq!(efficientnet_b4(380, 1000).parameter_count(), 19_341_616);
+    }
+
+    #[test]
+    fn compound_scaling_grows_depth_and_width() {
+        let b0 = efficientnet_b0(224, 1000);
+        let b1 = efficientnet_b1(224, 1000);
+        let b4 = efficientnet_b4(224, 1000);
+        // B1 is deeper but not wider than B0.
+        assert!(b1.blocks().len() > b0.blocks().len());
+        assert_eq!(b0.blocks().len(), 16);
+        assert_eq!(b1.blocks().len(), 23);
+        // B4 is both deeper and wider.
+        assert!(b4.blocks().len() > b1.blocks().len());
+        assert!(b4.parameter_count() > 3 * b0.parameter_count());
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = efficientnet_b0(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn sixteen_mbconv_blocks() {
+        let g = efficientnet_b0(224, 1000);
+        assert_eq!(g.blocks().len(), 16);
+        assert!(g.blocks().iter().any(|s| s.name == "MBConv1"));
+        assert!(g.blocks().iter().any(|s| s.name == "MBConv16"));
+    }
+
+    #[test]
+    fn mbconv_block_extracts_with_se() {
+        let g = efficientnet_b0(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "MBConv2").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        assert!(block.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+        // expand + depthwise + 2 SE convs + project = 5 convs.
+        assert_eq!(block.conv_layer_count(), 5);
+    }
+
+    #[test]
+    fn every_block_extracts() {
+        let g = efficientnet_b0(224, 1000);
+        for span in g.blocks() {
+            g.extract_block(span)
+                .unwrap_or_else(|e| panic!("{}: {e}", span.name))
+                .infer_shapes()
+                .unwrap();
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Inception-V3 (Szegedy et al., 2016), without the auxiliary classifier —
+//! matching torchvision's inference graph.
+//!
+//! Inception is the source of the Table 2 `Conv2d 3x3` block: a
+//! `BasicConv2d` (conv-BN-ReLU) with a 3x3 kernel from the stem.
+
+use convmeter_graph::layer::{conv2d_rect, Activation, Layer, PoolKind};
+use convmeter_graph::{Graph, GraphBuilder, NodeId, Shape};
+
+/// BasicConv2d: biasless conv + BN + ReLU, possibly rectangular.
+fn basic_conv(
+    b: &mut GraphBuilder,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> NodeId {
+    b.layer(conv2d_rect(in_ch, out_ch, kernel, stride, padding));
+    b.layer(Layer::BatchNorm2d { channels: out_ch });
+    b.layer(Layer::Act(Activation::ReLU))
+}
+
+fn sq(b: &mut GraphBuilder, in_ch: usize, out_ch: usize, k: usize, s: usize, p: usize) -> NodeId {
+    basic_conv(b, in_ch, out_ch, (k, k), (s, s), (p, p))
+}
+
+fn avgpool3_s1(b: &mut GraphBuilder) -> NodeId {
+    b.layer(Layer::Pool2d {
+        kind: PoolKind::Avg,
+        kernel: (3, 3),
+        stride: (1, 1),
+        padding: (1, 1),
+    })
+}
+
+/// InceptionA(in, pool_features): out = 64 + 64 + 96 + pool_features.
+fn inception_a(b: &mut GraphBuilder, name: &str, in_ch: usize, pool_features: usize) -> usize {
+    b.begin_block(name.to_string());
+    let entry = b.cursor();
+    let b1 = sq(b, in_ch, 64, 1, 1, 0);
+    b.set_cursor(entry);
+    sq(b, in_ch, 48, 1, 1, 0);
+    let b2 = sq(b, 48, 64, 5, 1, 2);
+    b.set_cursor(entry);
+    sq(b, in_ch, 64, 1, 1, 0);
+    sq(b, 64, 96, 3, 1, 1);
+    let b3 = sq(b, 96, 96, 3, 1, 1);
+    b.set_cursor(entry);
+    avgpool3_s1(b);
+    let b4 = sq(b, in_ch, pool_features, 1, 1, 0);
+    b.concat(vec![b1, b2, b3, b4]);
+    b.end_block();
+    64 + 64 + 96 + pool_features
+}
+
+/// InceptionB(in): grid reduction, out = 384 + 96 + in.
+fn inception_b(b: &mut GraphBuilder, name: &str, in_ch: usize) -> usize {
+    b.begin_block(name.to_string());
+    let entry = b.cursor();
+    let b1 = sq(b, in_ch, 384, 3, 2, 0);
+    b.set_cursor(entry);
+    sq(b, in_ch, 64, 1, 1, 0);
+    sq(b, 64, 96, 3, 1, 1);
+    let b2 = sq(b, 96, 96, 3, 2, 0);
+    b.set_cursor(entry);
+    let b3 = b.maxpool(3, 2, 0);
+    b.concat(vec![b1, b2, b3]);
+    b.end_block();
+    384 + 96 + in_ch
+}
+
+/// InceptionC(in, c7): factorised 7x7 branches, out = 768.
+fn inception_c(b: &mut GraphBuilder, name: &str, in_ch: usize, c7: usize) -> usize {
+    b.begin_block(name.to_string());
+    let entry = b.cursor();
+    let b1 = sq(b, in_ch, 192, 1, 1, 0);
+    b.set_cursor(entry);
+    sq(b, in_ch, c7, 1, 1, 0);
+    basic_conv(b, c7, c7, (1, 7), (1, 1), (0, 3));
+    let b2 = basic_conv(b, c7, 192, (7, 1), (1, 1), (3, 0));
+    b.set_cursor(entry);
+    sq(b, in_ch, c7, 1, 1, 0);
+    basic_conv(b, c7, c7, (7, 1), (1, 1), (3, 0));
+    basic_conv(b, c7, c7, (1, 7), (1, 1), (0, 3));
+    basic_conv(b, c7, c7, (7, 1), (1, 1), (3, 0));
+    let b3 = basic_conv(b, c7, 192, (1, 7), (1, 1), (0, 3));
+    b.set_cursor(entry);
+    avgpool3_s1(b);
+    let b4 = sq(b, in_ch, 192, 1, 1, 0);
+    b.concat(vec![b1, b2, b3, b4]);
+    b.end_block();
+    768
+}
+
+/// InceptionD(in): grid reduction, out = 320 + 192 + in.
+fn inception_d(b: &mut GraphBuilder, name: &str, in_ch: usize) -> usize {
+    b.begin_block(name.to_string());
+    let entry = b.cursor();
+    sq(b, in_ch, 192, 1, 1, 0);
+    let b1 = sq(b, 192, 320, 3, 2, 0);
+    b.set_cursor(entry);
+    sq(b, in_ch, 192, 1, 1, 0);
+    basic_conv(b, 192, 192, (1, 7), (1, 1), (0, 3));
+    basic_conv(b, 192, 192, (7, 1), (1, 1), (3, 0));
+    let b2 = sq(b, 192, 192, 3, 2, 0);
+    b.set_cursor(entry);
+    let b3 = b.maxpool(3, 2, 0);
+    b.concat(vec![b1, b2, b3]);
+    b.end_block();
+    320 + 192 + in_ch
+}
+
+/// InceptionE(in): expanded-filterbank block, out = 2048.
+fn inception_e(b: &mut GraphBuilder, name: &str, in_ch: usize) -> usize {
+    b.begin_block(name.to_string());
+    let entry = b.cursor();
+    let b1 = sq(b, in_ch, 320, 1, 1, 0);
+    b.set_cursor(entry);
+    let stem2 = sq(b, in_ch, 384, 1, 1, 0);
+    let b2a = basic_conv(b, 384, 384, (1, 3), (1, 1), (0, 1));
+    b.set_cursor(stem2);
+    let b2b = basic_conv(b, 384, 384, (3, 1), (1, 1), (1, 0));
+    let b2 = b.concat(vec![b2a, b2b]);
+    b.set_cursor(entry);
+    sq(b, in_ch, 448, 1, 1, 0);
+    let stem3 = sq(b, 448, 384, 3, 1, 1);
+    let b3a = basic_conv(b, 384, 384, (1, 3), (1, 1), (0, 1));
+    b.set_cursor(stem3);
+    let b3b = basic_conv(b, 384, 384, (3, 1), (1, 1), (1, 0));
+    let b3 = b.concat(vec![b3a, b3b]);
+    b.set_cursor(entry);
+    avgpool3_s1(b);
+    let b4 = sq(b, in_ch, 192, 1, 1, 0);
+    b.concat(vec![b1, b2, b3, b4]);
+    b.end_block();
+    2048
+}
+
+/// Build Inception-V3 (no auxiliary head). Minimum input size: 75 px.
+pub fn inception_v3(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("inception_v3", Shape::image(3, image_size));
+    sq(&mut b, 3, 32, 3, 2, 0);
+    sq(&mut b, 32, 32, 3, 1, 0);
+    // The Table 2 "Conv2d 3x3" block: the stem's padded 3x3 BasicConv2d.
+    b.begin_block("Conv2d-3x3");
+    sq(&mut b, 32, 64, 3, 1, 1);
+    b.end_block();
+    b.maxpool(3, 2, 0);
+    sq(&mut b, 64, 80, 1, 1, 0);
+    sq(&mut b, 80, 192, 3, 1, 0);
+    b.maxpool(3, 2, 0);
+
+    let mut ch = 192;
+    ch = inception_a(&mut b, "Mixed_5b", ch, 32);
+    ch = inception_a(&mut b, "Mixed_5c", ch, 64);
+    ch = inception_a(&mut b, "Mixed_5d", ch, 64);
+    ch = inception_b(&mut b, "Mixed_6a", ch);
+    ch = inception_c(&mut b, "Mixed_6b", ch, 128);
+    ch = inception_c(&mut b, "Mixed_6c", ch, 160);
+    ch = inception_c(&mut b, "Mixed_6d", ch, 160);
+    ch = inception_c(&mut b, "Mixed_6e", ch, 192);
+    ch = inception_d(&mut b, "Mixed_7a", ch);
+    ch = inception_e(&mut b, "Mixed_7b", ch);
+    ch = inception_e(&mut b, "Mixed_7c", ch);
+
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Linear { in_features: ch, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision_sans_aux() {
+        // torchvision inception_v3: 27,161,264 with the auxiliary head,
+        // whose 3,326,696 parameters we omit (inference graph).
+        assert_eq!(inception_v3(299, 1000).parameter_count(), 23_834_568);
+    }
+
+    #[test]
+    fn validates_at_reference_and_minimum_size() {
+        for s in [299, 128, 75] {
+            let g = inception_v3(s, 1000);
+            assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000), "size {s}");
+        }
+        assert!(inception_v3(64, 1000).output_shape().is_err());
+    }
+
+    #[test]
+    fn mixed_block_channel_progression() {
+        let g = inception_v3(299, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // Feature map entering the classifier head: 2048 x 8 x 8 at 299 px.
+        let gap_idx = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::AdaptiveAvgPool2d { .. }))
+            .unwrap();
+        assert_eq!(shapes[gap_idx].inputs[0], Shape::image(2048, 8));
+    }
+
+    #[test]
+    fn blocks_registered_and_extractable() {
+        let g = inception_v3(299, 1000);
+        g.validate_blocks().unwrap();
+        let names: Vec<_> = g.blocks().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"Conv2d-3x3"));
+        assert!(names.contains(&"Mixed_5b"));
+        assert!(names.contains(&"Mixed_7c"));
+        assert_eq!(g.blocks().len(), 12);
+        for span in g.blocks() {
+            g.extract_block(span)
+                .unwrap_or_else(|e| panic!("{}: {e}", span.name))
+                .infer_shapes()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn conv_count_matches_reference() {
+        // InceptionV3 has 94 conv layers (without aux).
+        assert_eq!(inception_v3(299, 1000).conv_layer_count(), 94);
+    }
+}

@@ -1,0 +1,72 @@
+//! From-scratch ConvNet model zoo.
+//!
+//! The paper benchmarks "a wide variety of ConvNet models, ranging from large
+//! and generic ones such as AlexNet, VGG, ResNets, and ResNexts to optimized
+//! and mobile-friendly ones, including SqueezeNet, MobileNet, EfficientNet,
+//! and RegNets" (Section 4, Benchmarks), plus DenseNet and InceptionV3 for
+//! the block-wise study. This crate builds all of them as
+//! [`convmeter_graph::Graph`]s with the published channel counts, kernel
+//! sizes, and strides, so the extracted FLOPs / Inputs / Outputs / Weights
+//! metrics are the true values for each architecture.
+//!
+//! Every repeated block (Bottleneck, InvertedResidual, MBConv, Fire, ...) is
+//! registered as a named [`convmeter_graph::BlockSpan`] with a 1-based global
+//! index (`Bottleneck4` = the fourth bottleneck of the network), matching the
+//! naming used in Table 2 of the paper.
+//!
+//! All constructors take the input image size as a parameter — the paper's
+//! benchmark sweeps image sizes from 32 to 224 px — and a class count
+//! (1000 everywhere in the paper).
+
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod convnext;
+pub mod densenet;
+pub mod efficientnet;
+pub mod inception;
+pub mod mobilenet_v2;
+pub mod mobilenet_v3;
+pub mod random;
+pub mod regnet;
+pub mod resnet;
+pub mod shufflenet;
+pub mod squeezenet;
+pub mod vgg;
+pub mod vit;
+pub mod zoo;
+
+pub use zoo::{all_models, by_name, model_names, ModelSpec};
+
+/// Round a channel count to the nearest multiple of `divisor`, never going
+/// below 90 % of the original — torchvision's `_make_divisible`, used by the
+/// MobileNet and EfficientNet families.
+pub fn make_divisible(v: f64, divisor: usize) -> usize {
+    let d = divisor as f64;
+    let new_v = ((v + d / 2.0) / d).floor() as usize * divisor;
+    let new_v = new_v.max(divisor);
+    if (new_v as f64) < 0.9 * v {
+        new_v + divisor
+    } else {
+        new_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_divisible_matches_reference() {
+        // Reference values from torchvision's _make_divisible.
+        assert_eq!(make_divisible(32.0, 8), 32);
+        assert_eq!(make_divisible(33.0, 8), 32);
+        assert_eq!(make_divisible(36.0, 8), 40);
+        assert_eq!(make_divisible(16.0 * 0.25, 8), 8); // SE squeeze floor
+        assert_eq!(make_divisible(1.0, 8), 8);
+        // 90% guard: 24 -> 24, but 23.0 rounds to 24 (>= 0.9*23).
+        assert_eq!(make_divisible(23.0, 8), 24);
+        // 20 -> rounds to 24? (20+4)/8 floor = 3 -> 24; 24 >= 18 ok.
+        assert_eq!(make_divisible(20.0, 8), 24);
+    }
+}

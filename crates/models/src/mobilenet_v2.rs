@@ -1,0 +1,112 @@
+//! MobileNetV2 (Sandler et al., 2018): inverted residuals with linear
+//! bottlenecks — 1x1 expand, 3x3 depthwise, 1x1 project.
+
+use crate::make_divisible;
+use convmeter_graph::layer::{Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// (expansion factor t, output channels c, repeats n, first stride s).
+const SETTINGS: &[(usize, usize, usize, usize)] = &[
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    index: usize,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+) {
+    b.begin_block(format!("InvertedResidual{index}"));
+    let entry = b.cursor();
+    let hidden = in_ch * expand;
+    if expand != 1 {
+        b.conv_bn_act(in_ch, hidden, 1, 1, 0, Activation::ReLU6);
+    }
+    b.depthwise_bn_act(hidden, 3, stride, 1, Activation::ReLU6);
+    b.conv_bn(hidden, out_ch, 1, 1, 0); // linear bottleneck: no activation
+    if stride == 1 && in_ch == out_ch {
+        b.add_residual(entry);
+    }
+    b.end_block();
+}
+
+/// Build MobileNetV2 (width multiplier 1.0).
+pub fn mobilenet_v2(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2", Shape::image(3, image_size));
+    let mut in_ch = make_divisible(32.0, 8);
+    b.conv_bn_act(3, in_ch, 3, 2, 1, Activation::ReLU6);
+    let mut index = 1usize;
+    for &(t, c, n, s) in SETTINGS {
+        let out_ch = make_divisible(c as f64, 8);
+        for unit in 0..n {
+            let stride = if unit == 0 { s } else { 1 };
+            inverted_residual(&mut b, index, in_ch, out_ch, stride, t);
+            in_ch = out_ch;
+            index += 1;
+        }
+    }
+    let last = make_divisible(1280.0, 8);
+    b.conv_bn_act(in_ch, last, 1, 1, 0, Activation::ReLU6);
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: last, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(mobilenet_v2(224, 1000).parameter_count(), 3_504_872);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = mobilenet_v2(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn has_seventeen_inverted_residuals() {
+        let g = mobilenet_v2(224, 1000);
+        assert_eq!(g.blocks().len(), 17);
+        assert!(g.blocks().iter().any(|s| s.name == "InvertedResidual3"));
+    }
+
+    #[test]
+    fn inverted_residual3_extracts() {
+        // The Table 2 block: InvertedResidual3 of MobileNetV2.
+        let g = mobilenet_v2(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual3").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        // Expand + depthwise + project = 3 convs.
+        assert_eq!(block.conv_layer_count(), 3);
+    }
+
+    #[test]
+    fn first_block_skips_expansion() {
+        // t=1 block has only depthwise + project convs.
+        let g = mobilenet_v2(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual1").unwrap();
+        let block = g.extract_block(span).unwrap();
+        assert_eq!(block.conv_layer_count(), 2);
+    }
+
+    #[test]
+    fn works_at_small_sizes() {
+        assert_eq!(mobilenet_v2(32, 1000).output_shape().unwrap(), Shape::Flat(1000));
+    }
+}

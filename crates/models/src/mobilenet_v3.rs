@@ -1,0 +1,162 @@
+//! MobileNetV3-Large (Howard et al., 2019): inverted residuals with optional
+//! squeeze-and-excitation and hard-swish activations.
+
+use crate::make_divisible;
+use convmeter_graph::layer::{Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// One bneck row: (input, kernel, expanded, output, use_se, use_hs, stride).
+type BneckRow = (usize, usize, usize, usize, bool, bool, usize);
+
+const SETTINGS: &[BneckRow] = &[
+    (16, 3, 16, 16, false, false, 1),
+    (16, 3, 64, 24, false, false, 2),
+    (24, 3, 72, 24, false, false, 1),
+    (24, 5, 72, 40, true, false, 2),
+    (40, 5, 120, 40, true, false, 1),
+    (40, 5, 120, 40, true, false, 1),
+    (40, 3, 240, 80, false, true, 2),
+    (80, 3, 200, 80, false, true, 1),
+    (80, 3, 184, 80, false, true, 1),
+    (80, 3, 184, 80, false, true, 1),
+    (80, 3, 480, 112, true, true, 1),
+    (112, 3, 672, 112, true, true, 1),
+    (112, 5, 672, 160, true, true, 2),
+    (160, 5, 960, 160, true, true, 1),
+    (160, 5, 960, 160, true, true, 1),
+];
+
+#[allow(clippy::too_many_arguments)]
+fn bneck(
+    b: &mut GraphBuilder,
+    index: usize,
+    in_ch: usize,
+    kernel: usize,
+    expanded: usize,
+    out_ch: usize,
+    use_se: bool,
+    use_hs: bool,
+    stride: usize,
+) {
+    let act = if use_hs { Activation::HardSwish } else { Activation::ReLU };
+    b.begin_block(format!("InvertedResidual{index}"));
+    let entry = b.cursor();
+    if expanded != in_ch {
+        b.conv_bn_act(in_ch, expanded, 1, 1, 0, act);
+    }
+    b.depthwise_bn_act(expanded, kernel, stride, kernel / 2, act);
+    if use_se {
+        let squeeze = make_divisible(expanded as f64 / 4.0, 8);
+        b.se_block(expanded, squeeze, Activation::ReLU, Activation::HardSigmoid);
+    }
+    b.conv_bn(expanded, out_ch, 1, 1, 0);
+    if stride == 1 && in_ch == out_ch {
+        b.add_residual(entry);
+    }
+    b.end_block();
+}
+
+/// The MobileNetV3-Small bneck table (torchvision).
+const SMALL_SETTINGS: &[BneckRow] = &[
+    (16, 3, 16, 16, true, false, 2),
+    (16, 3, 72, 24, false, false, 2),
+    (24, 3, 88, 24, false, false, 1),
+    (24, 5, 96, 40, true, true, 2),
+    (40, 5, 240, 40, true, true, 1),
+    (40, 5, 240, 40, true, true, 1),
+    (40, 5, 120, 48, true, true, 1),
+    (48, 5, 144, 48, true, true, 1),
+    (48, 5, 288, 96, true, true, 2),
+    (96, 5, 576, 96, true, true, 1),
+    (96, 5, 576, 96, true, true, 1),
+];
+
+fn mobilenet_v3(
+    name: &str,
+    settings: &[BneckRow],
+    last_conv: usize,
+    last_hidden: usize,
+    image_size: usize,
+    num_classes: usize,
+) -> Graph {
+    let mut b = GraphBuilder::new(name, Shape::image(3, image_size));
+    b.conv_bn_act(3, 16, 3, 2, 1, Activation::HardSwish);
+    for (i, &(in_ch, k, exp, out, se, hs, s)) in settings.iter().enumerate() {
+        bneck(&mut b, i + 1, in_ch, k, exp, out, se, hs, s);
+    }
+    let trunk_out = settings.last().expect("non-empty settings").3;
+    b.conv_bn_act(trunk_out, last_conv, 1, 1, 0, Activation::HardSwish);
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Linear { in_features: last_conv, out_features: last_hidden, bias: true });
+    b.layer(Layer::Act(Activation::HardSwish));
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: last_hidden, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+/// Build MobileNetV3-Large (width multiplier 1.0).
+pub fn mobilenet_v3_large(image_size: usize, num_classes: usize) -> Graph {
+    mobilenet_v3("mobilenet_v3_large", SETTINGS, 960, 1280, image_size, num_classes)
+}
+
+/// Build MobileNetV3-Small (width multiplier 1.0).
+pub fn mobilenet_v3_small(image_size: usize, num_classes: usize) -> Graph {
+    mobilenet_v3("mobilenet_v3_small", SMALL_SETTINGS, 576, 1024, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(mobilenet_v3_large(224, 1000).parameter_count(), 5_483_032);
+        assert_eq!(mobilenet_v3_small(224, 1000).parameter_count(), 2_542_856);
+    }
+
+    #[test]
+    fn small_variant_validates_with_eleven_blocks() {
+        let g = mobilenet_v3_small(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        assert_eq!(g.blocks().len(), 11);
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = mobilenet_v3_large(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn fifteen_blocks_registered() {
+        let g = mobilenet_v3_large(224, 1000);
+        assert_eq!(g.blocks().len(), 15);
+    }
+
+    #[test]
+    fn inverted_residual2_extracts() {
+        // The Table 2 block: InvertedResidual2 of MobileNetV3.
+        let g = mobilenet_v3_large(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual2").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        assert_eq!(block.conv_layer_count(), 3); // expand, depthwise, project
+    }
+
+    #[test]
+    fn se_blocks_present_where_configured() {
+        let g = mobilenet_v3_large(224, 1000);
+        // Block 4 (k=5, SE) should contain a Mul node; block 2 should not.
+        let get = |name: &str| {
+            let span = g.blocks().iter().find(|s| s.name == name).unwrap();
+            g.extract_block(span).unwrap()
+        };
+        let with_se = get("InvertedResidual4");
+        assert!(with_se.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+        let without_se = get("InvertedResidual2");
+        assert!(!without_se.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+    }
+}

@@ -1,0 +1,207 @@
+//! RegNet (Radosavovic et al., 2020): design-space networks built from
+//! `ResBottleneckBlock`s — 1x1 reduce, grouped 3x3, 1x1 expand, bottleneck
+//! ratio 1.0. The X variants are plain; the Y variants add
+//! squeeze-and-excitation (ratio 0.25 of the block *input* width) after the
+//! grouped convolution.
+
+use convmeter_graph::layer::{Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+struct RegNetCfg {
+    name: &'static str,
+    depths: [usize; 4],
+    widths: [usize; 4],
+    group_width: usize,
+    /// Squeeze-and-excitation ratio relative to the block input width;
+    /// 0 disables SE (the X variants).
+    se_ratio: f64,
+}
+
+/// RegNetX-400MF stage layout (torchvision).
+const X_400MF: RegNetCfg = RegNetCfg {
+    name: "regnet_x_400mf",
+    depths: [1, 2, 7, 12],
+    widths: [32, 64, 160, 400],
+    group_width: 16,
+    se_ratio: 0.0,
+};
+
+/// RegNetX-8GF stage layout (torchvision).
+const X_8GF: RegNetCfg = RegNetCfg {
+    name: "regnet_x_8gf",
+    depths: [2, 5, 15, 1],
+    widths: [80, 240, 720, 1920],
+    group_width: 120,
+    se_ratio: 0.0,
+};
+
+/// RegNetY-400MF stage layout (torchvision).
+const Y_400MF: RegNetCfg = RegNetCfg {
+    name: "regnet_y_400mf",
+    depths: [1, 3, 6, 6],
+    widths: [48, 104, 208, 440],
+    group_width: 8,
+    se_ratio: 0.25,
+};
+
+/// RegNetY-8GF stage layout (torchvision).
+const Y_8GF: RegNetCfg = RegNetCfg {
+    name: "regnet_y_8gf",
+    depths: [2, 4, 10, 1],
+    widths: [224, 448, 896, 2016],
+    group_width: 56,
+    se_ratio: 0.25,
+};
+
+#[allow(clippy::too_many_arguments)]
+fn res_bottleneck_block(
+    b: &mut GraphBuilder,
+    index: usize,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    group_width: usize,
+    se_ratio: f64,
+) {
+    b.begin_block(format!("ResBottleneckBlock{index}"));
+    let entry = b.cursor();
+    // Bottleneck ratio 1.0: inner width equals the output width. Per-stage
+    // group width is clamped to the inner width (torchvision's
+    // `_adjust_widths_groups_compat`).
+    let w_b = out_ch;
+    let groups = w_b / group_width.min(w_b);
+    b.conv_bn_act(in_ch, w_b, 1, 1, 0, Activation::ReLU);
+    b.grouped_conv_bn_act(w_b, w_b, 3, stride, 1, groups, Activation::ReLU);
+    if se_ratio > 0.0 {
+        // torchvision: squeeze width = round(se_ratio * block input width).
+        let squeeze = ((se_ratio * in_ch as f64).round() as usize).max(1);
+        b.se_block(w_b, squeeze, Activation::ReLU, Activation::Sigmoid);
+    }
+    b.conv_bn(w_b, out_ch, 1, 1, 0);
+    let trunk = b.cursor();
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        b.set_cursor(entry);
+        b.conv_bn(in_ch, out_ch, 1, stride, 0)
+    } else {
+        entry
+    };
+    b.set_cursor(trunk);
+    b.add_residual(shortcut);
+    b.layer(Layer::Act(Activation::ReLU));
+    b.end_block();
+}
+
+fn build(cfg: &RegNetCfg, image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(cfg.name, Shape::image(3, image_size));
+    let stem = 32;
+    b.conv_bn_act(3, stem, 3, 2, 1, Activation::ReLU);
+    let mut in_ch = stem;
+    let mut index = 1usize;
+    for (stage, (&depth, &width)) in cfg.depths.iter().zip(&cfg.widths).enumerate() {
+        let _ = stage;
+        for unit in 0..depth {
+            // Every RegNet stage downsamples at its first block.
+            let stride = if unit == 0 { 2 } else { 1 };
+            res_bottleneck_block(
+                &mut b,
+                index,
+                in_ch,
+                width,
+                stride,
+                cfg.group_width,
+                cfg.se_ratio,
+            );
+            in_ch = width;
+            index += 1;
+        }
+    }
+    b.classifier(in_ch, num_classes);
+    b.finish()
+}
+
+/// RegNetX-400MF.
+pub fn regnet_x_400mf(image_size: usize, num_classes: usize) -> Graph {
+    build(&X_400MF, image_size, num_classes)
+}
+
+/// RegNetX-8GF.
+pub fn regnet_x_8gf(image_size: usize, num_classes: usize) -> Graph {
+    build(&X_8GF, image_size, num_classes)
+}
+
+/// RegNetY-400MF (with squeeze-and-excitation).
+pub fn regnet_y_400mf(image_size: usize, num_classes: usize) -> Graph {
+    build(&Y_400MF, image_size, num_classes)
+}
+
+/// RegNetY-8GF (with squeeze-and-excitation).
+pub fn regnet_y_8gf(image_size: usize, num_classes: usize) -> Graph {
+    build(&Y_8GF, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_torchvision() {
+        assert_eq!(regnet_x_400mf(224, 1000).parameter_count(), 5_495_976);
+        assert_eq!(regnet_x_8gf(224, 1000).parameter_count(), 39_572_648);
+        assert_eq!(regnet_y_400mf(224, 1000).parameter_count(), 4_344_144);
+        assert_eq!(regnet_y_8gf(224, 1000).parameter_count(), 39_381_472);
+    }
+
+    #[test]
+    fn y_variants_have_se_blocks() {
+        let g = regnet_y_400mf(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        assert!(g.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+        let x = regnet_x_400mf(224, 1000);
+        assert!(!x.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        for g in [regnet_x_400mf(224, 1000), regnet_x_8gf(224, 1000)] {
+            assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000), "{}", g.name());
+            g.validate_blocks().unwrap();
+        }
+    }
+
+    #[test]
+    fn block_counts_match_depths() {
+        assert_eq!(regnet_x_400mf(224, 1000).blocks().len(), 1 + 2 + 7 + 12);
+        assert_eq!(regnet_x_8gf(224, 1000).blocks().len(), 2 + 5 + 15 + 1);
+    }
+
+    #[test]
+    fn res_bottleneck_block3_extracts() {
+        // The Table 2 block: ResBottleneckBlock3 of RegNetX-8GF (first block
+        // of stage 2).
+        let g = regnet_x_8gf(224, 1000);
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "ResBottleneckBlock3")
+            .unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        // 3 trunk convs + downsample conv (stage boundary).
+        assert_eq!(block.conv_layer_count(), 4);
+    }
+
+    #[test]
+    fn group_clamping_for_narrow_stages() {
+        // 8GF stage 1 width 80 < group width 120 => one group (dense conv).
+        let g = regnet_x_8gf(224, 1000);
+        let first_3x3 = g
+            .nodes()
+            .iter()
+            .find_map(|n| match n.layer {
+                Layer::Conv2d { kernel: (3, 3), groups, in_channels: 80, .. } => Some(groups),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_3x3, 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! The ResNet family (He et al., 2015) and its descendants benchmarked by
+//! the paper: ResNet-18/34/50/101, Wide-ResNet-50-2 (doubled bottleneck
+//! width), and ResNeXt-50-32x4d (grouped 3x3 convolutions).
+//!
+//! Every residual unit is registered as a block span with a 1-based global
+//! index (`BasicBlock7`, `Bottleneck4`, ...) so the Table 2 blocks can be
+//! extracted by name.
+
+use convmeter_graph::layer::{conv2d, conv2d_grouped, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, NodeId, Shape};
+
+/// Residual unit flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    /// Two 3x3 convolutions (ResNet-18/34). Expansion 1.
+    Basic,
+    /// 1x1 reduce, 3x3 (possibly grouped), 1x1 expand (x4).
+    Bottleneck,
+}
+
+impl BlockKind {
+    fn expansion(self) -> usize {
+        match self {
+            BlockKind::Basic => 1,
+            BlockKind::Bottleneck => 4,
+        }
+    }
+
+    fn span_name(self) -> &'static str {
+        match self {
+            BlockKind::Basic => "BasicBlock",
+            BlockKind::Bottleneck => "Bottleneck",
+        }
+    }
+}
+
+struct ResNetCfg {
+    name: &'static str,
+    kind: BlockKind,
+    layers: [usize; 4],
+    groups: usize,
+    width_per_group: usize,
+}
+
+fn basic_block(b: &mut GraphBuilder, in_ch: usize, planes: usize, stride: usize) {
+    let entry = b.cursor();
+    b.conv_bn_act(in_ch, planes, 3, stride, 1, Activation::ReLU);
+    b.conv_bn(planes, planes, 3, 1, 1);
+    let trunk = b.cursor();
+    let shortcut = if stride != 1 || in_ch != planes {
+        b.set_cursor(entry);
+        b.conv_bn(in_ch, planes, 1, stride, 0)
+    } else {
+        entry
+    };
+    b.set_cursor(trunk);
+    b.add_residual(shortcut);
+    b.layer(Layer::Act(Activation::ReLU));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    in_ch: usize,
+    planes: usize,
+    stride: usize,
+    groups: usize,
+    width_per_group: usize,
+) {
+    // torchvision: width = planes * (base_width / 64) * groups.
+    let width = planes * width_per_group / 64 * groups;
+    let out_ch = planes * 4;
+    let entry = b.cursor();
+    b.conv_bn_act(in_ch, width, 1, 1, 0, Activation::ReLU);
+    if groups > 1 {
+        b.layer(conv2d_grouped(width, width, 3, stride, 1, groups));
+        b.layer(Layer::BatchNorm2d { channels: width });
+        b.layer(Layer::Act(Activation::ReLU));
+    } else {
+        b.conv_bn_act(width, width, 3, stride, 1, Activation::ReLU);
+    }
+    b.conv_bn(width, out_ch, 1, 1, 0);
+    let trunk = b.cursor();
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        b.set_cursor(entry);
+        b.conv_bn(in_ch, out_ch, 1, stride, 0)
+    } else {
+        entry
+    };
+    b.set_cursor(trunk);
+    b.add_residual(shortcut);
+    b.layer(Layer::Act(Activation::ReLU));
+}
+
+fn build(cfg: &ResNetCfg, image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(cfg.name, Shape::image(3, image_size));
+    b.conv_bn_act(3, 64, 7, 2, 3, Activation::ReLU);
+    b.maxpool(3, 2, 1);
+
+    let mut in_ch = 64;
+    let mut block_index = 1usize;
+    for (stage, &count) in cfg.layers.iter().enumerate() {
+        let planes = 64 << stage;
+        for unit in 0..count {
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            b.begin_block(format!("{}{}", cfg.kind.span_name(), block_index));
+            match cfg.kind {
+                BlockKind::Basic => {
+                    basic_block(&mut b, in_ch, planes, stride);
+                    in_ch = planes;
+                }
+                BlockKind::Bottleneck => {
+                    bottleneck_block(
+                        &mut b,
+                        in_ch,
+                        planes,
+                        stride,
+                        cfg.groups,
+                        cfg.width_per_group,
+                    );
+                    in_ch = planes * cfg.kind.expansion();
+                }
+            }
+            b.end_block();
+            block_index += 1;
+        }
+    }
+    b.classifier(in_ch, num_classes);
+    b.finish()
+}
+
+/// Helper shared by the family constructors.
+fn family(
+    name: &'static str,
+    kind: BlockKind,
+    layers: [usize; 4],
+    groups: usize,
+    width_per_group: usize,
+) -> ResNetCfg {
+    ResNetCfg { name, kind, layers, groups, width_per_group }
+}
+
+/// ResNet-18.
+pub fn resnet18(image_size: usize, num_classes: usize) -> Graph {
+    build(&family("resnet18", BlockKind::Basic, [2, 2, 2, 2], 1, 64), image_size, num_classes)
+}
+
+/// ResNet-34.
+pub fn resnet34(image_size: usize, num_classes: usize) -> Graph {
+    build(&family("resnet34", BlockKind::Basic, [3, 4, 6, 3], 1, 64), image_size, num_classes)
+}
+
+/// ResNet-50.
+pub fn resnet50(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("resnet50", BlockKind::Bottleneck, [3, 4, 6, 3], 1, 64),
+        image_size,
+        num_classes,
+    )
+}
+
+/// ResNet-101.
+pub fn resnet101(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("resnet101", BlockKind::Bottleneck, [3, 4, 23, 3], 1, 64),
+        image_size,
+        num_classes,
+    )
+}
+
+/// ResNet-152.
+pub fn resnet152(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("resnet152", BlockKind::Bottleneck, [3, 8, 36, 3], 1, 64),
+        image_size,
+        num_classes,
+    )
+}
+
+/// Wide-ResNet-50-2: bottleneck inner width doubled (base width 128).
+pub fn wide_resnet50(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("wide_resnet50", BlockKind::Bottleneck, [3, 4, 6, 3], 1, 128),
+        image_size,
+        num_classes,
+    )
+}
+
+/// ResNeXt-50-32x4d: 32 groups, base width 4.
+pub fn resnext50_32x4d(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("resnext50_32x4d", BlockKind::Bottleneck, [3, 4, 6, 3], 32, 4),
+        image_size,
+        num_classes,
+    )
+}
+
+/// ResNeXt-101-32x8d: 32 groups, base width 8.
+pub fn resnext101_32x8d(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("resnext101_32x8d", BlockKind::Bottleneck, [3, 4, 23, 3], 32, 8),
+        image_size,
+        num_classes,
+    )
+}
+
+/// Wide-ResNet-101-2.
+pub fn wide_resnet101(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &family("wide_resnet101", BlockKind::Bottleneck, [3, 4, 23, 3], 1, 128),
+        image_size,
+        num_classes,
+    )
+}
+
+// Silence the unused-import lint for conv2d, used indirectly via conv_bn_*.
+#[allow(unused_imports)]
+use conv2d as _conv2d_marker;
+
+#[allow(unused)]
+fn _marker(_: NodeId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_torchvision() {
+        assert_eq!(resnet18(224, 1000).parameter_count(), 11_689_512);
+        assert_eq!(resnet34(224, 1000).parameter_count(), 21_797_672);
+        assert_eq!(resnet50(224, 1000).parameter_count(), 25_557_032);
+        assert_eq!(resnet101(224, 1000).parameter_count(), 44_549_160);
+        assert_eq!(wide_resnet50(224, 1000).parameter_count(), 68_883_240);
+        assert_eq!(resnext50_32x4d(224, 1000).parameter_count(), 25_028_904);
+        assert_eq!(resnet152(224, 1000).parameter_count(), 60_192_808);
+        assert_eq!(resnext101_32x8d(224, 1000).parameter_count(), 88_791_336);
+        assert_eq!(wide_resnet101(224, 1000).parameter_count(), 126_886_696);
+    }
+
+    #[test]
+    fn all_variants_validate() {
+        for g in [
+            resnet18(224, 1000),
+            resnet34(224, 1000),
+            resnet50(224, 1000),
+            resnet101(224, 1000),
+            wide_resnet50(224, 1000),
+            resnext50_32x4d(224, 1000),
+        ] {
+            assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000), "{}", g.name());
+            g.validate_blocks().unwrap();
+        }
+    }
+
+    #[test]
+    fn resnet18_has_eight_basic_blocks() {
+        let g = resnet18(224, 1000);
+        let names: Vec<_> = g.blocks().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 8);
+        assert_eq!(names[0], "BasicBlock1");
+        assert_eq!(names[7], "BasicBlock8");
+    }
+
+    #[test]
+    fn resnet50_has_sixteen_bottlenecks() {
+        let g = resnet50(224, 1000);
+        assert_eq!(g.blocks().len(), 16);
+        assert!(g.blocks().iter().any(|s| s.name == "Bottleneck4"));
+    }
+
+    #[test]
+    fn table2_blocks_extract_cleanly() {
+        // Bottleneck4 of ResNet50, BasicBlock7 of ResNet18, Bottleneck1 of
+        // ResNeXt50, Bottleneck9 of WideResNet50 — the Table 2 entries.
+        let cases: [(Graph, &str); 4] = [
+            (resnet50(224, 1000), "Bottleneck4"),
+            (resnet18(224, 1000), "BasicBlock7"),
+            (resnext50_32x4d(224, 1000), "Bottleneck1"),
+            (wide_resnet50(224, 1000), "Bottleneck9"),
+        ];
+        for (g, name) in cases {
+            let span = g
+                .blocks()
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} not found in {}", g.name()));
+            let block = g.extract_block(span).unwrap();
+            block.infer_shapes().unwrap();
+            assert!(block.len() >= 5, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn feature_map_progression_resnet50() {
+        let g = resnet50(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // Stem: 64x112x112 after conv1, 64x56x56 after maxpool.
+        assert_eq!(shapes[0].output, Shape::image(64, 112));
+        assert_eq!(shapes[3].output, Shape::image(64, 56));
+        // Final feature map before GAP is 2048x7x7.
+        let gap_idx = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::AdaptiveAvgPool2d { .. }))
+            .unwrap();
+        assert_eq!(shapes[gap_idx].inputs[0], Shape::image(2048, 7));
+    }
+
+    #[test]
+    fn resnext_width_matches_reference() {
+        // ResNeXt50 stage-1 bottleneck width: 64 * 4/64 * 32 = 128.
+        let g = resnext50_32x4d(224, 1000);
+        let first_grouped = g
+            .nodes()
+            .iter()
+            .find_map(|n| match n.layer {
+                Layer::Conv2d { groups: 32, out_channels, .. } => Some(out_channels),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_grouped, 128);
+    }
+}

@@ -1,0 +1,132 @@
+//! ShuffleNetV2 (Ma et al., 2018): channel splits, depthwise separable
+//! branches, and the channel shuffle — the mobile architecture built almost
+//! entirely from memory-bound operators, a stress test for any FLOPs-centric
+//! runtime model.
+
+use convmeter_graph::layer::{conv2d, conv2d_depthwise, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, NodeId, Shape};
+
+/// Stage repeats and output channels of ShuffleNetV2 x1.0 (torchvision).
+const REPEATS: [usize; 3] = [4, 8, 4];
+const OUT_CHANNELS: [usize; 5] = [24, 116, 232, 464, 1024];
+
+fn branch2(b: &mut GraphBuilder, in_ch: usize, out_ch: usize, stride: usize) -> NodeId {
+    b.conv_bn_act(in_ch, out_ch, 1, 1, 0, Activation::ReLU);
+    b.layer(conv2d_depthwise(out_ch, 3, stride, 1));
+    b.layer(Layer::BatchNorm2d { channels: out_ch });
+    b.conv_bn_act(out_ch, out_ch, 1, 1, 0, Activation::ReLU)
+}
+
+/// Stride-1 unit: split channels in half, transform one half, concat,
+/// shuffle.
+fn unit_s1(b: &mut GraphBuilder, index: usize, channels: usize) {
+    let half = channels / 2;
+    b.begin_block(format!("ShuffleUnit{index}"));
+    let entry = b.cursor();
+    let keep = b.layer(Layer::ChannelSlice { offset: 0, channels: half });
+    b.set_cursor(entry);
+    b.layer(Layer::ChannelSlice { offset: half, channels: half });
+    let transformed = branch2(b, half, half, 1);
+    b.concat(vec![keep, transformed]);
+    b.layer(Layer::ChannelShuffle { groups: 2 });
+    b.end_block();
+}
+
+/// Stride-2 unit: both branches downsample; channel count changes.
+fn unit_s2(b: &mut GraphBuilder, index: usize, in_ch: usize, out_ch: usize) {
+    let branch_features = out_ch / 2;
+    b.begin_block(format!("ShuffleUnit{index}"));
+    let entry = b.cursor();
+    // Branch 1: depthwise s2 + pointwise.
+    b.layer(conv2d_depthwise(in_ch, 3, 2, 1));
+    b.layer(Layer::BatchNorm2d { channels: in_ch });
+    let b1 = b.conv_bn_act(in_ch, branch_features, 1, 1, 0, Activation::ReLU);
+    // Branch 2: pointwise, depthwise s2, pointwise.
+    b.set_cursor(entry);
+    let b2 = branch2(b, in_ch, branch_features, 2);
+    b.concat(vec![b1, b2]);
+    b.layer(Layer::ChannelShuffle { groups: 2 });
+    b.end_block();
+}
+
+/// Build ShuffleNetV2 x1.0.
+pub fn shufflenet_v2_x1_0(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("shufflenet_v2_x1_0", Shape::image(3, image_size));
+    b.conv_bn_act(3, OUT_CHANNELS[0], 3, 2, 1, Activation::ReLU);
+    b.maxpool(3, 2, 1);
+    let mut in_ch = OUT_CHANNELS[0];
+    let mut index = 1usize;
+    for (stage, &repeats) in REPEATS.iter().enumerate() {
+        let out_ch = OUT_CHANNELS[stage + 1];
+        unit_s2(&mut b, index, in_ch, out_ch);
+        index += 1;
+        for _ in 1..repeats {
+            unit_s1(&mut b, index, out_ch);
+            index += 1;
+        }
+        in_ch = out_ch;
+    }
+    b.conv_bn_act(in_ch, OUT_CHANNELS[4], 1, 1, 0, Activation::ReLU);
+    b.classifier(OUT_CHANNELS[4], num_classes);
+    b.finish()
+}
+
+// Keep the dense-conv helper import exercised (used via conv_bn_act).
+#[allow(unused_imports)]
+use conv2d as _conv2d_marker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(shufflenet_v2_x1_0(224, 1000).parameter_count(), 2_278_604);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = shufflenet_v2_x1_0(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+        assert_eq!(g.blocks().len(), 4 + 8 + 4);
+    }
+
+    #[test]
+    fn units_extract_as_blocks() {
+        let g = shufflenet_v2_x1_0(224, 1000);
+        for span in g.blocks() {
+            let block = g.extract_block(span).unwrap_or_else(|e| panic!("{}: {e}", span.name));
+            block.infer_shapes().unwrap();
+            assert!(block
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.layer, Layer::ChannelShuffle { .. })));
+        }
+    }
+
+    #[test]
+    fn memory_bound_profile() {
+        // ShuffleNet's whole point: tiny FLOPs relative to its activation
+        // traffic. Its FLOPs/conv-output ratio must be far below ResNet-50's.
+        use convmeter_metrics::ModelMetrics;
+        let sn = ModelMetrics::of(&shufflenet_v2_x1_0(224, 1000)).unwrap();
+        let rn =
+            ModelMetrics::of(&crate::resnet::resnet50(224, 1000)).unwrap();
+        let intensity = |m: &ModelMetrics| m.flops as f64 / m.conv_outputs as f64;
+        assert!(intensity(&sn) < intensity(&rn) / 3.0);
+    }
+
+    #[test]
+    fn stage_channel_progression() {
+        let g = shufflenet_v2_x1_0(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // Final feature map entering the head: 1024 channels at 7x7.
+        let gap = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::AdaptiveAvgPool2d { .. }))
+            .unwrap();
+        assert_eq!(shapes[gap].inputs[0], Shape::image(1024, 7));
+    }
+}

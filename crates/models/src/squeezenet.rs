@@ -1,0 +1,96 @@
+//! SqueezeNet 1.0 (Iandola et al., 2016): Fire modules — a 1x1 squeeze
+//! followed by parallel 1x1 and 3x3 expands concatenated along channels.
+
+use convmeter_graph::layer::{conv2d_biased, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+fn fire(b: &mut GraphBuilder, index: usize, in_ch: usize, squeeze: usize, expand: usize) -> usize {
+    b.begin_block(format!("Fire{index}"));
+    b.layer(conv2d_biased(in_ch, squeeze, 1, 1, 0));
+    let s = b.layer(Layer::Act(Activation::ReLU));
+    let e1 = {
+        b.layer(conv2d_biased(squeeze, expand, 1, 1, 0));
+        b.layer(Layer::Act(Activation::ReLU))
+    };
+    b.set_cursor(s);
+    let e3 = {
+        b.layer(conv2d_biased(squeeze, expand, 3, 1, 1));
+        b.layer(Layer::Act(Activation::ReLU))
+    };
+    b.concat(vec![e1, e3]);
+    b.end_block();
+    2 * expand
+}
+
+/// Build SqueezeNet 1.0. Like AlexNet, all convolutions are biased and
+/// there is no batch normalisation.
+pub fn squeezenet1_0(image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("squeezenet1_0", Shape::image(3, image_size));
+    b.layer(conv2d_biased(3, 96, 7, 2, 0));
+    b.layer(Layer::Act(Activation::ReLU));
+    b.maxpool(3, 2, 0);
+    let mut ch = 96;
+    ch = fire(&mut b, 2, ch, 16, 64);
+    ch = fire(&mut b, 3, ch, 16, 64);
+    ch = fire(&mut b, 4, ch, 32, 128);
+    b.maxpool(3, 2, 0);
+    ch = fire(&mut b, 5, ch, 32, 128);
+    ch = fire(&mut b, 6, ch, 48, 192);
+    ch = fire(&mut b, 7, ch, 48, 192);
+    ch = fire(&mut b, 8, ch, 64, 256);
+    b.maxpool(3, 2, 0);
+    ch = fire(&mut b, 9, ch, 64, 256);
+    // Classifier: dropout, 1x1 conv to classes, ReLU, GAP, flatten.
+    b.layer(Layer::Dropout);
+    b.layer(conv2d_biased(ch, num_classes, 1, 1, 0));
+    b.layer(Layer::Act(Activation::ReLU));
+    b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
+    b.layer(Layer::Flatten);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        assert_eq!(squeezenet1_0(224, 1000).parameter_count(), 1_248_424);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = squeezenet1_0(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+    }
+
+    #[test]
+    fn has_eight_fire_modules() {
+        let g = squeezenet1_0(224, 1000);
+        let fires: Vec<_> = g
+            .blocks()
+            .iter()
+            .filter(|s| s.name.starts_with("Fire"))
+            .collect();
+        assert_eq!(fires.len(), 8);
+    }
+
+    #[test]
+    fn fire_blocks_extract() {
+        let g = squeezenet1_0(224, 1000);
+        for span in g.blocks() {
+            let block = g.extract_block(span).unwrap();
+            block.infer_shapes().unwrap();
+        }
+    }
+
+    #[test]
+    fn small_image_still_works() {
+        // Minimum viable input is 35 px (the third max-pool needs a 3 px
+        // map); 32 px fails, 64 px works.
+        assert!(squeezenet1_0(32, 1000).output_shape().is_err());
+        assert_eq!(squeezenet1_0(35, 1000).output_shape().unwrap(), Shape::Flat(1000));
+        assert_eq!(squeezenet1_0(64, 1000).output_shape().unwrap(), Shape::Flat(1000));
+    }
+}

@@ -1,0 +1,181 @@
+//! VGG (Simonyan & Zisserman, 2015) — configurations A (VGG-11) and
+//! D (VGG-16), without batch normalisation, as in the torchvision defaults.
+
+use convmeter_graph::layer::{conv2d_biased, Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// One entry of a VGG configuration: a conv width or a max-pool.
+#[derive(Debug, Clone, Copy)]
+enum Cfg {
+    Conv(usize),
+    Pool,
+}
+
+const VGG11: &[Cfg] = &[
+    Cfg::Conv(64),
+    Cfg::Pool,
+    Cfg::Conv(128),
+    Cfg::Pool,
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+];
+
+const VGG13: &[Cfg] = &[
+    Cfg::Conv(64),
+    Cfg::Conv(64),
+    Cfg::Pool,
+    Cfg::Conv(128),
+    Cfg::Conv(128),
+    Cfg::Pool,
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+];
+
+const VGG16: &[Cfg] = &[
+    Cfg::Conv(64),
+    Cfg::Conv(64),
+    Cfg::Pool,
+    Cfg::Conv(128),
+    Cfg::Conv(128),
+    Cfg::Pool,
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+];
+
+fn vgg(name: &str, cfg: &[Cfg], image_size: usize, num_classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(name, Shape::image(3, image_size));
+    let mut in_ch = 3;
+    let mut stage = 0;
+    for entry in cfg {
+        match *entry {
+            Cfg::Conv(out_ch) => {
+                b.layer(conv2d_biased(in_ch, out_ch, 3, 1, 1));
+                b.layer(Layer::Act(Activation::ReLU));
+                in_ch = out_ch;
+            }
+            Cfg::Pool => {
+                b.maxpool(2, 2, 0);
+                stage += 1;
+                let _ = stage;
+            }
+        }
+    }
+    b.layer(Layer::AdaptiveAvgPool2d { output: (7, 7) });
+    b.layer(Layer::Flatten);
+    b.layer(Layer::Linear { in_features: 512 * 49, out_features: 4096, bias: true });
+    b.layer(Layer::Act(Activation::ReLU));
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: 4096, out_features: 4096, bias: true });
+    b.layer(Layer::Act(Activation::ReLU));
+    b.layer(Layer::Dropout);
+    b.layer(Layer::Linear { in_features: 4096, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+/// VGG-11 (configuration A).
+pub fn vgg11(image_size: usize, num_classes: usize) -> Graph {
+    vgg("vgg11", VGG11, image_size, num_classes)
+}
+
+/// VGG-13 (configuration B).
+pub fn vgg13(image_size: usize, num_classes: usize) -> Graph {
+    vgg("vgg13", VGG13, image_size, num_classes)
+}
+
+/// VGG-16 (configuration D).
+pub fn vgg16(image_size: usize, num_classes: usize) -> Graph {
+    vgg("vgg16", VGG16, image_size, num_classes)
+}
+
+const VGG19: &[Cfg] = &[
+    Cfg::Conv(64),
+    Cfg::Conv(64),
+    Cfg::Pool,
+    Cfg::Conv(128),
+    Cfg::Conv(128),
+    Cfg::Pool,
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Conv(256),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Conv(512),
+    Cfg::Pool,
+];
+
+/// VGG-19 (configuration E).
+pub fn vgg19(image_size: usize, num_classes: usize) -> Graph {
+    vgg("vgg19", VGG19, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg11_parameter_count_matches_torchvision() {
+        assert_eq!(vgg11(224, 1000).parameter_count(), 132_863_336);
+    }
+
+    #[test]
+    fn vgg13_parameter_count_matches_torchvision() {
+        assert_eq!(vgg13(224, 1000).parameter_count(), 133_047_848);
+    }
+
+    #[test]
+    fn vgg16_parameter_count_matches_torchvision() {
+        assert_eq!(vgg16(224, 1000).parameter_count(), 138_357_544);
+    }
+
+    #[test]
+    fn vgg19_parameter_count_matches_torchvision() {
+        assert_eq!(vgg19(224, 1000).parameter_count(), 143_667_240);
+    }
+
+    #[test]
+    fn conv_counts() {
+        assert_eq!(vgg11(224, 1000).conv_layer_count(), 8);
+        assert_eq!(vgg13(224, 1000).conv_layer_count(), 10);
+        assert_eq!(vgg16(224, 1000).conv_layer_count(), 13);
+        assert_eq!(vgg19(224, 1000).conv_layer_count(), 16);
+    }
+
+    #[test]
+    fn validates_across_image_sizes() {
+        for s in [32, 96, 224] {
+            assert_eq!(vgg16(s, 1000).output_shape().unwrap(), Shape::Flat(1000));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Vision Transformers (Dosovitskiy et al., 2021) — the paper's stated
+//! future-work direction: "the same analogy can potentially be applied to
+//! other deep-learning model categories with minor effort, such as language
+//! models" and vision transformers.
+//!
+//! The graphs use the token-sequence extension of the IR: a patch-embedding
+//! convolution, class token + position embeddings, and a stack of
+//! pre-norm encoder blocks (LayerNorm → MHSA → residual, LayerNorm → MLP →
+//! residual). Parameter counts match torchvision exactly.
+
+use convmeter_graph::layer::{Activation, Layer};
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+struct VitCfg {
+    name: &'static str,
+    patch: usize,
+    dim: usize,
+    depth: usize,
+    heads: usize,
+    mlp: usize,
+}
+
+fn encoder_block(b: &mut GraphBuilder, index: usize, cfg: &VitCfg) {
+    b.begin_block(format!("EncoderBlock{index}"));
+    let entry = b.cursor();
+    b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
+    b.layer(Layer::MultiHeadAttention { dim: cfg.dim, heads: cfg.heads });
+    let after_attn = b.add_residual(entry);
+    b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
+    b.layer(Layer::TokenLinear {
+        in_features: cfg.dim,
+        out_features: cfg.mlp,
+        bias: true,
+    });
+    b.layer(Layer::Act(Activation::GELU));
+    b.layer(Layer::TokenLinear {
+        in_features: cfg.mlp,
+        out_features: cfg.dim,
+        bias: true,
+    });
+    b.add_residual(after_attn);
+    b.end_block();
+}
+
+fn build(cfg: &VitCfg, image_size: usize, num_classes: usize) -> Graph {
+    assert!(
+        image_size.is_multiple_of(cfg.patch),
+        "{}: image size {image_size} must be divisible by patch {}",
+        cfg.name,
+        cfg.patch
+    );
+    let grid = image_size / cfg.patch;
+    let seq = grid * grid;
+    let mut b = GraphBuilder::new(cfg.name, Shape::image(3, image_size));
+    // Patch embedding: a biased patch-size/patch-stride convolution.
+    b.layer(Layer::Conv2d {
+        in_channels: 3,
+        out_channels: cfg.dim,
+        kernel: (cfg.patch, cfg.patch),
+        stride: (cfg.patch, cfg.patch),
+        padding: (0, 0),
+        groups: 1,
+        bias: true,
+    });
+    b.layer(Layer::ToTokens);
+    b.layer(Layer::ClassTokenAndPosition { dim: cfg.dim, seq });
+    for i in 0..cfg.depth {
+        encoder_block(&mut b, i + 1, cfg);
+    }
+    b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
+    b.layer(Layer::TokenSelect);
+    b.layer(Layer::Linear { in_features: cfg.dim, out_features: num_classes, bias: true });
+    b.finish()
+}
+
+/// ViT-B/16: 12 layers, dim 768, 12 heads.
+pub fn vit_b_16(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &VitCfg { name: "vit_b_16", patch: 16, dim: 768, depth: 12, heads: 12, mlp: 3072 },
+        image_size,
+        num_classes,
+    )
+}
+
+/// ViT-B/32: 12 layers, dim 768, 12 heads, 32 px patches.
+pub fn vit_b_32(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &VitCfg { name: "vit_b_32", patch: 32, dim: 768, depth: 12, heads: 12, mlp: 3072 },
+        image_size,
+        num_classes,
+    )
+}
+
+/// ViT-L/16: 24 layers, dim 1024, 16 heads.
+pub fn vit_l_16(image_size: usize, num_classes: usize) -> Graph {
+    build(
+        &VitCfg { name: "vit_l_16", patch: 16, dim: 1024, depth: 24, heads: 16, mlp: 4096 },
+        image_size,
+        num_classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_torchvision() {
+        assert_eq!(vit_b_16(224, 1000).parameter_count(), 86_567_656);
+        assert_eq!(vit_b_32(224, 1000).parameter_count(), 88_224_232);
+        assert_eq!(vit_l_16(224, 1000).parameter_count(), 304_326_632);
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = vit_b_16(224, 1000);
+        assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        g.validate_blocks().unwrap();
+        assert_eq!(g.blocks().len(), 12);
+    }
+
+    #[test]
+    fn token_shapes_flow_through_the_encoder() {
+        let g = vit_b_16(224, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        // Patch conv output: 768 x 14 x 14; tokens: 196 then 197 with cls.
+        assert_eq!(shapes[0].output, Shape::chw(768, 14, 14));
+        assert_eq!(shapes[1].output, Shape::tokens(196, 768));
+        assert_eq!(shapes[2].output, Shape::tokens(197, 768));
+        // Everything inside the encoder stays at 197 x 768 (or 197 x 3072
+        // inside the MLP).
+        assert!(shapes[3..]
+            .iter()
+            .all(|s| matches!(s.output, Shape::Tokens { .. } | Shape::Flat(_))));
+    }
+
+    #[test]
+    fn encoder_blocks_extract() {
+        let g = vit_b_16(224, 1000);
+        let span = g.blocks().iter().find(|s| s.name == "EncoderBlock7").unwrap();
+        let block = g.extract_block(span).unwrap();
+        block.infer_shapes().unwrap();
+        assert!(block
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.layer, Layer::MultiHeadAttention { .. })));
+    }
+
+    #[test]
+    fn attention_flops_grow_quadratically_with_resolution() {
+        use convmeter_metrics::ModelMetrics;
+        // Doubling the image quadruples the token count; attention's n^2
+        // term grows ~16x while the linear terms grow ~4x.
+        let small = ModelMetrics::of(&vit_b_16(224, 1000)).unwrap();
+        let large = ModelMetrics::of(&vit_b_16(448, 1000)).unwrap();
+        let ratio = large.flops as f64 / small.flops as f64;
+        // The MLPs keep the total near-linear in n at these scales; the
+        // attention n^2 term pushes it measurably past 4x.
+        assert!(ratio > 4.2, "super-linear FLOPs growth expected, got {ratio:.2}");
+        assert!(ratio < 16.0);
+    }
+
+    #[test]
+    fn rejects_indivisible_image_sizes() {
+        let result = std::panic::catch_unwind(|| vit_b_16(225, 1000));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! The model registry: every ConvNet benchmarked by the paper, addressable
+//! by name and constructible at any supported image size.
+
+use convmeter_graph::Graph;
+
+/// A zoo entry: how to build one model family member.
+#[derive(Clone, Copy)]
+pub struct ModelSpec {
+    /// Canonical model name (torchvision-style, e.g. `resnet50`).
+    pub name: &'static str,
+    /// Constructor.
+    pub build: fn(usize, usize) -> Graph,
+    /// Smallest square input the stem can digest.
+    pub min_image_size: usize,
+}
+
+impl std::fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("name", &self.name)
+            .field("min_image_size", &self.min_image_size)
+            .finish()
+    }
+}
+
+impl ModelSpec {
+    /// Build this model at the given image size and class count.
+    ///
+    /// # Panics
+    /// Panics if `image_size` is below the model's minimum.
+    pub fn build(&self, image_size: usize, num_classes: usize) -> Graph {
+        assert!(
+            image_size >= self.min_image_size,
+            "{} requires images >= {} px, got {}",
+            self.name,
+            self.min_image_size,
+            image_size
+        );
+        (self.build)(image_size, num_classes)
+    }
+
+    /// Whether the model supports this image size.
+    pub fn supports(&self, image_size: usize) -> bool {
+        image_size >= self.min_image_size
+    }
+}
+
+/// The paper's benchmark zoo (Section 4), in alphabetical order. The
+/// experiment harness sweeps exactly these models, so extending this list
+/// changes every reproduced table — additional architectures live in
+/// [`EXTENDED_ZOO`] instead.
+pub const ZOO: &[ModelSpec] = &[
+    ModelSpec { name: "alexnet", build: crate::alexnet::alexnet, min_image_size: 63 },
+    ModelSpec { name: "densenet121", build: crate::densenet::densenet121, min_image_size: 32 },
+    ModelSpec {
+        name: "efficientnet_b0",
+        build: crate::efficientnet::efficientnet_b0,
+        min_image_size: 32,
+    },
+    ModelSpec { name: "inception_v3", build: crate::inception::inception_v3, min_image_size: 75 },
+    ModelSpec {
+        name: "mobilenet_v2",
+        build: crate::mobilenet_v2::mobilenet_v2,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "mobilenet_v3_large",
+        build: crate::mobilenet_v3::mobilenet_v3_large,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "regnet_x_400mf",
+        build: crate::regnet::regnet_x_400mf,
+        min_image_size: 32,
+    },
+    ModelSpec { name: "regnet_x_8gf", build: crate::regnet::regnet_x_8gf, min_image_size: 32 },
+    ModelSpec { name: "resnet18", build: crate::resnet::resnet18, min_image_size: 32 },
+    ModelSpec { name: "resnet34", build: crate::resnet::resnet34, min_image_size: 32 },
+    ModelSpec { name: "resnet50", build: crate::resnet::resnet50, min_image_size: 32 },
+    ModelSpec { name: "resnet101", build: crate::resnet::resnet101, min_image_size: 32 },
+    ModelSpec {
+        name: "resnext50_32x4d",
+        build: crate::resnet::resnext50_32x4d,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "squeezenet1_0",
+        build: crate::squeezenet::squeezenet1_0,
+        min_image_size: 35,
+    },
+    ModelSpec { name: "vgg11", build: crate::vgg::vgg11, min_image_size: 32 },
+    ModelSpec { name: "vgg16", build: crate::vgg::vgg16, min_image_size: 32 },
+    ModelSpec {
+        name: "wide_resnet50",
+        build: crate::resnet::wide_resnet50,
+        min_image_size: 32,
+    },
+];
+
+/// Additional architectures beyond the paper's benchmark set: deeper
+/// ResNets/VGGs/DenseNets, the compound-scaled EfficientNets, RegNetY (with
+/// squeeze-and-excitation), and MobileNetV3-Small. Available to users and
+/// the CLI; excluded from the paper-reproduction sweeps.
+pub const EXTENDED_ZOO: &[ModelSpec] = &[
+    ModelSpec {
+        name: "convnext_tiny",
+        build: crate::convnext::convnext_tiny,
+        min_image_size: 32,
+    },
+    ModelSpec { name: "densenet169", build: crate::densenet::densenet169, min_image_size: 32 },
+    ModelSpec { name: "densenet201", build: crate::densenet::densenet201, min_image_size: 32 },
+    ModelSpec {
+        name: "efficientnet_b1",
+        build: crate::efficientnet::efficientnet_b1,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "efficientnet_b2",
+        build: crate::efficientnet::efficientnet_b2,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "efficientnet_b3",
+        build: crate::efficientnet::efficientnet_b3,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "efficientnet_b4",
+        build: crate::efficientnet::efficientnet_b4,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "mobilenet_v3_small",
+        build: crate::mobilenet_v3::mobilenet_v3_small,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "regnet_y_400mf",
+        build: crate::regnet::regnet_y_400mf,
+        min_image_size: 32,
+    },
+    ModelSpec { name: "regnet_y_8gf", build: crate::regnet::regnet_y_8gf, min_image_size: 32 },
+    ModelSpec { name: "resnet152", build: crate::resnet::resnet152, min_image_size: 32 },
+    ModelSpec {
+        name: "shufflenet_v2_x1_0",
+        build: crate::shufflenet::shufflenet_v2_x1_0,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnext101_32x8d",
+        build: crate::resnet::resnext101_32x8d,
+        min_image_size: 32,
+    },
+    ModelSpec { name: "vgg13", build: crate::vgg::vgg13, min_image_size: 32 },
+    ModelSpec { name: "vgg19", build: crate::vgg::vgg19, min_image_size: 32 },
+    ModelSpec {
+        name: "wide_resnet101",
+        build: crate::resnet::wide_resnet101,
+        min_image_size: 32,
+    },
+];
+
+/// The paper-benchmark model names.
+pub fn model_names() -> Vec<&'static str> {
+    ZOO.iter().map(|s| s.name).collect()
+}
+
+/// Every model name, paper set plus extensions.
+pub fn all_model_names() -> Vec<&'static str> {
+    ZOO.iter().chain(EXTENDED_ZOO).map(|s| s.name).collect()
+}
+
+/// Look up a zoo entry by name (paper set first, then extensions).
+pub fn by_name(name: &str) -> Option<&'static ModelSpec> {
+    ZOO.iter()
+        .chain(EXTENDED_ZOO)
+        .find(|s| s.name == name)
+}
+
+/// Build every model that supports `image_size`, with 1000 classes.
+pub fn all_models(image_size: usize) -> Vec<Graph> {
+    ZOO.iter()
+        .filter(|s| s.supports(image_size))
+        .map(|s| s.build(image_size, 1000))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convmeter_graph::Shape;
+
+    #[test]
+    fn zoo_has_seventeen_models() {
+        assert_eq!(ZOO.len(), 17, "the paper set is pinned; extend EXTENDED_ZOO instead");
+        assert_eq!(EXTENDED_ZOO.len(), 16);
+        assert_eq!(all_model_names().len(), 33);
+    }
+
+    #[test]
+    fn extended_zoo_validates_and_is_disjoint() {
+        for spec in EXTENDED_ZOO {
+            let g = spec.build(224, 1000);
+            assert_eq!(
+                g.output_shape().unwrap(),
+                Shape::Flat(1000),
+                "{} failed at 224",
+                spec.name
+            );
+            assert!(
+                ZOO.iter().all(|z| z.name != spec.name),
+                "{} duplicated across zoos",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn extended_models_resolvable_by_name() {
+        assert!(by_name("efficientnet_b4").is_some());
+        assert!(by_name("regnet_y_8gf").is_some());
+        assert!(by_name("vgg19").is_some());
+    }
+
+    #[test]
+    fn every_model_validates_at_224() {
+        for spec in ZOO {
+            let g = spec.build(224, 1000);
+            assert_eq!(
+                g.output_shape().unwrap(),
+                Shape::Flat(1000),
+                "{} failed at 224",
+                spec.name
+            );
+            g.validate_blocks().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn every_model_validates_at_its_minimum() {
+        for spec in ZOO {
+            let g = spec.build(spec.min_image_size, 1000);
+            assert_eq!(
+                g.output_shape().unwrap(),
+                Shape::Flat(1000),
+                "{} failed at its minimum {}",
+                spec.name,
+                spec.min_image_size
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for spec in ZOO {
+            assert_eq!(by_name(spec.name).unwrap().name, spec.name);
+        }
+        assert!(by_name("not-a-model").is_none());
+    }
+
+    #[test]
+    fn all_models_filters_by_size() {
+        // At 32 px, alexnet (63), squeezenet (35), inception (75) drop out.
+        assert_eq!(all_models(32).len(), 14);
+        assert_eq!(all_models(224).len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires images >=")]
+    fn building_below_minimum_panics() {
+        by_name("inception_v3").unwrap().build(32, 1000);
+    }
+}

@@ -1,0 +1,73 @@
+//! Training-infrastructure planning — the paper's motivating application:
+//! "an accurate performance model can assist in reducing the training cost
+//! by choosing the training parameters (e.g., batch size, number of
+//! computing devices) and the computing infrastructure."
+//!
+//! Scenario: train ResNet-50 on an ImageNet-sized dataset (1.28 M images,
+//! 90 epochs) on a cluster of 4-GPU nodes. For every (nodes, batch)
+//! configuration, predict the wall time and node-hours, then pick the
+//! cheapest configuration finishing within a deadline.
+//!
+//! Run with: `cargo run --example cluster_planning --release`
+
+use convmeter::prelude::*;
+use convmeter::scalability::epoch_time;
+use convmeter_models::zoo;
+
+const DATASET: usize = 1_281_167;
+const EPOCHS: f64 = 90.0;
+const DEADLINE_HOURS: f64 = 24.0;
+
+fn main() {
+    // Fit the training model on the multi-node benchmark data, excluding
+    // ResNet-50 itself: the plan is for an "unseen" workload.
+    let device = DeviceProfile::a100_80gb();
+    let mut cfg = DistSweepConfig::paper();
+    cfg.models.retain(|m| m != "resnet50");
+    let data = distributed_dataset(&device, &cfg);
+    let model = TrainingModel::fit(&data).expect("fit");
+
+    let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(224, 1000)).unwrap();
+
+    println!("ResNet-50, {DATASET} images x {EPOCHS} epochs, deadline {DEADLINE_HOURS} h\n");
+    println!("nodes  batch/dev  step (ms)  epoch (min)  train (h)  node-hours  in deadline");
+    let mut best: Option<(usize, usize, f64, f64)> = None;
+    for &nodes in &[1usize, 2, 4, 8, 16] {
+        for &batch in &[32usize, 64, 128, 256] {
+            let devices = nodes * 4;
+            // Skip configurations that would not fit device memory.
+            if convmeter_hwsim::training_memory_bytes(&metrics, batch)
+                > device.memory_capacity
+            {
+                continue;
+            }
+            let step = model.predict_step_at(&metrics, batch, nodes);
+            let epoch = epoch_time(DATASET, batch * devices, step);
+            let total_h = epoch * EPOCHS / 3600.0;
+            let node_hours = total_h * nodes as f64;
+            let ok = total_h <= DEADLINE_HOURS;
+            println!(
+                "{nodes:>5}  {batch:>9}  {:>9.1}  {:>11.1}  {:>9.1}  {:>10.1}  {}",
+                step * 1e3,
+                epoch / 60.0,
+                total_h,
+                node_hours,
+                if ok { "yes" } else { "no" }
+            );
+            if ok && best.is_none_or(|(_, _, _, nh)| node_hours < nh) {
+                best = Some((nodes, batch, total_h, node_hours));
+            }
+        }
+    }
+    match best {
+        Some((nodes, batch, hours, node_hours)) => println!(
+            "\nCheapest plan inside the deadline: {nodes} node(s), batch {batch}/device -> {hours:.1} h, {node_hours:.1} node-hours"
+        ),
+        None => println!("\nNo configuration meets the deadline; add nodes or relax it."),
+    }
+
+    // Where does adding nodes stop paying off for this model?
+    let curve = throughput_vs_nodes(&model, &metrics, 128, &[1, 2, 4, 8, 16, 32], 4);
+    let tp = turning_point(&curve, 0.05);
+    println!("Scaling turning point at batch 128/device: ~{tp} nodes (marginal gain < 5 %/node beyond this)");
+}

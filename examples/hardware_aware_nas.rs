@@ -1,0 +1,51 @@
+//! Hardware-aware neural architecture search with zero per-candidate
+//! benchmarks — the paper's headline motivation for cheap runtime
+//! prediction.
+//!
+//! The evolutionary loop in `convmeter::nas` samples random ConvNets,
+//! mutates the best ones along the width axis, and scores every candidate
+//! with the fitted 4-coefficient model. Hundreds of architectures are
+//! evaluated in milliseconds; a benchmark-in-the-loop search would need a
+//! training-cluster allocation for the same sweep.
+//!
+//! Run with: `cargo run --example hardware_aware_nas --release`
+
+use convmeter::nas::{search, NasConfig};
+use convmeter::prelude::*;
+
+fn main() {
+    // Fit the device model once.
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
+    let model = ForwardModel::fit(&data).expect("fit");
+
+    println!("latency budget  evaluations  best candidate                     pred latency   GFLOPs");
+    for budget_ms in [1.0f64, 2.0, 4.0, 8.0] {
+        let cfg = NasConfig {
+            latency_budget: budget_ms * 1e-3,
+            batch: 16,
+            image_size: 64,
+            population: 32,
+            rounds: 5,
+            seed: 42,
+        };
+        let result = search(&model, &cfg);
+        match &result.best {
+            Some(best) => println!(
+                "{:>11.1} ms  {:>11}  {:<32} {:>9.3} ms  {:>7.2}",
+                budget_ms,
+                result.evaluations,
+                best.name,
+                best.predicted_latency * 1e3,
+                best.flops as f64 / 1e9
+            ),
+            None => println!(
+                "{:>11.1} ms  {:>11}  (no feasible architecture found)",
+                budget_ms, result.evaluations
+            ),
+        }
+    }
+    println!(
+        "\nEvery evaluation is a dot product with four coefficients; no candidate was\never run. Verify the winner against the simulator with `convmeter predict`."
+    );
+}

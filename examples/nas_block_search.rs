@@ -1,0 +1,82 @@
+//! Block-level latency prediction for neural architecture search — the use
+//! case the paper's block-wise feature targets ("particularly useful for
+//! neural architecture search and network optimization methods to spot and
+//! tune the network's bottlenecks").
+//!
+//! We search a design slot — "stage-3 unit of a ResNet-ish network at
+//! 28x28 x 256 channels" — over candidate block designs, score each by
+//! *predicted* latency (no benchmarking of candidates!) and parameter cost,
+//! and report the latency-accuracy-proxy Pareto front.
+//!
+//! Run with: `cargo run --example nas_block_search --release`
+
+use convmeter::prelude::*;
+use convmeter_graph::layer::Activation;
+use convmeter_graph::{Graph, GraphBuilder, Shape};
+
+/// Build one candidate block for the 256ch x 28x28 slot.
+fn candidate(name: &str, width: usize, kernel: usize, depthwise: bool) -> Graph {
+    let ch = 256;
+    let mut b = GraphBuilder::new(name, Shape::image(ch, 28));
+    let entry = b.cursor();
+    b.conv_bn_act(ch, width, 1, 1, 0, Activation::ReLU);
+    if depthwise {
+        b.depthwise_bn_act(width, kernel, 1, kernel / 2, Activation::ReLU);
+    } else {
+        b.conv_bn_act(width, width, kernel, 1, kernel / 2, Activation::ReLU);
+    }
+    b.conv_bn(width, ch, 1, 1, 0);
+    b.add_residual(entry);
+    b.finish()
+}
+
+fn main() {
+    // Fit the device model once on the standard sweep.
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
+    let model = ForwardModel::fit(&data).expect("fit");
+
+    // Enumerate the slot's design space.
+    let mut candidates = Vec::new();
+    for &width in &[64usize, 128, 256, 512] {
+        for &kernel in &[3usize, 5] {
+            for &depthwise in &[false, true] {
+                let kind = if depthwise { "dw" } else { "dense" };
+                let name = format!("w{width}-k{kernel}-{kind}");
+                candidates.push(candidate(&name, width, kernel, depthwise));
+            }
+        }
+    }
+
+    let batch = 64;
+    println!("candidate        pred latency   params    GFLOPs (batch {batch})");
+    let mut scored: Vec<(String, f64, u64, f64)> = Vec::new();
+    for block in &candidates {
+        let metrics = ModelMetrics::of(block).expect("candidates validate");
+        let latency = model.predict_metrics(&metrics, batch);
+        let gflops = metrics.at_batch(batch).flops as f64 / 1e9;
+        println!(
+            "{:<16} {:>9.3} ms   {:>6.2} M   {:>6.1}",
+            block.name(),
+            latency * 1e3,
+            metrics.weights as f64 / 1e6,
+            gflops
+        );
+        scored.push((block.name().to_string(), latency, metrics.weights, gflops));
+    }
+
+    // Pareto front on (latency, capacity-proxy = params): keep candidates
+    // not dominated by any other.
+    let pareto: Vec<&(String, f64, u64, f64)> = scored
+        .iter()
+        .filter(|a| {
+            !scored
+                .iter()
+                .any(|b| b.1 < a.1 && b.2 >= a.2 && (b.1, b.2) != (a.1, a.2))
+        })
+        .collect();
+    println!("\nPareto front (fastest for their capacity):");
+    for (name, latency, params, _) in pareto {
+        println!("  {:<16} {:>8.3} ms  {:>6.2} M params", name, latency * 1e3, *params as f64 / 1e6);
+    }
+}

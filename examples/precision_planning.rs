@@ -1,0 +1,45 @@
+//! Precision planning: should a deployment use FP32, TF32, or FP16?
+//!
+//! Extends the paper's per-platform-coefficients idea: each (device,
+//! precision) pair is its own "platform", benchmarked and fitted once. The
+//! fitted ConvMeter models then price any candidate network per precision —
+//! and the residual profile yields a prediction interval, not just a point
+//! estimate.
+//!
+//! Run with: `cargo run --example precision_planning --release`
+
+use convmeter::prelude::*;
+use convmeter_hwsim::Precision;
+use convmeter_models::zoo;
+
+fn main() {
+    let base = DeviceProfile::a100_80gb();
+    // Candidate network the team wants to deploy (unseen at fit time).
+    let target = "efficientnet_b0";
+    let metrics = ModelMetrics::of(&zoo::by_name(target).unwrap().build(224, 1000)).unwrap();
+    let batch = 64;
+
+    println!("{target} @ 224 px, batch {batch} — latency per precision\n");
+    println!("precision  predicted    95% interval           images/s");
+    for precision in [Precision::Fp32, Precision::Tf32, Precision::Fp16] {
+        let device = base.with_precision(precision);
+        // One benchmark + fit per platform, excluding the target model.
+        let mut cfg = SweepConfig::paper_gpu();
+        cfg.models.retain(|m| m != target);
+        let data = inference_dataset(&device, &cfg);
+        let model = ForwardModel::fit(&data).expect("fit");
+        let profile = model.residual_profile(&data);
+        let (lo, mid, hi) = model.predict_interval(&metrics, batch, &profile, 1.96);
+        println!(
+            "{:<9}  {:>7.2} ms  [{:>7.2}, {:>7.2}] ms  {:>9.0}",
+            format!("{precision:?}"),
+            mid * 1e3,
+            lo * 1e3,
+            hi * 1e3,
+            batch as f64 / mid
+        );
+    }
+    println!(
+        "\nEach precision is a separate 'platform' with its own four coefficients —\nthe paper's portability mechanism, applied to numerics instead of devices."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: benchmark a device once, fit ConvMeter's four coefficients,
+//! and predict inference latency for an unseen ConvNet — statically, from
+//! its computational graph alone.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use convmeter::prelude::*;
+use convmeter_models::zoo;
+
+fn main() {
+    // 1. Benchmark the target device. Here that is the bundled A100-class
+    //    simulator; on real hardware this would be a PyTorch timing sweep.
+    //    ResNet-50 is excluded so the prediction below is for a genuinely
+    //    unseen network.
+    let device = DeviceProfile::a100_80gb();
+    let mut sweep = SweepConfig::paper_gpu();
+    sweep.models.retain(|m| m != "resnet50");
+    let data = inference_dataset(&device, &sweep);
+    println!("collected {} benchmark points on {}", data.len(), device.name);
+
+    // 2. Fit Eq. 2: T = c1*FLOPs + c2*Inputs + c3*Outputs + c4.
+    let model = ForwardModel::fit(&data).expect("fit");
+    let c = model.coefficients();
+    println!(
+        "fitted coefficients: c1={:.3e} s/FLOP, c2={:.3e} s/elem, c3={:.3e} s/elem, c4={:.3e} s",
+        c[0],
+        c[1],
+        c[2],
+        model.intercept()
+    );
+
+    // 3. Predict an unseen model. No benchmark of ResNet-50 is needed: the
+    //    metrics come from parsing its graph.
+    let graph = zoo::by_name("resnet50").unwrap().build(224, 1000);
+    let metrics = ModelMetrics::of(&graph).expect("valid graph");
+    println!(
+        "\nresnet50 @ 224px: {} GFLOPs, {:.1} M conv inputs, {:.1} M conv outputs, {:.1} M weights",
+        metrics.flops / 1_000_000_000,
+        metrics.conv_inputs as f64 / 1e6,
+        metrics.conv_outputs as f64 / 1e6,
+        metrics.weights as f64 / 1e6
+    );
+    println!("\n batch   predicted      simulated-actual");
+    for batch in [1usize, 8, 32, 128] {
+        let predicted = model.predict_metrics(&metrics, batch);
+        let actual = convmeter_hwsim::expected_inference_time(&device, &metrics, batch);
+        println!(
+            "{batch:>6}   {:>8.3} ms   {:>8.3} ms  ({:+.1} %)",
+            predicted * 1e3,
+            actual * 1e3,
+            (predicted / actual - 1.0) * 100.0
+        );
+    }
+}

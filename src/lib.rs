@@ -1,0 +1,14 @@
+//! Meta-crate for the ConvMeter reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so downstream users
+//! can depend on a single crate. See the workspace `README.md` for the
+//! architecture overview and `DESIGN.md` for the paper-to-code map.
+
+pub use convmeter;
+pub use convmeter_baselines as baselines;
+pub use convmeter_distsim as distsim;
+pub use convmeter_graph as graph;
+pub use convmeter_hwsim as hwsim;
+pub use convmeter_linalg as linalg;
+pub use convmeter_metrics as metrics;
+pub use convmeter_models as models;

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests of the extension features: precision
+//! modes, sync strategies, calibration, graph transforms, gradient
+//! accumulation, and the persistence workflow.
+
+use convmeter::prelude::*;
+use convmeter_graph::{fold_batch_norm, scale_width};
+use convmeter_hwsim::{calibrate, expected_inference_time, Observation, Precision};
+use convmeter_models::zoo;
+
+#[test]
+fn precision_specific_models_predict_precision_specific_devices() {
+    // Fit one ConvMeter model per precision; each must predict its own
+    // device well and the other badly (coefficients are platform-specific,
+    // the paper's portability mechanism).
+    let base = DeviceProfile::a100_80gb();
+    let fp32 = base.clone();
+    let tf32 = base.with_precision(Precision::Tf32);
+    let cfg = SweepConfig::quick();
+    let fp32_model = ForwardModel::fit(&inference_dataset(&fp32, &cfg)).unwrap();
+    let tf32_model = ForwardModel::fit(&inference_dataset(&tf32, &cfg)).unwrap();
+    let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
+    let truth_fp32 = expected_inference_time(&fp32, &metrics, 64);
+    let truth_tf32 = expected_inference_time(&tf32, &metrics, 64);
+    let own = (fp32_model.predict_metrics(&metrics, 64) / truth_fp32 - 1.0).abs();
+    let cross = (fp32_model.predict_metrics(&metrics, 64) / truth_tf32 - 1.0).abs();
+    assert!(own < 0.3, "own-device error {own}");
+    assert!(cross > own, "cross-precision use must be worse: {cross} vs {own}");
+    let tf_own = (tf32_model.predict_metrics(&metrics, 64) / truth_tf32 - 1.0).abs();
+    assert!(tf_own < 0.4, "tf32 own-device error {tf_own}");
+}
+
+#[test]
+fn transformed_graphs_flow_through_the_whole_pipeline() {
+    // BN-folded and width-scaled graphs must survive metric extraction,
+    // simulation, and prediction end-to-end.
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::quick());
+    let model = ForwardModel::fit(&data).unwrap();
+    let graph = zoo::by_name("resnet18").unwrap().build(64, 1000);
+
+    let folded = fold_batch_norm(&graph);
+    let fm = ModelMetrics::of(&folded).unwrap();
+    let folded_pred = model.predict_metrics(&fm, 32);
+    let folded_sim = expected_inference_time(&device, &fm, 32);
+    assert!(folded_pred > 0.0 && folded_sim > 0.0);
+    // Folding removes kernels: the simulated folded network is faster.
+    let m = ModelMetrics::of(&graph).unwrap();
+    assert!(folded_sim < expected_inference_time(&device, &m, 32));
+
+    let wide = scale_width(&graph, 1.5).unwrap();
+    let wm = ModelMetrics::of(&wide).unwrap();
+    assert!(wm.flops > m.flops);
+    assert!(model.predict_metrics(&wm, 32) > model.predict_metrics(&m, 32));
+}
+
+#[test]
+fn calibrated_profile_feeds_the_standard_fit() {
+    // Calibrate against a detuned "real" device, then run the normal
+    // benchmark+fit pipeline on the calibrated profile: predictions should
+    // track the true device closely.
+    let mut truth = DeviceProfile::a100_80gb();
+    truth.compute_efficiency *= 0.65;
+    truth.memory_efficiency *= 0.85;
+    let ms: Vec<ModelMetrics> = ["resnet18", "vgg11", "mobilenet_v2"]
+        .iter()
+        .map(|n| ModelMetrics::of(&zoo::by_name(n).unwrap().build(128, 1000)).unwrap())
+        .collect();
+    let obs: Vec<Observation<'_>> = ms
+        .iter()
+        .flat_map(|m| {
+            [1usize, 16, 128].map(|batch| Observation {
+                metrics: m,
+                batch,
+                measured: expected_inference_time(&truth, m, batch),
+            })
+        })
+        .collect();
+    let cal = calibrate(&DeviceProfile::a100_80gb(), &obs);
+    let fitted = ForwardModel::fit(&inference_dataset(&cal.profile, &SweepConfig::quick()))
+        .unwrap();
+    let unseen = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
+    let pred = fitted.predict_metrics(&unseen, 64);
+    let real = expected_inference_time(&truth, &unseen, 64);
+    assert!((pred / real - 1.0).abs() < 0.3, "pred {pred} vs real {real}");
+}
+
+#[test]
+fn accumulation_matches_explicit_micro_step_sum() {
+    let device = DeviceProfile::a100_80gb();
+    let data = distributed_dataset(&device, &DistSweepConfig::quick());
+    let model = TrainingModel::fit(&data).unwrap();
+    let m = ModelMetrics::of(&zoo::by_name("resnet18").unwrap().build(128, 1000)).unwrap();
+    let bm = m.at_batch(32);
+    let acc = model.predict_accumulated_step(&m, 32, 8, 2);
+    let explicit = 8.0 * (model.predict_forward(&bm) + model.predict_backward(&bm))
+        + model.predict_grad_update(&bm, 2);
+    assert!((acc - explicit).abs() < 1e-12);
+}
+
+#[test]
+fn persistence_workflow_round_trips_through_disk() {
+    use convmeter::persist;
+    let dir = std::env::temp_dir().join(format!("cm-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::quick());
+    persist::save_inference_dataset(dir.join("d.json"), &data).unwrap();
+    let loaded = persist::load_inference_dataset(dir.join("d.json")).unwrap();
+    let model = ForwardModel::fit(&loaded).unwrap();
+    persist::save_forward_model(dir.join("m.json"), &model).unwrap();
+    let model2 = persist::load_forward_model(dir.join("m.json")).unwrap();
+    for p in data.iter().take(5) {
+        assert_eq!(model.predict(&p.metrics), model2.predict(&p.metrics));
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn shufflenet_stresses_the_flops_only_baseline() {
+    // The new channel-shuffle architecture is the canonical memory-bound
+    // net: a FLOPs-only model fitted on the standard zoo must misjudge it
+    // far worse than the combined model does.
+    use convmeter_baselines::{Metric, SingleMetricModel};
+    let device = DeviceProfile::a100_80gb();
+    let data = inference_dataset(&device, &SweepConfig::quick());
+    let combined = ForwardModel::fit(&data).unwrap();
+    let pairs: Vec<_> = data.iter().map(|p| (p.metrics, p.measured)).collect();
+    let flops_only = SingleMetricModel::fit(Metric::Flops, &pairs).unwrap();
+
+    let sn = ModelMetrics::of(
+        &zoo::by_name("shufflenet_v2_x1_0").unwrap().build(128, 1000),
+    )
+    .unwrap();
+    let truth = expected_inference_time(&device, &sn, 64);
+    let err_combined = (combined.predict_metrics(&sn, 64) / truth - 1.0).abs();
+    let err_flops = (flops_only.predict(&sn.at_batch(64)) / truth - 1.0).abs();
+    assert!(
+        err_flops > err_combined,
+        "flops-only {err_flops:.2} should be worse than combined {err_combined:.2}"
+    );
+}

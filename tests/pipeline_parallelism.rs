@@ -1,0 +1,139 @@
+//! Cross-crate integration: the model-parallelism extension. A pipeline
+//! plan produced by `convmeter::pipeline` (linear-model costing) is checked
+//! against the GPipe simulator in `convmeter-distsim` (roofline costing).
+
+use convmeter::prelude::*;
+use convmeter_distsim::{simulate_pipeline, SimStage};
+use convmeter_models::zoo;
+
+fn fitted() -> ForwardModel {
+    let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+    ForwardModel::fit(&data).unwrap()
+}
+
+fn to_sim_stages(plan: &convmeter::PipelinePlan) -> Vec<SimStage> {
+    plan.stages
+        .iter()
+        .map(|s| SimStage {
+            start: s.start,
+            end: s.end,
+            boundary_elements: s.boundary_elements,
+        })
+        .collect()
+}
+
+#[test]
+fn prediction_matches_simulation_for_planned_pipelines() {
+    let device = DeviceProfile::a100_80gb();
+    let fitted = fitted();
+    let link = 2.3e11; // NVLink-class inter-stage links
+    for name in ["vgg16", "resnet50", "mobilenet_v2"] {
+        let graph = zoo::by_name(name).unwrap().build(128, 1000);
+        let metrics = ModelMetrics::of(&graph).unwrap();
+        let plan = convmeter::plan_pipeline(&fitted, &graph, 4, 8).unwrap();
+        let sim = simulate_pipeline(
+            &device,
+            &metrics,
+            &to_sim_stages(&plan),
+            8,
+            32,
+            link,
+            0.0,
+            0,
+        );
+        let predicted = plan.step_time(32, link);
+        let rel = (predicted - sim.makespan).abs() / sim.makespan;
+        // The plan prices each stage with the whole-model intercept, which
+        // over-counts fixed overheads at micro-batch granularity; agreement
+        // within the same factor-of-two regime is what the linear model can
+        // honestly deliver here.
+        assert!(
+            rel < 0.8,
+            "{name}: predicted {predicted} vs simulated {} (rel {rel:.2})",
+            sim.makespan
+        );
+        assert!(predicted >= sim.makespan * 0.6, "{name}: must not badly underpredict");
+    }
+}
+
+#[test]
+fn balanced_plans_beat_naive_splits() {
+    // The planner's cost-balanced cut should out-perform an equal-node-count
+    // split on a network with skewed per-layer costs (VGG: early layers are
+    // enormously more expensive).
+    let device = DeviceProfile::a100_80gb();
+    let fitted = fitted();
+    let graph = zoo::by_name("vgg16").unwrap().build(224, 1000);
+    let metrics = ModelMetrics::of(&graph).unwrap();
+    let k = 4;
+    let plan = convmeter::plan_pipeline(&fitted, &graph, k, 8).unwrap();
+    let planned = simulate_pipeline(
+        &device,
+        &metrics,
+        &to_sim_stages(&plan),
+        8,
+        32,
+        2.3e11,
+        0.0,
+        0,
+    );
+    // Naive: equal node counts, cut at the nearest valid points.
+    let cuts = convmeter::pipeline::valid_cut_points(&graph);
+    let n = graph.len();
+    let mut naive_bounds = vec![0usize];
+    for i in 1..k {
+        let target = i * n / k;
+        let cut = cuts
+            .iter()
+            .copied()
+            .min_by_key(|c| c.abs_diff(target))
+            .unwrap();
+        naive_bounds.push(cut);
+    }
+    naive_bounds.push(n);
+    naive_bounds.dedup();
+    if naive_bounds.len() == k + 1 {
+        let shapes = graph.infer_shapes().unwrap();
+        let naive_stages: Vec<SimStage> = naive_bounds
+            .windows(2)
+            .map(|w| SimStage {
+                start: w[0],
+                end: w[1],
+                boundary_elements: if w[1] == n {
+                    0
+                } else {
+                    shapes[w[1] - 1].output.elements()
+                },
+            })
+            .collect();
+        let naive = simulate_pipeline(
+            &device,
+            &metrics,
+            &naive_stages,
+            8,
+            32,
+            2.3e11,
+            0.0,
+            0,
+        );
+        assert!(
+            planned.makespan <= naive.makespan * 1.05,
+            "planned {} should not lose to naive {}",
+            planned.makespan,
+            naive.makespan
+        );
+    }
+}
+
+#[test]
+fn utilisation_improves_with_microbatch_count() {
+    let device = DeviceProfile::a100_80gb();
+    let fitted = fitted();
+    let graph = zoo::by_name("resnet50").unwrap().build(128, 1000);
+    let metrics = ModelMetrics::of(&graph).unwrap();
+    let plan = convmeter::plan_pipeline(&fitted, &graph, 4, 8).unwrap();
+    let stages = to_sim_stages(&plan);
+    let u4 = simulate_pipeline(&device, &metrics, &stages, 8, 4, 2.3e11, 0.0, 0).utilisation;
+    let u64 = simulate_pipeline(&device, &metrics, &stages, 8, 64, 2.3e11, 0.0, 0).utilisation;
+    assert!(u64 > u4);
+}

@@ -1,0 +1,241 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the graph IR, metric extraction, regression, the communication
+//! model, and the simulators.
+
+use convmeter_distsim::{all_reduce_time, fuse_gradients, ClusterConfig};
+use convmeter_graph::shape::conv_out_dim;
+use convmeter_graph::Shape;
+use convmeter_hwsim::{DeviceProfile, NoiseModel};
+use convmeter_linalg::{stats, LinearRegression};
+use convmeter_metrics::ModelMetrics;
+use convmeter_models::random::random_convnet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- graph / shapes ----
+
+    #[test]
+    fn conv_out_dim_never_exceeds_padded_input(
+        input in 1usize..512,
+        kernel in 1usize..12,
+        stride in 1usize..5,
+        padding in 0usize..6,
+    ) {
+        if let Some(out) = conv_out_dim(input, kernel, stride, padding) {
+            prop_assert!(out >= 1);
+            prop_assert!(out <= input + 2 * padding);
+            // Stride 1 with same-padding k=2p+1 preserves size exactly.
+            if stride == 1 && kernel == 2 * padding + 1 {
+                prop_assert_eq!(out, input);
+            }
+        } else {
+            prop_assert!(stride == 0 || input + 2 * padding < kernel);
+        }
+    }
+
+    #[test]
+    fn random_networks_always_validate_and_meter(seed in 0u64..500, size_idx in 0usize..3) {
+        let size = [32, 64, 128][size_idx];
+        let g = random_convnet(seed, size, 1000);
+        let shapes = g.infer_shapes().unwrap();
+        prop_assert_eq!(shapes.len(), g.len());
+        prop_assert_eq!(g.output_shape().unwrap(), Shape::Flat(1000));
+        let m = ModelMetrics::of(&g).unwrap();
+        prop_assert!(m.flops > 0);
+        prop_assert!(m.conv_inputs > 0);
+        prop_assert!(m.conv_outputs > 0);
+        prop_assert!(m.weights > 0);
+        prop_assert!(m.trainable_layers >= 2);
+    }
+
+    #[test]
+    fn metrics_scale_exactly_linearly_with_batch(seed in 0u64..100, batch in 1usize..512) {
+        let g = random_convnet(seed, 64, 1000);
+        let m = ModelMetrics::of(&g).unwrap();
+        let b1 = m.at_batch(1);
+        let bb = m.at_batch(batch);
+        prop_assert_eq!(bb.flops, b1.flops * batch as u64);
+        prop_assert_eq!(bb.conv_inputs, b1.conv_inputs * batch as u64);
+        prop_assert_eq!(bb.conv_outputs, b1.conv_outputs * batch as u64);
+        prop_assert_eq!(bb.weights, b1.weights);
+        prop_assert_eq!(bb.trainable_layers, b1.trainable_layers);
+    }
+
+    // ---- regression ----
+
+    #[test]
+    fn regression_recovers_planted_linear_models(
+        c0 in -5.0f64..5.0,
+        c1 in -5.0f64..5.0,
+        intercept in -10.0f64..10.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64;
+                vec![(t * 0.7).sin() * 4.0 + t * 0.1, (t * 1.3).cos() * 3.0 - t * 0.05]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| c0 * x[0] + c1 * x[1] + intercept)
+            .collect();
+        let m = LinearRegression::new().fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((m.predict(x) - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn r2_bounded_above_by_one(ys in prop::collection::vec(0.1f64..100.0, 4..50)) {
+        let preds: Vec<f64> = ys.iter().map(|y| y * 1.1 + 0.3).collect();
+        prop_assert!(stats::r_squared(&preds, &ys) <= 1.0 + 1e-12);
+        prop_assert!(stats::rmse(&preds, &ys) >= 0.0);
+        prop_assert!(stats::mape(&preds, &ys) >= 0.0);
+    }
+
+    #[test]
+    fn mape_is_scale_invariant(
+        ys in prop::collection::vec(0.1f64..100.0, 4..30),
+        scale in 0.01f64..1000.0,
+    ) {
+        let preds: Vec<f64> = ys.iter().map(|y| y * 0.9).collect();
+        let scaled_y: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let scaled_p: Vec<f64> = preds.iter().map(|p| p * scale).collect();
+        let a = stats::mape(&preds, &ys);
+        let b = stats::mape(&scaled_p, &scaled_y);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    // ---- communication model ----
+
+    #[test]
+    fn all_reduce_monotone_in_bytes_and_devices(
+        bytes_a in 1u64..(1 << 30),
+        extra in 1u64..(1 << 30),
+        nodes in 2usize..16,
+    ) {
+        let c = ClusterConfig::hpc_cluster(nodes);
+        let t_small = all_reduce_time(&c, bytes_a);
+        let t_big = all_reduce_time(&c, bytes_a + extra);
+        prop_assert!(t_big > t_small);
+        let c_more = ClusterConfig::hpc_cluster(nodes + 1);
+        prop_assert!(all_reduce_time(&c_more, bytes_a) > t_small);
+    }
+
+    #[test]
+    fn fusion_preserves_every_byte_and_index(
+        sizes in prop::collection::vec(0u64..(200 << 20), 0..64),
+        buffer_mb in 1u64..256,
+    ) {
+        let buffer = buffer_mb << 20;
+        let buckets = fuse_gradients(&sizes, buffer);
+        let total: u64 = buckets.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(total, sizes.iter().sum::<u64>());
+        let mut seen: Vec<usize> = buckets.iter().flat_map(|b| b.tensor_indices.clone()).collect();
+        let expected: Vec<usize> =
+            (0..sizes.len()).filter(|&i| sizes[i] > 0).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, expected);
+        // No bucket with more than one tensor exceeds the buffer.
+        for b in &buckets {
+            if b.tensor_indices.len() > 1 {
+                prop_assert!(b.bytes <= buffer);
+            }
+        }
+    }
+
+    // ---- transforms ----
+
+    #[test]
+    fn bn_folding_preserves_semantics_on_random_nets(seed in 0u64..120) {
+        use convmeter_graph::fold_batch_norm;
+        let g = random_convnet(seed, 64, 1000);
+        let folded = fold_batch_norm(&g);
+        prop_assert!(folded.len() <= g.len());
+        prop_assert_eq!(
+            folded.output_shape().unwrap(),
+            g.output_shape().unwrap()
+        );
+        // Folding can only reduce parameters (2C of BN becomes C of bias).
+        prop_assert!(folded.parameter_count() <= g.parameter_count());
+        // Metrics still extract.
+        let m = ModelMetrics::of(&folded).unwrap();
+        prop_assert!(m.flops > 0);
+    }
+
+    #[test]
+    fn width_scaling_is_monotone_on_random_nets(seed in 0u64..80) {
+        use convmeter_graph::scale_width;
+        let g = random_convnet(seed, 64, 1000);
+        if let (Some(slim), Some(wide)) = (scale_width(&g, 0.5), scale_width(&g, 2.0)) {
+            let base = ModelMetrics::of(&g).unwrap();
+            let s = ModelMetrics::of(&slim).unwrap();
+            let w = ModelMetrics::of(&wide).unwrap();
+            prop_assert!(s.flops <= base.flops);
+            prop_assert!(w.flops >= base.flops);
+            prop_assert!(s.weights < w.weights);
+        }
+    }
+
+    #[test]
+    fn liveness_peak_bounded_by_tensor_sums(seed in 0u64..120) {
+        use convmeter_graph::peak_activation_elements;
+        let g = random_convnet(seed, 64, 1000);
+        let peak = peak_activation_elements(&g).unwrap();
+        let total: u64 = g
+            .infer_shapes()
+            .unwrap()
+            .iter()
+            .map(|s| s.output.elements())
+            .sum::<u64>()
+            + g.input_shape().elements();
+        let largest = g
+            .infer_shapes()
+            .unwrap()
+            .iter()
+            .map(|s| s.output.elements())
+            .max()
+            .unwrap();
+        prop_assert!(peak >= largest);
+        prop_assert!(peak <= total);
+    }
+
+    // ---- simulator ----
+
+    #[test]
+    fn simulated_times_monotone_in_batch(seed in 0u64..50) {
+        let g = random_convnet(seed, 64, 1000);
+        let m = ModelMetrics::of(&g).unwrap();
+        let d = DeviceProfile::a100_80gb();
+        let mut last = 0.0;
+        for batch in [1usize, 8, 64, 512] {
+            let t = convmeter_hwsim::expected_inference_time(&d, &m, batch);
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn training_slower_than_inference(seed in 0u64..50, batch_pow in 0u32..8) {
+        let batch = 1usize << batch_pow;
+        let g = random_convnet(seed, 64, 1000);
+        let m = ModelMetrics::of(&g).unwrap();
+        let d = DeviceProfile::a100_80gb();
+        let inference = convmeter_hwsim::expected_inference_time(&d, &m, batch);
+        let training = convmeter_hwsim::expected_training_phases(&d, &m, batch).total();
+        prop_assert!(training > 2.0 * inference);
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_positive(seed in 0u64..1000, sigma in 0.0f64..0.5) {
+        let mut a = NoiseModel::new(seed, sigma);
+        let mut b = NoiseModel::new(seed, sigma);
+        for _ in 0..20 {
+            let fa = a.factor();
+            prop_assert!(fa > 0.0);
+            prop_assert_eq!(fa, b.factor());
+        }
+    }
+}
