@@ -37,7 +37,12 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        Self { hidden: 32, epochs: 500, learning_rate: 3e-3, seed: 17 }
+        Self {
+            hidden: 32,
+            epochs: 500,
+            learning_rate: 3e-3,
+            seed: 17,
+        }
     }
 }
 
@@ -161,12 +166,12 @@ pub struct MlpPredictor {
 impl MlpPredictor {
     /// Train on (features, measured-seconds) pairs. Targets are log-scaled
     /// and standardised; training is full-batch Adam for `config.epochs`.
-    pub fn fit(
-        data: &[(Vec<f64>, f64)],
-        config: &MlpConfig,
-    ) -> Result<Self, String> {
+    pub fn fit(data: &[(Vec<f64>, f64)], config: &MlpConfig) -> Result<Self, String> {
         if data.len() < 8 {
-            return Err(format!("need at least 8 training points, got {}", data.len()));
+            return Err(format!(
+                "need at least 8 training points, got {}",
+                data.len()
+            ));
         }
         if data.iter().any(|(x, _)| x.len() != N_FEATURES) {
             return Err(format!("expected {N_FEATURES} features per row"));
@@ -188,7 +193,10 @@ impl MlpPredictor {
                 / log_ts.len() as f64;
             v.sqrt().max(1e-9)
         };
-        let ys: Vec<f64> = log_ts.iter().map(|t| (t - target_mean) / target_std).collect();
+        let ys: Vec<f64> = log_ts
+            .iter()
+            .map(|t| (t - target_mean) / target_std)
+            .collect();
 
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut net = MlpPredictor {
@@ -260,15 +268,47 @@ impl MlpPredictor {
                 }
             }
             let t = epoch as i32;
-            adam_step(&mut self.l1, &g1w, &g1b, config.learning_rate, beta1, beta2, eps, t);
-            adam_step(&mut self.l2, &g2w, &g2b, config.learning_rate, beta1, beta2, eps, t);
-            adam_step(&mut self.l3, &g3w, &g3b, config.learning_rate, beta1, beta2, eps, t);
+            adam_step(
+                &mut self.l1,
+                &g1w,
+                &g1b,
+                config.learning_rate,
+                beta1,
+                beta2,
+                eps,
+                t,
+            );
+            adam_step(
+                &mut self.l2,
+                &g2w,
+                &g2b,
+                config.learning_rate,
+                beta1,
+                beta2,
+                eps,
+                t,
+            );
+            adam_step(
+                &mut self.l3,
+                &g3w,
+                &g3b,
+                config.learning_rate,
+                beta1,
+                beta2,
+                eps,
+                t,
+            );
         }
     }
 
     fn forward_standardised(&self, x: &[f64]) -> f64 {
         let a1: Vec<f64> = self.l1.forward(x).into_iter().map(|v| v.max(0.0)).collect();
-        let a2: Vec<f64> = self.l2.forward(&a1).into_iter().map(|v| v.max(0.0)).collect();
+        let a2: Vec<f64> = self
+            .l2
+            .forward(&a1)
+            .into_iter()
+            .map(|v| v.max(0.0))
+            .collect();
         self.l3.forward(&a2)[0]
     }
 
@@ -336,7 +376,10 @@ mod tests {
     #[test]
     fn learns_synthetic_log_linear_function() {
         let data = synthetic(100);
-        let cfg = MlpConfig { epochs: 400, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 400,
+            ..MlpConfig::default()
+        };
         let net = MlpPredictor::fit(&data, &cfg).unwrap();
         let mut rel_err = 0.0;
         for (x, t) in &data {
@@ -349,7 +392,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = synthetic(40);
-        let cfg = MlpConfig { epochs: 50, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 50,
+            ..MlpConfig::default()
+        };
         let a = MlpPredictor::fit(&data, &cfg).unwrap();
         let b = MlpPredictor::fit(&data, &cfg).unwrap();
         assert_eq!(a.predict(&data[0].0), b.predict(&data[0].0));
@@ -358,10 +404,22 @@ mod tests {
     #[test]
     fn more_epochs_reduce_training_error() {
         let data = synthetic(60);
-        let short = MlpPredictor::fit(&data, &MlpConfig { epochs: 10, ..Default::default() })
-            .unwrap();
-        let long = MlpPredictor::fit(&data, &MlpConfig { epochs: 400, ..Default::default() })
-            .unwrap();
+        let short = MlpPredictor::fit(
+            &data,
+            &MlpConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let long = MlpPredictor::fit(
+            &data,
+            &MlpConfig {
+                epochs: 400,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let err = |net: &MlpPredictor| {
             data.iter()
                 .map(|(x, t)| ((net.predict(x) - t) / t).abs())
@@ -385,8 +443,14 @@ mod tests {
     #[test]
     fn predictions_positive() {
         let data = synthetic(50);
-        let net = MlpPredictor::fit(&data, &MlpConfig { epochs: 100, ..Default::default() })
-            .unwrap();
+        let net = MlpPredictor::fit(
+            &data,
+            &MlpConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for (x, _) in &data {
             assert!(net.predict(x) > 0.0);
         }
@@ -395,7 +459,9 @@ mod tests {
     #[test]
     fn graph_features_have_expected_arity() {
         use convmeter_metrics::ModelMetrics;
-        let g = convmeter_models::zoo::by_name("resnet18").unwrap().build(64, 1000);
+        let g = convmeter_models::zoo::by_name("resnet18")
+            .unwrap()
+            .build(64, 1000);
         let m = ModelMetrics::of(&g).unwrap();
         let f = graph_features(&m.at_batch(16), 64);
         assert_eq!(f.len(), N_FEATURES);

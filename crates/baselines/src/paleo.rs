@@ -36,9 +36,8 @@ fn loads(metrics: &ModelMetrics, batch: usize) -> [f64; 2] {
             continue;
         }
         // Input + output traffic scales with batch; weights are read once.
-        bytes += ((c.input_elements + c.output_elements) as f64 * b
-            + c.param_elements as f64)
-            * 4.0;
+        bytes +=
+            ((c.input_elements + c.output_elements) as f64 * b + c.param_elements as f64) * 4.0;
         flops += c.flops as f64 * b;
     }
     [bytes, flops]
@@ -61,11 +60,7 @@ impl PaleoModel {
         assert!(bandwidth_bytes_per_s > 0.0 && flops_per_s > 0.0);
         // Encode the rates as a pre-solved regression: coefficients are the
         // inverse rates, intercept zero.
-        let xs = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ];
+        let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let ys = vec![
             1.0 / bandwidth_bytes_per_s,
             1.0 / flops_per_s,
@@ -159,14 +154,17 @@ mod tests {
 
         // A100 spec-sheet numbers: 2.0 TB/s, 19.5 TFLOP/s.
         let paleo = PaleoModel::from_spec_rates(2.0e12, 19.5e12);
-        let paleo_preds: Vec<f64> =
-            data.iter().map(|(m, b, _)| paleo.predict(m, *b)).collect();
+        let paleo_preds: Vec<f64> = data.iter().map(|(m, b, _)| paleo.predict(m, *b)).collect();
 
         let xs: Vec<Vec<f64>> = data
             .iter()
             .map(|(m, b, _)| {
                 let bm = m.at_batch(*b);
-                vec![bm.flops as f64, bm.conv_inputs as f64, bm.conv_outputs as f64]
+                vec![
+                    bm.flops as f64,
+                    bm.conv_inputs as f64,
+                    bm.conv_outputs as f64,
+                ]
             })
             .collect();
         let cm = convmeter_linalg::LinearRegression::new()

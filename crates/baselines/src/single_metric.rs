@@ -96,10 +96,9 @@ mod tests {
         sweep
             .into_iter()
             .map(|s| {
-                let m = ModelMetrics::of(
-                    &zoo::by_name(&s.model).unwrap().build(s.image_size, 1000),
-                )
-                .unwrap();
+                let m =
+                    ModelMetrics::of(&zoo::by_name(&s.model).unwrap().build(s.image_size, 1000))
+                        .unwrap();
                 (m.at_batch(s.batch), s.time_s)
             })
             .collect()
@@ -127,9 +126,7 @@ mod tests {
 
         let combined_xs: Vec<Vec<f64>> = data
             .iter()
-            .map(|(m, _)| {
-                vec![m.flops as f64, m.conv_inputs as f64, m.conv_outputs as f64]
-            })
+            .map(|(m, _)| vec![m.flops as f64, m.conv_inputs as f64, m.conv_outputs as f64])
             .collect();
         let combined = convmeter_linalg::LinearRegression::new()
             .with_ridge(1e-6)

@@ -67,7 +67,11 @@ fn main() {
     ];
     for &(name, cols) in subsets {
         let r = fit_subset(&data, cols, true, 1e-6);
-        t.row(vec![name.into(), format!("{:.3}", r.r2), format!("{:.3}", r.mape)]);
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", r.r2),
+            format!("{:.3}", r.mape),
+        ]);
         outcomes.push(AblationOutcome {
             name: "metric-subsets".into(),
             variant: name.into(),
@@ -84,7 +88,11 @@ fn main() {
         &["protocol", "R2", "MAPE"],
     );
     for (name, r) in [("in-sample", in_sample), ("leave-one-model-out", held_out)] {
-        t.row(vec![name.into(), format!("{:.3}", r.r2), format!("{:.3}", r.mape)]);
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", r.r2),
+            format!("{:.3}", r.mape),
+        ]);
         outcomes.push(AblationOutcome {
             name: "generalisation".into(),
             variant: name.into(),
@@ -100,7 +108,11 @@ fn main() {
     );
     for (name, on) in [("with c4", true), ("without c4", false)] {
         let r = fit_subset(&data, &[0, 1, 2], on, 1e-6);
-        t.row(vec![name.into(), format!("{:.3}", r.r2), format!("{:.3}", r.mape)]);
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", r.r2),
+            format!("{:.3}", r.mape),
+        ]);
         outcomes.push(AblationOutcome {
             name: "intercept".into(),
             variant: name.into(),
@@ -151,7 +163,11 @@ fn main() {
     );
     for (name, preds) in [("fused (7 coef)", &fused), ("separate phases", &separate)] {
         let r = ErrorReport::compute(preds, &meas);
-        t.row(vec![name.into(), format!("{:.3}", r.r2), format!("{:.3}", r.mape)]);
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", r.r2),
+            format!("{:.3}", r.mape),
+        ]);
         outcomes.push(AblationOutcome {
             name: "fused-vs-separate".into(),
             variant: name.into(),
@@ -168,7 +184,11 @@ fn main() {
         &["batch", "points", "MAPE"],
     );
     for (batch, r) in &by_batch {
-        t.row(vec![batch.to_string(), r.n.to_string(), format!("{:.3}", r.mape)]);
+        t.row(vec![
+            batch.to_string(),
+            r.n.to_string(),
+            format!("{:.3}", r.mape),
+        ]);
         outcomes.push(AblationOutcome {
             name: "by-batch".into(),
             variant: batch.to_string(),
@@ -181,7 +201,13 @@ fn main() {
     // 7. BatchNorm folding.
     let mut t = Table::new(
         "Ablation 7: BN folding (metrics deltas at 224 px)",
-        &["model", "nodes", "folded nodes", "param delta", "pred delta (b32)"],
+        &[
+            "model",
+            "nodes",
+            "folded nodes",
+            "param delta",
+            "pred delta (b32)",
+        ],
     );
     let fwd_model = {
         let xs: Vec<Vec<f64>> = data
@@ -192,7 +218,9 @@ fn main() {
         convmeter::ForwardModel::fit_raw(&xs, &ys).expect("fit")
     };
     for name in ["resnet50", "mobilenet_v2", "densenet121"] {
-        let graph = convmeter_models::zoo::by_name(name).unwrap().build(224, 1000);
+        let graph = convmeter_models::zoo::by_name(name)
+            .unwrap()
+            .build(224, 1000);
         let folded = convmeter_graph::fold_batch_norm(&graph);
         let m = convmeter_metrics::ModelMetrics::of(&graph).unwrap();
         let mf = convmeter_metrics::ModelMetrics::of(&folded).unwrap();
@@ -202,7 +230,10 @@ fn main() {
             name.into(),
             graph.len().to_string(),
             folded.len().to_string(),
-            format!("{:+.2} %", (mf.weights as f64 / m.weights as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.2} %",
+                (mf.weights as f64 / m.weights as f64 - 1.0) * 100.0
+            ),
             format!("{:+.2} %", (pf / p - 1.0) * 100.0),
         ]);
     }

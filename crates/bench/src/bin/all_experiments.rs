@@ -22,5 +22,8 @@ fn main() {
     b::exp_scaling::print_fig8(&b::exp_scaling::fig8());
     println!("[10/10] Figure 9 ...");
     b::exp_scaling::print_fig9(&b::exp_scaling::fig9());
-    println!("All experiment outputs written to {}", b::report::results_dir().display());
+    println!(
+        "All experiment outputs written to {}",
+        b::report::results_dir().display()
+    );
 }

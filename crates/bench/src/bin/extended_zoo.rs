@@ -70,7 +70,10 @@ fn main() {
         ]);
         all_pred.extend(preds);
         all_meas.extend(meas);
-        rows.push(ExtendedRow { model: spec.name.to_string(), report });
+        rows.push(ExtendedRow {
+            model: spec.name.to_string(),
+            report,
+        });
     }
     t.print();
     let overall = ErrorReport::compute(&all_pred, &all_meas);

@@ -7,9 +7,7 @@
 //! 3. numeric precision modes (FP32 / TF32 / FP16) on inference latency.
 
 use convmeter_bench::report::{save_json, Table};
-use convmeter_distsim::{
-    expected_distributed_phases_with_strategy, ClusterConfig, SyncStrategy,
-};
+use convmeter_distsim::{expected_distributed_phases_with_strategy, ClusterConfig, SyncStrategy};
 use convmeter_hwsim::{expected_inference_time, DeviceProfile, Precision};
 use convmeter_metrics::ModelMetrics;
 use convmeter_models::zoo;
@@ -29,7 +27,13 @@ fn strategies() {
     let batch = 64usize;
     let mut t = Table::new(
         "Extension 1: gradient-sync strategies (image 128, batch 64/device)",
-        &["model", "nodes", "flat ring", "hierarchical", "param server"],
+        &[
+            "model",
+            "nodes",
+            "flat ring",
+            "hierarchical",
+            "param server",
+        ],
     );
     let mut rows = Vec::new();
     for model in ["alexnet", "resnet50", "mobilenet_v2"] {
@@ -83,14 +87,21 @@ fn fusion_buffer() {
         let mut cluster = ClusterConfig::hpc_cluster(4);
         cluster.fusion_buffer_bytes = mb << 20;
         let p = expected_distributed_phases_with_strategy(
-            &device, &cluster, &metrics, 64, SyncStrategy::FlatRing,
+            &device,
+            &cluster,
+            &metrics,
+            64,
+            SyncStrategy::FlatRing,
         );
         t.row(vec![
             format!("{mb} MB"),
             format!("{:.2} ms", p.total() * 1e3),
             format!("{:.2} ms", p.grad_update * 1e3),
         ]);
-        rows.push(FusionRow { buffer_mb: mb, step_ms: p.total() * 1e3 });
+        rows.push(FusionRow {
+            buffer_mb: mb,
+            step_ms: p.total() * 1e3,
+        });
     }
     t.print();
     println!("Oversized buffers delay dispatch and lose overlap with the backward pass;\nsmall buffers stay hidden under backward compute on this model. The 64 MB\nHorovod default is safe but not optimal here.\n");

@@ -1,6 +1,10 @@
 //! Regenerate Figure 4: block-wise inference scatter (same data as Table 2).
 fn main() {
     let result = convmeter_bench::exp_blocks::table2();
-    println!("Figure 4 scatter: {} points, overall {}", result.scatter.len(), result.overall);
+    println!(
+        "Figure 4 scatter: {} points, overall {}",
+        result.scatter.len(),
+        result.overall
+    );
     let _ = convmeter_bench::report::save_json("fig4", &result.scatter);
 }

@@ -23,8 +23,15 @@ fn md_row(out: &mut String, cells: &[String]) {
 }
 
 fn md_header(out: &mut String, cells: &[&str]) {
-    md_row(out, &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    let _ = writeln!(out, "|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    md_row(
+        out,
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let _ = writeln!(
+        out,
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 fn main() {
@@ -37,7 +44,10 @@ fn main() {
 
     // Table 1.
     if let Some(t1) = load::<Table1Result>("table1") {
-        let _ = writeln!(md, "## Table 1 — inference prediction per ConvNet (leave-one-model-out)\n");
+        let _ = writeln!(
+            md,
+            "## Table 1 — inference prediction per ConvNet (leave-one-model-out)\n"
+        );
         md_header(
             &mut md,
             &["model", "CPU R²", "CPU MAPE", "GPU R²", "GPU MAPE"],
@@ -77,7 +87,10 @@ fn main() {
                 ],
             );
         }
-        let _ = writeln!(md, "\nPaper: the combined metrics give the most accurate prediction.\n");
+        let _ = writeln!(
+            md,
+            "\nPaper: the combined metrics give the most accurate prediction.\n"
+        );
     } else {
         missing.push("fig2");
     }
@@ -144,7 +157,10 @@ fn main() {
     }
 
     // Figures 5 & 7.
-    for (name, title) in [("fig5", "Figure 5 — single-GPU phases"), ("fig7", "Figure 7 — distributed phases")] {
+    for (name, title) in [
+        ("fig5", "Figure 5 — single-GPU phases"),
+        ("fig7", "Figure 7 — distributed phases"),
+    ] {
         if let Some(f) = load::<TrainingPhasesResult>(name) {
             let _ = writeln!(md, "## {title}\n");
             md_header(&mut md, &["phase", "R²", "MAPE"]);
@@ -180,7 +196,10 @@ fn main() {
                     wins += 1;
                 }
             }
-            md_row(&mut md, &[r.model.clone(), format!("{:.3}", r.convmeter_mape), d]);
+            md_row(
+                &mut md,
+                &[r.model.clone(), format!("{:.3}", r.convmeter_mape), d],
+            );
         }
         let _ = writeln!(
             md,
@@ -192,14 +211,21 @@ fn main() {
 
     // Figure 8.
     if let Some(curves) = load::<Vec<ScalingCurve>>("fig8") {
-        let _ = writeln!(md, "## Figure 8 — throughput vs nodes (1→16 node speedups)\n");
+        let _ = writeln!(
+            md,
+            "## Figure 8 — throughput vs nodes (1→16 node speedups)\n"
+        );
         md_header(&mut md, &["model", "measured", "predicted"]);
         for c in &curves {
             let meas = c.measured_mean.last().unwrap() / c.measured_mean[0];
             let pred = c.predicted.last().unwrap().images_per_sec / c.predicted[0].images_per_sec;
             md_row(
                 &mut md,
-                &[c.model.clone(), format!("{meas:.2}x"), format!("{pred:.2}x")],
+                &[
+                    c.model.clone(),
+                    format!("{meas:.2}x"),
+                    format!("{pred:.2}x"),
+                ],
             );
         }
         let _ = writeln!(
@@ -212,7 +238,10 @@ fn main() {
 
     // Figure 9.
     if let Some(curves) = load::<Vec<BatchCurve>>("fig9") {
-        let _ = writeln!(md, "## Figure 9 — throughput vs batch (gain from batch 128 to 2048)\n");
+        let _ = writeln!(
+            md,
+            "## Figure 9 — throughput vs batch (gain from batch 128 to 2048)\n"
+        );
         md_header(&mut md, &["model", "predicted gain"]);
         for c in &curves {
             let at = |b: usize| {

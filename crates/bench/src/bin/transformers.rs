@@ -58,8 +58,7 @@ fn main() {
     }
 
     // Leave-one-model-out with the unchanged ConvMeter pipeline.
-    let (reports, _, overall) =
-        leave_one_model_out_inference(&points).expect("vit loocv");
+    let (reports, _, overall) = leave_one_model_out_inference(&points).expect("vit loocv");
     let mut t = Table::new(
         "Extension: ConvMeter on vision transformers (A100 sim, held-out)",
         &["model", "points", "R2", "NRMSE", "MAPE"],
@@ -73,7 +72,10 @@ fn main() {
             format!("{:.3}", r.report.nrmse),
             format!("{:.3}", r.report.mape),
         ]);
-        rows.push(VitRow { model: r.model.clone(), report: r.report });
+        rows.push(VitRow {
+            model: r.model.clone(),
+            report: r.report,
+        });
     }
     t.print();
     println!(

@@ -35,7 +35,9 @@ pub fn extract(block: &str, model: &str, image_size: usize) -> Graph {
         .iter()
         .find(|s| s.name == block)
         .unwrap_or_else(|| panic!("block {block} not found in {model}"));
-    let mut extracted = graph.extract_block(span).expect("table-2 blocks extract cleanly");
+    let mut extracted = graph
+        .extract_block(span)
+        .expect("table-2 blocks extract cleanly");
     extracted.set_name(format!("{model}/{block}"));
     extracted
 }
@@ -82,7 +84,8 @@ mod tests {
         for &(block, model) in TABLE2_BLOCKS {
             let min = zoo::by_name(model).unwrap().min_image_size.max(128);
             let g = extract(block, model, min);
-            g.infer_shapes().unwrap_or_else(|e| panic!("{model}/{block}: {e}"));
+            g.infer_shapes()
+                .unwrap_or_else(|e| panic!("{model}/{block}: {e}"));
             assert!(g.conv_layer_count() >= 1, "{model}/{block} has no convs");
         }
     }

@@ -42,7 +42,11 @@ pub fn table2() -> Table2Result {
             .position(|&(b, _)| b == r.model)
             .unwrap_or(usize::MAX)
     });
-    Table2Result { per_block, scatter, overall }
+    Table2Result {
+        per_block,
+        scatter,
+        overall,
+    }
 }
 
 /// Render and persist the Table 2 result.

@@ -63,8 +63,7 @@ fn train_surrogate(device: &DeviceProfile) -> MlpPredictor {
         let metrics = ModelMetrics::of(&graph).expect("generated nets validate");
         let mut noise = NoiseModel::new(0xD1_99 + seed, device.noise_sigma);
         for &batch in SURROGATE_BATCHES {
-            let measured =
-                convmeter_hwsim::measure_inference(device, &metrics, batch, &mut noise);
+            let measured = convmeter_hwsim::measure_inference(device, &metrics, batch, &mut noise);
             rows.push((graph_features(&metrics.at_batch(batch), 128), measured));
         }
     }
@@ -126,7 +125,13 @@ pub fn fig6() -> Vec<Fig6Row> {
 pub fn print_fig6(rows: &[Fig6Row]) {
     let mut t = Table::new(
         "Figure 6: ConvMeter vs DIPPM surrogate (A100, 128px, batch 16-2000, held-out)",
-        &["model", "ConvMeter MAPE", "DIPPM MAPE", "ConvMeter NRMSE", "DIPPM NRMSE"],
+        &[
+            "model",
+            "ConvMeter MAPE",
+            "DIPPM MAPE",
+            "ConvMeter NRMSE",
+            "DIPPM NRMSE",
+        ],
     );
     let fmt_opt = |o: Option<f64>| o.map_or("n/a (unparseable)".to_string(), |v| format!("{v:.3}"));
     for r in rows {

@@ -50,8 +50,15 @@ pub fn print_table1(result: &Table1Result) {
     let mut t = Table::new(
         "Table 1: per-ConvNet inference prediction (leave-one-model-out)",
         &[
-            "model", "CPU R2", "CPU RMSE", "CPU NRMSE", "CPU MAPE", "GPU R2", "GPU RMSE",
-            "GPU NRMSE", "GPU MAPE",
+            "model",
+            "CPU R2",
+            "CPU RMSE",
+            "CPU NRMSE",
+            "CPU MAPE",
+            "GPU R2",
+            "GPU RMSE",
+            "GPU NRMSE",
+            "GPU MAPE",
         ],
     );
     for (c, g) in result.cpu.iter().zip(&result.gpu) {
@@ -158,7 +165,12 @@ pub fn fig3() -> Fig3Result {
         leave_one_model_out_inference(&cpu_data).expect("cpu loocv");
     let (_, gpu_scatter, gpu_overall) =
         leave_one_model_out_inference(&gpu_data).expect("gpu loocv");
-    Fig3Result { cpu_scatter, gpu_scatter, cpu_overall, gpu_overall }
+    Fig3Result {
+        cpu_scatter,
+        gpu_scatter,
+        cpu_overall,
+        gpu_overall,
+    }
 }
 
 /// Render and persist the Figure 3 result.

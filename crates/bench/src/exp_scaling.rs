@@ -66,11 +66,9 @@ pub fn fig8() -> Vec<ScalingCurve> {
     let data = distributed_dataset(&device, &DistSweepConfig::paper());
     let mut curves = Vec::new();
     for &model in FIG8_MODELS {
-        let train: Vec<TrainingPoint> =
-            data.iter().filter(|p| p.model != model).cloned().collect();
+        let train: Vec<TrainingPoint> = data.iter().filter(|p| p.model != model).cloned().collect();
         let fitted = TrainingModel::fit(&train).expect("fig8 fit");
-        let metrics =
-            ModelMetrics::of(&zoo::by_name(model).unwrap().build(128, 1000)).unwrap();
+        let metrics = ModelMetrics::of(&zoo::by_name(model).unwrap().build(128, 1000)).unwrap();
         let predicted = throughput_vs_nodes(&fitted, &metrics, 64, &nodes, 4);
         let mut measured_mean = Vec::new();
         let mut measured_std = Vec::new();
@@ -96,7 +94,11 @@ pub fn print_fig8(curves: &[ScalingCurve]) {
         &["model", "nodes", "predicted", "measured", "std"],
     );
     for c in curves {
-        for (p, (m, s)) in c.predicted.iter().zip(c.measured_mean.iter().zip(&c.measured_std)) {
+        for (p, (m, s)) in c
+            .predicted
+            .iter()
+            .zip(c.measured_mean.iter().zip(&c.measured_std))
+        {
             t.row(vec![
                 c.model.clone(),
                 p.nodes.to_string(),
@@ -112,10 +114,11 @@ pub fn print_fig8(curves: &[ScalingCurve]) {
     let pred_speedup = |c: &ScalingCurve| {
         c.predicted.last().unwrap().images_per_sec / c.predicted[0].images_per_sec
     };
-    let meas_speedup = |c: &ScalingCurve| {
-        c.measured_mean.last().unwrap() / c.measured_mean[0]
-    };
-    let alex = curves.iter().find(|c| c.model == "alexnet").expect("alexnet in fig8");
+    let meas_speedup = |c: &ScalingCurve| c.measured_mean.last().unwrap() / c.measured_mean[0];
+    let alex = curves
+        .iter()
+        .find(|c| c.model == "alexnet")
+        .expect("alexnet in fig8");
     let others_min_pred = curves
         .iter()
         .filter(|c| c.model != "alexnet")
@@ -176,11 +179,9 @@ pub fn fig9() -> Vec<BatchCurve> {
     let data = distributed_dataset(&device, &DistSweepConfig::paper());
     let mut curves = Vec::new();
     for &model in FIG9_MODELS {
-        let train: Vec<TrainingPoint> =
-            data.iter().filter(|p| p.model != model).cloned().collect();
+        let train: Vec<TrainingPoint> = data.iter().filter(|p| p.model != model).cloned().collect();
         let fitted = TrainingModel::fit(&train).expect("fig9 fit");
-        let metrics =
-            ModelMetrics::of(&zoo::by_name(model).unwrap().build(128, 1000)).unwrap();
+        let metrics = ModelMetrics::of(&zoo::by_name(model).unwrap().build(128, 1000)).unwrap();
         let predicted = throughput_vs_batch(&fitted, &metrics, FIG9_BATCHES, 1, 4);
         let mut measured_mean = Vec::new();
         let mut measured_std = Vec::new();

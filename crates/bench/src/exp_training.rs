@@ -38,8 +38,7 @@ fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
     let mut step = Vec::new();
     let mut per_model = Vec::new();
     for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
-        let train: Vec<TrainingPoint> =
-            split.train.iter().map(|&i| points[i].clone()).collect();
+        let train: Vec<TrainingPoint> = split.train.iter().map(|&i| points[i].clone()).collect();
         let fitted = TrainingModel::fit(&train).expect("training fit");
         let mut step_pred = Vec::new();
         let mut step_meas = Vec::new();
@@ -48,7 +47,11 @@ fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
             let name = p.model.clone();
             fwd.push((name.clone(), p.fwd, fitted.predict_forward(&p.metrics)));
             bwd.push((name.clone(), p.bwd, fitted.predict_backward(&p.metrics)));
-            grad.push((name.clone(), p.grad, fitted.predict_grad_update(&p.metrics, p.nodes)));
+            grad.push((
+                name.clone(),
+                p.grad,
+                fitted.predict_grad_update(&p.metrics, p.nodes),
+            ));
             let s = fitted.predict_step(&p.metrics, p.nodes);
             step.push((name, p.step_time(), s));
             step_pred.push(s);
@@ -75,7 +78,11 @@ fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
         to_scatter("step", step),
     ];
     let overall = phases.last().unwrap().report;
-    TrainingPhasesResult { phases, per_model, overall }
+    TrainingPhasesResult {
+        phases,
+        per_model,
+        overall,
+    }
 }
 
 /// Run Figure 5: single-GPU training phases.
@@ -155,7 +162,10 @@ pub fn print_table3(result: &Table3Result) {
 
 /// Render and persist a phase evaluation (Figure 5 or 7).
 pub fn print_phases(name: &str, title: &str, result: &TrainingPhasesResult) {
-    let mut t = Table::new(title, &["phase", "points", "R2", "RMSE (ms)", "NRMSE", "MAPE"]);
+    let mut t = Table::new(
+        title,
+        &["phase", "points", "R2", "RMSE (ms)", "NRMSE", "MAPE"],
+    );
     for p in &result.phases {
         t.row(vec![
             p.phase.clone(),

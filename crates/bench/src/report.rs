@@ -77,7 +77,10 @@ pub fn fmt_time(seconds: f64) -> String {
 
 /// Serialise a result struct as pretty JSON under `results/<name>.json`
 /// (relative to the workspace root when run via `cargo run`).
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn save_json<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
@@ -126,7 +129,10 @@ mod tests {
 
     #[test]
     fn save_json_writes_file() {
-        std::env::set_var("CONVMETER_RESULTS", std::env::temp_dir().join("cm-test-results"));
+        std::env::set_var(
+            "CONVMETER_RESULTS",
+            std::env::temp_dir().join("cm-test-results"),
+        );
         let path = save_json("unit-test", &serde_json::json!({"x": 1})).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"x\": 1"));

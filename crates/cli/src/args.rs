@@ -36,7 +36,11 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(o) => write!(f, "option --{o} needs a value"),
             ArgError::MissingOption(o) => write!(f, "required option --{o} missing"),
-            ArgError::BadValue { option, value, expected } => {
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "--{option}={value}: expected {expected}")
             }
             ArgError::MissingPositional(name) => {

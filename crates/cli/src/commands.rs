@@ -22,16 +22,18 @@ fn device_by_name(name: &str) -> Result<DeviceProfile, CliError> {
 
 fn apply_precision(device: DeviceProfile, args: &Args) -> Result<DeviceProfile, CliError> {
     use convmeter_hwsim::Precision;
-    Ok(match args.get_or("precision", "fp32".to_string())?.as_str() {
-        "fp32" => device,
-        "tf32" => device.with_precision(Precision::Tf32),
-        "fp16" | "amp" => device.with_precision(Precision::Fp16),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown precision '{other}' (expected fp32|tf32|fp16)"
-            )))
-        }
-    })
+    Ok(
+        match args.get_or("precision", "fp32".to_string())?.as_str() {
+            "fp32" => device,
+            "tf32" => device.with_precision(Precision::Tf32),
+            "fp16" | "amp" => device.with_precision(Precision::Fp16),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown precision '{other}' (expected fp32|tf32|fp16)"
+                )))
+            }
+        },
+    )
 }
 
 fn model_metrics(name: &str, image: usize) -> Result<ModelMetrics, CliError> {
@@ -46,8 +48,7 @@ fn model_metrics(name: &str, image: usize) -> Result<ModelMetrics, CliError> {
             spec.min_image_size
         )));
     }
-    ModelMetrics::of(&spec.build(image, 1000))
-        .map_err(|e| CliError::Usage(format!("graph error: {e}")))
+    Ok(ModelMetrics::of(&spec.build(image, 1000))?)
 }
 
 /// `convmeter list-models`
@@ -140,7 +141,11 @@ pub fn benchmark_distributed(args: &Args, out: &mut dyn Write) -> Result<(), Cli
     cfg.node_counts = args.list_or("nodes", &cfg.node_counts.clone())?;
     let data = distributed_dataset(&device, &cfg);
     persist::save_training_dataset(path, &data)?;
-    writeln!(out, "wrote {} distributed training points to {path}", data.len())?;
+    writeln!(
+        out,
+        "wrote {} distributed training points to {path}",
+        data.len()
+    )?;
     Ok(())
 }
 
@@ -228,8 +233,16 @@ pub fn predict_training(args: &Args, out: &mut dyn Write) -> Result<(), CliError
         out,
         "{name} @ {image}px, batch {batch}/device, {nodes} node(s) x {gpus} GPUs:"
     )?;
-    writeln!(out, "  forward:      {:>10.2} ms", model.predict_forward(&bm) * 1e3)?;
-    writeln!(out, "  bwd+grad:     {:>10.2} ms", model.predict_bwd_grad(&bm, nodes) * 1e3)?;
+    writeln!(
+        out,
+        "  forward:      {:>10.2} ms",
+        model.predict_forward(&bm) * 1e3
+    )?;
+    writeln!(
+        out,
+        "  bwd+grad:     {:>10.2} ms",
+        model.predict_bwd_grad(&bm, nodes) * 1e3
+    )?;
     writeln!(out, "  step total:   {:>10.2} ms", step * 1e3)?;
     writeln!(
         out,
@@ -237,13 +250,17 @@ pub fn predict_training(args: &Args, out: &mut dyn Write) -> Result<(), CliError
         (batch * nodes * gpus) as f64 / step
     )?;
     if let Some(dataset) = args.opt("dataset-size") {
-        let d: usize = dataset.parse().map_err(|_| {
-            CliError::Usage("--dataset-size expects an integer".to_string())
-        })?;
+        let d: usize = dataset
+            .parse()
+            .map_err(|_| CliError::Usage("--dataset-size expects an integer".to_string()))?;
         let epochs = args.get_or("epochs", 1usize)?;
         let epoch = model.predict_epoch(&m, d, batch, nodes, nodes * gpus);
         writeln!(out, "  epoch:        {:>10.1} s", epoch)?;
-        writeln!(out, "  {epochs} epochs:    {:>10.2} h", epoch * epochs as f64 / 3600.0)?;
+        writeln!(
+            out,
+            "  {epochs} epochs:    {:>10.2} h",
+            epoch * epochs as f64 / 3600.0
+        )?;
     }
     Ok(())
 }
@@ -309,13 +326,20 @@ pub fn bottlenecks(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let batch = args.get_or("batch", 32usize)?;
     let top = args.get_or("top", 10usize)?;
     let model = persist::load_forward_model(model_path)?;
-    let spec = zoo::by_name(name)
-        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let spec =
+        zoo::by_name(name).ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
     let graph = spec.build(image, 1000);
     let report = convmeter::bottleneck_report(&model, &graph, batch)
         .map_err(|e| CliError::Usage(e.to_string()))?;
-    writeln!(out, "{name} @ {image}px batch {batch} — top {top} blocks by predicted latency:")?;
-    writeln!(out, "  {:<24} {:>10} {:>7} {:>10}", "block", "latency", "share", "GFLOPs")?;
+    writeln!(
+        out,
+        "{name} @ {image}px batch {batch} — top {top} blocks by predicted latency:"
+    )?;
+    writeln!(
+        out,
+        "  {:<24} {:>10} {:>7} {:>10}",
+        "block", "latency", "share", "GFLOPs"
+    )?;
     for b in report.blocks.iter().take(top) {
         writeln!(
             out,
@@ -339,7 +363,11 @@ pub fn eval(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let data = persist::load_inference_dataset(args.required("data")?)?;
     let (reports, _, overall) = leave_one_model_out_inference(&data)
         .map_err(|e| CliError::Usage(format!("evaluation failed: {e}")))?;
-    writeln!(out, "leave-one-model-out evaluation ({} points):", data.len())?;
+    writeln!(
+        out,
+        "leave-one-model-out evaluation ({} points):",
+        data.len()
+    )?;
     for r in &reports {
         writeln!(out, "  {:<22} {}", r.model, r.report)?;
     }
@@ -358,8 +386,8 @@ pub fn pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let micro_batches = args.get_or("micro-batches", 32usize)?;
     let link = args.get_or("link-gbps", 230.0f64)? * 1e9;
     let model = persist::load_forward_model(model_path)?;
-    let spec = zoo::by_name(name)
-        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let spec =
+        zoo::by_name(name).ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
     let graph = spec.build(image, 1000);
     let plan = convmeter::plan_pipeline(&model, &graph, stages, micro_batch)
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -378,7 +406,11 @@ pub fn pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             s.boundary_elements as f64 * micro_batch as f64 * 4.0 / 1e6
         )?;
     }
-    writeln!(out, "  imbalance (bottleneck/mean): {:.2}", plan.imbalance())?;
+    writeln!(
+        out,
+        "  imbalance (bottleneck/mean): {:.2}",
+        plan.imbalance()
+    )?;
     writeln!(
         out,
         "  step time for {micro_batches} micro-batches: {:.2} ms; steady-state {:.0} images/s",
@@ -404,15 +436,17 @@ pub fn compare_strategies(args: &Args, out: &mut dyn Write) -> Result<(), CliErr
         out,
         "{name} @ {image}px, batch {batch}/device, {nodes} nodes x 4 GPUs (simulated):"
     )?;
-    writeln!(out, "  strategy          step (ms)  grad update (ms)  images/s")?;
+    writeln!(
+        out,
+        "  strategy          step (ms)  grad update (ms)  images/s"
+    )?;
     for (label, strategy) in [
         ("flat ring", SyncStrategy::FlatRing),
         ("hierarchical", SyncStrategy::Hierarchical),
         ("parameter server", SyncStrategy::ParameterServer),
     ] {
-        let p = expected_distributed_phases_with_strategy(
-            &device, &cluster, &metrics, batch, strategy,
-        );
+        let p =
+            expected_distributed_phases_with_strategy(&device, &cluster, &metrics, batch, strategy);
         writeln!(
             out,
             "  {:<16}  {:>9.2}  {:>16.2}  {:>8.0}",
@@ -517,7 +551,9 @@ pub fn calibrate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut cache: std::collections::BTreeMap<(String, usize), ModelMetrics> =
         std::collections::BTreeMap::new();
     for r in &rows {
-        if let std::collections::btree_map::Entry::Vacant(e) = cache.entry((r.model.clone(), r.image)) {
+        if let std::collections::btree_map::Entry::Vacant(e) =
+            cache.entry((r.model.clone(), r.image))
+        {
             e.insert(model_metrics(&r.model, r.image)?);
         }
     }
@@ -550,12 +586,101 @@ pub fn calibrate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `convmeter lint [<model>...] [--image N] [--json] [--model-file FILE]
+/// [--data FILE]`
+///
+/// Runs the static graph lints over the named zoo models (or the whole zoo
+/// when no models are given and no artefact options are present), plus the
+/// fitted-model and dataset lints when `--model-file`/`--data` point at
+/// persisted artefacts. Exits non-zero if any error-severity finding fires.
+pub fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_graph::{lint_graph, LintReport};
+
+    #[derive(serde::Serialize)]
+    struct LintTarget {
+        target: String,
+        report: LintReport,
+    }
+
+    let image = args.get_or("image", 224usize)?;
+    let mut targets: Vec<LintTarget> = Vec::new();
+
+    let names: Vec<String> = if !args.positionals().is_empty() {
+        args.positionals().to_vec()
+    } else if args.opt("model-file").is_none() && args.opt("data").is_none() {
+        zoo::ZOO
+            .iter()
+            .chain(zoo::EXTENDED_ZOO)
+            .map(|s| s.name.to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for name in &names {
+        let spec = zoo::by_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown model '{name}'; see `convmeter list-models`"
+            ))
+        })?;
+        let size = image.max(spec.min_image_size);
+        targets.push(LintTarget {
+            target: format!("{name}@{size}px"),
+            report: lint_graph(&spec.build(size, 1000)),
+        });
+    }
+
+    if let Some(path) = args.opt("model-file") {
+        let model = persist::load_forward_model(path)?;
+        targets.push(LintTarget {
+            target: format!("model {path}"),
+            report: convmeter::lint_forward_model(&model),
+        });
+    }
+    if let Some(path) = args.opt("data") {
+        let data = persist::load_inference_dataset(path)?;
+        targets.push(LintTarget {
+            target: format!("dataset {path}"),
+            report: convmeter::lint_design_matrix(&data),
+        });
+    }
+
+    let errors: usize = targets.iter().map(|t| t.report.error_count()).sum();
+    let warnings: usize = targets.iter().map(|t| t.report.warning_count()).sum();
+
+    if args.switch("json") {
+        let json = serde_json::to_string_pretty(&targets)
+            .map_err(|e| CliError::Usage(format!("json encoding failed: {e}")))?;
+        writeln!(out, "{json}")?;
+    } else {
+        for t in &targets {
+            if t.report.is_clean() {
+                writeln!(out, "{}: clean", t.target)?;
+            } else {
+                writeln!(out, "{}:", t.target)?;
+                for d in &t.report.diagnostics {
+                    writeln!(out, "  {d}")?;
+                }
+            }
+        }
+        writeln!(
+            out,
+            "{} target(s) linted: {errors} error(s), {warnings} warning(s)",
+            targets.len()
+        )?;
+    }
+    if errors > 0 {
+        return Err(CliError::Lint { errors });
+    }
+    Ok(())
+}
+
 /// `convmeter dot <model> [--image N]`
 pub fn dot(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let name = args.positional(0, "model")?;
     let image = args.get_or("image", 224usize)?;
-    let spec = zoo::by_name(name)
-        .ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
+    let spec =
+        zoo::by_name(name).ok_or_else(|| CliError::Usage(format!("unknown model '{name}'")))?;
     let graph = spec.build(image, 1000);
     write!(out, "{}", convmeter_graph::dot::to_dot(&graph))?;
     Ok(())

@@ -13,6 +13,8 @@
 //! convmeter scale-batch --model-file train.json resnet18
 //! convmeter bottlenecks --model-file model.json resnet50
 //! convmeter eval --data data.json                     # LOOCV per model
+//! convmeter lint                                      # lint the whole zoo
+//! convmeter lint resnet50 --json                      # machine-readable
 //! convmeter dot resnet18 > resnet18.dot               # Graphviz export
 //! ```
 
@@ -33,6 +35,13 @@ pub enum CliError {
     Io(std::io::Error),
     /// Persistence failure loading/saving artefacts.
     Persist(convmeter::persist::PersistError),
+    /// Graph construction or shape inference failed.
+    Graph(convmeter_graph::GraphError),
+    /// `convmeter lint` found error-severity diagnostics.
+    Lint {
+        /// Number of error-severity findings across all linted targets.
+        errors: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -42,11 +51,25 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Persist(e) => write!(f, "{e}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Lint { errors } => {
+                write!(f, "lint found {errors} error(s)")
+            }
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Args(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            CliError::Persist(e) => Some(e),
+            CliError::Graph(e) => Some(e),
+            CliError::Usage(_) | CliError::Lint { .. } => None,
+        }
+    }
+}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
@@ -63,6 +86,12 @@ impl From<std::io::Error> for CliError {
 impl From<convmeter::persist::PersistError> for CliError {
     fn from(e: convmeter::persist::PersistError) -> Self {
         CliError::Persist(e)
+    }
+}
+
+impl From<convmeter_graph::GraphError> for CliError {
+    fn from(e: convmeter_graph::GraphError) -> Self {
+        CliError::Graph(e)
     }
 }
 
@@ -108,6 +137,9 @@ COMMANDS:
                                       --data FILE --out PROFILE
   eval                              leave-one-model-out accuracy report
                                       --data FILE
+  lint [<model>...]                 static graph & model lints (CMxxxx codes)
+                                      [--image N] [--json]
+                                      [--model-file FILE] [--data FILE]
   dot <model>                       emit the graph in Graphviz DOT
   help                              show this message
 ";
@@ -136,6 +168,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "nas" => commands::nas(&args, out),
         "calibrate" => commands::calibrate(&args, out),
         "eval" => commands::eval(&args, out),
+        "lint" => commands::lint(&args, out),
         "dot" => commands::dot(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -212,11 +245,25 @@ mod tests {
         assert!(out.contains("inference points"));
         let out = run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
         assert!(out.contains("fitted c1="));
-        let out =
-            run_str(&["predict", "--model-file", &model, "resnet50", "--batch", "16"]).unwrap();
+        let out = run_str(&[
+            "predict",
+            "--model-file",
+            &model,
+            "resnet50",
+            "--batch",
+            "16",
+        ])
+        .unwrap();
         assert!(out.contains("predicted inference"));
-        let out = run_str(&["bottlenecks", "--model-file", &model, "resnet50", "--top", "3"])
-            .unwrap();
+        let out = run_str(&[
+            "bottlenecks",
+            "--model-file",
+            &model,
+            "resnet50",
+            "--top",
+            "3",
+        ])
+        .unwrap();
         assert!(out.contains("Bottleneck"));
         let out = run_str(&["eval", "--data", &data]).unwrap();
         assert!(out.contains("overall:"));
@@ -250,7 +297,12 @@ mod tests {
         assert!(out.contains("step total"));
         assert!(out.contains("90 epochs"));
         let out = run_str(&[
-            "scale-nodes", "--model-file", &model, "alexnet", "--nodes", "1,2,4",
+            "scale-nodes",
+            "--model-file",
+            &model,
+            "alexnet",
+            "--nodes",
+            "1,2,4",
         ])
         .unwrap();
         assert!(out.contains("turning point"));
@@ -266,10 +318,7 @@ mod tests {
         let model = tmpfile("pipe-model");
         run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
         run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
-        let out = run_str(&[
-            "pipeline", "--model-file", &model, "vgg16", "--stages", "4",
-        ])
-        .unwrap();
+        let out = run_str(&["pipeline", "--model-file", &model, "vgg16", "--stages", "4"]).unwrap();
         assert!(out.contains("pipeline stages"));
         assert!(out.contains("imbalance"));
         let out = run_str(&["compare-strategies", "alexnet", "--nodes", "8"]).unwrap();
@@ -283,12 +332,22 @@ mod tests {
     fn benchmark_accepts_precision_flag() {
         let data = tmpfile("prec-data");
         let out = run_str(&[
-            "benchmark", "--out", &data, "--quick", "--precision", "tf32",
+            "benchmark",
+            "--out",
+            &data,
+            "--quick",
+            "--precision",
+            "tf32",
         ])
         .unwrap();
         assert!(out.contains("inference points"));
         assert!(run_str(&[
-            "benchmark", "--out", &data, "--quick", "--precision", "int4",
+            "benchmark",
+            "--out",
+            &data,
+            "--quick",
+            "--precision",
+            "int4",
         ])
         .is_err());
         std::fs::remove_file(data).ok();
@@ -301,8 +360,15 @@ mod tests {
         run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
         run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
         let out = run_str(&[
-            "nas", "--model-file", &model, "--budget-ms", "4", "--population", "12",
-            "--rounds", "2",
+            "nas",
+            "--model-file",
+            &model,
+            "--budget-ms",
+            "4",
+            "--population",
+            "12",
+            "--rounds",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("best feasible architecture"), "{out}");
@@ -330,7 +396,9 @@ mod tests {
         let mut rows = Vec::new();
         for model in ["resnet18", "vgg11"] {
             let m = ModelMetrics::of(
-                &convmeter_models::zoo::by_name(model).unwrap().build(128, 1000),
+                &convmeter_models::zoo::by_name(model)
+                    .unwrap()
+                    .build(128, 1000),
             )
             .unwrap();
             for batch in [1usize, 16, 128] {
@@ -345,8 +413,7 @@ mod tests {
         let data = tmpfile("cal-data");
         let profile = tmpfile("cal-profile");
         std::fs::write(&data, serde_json::to_string(&rows).unwrap()).unwrap();
-        let out =
-            run_str(&["calibrate", "--data", &data, "--out", &profile]).unwrap();
+        let out = run_str(&["calibrate", "--data", &data, "--out", &profile]).unwrap();
         assert!(out.contains("RMSLE"));
         assert!(out.contains("profile saved"));
         let fitted = convmeter::persist::load_device_profile(&profile).unwrap();
@@ -360,5 +427,74 @@ mod tests {
         let out = run_str(&["dot", "squeezenet1_0", "--image", "64"]).unwrap();
         assert!(out.starts_with("digraph"));
         assert!(out.contains("Conv2d"));
+    }
+
+    #[test]
+    fn lint_zoo_wide_is_error_free() {
+        // No positional models: lints the entire zoo. The zoo must carry
+        // zero error-severity findings (warnings, e.g. AlexNet's lossy stem
+        // stride, are acceptable).
+        let out = run_str(&["lint"]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("resnet50@224px"), "{out}");
+    }
+
+    #[test]
+    fn lint_single_model_reports_clean() {
+        // VGG's all-stride-1 convs + covering pools lint with no findings at
+        // all; ResNet-style stems legitimately warn (CM0006 border drop).
+        let out = run_str(&["lint", "vgg11"]).unwrap();
+        assert!(out.contains("vgg11@224px: clean"), "{out}");
+        assert!(out.contains("1 target(s) linted"), "{out}");
+        let out = run_str(&["lint", "resnet18", "--image", "64"]).unwrap();
+        assert!(out.contains("CM0006"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let out = run_str(&["lint", "alexnet", "--json"]).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let text = serde_json::to_string(&parsed).unwrap();
+        // AlexNet's stem drops rows at 224 px -> CM0006 warning in the JSON.
+        assert!(text.contains("CM0006"), "{out}");
+        assert!(text.contains("alexnet@224px"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_unknown_model() {
+        let err = run_str(&["lint", "resnet999"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn lint_checks_fitted_model_artefact() {
+        let data = tmpfile("lint-data");
+        let model = tmpfile("lint-model");
+        run_str(&["benchmark", "--out", &data, "--quick"]).unwrap();
+        run_str(&["fit", "--data", &data, "--out", &model]).unwrap();
+        let out = run_str(&["lint", "--model-file", &model, "--data", &data]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("model "), "{out}");
+        assert!(out.contains("dataset "), "{out}");
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn cli_errors_expose_cause_chains() {
+        // A missing file surfaces as CliError::Persist wrapping an io::Error;
+        // source() must reach the io layer so main can print the chain.
+        let err = run_str(&["eval", "--data", "/definitely/not/here.json"]).unwrap_err();
+        let mut depth = 0;
+        let mut source = std::error::Error::source(&err);
+        while let Some(cause) = source {
+            depth += 1;
+            source = cause.source();
+        }
+        assert!(
+            depth >= 2,
+            "expected Persist -> Io chain, got depth {depth}"
+        );
     }
 }

@@ -4,7 +4,19 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = convmeter_cli::run(&argv, &mut stdout) {
-        eprintln!("error: {e}");
+        let mut shown = format!("{e}");
+        eprintln!("error: {shown}");
+        let mut source = std::error::Error::source(&e);
+        while let Some(cause) = source {
+            // Wrapper layers often embed their cause's text; only print
+            // causes that add information.
+            let text = format!("{cause}");
+            if text != shown {
+                eprintln!("  caused by: {text}");
+                shown = text;
+            }
+            source = cause.source();
+        }
         std::process::exit(2);
     }
 }

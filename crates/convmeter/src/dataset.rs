@@ -69,9 +69,12 @@ impl MetricsCache {
         self.cache
             .entry((model.to_string(), image))
             .or_insert_with(|| {
-                let spec = zoo::by_name(model)
-                    .unwrap_or_else(|| panic!("unknown model '{model}'"));
-                ModelMetrics::of(&spec.build(image, 1000)).expect("zoo models validate")
+                let spec = zoo::by_name(model).unwrap_or_else(|| panic!("unknown model '{model}'"));
+                let graph = spec.build(image, 1000);
+                if let Err(report) = graph.check() {
+                    panic!("graph '{model}' @ {image}px failed lint:\n{report}");
+                }
+                ModelMetrics::of(&graph).expect("zoo models validate")
             })
     }
 }
@@ -118,10 +121,7 @@ pub fn training_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<Tra
 }
 
 /// Run a distributed-training sweep and annotate it.
-pub fn distributed_dataset(
-    device: &DeviceProfile,
-    config: &DistSweepConfig,
-) -> Vec<TrainingPoint> {
+pub fn distributed_dataset(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<TrainingPoint> {
     let mut cache = MetricsCache::default();
     distributed_sweep(device, config)
         .into_iter()

@@ -51,8 +51,7 @@ pub fn leave_one_model_out_inference(
     let mut all_pred = Vec::new();
     let mut all_meas = Vec::new();
     for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
-        let train: Vec<InferencePoint> =
-            split.train.iter().map(|&i| points[i].clone()).collect();
+        let train: Vec<InferencePoint> = split.train.iter().map(|&i| points[i].clone()).collect();
         let fitted = ForwardModel::fit(&train)?;
         let mut pred = Vec::with_capacity(split.test.len());
         let mut meas = Vec::with_capacity(split.test.len());
@@ -90,8 +89,7 @@ pub fn leave_one_model_out_training(
     let mut all_pred = Vec::new();
     let mut all_meas = Vec::new();
     for (model_name, split) in LeaveOneGroupOut::splits(&groups) {
-        let train: Vec<TrainingPoint> =
-            split.train.iter().map(|&i| points[i].clone()).collect();
+        let train: Vec<TrainingPoint> = split.train.iter().map(|&i| points[i].clone()).collect();
         let fitted = TrainingModel::fit(&train)?;
         let mut pred = Vec::with_capacity(split.test.len());
         let mut meas = Vec::with_capacity(split.test.len());
@@ -122,16 +120,12 @@ pub fn leave_one_model_out_training(
 /// K-fold cross-validated evaluation of the inference model: a generic
 /// generalisation check that mixes all models in every fold (contrast with
 /// the stricter leave-one-model-out protocol).
-pub fn kfold_inference(
-    points: &[InferencePoint],
-    k: usize,
-) -> Result<ErrorReport, FitError> {
+pub fn kfold_inference(points: &[InferencePoint], k: usize) -> Result<ErrorReport, FitError> {
     let folds = convmeter_linalg::KFold::new(k).splits(points.len());
     let mut preds = Vec::with_capacity(points.len());
     let mut meas = Vec::with_capacity(points.len());
     for split in folds {
-        let train: Vec<InferencePoint> =
-            split.train.iter().map(|&i| points[i].clone()).collect();
+        let train: Vec<InferencePoint> = split.train.iter().map(|&i| points[i].clone()).collect();
         let fitted = ForwardModel::fit(&train)?;
         for &i in &split.test {
             preds.push(fitted.predict(&points[i].metrics));
@@ -215,7 +209,10 @@ mod tests {
         let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
         let kfold = kfold_inference(&data, 5).unwrap();
         let (_, _, loocv) = leave_one_model_out_inference(&data).unwrap();
-        assert!(kfold.r2 >= loocv.r2 - 0.02, "kfold {kfold} vs loocv {loocv}");
+        assert!(
+            kfold.r2 >= loocv.r2 - 0.02,
+            "kfold {kfold} vs loocv {loocv}"
+        );
         assert!(kfold.mape <= loocv.mape * 1.1);
     }
 

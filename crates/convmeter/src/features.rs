@@ -95,6 +95,9 @@ mod tests {
     #[test]
     fn forward_features_at_matches_manual() {
         let m = metrics();
-        assert_eq!(forward_features_at(&m, 32), forward_features(&m.at_batch(32)));
+        assert_eq!(
+            forward_features_at(&m, 32),
+            forward_features(&m.at_batch(32))
+        );
     }
 }

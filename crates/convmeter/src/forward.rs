@@ -36,15 +36,22 @@ impl ForwardModel {
         points: &[InferencePoint],
         target: impl Fn(&InferencePoint) -> f64,
     ) -> Result<Self, FitError> {
-        let xs: Vec<Vec<f64>> = points.iter().map(|p| forward_features(&p.metrics)).collect();
+        let xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| forward_features(&p.metrics))
+            .collect();
         let ys: Vec<f64> = points.iter().map(target).collect();
-        let reg = LinearRegression::new().with_ridge(DEFAULT_RIDGE).fit(&xs, &ys)?;
+        let reg = LinearRegression::new()
+            .with_ridge(DEFAULT_RIDGE)
+            .fit(&xs, &ys)?;
         Ok(Self { reg })
     }
 
     /// Fit directly from (features, time) pairs.
     pub fn fit_raw(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, FitError> {
-        let reg = LinearRegression::new().with_ridge(DEFAULT_RIDGE).fit(xs, ys)?;
+        let reg = LinearRegression::new()
+            .with_ridge(DEFAULT_RIDGE)
+            .fit(xs, ys)?;
         Ok(Self { reg })
     }
 
@@ -71,10 +78,7 @@ impl ForwardModel {
 
     /// Summarise this model's multiplicative residuals on a (typically
     /// held-out) dataset, for prediction intervals.
-    pub fn residual_profile(
-        &self,
-        points: &[InferencePoint],
-    ) -> convmeter_linalg::ResidualProfile {
+    pub fn residual_profile(&self, points: &[InferencePoint]) -> convmeter_linalg::ResidualProfile {
         let preds: Vec<f64> = points.iter().map(|p| self.predict(&p.metrics)).collect();
         let meas: Vec<f64> = points.iter().map(|p| p.measured).collect();
         convmeter_linalg::ResidualProfile::from_predictions(&preds, &meas)
@@ -132,7 +136,9 @@ mod tests {
         let data = dataset();
         let model = ForwardModel::fit(&data).unwrap();
         let metrics = convmeter_metrics::ModelMetrics::of(
-            &convmeter_models::zoo::by_name("resnet18").unwrap().build(64, 1000),
+            &convmeter_models::zoo::by_name("resnet18")
+                .unwrap()
+                .build(64, 1000),
         )
         .unwrap();
         let a = model.predict_metrics(&metrics, 8);
@@ -148,7 +154,9 @@ mod tests {
         let data = dataset();
         let model = ForwardModel::fit(&data).unwrap();
         let metrics = convmeter_metrics::ModelMetrics::of(
-            &convmeter_models::zoo::by_name("vgg11").unwrap().build(128, 1000),
+            &convmeter_models::zoo::by_name("vgg11")
+                .unwrap()
+                .build(128, 1000),
         )
         .unwrap();
         let mut last = 0.0;

@@ -44,21 +44,23 @@ pub mod dataset;
 pub mod eval;
 pub mod features;
 pub mod forward;
+pub mod model_lint;
 pub mod nas;
 pub mod persist;
 pub mod pipeline;
 pub mod scalability;
 pub mod training;
 
+pub use analysis::{bottleneck_report, BottleneckReport};
 pub use dataset::{
     distributed_dataset, inference_dataset, training_dataset, InferencePoint, TrainingPoint,
 };
 pub use eval::{
-    breakdown_by, kfold_inference, leave_one_model_out_inference,
-    leave_one_model_out_training, PerModelReport, ScatterPoint,
+    breakdown_by, kfold_inference, leave_one_model_out_inference, leave_one_model_out_training,
+    PerModelReport, ScatterPoint,
 };
-pub use analysis::{bottleneck_report, BottleneckReport};
 pub use forward::ForwardModel;
+pub use model_lint::{lint_design_matrix, lint_forward_model};
 pub use nas::{search as nas_search, NasConfig, NasResult};
 pub use pipeline::{plan_pipeline, PipelinePlan};
 pub use scalability::{epoch_time, throughput_vs_batch, throughput_vs_nodes, turning_point};
@@ -66,13 +68,13 @@ pub use training::{GradUpdateModel, TrainingModel};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
+    pub use crate::analysis::{bottleneck_report, BottleneckReport};
     pub use crate::dataset::{
         distributed_dataset, inference_dataset, training_dataset, InferencePoint, TrainingPoint,
     };
     pub use crate::eval::{
         leave_one_model_out_inference, leave_one_model_out_training, PerModelReport, ScatterPoint,
     };
-    pub use crate::analysis::{bottleneck_report, BottleneckReport};
     pub use crate::forward::ForwardModel;
     pub use crate::scalability::{
         epoch_time, throughput_vs_batch, throughput_vs_nodes, turning_point,

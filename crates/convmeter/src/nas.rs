@@ -111,10 +111,7 @@ pub fn search(model: &ForwardModel, cfg: &NasConfig) -> NasResult {
             (true, false) => std::cmp::Ordering::Less,
             (false, true) => std::cmp::Ordering::Greater,
             (true, true) => b.1.flops.cmp(&a.1.flops),
-            (false, false) => a
-                .1
-                .predicted_latency
-                .total_cmp(&b.1.predicted_latency),
+            (false, false) => a.1.predicted_latency.total_cmp(&b.1.predicted_latency),
         });
         pool.truncate((cfg.population / 2).max(1));
         let parents: Vec<Graph> = pool.iter().take(4).map(|(g, _)| g.clone()).collect();
@@ -136,7 +133,11 @@ pub fn search(model: &ForwardModel, cfg: &NasConfig) -> NasResult {
         .filter(|c| c.feasible)
         .max_by_key(|c| c.flops)
         .cloned();
-    NasResult { evaluations: evaluated.len(), evaluated, best }
+    NasResult {
+        evaluations: evaluated.len(),
+        evaluated,
+        best,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +152,10 @@ mod tests {
     }
 
     fn cfg() -> NasConfig {
-        NasConfig { latency_budget: 4e-3, ..Default::default() }
+        NasConfig {
+            latency_budget: 4e-3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -175,10 +179,24 @@ mod tests {
     #[test]
     fn tighter_budgets_yield_smaller_models() {
         let model = fitted();
-        let loose = search(&model, &NasConfig { latency_budget: 8e-3, ..cfg() });
-        let tight = search(&model, &NasConfig { latency_budget: 1e-3, ..cfg() });
+        let loose = search(
+            &model,
+            &NasConfig {
+                latency_budget: 8e-3,
+                ..cfg()
+            },
+        );
+        let tight = search(
+            &model,
+            &NasConfig {
+                latency_budget: 1e-3,
+                ..cfg()
+            },
+        );
         match (loose.best, tight.best) {
-            (Some(l), Some(t)) => assert!(t.flops <= l.flops, "tight {} loose {}", t.flops, l.flops),
+            (Some(l), Some(t)) => {
+                assert!(t.flops <= l.flops, "tight {} loose {}", t.flops, l.flops)
+            }
             (Some(_), None) => {} // tight budget may be infeasible entirely
             other => panic!("unexpected {other:?}"),
         }

@@ -52,7 +52,15 @@ impl std::fmt::Display for PersistError {
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            PersistError::Format { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -101,7 +109,10 @@ fn load<T: DeserializeOwned>(path: &Path, kind: &str) -> Result<T, PersistError>
 }
 
 /// Save a fitted forward (inference) model.
-pub fn save_forward_model(path: impl AsRef<Path>, model: &ForwardModel) -> Result<(), PersistError> {
+pub fn save_forward_model(
+    path: impl AsRef<Path>,
+    model: &ForwardModel,
+) -> Result<(), PersistError> {
     save(path.as_ref(), "forward-model", model)
 }
 
@@ -132,9 +143,7 @@ pub fn save_inference_dataset(
 }
 
 /// Load an inference benchmark dataset.
-pub fn load_inference_dataset(
-    path: impl AsRef<Path>,
-) -> Result<Vec<InferencePoint>, PersistError> {
+pub fn load_inference_dataset(path: impl AsRef<Path>) -> Result<Vec<InferencePoint>, PersistError> {
     load(path.as_ref(), "inference-dataset")
 }
 
@@ -162,9 +171,7 @@ pub fn save_training_dataset(
 }
 
 /// Load a training benchmark dataset.
-pub fn load_training_dataset(
-    path: impl AsRef<Path>,
-) -> Result<Vec<TrainingPoint>, PersistError> {
+pub fn load_training_dataset(path: impl AsRef<Path>) -> Result<Vec<TrainingPoint>, PersistError> {
     load(path.as_ref(), "training-dataset")
 }
 
@@ -175,7 +182,10 @@ mod tests {
     use convmeter_hwsim::{DeviceProfile, SweepConfig};
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("convmeter-persist-{name}-{}.json", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "convmeter-persist-{name}-{}.json",
+            std::process::id()
+        ))
     }
 
     #[test]

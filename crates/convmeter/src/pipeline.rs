@@ -115,7 +115,10 @@ pub fn plan_pipeline(
     assert!(k >= 1, "need at least one stage");
     let n = graph.len();
     if n < k {
-        return Err(PipelineError::TooFewNodes { nodes: n, stages: k });
+        return Err(PipelineError::TooFewNodes {
+            nodes: n,
+            stages: k,
+        });
     }
     let shapes = graph
         .infer_shapes()
@@ -190,7 +193,9 @@ pub fn plan_pipeline(
                 .map(|c| c.output_elements as f64)
                 .sum();
             let b = micro_batch as f64;
-            coefs[0] * flops * b + coefs[1] * inputs * b + coefs[2] * outputs * b
+            coefs[0] * flops * b
+                + coefs[1] * inputs * b
+                + coefs[2] * outputs * b
                 + model.intercept() / k as f64
         };
         let boundary_elements = if end == n {
@@ -198,7 +203,12 @@ pub fn plan_pipeline(
         } else {
             shapes[end - 1].output.elements()
         };
-        stages.push(Stage { start, end, compute: compute.max(0.0), boundary_elements });
+        stages.push(Stage {
+            start,
+            end,
+            compute: compute.max(0.0),
+            boundary_elements,
+        });
     }
     Ok(PipelinePlan {
         model: graph.name().to_string(),
@@ -215,8 +225,7 @@ impl PipelinePlan {
             .iter()
             .map(|s| {
                 s.compute
-                    + (s.boundary_elements as f64 * self.micro_batch as f64 * 4.0)
-                        / link_bandwidth
+                    + (s.boundary_elements as f64 * self.micro_batch as f64 * 4.0) / link_bandwidth
             })
             .fold(0.0, f64::max)
     }
@@ -347,7 +356,8 @@ mod tests {
     #[test]
     fn too_many_stages_is_an_error() {
         let model = fitted();
-        let mut b = convmeter_graph::GraphBuilder::new("tiny", convmeter_graph::Shape::image(3, 32));
+        let mut b =
+            convmeter_graph::GraphBuilder::new("tiny", convmeter_graph::Shape::image(3, 32));
         b.conv_bn(3, 8, 3, 1, 1);
         let g = b.finish();
         assert!(matches!(

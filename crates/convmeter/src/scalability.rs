@@ -156,7 +156,8 @@ mod tests {
         let alex = throughput_vs_nodes(&model, &metrics("alexnet"), 64, &nodes, 4);
         let r50 = throughput_vs_nodes(&model, &metrics("resnet50"), 64, &nodes, 4);
         // Relative speedup from 1 to 16 nodes.
-        let speedup = |c: &[ThroughputPoint]| c.last().unwrap().images_per_sec / c[0].images_per_sec;
+        let speedup =
+            |c: &[ThroughputPoint]| c.last().unwrap().images_per_sec / c[0].images_per_sec;
         assert!(
             speedup(&alex) < speedup(&r50),
             "alexnet {:.2}x vs resnet50 {:.2}x",

@@ -3,7 +3,9 @@
 //! step (Eq. 1).
 
 use crate::dataset::TrainingPoint;
-use crate::features::{bwd_grad_features, forward_features, grad_features_multi, grad_features_single};
+use crate::features::{
+    bwd_grad_features, forward_features, grad_features_multi, grad_features_single,
+};
 use crate::forward::DEFAULT_RIDGE;
 use convmeter_linalg::{FitError, LinearRegression};
 use convmeter_metrics::{BatchMetrics, ModelMetrics};
@@ -81,8 +83,10 @@ impl TrainingModel {
     /// Fit every component from a training dataset (single- and/or
     /// multi-node points).
     pub fn fit(points: &[TrainingPoint]) -> Result<Self, FitError> {
-        let fwd_xs: Vec<Vec<f64>> =
-            points.iter().map(|p| forward_features(&p.metrics)).collect();
+        let fwd_xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| forward_features(&p.metrics))
+            .collect();
         let fit_fio = |ys: &[f64]| {
             LinearRegression::new()
                 .with_ridge(DEFAULT_RIDGE)
@@ -102,14 +106,14 @@ impl TrainingModel {
                 .map(|p| bwd_grad_features(&p.metrics, p.nodes))
                 .collect();
             let ys: Vec<f64> = pts.iter().map(|p| p.bwd + p.grad).collect();
-            LinearRegression::new().with_ridge(DEFAULT_RIDGE).fit(&xs, &ys)
+            LinearRegression::new()
+                .with_ridge(DEFAULT_RIDGE)
+                .fit(&xs, &ys)
         };
         let all: Vec<&TrainingPoint> = points.iter().collect();
         let fused_all = fit_fused(&all)?;
-        let single_pts: Vec<&TrainingPoint> =
-            points.iter().filter(|p| p.nodes == 1).collect();
-        let multi_pts: Vec<&TrainingPoint> =
-            points.iter().filter(|p| p.nodes > 1).collect();
+        let single_pts: Vec<&TrainingPoint> = points.iter().filter(|p| p.nodes == 1).collect();
+        let multi_pts: Vec<&TrainingPoint> = points.iter().filter(|p| p.nodes > 1).collect();
         // Each regime needs enough rows for the 7 unknowns; otherwise fall
         // back to the all-data fit.
         let min_rows = 8;
@@ -124,7 +128,13 @@ impl TrainingModel {
             fused_all
         };
 
-        Ok(Self { forward, backward, grad, fused_single, fused_multi })
+        Ok(Self {
+            forward,
+            backward,
+            grad,
+            fused_single,
+            fused_multi,
+        })
     }
 
     /// Predicted forward-pass time.
@@ -145,7 +155,11 @@ impl TrainingModel {
     /// Predicted fused backward+gradient time (the overlapping phases,
     /// 7 coefficients), dispatched on the communication regime.
     pub fn predict_bwd_grad(&self, metrics: &BatchMetrics, nodes: usize) -> f64 {
-        let model = if nodes <= 1 { &self.fused_single } else { &self.fused_multi };
+        let model = if nodes <= 1 {
+            &self.fused_single
+        } else {
+            &self.fused_multi
+        };
         model.predict(&bwd_grad_features(metrics, nodes))
     }
 
@@ -218,13 +232,8 @@ impl TrainingModel {
         };
         // Each node's loader must feed all its local devices.
         let per_node_batch = per_device_batch * devices / nodes.max(1);
-        let step =
-            convmeter_distsim::step_with_io(phases, storage, per_node_batch, image_size);
-        convmeter_distsim::epoch_time_with_io(
-            &step,
-            dataset_size,
-            per_device_batch * devices,
-        )
+        let step = convmeter_distsim::step_with_io(phases, storage, per_node_batch, image_size);
+        convmeter_distsim::epoch_time_with_io(&step, dataset_size, per_device_batch * devices)
     }
 }
 
@@ -330,9 +339,15 @@ mod tests {
         let with_fast = model.predict_epoch_with_io(&m, &fast, 128, 1_281_167, 64, 2, 8);
         let with_cpu = model.predict_epoch_with_io(&m, &cpu_loader, 128, 1_281_167, 64, 2, 8);
         // Fast loaders hide behind compute: within a pipeline-fill of plain.
-        assert!(with_fast < plain * 1.05, "fast {with_fast} vs plain {plain}");
+        assert!(
+            with_fast < plain * 1.05,
+            "fast {with_fast} vs plain {plain}"
+        );
         // The stock loader stalls the step visibly.
-        assert!(with_cpu > 1.2 * plain, "cpu loader {with_cpu} vs plain {plain}");
+        assert!(
+            with_cpu > 1.2 * plain,
+            "cpu loader {with_cpu} vs plain {plain}"
+        );
     }
 
     #[test]

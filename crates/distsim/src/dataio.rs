@@ -98,16 +98,16 @@ pub fn step_with_io(
     } else {
         io_time
     };
-    StepWithIo { phases, io_time, io_stall }
+    StepWithIo {
+        phases,
+        io_time,
+        io_stall,
+    }
 }
 
 /// Epoch time over `dataset_size` images with the steady-state step,
 /// including the un-overlapped first load (pipeline fill).
-pub fn epoch_time_with_io(
-    step: &StepWithIo,
-    dataset_size: usize,
-    global_batch: usize,
-) -> f64 {
+pub fn epoch_time_with_io(step: &StepWithIo, dataset_size: usize, global_batch: usize) -> f64 {
     let steps = (dataset_size as f64 / global_batch as f64).ceil();
     step.io_time + steps * step.total()
 }
@@ -174,8 +174,8 @@ mod tests {
     fn decode_throughput_can_be_the_bottleneck() {
         let mut s = StorageProfile::local_nvme();
         s.decode_throughput = 500.0; // weak CPU loaders
-        // 1024 images at 500/s = ~2 s of decode: dwarfs both read time and
-        // a 100 ms compute step.
+                                     // 1024 images at 500/s = ~2 s of decode: dwarfs both read time and
+                                     // a 100 ms compute step.
         let step = step_with_io(phases(0.1), &s, 1024, 224);
         assert!(step.io_bound());
         assert!(step.io_time > 2.0);

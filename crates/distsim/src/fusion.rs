@@ -29,7 +29,10 @@ pub struct Bucket {
 pub fn fuse_gradients(tensor_bytes: &[u64], buffer_bytes: u64) -> Vec<Bucket> {
     assert!(buffer_bytes > 0, "fusion buffer must be positive");
     let mut buckets = Vec::new();
-    let mut current = Bucket { tensor_indices: Vec::new(), bytes: 0 };
+    let mut current = Bucket {
+        tensor_indices: Vec::new(),
+        bytes: 0,
+    };
     for (i, &size) in tensor_bytes.iter().enumerate() {
         if size == 0 {
             continue;
@@ -37,7 +40,10 @@ pub fn fuse_gradients(tensor_bytes: &[u64], buffer_bytes: u64) -> Vec<Bucket> {
         if current.bytes > 0 && current.bytes + size > buffer_bytes {
             buckets.push(std::mem::replace(
                 &mut current,
-                Bucket { tensor_indices: Vec::new(), bytes: 0 },
+                Bucket {
+                    tensor_indices: Vec::new(),
+                    bytes: 0,
+                },
             ));
         }
         current.tensor_indices.push(i);
@@ -97,7 +103,10 @@ mod tests {
         let total: u64 = buckets.iter().map(|b| b.bytes).sum();
         assert_eq!(total, sizes.iter().sum::<u64>());
         // Every index appears exactly once.
-        let mut all: Vec<usize> = buckets.iter().flat_map(|b| b.tensor_indices.clone()).collect();
+        let mut all: Vec<usize> = buckets
+            .iter()
+            .flat_map(|b| b.tensor_indices.clone())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..sizes.len()).collect::<Vec<_>>());
     }

@@ -41,10 +41,12 @@ pub use fusion::{fuse_gradients, Bucket};
 pub use parallel::simulate_step_threaded;
 pub use pipeline_sim::{simulate_pipeline, PipelineSimResult, SimStage};
 pub use ring::{all_reduce_time, reduce_scatter_time};
-pub use strategies::{hierarchical_all_reduce_time, parameter_server_time, sync_time, SyncStrategy};
 pub use step::{
     expected_distributed_phases, expected_distributed_phases_with_strategy,
     measure_distributed_step,
+};
+pub use strategies::{
+    hierarchical_all_reduce_time, parameter_server_time, sync_time, SyncStrategy,
 };
 pub use sweep::{distributed_sweep, DistSweepConfig, DistTrainingSample};
 pub use trace::{trace_step, StepTrace};

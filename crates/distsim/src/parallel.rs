@@ -154,8 +154,13 @@ pub fn simulate_step_threaded(
                     .sum::<f64>()
                     + device.base_overhead;
 
-                tx.send(DeviceOutcome { forward_end, backward_end, comm_end, optimizer })
-                    .expect("collector alive");
+                tx.send(DeviceOutcome {
+                    forward_end,
+                    backward_end,
+                    comm_end,
+                    optimizer,
+                })
+                .expect("collector alive");
             });
         }
     });
@@ -171,7 +176,11 @@ pub fn simulate_step_threaded(
     // Communication tail is measured against the backward-compute clock
     // (base overhead excluded, as in the analytic model).
     let grad_update = (comm_end - (backward - device.base_overhead)).max(0.0) + optimizer;
-    TrainingPhases { forward, backward, grad_update }
+    TrainingPhases {
+        forward,
+        backward,
+        grad_update,
+    }
 }
 
 #[cfg(test)]

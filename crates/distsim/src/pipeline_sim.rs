@@ -94,7 +94,11 @@ pub fn simulate_pipeline(
     }
     let makespan = finish[k - 1][micro_batches - 1];
     let utilisation = busy.iter().sum::<f64>() / (k as f64 * makespan.max(1e-12));
-    PipelineSimResult { makespan, finish_times: finish, utilisation }
+    PipelineSimResult {
+        makespan,
+        finish_times: finish,
+        utilisation,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +129,11 @@ mod tests {
     #[test]
     fn single_stage_is_sequential_execution() {
         let m = r18();
-        let stages = vec![SimStage { start: 0, end: m.per_node.len(), boundary_elements: 0 }];
+        let stages = vec![SimStage {
+            start: 0,
+            end: m.per_node.len(),
+            boundary_elements: 0,
+        }];
         let r = simulate_pipeline(&gpu(), &m, &stages, 8, 5, 1e12, 0.0, 0);
         let per_mb: f64 = m
             .per_node
@@ -154,7 +162,11 @@ mod tests {
             .fold(0.0f64, f64::max);
         let lower = (16 + k - 1) as f64 * bottleneck / k as f64; // loose
         let upper = (16 + k - 1) as f64 * bottleneck;
-        assert!(r.makespan >= lower && r.makespan <= upper * 1.01, "{}", r.makespan);
+        assert!(
+            r.makespan >= lower && r.makespan <= upper * 1.01,
+            "{}",
+            r.makespan
+        );
     }
 
     #[test]

@@ -60,9 +60,7 @@ mod tests {
     fn reduce_scatter_is_half_of_all_reduce() {
         let c = ClusterConfig::hpc_cluster(4);
         let bytes = 100 << 20;
-        assert!(
-            (2.0 * reduce_scatter_time(&c, bytes) - all_reduce_time(&c, bytes)).abs() < 1e-12
-        );
+        assert!((2.0 * reduce_scatter_time(&c, bytes) - all_reduce_time(&c, bytes)).abs() < 1e-12);
     }
 
     #[test]
@@ -74,7 +72,10 @@ mod tests {
         let t = all_reduce_time(&c, bytes);
         let bound = 2.0 * (n - 1) as f64 / n as f64 * bytes as f64 / c.ib_bandwidth;
         assert!(t > bound, "latency must push above the bandwidth bound");
-        assert!(t < 1.05 * bound, "but only slightly for a 1 GiB payload: {t} vs {bound}");
+        assert!(
+            t < 1.05 * bound,
+            "but only slightly for a 1 GiB payload: {t} vs {bound}"
+        );
         // And it never beats the hard 2S/B asymptote scaled by (N-1)/N.
         assert!(t < 2.0 * bytes as f64 / c.ib_bandwidth + 1.0e-3);
     }

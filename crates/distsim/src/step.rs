@@ -110,7 +110,11 @@ pub fn expected_distributed_phases_with_strategy(
         comm_tail + optimizer
     };
 
-    TrainingPhases { forward, backward, grad_update }
+    TrainingPhases {
+        forward,
+        backward,
+        grad_update,
+    }
 }
 
 /// A noisy measurement of one distributed training step.
@@ -221,14 +225,21 @@ mod tests {
         use crate::strategies::SyncStrategy;
         let m = metrics("alexnet", 128);
         let c = ClusterConfig::hpc_cluster(8);
-        let flat = expected_distributed_phases_with_strategy(
-            &gpu(), &c, &m, 64, SyncStrategy::FlatRing,
-        );
+        let flat =
+            expected_distributed_phases_with_strategy(&gpu(), &c, &m, 64, SyncStrategy::FlatRing);
         let hier = expected_distributed_phases_with_strategy(
-            &gpu(), &c, &m, 64, SyncStrategy::Hierarchical,
+            &gpu(),
+            &c,
+            &m,
+            64,
+            SyncStrategy::Hierarchical,
         );
         let ps = expected_distributed_phases_with_strategy(
-            &gpu(), &c, &m, 64, SyncStrategy::ParameterServer,
+            &gpu(),
+            &c,
+            &m,
+            64,
+            SyncStrategy::ParameterServer,
         );
         assert!(hier.grad_update < flat.grad_update);
         assert!(ps.grad_update > flat.grad_update);

@@ -92,8 +92,11 @@ mod tests {
     #[test]
     fn single_device_is_free_for_all_strategies() {
         let c = ClusterConfig::workstation(1);
-        for s in [SyncStrategy::FlatRing, SyncStrategy::Hierarchical, SyncStrategy::ParameterServer]
-        {
+        for s in [
+            SyncStrategy::FlatRing,
+            SyncStrategy::Hierarchical,
+            SyncStrategy::ParameterServer,
+        ] {
             assert_eq!(sync_time(&c, MB100, s), 0.0);
         }
     }
@@ -130,7 +133,10 @@ mod tests {
         let large = ClusterConfig::hpc_cluster(16);
         let ps_small = parameter_server_time(&small, MB100);
         let ps_large = parameter_server_time(&large, MB100);
-        assert!((ps_large / ps_small - 8.0).abs() < 0.5, "PS should scale ~linearly");
+        assert!(
+            (ps_large / ps_small - 8.0).abs() < 0.5,
+            "PS should scale ~linearly"
+        );
         let ar_large = all_reduce_time(&large, MB100);
         assert!(
             ps_large > 5.0 * ar_large,
@@ -141,8 +147,11 @@ mod tests {
     #[test]
     fn all_strategies_monotone_in_bytes() {
         let c = ClusterConfig::hpc_cluster(4);
-        for s in [SyncStrategy::FlatRing, SyncStrategy::Hierarchical, SyncStrategy::ParameterServer]
-        {
+        for s in [
+            SyncStrategy::FlatRing,
+            SyncStrategy::Hierarchical,
+            SyncStrategy::ParameterServer,
+        ] {
             assert!(sync_time(&c, 2 * MB100, s) > sync_time(&c, MB100, s));
         }
     }

@@ -95,7 +95,10 @@ impl DistSweepConfig {
 
 /// Run a distributed-training sweep. Configurations whose per-device
 /// footprint exceeds device memory are skipped, as in the paper.
-pub fn distributed_sweep(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<DistTrainingSample> {
+pub fn distributed_sweep(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+) -> Vec<DistTrainingSample> {
     let mut out = Vec::new();
     for model in &config.models {
         let spec = zoo::by_name(model)
@@ -104,7 +107,11 @@ pub fn distributed_sweep(device: &DeviceProfile, config: &DistSweepConfig) -> Ve
             if !spec.supports(image) {
                 continue;
             }
-            let metrics = ModelMetrics::of(&spec.build(image, 1000)).expect("zoo models validate");
+            let graph = spec.build(image, 1000);
+            if let Err(report) = graph.check() {
+                panic!("graph '{model}' @ {image}px failed lint:\n{report}");
+            }
+            let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
             for &batch in &config.batch_sizes {
                 if training_memory_bytes(&metrics, batch) > device.memory_capacity {
                     continue;
@@ -153,7 +160,11 @@ mod tests {
             batch: 64,
             nodes: 2,
             gpus_per_node: 4,
-            phases: TrainingPhases { forward: 0.1, backward: 0.3, grad_update: 0.1 },
+            phases: TrainingPhases {
+                forward: 0.1,
+                backward: 0.3,
+                grad_update: 0.1,
+            },
         };
         assert_eq!(s.total_devices(), 8);
         assert!((s.throughput() - (64.0 * 8.0) / 0.5).abs() < 1e-9);

@@ -188,8 +188,11 @@ impl StepTrace {
     /// Fraction of the backward window during which communication was
     /// active (overlap efficiency; 0 when there is no communication).
     pub fn comm_overlap_fraction(&self) -> f64 {
-        let comm: Vec<&TraceEvent> =
-            self.trace_events.iter().filter(|e| e.cat == "comm").collect();
+        let comm: Vec<&TraceEvent> = self
+            .trace_events
+            .iter()
+            .filter(|e| e.cat == "comm")
+            .collect();
         if comm.is_empty() {
             return 0.0;
         }
@@ -229,7 +232,13 @@ mod tests {
     #[test]
     fn trace_is_well_formed() {
         let cluster = ClusterConfig::hpc_cluster(2);
-        let trace = trace_step(&gpu(), &cluster, &metrics("resnet18"), 32, SyncStrategy::FlatRing);
+        let trace = trace_step(
+            &gpu(),
+            &cluster,
+            &metrics("resnet18"),
+            32,
+            SyncStrategy::FlatRing,
+        );
         assert!(!trace.trace_events.is_empty());
         // Every event has positive duration and non-negative start.
         for e in &trace.trace_events {
@@ -259,12 +268,16 @@ mod tests {
         let cluster = ClusterConfig::hpc_cluster(2);
         let m = metrics("resnet18");
         let trace = trace_step(&gpu(), &cluster, &m, 32, SyncStrategy::FlatRing);
-        let analytic =
-            crate::step::expected_distributed_phases(&gpu(), &cluster, &m, 32);
+        let analytic = crate::step::expected_distributed_phases(&gpu(), &cluster, &m, 32);
         // The trace has no base overheads or straggler factor, so compare
         // loosely: within 20 %.
         let rel = (trace.metadata.step_seconds - analytic.total()).abs() / analytic.total();
-        assert!(rel < 0.2, "trace {} vs analytic {}", trace.metadata.step_seconds, analytic.total());
+        assert!(
+            rel < 0.2,
+            "trace {} vs analytic {}",
+            trace.metadata.step_seconds,
+            analytic.total()
+        );
     }
 
     #[test]
@@ -272,8 +285,13 @@ mod tests {
         // At a healthy batch size, most communication hides under backward
         // compute — the Figure 1 story.
         let cluster = ClusterConfig::hpc_cluster(2);
-        let trace =
-            trace_step(&gpu(), &cluster, &metrics("resnet50"), 64, SyncStrategy::FlatRing);
+        let trace = trace_step(
+            &gpu(),
+            &cluster,
+            &metrics("resnet50"),
+            64,
+            SyncStrategy::FlatRing,
+        );
         let overlap = trace.comm_overlap_fraction();
         assert!(overlap > 0.5, "overlap {overlap}");
     }
@@ -281,7 +299,13 @@ mod tests {
     #[test]
     fn single_device_trace_has_no_comm() {
         let cluster = ClusterConfig::workstation(1);
-        let trace = trace_step(&gpu(), &cluster, &metrics("resnet18"), 32, SyncStrategy::FlatRing);
+        let trace = trace_step(
+            &gpu(),
+            &cluster,
+            &metrics("resnet18"),
+            32,
+            SyncStrategy::FlatRing,
+        );
         assert!(trace.trace_events.iter().all(|e| e.cat != "comm"));
         assert_eq!(trace.comm_overlap_fraction(), 0.0);
     }
@@ -289,7 +313,13 @@ mod tests {
     #[test]
     fn json_is_chrome_compatible() {
         let cluster = ClusterConfig::hpc_cluster(2);
-        let trace = trace_step(&gpu(), &cluster, &metrics("alexnet"), 16, SyncStrategy::FlatRing);
+        let trace = trace_step(
+            &gpu(),
+            &cluster,
+            &metrics("alexnet"),
+            16,
+            SyncStrategy::FlatRing,
+        );
         let json = trace.to_json();
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"ph\": \"X\""));

@@ -24,7 +24,11 @@ impl BlockSpan {
     /// [`crate::Graph::validate_blocks`], not here, so builders can create
     /// spans incrementally.
     pub fn new(name: impl Into<String>, start: usize, end: usize) -> Self {
-        Self { name: name.into(), start, end }
+        Self {
+            name: name.into(),
+            start,
+            end,
+        }
     }
 
     /// Number of nodes covered.

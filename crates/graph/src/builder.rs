@@ -83,7 +83,8 @@ impl GraphBuilder {
     /// Panics if no block is open.
     pub fn end_block(&mut self) {
         let (name, start) = self.open_blocks.pop().expect("no open block");
-        self.graph.add_block(BlockSpan::new(name, start, self.graph.len()));
+        self.graph
+            .add_block(BlockSpan::new(name, start, self.graph.len()));
     }
 
     /// Finish, returning the graph.
@@ -140,7 +141,9 @@ impl GraphBuilder {
         groups: usize,
         act: Activation,
     ) -> NodeId {
-        self.layer(crate::layer::conv2d_grouped(in_ch, out_ch, kernel, stride, padding, groups));
+        self.layer(crate::layer::conv2d_grouped(
+            in_ch, out_ch, kernel, stride, padding, groups,
+        ));
         self.layer(Layer::BatchNorm2d { channels: out_ch });
         self.layer(Layer::Act(act))
     }
@@ -205,7 +208,11 @@ impl GraphBuilder {
     pub fn classifier(&mut self, features: usize, classes: usize) -> NodeId {
         self.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
         self.layer(Layer::Flatten);
-        self.layer(Layer::Linear { in_features: features, out_features: classes, bias: true })
+        self.layer(Layer::Linear {
+            in_features: features,
+            out_features: classes,
+            bias: true,
+        })
     }
 }
 

@@ -1,0 +1,247 @@
+//! Structured lint diagnostics: stable codes, severities, and reports.
+//!
+//! Every finding of the lint subsystem (see [`crate::lint`]) is a
+//! [`Diagnostic`]: a stable machine-readable code (`CM0001`-style), a
+//! [`Severity`], the offending [`NodeId`] and layer name when one exists,
+//! and a human-readable message. Diagnostics serialise to JSON, so CI gates
+//! and editor integrations can consume `convmeter lint --json` directly.
+
+use crate::graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable diagnostic codes, one per lint. Codes are append-only: a code is
+/// never reused or renumbered, so scripts matching on them keep working.
+///
+/// `CM00xx` codes are graph lints; `CM01xx` codes are fitted-model lints
+/// (emitted by the `convmeter` crate, which reuses these diagnostic types).
+pub mod codes {
+    /// Shape inference failed at a single-input layer.
+    pub const SHAPE_MISMATCH: &str = "CM0001";
+    /// The graph has no nodes.
+    pub const EMPTY_GRAPH: &str = "CM0002";
+    /// A node references itself, a later node, or an out-of-range node.
+    pub const BAD_NODE_REF: &str = "CM0003";
+    /// A node's result never reaches the graph output (via other nodes).
+    pub const DEAD_NODE: &str = "CM0004";
+    /// A non-final node's output is consumed by nobody.
+    pub const DANGLING_OUTPUT: &str = "CM0005";
+    /// A conv/pool window does not tile its input: border pixels are lost.
+    pub const DEGENERATE_SPATIAL: &str = "CM0006";
+    /// Add/Mul/Concat inputs are incompatible (shapes or channel counts).
+    pub const INCOMPATIBLE_MERGE: &str = "CM0007";
+    /// A spatial layer consumes a flattened tensor (Flatten ordering bug).
+    pub const FLAT_BEFORE_SPATIAL: &str = "CM0008";
+    /// An element or FLOP count overflows `u64` (checked pre-flight).
+    pub const COST_OVERFLOW: &str = "CM0009";
+    /// A registered block span is out of range or partially overlaps.
+    pub const INVALID_BLOCK: &str = "CM0010";
+    /// A fitted coefficient or intercept is NaN or infinite.
+    pub const NONFINITE_COEFFICIENT: &str = "CM0101";
+    /// A fitted metric coefficient is negative (costs should add time).
+    pub const NEGATIVE_COEFFICIENT: &str = "CM0102";
+    /// The regression design matrix is ill-conditioned.
+    pub const ILL_CONDITIONED: &str = "CM0103";
+}
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; nothing is wrong.
+    Info,
+    /// Suspicious but valid; the graph still evaluates.
+    Warning,
+    /// The graph (or model) is unusable as-is.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (see [`codes`]), e.g. `CM0001`.
+    pub code: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// The offending node, when the finding is attributable to one.
+    pub node: Option<NodeId>,
+    /// The offending node's layer name, when it has one.
+    pub layer: Option<String>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build an [`Severity::Error`] diagnostic.
+    pub fn error(code: &str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Error, message)
+    }
+
+    /// Build a [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Warning, message)
+    }
+
+    /// Build an [`Severity::Info`] diagnostic.
+    pub fn info(code: &str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Info, message)
+    }
+
+    fn new(code: &str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            node: None,
+            layer: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attach the offending node (builder style).
+    pub fn at(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attach the offending node's layer name (builder style).
+    pub fn named(mut self, name: Option<&str>) -> Self {
+        self.layer = name.map(str::to_string);
+        self
+    }
+
+    /// The offending node's index, if the finding names one.
+    pub fn node_index(&self) -> Option<usize> {
+        self.node.map(NodeId::index)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(n) = self.node {
+            write!(f, " at node {}", n.index())?;
+            if let Some(name) = &self.layer {
+                write!(f, " ({name})")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of linting one graph (or fitted model): every diagnostic the
+/// passes produced, in node order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// A report with the given findings.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        LintReport { diagnostics }
+    }
+
+    /// Number of [`Severity::Error`] findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of [`Severity::Warning`] findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// True if there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The findings with a given code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// The most severe finding level, if any findings exist.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_node_and_name() {
+        let d = Diagnostic::error(codes::SHAPE_MISMATCH, "boom")
+            .at(NodeId(3))
+            .named(Some("conv2"));
+        assert_eq!(d.to_string(), "error[CM0001] at node 3 (conv2): boom");
+        let plain = Diagnostic::warning(codes::INVALID_BLOCK, "span");
+        assert_eq!(plain.to_string(), "warning[CM0010]: span");
+    }
+
+    #[test]
+    fn report_counts_and_max_severity() {
+        let r = LintReport::new(vec![
+            Diagnostic::warning(codes::DEAD_NODE, "w"),
+            Diagnostic::error(codes::EMPTY_GRAPH, "e"),
+            Diagnostic::warning(codes::DANGLING_OUTPUT, "w2"),
+        ]);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 2);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert_eq!(r.with_code(codes::DEAD_NODE).count(), 1);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_through_json() {
+        let r = LintReport::new(vec![Diagnostic::error(codes::COST_OVERFLOW, "big")
+            .at(NodeId(7))
+            .named(Some("conv9"))]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(json.contains("CM0009"));
+        assert!(json.contains("Error"));
+    }
+}

@@ -60,6 +60,16 @@ pub enum GraphError {
     },
     /// The graph has no nodes.
     Empty,
+    /// A metric (element count, FLOP count, or a graph-wide sum of either)
+    /// overflows `u64` — the graph is astronomically large.
+    Overflow {
+        /// Node index where the overflow occurred, if attributable to one.
+        node: Option<usize>,
+        /// Node name if present.
+        name: Option<String>,
+        /// What overflowed (e.g. `"FLOPs"`, `"element count"`).
+        what: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -76,6 +86,16 @@ impl std::fmt::Display for GraphError {
                 write!(f, ": {reason}")
             }
             GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::Overflow { node, name, what } => {
+                write!(f, "{what} overflows u64")?;
+                if let Some(n) = node {
+                    write!(f, " at node {n}")?;
+                    if let Some(name) = name {
+                        write!(f, " ({name})")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -156,7 +176,11 @@ impl Graph {
                 input.0
             );
         }
-        self.nodes.push(Node { layer, inputs, name });
+        self.nodes.push(Node {
+            layer,
+            inputs,
+            name,
+        });
         id
     }
 
@@ -186,15 +210,17 @@ impl Graph {
                     }
                 })
                 .collect();
-            let output = node
-                .layer
-                .infer_output(&input_shapes)
-                .map_err(|reason| GraphError::ShapeMismatch {
+            let output = node.layer.infer_output(&input_shapes).map_err(|reason| {
+                GraphError::ShapeMismatch {
                     node: i,
                     name: node.name.clone(),
                     reason,
-                })?;
-            shapes.push(NodeShapes { inputs: input_shapes, output });
+                }
+            })?;
+            shapes.push(NodeShapes {
+                inputs: input_shapes,
+                output,
+            });
         }
         Ok(shapes)
     }
@@ -293,8 +319,8 @@ impl Graph {
                 }
             }
         }
-        let external = external
-            .ok_or_else(|| format!("block '{}' reads no external input", span.name))?;
+        let external =
+            external.ok_or_else(|| format!("block '{}' reads no external input", span.name))?;
         let block_input_shape = if external == NodeId::INPUT {
             self.input_shape
         } else {
@@ -336,7 +362,11 @@ mod tests {
     fn tiny_residual_graph() -> Graph {
         // input -> conv1 -> bn is skipped; conv2 -> add(conv1-out? ...)
         let mut g = Graph::new("tiny", Shape::image(8, 16));
-        let c1 = g.push(conv2d(8, 8, 3, 1, 1), vec![NodeId::INPUT], Some("conv1".into()));
+        let c1 = g.push(
+            conv2d(8, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("conv1".into()),
+        );
         let a1 = g.push(Layer::Act(Activation::ReLU), vec![c1], None);
         let c2 = g.push(conv2d(8, 8, 3, 1, 1), vec![a1], Some("conv2".into()));
         let _add = g.push(Layer::Add, vec![c2, a1], None);
@@ -369,9 +399,17 @@ mod tests {
     #[test]
     fn shape_mismatch_reports_node() {
         let mut g = Graph::new("bad", Shape::image(3, 32));
-        g.push(conv2d(5, 8, 3, 1, 1), vec![NodeId::INPUT], Some("stem".into()));
+        g.push(
+            conv2d(5, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("stem".into()),
+        );
         match g.infer_shapes().unwrap_err() {
-            GraphError::ShapeMismatch { node: 0, name: Some(n), .. } => {
+            GraphError::ShapeMismatch {
+                node: 0,
+                name: Some(n),
+                ..
+            } => {
                 assert_eq!(n, "stem");
             }
             e => panic!("unexpected error {e:?}"),
@@ -415,7 +453,10 @@ mod tests {
         let mut g = tiny_residual_graph();
         g.add_block(BlockSpan::new("a", 0, 3));
         g.add_block(BlockSpan::new("b", 2, 4));
-        assert!(g.validate_blocks().unwrap_err().contains("partially overlap"));
+        assert!(g
+            .validate_blocks()
+            .unwrap_err()
+            .contains("partially overlap"));
     }
 
     #[test]

@@ -202,7 +202,8 @@ impl Layer {
                 bias,
                 ..
             } => {
-                let weights = out_channels as u64 * (in_channels / groups) as u64
+                let weights = out_channels as u64
+                    * (in_channels / groups) as u64
                     * kernel.0 as u64
                     * kernel.1 as u64;
                 weights + if bias { out_channels as u64 } else { 0 }
@@ -212,7 +213,11 @@ impl Layer {
             Layer::LayerNorm2d { channels } => 2 * channels as u64,
             Layer::LayerScale { channels } => channels as u64,
             Layer::TokenLayerNorm { dim } => 2 * dim as u64,
-            Layer::TokenLinear { in_features, out_features, bias } => {
+            Layer::TokenLinear {
+                in_features,
+                out_features,
+                bias,
+            } => {
                 in_features as u64 * out_features as u64
                     + if bias { out_features as u64 } else { 0 }
             }
@@ -222,10 +227,12 @@ impl Layer {
                 d * 3 * d + 3 * d + d * d + d
             }
             // Class token (dim) + position embeddings ((seq+1) * dim).
-            Layer::ClassTokenAndPosition { dim, seq } => {
-                dim as u64 + (seq as u64 + 1) * dim as u64
-            }
-            Layer::Linear { in_features, out_features, bias } => {
+            Layer::ClassTokenAndPosition { dim, seq } => dim as u64 + (seq as u64 + 1) * dim as u64,
+            Layer::Linear {
+                in_features,
+                out_features,
+                bias,
+            } => {
                 in_features as u64 * out_features as u64
                     + if bias { out_features as u64 } else { 0 }
             }
@@ -304,7 +311,12 @@ impl Layer {
                 Ok(inputs[0])
             }
             Layer::Act(_) | Layer::Dropout => Ok(inputs[0]),
-            Layer::Pool2d { kernel, stride, padding, .. } => {
+            Layer::Pool2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
                 let Shape::Chw { c, h, w } = inputs[0] else {
                     return Err("Pool2d requires a CxHxW input".into());
                 };
@@ -320,7 +332,11 @@ impl Layer {
                 };
                 Ok(Shape::chw(c, output.0, output.1))
             }
-            Layer::Linear { in_features, out_features, .. } => {
+            Layer::Linear {
+                in_features,
+                out_features,
+                ..
+            } => {
                 let Shape::Flat(n) = inputs[0] else {
                     return Err("Linear requires a flat input (insert Flatten)".into());
                 };
@@ -401,7 +417,11 @@ impl Layer {
                 }
                 Ok(inputs[0])
             }
-            Layer::TokenLinear { in_features, out_features, .. } => {
+            Layer::TokenLinear {
+                in_features,
+                out_features,
+                ..
+            } => {
                 let Shape::Tokens { seq, dim } = inputs[0] else {
                     return Err("TokenLinear requires a token input".into());
                 };
@@ -438,10 +458,7 @@ impl Layer {
                         return Err("Concat requires CxHxW inputs".into());
                     };
                     if (hi, wi) != (h, w) {
-                        return Err(format!(
-                            "Concat spatial mismatch: {s} vs {}x{}",
-                            h, w
-                        ));
+                        return Err(format!("Concat spatial mismatch: {s} vs {}x{}", h, w));
                     }
                     channels += c;
                 }
@@ -454,7 +471,14 @@ impl Layer {
 impl fmt::Display for Layer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Layer::Conv2d { in_channels, out_channels, kernel, stride, groups, .. } => {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                groups,
+                ..
+            } => {
                 write!(
                     f,
                     "Conv2d({in_channels}->{out_channels}, k{}x{}, s{}",
@@ -467,13 +491,22 @@ impl fmt::Display for Layer {
             }
             Layer::BatchNorm2d { channels } => write!(f, "BatchNorm2d({channels})"),
             Layer::Act(a) => write!(f, "{a:?}"),
-            Layer::Pool2d { kind, kernel, stride, .. } => {
+            Layer::Pool2d {
+                kind,
+                kernel,
+                stride,
+                ..
+            } => {
                 write!(f, "{kind:?}Pool(k{}x{}, s{})", kernel.0, kernel.1, stride.0)
             }
             Layer::AdaptiveAvgPool2d { output } => {
                 write!(f, "AdaptiveAvgPool({}x{})", output.0, output.1)
             }
-            Layer::Linear { in_features, out_features, .. } => {
+            Layer::Linear {
+                in_features,
+                out_features,
+                ..
+            } => {
                 write!(f, "Linear({in_features}->{out_features})")
             }
             Layer::Flatten => write!(f, "Flatten"),
@@ -492,7 +525,11 @@ impl fmt::Display for Layer {
                 write!(f, "ClassToken+Pos({seq}+1 x {dim})")
             }
             Layer::TokenLayerNorm { dim } => write!(f, "TokenLayerNorm({dim})"),
-            Layer::TokenLinear { in_features, out_features, .. } => {
+            Layer::TokenLinear {
+                in_features,
+                out_features,
+                ..
+            } => {
                 write!(f, "TokenLinear({in_features}->{out_features})")
             }
             Layer::MultiHeadAttention { dim, heads } => {
@@ -631,9 +668,16 @@ mod tests {
 
     #[test]
     fn linear_parameter_count_and_shape() {
-        let l = Layer::Linear { in_features: 512, out_features: 1000, bias: true };
+        let l = Layer::Linear {
+            in_features: 512,
+            out_features: 1000,
+            bias: true,
+        };
         assert_eq!(l.parameter_count(), 512 * 1000 + 1000);
-        assert_eq!(l.infer_output(&[Shape::Flat(512)]).unwrap(), Shape::Flat(1000));
+        assert_eq!(
+            l.infer_output(&[Shape::Flat(512)]).unwrap(),
+            Shape::Flat(1000)
+        );
         assert!(l.infer_output(&[Shape::Flat(100)]).is_err());
         assert!(l.infer_output(&[Shape::image(3, 8)]).is_err());
     }
@@ -670,11 +714,15 @@ mod tests {
     #[test]
     fn flatten_linearises() {
         assert_eq!(
-            Layer::Flatten.infer_output(&[Shape::image(512, 1)]).unwrap(),
+            Layer::Flatten
+                .infer_output(&[Shape::image(512, 1)])
+                .unwrap(),
             Shape::Flat(512)
         );
         assert_eq!(
-            Layer::Flatten.infer_output(&[Shape::chw(256, 6, 6)]).unwrap(),
+            Layer::Flatten
+                .infer_output(&[Shape::chw(256, 6, 6)])
+                .unwrap(),
             Shape::Flat(256 * 36)
         );
     }
@@ -716,8 +764,11 @@ mod tests {
     #[test]
     fn activation_and_dropout_are_shape_transparent() {
         let s = Shape::chw(10, 3, 5);
-        for l in [Layer::Act(Activation::ReLU), Layer::Act(Activation::HardSwish), Layer::Dropout]
-        {
+        for l in [
+            Layer::Act(Activation::ReLU),
+            Layer::Act(Activation::HardSwish),
+            Layer::Dropout,
+        ] {
             assert_eq!(l.infer_output(&[s]).unwrap(), s);
             assert_eq!(l.parameter_count(), 0);
         }
@@ -736,14 +787,21 @@ mod tests {
         let seq = Shape::tokens(197, 768);
         assert_eq!(ln.infer_output(&[seq]).unwrap(), seq);
         assert_eq!(ln.parameter_count(), 1536);
-        let mhsa = Layer::MultiHeadAttention { dim: 768, heads: 12 };
+        let mhsa = Layer::MultiHeadAttention {
+            dim: 768,
+            heads: 12,
+        };
         assert_eq!(mhsa.infer_output(&[seq]).unwrap(), seq);
         // in_proj 768*2304+2304 + out_proj 768*768+768.
         assert_eq!(mhsa.parameter_count(), 768 * 2304 + 2304 + 768 * 768 + 768);
         assert!(Layer::MultiHeadAttention { dim: 768, heads: 7 }
             .infer_output(&[seq])
             .is_err());
-        let mlp = Layer::TokenLinear { in_features: 768, out_features: 3072, bias: true };
+        let mlp = Layer::TokenLinear {
+            in_features: 768,
+            out_features: 3072,
+            bias: true,
+        };
         assert_eq!(mlp.infer_output(&[seq]).unwrap(), Shape::tokens(197, 3072));
         assert_eq!(mlp.parameter_count(), 768 * 3072 + 3072);
         assert_eq!(
@@ -770,17 +828,28 @@ mod tests {
     #[test]
     fn channel_slice_and_shuffle_shapes() {
         let s = Shape::image(116, 28);
-        let half = Layer::ChannelSlice { offset: 58, channels: 58 };
+        let half = Layer::ChannelSlice {
+            offset: 58,
+            channels: 58,
+        };
         assert_eq!(half.infer_output(&[s]).unwrap(), Shape::image(58, 28));
-        assert!(Layer::ChannelSlice { offset: 100, channels: 20 }
-            .infer_output(&[s])
-            .is_err());
-        assert!(Layer::ChannelSlice { offset: 0, channels: 0 }
-            .infer_output(&[s])
-            .is_err());
+        assert!(Layer::ChannelSlice {
+            offset: 100,
+            channels: 20
+        }
+        .infer_output(&[s])
+        .is_err());
+        assert!(Layer::ChannelSlice {
+            offset: 0,
+            channels: 0
+        }
+        .infer_output(&[s])
+        .is_err());
         let shuffle = Layer::ChannelShuffle { groups: 2 };
         assert_eq!(shuffle.infer_output(&[s]).unwrap(), s);
-        assert!(Layer::ChannelShuffle { groups: 3 }.infer_output(&[s]).is_err());
+        assert!(Layer::ChannelShuffle { groups: 3 }
+            .infer_output(&[s])
+            .is_err());
         assert!(shuffle.infer_output(&[Shape::Flat(10)]).is_err());
         assert_eq!(half.parameter_count(), 0);
         assert_eq!(shuffle.parameter_count(), 0);
@@ -790,12 +859,23 @@ mod tests {
     fn is_conv_discriminates() {
         assert!(conv2d(3, 8, 3, 1, 1).is_conv());
         assert!(!Layer::Flatten.is_conv());
-        assert!(!Layer::Linear { in_features: 1, out_features: 1, bias: false }.is_conv());
+        assert!(!Layer::Linear {
+            in_features: 1,
+            out_features: 1,
+            bias: false
+        }
+        .is_conv());
     }
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(conv2d(3, 64, 7, 2, 3).to_string(), "Conv2d(3->64, k7x7, s2)");
-        assert_eq!(conv2d_depthwise(32, 3, 1, 1).to_string(), "Conv2d(32->32, k3x3, s1, g32)");
+        assert_eq!(
+            conv2d(3, 64, 7, 2, 3).to_string(),
+            "Conv2d(3->64, k7x7, s2)"
+        );
+        assert_eq!(
+            conv2d_depthwise(32, 3, 1, 1).to_string(),
+            "Conv2d(32->32, k3x3, s1, g32)"
+        );
     }
 }

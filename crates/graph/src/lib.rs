@@ -23,17 +23,21 @@
 
 pub mod block;
 pub mod builder;
+pub mod diagnostics;
 pub mod dot;
 pub mod graph;
 pub mod layer;
+pub mod lint;
 pub mod liveness;
 pub mod shape;
 pub mod transform;
 
 pub use block::BlockSpan;
 pub use builder::GraphBuilder;
+pub use diagnostics::{codes, Diagnostic, LintReport, Severity};
 pub use graph::{Graph, GraphError, Node, NodeId, NodeShapes};
 pub use layer::{Activation, Layer, PoolKind};
+pub use lint::{default_passes, lint_graph, lint_graph_with, LintContext, LintPass};
 pub use liveness::peak_activation_elements;
 pub use shape::Shape;
 pub use transform::{fold_batch_norm, scale_width};

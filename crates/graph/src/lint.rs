@@ -1,0 +1,760 @@
+//! Static lint passes over ConvNet graphs.
+//!
+//! ConvMeter's predictions are only as good as the graphs it parses, so this
+//! module validates graphs *before* any metric is computed: shape
+//! consistency, dead and dangling nodes, degenerate convolution geometry,
+//! merge compatibility, overflow pre-flight for the metric sums, and block
+//! span integrity. Each check is a [`LintPass`] producing
+//! [`Diagnostic`]s with stable codes (see [`crate::diagnostics::codes`]).
+//!
+//! Entry points:
+//!
+//! * [`lint_graph`] runs the default pass set and returns a [`LintReport`].
+//! * [`Graph::check`] is the CI-gate form: `Err(report)` iff any
+//!   error-severity finding exists (warnings alone still pass).
+//!
+//! Adding a pass: implement [`LintPass`] over a [`LintContext`] (which
+//! pre-computes best-effort shapes and the consumer lists once per graph)
+//! and append it in [`default_passes`]. Reserve a fresh `CMxxxx` code in
+//! [`crate::diagnostics::codes`]; codes are append-only.
+
+use crate::diagnostics::{codes, Diagnostic, LintReport};
+use crate::graph::{Graph, NodeId, NodeShapes};
+use crate::layer::Layer;
+use crate::shape::Shape;
+
+/// Best-effort shape knowledge for one node during linting.
+///
+/// Unlike [`Graph::infer_shapes`], linting does not stop at the first
+/// failure: the node where inference itself failed is marked [`Failed`]
+/// (with the reason), and nodes downstream of a failure are [`Unknown`] so
+/// that a single defect does not cascade into spurious diagnostics.
+///
+/// [`Failed`]: ShapeInfo::Failed
+/// [`Unknown`]: ShapeInfo::Unknown
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeInfo {
+    /// Inference succeeded; input and output shapes are known.
+    Known(NodeShapes),
+    /// Inference failed *at this node*: its inputs were known but the layer
+    /// rejected them. This node is the root cause.
+    Failed {
+        /// The (known) input shapes the layer rejected.
+        inputs: Vec<Shape>,
+        /// The layer's constraint-violation message.
+        reason: String,
+    },
+    /// Shapes are unknowable here (an input is invalid or failed upstream);
+    /// passes stay silent to avoid cascading false positives.
+    Unknown,
+}
+
+/// Shared, precomputed state for one lint run: the graph, best-effort
+/// per-node shapes, and the consumer list of every node.
+pub struct LintContext<'g> {
+    graph: &'g Graph,
+    shapes: Vec<ShapeInfo>,
+    consumers: Vec<Vec<usize>>,
+}
+
+impl<'g> LintContext<'g> {
+    /// Analyse `graph` once; the result is shared by every pass.
+    pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.len();
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut shapes: Vec<ShapeInfo> = Vec::with_capacity(n);
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let mut input_shapes = Vec::with_capacity(node.inputs.len());
+            let mut known = true;
+            for id in &node.inputs {
+                if *id == NodeId::INPUT {
+                    input_shapes.push(graph.input_shape());
+                    continue;
+                }
+                let idx = id.0 as usize;
+                if idx >= i {
+                    // Invalid reference; reported by NodeRefPass.
+                    known = false;
+                    continue;
+                }
+                consumers[idx].push(i);
+                match &shapes[idx] {
+                    ShapeInfo::Known(s) => input_shapes.push(s.output),
+                    _ => known = false,
+                }
+            }
+            if !known {
+                shapes.push(ShapeInfo::Unknown);
+                continue;
+            }
+            match node.layer.infer_output(&input_shapes) {
+                Ok(output) => shapes.push(ShapeInfo::Known(NodeShapes {
+                    inputs: input_shapes,
+                    output,
+                })),
+                Err(reason) => shapes.push(ShapeInfo::Failed {
+                    inputs: input_shapes,
+                    reason,
+                }),
+            }
+        }
+        LintContext {
+            graph,
+            shapes,
+            consumers,
+        }
+    }
+
+    /// The graph under analysis.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Best-effort shape info, one entry per node.
+    pub fn shapes(&self) -> &[ShapeInfo] {
+        &self.shapes
+    }
+
+    /// For each node, the indices of the nodes consuming its output.
+    pub fn consumers(&self) -> &[Vec<usize>] {
+        &self.consumers
+    }
+
+    /// The [`NodeId`] for node index `i`.
+    pub fn node_id(&self, i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    /// A diagnostic at node `i`, carrying its name if present.
+    fn diag_at(&self, d: Diagnostic, i: usize) -> Diagnostic {
+        d.at(self.node_id(i))
+            .named(self.graph.nodes()[i].name.as_deref())
+    }
+}
+
+/// One static check over a graph. Implementations must be stateless between
+/// runs; all shared analysis lives in the [`LintContext`].
+pub trait LintPass {
+    /// Short identifier for the pass (used in `convmeter lint` verbose
+    /// output and debugging).
+    fn name(&self) -> &'static str;
+
+    /// Inspect the graph and append any findings to `out`.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// `CM0002`: the graph has no nodes at all.
+pub struct EmptyGraphPass;
+
+impl LintPass for EmptyGraphPass {
+    fn name(&self) -> &'static str {
+        "empty-graph"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.graph().is_empty() {
+            out.push(Diagnostic::error(codes::EMPTY_GRAPH, "graph has no nodes"));
+        }
+    }
+}
+
+/// `CM0003`: a node references itself, a later node, or an out-of-range
+/// node. Unreachable through [`Graph::push`] (which panics), but a graph
+/// deserialised from JSON can carry such references.
+pub struct NodeRefPass;
+
+impl LintPass for NodeRefPass {
+    fn name(&self) -> &'static str {
+        "node-refs"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, node) in ctx.graph().nodes().iter().enumerate() {
+            for (k, id) in node.inputs.iter().enumerate() {
+                if *id != NodeId::INPUT && id.0 as usize >= i {
+                    out.push(ctx.diag_at(
+                        Diagnostic::error(
+                            codes::BAD_NODE_REF,
+                            format!(
+                                "input #{k} references node {} which does not precede this node",
+                                id.0
+                            ),
+                        ),
+                        i,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True if the layer requires a spatial `CxHxW` input tensor.
+fn needs_chw(layer: &Layer) -> bool {
+    matches!(
+        layer,
+        Layer::Conv2d { .. }
+            | Layer::BatchNorm2d { .. }
+            | Layer::Pool2d { .. }
+            | Layer::AdaptiveAvgPool2d { .. }
+            | Layer::LayerNorm2d { .. }
+            | Layer::LayerScale { .. }
+            | Layer::ChannelSlice { .. }
+            | Layer::ChannelShuffle { .. }
+            | Layer::ToTokens
+    )
+}
+
+/// `CM0001`/`CM0007`/`CM0008`: shape inference. The root-cause node of every
+/// inference failure gets exactly one diagnostic, classified by what went
+/// wrong:
+///
+/// * Add/Mul/Concat input incompatibilities -> `CM0007`;
+/// * a spatial layer fed a flattened (or token) tensor -> `CM0008`
+///   (the classic misplaced-`Flatten` bug);
+/// * anything else -> `CM0001`.
+pub struct ShapeConsistencyPass;
+
+impl LintPass for ShapeConsistencyPass {
+    fn name(&self) -> &'static str {
+        "shape-consistency"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, info) in ctx.shapes().iter().enumerate() {
+            let ShapeInfo::Failed { inputs, reason } = info else {
+                continue;
+            };
+            let layer = &ctx.graph().nodes()[i].layer;
+            let (code, message) = match layer {
+                Layer::Add | Layer::Mul | Layer::Concat => (
+                    codes::INCOMPATIBLE_MERGE,
+                    format!("incompatible merge inputs: {reason}"),
+                ),
+                _ if needs_chw(layer) && inputs.first().is_some_and(|s| !s.is_chw()) => (
+                    codes::FLAT_BEFORE_SPATIAL,
+                    format!(
+                        "spatial layer consumes a non-spatial {} tensor \
+                         (misplaced Flatten or token op upstream): {reason}",
+                        inputs[0]
+                    ),
+                ),
+                _ => (codes::SHAPE_MISMATCH, reason.clone()),
+            };
+            out.push(ctx.diag_at(Diagnostic::error(code, message), i));
+        }
+    }
+}
+
+/// `CM0005`: a non-final node whose output no one consumes. The last node is
+/// the graph output by convention and is exempt.
+pub struct DanglingOutputPass;
+
+impl LintPass for DanglingOutputPass {
+    fn name(&self) -> &'static str {
+        "dangling-output"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = ctx.graph().len();
+        for i in 0..n.saturating_sub(1) {
+            if ctx.consumers()[i].is_empty() {
+                out.push(ctx.diag_at(
+                    Diagnostic::warning(
+                        codes::DANGLING_OUTPUT,
+                        format!(
+                            "output is never consumed (the graph output is node {})",
+                            n - 1
+                        ),
+                    ),
+                    i,
+                ));
+            }
+        }
+    }
+}
+
+/// `CM0004`: a node that is consumed, but only by branches that never reach
+/// the graph output. Directly unconsumed nodes are `CM0005`'s
+/// ([`DanglingOutputPass`]); this pass reports the rest of a dead chain.
+pub struct DeadNodePass;
+
+impl LintPass for DeadNodePass {
+    fn name(&self) -> &'static str {
+        "dead-node"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = ctx.graph().len();
+        if n == 0 {
+            return;
+        }
+        // Reverse reachability from the output node.
+        let mut live = vec![false; n];
+        let mut stack = vec![n - 1];
+        live[n - 1] = true;
+        while let Some(i) = stack.pop() {
+            for id in &ctx.graph().nodes()[i].inputs {
+                if *id == NodeId::INPUT {
+                    continue;
+                }
+                let idx = id.0 as usize;
+                if idx < i && !live[idx] {
+                    live[idx] = true;
+                    stack.push(idx);
+                }
+            }
+        }
+        for (i, &alive) in live.iter().enumerate() {
+            if !alive && !ctx.consumers()[i].is_empty() {
+                out.push(ctx.diag_at(
+                    Diagnostic::warning(
+                        codes::DEAD_NODE,
+                        "result never reaches the graph output (feeds only dead branches)",
+                    ),
+                    i,
+                ));
+            }
+        }
+    }
+}
+
+/// `CM0006`: a convolution or pooling window that does not tile its padded
+/// input — `(input + 2*padding - kernel) % stride != 0` — silently drops
+/// border pixels. Valid (AlexNet's stem does exactly this) but worth
+/// flagging: the lost pixels receive no gradient and the output size is not
+/// what a `ceil`-mode framework would produce.
+pub struct DegenerateSpatialPass;
+
+impl LintPass for DegenerateSpatialPass {
+    fn name(&self) -> &'static str {
+        "degenerate-spatial"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, info) in ctx.shapes().iter().enumerate() {
+            let ShapeInfo::Known(shapes) = info else {
+                continue;
+            };
+            let (kernel, stride, padding) = match ctx.graph().nodes()[i].layer {
+                Layer::Conv2d {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => (kernel, stride, padding),
+                Layer::Pool2d {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => (kernel, stride, padding),
+                _ => continue,
+            };
+            let Some(Shape::Chw { h, w, .. }) = shapes.inputs.first().copied() else {
+                continue;
+            };
+            let loss = |input: usize, k: usize, s: usize, p: usize| -> usize {
+                let padded = input + 2 * p;
+                if s == 0 || padded < k {
+                    return 0; // invalid geometry is a shape error, not ours
+                }
+                (padded - k) % s
+            };
+            let (lh, lw) = (
+                loss(h, kernel.0, stride.0, padding.0),
+                loss(w, kernel.1, stride.1, padding.1),
+            );
+            if lh != 0 || lw != 0 {
+                out.push(ctx.diag_at(
+                    Diagnostic::warning(
+                        codes::DEGENERATE_SPATIAL,
+                        format!(
+                            "window (kernel {}x{}, stride {}x{}, padding {}x{}) does not \
+                             cover the {h}x{w} input: {lh} row(s) and {lw} column(s) of \
+                             border pixels are dropped",
+                            kernel.0, kernel.1, stride.0, stride.1, padding.0, padding.1
+                        ),
+                    ),
+                    i,
+                ));
+            }
+        }
+    }
+}
+
+/// `CM0009`: overflow pre-flight. Re-derives each node's element and FLOP
+/// counts with checked `u64` arithmetic and reports any node whose counts —
+/// or whose contribution to the graph-wide FLOP sum — exceed `u64`. Running
+/// this before `ModelMetrics` turns a silent wrap (release) or panic
+/// (debug) into a diagnostic.
+pub struct CostOverflowPass;
+
+/// Checked upper bound on a node's FLOPs; `None` on overflow.
+fn checked_node_flops(layer: &Layer, inputs: &[Shape], output: Shape) -> Option<u64> {
+    for s in inputs {
+        s.checked_elements().ok()?;
+    }
+    let out = output.checked_elements().ok()?;
+    match *layer {
+        Layer::Conv2d {
+            in_channels,
+            kernel,
+            groups,
+            ..
+        } => {
+            let per_out = ((in_channels / groups.max(1)) as u64)
+                .checked_mul(kernel.0 as u64)?
+                .checked_mul(kernel.1 as u64)?;
+            out.checked_mul(per_out)?.checked_mul(2)
+        }
+        Layer::Linear {
+            in_features,
+            out_features,
+            ..
+        } => (in_features as u64)
+            .checked_mul(out_features as u64)?
+            .checked_mul(2),
+        Layer::TokenLinear {
+            in_features,
+            out_features,
+            ..
+        } => {
+            let seq = inputs.first().map_or(0, |s| s.spatial().0 as u64);
+            seq.checked_mul(in_features as u64)?
+                .checked_mul(out_features as u64)?
+                .checked_mul(2)
+        }
+        Layer::MultiHeadAttention { dim, .. } => {
+            let Some(Shape::Tokens { seq, .. }) = inputs.first().copied() else {
+                return Some(0);
+            };
+            let (n, d) = (seq as u64, dim as u64);
+            let proj = n.checked_mul(d)?.checked_mul(d.checked_mul(8)?)?;
+            let attn = n.checked_mul(n)?.checked_mul(d.checked_mul(4)?)?;
+            proj.checked_add(attn)
+        }
+        // Everything else is at most a few ops per output element.
+        _ => out.checked_mul(8),
+    }
+}
+
+impl LintPass for CostOverflowPass {
+    fn name(&self) -> &'static str {
+        "cost-overflow"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut total: u64 = 0;
+        for (i, info) in ctx.shapes().iter().enumerate() {
+            let ShapeInfo::Known(shapes) = info else {
+                continue;
+            };
+            let layer = &ctx.graph().nodes()[i].layer;
+            let flops = match checked_node_flops(layer, &shapes.inputs, shapes.output) {
+                Some(f) => f,
+                None => {
+                    out.push(ctx.diag_at(
+                        Diagnostic::error(
+                            codes::COST_OVERFLOW,
+                            format!("element/FLOP count of {layer} overflows u64"),
+                        ),
+                        i,
+                    ));
+                    continue;
+                }
+            };
+            total = match total.checked_add(flops) {
+                Some(t) => t,
+                None => {
+                    out.push(ctx.diag_at(
+                        Diagnostic::error(
+                            codes::COST_OVERFLOW,
+                            "graph-wide FLOP sum overflows u64 at this node",
+                        ),
+                        i,
+                    ));
+                    return;
+                }
+            };
+        }
+    }
+}
+
+/// `CM0010`: block-span integrity, wrapping [`Graph::validate_blocks`]:
+/// spans must be non-empty, in range, and either nested or disjoint.
+pub struct BlockSpanPass;
+
+impl LintPass for BlockSpanPass {
+    fn name(&self) -> &'static str {
+        "block-spans"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if let Err(reason) = ctx.graph().validate_blocks() {
+            out.push(Diagnostic::error(codes::INVALID_BLOCK, reason));
+        }
+    }
+}
+
+/// The default pass set, in execution order.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(EmptyGraphPass),
+        Box::new(NodeRefPass),
+        Box::new(ShapeConsistencyPass),
+        Box::new(DeadNodePass),
+        Box::new(DanglingOutputPass),
+        Box::new(DegenerateSpatialPass),
+        Box::new(CostOverflowPass),
+        Box::new(BlockSpanPass),
+    ]
+}
+
+/// Run a custom pass list over a graph.
+pub fn lint_graph_with(graph: &Graph, passes: &[Box<dyn LintPass>]) -> LintReport {
+    let ctx = LintContext::new(graph);
+    let mut diagnostics = Vec::new();
+    for pass in passes {
+        pass.run(&ctx, &mut diagnostics);
+    }
+    diagnostics.sort_by_key(|d| d.node_index().unwrap_or(usize::MAX));
+    LintReport::new(diagnostics)
+}
+
+/// Run the [`default_passes`] over a graph.
+pub fn lint_graph(graph: &Graph) -> LintReport {
+    lint_graph_with(graph, &default_passes())
+}
+
+impl Graph {
+    /// Lint this graph and fail if any error-severity finding exists.
+    ///
+    /// This is the CI-gate form used by the benchmark and experiment
+    /// pipelines: warnings (e.g. AlexNet's non-covering stem stride) pass,
+    /// structural errors do not. The full report — warnings included — is
+    /// available via [`lint_graph`].
+    pub fn check(&self) -> Result<(), LintReport> {
+        let report = lint_graph(self);
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSpan;
+    use crate::layer::{conv2d, Activation};
+
+    /// A well-formed residual graph: conv -> relu -> conv -> add(skip).
+    fn clean_graph() -> Graph {
+        let mut g = Graph::new("clean", Shape::image(8, 16));
+        let c1 = g.push(
+            conv2d(8, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("conv1".into()),
+        );
+        let a1 = g.push(Layer::Act(Activation::ReLU), vec![c1], None);
+        let c2 = g.push(conv2d(8, 8, 3, 1, 1), vec![a1], Some("conv2".into()));
+        g.push(Layer::Add, vec![c2, a1], None);
+        g
+    }
+
+    fn codes_of(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_graph_lints_clean() {
+        let report = lint_graph(&clean_graph());
+        assert!(report.is_clean(), "{report}");
+        assert!(clean_graph().check().is_ok());
+    }
+
+    #[test]
+    fn cm0001_shape_mismatch_fires_once_with_node() {
+        // Conv expects 5 input channels but the graph input has 3.
+        let mut g = Graph::new("bad", Shape::image(3, 32));
+        g.push(
+            conv2d(5, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("stem".into()),
+        );
+        let report = lint_graph(&g);
+        let hits: Vec<_> = report.with_code(codes::SHAPE_MISMATCH).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].node_index(), Some(0));
+        assert_eq!(hits[0].layer.as_deref(), Some("stem"));
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn cm0002_empty_graph() {
+        let g = Graph::new("empty", Shape::image(3, 32));
+        let report = lint_graph(&g);
+        assert_eq!(codes_of(&report), vec![codes::EMPTY_GRAPH]);
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn cm0003_bad_node_ref_via_deserialisation() {
+        // Graph::push panics on forward references, but JSON can smuggle
+        // one in: rewrite the ReLU's input from node 0 to node 1 (itself).
+        let mut g = Graph::new("fwd", Shape::image(3, 32));
+        let c = g.push(conv2d(3, 8, 3, 1, 1), vec![NodeId::INPUT], None);
+        g.push(Layer::Act(Activation::ReLU), vec![c], Some("relu".into()));
+        let json = serde_json::to_string(&g).unwrap();
+        let broken = json.replace("\"inputs\":[0]", "\"inputs\":[1]");
+        assert_ne!(json, broken, "substitution must hit");
+        let g: Graph = serde_json::from_str(&broken).unwrap();
+        let report = lint_graph(&g);
+        let hits: Vec<_> = report.with_code(codes::BAD_NODE_REF).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].node_index(), Some(1));
+        assert_eq!(hits[0].layer.as_deref(), Some("relu"));
+        // The self-referential node's shapes are Unknown: no cascade.
+        assert!(report.with_code(codes::SHAPE_MISMATCH).next().is_none());
+    }
+
+    #[test]
+    fn cm0004_dead_node_fires_on_chain_not_tip() {
+        // node0 -> node1 dangles; node2 is the real output.
+        let mut g = Graph::new("dead", Shape::image(3, 32));
+        let c = g.push(
+            conv2d(3, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("deadconv".into()),
+        );
+        g.push(Layer::Act(Activation::ReLU), vec![c], None);
+        g.push(
+            conv2d(3, 4, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("out".into()),
+        );
+        let report = lint_graph(&g);
+        let dead: Vec<_> = report.with_code(codes::DEAD_NODE).collect();
+        assert_eq!(dead.len(), 1, "{report}");
+        assert_eq!(dead[0].node_index(), Some(0));
+        // The chain tip is the dangling output, not a dead node.
+        let dangling: Vec<_> = report.with_code(codes::DANGLING_OUTPUT).collect();
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].node_index(), Some(1));
+        // Warnings only: the graph still passes the CI gate.
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn cm0005_dangling_output_fires_once() {
+        let mut g = Graph::new("dangle", Shape::image(3, 32));
+        g.push(
+            conv2d(3, 8, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("orphan".into()),
+        );
+        g.push(
+            conv2d(3, 4, 3, 1, 1),
+            vec![NodeId::INPUT],
+            Some("out".into()),
+        );
+        let report = lint_graph(&g);
+        assert_eq!(codes_of(&report), vec![codes::DANGLING_OUTPUT]);
+        assert_eq!(report.diagnostics[0].node_index(), Some(0));
+    }
+
+    #[test]
+    fn cm0006_degenerate_spatial_stride() {
+        // (32 - 3) % 2 = 1: one row and one column of pixels are dropped.
+        let mut g = Graph::new("lossy", Shape::image(3, 32));
+        g.push(
+            conv2d(3, 8, 3, 2, 0),
+            vec![NodeId::INPUT],
+            Some("stem".into()),
+        );
+        let report = lint_graph(&g);
+        assert_eq!(codes_of(&report), vec![codes::DEGENERATE_SPATIAL]);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.node_index(), Some(0));
+        assert!(d.message.contains("1 row(s)"), "{}", d.message);
+        // A covering stride is silent: (32 + 2 - 3) % 1 == 0.
+        let mut ok = Graph::new("ok", Shape::image(3, 32));
+        ok.push(conv2d(3, 8, 3, 1, 1), vec![NodeId::INPUT], None);
+        assert!(lint_graph(&ok).is_clean());
+    }
+
+    #[test]
+    fn cm0007_incompatible_merge() {
+        let mut g = Graph::new("merge", Shape::image(3, 32));
+        let a = g.push(conv2d(3, 16, 3, 1, 1), vec![NodeId::INPUT], None);
+        let b = g.push(conv2d(3, 8, 3, 1, 1), vec![NodeId::INPUT], None);
+        g.push(Layer::Add, vec![a, b], Some("add".into()));
+        let report = lint_graph(&g);
+        let hits: Vec<_> = report.with_code(codes::INCOMPATIBLE_MERGE).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].node_index(), Some(2));
+        assert!(report.with_code(codes::SHAPE_MISMATCH).next().is_none());
+    }
+
+    #[test]
+    fn cm0008_flatten_before_conv() {
+        let mut g = Graph::new("flatconv", Shape::image(3, 32));
+        let c = g.push(conv2d(3, 8, 3, 1, 1), vec![NodeId::INPUT], None);
+        let f = g.push(Layer::Flatten, vec![c], None);
+        g.push(conv2d(8, 8, 3, 1, 1), vec![f], Some("late".into()));
+        let report = lint_graph(&g);
+        let hits: Vec<_> = report.with_code(codes::FLAT_BEFORE_SPATIAL).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].node_index(), Some(2));
+        assert!(report.with_code(codes::SHAPE_MISMATCH).next().is_none());
+    }
+
+    #[test]
+    fn cm0009_cost_overflow_preflight() {
+        // 2^22 channels on a 2^22 x 2^22 image: 2^66 elements.
+        let mut g = Graph::new("huge", Shape::chw(1 << 22, 1 << 22, 1 << 22));
+        g.push(
+            conv2d(1 << 22, 8, 1, 1, 0),
+            vec![NodeId::INPUT],
+            Some("huge".into()),
+        );
+        let report = lint_graph(&g);
+        let hits: Vec<_> = report.with_code(codes::COST_OVERFLOW).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].node_index(), Some(0));
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn cm0010_invalid_block_span() {
+        let mut g = clean_graph();
+        g.add_block(BlockSpan::new("oob", 0, 99));
+        let report = lint_graph(&g);
+        assert_eq!(codes_of(&report), vec![codes::INVALID_BLOCK]);
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn custom_pass_list_is_pluggable() {
+        let mut g = Graph::new("dangle", Shape::image(3, 32));
+        g.push(conv2d(3, 8, 3, 1, 1), vec![NodeId::INPUT], None);
+        g.push(conv2d(3, 4, 3, 1, 1), vec![NodeId::INPUT], None);
+        // Only the shape pass: the dangling output goes unreported.
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(ShapeConsistencyPass)];
+        assert!(lint_graph_with(&g, &passes).is_clean());
+        assert_eq!(lint_graph(&g).warning_count(), 1);
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_node() {
+        let mut g = Graph::new("multi", Shape::image(3, 32));
+        let a = g.push(conv2d(3, 8, 3, 2, 0), vec![NodeId::INPUT], None); // CM0006
+        g.push(conv2d(8, 8, 3, 2, 0), vec![a], None); // CM0006 again
+        let report = lint_graph(&g);
+        let nodes: Vec<_> = report.diagnostics.iter().map(|d| d.node_index()).collect();
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        assert_eq!(nodes, sorted);
+    }
+}

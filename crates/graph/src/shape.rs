@@ -49,12 +49,25 @@ impl Shape {
     }
 
     /// Total number of elements (per batch item).
+    ///
+    /// # Panics
+    /// Panics if the product overflows `u64`; use
+    /// [`Shape::checked_elements`] to handle astronomically large shapes.
     pub fn elements(&self) -> u64 {
-        match *self {
-            Shape::Chw { c, h, w } => c as u64 * h as u64 * w as u64,
-            Shape::Flat(n) => n as u64,
-            Shape::Tokens { seq, dim } => seq as u64 * dim as u64,
-        }
+        self.checked_elements().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Total number of elements (per batch item), with overflow reported as
+    /// a typed [`ShapeOverflow`] error instead of wrapping or panicking.
+    pub fn checked_elements(&self) -> Result<u64, ShapeOverflow> {
+        let product = match *self {
+            Shape::Chw { c, h, w } => (c as u64)
+                .checked_mul(h as u64)
+                .and_then(|ch| ch.checked_mul(w as u64)),
+            Shape::Flat(n) => Some(n as u64),
+            Shape::Tokens { seq, dim } => (seq as u64).checked_mul(dim as u64),
+        };
+        product.ok_or(ShapeOverflow { shape: *self })
     }
 
     /// Channel count; for a flat vector this is its length, for tokens the
@@ -82,6 +95,21 @@ impl Shape {
         matches!(self, Shape::Chw { .. })
     }
 }
+
+/// Typed overflow error: a shape's element count exceeds `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeOverflow {
+    /// The shape whose element count does not fit in `u64`.
+    pub shape: Shape,
+}
+
+impl fmt::Display for ShapeOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "element count of shape {} overflows u64", self.shape)
+    }
+}
+
+impl std::error::Error for ShapeOverflow {}
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -114,6 +142,21 @@ mod tests {
         assert_eq!(Shape::chw(3, 224, 224).elements(), 3 * 224 * 224);
         assert_eq!(Shape::Flat(4096).elements(), 4096);
         assert_eq!(Shape::image(64, 56).elements(), 64 * 56 * 56);
+    }
+
+    #[test]
+    fn checked_elements_reports_overflow() {
+        let huge = Shape::chw(1 << 22, 1 << 22, 1 << 22);
+        let err = huge.checked_elements().unwrap_err();
+        assert_eq!(err.shape, huge);
+        assert!(err.to_string().contains("overflows u64"));
+        assert_eq!(Shape::chw(2, 3, 4).checked_elements(), Ok(24));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn elements_panics_on_overflow() {
+        let _ = Shape::chw(1 << 22, 1 << 22, 1 << 22).elements();
     }
 
     #[test]

@@ -169,8 +169,15 @@ pub fn scale_width(graph: &Graph, factor: f64) -> Option<Graph> {
                     new_out,
                 )
             }
-            Layer::BatchNorm2d { .. } => (Layer::BatchNorm2d { channels: in_ch_new }, in_ch_new),
-            Layer::Linear { out_features, bias, .. } => {
+            Layer::BatchNorm2d { .. } => (
+                Layer::BatchNorm2d {
+                    channels: in_ch_new,
+                },
+                in_ch_new,
+            ),
+            Layer::Linear {
+                out_features, bias, ..
+            } => {
                 // Feature count follows the (scaled) upstream flatten.
                 (
                     Layer::Linear {
@@ -182,11 +189,7 @@ pub fn scale_width(graph: &Graph, factor: f64) -> Option<Graph> {
                 )
             }
             Layer::Concat => {
-                let total: usize = node
-                    .inputs
-                    .iter()
-                    .map(|id| ch_of(id, &new_ch, graph))
-                    .sum();
+                let total: usize = node.inputs.iter().map(|id| ch_of(id, &new_ch, graph)).sum();
                 (Layer::Concat, total)
             }
             Layer::Flatten => {
@@ -235,10 +238,7 @@ mod tests {
         assert_eq!(biased, 2);
         // Parameter count drops by one BN's worth per fold (scale+shift 2C
         // becomes a bias C).
-        assert_eq!(
-            folded.parameter_count(),
-            g.parameter_count() - 16 - 32
-        );
+        assert_eq!(folded.parameter_count(), g.parameter_count() - 16 - 32);
         assert_eq!(folded.output_shape().unwrap(), g.output_shape().unwrap());
     }
 
@@ -309,9 +309,12 @@ mod tests {
             .nodes()
             .iter()
             .find_map(|n| match n.layer {
-                Layer::Conv2d { groups, in_channels, out_channels, .. } if groups > 1 => {
-                    Some((groups, in_channels, out_channels))
-                }
+                Layer::Conv2d {
+                    groups,
+                    in_channels,
+                    out_channels,
+                    ..
+                } if groups > 1 => Some((groups, in_channels, out_channels)),
                 _ => None,
             })
             .unwrap();

@@ -116,7 +116,12 @@ pub fn calibrate(base: &DeviceProfile, observations: &[Observation<'_>]) -> Cali
         });
     }
     let final_rmsle = rmsle(&profile, observations);
-    Calibration { profile, initial_rmsle, final_rmsle, sweeps }
+    Calibration {
+        profile,
+        initial_rmsle,
+        final_rmsle,
+        sweeps,
+    }
 }
 
 #[cfg(test)]

@@ -50,9 +50,9 @@ pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize
         return kernel_time(device, 0.0, bytes, 1.0);
     }
     let flops = cost.flops as f64 * b;
-    let bytes =
-        ((cost.input_elements + cost.output_elements) as f64 * b + cost.param_elements as f64)
-            * BYTES;
+    let bytes = ((cost.input_elements + cost.output_elements) as f64 * b
+        + cost.param_elements as f64)
+        * BYTES;
     kernel_time(device, flops, bytes, efficiency_scale(cost))
 }
 
@@ -124,9 +124,15 @@ mod tests {
         let t8 = forward_layer_time(&d, &c, 8);
         let t256 = forward_layer_time(&d, &c, 256);
         let t512 = forward_layer_time(&d, &c, 512);
-        assert!(t8 < 8.0 * t1, "ramp should make batching sublinear: {t8} vs {t1}");
+        assert!(
+            t8 < 8.0 * t1,
+            "ramp should make batching sublinear: {t8} vs {t1}"
+        );
         let ratio = t512 / t256;
-        assert!((ratio - 2.0).abs() < 0.1, "large-batch scaling ~linear: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "large-batch scaling ~linear: {ratio}"
+        );
     }
 
     #[test]
@@ -136,9 +142,8 @@ mod tests {
         // Memory time exceeds compute time for a depthwise conv at batch 64.
         let b = 64.0;
         let flops = dw.flops as f64 * b;
-        let bytes = ((dw.input_elements + dw.output_elements) as f64 * b
-            + dw.param_elements as f64)
-            * 4.0;
+        let bytes =
+            ((dw.input_elements + dw.output_elements) as f64 * b + dw.param_elements as f64) * 4.0;
         let compute = flops / d.effective_flops(1.0);
         let memory = bytes / d.effective_bandwidth();
         assert!(memory > compute, "depthwise should be memory-bound");

@@ -19,7 +19,10 @@ impl NoiseModel {
     /// Create a noise model with log-std-dev `sigma`, seeded deterministically.
     pub fn new(seed: u64, sigma: f64) -> Self {
         assert!(sigma >= 0.0, "noise sigma must be non-negative");
-        Self { rng: StdRng::seed_from_u64(seed), sigma }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+        }
     }
 
     /// A noiseless model (sigma = 0) for expectation queries.

@@ -56,15 +56,18 @@ impl DeviceProfile {
             return self.clone();
         }
         let mut p = self.clone();
-        p.name = format!("{}-{}", self.name, match precision {
-            Precision::Fp32 => "fp32",
-            Precision::Tf32 => "tf32",
-            Precision::Fp16 => "fp16",
-        });
+        p.name = format!(
+            "{}-{}",
+            self.name,
+            match precision {
+                Precision::Fp32 => "fp32",
+                Precision::Tf32 => "tf32",
+                Precision::Fp16 => "fp16",
+            }
+        );
         p.peak_flops *= precision.compute_scale();
         p.mem_bandwidth *= precision.storage_scale();
-        p.memory_capacity =
-            (p.memory_capacity as f64 * precision.storage_scale()) as u64;
+        p.memory_capacity = (p.memory_capacity as f64 * precision.storage_scale()) as u64;
         // Tensor-core kernels are harder to keep fed: sustained efficiency
         // drops as peak rises.
         p.compute_efficiency *= match precision {

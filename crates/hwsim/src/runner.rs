@@ -58,21 +58,14 @@ mod tests {
     fn resnet50_a100_batch1_in_realistic_range() {
         // Real A100 measurements put ResNet-50 batch-1 FP32 inference at
         // roughly 1-10 ms. The simulator should land in that decade.
-        let t = expected_inference_time(
-            &DeviceProfile::a100_80gb(),
-            &metrics("resnet50", 224),
-            1,
-        );
+        let t = expected_inference_time(&DeviceProfile::a100_80gb(), &metrics("resnet50", 224), 1);
         assert!(t > 5e-4 && t < 2e-2, "got {t} s");
     }
 
     #[test]
     fn resnet50_cpu_core_much_slower() {
-        let gpu = expected_inference_time(
-            &DeviceProfile::a100_80gb(),
-            &metrics("resnet50", 224),
-            1,
-        );
+        let gpu =
+            expected_inference_time(&DeviceProfile::a100_80gb(), &metrics("resnet50", 224), 1);
         let cpu = expected_inference_time(
             &DeviceProfile::xeon_gold_5318y_core(),
             &metrics("resnet50", 224),

@@ -53,20 +53,29 @@ impl SweepConfig {
     /// the time range implied by the paper's A100 RMSE (8.8 ms at
     /// NRMSE 0.13).
     pub fn paper_gpu() -> Self {
-        SweepConfig { max_point_time: Some(0.1), ..Self::paper() }
+        SweepConfig {
+            max_point_time: Some(0.1),
+            ..Self::paper()
+        }
     }
 
     /// The paper's single-core CPU sweep: capped at 5 s per point (CPU
     /// RMSE 0.59 s at NRMSE 0.13 implies a ~4.5 s range).
     pub fn paper_cpu() -> Self {
-        SweepConfig { max_point_time: Some(5.0), ..Self::paper() }
+        SweepConfig {
+            max_point_time: Some(5.0),
+            ..Self::paper()
+        }
     }
 
     /// The paper's single-GPU training sweep: step times capped at 250 ms
     /// (training RMSE 29.4 ms at NRMSE 0.26 implies a ~110 ms range; the
     /// cap leaves headroom).
     pub fn paper_training() -> Self {
-        SweepConfig { max_point_time: Some(0.25), ..Self::paper() }
+        SweepConfig {
+            max_point_time: Some(0.25),
+            ..Self::paper()
+        }
     }
 
     /// A reduced sweep for unit tests and examples.
@@ -120,6 +129,9 @@ fn metric_grid(config: &SweepConfig) -> Vec<(String, usize, ModelMetrics)> {
                 return None;
             }
             let graph = spec.build(size, 1000);
+            if let Err(report) = graph.check() {
+                panic!("graph '{name}' @ {size}px failed lint:\n{report}");
+            }
             let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
             Some((name.to_string(), size, metrics))
         })
@@ -143,10 +155,8 @@ pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Infe
                         return None;
                     }
                 }
-                let mut noise = NoiseModel::new(
-                    config.point_seed(name, *size, batch),
-                    device.noise_sigma,
-                );
+                let mut noise =
+                    NoiseModel::new(config.point_seed(name, *size, batch), device.noise_sigma);
                 Some(InferenceSample {
                     model: name.clone(),
                     image_size: *size,
@@ -170,7 +180,8 @@ pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Train
                     return None;
                 }
                 if let Some(cap) = config.max_point_time {
-                    let expected = crate::training::expected_training_phases(device, metrics, batch);
+                    let expected =
+                        crate::training::expected_training_phases(device, metrics, batch);
                     if expected.total() > cap {
                         return None;
                     }

@@ -70,7 +70,11 @@ pub fn expected_training_phases(
         .map(|c| optimizer_layer_time(device, c))
         .sum::<f64>()
         + device.base_overhead;
-    TrainingPhases { forward, backward, grad_update }
+    TrainingPhases {
+        forward,
+        backward,
+        grad_update,
+    }
 }
 
 /// A noisy measurement of one training step; each phase jitters

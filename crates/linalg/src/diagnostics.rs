@@ -34,12 +34,18 @@ impl ResidualProfile {
             .collect();
         let log_bias = mean(&logs);
         let var = if logs.len() > 1 {
-            logs.iter().map(|l| (l - log_bias) * (l - log_bias)).sum::<f64>()
+            logs.iter()
+                .map(|l| (l - log_bias) * (l - log_bias))
+                .sum::<f64>()
                 / (logs.len() - 1) as f64
         } else {
             0.0
         };
-        ResidualProfile { log_bias, log_sigma: var.sqrt(), n: logs.len() }
+        ResidualProfile {
+            log_bias,
+            log_sigma: var.sqrt(),
+            n: logs.len(),
+        }
     }
 
     /// A prediction interval around `predicted` at `z` standard deviations
@@ -123,7 +129,11 @@ mod tests {
 
     #[test]
     fn relative_halfwidth_matches_interval() {
-        let r = ResidualProfile { log_bias: 0.0, log_sigma: 0.15, n: 10 };
+        let r = ResidualProfile {
+            log_bias: 0.0,
+            log_sigma: 0.15,
+            n: 10,
+        };
         let (lo, mid, hi) = r.interval(100.0, 1.0);
         let hw = r.relative_halfwidth(1.0);
         assert!((hi / mid - 1.0 - hw).abs() < 1e-12);

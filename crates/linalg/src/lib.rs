@@ -33,5 +33,6 @@ pub mod stats;
 pub use cv::{KFold, LeaveOneGroupOut, Split};
 pub use diagnostics::ResidualProfile;
 pub use matrix::Matrix;
+pub use qr::condition_estimate;
 pub use regression::{FitError, FitSummary, LinearRegression};
 pub use stats::{mae, mape, mean, nrmse, r_squared, rmse, std_dev};

@@ -102,6 +102,13 @@ impl HouseholderQr {
         self.qr.cols()
     }
 
+    /// The diagonal of `R` (signed). Because `|r_kk|` measures how much of
+    /// column `k` is linearly independent of the columns before it, the
+    /// spread of these magnitudes is a cheap conditioning probe.
+    pub fn r_diagonal(&self) -> Vec<f64> {
+        (0..self.qr.cols()).map(|k| self.qr[(k, k)]).collect()
+    }
+
     /// Solve `min ||A x - b||` for `x` given the factorisation of `A`.
     ///
     /// # Panics
@@ -143,6 +150,26 @@ impl HouseholderQr {
             x[k] = s / rkk;
         }
         Ok(x)
+    }
+}
+
+/// Cheap condition-number estimate of `a`: the ratio `max|r_kk| / min|r_kk|`
+/// over the diagonal of its QR factor `R`.
+///
+/// This is a lower bound on the true 2-norm condition number, but it tracks
+/// it well enough to flag ill-conditioned design matrices (collinear metric
+/// columns). Returns `f64::INFINITY` for an exactly singular matrix.
+pub fn condition_estimate(a: &Matrix) -> Result<f64, QrError> {
+    let diag = HouseholderQr::new(a)?.r_diagonal();
+    if diag.is_empty() {
+        return Ok(1.0);
+    }
+    let max = diag.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+    let min = diag.iter().fold(f64::INFINITY, |m, d| m.min(d.abs()));
+    if min == 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(max / min)
     }
 }
 
@@ -269,6 +296,30 @@ mod tests {
         let ridge = ridge_lstsq(&a, &b, 10.0).unwrap();
         let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
         assert!(norm(&ridge) < norm(&ols));
+    }
+
+    #[test]
+    fn condition_estimate_tracks_conditioning() {
+        // Orthogonal columns: perfectly conditioned.
+        let eye = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]]);
+        let c = condition_estimate(&eye).unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "{c}");
+        // Near-collinear columns: huge estimate.
+        let near = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0 + 1e-12],
+            vec![1.0, 1.0 - 1e-12],
+        ]);
+        assert!(condition_estimate(&near).unwrap() > 1e10);
+        // Singular (second column = 2x first): the trailing diagonal entry
+        // collapses to roundoff, giving an astronomically large estimate.
+        let sing = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(condition_estimate(&sing).unwrap() > 1e12);
+        // A column of exact zeros: infinite.
+        let zero_col = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 0.0]]);
+        assert!(condition_estimate(&zero_col).unwrap().is_infinite());
+        // Underdetermined still errors.
+        assert!(condition_estimate(&Matrix::zeros(1, 2)).is_err());
     }
 
     #[test]

@@ -45,9 +45,10 @@ impl std::error::Error for FitError {}
 impl From<QrError> for FitError {
     fn from(e: QrError) -> Self {
         match e {
-            QrError::Underdetermined { rows, cols } => {
-                FitError::TooFewObservations { have: rows, need: cols }
-            }
+            QrError::Underdetermined { rows, cols } => FitError::TooFewObservations {
+                have: rows,
+                need: cols,
+            },
             QrError::RankDeficient { .. } => FitError::RankDeficient,
         }
     }
@@ -130,7 +131,10 @@ impl LinearRegression {
         }
         let unknowns = n_features + usize::from(self.with_intercept);
         if xs.len() < unknowns {
-            return Err(FitError::TooFewObservations { have: xs.len(), need: unknowns });
+            return Err(FitError::TooFewObservations {
+                have: xs.len(),
+                need: unknowns,
+            });
         }
 
         // Column scaling: the ConvMeter metrics span ~12 orders of magnitude
@@ -161,11 +165,7 @@ impl LinearRegression {
         }
 
         let solution = qr::ridge_lstsq(&scaled, ys, self.ridge_lambda)?;
-        let mut coefs: Vec<f64> = solution
-            .iter()
-            .zip(&scales)
-            .map(|(b, s)| b / s)
-            .collect();
+        let mut coefs: Vec<f64> = solution.iter().zip(&scales).map(|(b, s)| b / s).collect();
         self.intercept = if self.with_intercept {
             coefs.pop().expect("intercept column present")
         } else {
@@ -302,9 +302,7 @@ mod tests {
 
     #[test]
     fn collinear_features_error_without_ridge_and_succeed_with() {
-        let xs: Vec<Vec<f64>> = (1..20)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (1..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let ys: Vec<f64> = (1..20).map(|i| 5.0 * i as f64).collect();
         assert!(matches!(
             LinearRegression::new().with_intercept(false).fit(&xs, &ys),
@@ -339,7 +337,10 @@ mod tests {
             .unwrap();
         let pred = m.predict(&[4.1e11, 2.3e8, 3.7e8]);
         let truth = 3e-12 * 4.1e11 + 1.5e-9 * 2.3e8 + 2.5e-9 * 3.7e8 + 4e-4;
-        assert!((pred - truth).abs() / truth < 1e-6, "pred={pred}, truth={truth}");
+        assert!(
+            (pred - truth).abs() / truth < 1e-6,
+            "pred={pred}, truth={truth}"
+        );
     }
 
     #[test]

@@ -4,60 +4,148 @@
 //! shapes, "without considering any optimization techniques or actual
 //! hardware implementation": one multiply-accumulate = 2 FLOPs.
 
+use convmeter_graph::shape::ShapeOverflow;
 use convmeter_graph::{Activation, Layer, Shape};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Bytes per element; the whole workspace models FP32 tensors, matching the
 /// paper's PyTorch benchmarks.
 pub const BYTES_PER_ELEMENT: u64 = 4;
 
+/// Typed overflow error: a layer's MAC or FLOP count exceeds `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostOverflow {
+    /// Compact description of the offending layer.
+    pub layer: String,
+}
+
+impl CostOverflow {
+    fn of(layer: &Layer) -> Self {
+        CostOverflow {
+            layer: layer.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CostOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cost of layer {} overflows u64", self.layer)
+    }
+}
+
+impl std::error::Error for CostOverflow {}
+
+impl From<ShapeOverflow> for CostOverflow {
+    fn from(e: ShapeOverflow) -> Self {
+        CostOverflow {
+            layer: e.shape.to_string(),
+        }
+    }
+}
+
 /// Multiply-accumulate count of a layer, given its resolved shapes.
 /// Non-arithmetic layers (flatten, dropout) report zero.
+///
+/// # Panics
+/// Panics if the count overflows `u64`; use [`try_layer_macs`] to handle
+/// astronomically large layers.
 pub fn layer_macs(layer: &Layer, inputs: &[Shape], output: Shape) -> u64 {
+    try_layer_macs(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`layer_macs`] with overflow reported as a typed [`CostOverflow`] error
+/// instead of panicking.
+pub fn try_layer_macs(layer: &Layer, inputs: &[Shape], output: Shape) -> Result<u64, CostOverflow> {
+    let overflow = || CostOverflow::of(layer);
     match *layer {
-        Layer::Conv2d { in_channels, kernel, groups, .. } => {
+        Layer::Conv2d {
+            in_channels,
+            kernel,
+            groups,
+            ..
+        } => {
             // Per output element: (Cin/groups) * Kh * Kw MACs.
-            let per_out = (in_channels / groups) as u64 * kernel.0 as u64 * kernel.1 as u64;
-            output.elements() * per_out
+            ((in_channels / groups) as u64)
+                .checked_mul(kernel.0 as u64)
+                .and_then(|p| p.checked_mul(kernel.1 as u64))
+                .and_then(|per_out| output.checked_elements().ok()?.checked_mul(per_out))
+                .ok_or_else(overflow)
         }
-        Layer::Linear { in_features, out_features, .. } => {
-            in_features as u64 * out_features as u64
-        }
-        Layer::TokenLinear { in_features, out_features, .. } => {
+        Layer::Linear {
+            in_features,
+            out_features,
+            ..
+        } => (in_features as u64)
+            .checked_mul(out_features as u64)
+            .ok_or_else(overflow),
+        Layer::TokenLinear {
+            in_features,
+            out_features,
+            ..
+        } => {
             let seq = inputs.first().map_or(0, |s| s.spatial().0 as u64);
-            seq * in_features as u64 * out_features as u64
+            seq.checked_mul(in_features as u64)
+                .and_then(|p| p.checked_mul(out_features as u64))
+                .ok_or_else(overflow)
         }
         _ => {
             // Not MAC-structured; callers wanting ops should use layer_flops.
             let _ = (inputs, output);
-            0
+            Ok(0)
         }
     }
 }
 
 /// FLOP count of a layer, given its resolved shapes (batch size 1).
+///
+/// # Panics
+/// Panics if the count overflows `u64`; use [`try_layer_flops`] to handle
+/// astronomically large layers.
 pub fn layer_flops(layer: &Layer, inputs: &[Shape], output: Shape) -> u64 {
+    try_layer_flops(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`layer_flops`] with overflow reported as a typed [`CostOverflow`] error
+/// instead of panicking.
+pub fn try_layer_flops(
+    layer: &Layer,
+    inputs: &[Shape],
+    output: Shape,
+) -> Result<u64, CostOverflow> {
+    let overflow = || CostOverflow::of(layer);
+    let per_element = |factor: u64| -> Result<u64, CostOverflow> {
+        output
+            .checked_elements()?
+            .checked_mul(factor)
+            .ok_or_else(overflow)
+    };
     match *layer {
-        Layer::Conv2d { out_channels, bias, .. } => {
-            let mut f = 2 * layer_macs(layer, inputs, output);
+        Layer::Conv2d { bias, .. } => {
+            let macs = try_layer_macs(layer, inputs, output)?;
+            let mut f = macs.checked_mul(2).ok_or_else(overflow)?;
             if bias {
-                f += output.elements();
+                f = f
+                    .checked_add(output.checked_elements()?)
+                    .ok_or_else(overflow)?;
             }
-            let _ = out_channels;
-            f
+            Ok(f)
         }
-        Layer::Linear { out_features, bias, .. } => {
-            let mut f = 2 * layer_macs(layer, inputs, output);
+        Layer::Linear {
+            out_features, bias, ..
+        } => {
+            let macs = try_layer_macs(layer, inputs, output)?;
+            let mut f = macs.checked_mul(2).ok_or_else(overflow)?;
             if bias {
-                f += out_features as u64;
+                f = f.checked_add(out_features as u64).ok_or_else(overflow)?;
             }
-            f
+            Ok(f)
         }
         // Inference-time BN is a fused scale-and-shift: 2 FLOPs/element.
-        Layer::BatchNorm2d { .. } => 2 * output.elements(),
+        Layer::BatchNorm2d { .. } => per_element(2),
         // LayerNorm must compute mean/var at run time: ~8 FLOPs/element.
-        Layer::LayerNorm2d { .. } => 8 * output.elements(),
-        Layer::LayerScale { .. } => output.elements(),
+        Layer::LayerNorm2d { .. } => per_element(8),
+        Layer::LayerScale { .. } => per_element(1),
         Layer::Act(a) => {
             let per_elem = match a {
                 // Comparison only.
@@ -66,32 +154,48 @@ pub fn layer_flops(layer: &Layer, inputs: &[Shape], output: Shape) -> u64 {
                 Activation::Sigmoid | Activation::SiLU | Activation::GELU => 4,
                 Activation::HardSigmoid | Activation::HardSwish => 2,
             };
-            per_elem * output.elements()
+            per_element(per_elem)
         }
         Layer::Pool2d { kernel, .. } => {
             // kernel-area comparisons/adds per output element.
-            output.elements() * kernel.0 as u64 * kernel.1 as u64
+            (kernel.0 as u64)
+                .checked_mul(kernel.1 as u64)
+                .map_or_else(|| Err(overflow()), per_element)
         }
         // Sum every input element once, then divide per output element.
         Layer::AdaptiveAvgPool2d { .. } => {
-            inputs.first().map_or(0, Shape::elements) + output.elements()
+            let read = inputs.first().map_or(Ok(0), Shape::checked_elements)?;
+            read.checked_add(output.checked_elements()?)
+                .ok_or_else(overflow)
         }
-        Layer::Add | Layer::Mul => output.elements(),
-        Layer::Concat | Layer::Flatten | Layer::Dropout => 0,
+        Layer::Add | Layer::Mul => per_element(1),
+        Layer::Concat | Layer::Flatten | Layer::Dropout => Ok(0),
         // Slices are views; shuffles are pure permutation copies.
-        Layer::ChannelSlice { .. } | Layer::ChannelShuffle { .. } => 0,
+        Layer::ChannelSlice { .. } | Layer::ChannelShuffle { .. } => Ok(0),
         // Token reshapes/selects are views; class token + positions add one
         // element-wise addition over the output.
-        Layer::ToTokens | Layer::TokenSelect => 0,
-        Layer::ClassTokenAndPosition { .. } => output.elements(),
-        Layer::TokenLayerNorm { .. } => 8 * output.elements(),
-        Layer::TokenLinear { .. } => 2 * layer_macs(layer, inputs, output),
+        Layer::ToTokens | Layer::TokenSelect => Ok(0),
+        Layer::ClassTokenAndPosition { .. } => per_element(1),
+        Layer::TokenLayerNorm { .. } => per_element(8),
+        Layer::TokenLinear { .. } => try_layer_macs(layer, inputs, output)?
+            .checked_mul(2)
+            .ok_or_else(overflow),
         // QKV + output projections (4 token-linears of d x d) plus the two
         // n^2 d attention matmuls.
         Layer::MultiHeadAttention { dim, .. } => {
-            let Shape::Tokens { seq, .. } = inputs[0] else { return 0 };
+            let Shape::Tokens { seq, .. } = inputs[0] else {
+                return Ok(0);
+            };
             let (n, d) = (seq as u64, dim as u64);
-            2 * n * d * (4 * d) + 2 * 2 * n * n * d
+            let proj = n
+                .checked_mul(d)
+                .and_then(|nd| nd.checked_mul(d.checked_mul(8)?));
+            let attn = n
+                .checked_mul(n)
+                .and_then(|nn| nn.checked_mul(d.checked_mul(4)?));
+            proj.zip(attn)
+                .and_then(|(p, a)| p.checked_add(a))
+                .ok_or_else(overflow)
         }
     }
 }
@@ -125,12 +229,26 @@ pub struct LayerCost {
 
 impl LayerCost {
     /// Compute the cost profile of a layer from its resolved shapes.
+    ///
+    /// # Panics
+    /// Panics if any count overflows `u64`; use [`LayerCost::try_of`] to
+    /// handle astronomically large layers.
     pub fn of(layer: &Layer, inputs: &[Shape], output: Shape) -> Self {
-        LayerCost {
-            flops: layer_flops(layer, inputs, output),
-            macs: layer_macs(layer, inputs, output),
-            input_elements: inputs.iter().map(Shape::elements).sum(),
-            output_elements: output.elements(),
+        Self::try_of(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`LayerCost::of`] with overflow reported as a typed [`CostOverflow`]
+    /// error instead of panicking.
+    pub fn try_of(layer: &Layer, inputs: &[Shape], output: Shape) -> Result<Self, CostOverflow> {
+        let input_elements = inputs
+            .iter()
+            .try_fold(0u64, |acc, s| acc.checked_add(s.checked_elements().ok()?))
+            .ok_or_else(|| CostOverflow::of(layer))?;
+        Ok(LayerCost {
+            flops: try_layer_flops(layer, inputs, output)?,
+            macs: try_layer_macs(layer, inputs, output)?,
+            input_elements,
+            output_elements: output.checked_elements()?,
             param_elements: layer.parameter_count(),
             is_conv: layer.is_conv(),
             is_trainable: layer.has_parameters(),
@@ -146,7 +264,7 @@ impl LayerCost {
                 layer,
                 Layer::TokenLinear { .. } | Layer::MultiHeadAttention { .. }
             ),
-        }
+        })
     }
 
     /// Bytes read per batch item: inputs plus parameters (FP32).
@@ -207,7 +325,11 @@ mod tests {
 
     #[test]
     fn linear_flops() {
-        let l = Layer::Linear { in_features: 512, out_features: 1000, bias: true };
+        let l = Layer::Linear {
+            in_features: 512,
+            out_features: 1000,
+            bias: true,
+        };
         let out = Shape::Flat(1000);
         assert_eq!(layer_macs(&l, &[Shape::Flat(512)], out), 512_000);
         assert_eq!(layer_flops(&l, &[Shape::Flat(512)], out), 1_024_000 + 1000);
@@ -216,7 +338,10 @@ mod tests {
     #[test]
     fn elementwise_layer_flops() {
         let s = Shape::image(8, 4); // 128 elements
-        assert_eq!(layer_flops(&Layer::BatchNorm2d { channels: 8 }, &[s], s), 256);
+        assert_eq!(
+            layer_flops(&Layer::BatchNorm2d { channels: 8 }, &[s], s),
+            256
+        );
         assert_eq!(layer_flops(&Layer::Act(Activation::ReLU), &[s], s), 128);
         assert_eq!(layer_flops(&Layer::Act(Activation::SiLU), &[s], s), 512);
         assert_eq!(layer_flops(&Layer::Add, &[s, s], s), 128);
@@ -273,6 +398,36 @@ mod tests {
             is_token_op: false,
         };
         assert!(c.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn try_variants_report_overflow() {
+        // A 1x1 conv whose output has 2^63 elements: the MAC count (2^63)
+        // still fits in u64, but doubling it to FLOPs overflows.
+        let l = conv2d(1, 8, 1, 1, 0);
+        let hin = Shape::chw(1, 1 << 30, 1 << 30);
+        let hout = Shape::chw(8, 1 << 30, 1 << 30);
+        assert_eq!(try_layer_macs(&l, &[hin], hout).unwrap(), 1 << 63);
+        let err = try_layer_flops(&l, &[hin], hout).unwrap_err();
+        assert!(err.to_string().contains("overflows u64"), "{err}");
+        assert!(LayerCost::try_of(&l, &[hin], hout).is_err());
+        // Sane shapes still succeed and agree with the panicking variants.
+        let input = Shape::image(64, 56);
+        let out = conv2d(64, 128, 3, 1, 1).infer_output(&[input]).unwrap();
+        let l2 = conv2d(64, 128, 3, 1, 1);
+        assert_eq!(
+            try_layer_flops(&l2, &[input], out).unwrap(),
+            layer_flops(&l2, &[input], out)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn layer_flops_panics_on_overflow() {
+        let l = conv2d(1, 8, 1, 1, 0);
+        let hin = Shape::chw(1, 1 << 30, 1 << 30);
+        let hout = Shape::chw(8, 1 << 30, 1 << 30);
+        let _ = layer_flops(&l, &[hin], hout);
     }
 
     #[test]

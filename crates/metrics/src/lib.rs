@@ -23,5 +23,7 @@
 pub mod flops;
 pub mod model;
 
-pub use flops::{layer_flops, layer_macs, LayerCost};
+pub use flops::{
+    layer_flops, layer_macs, try_layer_flops, try_layer_macs, CostOverflow, LayerCost,
+};
 pub use model::{BatchMetrics, ModelMetrics};

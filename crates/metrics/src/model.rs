@@ -40,25 +40,43 @@ impl ModelMetrics {
     /// paper.
     pub fn of(graph: &Graph) -> Result<Self, GraphError> {
         let shapes = graph.infer_shapes()?;
-        let per_node: Vec<LayerCost> = graph
-            .nodes()
-            .iter()
-            .zip(&shapes)
-            .map(|(node, s)| LayerCost::of(&node.layer, &s.inputs, s.output))
-            .collect();
-        let conv = |f: fn(&LayerCost) -> u64| -> u64 {
-            per_node.iter().filter(|c| c.is_conv).map(f).sum()
+        let mut per_node: Vec<LayerCost> = Vec::with_capacity(graph.len());
+        for (i, (node, s)) in graph.nodes().iter().zip(&shapes).enumerate() {
+            let cost = LayerCost::try_of(&node.layer, &s.inputs, s.output).map_err(|e| {
+                GraphError::Overflow {
+                    node: Some(i),
+                    name: node.name.clone(),
+                    what: e.to_string(),
+                }
+            })?;
+            per_node.push(cost);
+        }
+        let checked_sum = |costs: &[LayerCost],
+                           filter: fn(&LayerCost) -> bool,
+                           f: fn(&LayerCost) -> u64,
+                           what: &str|
+         -> Result<u64, GraphError> {
+            costs
+                .iter()
+                .filter(|c| filter(c))
+                .map(f)
+                .try_fold(0u64, u64::checked_add)
+                .ok_or_else(|| GraphError::Overflow {
+                    node: None,
+                    name: None,
+                    what: format!("graph-wide {what} sum"),
+                })
         };
-        let token = |f: fn(&LayerCost) -> u64| -> u64 {
-            per_node.iter().filter(|c| c.is_token_op).map(f).sum()
-        };
+        let all = |_: &LayerCost| true;
+        let conv = |c: &LayerCost| c.is_conv;
+        let token = |c: &LayerCost| c.is_token_op;
         Ok(ModelMetrics {
             name: graph.name().to_string(),
-            flops: per_node.iter().map(|c| c.flops).sum(),
-            conv_inputs: conv(|c| c.input_elements),
-            conv_outputs: conv(|c| c.output_elements),
-            token_inputs: token(|c| c.input_elements),
-            token_outputs: token(|c| c.output_elements),
+            flops: checked_sum(&per_node, all, |c| c.flops, "FLOP")?,
+            conv_inputs: checked_sum(&per_node, conv, |c| c.input_elements, "conv input")?,
+            conv_outputs: checked_sum(&per_node, conv, |c| c.output_elements, "conv output")?,
+            token_inputs: checked_sum(&per_node, token, |c| c.input_elements, "token input")?,
+            token_outputs: checked_sum(&per_node, token, |c| c.output_elements, "token output")?,
             weights: graph.parameter_count(),
             trainable_layers: graph.trainable_layer_count(),
             node_count: graph.len(),
@@ -139,11 +157,7 @@ mod tests {
         assert_eq!(m.trainable_layers, 5);
         assert_eq!(
             m.weights,
-            (16 * 3 * 9) as u64
-                + 32
-                + (32 * 16 * 9) as u64
-                + 64
-                + (32 * 10 + 10) as u64
+            (16 * 3 * 9) as u64 + 32 + (32 * 16 * 9) as u64 + 64 + (32 * 10 + 10) as u64
         );
         assert_eq!(m.node_count, 9);
         assert_eq!(m.per_node.len(), 9);
@@ -158,7 +172,10 @@ mod tests {
             .filter(|c| c.is_conv)
             .map(|c| c.flops)
             .sum();
-        assert!(conv_flops * 10 > m.flops * 9, "convs should be >90% of FLOPs");
+        assert!(
+            conv_flops * 10 > m.flops * 9,
+            "convs should be >90% of FLOPs"
+        );
     }
 
     #[test]
@@ -179,6 +196,25 @@ mod tests {
         let mut b = GraphBuilder::new("bad", Shape::image(3, 32));
         b.conv_bn(4, 8, 3, 1, 1);
         assert!(ModelMetrics::of(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn oversized_graph_reports_typed_overflow() {
+        // A graph whose single conv overflows the FLOP count: the metric
+        // extraction surfaces GraphError::Overflow instead of panicking.
+        let mut g = Graph::new("huge", Shape::chw(1, 1 << 30, 1 << 30));
+        g.push(
+            convmeter_graph::layer::conv2d(1, 8, 1, 1, 0),
+            vec![convmeter_graph::NodeId::INPUT],
+            Some("huge".into()),
+        );
+        match ModelMetrics::of(&g) {
+            Err(GraphError::Overflow { node, name, .. }) => {
+                assert_eq!(node, Some(0));
+                assert_eq!(name.as_deref(), Some("huge"));
+            }
+            other => panic!("expected Overflow, got {other:?}"),
+        }
     }
 
     #[test]

@@ -33,12 +33,24 @@ pub fn alexnet(image_size: usize, num_classes: usize) -> Graph {
     b.layer(Layer::AdaptiveAvgPool2d { output: (6, 6) });
     b.layer(Layer::Flatten);
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: 256 * 36, out_features: 4096, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 256 * 36,
+        out_features: 4096,
+        bias: true,
+    });
     b.layer(Layer::Act(relu));
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: 4096, out_features: 4096, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 4096,
+        out_features: 4096,
+        bias: true,
+    });
     b.layer(Layer::Act(relu));
-    b.layer(Layer::Linear { in_features: 4096, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 4096,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 

@@ -58,7 +58,9 @@ pub fn convnext_tiny(image_size: usize, num_classes: usize) -> Graph {
     for (stage, (&depth, &dim)) in DEPTHS.iter().zip(&DIMS).enumerate() {
         if stage > 0 {
             // Downsample: norm + 2x2 stride-2 conv.
-            b.layer(Layer::LayerNorm2d { channels: DIMS[stage - 1] });
+            b.layer(Layer::LayerNorm2d {
+                channels: DIMS[stage - 1],
+            });
             b.layer(biased_conv(DIMS[stage - 1], dim, 2, 2));
         }
         for _ in 0..depth {
@@ -69,7 +71,11 @@ pub fn convnext_tiny(image_size: usize, num_classes: usize) -> Graph {
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::LayerNorm2d { channels: DIMS[3] });
     b.layer(Layer::Flatten);
-    b.layer(Layer::Linear { in_features: DIMS[3], out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: DIMS[3],
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 
@@ -117,6 +123,9 @@ mod tests {
 
     #[test]
     fn works_at_small_sizes() {
-        assert_eq!(convnext_tiny(64, 10).output_shape().unwrap(), Shape::Flat(10));
+        assert_eq!(
+            convnext_tiny(64, 10).output_shape().unwrap(),
+            Shape::Flat(10)
+        );
     }
 }

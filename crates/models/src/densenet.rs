@@ -21,7 +21,9 @@ fn dense_layer(b: &mut GraphBuilder, name: String, in_ch: usize) -> usize {
     b.layer(Layer::BatchNorm2d { channels: in_ch });
     b.layer(Layer::Act(Activation::ReLU));
     b.layer(conv2d(in_ch, BN_SIZE * GROWTH_RATE, 1, 1, 0));
-    b.layer(Layer::BatchNorm2d { channels: BN_SIZE * GROWTH_RATE });
+    b.layer(Layer::BatchNorm2d {
+        channels: BN_SIZE * GROWTH_RATE,
+    });
     b.layer(Layer::Act(Activation::ReLU));
     let new_features = b.layer(conv2d(BN_SIZE * GROWTH_RATE, GROWTH_RATE, 3, 1, 1));
     b.layer_from(Layer::Concat, vec![entry, new_features]);
@@ -132,11 +134,11 @@ mod tests {
             .iter()
             .enumerate()
             .filter_map(|(i, n)| match n.layer {
-                Layer::Conv2d { kernel: (1, 1), in_channels, .. }
-                    if in_channels < 1024 && shapes[i].output.is_chw() =>
-                {
-                    Some(in_channels)
-                }
+                Layer::Conv2d {
+                    kernel: (1, 1),
+                    in_channels,
+                    ..
+                } if in_channels < 1024 && shapes[i].output.is_chw() => Some(in_channels),
                 _ => None,
             })
             .collect();
@@ -147,7 +149,11 @@ mod tests {
     #[test]
     fn dense_layers_extract_as_blocks() {
         let g = densenet121(224, 1000);
-        let span = g.blocks().iter().find(|s| s.name == "DenseLayer10").unwrap();
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "DenseLayer10")
+            .unwrap();
         let block = g.extract_block(span).unwrap();
         block.infer_shapes().unwrap();
         assert_eq!(block.conv_layer_count(), 2);

@@ -86,7 +86,11 @@ fn efficientnet(
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::Flatten);
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: head, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: head,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 

@@ -167,7 +167,11 @@ pub fn inception_v3(image_size: usize, num_classes: usize) -> Graph {
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::Dropout);
     b.layer(Layer::Flatten);
-    b.layer(Layer::Linear { in_features: ch, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: ch,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 

@@ -58,7 +58,11 @@ pub fn mobilenet_v2(image_size: usize, num_classes: usize) -> Graph {
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::Flatten);
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: last, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: last,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 
@@ -89,7 +93,11 @@ mod tests {
     fn inverted_residual3_extracts() {
         // The Table 2 block: InvertedResidual3 of MobileNetV2.
         let g = mobilenet_v2(224, 1000);
-        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual3").unwrap();
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "InvertedResidual3")
+            .unwrap();
         let block = g.extract_block(span).unwrap();
         block.infer_shapes().unwrap();
         // Expand + depthwise + project = 3 convs.
@@ -100,13 +108,20 @@ mod tests {
     fn first_block_skips_expansion() {
         // t=1 block has only depthwise + project convs.
         let g = mobilenet_v2(224, 1000);
-        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual1").unwrap();
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "InvertedResidual1")
+            .unwrap();
         let block = g.extract_block(span).unwrap();
         assert_eq!(block.conv_layer_count(), 2);
     }
 
     #[test]
     fn works_at_small_sizes() {
-        assert_eq!(mobilenet_v2(32, 1000).output_shape().unwrap(), Shape::Flat(1000));
+        assert_eq!(
+            mobilenet_v2(32, 1000).output_shape().unwrap(),
+            Shape::Flat(1000)
+        );
     }
 }

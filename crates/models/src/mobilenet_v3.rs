@@ -38,7 +38,11 @@ fn bneck(
     use_hs: bool,
     stride: usize,
 ) {
-    let act = if use_hs { Activation::HardSwish } else { Activation::ReLU };
+    let act = if use_hs {
+        Activation::HardSwish
+    } else {
+        Activation::ReLU
+    };
     b.begin_block(format!("InvertedResidual{index}"));
     let entry = b.cursor();
     if expanded != in_ch {
@@ -88,21 +92,43 @@ fn mobilenet_v3(
     b.conv_bn_act(trunk_out, last_conv, 1, 1, 0, Activation::HardSwish);
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::Flatten);
-    b.layer(Layer::Linear { in_features: last_conv, out_features: last_hidden, bias: true });
+    b.layer(Layer::Linear {
+        in_features: last_conv,
+        out_features: last_hidden,
+        bias: true,
+    });
     b.layer(Layer::Act(Activation::HardSwish));
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: last_hidden, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: last_hidden,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 
 /// Build MobileNetV3-Large (width multiplier 1.0).
 pub fn mobilenet_v3_large(image_size: usize, num_classes: usize) -> Graph {
-    mobilenet_v3("mobilenet_v3_large", SETTINGS, 960, 1280, image_size, num_classes)
+    mobilenet_v3(
+        "mobilenet_v3_large",
+        SETTINGS,
+        960,
+        1280,
+        image_size,
+        num_classes,
+    )
 }
 
 /// Build MobileNetV3-Small (width multiplier 1.0).
 pub fn mobilenet_v3_small(image_size: usize, num_classes: usize) -> Graph {
-    mobilenet_v3("mobilenet_v3_small", SMALL_SETTINGS, 576, 1024, image_size, num_classes)
+    mobilenet_v3(
+        "mobilenet_v3_small",
+        SMALL_SETTINGS,
+        576,
+        1024,
+        image_size,
+        num_classes,
+    )
 }
 
 #[cfg(test)]
@@ -140,7 +166,11 @@ mod tests {
     fn inverted_residual2_extracts() {
         // The Table 2 block: InvertedResidual2 of MobileNetV3.
         let g = mobilenet_v3_large(224, 1000);
-        let span = g.blocks().iter().find(|s| s.name == "InvertedResidual2").unwrap();
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "InvertedResidual2")
+            .unwrap();
         let block = g.extract_block(span).unwrap();
         block.infer_shapes().unwrap();
         assert_eq!(block.conv_layer_count(), 3); // expand, depthwise, project
@@ -155,8 +185,14 @@ mod tests {
             g.extract_block(span).unwrap()
         };
         let with_se = get("InvertedResidual4");
-        assert!(with_se.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+        assert!(with_se
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.layer, Layer::Mul)));
         let without_se = get("InvertedResidual2");
-        assert!(!without_se.nodes().iter().any(|n| matches!(n.layer, Layer::Mul)));
+        assert!(!without_se
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.layer, Layer::Mul)));
     }
 }

@@ -45,18 +45,26 @@ pub fn random_convnet(seed: u64, image_size: usize, num_classes: usize) -> Graph
     let stem_kernel = pick(&mut rng, &[3usize, 5, 7]);
     let mut spatial = image_size;
     let stem_stride = if spatial >= 64 { 2 } else { 1 };
-    b.conv_bn_act(3, channels, stem_kernel, stem_stride, stem_kernel / 2, Activation::ReLU);
+    b.conv_bn_act(
+        3,
+        channels,
+        stem_kernel,
+        stem_stride,
+        stem_kernel / 2,
+        Activation::ReLU,
+    );
     spatial = spatial.div_ceil(stem_stride);
 
     let stages = rng.random_range(2..=4usize);
     for stage in 0..stages {
         let blocks = rng.random_range(1..=4usize);
-        let out_ch = make_divisible(
-            (channels as f64 * rng.random_range(1.2..2.2)).min(512.0),
-            8,
-        );
+        let out_ch = make_divisible((channels as f64 * rng.random_range(1.2..2.2)).min(512.0), 8);
         for block in 0..blocks {
-            let stride = if block == 0 && stage > 0 && spatial >= 8 { 2 } else { 1 };
+            let stride = if block == 0 && stage > 0 && spatial >= 8 {
+                2
+            } else {
+                1
+            };
             let in_ch = channels;
             let choice = pick(
                 &mut rng,
@@ -135,7 +143,8 @@ mod tests {
         for seed in 0..50 {
             let g = random_convnet(seed, 64, 1000);
             assert_eq!(
-                g.output_shape().unwrap_or_else(|e| panic!("seed {seed}: {e}")),
+                g.output_shape()
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}")),
                 Shape::Flat(1000)
             );
             g.validate_blocks().unwrap();
@@ -153,8 +162,9 @@ mod tests {
 
     #[test]
     fn seeds_produce_diverse_architectures() {
-        let params: std::collections::BTreeSet<u64> =
-            (0..20).map(|s| random_convnet(s, 64, 1000).parameter_count()).collect();
+        let params: std::collections::BTreeSet<u64> = (0..20)
+            .map(|s| random_convnet(s, 64, 1000).parameter_count())
+            .collect();
         assert!(params.len() >= 18, "only {} distinct sizes", params.len());
     }
 

@@ -198,7 +198,12 @@ mod tests {
             .nodes()
             .iter()
             .find_map(|n| match n.layer {
-                Layer::Conv2d { kernel: (3, 3), groups, in_channels: 80, .. } => Some(groups),
+                Layer::Conv2d {
+                    kernel: (3, 3),
+                    groups,
+                    in_channels: 80,
+                    ..
+                } => Some(groups),
                 _ => None,
             })
             .unwrap();

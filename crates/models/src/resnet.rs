@@ -137,17 +137,31 @@ fn family(
     groups: usize,
     width_per_group: usize,
 ) -> ResNetCfg {
-    ResNetCfg { name, kind, layers, groups, width_per_group }
+    ResNetCfg {
+        name,
+        kind,
+        layers,
+        groups,
+        width_per_group,
+    }
 }
 
 /// ResNet-18.
 pub fn resnet18(image_size: usize, num_classes: usize) -> Graph {
-    build(&family("resnet18", BlockKind::Basic, [2, 2, 2, 2], 1, 64), image_size, num_classes)
+    build(
+        &family("resnet18", BlockKind::Basic, [2, 2, 2, 2], 1, 64),
+        image_size,
+        num_classes,
+    )
 }
 
 /// ResNet-34.
 pub fn resnet34(image_size: usize, num_classes: usize) -> Graph {
-    build(&family("resnet34", BlockKind::Basic, [3, 4, 6, 3], 1, 64), image_size, num_classes)
+    build(
+        &family("resnet34", BlockKind::Basic, [3, 4, 6, 3], 1, 64),
+        image_size,
+        num_classes,
+    )
 }
 
 /// ResNet-50.
@@ -189,7 +203,13 @@ pub fn wide_resnet50(image_size: usize, num_classes: usize) -> Graph {
 /// ResNeXt-50-32x4d: 32 groups, base width 4.
 pub fn resnext50_32x4d(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &family("resnext50_32x4d", BlockKind::Bottleneck, [3, 4, 6, 3], 32, 4),
+        &family(
+            "resnext50_32x4d",
+            BlockKind::Bottleneck,
+            [3, 4, 6, 3],
+            32,
+            4,
+        ),
         image_size,
         num_classes,
     )
@@ -198,7 +218,13 @@ pub fn resnext50_32x4d(image_size: usize, num_classes: usize) -> Graph {
 /// ResNeXt-101-32x8d: 32 groups, base width 8.
 pub fn resnext101_32x8d(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &family("resnext101_32x8d", BlockKind::Bottleneck, [3, 4, 23, 3], 32, 8),
+        &family(
+            "resnext101_32x8d",
+            BlockKind::Bottleneck,
+            [3, 4, 23, 3],
+            32,
+            8,
+        ),
         image_size,
         num_classes,
     )
@@ -207,7 +233,13 @@ pub fn resnext101_32x8d(image_size: usize, num_classes: usize) -> Graph {
 /// Wide-ResNet-101-2.
 pub fn wide_resnet101(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &family("wide_resnet101", BlockKind::Bottleneck, [3, 4, 23, 3], 1, 128),
+        &family(
+            "wide_resnet101",
+            BlockKind::Bottleneck,
+            [3, 4, 23, 3],
+            1,
+            128,
+        ),
         image_size,
         num_classes,
     )
@@ -314,7 +346,11 @@ mod tests {
             .nodes()
             .iter()
             .find_map(|n| match n.layer {
-                Layer::Conv2d { groups: 32, out_channels, .. } => Some(out_channels),
+                Layer::Conv2d {
+                    groups: 32,
+                    out_channels,
+                    ..
+                } => Some(out_channels),
                 _ => None,
             })
             .unwrap();

@@ -23,9 +23,15 @@ fn unit_s1(b: &mut GraphBuilder, index: usize, channels: usize) {
     let half = channels / 2;
     b.begin_block(format!("ShuffleUnit{index}"));
     let entry = b.cursor();
-    let keep = b.layer(Layer::ChannelSlice { offset: 0, channels: half });
+    let keep = b.layer(Layer::ChannelSlice {
+        offset: 0,
+        channels: half,
+    });
     b.set_cursor(entry);
-    b.layer(Layer::ChannelSlice { offset: half, channels: half });
+    b.layer(Layer::ChannelSlice {
+        offset: half,
+        channels: half,
+    });
     let transformed = branch2(b, half, half, 1);
     b.concat(vec![keep, transformed]);
     b.layer(Layer::ChannelShuffle { groups: 2 });
@@ -96,7 +102,9 @@ mod tests {
     fn units_extract_as_blocks() {
         let g = shufflenet_v2_x1_0(224, 1000);
         for span in g.blocks() {
-            let block = g.extract_block(span).unwrap_or_else(|e| panic!("{}: {e}", span.name));
+            let block = g
+                .extract_block(span)
+                .unwrap_or_else(|e| panic!("{}: {e}", span.name));
             block.infer_shapes().unwrap();
             assert!(block
                 .nodes()
@@ -111,8 +119,7 @@ mod tests {
         // traffic. Its FLOPs/conv-output ratio must be far below ResNet-50's.
         use convmeter_metrics::ModelMetrics;
         let sn = ModelMetrics::of(&shufflenet_v2_x1_0(224, 1000)).unwrap();
-        let rn =
-            ModelMetrics::of(&crate::resnet::resnet50(224, 1000)).unwrap();
+        let rn = ModelMetrics::of(&crate::resnet::resnet50(224, 1000)).unwrap();
         let intensity = |m: &ModelMetrics| m.flops as f64 / m.conv_outputs as f64;
         assert!(intensity(&sn) < intensity(&rn) / 3.0);
     }

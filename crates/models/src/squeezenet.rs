@@ -90,7 +90,13 @@ mod tests {
         // Minimum viable input is 35 px (the third max-pool needs a 3 px
         // map); 32 px fails, 64 px works.
         assert!(squeezenet1_0(32, 1000).output_shape().is_err());
-        assert_eq!(squeezenet1_0(35, 1000).output_shape().unwrap(), Shape::Flat(1000));
-        assert_eq!(squeezenet1_0(64, 1000).output_shape().unwrap(), Shape::Flat(1000));
+        assert_eq!(
+            squeezenet1_0(35, 1000).output_shape().unwrap(),
+            Shape::Flat(1000)
+        );
+        assert_eq!(
+            squeezenet1_0(64, 1000).output_shape().unwrap(),
+            Shape::Flat(1000)
+        );
     }
 }

@@ -86,13 +86,25 @@ fn vgg(name: &str, cfg: &[Cfg], image_size: usize, num_classes: usize) -> Graph 
     }
     b.layer(Layer::AdaptiveAvgPool2d { output: (7, 7) });
     b.layer(Layer::Flatten);
-    b.layer(Layer::Linear { in_features: 512 * 49, out_features: 4096, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 512 * 49,
+        out_features: 4096,
+        bias: true,
+    });
     b.layer(Layer::Act(Activation::ReLU));
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: 4096, out_features: 4096, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 4096,
+        out_features: 4096,
+        bias: true,
+    });
     b.layer(Layer::Act(Activation::ReLU));
     b.layer(Layer::Dropout);
-    b.layer(Layer::Linear { in_features: 4096, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: 4096,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 

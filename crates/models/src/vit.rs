@@ -24,7 +24,10 @@ fn encoder_block(b: &mut GraphBuilder, index: usize, cfg: &VitCfg) {
     b.begin_block(format!("EncoderBlock{index}"));
     let entry = b.cursor();
     b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
-    b.layer(Layer::MultiHeadAttention { dim: cfg.dim, heads: cfg.heads });
+    b.layer(Layer::MultiHeadAttention {
+        dim: cfg.dim,
+        heads: cfg.heads,
+    });
     let after_attn = b.add_residual(entry);
     b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
     b.layer(Layer::TokenLinear {
@@ -69,14 +72,25 @@ fn build(cfg: &VitCfg, image_size: usize, num_classes: usize) -> Graph {
     }
     b.layer(Layer::TokenLayerNorm { dim: cfg.dim });
     b.layer(Layer::TokenSelect);
-    b.layer(Layer::Linear { in_features: cfg.dim, out_features: num_classes, bias: true });
+    b.layer(Layer::Linear {
+        in_features: cfg.dim,
+        out_features: num_classes,
+        bias: true,
+    });
     b.finish()
 }
 
 /// ViT-B/16: 12 layers, dim 768, 12 heads.
 pub fn vit_b_16(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &VitCfg { name: "vit_b_16", patch: 16, dim: 768, depth: 12, heads: 12, mlp: 3072 },
+        &VitCfg {
+            name: "vit_b_16",
+            patch: 16,
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            mlp: 3072,
+        },
         image_size,
         num_classes,
     )
@@ -85,7 +99,14 @@ pub fn vit_b_16(image_size: usize, num_classes: usize) -> Graph {
 /// ViT-B/32: 12 layers, dim 768, 12 heads, 32 px patches.
 pub fn vit_b_32(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &VitCfg { name: "vit_b_32", patch: 32, dim: 768, depth: 12, heads: 12, mlp: 3072 },
+        &VitCfg {
+            name: "vit_b_32",
+            patch: 32,
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            mlp: 3072,
+        },
         image_size,
         num_classes,
     )
@@ -94,7 +115,14 @@ pub fn vit_b_32(image_size: usize, num_classes: usize) -> Graph {
 /// ViT-L/16: 24 layers, dim 1024, 16 heads.
 pub fn vit_l_16(image_size: usize, num_classes: usize) -> Graph {
     build(
-        &VitCfg { name: "vit_l_16", patch: 16, dim: 1024, depth: 24, heads: 16, mlp: 4096 },
+        &VitCfg {
+            name: "vit_l_16",
+            patch: 16,
+            dim: 1024,
+            depth: 24,
+            heads: 16,
+            mlp: 4096,
+        },
         image_size,
         num_classes,
     )
@@ -137,7 +165,11 @@ mod tests {
     #[test]
     fn encoder_blocks_extract() {
         let g = vit_b_16(224, 1000);
-        let span = g.blocks().iter().find(|s| s.name == "EncoderBlock7").unwrap();
+        let span = g
+            .blocks()
+            .iter()
+            .find(|s| s.name == "EncoderBlock7")
+            .unwrap();
         let block = g.extract_block(span).unwrap();
         block.infer_shapes().unwrap();
         assert!(block
@@ -156,7 +188,10 @@ mod tests {
         let ratio = large.flops as f64 / small.flops as f64;
         // The MLPs keep the total near-linear in n at these scales; the
         // attention n^2 term pushes it measurably past 4x.
-        assert!(ratio > 4.2, "super-linear FLOPs growth expected, got {ratio:.2}");
+        assert!(
+            ratio > 4.2,
+            "super-linear FLOPs growth expected, got {ratio:.2}"
+        );
         assert!(ratio < 16.0);
     }
 

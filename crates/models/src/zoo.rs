@@ -50,14 +50,26 @@ impl ModelSpec {
 /// changes every reproduced table — additional architectures live in
 /// [`EXTENDED_ZOO`] instead.
 pub const ZOO: &[ModelSpec] = &[
-    ModelSpec { name: "alexnet", build: crate::alexnet::alexnet, min_image_size: 63 },
-    ModelSpec { name: "densenet121", build: crate::densenet::densenet121, min_image_size: 32 },
+    ModelSpec {
+        name: "alexnet",
+        build: crate::alexnet::alexnet,
+        min_image_size: 63,
+    },
+    ModelSpec {
+        name: "densenet121",
+        build: crate::densenet::densenet121,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "efficientnet_b0",
         build: crate::efficientnet::efficientnet_b0,
         min_image_size: 32,
     },
-    ModelSpec { name: "inception_v3", build: crate::inception::inception_v3, min_image_size: 75 },
+    ModelSpec {
+        name: "inception_v3",
+        build: crate::inception::inception_v3,
+        min_image_size: 75,
+    },
     ModelSpec {
         name: "mobilenet_v2",
         build: crate::mobilenet_v2::mobilenet_v2,
@@ -73,11 +85,31 @@ pub const ZOO: &[ModelSpec] = &[
         build: crate::regnet::regnet_x_400mf,
         min_image_size: 32,
     },
-    ModelSpec { name: "regnet_x_8gf", build: crate::regnet::regnet_x_8gf, min_image_size: 32 },
-    ModelSpec { name: "resnet18", build: crate::resnet::resnet18, min_image_size: 32 },
-    ModelSpec { name: "resnet34", build: crate::resnet::resnet34, min_image_size: 32 },
-    ModelSpec { name: "resnet50", build: crate::resnet::resnet50, min_image_size: 32 },
-    ModelSpec { name: "resnet101", build: crate::resnet::resnet101, min_image_size: 32 },
+    ModelSpec {
+        name: "regnet_x_8gf",
+        build: crate::regnet::regnet_x_8gf,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnet18",
+        build: crate::resnet::resnet18,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnet34",
+        build: crate::resnet::resnet34,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnet50",
+        build: crate::resnet::resnet50,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnet101",
+        build: crate::resnet::resnet101,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "resnext50_32x4d",
         build: crate::resnet::resnext50_32x4d,
@@ -88,8 +120,16 @@ pub const ZOO: &[ModelSpec] = &[
         build: crate::squeezenet::squeezenet1_0,
         min_image_size: 35,
     },
-    ModelSpec { name: "vgg11", build: crate::vgg::vgg11, min_image_size: 32 },
-    ModelSpec { name: "vgg16", build: crate::vgg::vgg16, min_image_size: 32 },
+    ModelSpec {
+        name: "vgg11",
+        build: crate::vgg::vgg11,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "vgg16",
+        build: crate::vgg::vgg16,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "wide_resnet50",
         build: crate::resnet::wide_resnet50,
@@ -107,8 +147,16 @@ pub const EXTENDED_ZOO: &[ModelSpec] = &[
         build: crate::convnext::convnext_tiny,
         min_image_size: 32,
     },
-    ModelSpec { name: "densenet169", build: crate::densenet::densenet169, min_image_size: 32 },
-    ModelSpec { name: "densenet201", build: crate::densenet::densenet201, min_image_size: 32 },
+    ModelSpec {
+        name: "densenet169",
+        build: crate::densenet::densenet169,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "densenet201",
+        build: crate::densenet::densenet201,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "efficientnet_b1",
         build: crate::efficientnet::efficientnet_b1,
@@ -139,8 +187,16 @@ pub const EXTENDED_ZOO: &[ModelSpec] = &[
         build: crate::regnet::regnet_y_400mf,
         min_image_size: 32,
     },
-    ModelSpec { name: "regnet_y_8gf", build: crate::regnet::regnet_y_8gf, min_image_size: 32 },
-    ModelSpec { name: "resnet152", build: crate::resnet::resnet152, min_image_size: 32 },
+    ModelSpec {
+        name: "regnet_y_8gf",
+        build: crate::regnet::regnet_y_8gf,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "resnet152",
+        build: crate::resnet::resnet152,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "shufflenet_v2_x1_0",
         build: crate::shufflenet::shufflenet_v2_x1_0,
@@ -151,8 +207,16 @@ pub const EXTENDED_ZOO: &[ModelSpec] = &[
         build: crate::resnet::resnext101_32x8d,
         min_image_size: 32,
     },
-    ModelSpec { name: "vgg13", build: crate::vgg::vgg13, min_image_size: 32 },
-    ModelSpec { name: "vgg19", build: crate::vgg::vgg19, min_image_size: 32 },
+    ModelSpec {
+        name: "vgg13",
+        build: crate::vgg::vgg13,
+        min_image_size: 32,
+    },
+    ModelSpec {
+        name: "vgg19",
+        build: crate::vgg::vgg19,
+        min_image_size: 32,
+    },
     ModelSpec {
         name: "wide_resnet101",
         build: crate::resnet::wide_resnet101,
@@ -172,9 +236,7 @@ pub fn all_model_names() -> Vec<&'static str> {
 
 /// Look up a zoo entry by name (paper set first, then extensions).
 pub fn by_name(name: &str) -> Option<&'static ModelSpec> {
-    ZOO.iter()
-        .chain(EXTENDED_ZOO)
-        .find(|s| s.name == name)
+    ZOO.iter().chain(EXTENDED_ZOO).find(|s| s.name == name)
 }
 
 /// Build every model that supports `image_size`, with 1000 classes.
@@ -192,7 +254,11 @@ mod tests {
 
     #[test]
     fn zoo_has_seventeen_models() {
-        assert_eq!(ZOO.len(), 17, "the paper set is pinned; extend EXTENDED_ZOO instead");
+        assert_eq!(
+            ZOO.len(),
+            17,
+            "the paper set is pinned; extend EXTENDED_ZOO instead"
+        );
         assert_eq!(EXTENDED_ZOO.len(), 16);
         assert_eq!(all_model_names().len(), 33);
     }
@@ -232,7 +298,8 @@ mod tests {
                 "{} failed at 224",
                 spec.name
             );
-            g.validate_blocks().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            g.validate_blocks()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

@@ -36,9 +36,7 @@ fn main() {
         for &batch in &[32usize, 64, 128, 256] {
             let devices = nodes * 4;
             // Skip configurations that would not fit device memory.
-            if convmeter_hwsim::training_memory_bytes(&metrics, batch)
-                > device.memory_capacity
-            {
+            if convmeter_hwsim::training_memory_bytes(&metrics, batch) > device.memory_capacity {
                 continue;
             }
             let step = model.predict_step_at(&metrics, batch, nodes);

@@ -19,7 +19,9 @@ fn main() {
     let data = inference_dataset(&device, &SweepConfig::paper_gpu());
     let model = ForwardModel::fit(&data).expect("fit");
 
-    println!("latency budget  evaluations  best candidate                     pred latency   GFLOPs");
+    println!(
+        "latency budget  evaluations  best candidate                     pred latency   GFLOPs"
+    );
     for budget_ms in [1.0f64, 2.0, 4.0, 8.0] {
         let cfg = NasConfig {
             latency_budget: budget_ms * 1e-3,

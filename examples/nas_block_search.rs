@@ -77,6 +77,11 @@ fn main() {
         .collect();
     println!("\nPareto front (fastest for their capacity):");
     for (name, latency, params, _) in pareto {
-        println!("  {:<16} {:>8.3} ms  {:>6.2} M params", name, latency * 1e3, *params as f64 / 1e6);
+        println!(
+            "  {:<16} {:>8.3} ms  {:>6.2} M params",
+            name,
+            latency * 1e3,
+            *params as f64 / 1e6
+        );
     }
 }

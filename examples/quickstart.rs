@@ -16,7 +16,11 @@ fn main() {
     let mut sweep = SweepConfig::paper_gpu();
     sweep.models.retain(|m| m != "resnet50");
     let data = inference_dataset(&device, &sweep);
-    println!("collected {} benchmark points on {}", data.len(), device.name);
+    println!(
+        "collected {} benchmark points on {}",
+        data.len(),
+        device.name
+    );
 
     // 2. Fit Eq. 2: T = c1*FLOPs + c2*Inputs + c3*Outputs + c4.
     let model = ForwardModel::fit(&data).expect("fit");

@@ -33,8 +33,7 @@ fn held_out_inference_accuracy_meets_paper_bar() {
     assert!(overall.r2 > 0.9, "overall {overall}");
     // Average per-model error "less than 20 %" is the abstract's claim for
     // inference; allow headroom for the reduced sweep.
-    let mean_mape: f64 =
-        reports.iter().map(|r| r.report.mape).sum::<f64>() / reports.len() as f64;
+    let mean_mape: f64 = reports.iter().map(|r| r.report.mape).sum::<f64>() / reports.len() as f64;
     assert!(mean_mape < 0.45, "mean per-model MAPE {mean_mape}");
 }
 
@@ -48,7 +47,9 @@ fn cpu_and_gpu_coefficients_differ_but_pipeline_is_shared() {
     let gpu_model = ForwardModel::fit(&inference_dataset(&gpu, &mid_config())).unwrap();
     // The same ConvNet must predict dramatically slower on one CPU core.
     let metrics = ModelMetrics::of(
-        &convmeter_models::zoo::by_name("resnet50").unwrap().build(224, 1000),
+        &convmeter_models::zoo::by_name("resnet50")
+            .unwrap()
+            .build(224, 1000),
     )
     .unwrap();
     let cpu_t = cpu_model.predict_metrics(&metrics, 16);
@@ -65,8 +66,7 @@ fn combined_metrics_beat_single_metrics_out_of_sample() {
     let mut single_errs = vec![Vec::new(); 3];
     let mut combined_errs = Vec::new();
     for (_, split) in convmeter_linalg::cv::LeaveOneGroupOut::splits(&groups) {
-        let train: Vec<InferencePoint> =
-            split.train.iter().map(|&i| data[i].clone()).collect();
+        let train: Vec<InferencePoint> = split.train.iter().map(|&i| data[i].clone()).collect();
         let test: Vec<&InferencePoint> = split.test.iter().map(|&i| &data[i]).collect();
         let meas: Vec<f64> = test.iter().map(|p| p.measured).collect();
         let combined = ForwardModel::fit(&train).unwrap();

@@ -58,7 +58,12 @@ fn threaded_simulator_consistent_with_analytic_across_models() {
         let analytic =
             convmeter_distsim::expected_distributed_phases(&device, &cluster, &metrics, 32);
         let rel = (threaded.total() - analytic.total()).abs() / analytic.total();
-        assert!(rel < 1e-9, "{name}: threaded {} vs analytic {}", threaded.total(), analytic.total());
+        assert!(
+            rel < 1e-9,
+            "{name}: threaded {} vs analytic {}",
+            threaded.total(),
+            analytic.total()
+        );
     }
 }
 
@@ -73,7 +78,10 @@ fn weak_scaling_keeps_epoch_time_falling() {
     let mut last = f64::INFINITY;
     for nodes in [1usize, 2, 4, 8] {
         let t = model.predict_epoch(&metrics, 1_281_167, 64, nodes, nodes * 4);
-        assert!(t < last, "epoch time should fall with nodes: {t} at {nodes}");
+        assert!(
+            t < last,
+            "epoch time should fall with nodes: {t} at {nodes}"
+        );
         last = t;
     }
 }
@@ -102,7 +110,9 @@ fn alexnet_scales_worst_in_measured_data() {
     let throughput = |model: &str, nodes: usize| -> f64 {
         let pts: Vec<&TrainingPoint> = data
             .iter()
-            .filter(|p| p.model == model && p.nodes == nodes && p.batch == 64 && p.image_size == 128)
+            .filter(|p| {
+                p.model == model && p.nodes == nodes && p.batch == 64 && p.image_size == 128
+            })
             .collect();
         assert!(!pts.is_empty(), "{model}@{nodes}");
         pts.iter()
@@ -112,7 +122,13 @@ fn alexnet_scales_worst_in_measured_data() {
     };
     let speedup = |m: &str| throughput(m, 8) / throughput(m, 1);
     let alex = speedup("alexnet");
-    for other in ["resnet18", "resnet50", "vgg11", "mobilenet_v2", "wide_resnet50"] {
+    for other in [
+        "resnet18",
+        "resnet50",
+        "vgg11",
+        "mobilenet_v2",
+        "wide_resnet50",
+    ] {
         assert!(
             alex < speedup(other),
             "alexnet {alex:.2} !< {other} {:.2}",

@@ -24,7 +24,10 @@ fn precision_specific_models_predict_precision_specific_devices() {
     let own = (fp32_model.predict_metrics(&metrics, 64) / truth_fp32 - 1.0).abs();
     let cross = (fp32_model.predict_metrics(&metrics, 64) / truth_tf32 - 1.0).abs();
     assert!(own < 0.3, "own-device error {own}");
-    assert!(cross > own, "cross-precision use must be worse: {cross} vs {own}");
+    assert!(
+        cross > own,
+        "cross-precision use must be worse: {cross} vs {own}"
+    );
     let tf_own = (tf32_model.predict_metrics(&metrics, 64) / truth_tf32 - 1.0).abs();
     assert!(tf_own < 0.4, "tf32 own-device error {tf_own}");
 }
@@ -76,12 +79,15 @@ fn calibrated_profile_feeds_the_standard_fit() {
         })
         .collect();
     let cal = calibrate(&DeviceProfile::a100_80gb(), &obs);
-    let fitted = ForwardModel::fit(&inference_dataset(&cal.profile, &SweepConfig::quick()))
-        .unwrap();
+    let fitted =
+        ForwardModel::fit(&inference_dataset(&cal.profile, &SweepConfig::quick())).unwrap();
     let unseen = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let pred = fitted.predict_metrics(&unseen, 64);
     let real = expected_inference_time(&truth, &unseen, 64);
-    assert!((pred / real - 1.0).abs() < 0.3, "pred {pred} vs real {real}");
+    assert!(
+        (pred / real - 1.0).abs() < 0.3,
+        "pred {pred} vs real {real}"
+    );
 }
 
 #[test]
@@ -127,10 +133,8 @@ fn shufflenet_stresses_the_flops_only_baseline() {
     let pairs: Vec<_> = data.iter().map(|p| (p.metrics, p.measured)).collect();
     let flops_only = SingleMetricModel::fit(Metric::Flops, &pairs).unwrap();
 
-    let sn = ModelMetrics::of(
-        &zoo::by_name("shufflenet_v2_x1_0").unwrap().build(128, 1000),
-    )
-    .unwrap();
+    let sn =
+        ModelMetrics::of(&zoo::by_name("shufflenet_v2_x1_0").unwrap().build(128, 1000)).unwrap();
     let truth = expected_inference_time(&device, &sn, 64);
     let err_combined = (combined.predict_metrics(&sn, 64) / truth - 1.0).abs();
     let err_flops = (flops_only.predict(&sn.at_batch(64)) / truth - 1.0).abs();

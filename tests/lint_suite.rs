@@ -1,0 +1,64 @@
+//! Integration tests for the lint subsystem: the whole model zoo must lint
+//! without error-severity findings (no false positives), and randomly
+//! generated valid ConvNets must too (property-based).
+
+use convmeter_graph::{lint_graph, Severity};
+use convmeter_models::random::random_convnet;
+use convmeter_models::zoo;
+use proptest::prelude::*;
+
+/// Every zoo model, at its minimum and at the paper's 224 px, must produce
+/// zero error-severity diagnostics. Warnings (e.g. AlexNet's stem stride
+/// dropping border pixels — faithful to the real network) are allowed.
+#[test]
+fn zoo_wide_lint_sweep_has_no_errors() {
+    for spec in zoo::ZOO.iter().chain(zoo::EXTENDED_ZOO) {
+        for size in [spec.min_image_size, 224usize.max(spec.min_image_size)] {
+            let graph = spec.build(size, 1000);
+            let report = lint_graph(&graph);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{} @ {size}px produced lint errors:\n{report}",
+                spec.name
+            );
+            graph
+                .check()
+                .unwrap_or_else(|r| panic!("{} @ {size}px failed Graph::check():\n{r}", spec.name));
+        }
+    }
+}
+
+/// The fitted-model lints must also pass end-to-end on a healthy pipeline:
+/// simulate, fit, lint.
+#[test]
+fn fitted_model_lints_without_errors() {
+    use convmeter::prelude::*;
+    let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+    let model = ForwardModel::fit(&data).unwrap();
+    let report = convmeter::lint_forward_model(&model);
+    assert!(!report.has_errors(), "{report}");
+    let report = convmeter::lint_design_matrix(&data);
+    assert!(!report.has_errors(), "{report}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any structurally valid random ConvNet lints with zero errors: the
+    /// passes must never flag a graph that `infer_shapes` accepts.
+    #[test]
+    fn random_valid_graphs_lint_without_errors(seed in 0u64..400, size_idx in 0usize..3) {
+        let size = [32, 64, 128][size_idx];
+        let g = random_convnet(seed, size, 1000);
+        prop_assert!(g.infer_shapes().is_ok(), "generator must emit valid graphs");
+        let report = lint_graph(&g);
+        for d in &report.diagnostics {
+            prop_assert!(
+                d.severity < Severity::Error,
+                "seed {seed} @ {size}px: false-positive error {d}"
+            );
+        }
+        prop_assert!(g.check().is_ok());
+    }
+}

@@ -52,7 +52,10 @@ fn prediction_matches_simulation_for_planned_pipelines() {
             "{name}: predicted {predicted} vs simulated {} (rel {rel:.2})",
             sim.makespan
         );
-        assert!(predicted >= sim.makespan * 0.6, "{name}: must not badly underpredict");
+        assert!(
+            predicted >= sim.makespan * 0.6,
+            "{name}: must not badly underpredict"
+        );
     }
 }
 
@@ -106,16 +109,7 @@ fn balanced_plans_beat_naive_splits() {
                 },
             })
             .collect();
-        let naive = simulate_pipeline(
-            &device,
-            &metrics,
-            &naive_stages,
-            8,
-            32,
-            2.3e11,
-            0.0,
-            0,
-        );
+        let naive = simulate_pipeline(&device, &metrics, &naive_stages, 8, 32, 2.3e11, 0.0, 0);
         assert!(
             planned.makespan <= naive.makespan * 1.05,
             "planned {} should not lose to naive {}",

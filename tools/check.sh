@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tests. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> convmeter lint (zoo-wide, errors are fatal)"
+cargo run -q -p convmeter-cli --offline -- lint >/dev/null
+
+echo "all checks passed"
