@@ -1,0 +1,130 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the group/function/bencher surface the workspace's benches use,
+//! backed by a simple wall-clock loop: warm up once, run for a short fixed
+//! window, report mean ns/iter. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(name.to_string());
+        f(&mut b);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/id` labels).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(format!("{}/{}", self.name, id.0));
+        f(&mut b, input);
+    }
+
+    /// Run one benchmark in the group without an input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(format!("{}/{}", self.name, id.0));
+        f(&mut b);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label a benchmark by its parameter value.
+    pub fn from_parameter<D: std::fmt::Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Label a benchmark by function name and parameter value.
+    pub fn new<D: std::fmt::Display>(function: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    fn new(label: String) -> Self {
+        Bencher { label }
+    }
+
+    /// Measure `f`, printing mean wall-clock time per iteration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(f()); // warm-up
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() / iters as u128;
+        println!(
+            "{:<55} {:>12} ns/iter  ({} iters)",
+            self.label, per_iter, iters
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

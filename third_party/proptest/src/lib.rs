@@ -1,0 +1,301 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset used by this workspace: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, `name in strategy` arguments
+//! over numeric ranges, `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` assertions. Unlike upstream proptest, case generation is
+//! fully deterministic (seeded per case index) and there is no shrinking —
+//! a failing case reports its arguments instead.
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim keeps the lighter 64 since every
+        // case is deterministic anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the generated cases for one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Build a runner from a config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The deterministic random source for case `case`.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        // Decorrelate consecutive case indices.
+        TestRng {
+            state: (case as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        }
+    }
+}
+
+/// A source of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Element types admissible in range strategies. A single blanket impl of
+/// [`Strategy`] over this trait keeps inference working for untyped literals.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+                let span = (hi - lo) as u64 + inclusive as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(usize, u8, u16, u32, u64, i32, i64);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, _inclusive: bool, rng: &mut TestRng) -> Self {
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+uniform_float!(f64, f32);
+
+impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "proptest shim: empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "proptest shim: empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// An inclusive-exclusive size constraint for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "proptest shim: empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy: `len` in the size range, elements from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate a `Vec` whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `prop` re-export (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Assert inside a property; on failure the current case returns an error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Define deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = <$crate::ProptestConfig as Default>::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($config);
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {:?}",
+                        case + 1,
+                        runner.cases(),
+                        e,
+                        ($(&$arg,)*)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}

@@ -1,0 +1,182 @@
+//! Offline shim for `rand`.
+//!
+//! A deterministic SplitMix64-based [`rngs::StdRng`] behind the small trait
+//! surface this workspace uses: `SeedableRng::seed_from_u64`,
+//! `RngExt::random::<f64>()`, and `RngExt::random_range(..)` over integer and
+//! float ranges. Sequences are stable across runs and platforms (seeded
+//! experiments stay reproducible) but do not match upstream `rand` streams.
+
+/// Core generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types samplable uniformly from the generator's full output.
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Element types admissible in `random_range`. A single blanket impl of
+/// [`SampleRange`] over this trait (as in upstream rand) keeps type
+/// inference working for untyped literals like `16..=48` and `1.2..2.2`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let span = (hi - lo) as u64 + inclusive as u64;
+                if span == 0 {
+                    // Full-width inclusive range: every value is admissible.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(usize, u8, u16, u32, u64, i32, i64);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, _inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + unit as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+uniform_float!(f64, f32);
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value from the range. Panics on an empty range.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+impl<T: SampleUniform> SampleRange for core::ops::Range<T> {
+    type Output = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange for core::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// Convenience sampling methods, auto-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draw a value of `T` from its standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = rng.random_range(0..7usize);
+            assert!(u < 7);
+            let i = rng.random_range(16..=48);
+            assert!((16..=48).contains(&i));
+            let f = rng.random_range(1.2..2.2);
+            assert!((1.2..2.2).contains(&f));
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

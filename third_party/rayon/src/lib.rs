@@ -1,0 +1,45 @@
+//! Offline shim for `rayon`.
+//!
+//! `par_iter()` returns the ordinary sequential slice iterator; the adapters
+//! the workspace uses (`filter_map`, `flat_map_iter`, `collect`) then come
+//! from `std::iter::Iterator`. The sweep code documents that its results are
+//! independent of rayon's scheduling, so sequential execution is
+//! observationally identical — just not parallel.
+
+pub mod prelude {
+    /// `.par_iter()` on slices and vectors (sequential here).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator produced.
+        type Iter: Iterator;
+        /// Iterate by reference, "in parallel".
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// Rayon-specific adapters, expressed over plain iterators.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}

@@ -1,0 +1,184 @@
+//! Deserialisation: reconstruct Rust values from the shared [`Value`] model.
+
+use crate::value::Value;
+
+/// Deserialisation error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be reconstructed from the JSON-like [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent. Types with a natural "absent"
+    /// representation (`Option`) override this; everything else errors.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Marker for types deserialisable without borrowing, mirroring serde's
+/// `DeserializeOwned`. The shim's `Deserialize` never borrows, so this is a
+/// blanket alias.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Fetch and deserialise a struct field from object pairs (derive helper).
+pub fn field<T: Deserialize>(pairs: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match pairs.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::missing_field(name),
+    }
+}
+
+fn type_err<T>(expected: &str, v: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        v.kind()
+    )))
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => type_err("bool", v),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected unsigned integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => type_err("string", v),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => type_err("array", v),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => type_err("2-element array", v),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => type_err("3-element array", v),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => type_err("object", v),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

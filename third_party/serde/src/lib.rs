@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Implements the `Serialize`/`Deserialize` traits over an in-memory
+//! JSON-like [`value::Value`] model instead of serde's visitor-based data
+//! model. The `serde_derive` companion crate provides `#[derive(Serialize,
+//! Deserialize)]` macros that generate impls against these traits, and the
+//! `serde_json` shim prints/parses [`value::Value`] as JSON text. Only the
+//! API surface this workspace uses is provided.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+// Derive macros share the trait names, exactly as in real serde.
+pub use serde_derive::{Deserialize, Serialize};

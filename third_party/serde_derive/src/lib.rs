@@ -1,0 +1,544 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros that
+//! target the shim `serde` crate's value-model traits. No `syn`/`quote`:
+//! the item declaration is parsed directly from the raw [`TokenStream`] and
+//! the generated impl is emitted as source text and re-parsed.
+//!
+//! Supported item shapes (everything this workspace derives on):
+//! named-field structs (with generics), tuple/newtype structs, unit structs,
+//! and enums with unit, tuple, and struct variants. The only field attribute
+//! honoured is `#[serde(rename = "...")]`; any other `#[serde(...)]`
+//! attribute is a hard error so silently-wrong behaviour can't slip in.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    /// Rust field identifier.
+    ident: String,
+    /// JSON key (after `rename`).
+    json_name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    params: Vec<String>,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes / doc comments / visibility up to the keyword.
+    let mut is_enum = false;
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            other => panic!("serde_derive shim: unexpected token before item keyword: {other}"),
+        }
+    }
+
+    let name = tokens[i].to_string();
+    i += 1;
+
+    // Generic parameters: collect type-parameter names, ignore bounds.
+    let mut params = Vec::new();
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut prev = ' ';
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' && prev != '-' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 1 {
+                        expect_param = true;
+                    }
+                    prev = c;
+                }
+                TokenTree::Ident(id) => {
+                    if expect_param && depth == 1 && prev != '\'' {
+                        let s = id.to_string();
+                        if s != "const" {
+                            params.push(s);
+                        }
+                        expect_param = false;
+                    }
+                    prev = ' ';
+                }
+                _ => prev = ' ',
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a where-clause if present (body is always a brace group after it).
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+            i += 1;
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                ItemKind::Enum(parse_variants(g))
+            } else {
+                ItemKind::Named(parse_named_fields(g))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Tuple(count_tuple_fields(g))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Unit,
+        other => panic!("serde_derive shim: unexpected item body: {other:?}"),
+    };
+
+    Item { name, params, kind }
+}
+
+/// Parse `name: Type, ...` pairs inside a brace group, honouring
+/// `#[serde(rename = "...")]`.
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut rename: Option<String> = None;
+        while i + 1 < toks.len() && matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let TokenTree::Group(attr) = &toks[i + 1] {
+                if let Some(r) = serde_rename(attr) {
+                    rename = Some(r);
+                }
+            }
+            i += 2;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(gr) if gr.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let ident = toks[i].to_string();
+        i += 2; // field name + ':'
+
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        let mut prev = ' ';
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' && prev != '-' {
+                    angle -= 1;
+                } else if c == ',' && angle == 0 {
+                    i += 1;
+                    break;
+                }
+                prev = c;
+            } else {
+                prev = ' ';
+            }
+            i += 1;
+        }
+
+        out.push(Field {
+            json_name: rename.unwrap_or_else(|| ident.clone()),
+            ident,
+        });
+    }
+    out
+}
+
+/// Count comma-separated fields in a tuple-struct / tuple-variant group.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut prev = ' ';
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && prev != '-' {
+                angle -= 1;
+            } else if c == ',' && angle == 0 {
+                count += 1;
+                trailing_comma = true;
+            }
+            prev = c;
+        } else {
+            prev = ' ';
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        while i + 1 < toks.len() && matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(vg))
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(vg))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the variant separator (also skips `= discriminant`).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+/// Extract `rename = "..."` from a `[serde(...)]` attribute group, if any.
+/// Non-`serde` attributes (docs, `cfg`, ...) return `None`; a `serde`
+/// attribute with anything other than `rename` is rejected loudly.
+fn serde_rename(attr: &Group) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde_derive shim: malformed #[serde] attribute: {other:?}"),
+    };
+    let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match (inner_toks.first(), inner_toks.get(1), inner_toks.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "rename" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "serde_derive shim: unsupported #[serde(...)] attribute (only `rename = \"...\"`)"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `(impl generics with bound, type generics)` for the impl header.
+fn generics(item: &Item, bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = item
+        .params
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", item.params.join(", ")),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics(item, "::serde::ser::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Named(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::ser::Serialize::to_value(&self.{})),",
+                        f.json_name, f.ident
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(vec![{pairs}])")
+        }
+        ItemKind::Tuple(1) => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::ser::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{items}])")
+        }
+        ItemKind::Unit => "::serde::value::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::ser::Serialize for {name}{ty_g} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vn} => ::serde::value::Value::Str({vn:?}.to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vn}(f0) => ::serde::value::Value::Object(vec![\
+                 ({vn:?}.to_string(), ::serde::ser::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::ser::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{vn}({}) => ::serde::value::Value::Object(vec![\
+                     ({vn:?}.to_string(), ::serde::value::Value::Array(vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.ident.as_str()).collect();
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::ser::Serialize::to_value({})),",
+                        f.json_name, f.ident
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {} }} => ::serde::value::Value::Object(vec![\
+                     ({vn:?}.to_string(), ::serde::value::Value::Object(vec![{pairs}]))]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics(item, "::serde::de::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: ::serde::de::field(pairs, {:?})?,",
+                        f.ident, f.json_name
+                    )
+                })
+                .collect();
+            format!(
+                "let pairs = v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                     format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::de::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::de::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::de::Error::custom(\
+                     format!(\"{name}: expected array, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::de::Error::custom(\
+                         format!(\"{name}: expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Unit => format!("::core::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl{impl_g} ::serde::de::Deserialize for {name}{ty_g} {{\n\
+             fn from_value(v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::de::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::core::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"{name}: unknown unit variant `{{other}}`\"))),\n\
+             }},\n\
+             ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, payload) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                         format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: expected variant string or single-key object, found {{}}\", \
+                     v.kind()))),\n\
+         }}"
+    )
+}
+
+fn de_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantKind::Tuple(1) => format!(
+            "{vn:?} => ::core::result::Result::Ok(\
+                 {enum_name}::{vn}(::serde::de::Deserialize::from_value(payload)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::de::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                     let items = payload.as_array().ok_or_else(|| \
+                         ::serde::de::Error::custom(format!(\
+                             \"{enum_name}::{vn}: expected array, found {{}}\", \
+                             payload.kind())))?;\n\
+                     if items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::de::Error::custom(\
+                             format!(\"{enum_name}::{vn}: expected {n} elements, found {{}}\", \
+                                 items.len())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({enum_name}::{vn}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{}: ::serde::de::field(fp, {:?})?,", f.ident, f.json_name))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                     let fp = payload.as_object().ok_or_else(|| \
+                         ::serde::de::Error::custom(format!(\
+                             \"{enum_name}::{vn}: expected object, found {{}}\", \
+                             payload.kind())))?;\n\
+                     ::core::result::Result::Ok({enum_name}::{vn} {{ {inits} }})\n\
+                 }}"
+            )
+        }
+    }
+}
