@@ -1,245 +1,5 @@
-//! Ablation studies for the design choices called out in DESIGN.md §6:
-//!
-//! 1. metric subsets (single, pairs, full triple) for the forward model,
-//! 2. leave-one-model-out vs in-sample fitting,
-//! 3. intercept `c4` on/off,
-//! 4. ridge damping levels,
-//! 5. fused 7-coefficient backward+gradient vs independently fitted phases,
-//! 6. error breakdown by batch size (the paper's "prediction is more
-//!    accurate for larger batch sizes" claim, quantified),
-//! 7. BatchNorm folding: metrics and predictions on deployment-style
-//!    (BN-folded) graphs vs the training-style graphs.
-
-use convmeter::features::forward_features;
-use convmeter::prelude::*;
-use convmeter_bench::report::{save_json, Table};
-use convmeter_linalg::stats::ErrorReport;
-use convmeter_linalg::LinearRegression;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AblationOutcome {
-    name: String,
-    variant: String,
-    report: ErrorReport,
-}
-
-fn fit_subset(
-    data: &[InferencePoint],
-    columns: &[usize],
-    intercept: bool,
-    ridge: f64,
-) -> ErrorReport {
-    let xs: Vec<Vec<f64>> = data
-        .iter()
-        .map(|p| {
-            let f = forward_features(&p.metrics);
-            columns.iter().map(|&c| f[c]).collect()
-        })
-        .collect();
-    let ys: Vec<f64> = data.iter().map(|p| p.measured).collect();
-    let reg = LinearRegression::new()
-        .with_intercept(intercept)
-        .with_ridge(ridge)
-        .fit(&xs, &ys)
-        .expect("ablation fit");
-    ErrorReport::compute(&reg.predict_batch(&xs), &ys)
-}
+//! Regenerate the `ablations` artefact through the experiment engine.
 
 fn main() {
-    let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
-    let mut outcomes = Vec::new();
-
-    // 1. Metric subsets.
-    let mut t = Table::new(
-        "Ablation 1: metric subsets (GPU inference, in-sample)",
-        &["features", "R2", "MAPE"],
-    );
-    let subsets: &[(&str, &[usize])] = &[
-        ("F", &[0]),
-        ("I", &[1]),
-        ("O", &[2]),
-        ("F+I", &[0, 1]),
-        ("F+O", &[0, 2]),
-        ("I+O", &[1, 2]),
-        ("F+I+O", &[0, 1, 2]),
-    ];
-    for &(name, cols) in subsets {
-        let r = fit_subset(&data, cols, true, 1e-6);
-        t.row(vec![
-            name.into(),
-            format!("{:.3}", r.r2),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "metric-subsets".into(),
-            variant: name.into(),
-            report: r,
-        });
-    }
-    t.print();
-
-    // 2. LOOCV vs in-sample.
-    let (_, _, held_out) = leave_one_model_out_inference(&data).expect("loocv");
-    let in_sample = fit_subset(&data, &[0, 1, 2], true, 1e-6);
-    let mut t = Table::new(
-        "Ablation 2: generalisation (GPU inference)",
-        &["protocol", "R2", "MAPE"],
-    );
-    for (name, r) in [("in-sample", in_sample), ("leave-one-model-out", held_out)] {
-        t.row(vec![
-            name.into(),
-            format!("{:.3}", r.r2),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "generalisation".into(),
-            variant: name.into(),
-            report: r,
-        });
-    }
-    t.print();
-
-    // 3. Intercept on/off.
-    let mut t = Table::new(
-        "Ablation 3: intercept c4 (GPU inference, in-sample)",
-        &["variant", "R2", "MAPE"],
-    );
-    for (name, on) in [("with c4", true), ("without c4", false)] {
-        let r = fit_subset(&data, &[0, 1, 2], on, 1e-6);
-        t.row(vec![
-            name.into(),
-            format!("{:.3}", r.r2),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "intercept".into(),
-            variant: name.into(),
-            report: r,
-        });
-    }
-    t.print();
-
-    // 4. Ridge levels.
-    let mut t = Table::new(
-        "Ablation 4: ridge damping (GPU inference, in-sample)",
-        &["lambda", "R2", "MAPE"],
-    );
-    for lambda in [1e-9, 1e-6, 1e-3, 1.0] {
-        let r = fit_subset(&data, &[0, 1, 2], true, lambda);
-        t.row(vec![
-            format!("{lambda:.0e}"),
-            format!("{:.3}", r.r2),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "ridge".into(),
-            variant: format!("{lambda:.0e}"),
-            report: r,
-        });
-    }
-    t.print();
-
-    // 5 & 6. Training-model composition on the distributed dataset.
-    let dist = distributed_dataset(&device, &DistSweepConfig::paper());
-    let model = TrainingModel::fit(&dist).expect("training fit");
-    let meas: Vec<f64> = dist.iter().map(|p| p.step_time()).collect();
-    let fused: Vec<f64> = dist
-        .iter()
-        .map(|p| model.predict_step(&p.metrics, p.nodes))
-        .collect();
-    let separate: Vec<f64> = dist
-        .iter()
-        .map(|p| {
-            model.predict_forward(&p.metrics)
-                + model.predict_backward(&p.metrics)
-                + model.predict_grad_update(&p.metrics, p.nodes)
-        })
-        .collect();
-    let mut t = Table::new(
-        "Ablation 5: fused bwd+grad vs separate phases (distributed, in-sample)",
-        &["variant", "R2", "MAPE"],
-    );
-    for (name, preds) in [("fused (7 coef)", &fused), ("separate phases", &separate)] {
-        let r = ErrorReport::compute(preds, &meas);
-        t.row(vec![
-            name.into(),
-            format!("{:.3}", r.r2),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "fused-vs-separate".into(),
-            variant: name.into(),
-            report: r,
-        });
-    }
-    t.print();
-
-    // 6. Error breakdown by batch size.
-    let (_, scatter, _) = leave_one_model_out_inference(&data).expect("loocv");
-    let by_batch = convmeter::breakdown_by(&scatter, |s| s.batch);
-    let mut t = Table::new(
-        "Ablation 6: held-out error by batch size (GPU inference)",
-        &["batch", "points", "MAPE"],
-    );
-    for (batch, r) in &by_batch {
-        t.row(vec![
-            batch.to_string(),
-            r.n.to_string(),
-            format!("{:.3}", r.mape),
-        ]);
-        outcomes.push(AblationOutcome {
-            name: "by-batch".into(),
-            variant: batch.to_string(),
-            report: *r,
-        });
-    }
-    t.print();
-    println!("Paper: \"the prediction is more accurate for larger batch sizes.\"\n");
-
-    // 7. BatchNorm folding.
-    let mut t = Table::new(
-        "Ablation 7: BN folding (metrics deltas at 224 px)",
-        &[
-            "model",
-            "nodes",
-            "folded nodes",
-            "param delta",
-            "pred delta (b32)",
-        ],
-    );
-    let fwd_model = {
-        let xs: Vec<Vec<f64>> = data
-            .iter()
-            .map(|p| convmeter::features::forward_features(&p.metrics))
-            .collect();
-        let ys: Vec<f64> = data.iter().map(|p| p.measured).collect();
-        convmeter::ForwardModel::fit_raw(&xs, &ys).expect("fit")
-    };
-    for name in ["resnet50", "mobilenet_v2", "densenet121"] {
-        let graph = convmeter_models::zoo::by_name(name)
-            .unwrap()
-            .build(224, 1000);
-        let folded = convmeter_graph::fold_batch_norm(&graph);
-        let m = convmeter_metrics::ModelMetrics::of(&graph).unwrap();
-        let mf = convmeter_metrics::ModelMetrics::of(&folded).unwrap();
-        let p = fwd_model.predict_metrics(&m, 32);
-        let pf = fwd_model.predict_metrics(&mf, 32);
-        t.row(vec![
-            name.into(),
-            graph.len().to_string(),
-            folded.len().to_string(),
-            format!(
-                "{:+.2} %",
-                (mf.weights as f64 / m.weights as f64 - 1.0) * 100.0
-            ),
-            format!("{:+.2} %", (pf / p - 1.0) * 100.0),
-        ]);
-    }
-    t.print();
-    println!("Deployment runtimes fold BN into convolutions; the prediction shift is the\nbias incurred by fitting on unfolded graphs and predicting folded ones.\n");
-
-    let _ = save_json("ablations", &outcomes);
-    println!("Ablation results written to results/ablations.json");
+    convmeter_bench::engine::main_only(&["ablations"]);
 }

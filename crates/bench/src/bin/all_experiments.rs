@@ -1,29 +1,5 @@
-//! Regenerate every table and figure in one run (writes results/*.json).
+//! Regenerate every registered experiment through the engine.
+
 fn main() {
-    use convmeter_bench as b;
-    println!("[1/10] Table 1 ...");
-    b::exp_inference::print_table1(&b::exp_inference::table1());
-    println!("[2/10] Figure 2 ...");
-    b::exp_inference::print_fig2(&b::exp_inference::fig2());
-    println!("[3/10] Figure 3 ...");
-    b::exp_inference::print_fig3(&b::exp_inference::fig3());
-    println!("[4/10] Table 2 / Figure 4 ...");
-    let t2 = b::exp_blocks::table2();
-    b::exp_blocks::print_table2(&t2);
-    let _ = b::report::save_json("fig4", &t2.scatter);
-    println!("[5/10] Table 3 + Figures 5 & 7 ...");
-    let (t3, f5, f7) = b::exp_training::table3();
-    b::exp_training::print_table3(&t3);
-    b::exp_training::print_phases("fig5", "Figure 5: training phases, single A100", &f5);
-    b::exp_training::print_phases("fig7", "Figure 7: training phases, multi-node", &f7);
-    println!("[8/10] Figure 6 ...");
-    b::exp_compare::print_fig6(&b::exp_compare::fig6());
-    println!("[9/10] Figure 8 ...");
-    b::exp_scaling::print_fig8(&b::exp_scaling::fig8());
-    println!("[10/10] Figure 9 ...");
-    b::exp_scaling::print_fig9(&b::exp_scaling::fig9());
-    println!(
-        "All experiment outputs written to {}",
-        b::report::results_dir().display()
-    );
+    convmeter_bench::engine::main_all();
 }

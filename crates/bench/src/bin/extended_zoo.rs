@@ -1,85 +1,5 @@
-//! Out-of-distribution generalisation: fit ConvMeter on the paper's
-//! 17-model benchmark zoo, then predict the 15 *extended* architectures it
-//! has never seen — deeper ResNets/VGGs/DenseNets, compound-scaled
-//! EfficientNets, RegNetY with SE, MobileNetV3-Small, and ShuffleNetV2
-//! (whose channel-shuffle ops do not even occur in the training set).
-//!
-//! This is the strongest version of the paper's "predicting new unseen
-//! ConvNets without extra tuning steps" claim: the held-out networks are
-//! entire unseen *families*, not one member of a family seen in training.
-
-use convmeter::prelude::*;
-use convmeter_bench::report::{save_json, Table};
-use convmeter_hwsim::{measure_inference, NoiseModel};
-use convmeter_linalg::stats::ErrorReport;
-use convmeter_metrics::ModelMetrics;
-use convmeter_models::zoo;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ExtendedRow {
-    model: String,
-    report: ErrorReport,
-}
+//! Regenerate the `extended_zoo` artefact through the experiment engine.
 
 fn main() {
-    let device = DeviceProfile::a100_80gb();
-    // Fit on the paper zoo only (the standard GPU sweep).
-    let train = inference_dataset(&device, &SweepConfig::paper_gpu());
-    let model = ForwardModel::fit(&train).expect("fit");
-    let profile = model.residual_profile(&train);
-
-    let batches = [1usize, 4, 16, 64, 256];
-    let images = [64usize, 128, 224];
-    let mut t = Table::new(
-        "Extended zoo: unseen architecture families (fit on the paper's 17 models)",
-        &["model", "points", "R2", "MAPE", "in 95% interval"],
-    );
-    let mut rows = Vec::new();
-    let mut all_pred = Vec::new();
-    let mut all_meas = Vec::new();
-    for spec in zoo::EXTENDED_ZOO {
-        let mut preds = Vec::new();
-        let mut meas = Vec::new();
-        let mut covered = 0usize;
-        for &image in &images {
-            if !spec.supports(image) {
-                continue;
-            }
-            let metrics = ModelMetrics::of(&spec.build(image, 1000)).expect("zoo validates");
-            for (bi, &batch) in batches.iter().enumerate() {
-                let mut noise =
-                    NoiseModel::new(0xE07 + bi as u64 * 131 + image as u64, device.noise_sigma);
-                let measured = measure_inference(&device, &metrics, batch, &mut noise);
-                let predicted = model.predict_metrics(&metrics, batch);
-                let (lo, _, hi) = profile.interval(predicted, 1.96);
-                if measured >= lo && measured <= hi {
-                    covered += 1;
-                }
-                preds.push(predicted);
-                meas.push(measured);
-            }
-        }
-        let report = ErrorReport::compute(&preds, &meas);
-        t.row(vec![
-            spec.name.to_string(),
-            preds.len().to_string(),
-            format!("{:.3}", report.r2),
-            format!("{:.3}", report.mape),
-            format!("{}/{}", covered, preds.len()),
-        ]);
-        all_pred.extend(preds);
-        all_meas.extend(meas);
-        rows.push(ExtendedRow {
-            model: spec.name.to_string(),
-            report,
-        });
-    }
-    t.print();
-    let overall = ErrorReport::compute(&all_pred, &all_meas);
-    println!(
-        "Overall on {} unseen-family points: {overall}\n(The paper's Table 1 holds out one model at a time; this holds out whole families.)",
-        overall.n
-    );
-    let _ = save_json("extended_zoo", &rows);
+    convmeter_bench::engine::main_only(&["extended_zoo"]);
 }

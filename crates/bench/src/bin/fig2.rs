@@ -1,5 +1,5 @@
-//! Regenerate Figure 2: single-metric vs combined inference prediction.
+//! Regenerate the `fig2` artefact through the experiment engine.
+
 fn main() {
-    let series = convmeter_bench::exp_inference::fig2();
-    convmeter_bench::exp_inference::print_fig2(&series);
+    convmeter_bench::engine::main_only(&["fig2"]);
 }

@@ -1,5 +1,5 @@
-//! Regenerate Figure 3: measured-vs-predicted inference scatter (CPU & GPU).
+//! Regenerate the `fig3` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_inference::fig3();
-    convmeter_bench::exp_inference::print_fig3(&result);
+    convmeter_bench::engine::main_only(&["fig3"]);
 }

@@ -1,10 +1,5 @@
-//! Regenerate Figure 4: block-wise inference scatter (same data as Table 2).
+//! Regenerate the `fig4` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_blocks::table2();
-    println!(
-        "Figure 4 scatter: {} points, overall {}",
-        result.scatter.len(),
-        result.overall
-    );
-    let _ = convmeter_bench::report::save_json("fig4", &result.scatter);
+    convmeter_bench::engine::main_only(&["fig4"]);
 }

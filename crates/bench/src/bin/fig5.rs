@@ -1,9 +1,5 @@
-//! Regenerate Figure 5: single-GPU training-phase prediction scatter.
+//! Regenerate the `fig5` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_training::fig5();
-    convmeter_bench::exp_training::print_phases(
-        "fig5",
-        "Figure 5: training phases, single A100 (held-out)",
-        &result,
-    );
+    convmeter_bench::engine::main_only(&["fig5"]);
 }

@@ -1,5 +1,5 @@
-//! Regenerate Figure 6: ConvMeter vs DIPPM-surrogate MAPE comparison.
+//! Regenerate the `fig6` artefact through the experiment engine.
+
 fn main() {
-    let rows = convmeter_bench::exp_compare::fig6();
-    convmeter_bench::exp_compare::print_fig6(&rows);
+    convmeter_bench::engine::main_only(&["fig6"]);
 }

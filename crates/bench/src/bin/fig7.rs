@@ -1,9 +1,5 @@
-//! Regenerate Figure 7: distributed training-phase prediction scatter.
+//! Regenerate the `fig7` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_training::fig7();
-    convmeter_bench::exp_training::print_phases(
-        "fig7",
-        "Figure 7: training phases, multi-node A100 cluster (held-out)",
-        &result,
-    );
+    convmeter_bench::engine::main_only(&["fig7"]);
 }

@@ -1,5 +1,5 @@
-//! Regenerate Figure 8: throughput vs node count per ConvNet.
+//! Regenerate the `fig8` artefact through the experiment engine.
+
 fn main() {
-    let curves = convmeter_bench::exp_scaling::fig8();
-    convmeter_bench::exp_scaling::print_fig8(&curves);
+    convmeter_bench::engine::main_only(&["fig8"]);
 }

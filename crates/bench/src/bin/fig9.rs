@@ -1,5 +1,5 @@
-//! Regenerate Figure 9: throughput vs batch size per ConvNet.
+//! Regenerate the `fig9` artefact through the experiment engine.
+
 fn main() {
-    let curves = convmeter_bench::exp_scaling::fig9();
-    convmeter_bench::exp_scaling::print_fig9(&curves);
+    convmeter_bench::engine::main_only(&["fig9"]);
 }

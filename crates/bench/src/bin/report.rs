@@ -262,11 +262,26 @@ fn main() {
         missing.push("fig9");
     }
 
-    if !missing.is_empty() {
+    // Completeness from the registry itself: every artefact any registered
+    // experiment declares, not just the ones this report renders.
+    drop(missing);
+    let dir = results_dir();
+    let declared: Vec<&str> = convmeter_bench::engine::registry()
+        .iter()
+        .flat_map(|e| e.artifacts().iter().copied())
+        .collect();
+    let absent: Vec<&str> = declared
+        .iter()
+        .copied()
+        .filter(|a| !dir.join(format!("{a}.json")).exists())
+        .collect();
+    if !absent.is_empty() {
         let _ = writeln!(
             md,
-            "---\n\nMissing artefacts (run `all_experiments` to generate): {}\n",
-            missing.join(", ")
+            "---\n\nMissing artefacts ({} of {} — run `convmeter bench` to generate): {}\n",
+            absent.len(),
+            declared.len(),
+            absent.join(", ")
         );
     }
 
@@ -274,10 +289,10 @@ fn main() {
     println!(
         "REPORT.md written ({} bytes){}",
         md.len(),
-        if missing.is_empty() {
+        if absent.is_empty() {
             String::new()
         } else {
-            format!("; {} artefacts missing", missing.len())
+            format!("; {}/{} artefacts missing", absent.len(), declared.len())
         }
     );
 }

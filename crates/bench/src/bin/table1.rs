@@ -1,5 +1,5 @@
-//! Regenerate Table 1: per-ConvNet inference prediction errors (CPU & GPU).
+//! Regenerate the `table1` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_inference::table1();
-    convmeter_bench::exp_inference::print_table1(&result);
+    convmeter_bench::engine::main_only(&["table1"]);
 }

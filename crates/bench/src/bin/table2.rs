@@ -1,5 +1,5 @@
-//! Regenerate Table 2: block-wise inference prediction errors.
+//! Regenerate the `table2` artefact through the experiment engine.
+
 fn main() {
-    let result = convmeter_bench::exp_blocks::table2();
-    convmeter_bench::exp_blocks::print_table2(&result);
+    convmeter_bench::engine::main_only(&["table2"]);
 }

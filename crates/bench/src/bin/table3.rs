@@ -1,5 +1,5 @@
-//! Regenerate Table 3: training-step prediction errors (single GPU & multi-node).
+//! Regenerate the `table3` artefact through the experiment engine.
+
 fn main() {
-    let (result, _, _) = convmeter_bench::exp_training::table3();
-    convmeter_bench::exp_training::print_table3(&result);
+    convmeter_bench::engine::main_only(&["table3"]);
 }

@@ -1,85 +1,5 @@
-//! Future-work extension: vision transformers.
-//!
-//! The paper closes with "we aim to analyze other DNNs, such as language
-//! models and vision transformers", arguing the same analogy applies "with
-//! minor effort". This experiment performs that transfer: benchmark the ViT
-//! family on the simulated A100 and fit exactly the same 4-coefficient
-//! linear pipeline, with the paper's conv-layer I/O sums generalised to the
-//! dominant compute layers (token linears + attention) — the literal "same
-//! analogy". Evaluation is leave-one-model-out, as in Table 1.
-
-use convmeter::prelude::*;
-use convmeter_bench::report::{save_json, Table};
-use convmeter_hwsim::{measure_inference, NoiseModel};
-use convmeter_linalg::stats::ErrorReport;
-use convmeter_metrics::ModelMetrics;
-use convmeter_models::vit::{vit_b_16, vit_b_32, vit_l_16};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct VitRow {
-    model: String,
-    report: ErrorReport,
-}
+//! Regenerate the `transformers` artefact through the experiment engine.
 
 fn main() {
-    let device = DeviceProfile::a100_80gb();
-    type Builder = fn(usize, usize) -> convmeter_graph::Graph;
-    let builders: [(&str, Builder); 3] = [
-        ("vit_b_32", vit_b_32),
-        ("vit_b_16", vit_b_16),
-        ("vit_l_16", vit_l_16),
-    ];
-    // Image sizes divisible by both patch sizes.
-    let images = [96usize, 160, 224, 288];
-    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
-
-    // Collect the benchmark dataset.
-    let mut points: Vec<InferencePoint> = Vec::new();
-    for (name, build) in builders {
-        for &image in &images {
-            let metrics = ModelMetrics::of(&build(image, 1000)).expect("vits validate");
-            for (bi, &batch) in batches.iter().enumerate() {
-                let mut noise =
-                    NoiseModel::new(0x517 + bi as u64 * 977 + image as u64, device.noise_sigma);
-                let measured = measure_inference(&device, &metrics, batch, &mut noise);
-                if measured > 0.25 {
-                    continue; // same runtime cap policy as the CNN sweeps
-                }
-                points.push(InferencePoint {
-                    model: name.to_string(),
-                    image_size: image,
-                    batch,
-                    metrics: metrics.at_batch(batch),
-                    measured,
-                });
-            }
-        }
-    }
-
-    // Leave-one-model-out with the unchanged ConvMeter pipeline.
-    let (reports, _, overall) = leave_one_model_out_inference(&points).expect("vit loocv");
-    let mut t = Table::new(
-        "Extension: ConvMeter on vision transformers (A100 sim, held-out)",
-        &["model", "points", "R2", "NRMSE", "MAPE"],
-    );
-    let mut rows = Vec::new();
-    for r in &reports {
-        t.row(vec![
-            r.model.clone(),
-            r.report.n.to_string(),
-            format!("{:.3}", r.report.r2),
-            format!("{:.3}", r.report.nrmse),
-            format!("{:.3}", r.report.mape),
-        ]);
-        rows.push(VitRow {
-            model: r.model.clone(),
-            report: r.report,
-        });
-    }
-    t.print();
-    println!(
-        "Overall: {overall}\nPaper (outlook): \"the same analogy can potentially be applied ... with\nminor effort\". The minor effort is one definition change: I/O sums over\ntoken ops instead of convolutions. Four coefficients still suffice.",
-    );
-    let _ = save_json("ext_transformers", &rows);
+    convmeter_bench::engine::main_only(&["transformers"]);
 }

@@ -1,0 +1,408 @@
+//! The unified experiment engine.
+//!
+//! Every paper artefact (tables, figures, ablations, extensions) is one
+//! [`Experiment`] in a typed [`registry`]. The engine resolves each
+//! experiment's dataset dependencies through a shared content-addressed
+//! [`DatasetStore`] — so the expensive benchmark sweeps run exactly once per
+//! distinct configuration, in-process and across processes — executes
+//! independent experiments in parallel with deterministic output ordering,
+//! writes every artefact under the results directory, and records the whole
+//! run in `results/manifest.json`.
+//!
+//! ```text
+//! registry() ──▶ Engine::run ──▶ [worker pool] ──▶ Experiment::run(ctx)
+//!                                      │                  │
+//!                                      │                  ▼
+//!                                      │           DatasetStore (memo + disk cache)
+//!                                      ▼
+//!                     artefact JSON + rendered tables + manifest.json
+//! ```
+
+pub mod pool;
+pub mod registry;
+pub mod store;
+
+pub use registry::registry;
+pub use store::{DatasetSpec, DatasetStats, DatasetStore, CACHE_FORMAT};
+
+use convmeter::dataset::{InferencePoint, TrainingPoint};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors the engine can surface. All artefact-write failures abort the run
+/// with a non-zero exit; cache problems only warn (see [`store`]).
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem failure while writing an artefact or the manifest.
+    Io {
+        /// What was being written.
+        context: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A dataset spec of the wrong kind was requested from a typed getter.
+    WrongKind {
+        /// The offending spec's cache key.
+        key: String,
+        /// The getter's expected kind family.
+        expected: &'static str,
+    },
+    /// `--only` named an experiment that is not in the registry.
+    UnknownExperiment {
+        /// The unmatched name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io { context, source } => write!(f, "writing {context}: {source}"),
+            EngineError::WrongKind { key, expected } => {
+                write!(f, "dataset {key} requested through the {expected} getter")
+            }
+            EngineError::UnknownExperiment { name } => {
+                write!(
+                    f,
+                    "unknown experiment '{name}' (run with --list to see the registry)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What an experiment hands back: JSON artefacts plus the rendered text
+/// tables that used to go straight to stdout.
+pub struct RunOutput {
+    /// Artefacts to write as `results/<name>.json`.
+    pub artifacts: Vec<Artifact>,
+    /// Human-readable rendering, printed after the run in registry order.
+    pub rendered: String,
+}
+
+/// One named JSON artefact.
+pub struct Artifact {
+    /// File stem under the results directory.
+    pub name: String,
+    /// The payload.
+    pub value: serde_json::Value,
+}
+
+impl Artifact {
+    /// Build an artefact from any serialisable result.
+    pub fn json<T: Serialize>(name: &str, value: &T) -> Self {
+        Artifact {
+            name: name.to_string(),
+            value: serde_json::to_value(value),
+        }
+    }
+}
+
+/// Shared run state handed to every experiment.
+pub struct RunContext<'a> {
+    /// The dataset store for this run.
+    pub store: &'a DatasetStore,
+}
+
+impl RunContext<'_> {
+    /// Resolve an inference-like dataset dependency.
+    pub fn inference(&self, spec: &DatasetSpec) -> Result<Arc<Vec<InferencePoint>>, EngineError> {
+        self.store.inference(spec)
+    }
+
+    /// Resolve a training-like dataset dependency.
+    pub fn training(&self, spec: &DatasetSpec) -> Result<Arc<Vec<TrainingPoint>>, EngineError> {
+        self.store.training(spec)
+    }
+}
+
+/// One reproducible paper artefact (a table, figure, or study).
+pub trait Experiment: Sync {
+    /// Stable registry name (`table1`, `fig3`, `ablations`, ...).
+    fn name(&self) -> &'static str;
+    /// One-line human description.
+    fn title(&self) -> &'static str;
+    /// File stems of the JSON artefacts this experiment writes.
+    fn artifacts(&self) -> &'static [&'static str];
+    /// The benchmark datasets this experiment reads.
+    fn deps(&self) -> Vec<DatasetSpec>;
+    /// Compute the artefacts. Datasets are fetched through `ctx`, which
+    /// deduplicates and caches them across the whole run.
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError>;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum experiments in flight at once.
+    pub jobs: usize,
+    /// Persist datasets under `<results_dir>/cache/` and reuse them.
+    pub use_disk_cache: bool,
+    /// Where artefacts, the manifest, and the cache live.
+    pub results_dir: PathBuf,
+}
+
+impl EngineConfig {
+    /// Default configuration: results under `$CONVMETER_RESULTS` (or
+    /// `./results`), disk cache on, one job per available core.
+    pub fn from_env() -> Self {
+        EngineConfig {
+            jobs: default_jobs(),
+            use_disk_cache: true,
+            results_dir: crate::report::results_dir(),
+        }
+    }
+}
+
+/// Default worker count: available parallelism, at most 8.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Record of one written artefact file.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArtifactRecord {
+    /// Artefact name (file stem).
+    pub name: String,
+    /// Path the JSON was written to.
+    pub path: String,
+    /// Stable content digest of the JSON bytes.
+    pub hash: String,
+    /// File size in bytes.
+    pub bytes: usize,
+}
+
+/// Record of one executed experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Registry name.
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Wall time of `Experiment::run`, seconds.
+    pub wall_seconds: f64,
+    /// Written artefacts.
+    pub artifacts: Vec<ArtifactRecord>,
+}
+
+/// The whole run, written to `results/manifest.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Manifest {
+    /// Manifest schema version.
+    pub format_version: u32,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whether the on-disk dataset cache was enabled.
+    pub disk_cache: bool,
+    /// Per-experiment records, in registry order.
+    pub experiments: Vec<ExperimentRecord>,
+    /// Per-dataset accounting, keyed by cache key.
+    pub datasets: std::collections::BTreeMap<String, DatasetStats>,
+}
+
+impl Manifest {
+    /// Total dataset builds across the run.
+    pub fn total_builds(&self) -> usize {
+        self.datasets.values().map(|s| s.builds).sum()
+    }
+
+    /// Total disk-cache hits across the run.
+    pub fn total_disk_hits(&self) -> usize {
+        self.datasets.values().map(|s| s.disk_hits).sum()
+    }
+
+    /// Total in-memory hits across the run.
+    pub fn total_memory_hits(&self) -> usize {
+        self.datasets.values().map(|s| s.memory_hits).sum()
+    }
+}
+
+/// The outcome of [`Engine::run`].
+pub struct EngineReport {
+    /// The manifest that was written.
+    pub manifest: Manifest,
+    /// `(experiment name, rendered text)` in execution (registry) order.
+    pub rendered: Vec<(String, String)>,
+}
+
+/// Runs a set of experiments against a shared dataset store.
+pub struct Engine<'a> {
+    experiments: Vec<&'a dyn Experiment>,
+    config: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine over an explicit experiment list.
+    pub fn new(experiments: Vec<&'a dyn Experiment>, config: EngineConfig) -> Self {
+        Engine {
+            experiments,
+            config,
+        }
+    }
+
+    /// Build an engine over the registry experiments named in `names`
+    /// (registry order, not argument order). Unknown names error.
+    pub fn select(names: &[&str], config: EngineConfig) -> Result<Engine<'static>, EngineError> {
+        for &n in names {
+            if !registry().iter().any(|e| e.name() == n) {
+                return Err(EngineError::UnknownExperiment { name: n.into() });
+            }
+        }
+        let experiments: Vec<&'static dyn Experiment> = registry()
+            .iter()
+            .copied()
+            .filter(|e| names.contains(&e.name()))
+            .collect();
+        Ok(Engine {
+            experiments,
+            config,
+        })
+    }
+
+    /// An engine over the full registry.
+    pub fn all(config: EngineConfig) -> Engine<'static> {
+        Engine {
+            experiments: registry().to_vec(),
+            config,
+        }
+    }
+
+    /// Run every experiment, write artefacts and the manifest, and return
+    /// the report. Output ordering is deterministic (registry order)
+    /// regardless of the parallel schedule; progress goes to stderr.
+    pub fn run(&self) -> Result<EngineReport, EngineError> {
+        let store = DatasetStore::new(
+            self.config
+                .use_disk_cache
+                .then(|| self.config.results_dir.join("cache")),
+        );
+        let ctx_store = &store;
+        let total = self.experiments.len();
+        let completed = AtomicUsize::new(0);
+        let results: Vec<(Result<RunOutput, EngineError>, f64)> =
+            pool::run_ordered(&self.experiments, self.config.jobs, |_, exp| {
+                let started = Instant::now();
+                let out = exp.run(&RunContext { store: ctx_store });
+                let secs = started.elapsed().as_secs_f64();
+                let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{k}/{total}] {} done ({secs:.1}s)", exp.name());
+                (out, secs)
+            });
+
+        std::fs::create_dir_all(&self.config.results_dir).map_err(|source| EngineError::Io {
+            context: format!("results directory {}", self.config.results_dir.display()),
+            source,
+        })?;
+        let mut records = Vec::with_capacity(total);
+        let mut rendered = Vec::with_capacity(total);
+        for (exp, (result, wall_seconds)) in self.experiments.iter().zip(results) {
+            let output = result?;
+            let mut artifacts = Vec::with_capacity(output.artifacts.len());
+            for artifact in &output.artifacts {
+                let json = serde_json::to_string_pretty(&artifact.value)
+                    .expect("artefact values serialise");
+                let path = self
+                    .config
+                    .results_dir
+                    .join(format!("{}.json", artifact.name));
+                std::fs::write(&path, &json).map_err(|source| EngineError::Io {
+                    context: format!("artefact {}", path.display()),
+                    source,
+                })?;
+                artifacts.push(ArtifactRecord {
+                    name: artifact.name.clone(),
+                    path: path.display().to_string(),
+                    hash: convmeter_graph::stable_digest(&json),
+                    bytes: json.len(),
+                });
+            }
+            records.push(ExperimentRecord {
+                name: exp.name().to_string(),
+                title: exp.title().to_string(),
+                wall_seconds,
+                artifacts,
+            });
+            rendered.push((exp.name().to_string(), output.rendered));
+        }
+        let manifest = Manifest {
+            format_version: 1,
+            jobs: self.config.jobs,
+            disk_cache: self.config.use_disk_cache,
+            experiments: records,
+            datasets: store.stats(),
+        };
+        let manifest_path = self.config.results_dir.join("manifest.json");
+        let manifest_json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
+        std::fs::write(&manifest_path, manifest_json).map_err(|source| EngineError::Io {
+            context: format!("manifest {}", manifest_path.display()),
+            source,
+        })?;
+        Ok(EngineReport { manifest, rendered })
+    }
+}
+
+/// Print a run report the way the old per-experiment binaries did: rendered
+/// tables to stdout in registry order, then a one-line summary.
+pub fn print_report(report: &EngineReport, results_dir: &std::path::Path) {
+    for (_, text) in &report.rendered {
+        print!("{text}");
+    }
+    let m = &report.manifest;
+    let artifact_count: usize = m.experiments.iter().map(|e| e.artifacts.len()).sum();
+    println!(
+        "{} experiment(s), {} artefact(s) written to {} — datasets: {} built, {} disk hit(s), {} memory hit(s)",
+        m.experiments.len(),
+        artifact_count,
+        results_dir.display(),
+        m.total_builds(),
+        m.total_disk_hits(),
+        m.total_memory_hits(),
+    );
+}
+
+fn exit_with(err: &EngineError) -> ! {
+    eprintln!("error: {err}");
+    let mut source = std::error::Error::source(err);
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = cause.source();
+    }
+    std::process::exit(1)
+}
+
+/// Entry point for the per-experiment regeneration binaries: run the named
+/// registry experiments with the default configuration, print the report,
+/// and exit non-zero if anything — including an artefact write — fails.
+pub fn main_only(names: &[&str]) {
+    let config = EngineConfig::from_env();
+    let results_dir = config.results_dir.clone();
+    match Engine::select(names, config).and_then(|e| e.run()) {
+        Ok(report) => print_report(&report, &results_dir),
+        Err(e) => exit_with(&e),
+    }
+}
+
+/// Entry point for `all_experiments`: the full registry.
+pub fn main_all() {
+    let config = EngineConfig::from_env();
+    let results_dir = config.results_dir.clone();
+    match Engine::all(config).run() {
+        Ok(report) => print_report(&report, &results_dir),
+        Err(e) => exit_with(&e),
+    }
+}

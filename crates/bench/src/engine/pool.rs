@@ -1,0 +1,89 @@
+//! Order-preserving parallel map over scoped OS threads.
+//!
+//! The workspace's `rayon` dependency is an offline *sequential* shim, so
+//! the engine brings its own scheduler: `run_ordered` fans N items out to
+//! at most `jobs` worker threads pulling from a shared atomic work index,
+//! and returns results in input order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on up to `jobs` threads, returning the results
+/// in input order. `f` receives `(index, &item)`.
+///
+/// With `jobs <= 1` (or a single item) everything runs on the calling
+/// thread, which keeps stack traces and panic messages simple in tests.
+pub fn run_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every work item produces a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_ordered(&items, 8, |i, &x| {
+            // Stagger completion so late items can finish before early ones.
+            std::thread::sleep(std::time::Duration::from_micros(((64 - i) % 7) as u64));
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        let items = [1, 2, 3];
+        assert_eq!(run_ordered(&items, 0, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(run_ordered(&items, 1, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_ordered(&items, 4, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [usize; 0] = [];
+        assert!(run_ordered(&items, 4, |_, &x| x).is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Content-addressed dataset store.
+//!
+//! Every experiment declares the benchmark datasets it needs as
+//! [`DatasetSpec`]s; the store builds each *distinct* spec exactly once per
+//! process (memoised behind a `OnceLock`, so concurrent experiments block on
+//! the first builder instead of duplicating the sweep) and persists the
+//! result under `results/cache/<key>.json` so warm reruns skip simulation
+//! entirely.
+//!
+//! The cache key is a stable content hash over everything the dataset
+//! depends on: the cache format version, the dataset kind, the device
+//! profile, the sweep configuration, and the model-zoo fingerprint (which
+//! covers every graph the sweeps can build). Changing any field of any of
+//! those — a batch grid, a seed, a device efficiency, a zoo architecture —
+//! yields a different key and triggers a rebuild; stale entries are simply
+//! never addressed again.
+
+use crate::blocks::block_dataset;
+use convmeter::dataset::{InferencePoint, TrainingPoint};
+use convmeter::persist;
+use convmeter::prelude::*;
+use convmeter_graph::StableHasher;
+use convmeter_models::zoo;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use super::EngineError;
+
+/// Bump when the persisted dataset layout (or the sweep semantics behind
+/// it) changes incompatibly: old cache entries stop being addressed.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// A benchmark dataset an experiment depends on, by content.
+#[derive(Debug, Clone)]
+pub enum DatasetSpec {
+    /// Inference sweep on one device.
+    Inference {
+        /// Device to benchmark.
+        device: DeviceProfile,
+        /// Sweep grid.
+        config: SweepConfig,
+    },
+    /// Single-device training sweep.
+    Training {
+        /// Device to benchmark.
+        device: DeviceProfile,
+        /// Sweep grid.
+        config: SweepConfig,
+    },
+    /// Multi-node distributed-training sweep.
+    Distributed {
+        /// Per-device profile.
+        device: DeviceProfile,
+        /// Sweep grid including node counts.
+        config: DistSweepConfig,
+    },
+    /// Block-level inference sweep over the Table 2 blocks.
+    Blocks {
+        /// Device to benchmark.
+        device: DeviceProfile,
+        /// Square image sizes.
+        image_sizes: Vec<usize>,
+        /// Batch sizes.
+        batch_sizes: Vec<usize>,
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+impl DatasetSpec {
+    /// Short kind tag; doubles as the cache-key prefix.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DatasetSpec::Inference { .. } => "inference",
+            DatasetSpec::Training { .. } => "training",
+            DatasetSpec::Distributed { .. } => "distributed",
+            DatasetSpec::Blocks { .. } => "blocks",
+        }
+    }
+
+    /// The content-addressed cache key: `<kind>-<digest>`.
+    pub fn key(&self) -> String {
+        let mut h = StableHasher::new();
+        h.update_str("convmeter-dataset-cache");
+        h.update(&CACHE_FORMAT.to_le_bytes());
+        h.update_str(self.kind());
+        h.update_str(zoo::fingerprint());
+        match self {
+            DatasetSpec::Inference { device, config }
+            | DatasetSpec::Training { device, config } => {
+                h.update_str(&device.fingerprint());
+                h.update_str(&config.fingerprint());
+            }
+            DatasetSpec::Distributed { device, config } => {
+                h.update_str(&device.fingerprint());
+                h.update_str(&config.fingerprint());
+            }
+            DatasetSpec::Blocks {
+                device,
+                image_sizes,
+                batch_sizes,
+                seed,
+            } => {
+                h.update_str(&device.fingerprint());
+                // Length-prefix the lists so their boundary is unambiguous.
+                h.update(&(image_sizes.len() as u64).to_le_bytes());
+                for &s in image_sizes {
+                    h.update(&(s as u64).to_le_bytes());
+                }
+                h.update(&(batch_sizes.len() as u64).to_le_bytes());
+                for &b in batch_sizes {
+                    h.update(&(b as u64).to_le_bytes());
+                }
+                h.update(&seed.to_le_bytes());
+            }
+        }
+        format!("{}-{}", self.kind(), h.short_digest())
+    }
+
+    fn is_inference_like(&self) -> bool {
+        matches!(
+            self,
+            DatasetSpec::Inference { .. } | DatasetSpec::Blocks { .. }
+        )
+    }
+}
+
+/// Per-dataset accounting, reported in `results/manifest.json`. A healthy
+/// run shows `builds + disk_hits == 1` for every key, with every further
+/// request landing as a memory hit.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DatasetStats {
+    /// Dataset kind (`inference`, `training`, `distributed`, `blocks`).
+    pub kind: String,
+    /// Number of points in the dataset.
+    pub points: usize,
+    /// Times the sweep simulation actually ran this process (0 or 1).
+    pub builds: usize,
+    /// Times the dataset was loaded from the on-disk cache.
+    pub disk_hits: usize,
+    /// Requests served from the in-process memo.
+    pub memory_hits: usize,
+    /// Wall time spent building (simulating), seconds; 0 when cached.
+    pub build_seconds: f64,
+}
+
+enum FetchOutcome {
+    Built(f64),
+    Disk,
+    Memory,
+}
+
+type SlotMap<P> = Mutex<HashMap<String, Arc<OnceLock<Arc<Vec<P>>>>>>;
+
+/// Builds, memoises, and persists benchmark datasets addressed by content.
+pub struct DatasetStore {
+    disk_dir: Option<PathBuf>,
+    inference: SlotMap<InferencePoint>,
+    training: SlotMap<TrainingPoint>,
+    stats: Mutex<BTreeMap<String, DatasetStats>>,
+}
+
+impl DatasetStore {
+    /// Create a store; `disk_dir` is the persistent cache directory, or
+    /// `None` to keep everything in memory (`--no-cache`).
+    pub fn new(disk_dir: Option<PathBuf>) -> Self {
+        DatasetStore {
+            disk_dir,
+            inference: Mutex::new(HashMap::new()),
+            training: Mutex::new(HashMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Resolve an inference-like dataset (`Inference` or `Blocks`).
+    pub fn inference(&self, spec: &DatasetSpec) -> Result<Arc<Vec<InferencePoint>>, EngineError> {
+        if !spec.is_inference_like() {
+            return Err(EngineError::WrongKind {
+                key: spec.key(),
+                expected: "inference",
+            });
+        }
+        Ok(self.fetch(
+            &self.inference,
+            spec,
+            |path: &Path| persist::load_inference_dataset(path),
+            |path, data| persist::save_inference_dataset(path, data),
+            || match spec {
+                DatasetSpec::Inference { device, config } => inference_dataset(device, config),
+                DatasetSpec::Blocks {
+                    device,
+                    image_sizes,
+                    batch_sizes,
+                    seed,
+                } => block_dataset(device, image_sizes, batch_sizes, *seed),
+                _ => unreachable!("kind checked above"),
+            },
+        ))
+    }
+
+    /// Resolve a training-like dataset (`Training` or `Distributed`).
+    pub fn training(&self, spec: &DatasetSpec) -> Result<Arc<Vec<TrainingPoint>>, EngineError> {
+        if spec.is_inference_like() {
+            return Err(EngineError::WrongKind {
+                key: spec.key(),
+                expected: "training",
+            });
+        }
+        Ok(self.fetch(
+            &self.training,
+            spec,
+            |path: &Path| persist::load_training_dataset(path),
+            |path, data| persist::save_training_dataset(path, data),
+            || match spec {
+                DatasetSpec::Training { device, config } => training_dataset(device, config),
+                DatasetSpec::Distributed { device, config } => distributed_dataset(device, config),
+                _ => unreachable!("kind checked above"),
+            },
+        ))
+    }
+
+    /// Snapshot of per-dataset accounting, keyed by cache key.
+    pub fn stats(&self) -> BTreeMap<String, DatasetStats> {
+        self.stats.lock().expect("stats lock poisoned").clone()
+    }
+
+    fn cache_path(&self, key: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+
+    fn fetch<P>(
+        &self,
+        slots: &SlotMap<P>,
+        spec: &DatasetSpec,
+        load: impl Fn(&Path) -> Result<Vec<P>, persist::PersistError>,
+        save: impl Fn(&Path, &[P]) -> Result<(), persist::PersistError>,
+        build: impl FnOnce() -> Vec<P>,
+    ) -> Arc<Vec<P>> {
+        let key = spec.key();
+        let slot = slots
+            .lock()
+            .expect("slot map poisoned")
+            .entry(key.clone())
+            .or_default()
+            .clone();
+        // `get_or_init` blocks concurrent initialisers, so even when several
+        // experiments request the same dataset in parallel the sweep runs
+        // exactly once per process.
+        let mut outcome = FetchOutcome::Memory;
+        let value = slot
+            .get_or_init(|| {
+                if let Some(path) = self.cache_path(&key) {
+                    if path.exists() {
+                        match load(&path) {
+                            Ok(points) => {
+                                outcome = FetchOutcome::Disk;
+                                return Arc::new(points);
+                            }
+                            Err(e) => eprintln!(
+                                "warning: rebuilding {key}: unreadable cache entry {}: {e}",
+                                path.display()
+                            ),
+                        }
+                    }
+                }
+                let started = Instant::now();
+                let points = build();
+                outcome = FetchOutcome::Built(started.elapsed().as_secs_f64());
+                if let Some(path) = self.cache_path(&key) {
+                    // A failed cache write costs the next run a rebuild but
+                    // must not fail this one; artefact writes are the ones
+                    // that abort the engine.
+                    if let Err(e) = path
+                        .parent()
+                        .map_or(Ok(()), std::fs::create_dir_all)
+                        .map_err(persist::PersistError::from)
+                        .and_then(|()| save(&path, &points))
+                    {
+                        eprintln!(
+                            "warning: could not persist {key} to {}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+                Arc::new(points)
+            })
+            .clone();
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        let entry = stats.entry(key).or_default();
+        entry.kind = spec.kind().to_string();
+        entry.points = value.len();
+        match outcome {
+            FetchOutcome::Built(secs) => {
+                entry.builds += 1;
+                entry.build_seconds += secs;
+            }
+            FetchOutcome::Disk => entry.disk_hits += 1,
+            FetchOutcome::Memory => entry.memory_hits += 1,
+        }
+        value
+    }
+}

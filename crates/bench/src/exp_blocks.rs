@@ -7,11 +7,12 @@
 //! evaluate each block with a model fitted on the *other* blocks' data
 //! (leave-one-block-out), so every prediction is for an unseen block.
 
-use crate::blocks::{block_dataset, TABLE2_BLOCKS};
-use crate::report::{save_json, Table};
+use crate::blocks::TABLE2_BLOCKS;
+use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_linalg::stats::ErrorReport;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Result of the block-wise evaluation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,17 +25,11 @@ pub struct Table2Result {
     pub overall: ErrorReport,
 }
 
-/// Run the Table 2 / Figure 4 experiment.
-pub fn table2() -> Table2Result {
-    let device = DeviceProfile::a100_80gb();
-    let blocks = block_dataset(
-        &device,
-        &[64, 96, 128, 160, 192, 224],
-        &[1, 4, 16, 64, 256],
-        0xB10C,
-    );
+/// Run the Table 2 / Figure 4 experiment on a block-level benchmark
+/// dataset (see [`crate::blocks::block_dataset`]).
+pub fn table2(blocks: &[InferencePoint]) -> Table2Result {
     let (mut per_block, scatter, overall) =
-        leave_one_model_out_inference(&blocks).expect("block loocv");
+        leave_one_model_out_inference(blocks).expect("block loocv");
     // Order rows as in the paper's Table 2.
     per_block.sort_by_key(|r| {
         TABLE2_BLOCKS
@@ -49,8 +44,8 @@ pub fn table2() -> Table2Result {
     }
 }
 
-/// Render and persist the Table 2 result.
-pub fn print_table2(result: &Table2Result) {
+/// Render the Table 2 result.
+pub fn render_table2(result: &Table2Result) -> String {
     let mut t = Table::new(
         "Table 2: block-wise inference prediction (GPU, leave-one-block-out)",
         &["block", "source model", "RMSE (ms)", "NRMSE", "MAPE"],
@@ -68,10 +63,11 @@ pub fn print_table2(result: &Table2Result) {
             format!("{:.2}", r.report.mape),
         ]);
     }
-    t.print();
-    println!(
-        "Figure 4 overall: {}\nPaper: R2=0.997, RMSE=0.67 ms, NRMSE=0.15, MAPE=0.16; per-block MAPE 0.09-0.37.\n",
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "\nFigure 4 overall: {}\nPaper: R2=0.997, RMSE=0.67 ms, NRMSE=0.15, MAPE=0.16; per-block MAPE 0.09-0.37.\n",
         result.overall
     );
-    let _ = save_json("table2", result);
+    out
 }

@@ -13,13 +13,14 @@
 //! `squeezenet1_0`; the surrogate inherits that gap (documented, not
 //! silently skipped).
 
-use crate::report::{save_json, Table};
+use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_baselines::mlp::{graph_features, MlpConfig, MlpPredictor};
 use convmeter_hwsim::NoiseModel;
 use convmeter_linalg::stats::{mape, nrmse};
 use convmeter_models::random::random_convnet;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Per-model comparison row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -70,18 +71,22 @@ fn train_surrogate(device: &DeviceProfile) -> MlpPredictor {
     MlpPredictor::fit(&rows, &MlpConfig::default()).expect("surrogate trains")
 }
 
-/// Run the Figure 6 comparison.
-pub fn fig6() -> Vec<Fig6Row> {
-    let device = DeviceProfile::a100_80gb();
-    // Evaluation grid: fixed 128 px, batch 16-2000 (Section 4.1.3).
+/// The Section 4.1.3 evaluation grid: fixed 128 px, batch 16–2000, with the
+/// paper-GPU runtime cap. This is the spec of `data` in [`fig6`].
+pub fn fig6_grid_config() -> SweepConfig {
     let mut cfg = SweepConfig::paper_gpu();
     cfg.image_sizes = vec![128];
     cfg.batch_sizes = FIG6_BATCHES.to_vec();
-    let data = inference_dataset(&device, &cfg);
-    // ConvMeter's coefficients come from the full device benchmark ("all
-    // runtime predictions for a given device use the same coefficients"),
-    // minus the held-out model.
-    let full_sweep = inference_dataset(&device, &SweepConfig::paper_gpu());
+    cfg
+}
+
+/// Run the Figure 6 comparison. `data` is the [`fig6_grid_config`]
+/// evaluation sweep; `full_sweep` is the standard paper GPU sweep —
+/// ConvMeter's coefficients come from the full device benchmark ("all
+/// runtime predictions for a given device use the same coefficients"),
+/// minus the held-out model.
+pub fn fig6(data: &[InferencePoint], full_sweep: &[InferencePoint]) -> Vec<Fig6Row> {
+    let device = DeviceProfile::a100_80gb();
     let surrogate = train_surrogate(&device);
 
     let groups: Vec<&str> = data.iter().map(|p| p.model.as_str()).collect();
@@ -121,8 +126,8 @@ pub fn fig6() -> Vec<Fig6Row> {
     rows
 }
 
-/// Render and persist the Figure 6 result.
-pub fn print_fig6(rows: &[Fig6Row]) {
+/// Render the Figure 6 result.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
     let mut t = Table::new(
         "Figure 6: ConvMeter vs DIPPM surrogate (A100, 128px, batch 16-2000, held-out)",
         &[
@@ -143,14 +148,15 @@ pub fn print_fig6(rows: &[Fig6Row]) {
             fmt_opt(r.dippm_nrmse),
         ]);
     }
-    t.print();
     let wins = rows
         .iter()
         .filter(|r| r.dippm_mape.is_some_and(|d| r.convmeter_mape < d))
         .count();
     let comparable = rows.iter().filter(|r| r.dippm_mape.is_some()).count();
-    println!(
-        "ConvMeter beats the surrogate on {wins}/{comparable} comparable models.\nPaper: ConvMeter outperforms DIPPM across all scenarios; DIPPM could not parse squeezenet1_0.\n"
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "\nConvMeter beats the surrogate on {wins}/{comparable} comparable models.\nPaper: ConvMeter outperforms DIPPM across all scenarios; DIPPM could not parse squeezenet1_0.\n"
     );
-    let _ = save_json("fig6", &rows);
+    out
 }

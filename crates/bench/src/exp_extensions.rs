@@ -1,0 +1,206 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. gradient-synchronisation strategies (flat ring vs hierarchical vs
+//!    parameter server) — quantifying the paper's Section 2 argument for
+//!    all-reduce,
+//! 2. Horovod fusion-buffer size ablation,
+//! 3. numeric precision modes (FP32 / TF32 / FP16) on inference latency.
+//!
+//! These are closed-form model evaluations (no benchmark sweeps), so they
+//! declare no dataset dependencies.
+
+use crate::report::Table;
+use convmeter_distsim::{expected_distributed_phases_with_strategy, ClusterConfig, SyncStrategy};
+use convmeter_hwsim::{expected_inference_time, DeviceProfile, Precision};
+use convmeter_metrics::ModelMetrics;
+use convmeter_models::zoo;
+use serde::{Deserialize, Serialize};
+
+/// One gradient-sync strategy measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyRow {
+    /// Model name.
+    pub model: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Strategy short name (`flat`, `hier`, `ps`).
+    pub strategy: String,
+    /// Expected step time, milliseconds.
+    pub step_ms: f64,
+    /// Throughput, images per second.
+    pub images_per_sec: f64,
+}
+
+/// One fusion-buffer measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionRow {
+    /// Buffer size in MiB.
+    pub buffer_mb: u64,
+    /// Expected step time, milliseconds.
+    pub step_ms: f64,
+    /// Expected gradient-update time, milliseconds.
+    pub grad_ms: f64,
+}
+
+/// One precision-mode measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionRow {
+    /// Model name.
+    pub model: String,
+    /// Precision mode.
+    pub precision: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Expected inference latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// All extension-study results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtensionsResult {
+    /// Study 1: sync strategies.
+    pub strategies: Vec<StrategyRow>,
+    /// Study 2: fusion-buffer sizes.
+    pub fusion_buffer: Vec<FusionRow>,
+    /// Study 3: precision modes.
+    pub precisions: Vec<PrecisionRow>,
+}
+
+fn strategies(device: &DeviceProfile) -> Vec<StrategyRow> {
+    let batch = 64usize;
+    let mut rows = Vec::new();
+    for model in ["alexnet", "resnet50", "mobilenet_v2"] {
+        let metrics = ModelMetrics::of(&zoo::by_name(model).unwrap().build(128, 1000)).unwrap();
+        for nodes in [2usize, 8, 16] {
+            let cluster = ClusterConfig::hpc_cluster(nodes);
+            for (name, strategy) in [
+                ("flat", SyncStrategy::FlatRing),
+                ("hier", SyncStrategy::Hierarchical),
+                ("ps", SyncStrategy::ParameterServer),
+            ] {
+                let p = expected_distributed_phases_with_strategy(
+                    device, &cluster, &metrics, batch, strategy,
+                );
+                rows.push(StrategyRow {
+                    model: model.to_string(),
+                    nodes,
+                    strategy: name.to_string(),
+                    step_ms: p.total() * 1e3,
+                    images_per_sec: (batch * cluster.total_devices()) as f64 / p.total(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn fusion_buffer(device: &DeviceProfile) -> Vec<FusionRow> {
+    let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
+    let mut rows = Vec::new();
+    for mb in [1u64, 4, 16, 64, 256] {
+        let mut cluster = ClusterConfig::hpc_cluster(4);
+        cluster.fusion_buffer_bytes = mb << 20;
+        let p = expected_distributed_phases_with_strategy(
+            device,
+            &cluster,
+            &metrics,
+            64,
+            SyncStrategy::FlatRing,
+        );
+        rows.push(FusionRow {
+            buffer_mb: mb,
+            step_ms: p.total() * 1e3,
+            grad_ms: p.grad_update * 1e3,
+        });
+    }
+    rows
+}
+
+fn precisions(base: &DeviceProfile) -> Vec<PrecisionRow> {
+    let mut rows = Vec::new();
+    for model in ["resnet50", "vgg16", "mobilenet_v2"] {
+        let metrics = ModelMetrics::of(&zoo::by_name(model).unwrap().build(224, 1000)).unwrap();
+        for precision in [Precision::Fp32, Precision::Tf32, Precision::Fp16] {
+            let device = base.with_precision(precision);
+            let t_inf = expected_inference_time(&device, &metrics, 128);
+            rows.push(PrecisionRow {
+                model: model.to_string(),
+                precision: format!("{precision:?}"),
+                batch: 128,
+                latency_ms: t_inf * 1e3,
+            });
+        }
+    }
+    rows
+}
+
+/// Run all three extension studies on the A100 profile.
+pub fn run() -> ExtensionsResult {
+    let device = DeviceProfile::a100_80gb();
+    ExtensionsResult {
+        strategies: strategies(&device),
+        fusion_buffer: fusion_buffer(&device),
+        precisions: precisions(&device),
+    }
+}
+
+/// Render all extension studies as one text block.
+pub fn render(result: &ExtensionsResult) -> String {
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "Extension 1: gradient-sync strategies (image 128, batch 64/device)",
+        &[
+            "model",
+            "nodes",
+            "flat ring",
+            "hierarchical",
+            "param server",
+        ],
+    );
+    let mut iter = result.strategies.chunks_exact(3);
+    for chunk in &mut iter {
+        let mut cells = vec![chunk[0].model.clone(), chunk[0].nodes.to_string()];
+        for r in chunk {
+            cells.push(format!("{:.1} ms ({:.0}/s)", r.step_ms, r.images_per_sec));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nPaper (Sec. 2): all-reduce is preferred for scalability and low overhead;\nhierarchical reduction wins once traffic crosses nodes, the parameter server\nloses progressively with scale.\n\n",
+    );
+
+    let mut t = Table::new(
+        "Extension 2: Horovod fusion-buffer size (resnet50, 4 nodes, batch 64)",
+        &["buffer", "step time", "grad update"],
+    );
+    for r in &result.fusion_buffer {
+        t.row(vec![
+            format!("{} MB", r.buffer_mb),
+            format!("{:.2} ms", r.step_ms),
+            format!("{:.2} ms", r.grad_ms),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nOversized buffers delay dispatch and lose overlap with the backward pass;\nsmall buffers stay hidden under backward compute on this model. The 64 MB\nHorovod default is safe but not optimal here.\n\n",
+    );
+
+    let mut t = Table::new(
+        "Extension 3: precision modes, inference latency (batch 128, 224 px)",
+        &["model", "fp32", "tf32", "fp16"],
+    );
+    for chunk in result.precisions.chunks_exact(3) {
+        let mut cells = vec![chunk[0].model.clone()];
+        for r in chunk {
+            cells.push(format!("{:.2} ms", r.latency_ms));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nDepthwise-heavy models (mobilenet) gain least from tensor cores: they are\nbandwidth-bound, so extra FLOP/s goes unused — fit one ConvMeter model per\n(device, precision) pair.\n\n",
+    );
+    out
+}

@@ -1,10 +1,15 @@
 //! Inference experiments: Table 1, Figure 2, Figure 3.
+//!
+//! Each experiment takes its benchmark dataset(s) as input — the engine
+//! resolves and caches those — computes a serialisable result, and renders
+//! it as text separately.
 
-use crate::report::{save_json, Table};
+use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_baselines::{Metric, SingleMetricModel};
 use convmeter_linalg::stats::ErrorReport;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Result of the Table 1 experiment: per-ConvNet leave-one-model-out errors
 /// on both devices, plus overall in-sample metrics (the Figure 3 headline
@@ -28,25 +33,21 @@ fn in_sample_overall(points: &[InferencePoint]) -> ErrorReport {
     ErrorReport::compute(&preds, &meas)
 }
 
-/// Run Table 1: inference prediction accuracy per ConvNet on a single CPU
-/// core and a single A100-class GPU.
-pub fn table1() -> Table1Result {
-    let cpu_dev = DeviceProfile::xeon_gold_5318y_core();
-    let gpu_dev = DeviceProfile::a100_80gb();
-    let cpu_data = inference_dataset(&cpu_dev, &SweepConfig::paper_cpu());
-    let gpu_data = inference_dataset(&gpu_dev, &SweepConfig::paper_gpu());
-    let (cpu, _, _) = leave_one_model_out_inference(&cpu_data).expect("cpu loocv");
-    let (gpu, _, _) = leave_one_model_out_inference(&gpu_data).expect("gpu loocv");
+/// Run Table 1: inference prediction accuracy per ConvNet on the given CPU
+/// and GPU benchmark datasets.
+pub fn table1(cpu_data: &[InferencePoint], gpu_data: &[InferencePoint]) -> Table1Result {
+    let (cpu, _, _) = leave_one_model_out_inference(cpu_data).expect("cpu loocv");
+    let (gpu, _, _) = leave_one_model_out_inference(gpu_data).expect("gpu loocv");
     Table1Result {
         cpu,
         gpu,
-        cpu_overall: in_sample_overall(&cpu_data),
-        gpu_overall: in_sample_overall(&gpu_data),
+        cpu_overall: in_sample_overall(cpu_data),
+        gpu_overall: in_sample_overall(gpu_data),
     }
 }
 
-/// Render and persist the Table 1 result.
-pub fn print_table1(result: &Table1Result) {
+/// Render the Table 1 result.
+pub fn render_table1(result: &Table1Result) -> String {
     let mut t = Table::new(
         "Table 1: per-ConvNet inference prediction (leave-one-model-out)",
         &[
@@ -75,12 +76,13 @@ pub fn print_table1(result: &Table1Result) {
             format!("{:.2}", g.report.mape),
         ]);
     }
-    t.print();
-    println!(
-        "Overall (all-data fit, Figure 3 protocol):\n  CPU: {}\n  GPU: {}\n  Paper:  CPU R2=0.98 RMSE=0.59s NRMSE=0.13 MAPE=0.25 | GPU R2=0.96 RMSE=8.8ms NRMSE=0.13 MAPE=0.17\n",
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "\nOverall (all-data fit, Figure 3 protocol):\n  CPU: {}\n  GPU: {}\n  Paper:  CPU R2=0.98 RMSE=0.59s NRMSE=0.13 MAPE=0.25 | GPU R2=0.96 RMSE=8.8ms NRMSE=0.13 MAPE=0.17\n",
         result.cpu_overall, result.gpu_overall
     );
-    let _ = save_json("table1", result);
+    out
 }
 
 /// One Figure 2 series: a metric choice and its in-sample fit quality.
@@ -95,10 +97,8 @@ pub struct Fig2Series {
 }
 
 /// Run Figure 2: predict GPU inference time from each single metric and
-/// from the combined (F, I, O) model.
-pub fn fig2() -> Vec<Fig2Series> {
-    let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
+/// from the combined (F, I, O) model, on the given GPU dataset.
+pub fn fig2(data: &[InferencePoint]) -> Vec<Fig2Series> {
     let meas: Vec<f64> = data.iter().map(|p| p.measured).collect();
     let mut out = Vec::new();
     for metric in Metric::all() {
@@ -112,7 +112,7 @@ pub fn fig2() -> Vec<Fig2Series> {
             scatter: meas.iter().cloned().zip(preds).collect(),
         });
     }
-    let combined = ForwardModel::fit(&data).expect("combined fit");
+    let combined = ForwardModel::fit(data).expect("combined fit");
     let preds: Vec<f64> = data.iter().map(|p| combined.predict(&p.metrics)).collect();
     out.push(Fig2Series {
         metric: "combined".to_string(),
@@ -122,8 +122,8 @@ pub fn fig2() -> Vec<Fig2Series> {
     out
 }
 
-/// Render and persist the Figure 2 result.
-pub fn print_fig2(series: &[Fig2Series]) {
+/// Render the Figure 2 result.
+pub fn render_fig2(series: &[Fig2Series]) -> String {
     let mut t = Table::new(
         "Figure 2: inference prediction by metric (GPU, in-sample)",
         &["metric", "R2", "RMSE (ms)", "NRMSE", "MAPE"],
@@ -137,9 +137,9 @@ pub fn print_fig2(series: &[Fig2Series]) {
             format!("{:.3}", s.report.mape),
         ]);
     }
-    t.print();
-    println!("Paper: combining all three metrics gives the most accurate prediction.\n");
-    let _ = save_json("fig2", &series);
+    let mut out = t.render();
+    out.push_str("\nPaper: combining all three metrics gives the most accurate prediction.\n\n");
+    out
 }
 
 /// Figure 3 result: measured-vs-predicted scatter for both devices.
@@ -155,16 +155,11 @@ pub struct Fig3Result {
     pub gpu_overall: ErrorReport,
 }
 
-/// Run Figure 3: full scatter of measured vs. predicted inference times.
-pub fn fig3() -> Fig3Result {
-    let cpu_dev = DeviceProfile::xeon_gold_5318y_core();
-    let gpu_dev = DeviceProfile::a100_80gb();
-    let cpu_data = inference_dataset(&cpu_dev, &SweepConfig::paper_cpu());
-    let gpu_data = inference_dataset(&gpu_dev, &SweepConfig::paper_gpu());
-    let (_, cpu_scatter, cpu_overall) =
-        leave_one_model_out_inference(&cpu_data).expect("cpu loocv");
-    let (_, gpu_scatter, gpu_overall) =
-        leave_one_model_out_inference(&gpu_data).expect("gpu loocv");
+/// Run Figure 3: full scatter of measured vs. predicted inference times on
+/// the given CPU and GPU datasets.
+pub fn fig3(cpu_data: &[InferencePoint], gpu_data: &[InferencePoint]) -> Fig3Result {
+    let (_, cpu_scatter, cpu_overall) = leave_one_model_out_inference(cpu_data).expect("cpu loocv");
+    let (_, gpu_scatter, gpu_overall) = leave_one_model_out_inference(gpu_data).expect("gpu loocv");
     Fig3Result {
         cpu_scatter,
         gpu_scatter,
@@ -173,8 +168,8 @@ pub fn fig3() -> Fig3Result {
     }
 }
 
-/// Render and persist the Figure 3 result.
-pub fn print_fig3(result: &Fig3Result) {
+/// Render the Figure 3 result.
+pub fn render_fig3(result: &Fig3Result) -> String {
     let mut t = Table::new(
         "Figure 3: measured vs predicted inference time (held-out)",
         &["device", "points", "R2", "NRMSE", "MAPE"],
@@ -193,6 +188,7 @@ pub fn print_fig3(result: &Fig3Result) {
         format!("{:.3}", result.gpu_overall.nrmse),
         format!("{:.3}", result.gpu_overall.mape),
     ]);
-    t.print();
-    let _ = save_json("fig3", result);
+    let mut out = t.render();
+    out.push('\n');
+    out
 }

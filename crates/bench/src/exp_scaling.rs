@@ -1,7 +1,7 @@
 //! Scalability experiments: Figure 8 (throughput vs nodes) and Figure 9
 //! (throughput vs batch size).
 
-use crate::report::{save_json, Table};
+use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter::scalability::ThroughputPoint;
 use convmeter_distsim::ClusterConfig;
@@ -10,6 +10,7 @@ use convmeter_linalg::stats::{mean, std_dev};
 use convmeter_metrics::ModelMetrics;
 use convmeter_models::zoo;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// The eight ConvNets of Figure 8.
 pub const FIG8_MODELS: &[&str] = &[
@@ -58,12 +59,12 @@ fn measure_throughput(
     (mean(&samples), std_dev(&samples))
 }
 
-/// Run Figure 8: throughput vs nodes at image 128, per-device batch 64.
-/// Each model's predictor is trained with that model held out.
-pub fn fig8() -> Vec<ScalingCurve> {
+/// Run Figure 8: throughput vs nodes at image 128, per-device batch 64,
+/// from the distributed benchmark dataset. Each model's predictor is
+/// trained with that model held out.
+pub fn fig8(data: &[TrainingPoint]) -> Vec<ScalingCurve> {
     let device = DeviceProfile::a100_80gb();
     let nodes = [1usize, 2, 4, 8, 16];
-    let data = distributed_dataset(&device, &DistSweepConfig::paper());
     let mut curves = Vec::new();
     for &model in FIG8_MODELS {
         let train: Vec<TrainingPoint> = data.iter().filter(|p| p.model != model).cloned().collect();
@@ -87,8 +88,8 @@ pub fn fig8() -> Vec<ScalingCurve> {
     curves
 }
 
-/// Render and persist Figure 8.
-pub fn print_fig8(curves: &[ScalingCurve]) {
+/// Render Figure 8.
+pub fn render_fig8(curves: &[ScalingCurve]) -> String {
     let mut t = Table::new(
         "Figure 8: throughput (images/s) vs nodes (image 128, batch 64/device)",
         &["model", "nodes", "predicted", "measured", "std"],
@@ -108,7 +109,7 @@ pub fn print_fig8(curves: &[ScalingCurve]) {
             ]);
         }
     }
-    t.print();
+    let mut out = t.render();
     // The paper's qualitative anchor: AlexNet shows the most pronounced
     // diminishing return.
     let pred_speedup = |c: &ScalingCurve| {
@@ -129,14 +130,15 @@ pub fn print_fig8(curves: &[ScalingCurve]) {
         .filter(|c| c.model != "alexnet")
         .map(meas_speedup)
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "AlexNet 1->16 node speedup: measured {:.2}x / predicted {:.2}x; next-lowest model: measured {:.2}x / predicted {:.2}x\n(paper: AlexNet shows the most prominent diminishing return, which the prediction correctly reflects)\n",
+    let _ = writeln!(
+        out,
+        "\nAlexNet 1->16 node speedup: measured {:.2}x / predicted {:.2}x; next-lowest model: measured {:.2}x / predicted {:.2}x\n(paper: AlexNet shows the most prominent diminishing return, which the prediction correctly reflects)\n",
         meas_speedup(alex),
         pred_speedup(alex),
         others_min_meas,
         others_min_pred
     );
-    let _ = save_json("fig8", &curves);
+    out
 }
 
 /// One model's batch-scaling curve (Figure 9).
@@ -173,10 +175,9 @@ pub const FIG9_MODELS: &[&str] = &[
 pub const FIG9_BATCHES: &[usize] = &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
 
 /// Run Figure 9: throughput vs per-device batch at image 128 on one node
-/// (4 GPUs), leave-one-model-out.
-pub fn fig9() -> Vec<BatchCurve> {
+/// (4 GPUs), leave-one-model-out, from the distributed benchmark dataset.
+pub fn fig9(data: &[TrainingPoint]) -> Vec<BatchCurve> {
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &DistSweepConfig::paper());
     let mut curves = Vec::new();
     for &model in FIG9_MODELS {
         let train: Vec<TrainingPoint> = data.iter().filter(|p| p.model != model).cloned().collect();
@@ -205,8 +206,8 @@ pub fn fig9() -> Vec<BatchCurve> {
     curves
 }
 
-/// Render and persist Figure 9.
-pub fn print_fig9(curves: &[BatchCurve]) {
+/// Render Figure 9.
+pub fn render_fig9(curves: &[BatchCurve]) -> String {
     let mut t = Table::new(
         "Figure 9: throughput (images/s) vs per-device batch (image 128, 1 node x 4 GPUs)",
         &["model", "batch", "predicted", "measured"],
@@ -221,6 +222,7 @@ pub fn print_fig9(curves: &[BatchCurve]) {
             ]);
         }
     }
-    t.print();
-    let _ = save_json("fig9", &curves);
+    let mut out = t.render();
+    out.push('\n');
+    out
 }

@@ -1,11 +1,12 @@
 //! Training experiments: Table 3, Figure 5 (single GPU), Figure 7
-//! (distributed).
+//! (distributed). All take their benchmark dataset as input.
 
-use crate::report::{save_json, Table};
+use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_linalg::cv::LeaveOneGroupOut;
 use convmeter_linalg::stats::ErrorReport;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Scatter of one training phase: (measured, predicted) with context.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,8 +30,9 @@ pub struct TrainingPhasesResult {
     pub overall: ErrorReport,
 }
 
-/// Leave-one-model-out evaluation of all phases on a training dataset.
-fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
+/// Leave-one-model-out evaluation of all phases on a training dataset
+/// (single-GPU for Figure 5, distributed for Figure 7).
+pub fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
     let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
     let mut fwd = Vec::new();
     let mut bwd = Vec::new();
@@ -85,21 +87,6 @@ fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
     }
 }
 
-/// Run Figure 5: single-GPU training phases.
-pub fn fig5() -> TrainingPhasesResult {
-    let device = DeviceProfile::a100_80gb();
-    let data = training_dataset(&device, &SweepConfig::paper_training());
-    evaluate_phases(&data)
-}
-
-/// Run Figure 7: distributed training phases across nodes.
-pub fn fig7() -> TrainingPhasesResult {
-    let device = DeviceProfile::a100_80gb();
-    let cfg = DistSweepConfig::paper();
-    let data = distributed_dataset(&device, &cfg);
-    evaluate_phases(&data)
-}
-
 /// Result of Table 3: single-GPU and distributed per-model step errors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table3Result {
@@ -113,21 +100,18 @@ pub struct Table3Result {
     pub distributed_overall: ErrorReport,
 }
 
-/// Run Table 3 from the same evaluations behind Figures 5 and 7.
-pub fn table3() -> (Table3Result, TrainingPhasesResult, TrainingPhasesResult) {
-    let single = fig5();
-    let distributed = fig7();
-    let result = Table3Result {
+/// Assemble Table 3 from the same evaluations behind Figures 5 and 7.
+pub fn table3(single: &TrainingPhasesResult, distributed: &TrainingPhasesResult) -> Table3Result {
+    Table3Result {
         single_overall: single.overall,
         distributed_overall: distributed.overall,
         single: single.per_model.clone(),
         distributed: distributed.per_model.clone(),
-    };
-    (result, single, distributed)
+    }
 }
 
-/// Render and persist Table 3.
-pub fn print_table3(result: &Table3Result) {
+/// Render Table 3.
+pub fn render_table3(result: &Table3Result) -> String {
     let mut t = Table::new(
         "Table 3: training-step prediction per ConvNet (leave-one-model-out)",
         &[
@@ -152,16 +136,17 @@ pub fn print_table3(result: &Table3Result) {
             format!("{:.2}", d.report.mape),
         ]);
     }
-    t.print();
-    println!(
-        "Overall:\n  single GPU:  {}\n  distributed: {}\n  Paper: single R2=0.88 RMSE=29.4ms NRMSE=0.26 MAPE=0.18 | multi R2=0.78 RMSE=38.7ms NRMSE=0.18 MAPE=0.15\n",
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "\nOverall:\n  single GPU:  {}\n  distributed: {}\n  Paper: single R2=0.88 RMSE=29.4ms NRMSE=0.26 MAPE=0.18 | multi R2=0.78 RMSE=38.7ms NRMSE=0.18 MAPE=0.15\n",
         result.single_overall, result.distributed_overall
     );
-    let _ = save_json("table3", result);
+    out
 }
 
-/// Render and persist a phase evaluation (Figure 5 or 7).
-pub fn print_phases(name: &str, title: &str, result: &TrainingPhasesResult) {
+/// Render a phase evaluation (Figure 5 or 7) under the given title.
+pub fn render_phases(title: &str, result: &TrainingPhasesResult) -> String {
     let mut t = Table::new(
         title,
         &["phase", "points", "R2", "RMSE (ms)", "NRMSE", "MAPE"],
@@ -176,6 +161,7 @@ pub fn print_phases(name: &str, title: &str, result: &TrainingPhasesResult) {
             format!("{:.3}", p.report.mape),
         ]);
     }
-    t.print();
-    let _ = save_json(name, result);
+    let mut out = t.render();
+    out.push('\n');
+    out
 }

@@ -1,0 +1,334 @@
+//! Integration tests for the experiment engine: exactly-once dataset
+//! builds, warm-cache byte-identical reruns, and cache-key sensitivity to
+//! every configuration field.
+
+use convmeter_bench::engine::{
+    Artifact, DatasetSpec, Engine, EngineConfig, EngineError, Experiment, RunContext, RunOutput,
+};
+use convmeter_distsim::DistSweepConfig;
+use convmeter_hwsim::{DeviceProfile, SweepConfig};
+use std::path::PathBuf;
+
+fn quick_inference_spec() -> DatasetSpec {
+    DatasetSpec::Inference {
+        device: DeviceProfile::a100_80gb(),
+        config: SweepConfig::quick(),
+    }
+}
+
+fn quick_distributed_spec() -> DatasetSpec {
+    DatasetSpec::Distributed {
+        device: DeviceProfile::a100_80gb(),
+        config: DistSweepConfig::quick(),
+    }
+}
+
+/// A tiny experiment over the quick inference sweep.
+struct QuickInference;
+impl Experiment for QuickInference {
+    fn name(&self) -> &'static str {
+        "quick_inference"
+    }
+    fn title(&self) -> &'static str {
+        "test: quick inference summary"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["quick_inference"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        vec![quick_inference_spec()]
+    }
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        let data = ctx.inference(&quick_inference_spec())?;
+        let total: f64 = data.iter().map(|p| p.measured).sum();
+        Ok(RunOutput {
+            rendered: format!("quick inference: {} points\n", data.len()),
+            artifacts: vec![Artifact::json(
+                "quick_inference",
+                &serde_json::json!({"points": data.len(), "total_s": total}),
+            )],
+        })
+    }
+}
+
+/// A second experiment sharing `QuickInference`'s dataset.
+struct QuickShared;
+impl Experiment for QuickShared {
+    fn name(&self) -> &'static str {
+        "quick_shared"
+    }
+    fn title(&self) -> &'static str {
+        "test: shares the quick inference sweep"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["quick_shared"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        vec![quick_inference_spec()]
+    }
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        let data = ctx.inference(&quick_inference_spec())?;
+        let max = data.iter().map(|p| p.measured).fold(0.0f64, f64::max);
+        Ok(RunOutput {
+            rendered: format!("quick shared: max {max:.6}\n"),
+            artifacts: vec![Artifact::json(
+                "quick_shared",
+                &serde_json::json!({"max_s": max}),
+            )],
+        })
+    }
+}
+
+/// A distributed-sweep experiment, so warm runs cover both point types.
+struct QuickDistributed;
+impl Experiment for QuickDistributed {
+    fn name(&self) -> &'static str {
+        "quick_distributed"
+    }
+    fn title(&self) -> &'static str {
+        "test: quick distributed summary"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["quick_distributed"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        vec![quick_distributed_spec()]
+    }
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        let data = ctx.training(&quick_distributed_spec())?;
+        let total: f64 = data.iter().map(|p| p.step_time()).sum();
+        Ok(RunOutput {
+            rendered: format!("quick distributed: {} points\n", data.len()),
+            artifacts: vec![Artifact::json(
+                "quick_distributed",
+                &serde_json::json!({"points": data.len(), "total_s": total}),
+            )],
+        })
+    }
+}
+
+fn temp_results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("convmeter-engine-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(results_dir: PathBuf, use_disk_cache: bool) -> EngineConfig {
+    EngineConfig {
+        jobs: 2,
+        use_disk_cache,
+        results_dir,
+    }
+}
+
+#[test]
+fn warm_rerun_hits_disk_and_is_byte_identical() {
+    let dir = temp_results_dir("warm");
+    let exps: Vec<&dyn Experiment> = vec![&QuickInference, &QuickDistributed];
+
+    let cold = Engine::new(exps.clone(), config(dir.clone(), true))
+        .run()
+        .expect("cold run");
+    assert_eq!(cold.manifest.total_builds(), 2, "two distinct datasets");
+    assert_eq!(cold.manifest.total_disk_hits(), 0);
+    let cold_bytes: Vec<Vec<u8>> = ["quick_inference", "quick_distributed"]
+        .iter()
+        .map(|n| std::fs::read(dir.join(format!("{n}.json"))).expect("artefact exists"))
+        .collect();
+
+    // A fresh engine = a fresh in-process memo, so a warm run must be served
+    // entirely from the on-disk cache without re-running any sweep.
+    let warm = Engine::new(exps, config(dir.clone(), true))
+        .run()
+        .expect("warm run");
+    assert_eq!(
+        warm.manifest.total_builds(),
+        0,
+        "warm run rebuilt a dataset"
+    );
+    assert_eq!(warm.manifest.total_disk_hits(), 2);
+    for (name, cold_body) in ["quick_inference", "quick_distributed"]
+        .iter()
+        .zip(&cold_bytes)
+    {
+        let warm_body = std::fs::read(dir.join(format!("{name}.json"))).unwrap();
+        assert_eq!(&warm_body, cold_body, "{name}.json changed on warm rerun");
+    }
+
+    // The manifest records the run itself.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"disk_hits\""), "{manifest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shared_dataset_builds_once_and_memoises() {
+    let dir = temp_results_dir("shared");
+    let exps: Vec<&dyn Experiment> = vec![&QuickInference, &QuickShared];
+    let report = Engine::new(exps, config(dir.clone(), false))
+        .run()
+        .expect("run");
+    let key = quick_inference_spec().key();
+    let stats = &report.manifest.datasets[&key];
+    assert_eq!(stats.builds, 1, "sweep ran more than once");
+    assert_eq!(stats.memory_hits, 1, "second request missed the memo");
+    assert_eq!(stats.disk_hits, 0, "disk cache was disabled");
+    // --no-cache leaves no cache directory behind.
+    assert!(!dir.join("cache").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_key_changes_with_every_sweep_config_field() {
+    let device = DeviceProfile::a100_80gb();
+    let base = SweepConfig::quick();
+    let key = |c: &SweepConfig| {
+        DatasetSpec::Inference {
+            device: device.clone(),
+            config: c.clone(),
+        }
+        .key()
+    };
+    let base_key = key(&base);
+
+    let mutations: Vec<(&str, SweepConfig)> = vec![
+        ("models", {
+            let mut c = base.clone();
+            c.models.pop();
+            c
+        }),
+        ("image_sizes", {
+            let mut c = base.clone();
+            c.image_sizes.push(224);
+            c
+        }),
+        ("batch_sizes", {
+            let mut c = base.clone();
+            c.batch_sizes[0] = 2;
+            c
+        }),
+        ("seed", {
+            let mut c = base.clone();
+            c.seed += 1;
+            c
+        }),
+        ("respect_memory", {
+            let mut c = base.clone();
+            c.respect_memory = !c.respect_memory;
+            c
+        }),
+        ("max_point_time", {
+            let mut c = base.clone();
+            c.max_point_time = Some(1.5);
+            c
+        }),
+    ];
+    for (field, mutated) in mutations {
+        assert_ne!(
+            key(&mutated),
+            base_key,
+            "changing SweepConfig::{field} did not change the cache key"
+        );
+    }
+
+    // Device changes are part of the key too.
+    let other_device = DatasetSpec::Inference {
+        device: DeviceProfile::xeon_gold_5318y_core(),
+        config: base.clone(),
+    };
+    assert_ne!(other_device.key(), base_key);
+
+    // And the same config under a different dataset kind.
+    let as_training = DatasetSpec::Training {
+        device: device.clone(),
+        config: base.clone(),
+    };
+    assert_ne!(as_training.key(), base_key);
+}
+
+#[test]
+fn cache_key_changes_with_every_dist_config_field() {
+    let device = DeviceProfile::a100_80gb();
+    let base = DistSweepConfig::quick();
+    let key = |c: &DistSweepConfig| {
+        DatasetSpec::Distributed {
+            device: device.clone(),
+            config: c.clone(),
+        }
+        .key()
+    };
+    let base_key = key(&base);
+    let mutations: Vec<(&str, DistSweepConfig)> = vec![
+        ("models", {
+            let mut c = base.clone();
+            c.models.pop();
+            c
+        }),
+        ("image_sizes", {
+            let mut c = base.clone();
+            c.image_sizes[0] = 64;
+            c
+        }),
+        ("batch_sizes", {
+            let mut c = base.clone();
+            c.batch_sizes.push(128);
+            c
+        }),
+        ("node_counts", {
+            let mut c = base.clone();
+            c.node_counts.push(8);
+            c
+        }),
+        ("seed", {
+            let mut c = base.clone();
+            c.seed ^= 0xFF;
+            c
+        }),
+    ];
+    for (field, mutated) in mutations {
+        assert_ne!(
+            key(&mutated),
+            base_key,
+            "changing DistSweepConfig::{field} did not change the cache key"
+        );
+    }
+}
+
+#[test]
+fn blocks_key_covers_grids_and_seed() {
+    let device = DeviceProfile::a100_80gb();
+    let spec = |images: &[usize], batches: &[usize], seed: u64| DatasetSpec::Blocks {
+        device: device.clone(),
+        image_sizes: images.to_vec(),
+        batch_sizes: batches.to_vec(),
+        seed,
+    };
+    let base = spec(&[64, 128], &[1, 8], 1).key();
+    assert_ne!(spec(&[64], &[1, 8], 1).key(), base);
+    assert_ne!(spec(&[64, 128], &[1, 16], 1).key(), base);
+    assert_ne!(spec(&[64, 128], &[1, 8], 2).key(), base);
+    // List boundaries are unambiguous: moving an element across the
+    // image/batch boundary must change the key.
+    assert_ne!(spec(&[64, 128, 1], &[8], 1).key(), base);
+}
+
+#[test]
+fn select_validates_names_and_keeps_registry_order() {
+    let cfg = config(temp_results_dir("select"), false);
+    let Err(err) = Engine::select(&["table1", "no_such_exp"], cfg.clone()) else {
+        panic!("unknown name accepted");
+    };
+    assert!(matches!(err, EngineError::UnknownExperiment { ref name } if name == "no_such_exp"));
+    assert!(err.to_string().contains("no_such_exp"));
+    // Selection is fine with valid names regardless of argument order.
+    assert!(Engine::select(&["fig3", "table1"], cfg).is_ok());
+}
+
+#[test]
+fn wrong_kind_requests_error() {
+    let store = convmeter_bench::engine::DatasetStore::new(None);
+    let err = store.training(&quick_inference_spec()).unwrap_err();
+    assert!(matches!(err, EngineError::WrongKind { .. }));
+    let err = store.inference(&quick_distributed_spec()).unwrap_err();
+    assert!(matches!(err, EngineError::WrongKind { .. }));
+}

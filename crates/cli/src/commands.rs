@@ -685,3 +685,65 @@ pub fn dot(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     write!(out, "{}", convmeter_graph::dot::to_dot(&graph))?;
     Ok(())
 }
+
+/// `convmeter bench [--list] [--only a,b,...] [--jobs N] [--no-cache]`
+///
+/// Drives the unified experiment engine: regenerates paper artefacts under
+/// the results directory with a shared content-addressed dataset cache and
+/// parallel scheduling. `--list` prints the registry without running
+/// anything.
+pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_bench::engine::{registry, Engine, EngineConfig};
+
+    if args.switch("list") {
+        writeln!(out, "{:<14} {:<34} title", "name", "artefacts")?;
+        for exp in registry() {
+            writeln!(
+                out,
+                "{:<14} {:<34} {}",
+                exp.name(),
+                exp.artifacts().join(","),
+                exp.title()
+            )?;
+        }
+        writeln!(out, "{} experiment(s) registered", registry().len())?;
+        return Ok(());
+    }
+
+    let mut config = EngineConfig::from_env();
+    config.jobs = args.get_or("jobs", config.jobs)?;
+    config.use_disk_cache = !args.switch("no-cache");
+    let results_dir = config.results_dir.clone();
+
+    let engine = match args.opt("only") {
+        Some(list) => {
+            let names: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if names.is_empty() {
+                return Err(CliError::Usage("--only needs experiment names".into()));
+            }
+            Engine::select(&names, config)?
+        }
+        None => Engine::all(config),
+    };
+    let report = engine.run()?;
+    for (_, text) in &report.rendered {
+        write!(out, "{text}")?;
+    }
+    let m = &report.manifest;
+    let artefacts: usize = m.experiments.iter().map(|e| e.artifacts.len()).sum();
+    writeln!(
+        out,
+        "{} experiment(s), {} artefact(s) written to {} — datasets: {} built, {} disk hit(s), {} memory hit(s)",
+        m.experiments.len(),
+        artefacts,
+        results_dir.display(),
+        m.total_builds(),
+        m.total_disk_hits(),
+        m.total_memory_hits(),
+    )?;
+    Ok(())
+}

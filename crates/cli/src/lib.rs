@@ -13,6 +13,8 @@
 //! convmeter scale-batch --model-file train.json resnet18
 //! convmeter bottlenecks --model-file model.json resnet50
 //! convmeter eval --data data.json                     # LOOCV per model
+//! convmeter bench --only table1,fig3 --jobs 4         # paper artefacts
+//! convmeter bench --list                              # the registry
 //! convmeter lint                                      # lint the whole zoo
 //! convmeter lint resnet50 --json                      # machine-readable
 //! convmeter dot resnet18 > resnet18.dot               # Graphviz export
@@ -42,6 +44,8 @@ pub enum CliError {
         /// Number of error-severity findings across all linted targets.
         errors: usize,
     },
+    /// `convmeter bench` failed inside the experiment engine.
+    Engine(convmeter_bench::engine::EngineError),
 }
 
 impl std::fmt::Display for CliError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for CliError {
             CliError::Lint { errors } => {
                 write!(f, "lint found {errors} error(s)")
             }
+            CliError::Engine(e) => write!(f, "bench error: {e}"),
         }
     }
 }
@@ -66,6 +71,7 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::Persist(e) => Some(e),
             CliError::Graph(e) => Some(e),
+            CliError::Engine(e) => Some(e),
             CliError::Usage(_) | CliError::Lint { .. } => None,
         }
     }
@@ -92,6 +98,12 @@ impl From<convmeter::persist::PersistError> for CliError {
 impl From<convmeter_graph::GraphError> for CliError {
     fn from(e: convmeter_graph::GraphError) -> Self {
         CliError::Graph(e)
+    }
+}
+
+impl From<convmeter_bench::engine::EngineError> for CliError {
+    fn from(e: convmeter_bench::engine::EngineError) -> Self {
+        CliError::Engine(e)
     }
 }
 
@@ -137,6 +149,9 @@ COMMANDS:
                                       --data FILE --out PROFILE
   eval                              leave-one-model-out accuracy report
                                       --data FILE
+  bench                             regenerate paper artefacts (engine)
+                                      [--list] [--only table1,fig3,...]
+                                      [--jobs N] [--no-cache]
   lint [<model>...]                 static graph & model lints (CMxxxx codes)
                                       [--image N] [--json]
                                       [--model-file FILE] [--data FILE]
@@ -168,6 +183,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "nas" => commands::nas(&args, out),
         "calibrate" => commands::calibrate(&args, out),
         "eval" => commands::eval(&args, out),
+        "bench" => commands::bench(&args, out),
         "lint" => commands::lint(&args, out),
         "dot" => commands::dot(&args, out),
         "help" | "--help" | "-h" => {
@@ -427,6 +443,24 @@ mod tests {
         let out = run_str(&["dot", "squeezenet1_0", "--image", "64"]).unwrap();
         assert!(out.starts_with("digraph"));
         assert!(out.contains("Conv2d"));
+    }
+
+    #[test]
+    fn bench_list_shows_registry() {
+        let out = run_str(&["bench", "--list"]).unwrap();
+        assert!(out.contains("table1"), "{out}");
+        assert!(out.contains("transformers"), "{out}");
+        assert!(out.contains("ext_strategies"), "{out}");
+        assert!(out.contains("15 experiment(s) registered"), "{out}");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_experiment() {
+        let err = run_str(&["bench", "--only", "no_such_exp"]).unwrap_err();
+        assert!(matches!(err, CliError::Engine(_)));
+        assert!(err.to_string().contains("no_such_exp"));
+        let err = run_str(&["bench", "--only", ""]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -79,67 +79,103 @@ impl MetricsCache {
     }
 }
 
+/// The generic feature-attachment step: resolve each raw sample's
+/// `(model, image, batch)` configuration to its batch-scaled static metrics
+/// through the zoo (caching per `(model, image)`), and let `make` assemble
+/// the annotated point. Every dataset flavour funnels through this one
+/// loop.
+fn attach_features<S, P>(
+    samples: Vec<S>,
+    key: impl Fn(&S) -> (&str, usize, usize),
+    make: impl Fn(S, BatchMetrics) -> P,
+) -> Vec<P> {
+    let mut cache = MetricsCache::default();
+    samples
+        .into_iter()
+        .map(|sample| {
+            let (model, image, batch) = key(&sample);
+            let metrics = cache.get(model, image).at_batch(batch);
+            make(sample, metrics)
+        })
+        .collect()
+}
+
+/// Annotate raw inference sweep samples with their static features.
+///
+/// Split out from [`inference_dataset`] so callers holding precomputed (or
+/// cached) sweep outputs can attach features without re-simulating.
+pub fn attach_inference_features(
+    samples: Vec<convmeter_hwsim::InferenceSample>,
+) -> Vec<InferencePoint> {
+    attach_features(
+        samples,
+        |s| (s.model.as_str(), s.image_size, s.batch),
+        |s, metrics| InferencePoint {
+            model: s.model,
+            image_size: s.image_size,
+            batch: s.batch,
+            metrics,
+            measured: s.time_s,
+        },
+    )
+}
+
+/// Annotate raw single-device training sweep samples (nodes = devices = 1).
+pub fn attach_training_features(
+    samples: Vec<convmeter_hwsim::TrainingSample>,
+) -> Vec<TrainingPoint> {
+    attach_features(
+        samples,
+        |s| (s.model.as_str(), s.image_size, s.batch),
+        |s, metrics| TrainingPoint {
+            model: s.model,
+            image_size: s.image_size,
+            batch: s.batch,
+            nodes: 1,
+            devices: 1,
+            metrics,
+            fwd: s.phases.forward,
+            bwd: s.phases.backward,
+            grad: s.phases.grad_update,
+        },
+    )
+}
+
+/// Annotate raw distributed-training sweep samples.
+pub fn attach_distributed_features(
+    samples: Vec<convmeter_distsim::DistTrainingSample>,
+) -> Vec<TrainingPoint> {
+    attach_features(
+        samples,
+        |s| (s.model.as_str(), s.image_size, s.batch),
+        |s, metrics| TrainingPoint {
+            image_size: s.image_size,
+            batch: s.batch,
+            nodes: s.nodes,
+            devices: s.total_devices(),
+            metrics,
+            fwd: s.phases.forward,
+            bwd: s.phases.backward,
+            grad: s.phases.grad_update,
+            model: s.model,
+        },
+    )
+}
+
 /// Run an inference sweep on `device` and annotate every sample with its
 /// static features.
 pub fn inference_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferencePoint> {
-    let mut cache = MetricsCache::default();
-    inference_sweep(device, config)
-        .into_iter()
-        .map(|s| {
-            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
-            InferencePoint {
-                model: s.model,
-                image_size: s.image_size,
-                batch: s.batch,
-                metrics,
-                measured: s.time_s,
-            }
-        })
-        .collect()
+    attach_inference_features(inference_sweep(device, config))
 }
 
 /// Run a single-device training sweep and annotate it (nodes = devices = 1).
 pub fn training_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingPoint> {
-    let mut cache = MetricsCache::default();
-    training_sweep(device, config)
-        .into_iter()
-        .map(|s| {
-            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
-            TrainingPoint {
-                model: s.model,
-                image_size: s.image_size,
-                batch: s.batch,
-                nodes: 1,
-                devices: 1,
-                metrics,
-                fwd: s.phases.forward,
-                bwd: s.phases.backward,
-                grad: s.phases.grad_update,
-            }
-        })
-        .collect()
+    attach_training_features(training_sweep(device, config))
 }
 
 /// Run a distributed-training sweep and annotate it.
 pub fn distributed_dataset(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<TrainingPoint> {
-    let mut cache = MetricsCache::default();
-    distributed_sweep(device, config)
-        .into_iter()
-        .map(|s| {
-            let metrics = cache.get(&s.model, s.image_size).at_batch(s.batch);
-            TrainingPoint {
-                model: s.model.clone(),
-                image_size: s.image_size,
-                batch: s.batch,
-                nodes: s.nodes,
-                devices: s.total_devices(),
-                metrics,
-                fwd: s.phases.forward,
-                bwd: s.phases.backward,
-                grad: s.phases.grad_update,
-            }
-        })
-        .collect()
+    attach_distributed_features(distributed_sweep(device, config))
 }
 
 #[cfg(test)]

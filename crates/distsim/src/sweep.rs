@@ -76,6 +76,14 @@ impl DistSweepConfig {
         }
     }
 
+    /// A stable content fingerprint of this sweep configuration, for
+    /// content-addressed dataset caches. Hashes the canonical JSON
+    /// serialisation: changing any field yields a different digest.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).expect("sweep configs serialise");
+        convmeter_graph::stable_digest(&json)
+    }
+
     fn point_seed(&self, model: &str, image: usize, batch: usize, nodes: usize) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
         for b in model

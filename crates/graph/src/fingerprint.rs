@@ -1,0 +1,233 @@
+//! Stable content fingerprints for cache keys.
+//!
+//! The experiment engine caches benchmark datasets under content-addressed
+//! keys: a dataset is rebuilt only when something that determines its
+//! content — device profile, sweep configuration, or the model zoo itself —
+//! changes. That requires a hash that is *stable across processes*, unlike
+//! [`std::collections::hash_map::RandomState`], which is seeded per process.
+//!
+//! [`StableHasher`] is a 128-bit hasher built from two independent FNV-1a
+//! lanes. It implements [`std::hash::Hasher`], so anything deriving
+//! [`std::hash::Hash`] can be fingerprinted, and all integer writes go
+//! through little-endian byte encoding so a digest never depends on the
+//! process or the hasher's default integer passthrough. FNV is not
+//! cryptographic; 128 bits is collision headroom for a cache with tens of
+//! entries, not an integrity guarantee.
+
+use crate::graph::Graph;
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis for the second lane (FNV offset XOR-folded with a prime),
+/// so the two lanes disagree from the first byte on.
+const LANE2_OFFSET: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// A deterministic 128-bit hasher (two FNV-1a lanes).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Start a fresh hasher.
+    pub fn new() -> Self {
+        StableHasher {
+            a: FNV_OFFSET,
+            b: LANE2_OFFSET,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0xA5)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// digest differently.
+    pub fn update_str(&mut self, s: &str) {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes());
+    }
+
+    /// The 128-bit digest as 32 lowercase hex characters.
+    pub fn digest(&self) -> String {
+        format!("{:016x}{:016x}", self.a, self.b)
+    }
+
+    /// A short (64-bit / 16 hex chars) form of the digest, convenient for
+    /// file names.
+    pub fn short_digest(&self) -> String {
+        format!("{:016x}", self.a ^ self.b.rotate_left(32))
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.a ^ self.b.rotate_left(32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.update(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.update(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.update(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.update(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.update(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.update(&(i as u64).to_le_bytes());
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// Digest any string (e.g. a canonical JSON serialisation) to 32 hex chars.
+pub fn stable_digest(content: &str) -> String {
+    let mut h = StableHasher::new();
+    h.update_str(content);
+    h.digest()
+}
+
+impl Graph {
+    /// A stable structural fingerprint of this graph: input shape, every
+    /// node's operator, wiring and name, and the registered block spans.
+    /// Two graphs with identical structure produce identical fingerprints
+    /// in every process; any change to a layer, connection, or block span
+    /// changes the digest. The graph's display *name* is deliberately
+    /// excluded so renamed copies (e.g. extracted blocks) still match.
+    pub fn fingerprint(&self) -> String {
+        let mut h = StableHasher::new();
+        self.input_shape().hash(&mut h);
+        h.write_usize(self.len());
+        for node in self.nodes() {
+            node.layer.hash(&mut h);
+            for input in &node.inputs {
+                // Raw id, not index(): the INPUT pseudo-id (u32::MAX) is a
+                // legitimate producer and must hash stably too.
+                h.write_u32(input.0);
+            }
+            node.name.hash(&mut h);
+        }
+        for span in self.blocks() {
+            h.update_str(&span.name);
+            h.write_usize(span.start);
+            h.write_usize(span.end);
+        }
+        h.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::shape::Shape;
+
+    fn demo_graph(channels: usize) -> Graph {
+        let mut b = GraphBuilder::new("demo", Shape::Chw { c: 3, h: 32, w: 32 });
+        b.layer(crate::layer::Layer::Conv2d {
+            in_channels: 3,
+            out_channels: channels,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            groups: 1,
+            bias: true,
+        });
+        b.layer(crate::layer::Layer::Flatten);
+        b.layer(crate::layer::Layer::Linear {
+            in_features: channels * 32 * 32,
+            out_features: 10,
+            bias: true,
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = demo_graph(16).fingerprint();
+        let b = demo_graph(16).fingerprint();
+        let c = demo_graph(17).fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|ch| ch.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn graph_name_does_not_affect_fingerprint() {
+        let mut g = demo_graph(16);
+        let before = g.fingerprint();
+        g.set_name("renamed");
+        assert_eq!(before, g.fingerprint());
+    }
+
+    #[test]
+    fn string_digest_is_length_prefixed() {
+        let mut one = StableHasher::new();
+        one.update_str("ab");
+        one.update_str("c");
+        let mut two = StableHasher::new();
+        two.update_str("a");
+        two.update_str("bc");
+        assert_ne!(one.digest(), two.digest());
+    }
+
+    #[test]
+    fn short_digest_is_16_hex() {
+        let d = stable_digest("x");
+        assert_eq!(d.len(), 32);
+        let mut h = StableHasher::new();
+        h.update_str("x");
+        assert_eq!(h.short_digest().len(), 16);
+    }
+}

@@ -25,6 +25,7 @@ pub mod block;
 pub mod builder;
 pub mod diagnostics;
 pub mod dot;
+pub mod fingerprint;
 pub mod graph;
 pub mod layer;
 pub mod lint;
@@ -35,6 +36,7 @@ pub mod transform;
 pub use block::BlockSpan;
 pub use builder::GraphBuilder;
 pub use diagnostics::{codes, Diagnostic, LintReport, Severity};
+pub use fingerprint::{stable_digest, StableHasher};
 pub use graph::{Graph, GraphError, Node, NodeId, NodeShapes};
 pub use layer::{Activation, Layer, PoolKind};
 pub use lint::{default_passes, lint_graph, lint_graph_with, LintContext, LintPass};

@@ -108,6 +108,16 @@ impl DeviceProfile {
         self.mem_bandwidth * self.memory_efficiency
     }
 
+    /// A stable content fingerprint of this profile, for content-addressed
+    /// dataset caches: any change to any field (including precision
+    /// retuning via [`DeviceProfile::with_precision`]) changes the digest.
+    /// Hashes the canonical JSON serialisation, so newly added fields are
+    /// covered automatically.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).expect("device profiles serialise");
+        convmeter_graph::stable_digest(&json)
+    }
+
     /// Occupancy factor in (0, 1] for a kernel of `work` FLOPs: the fraction
     /// of sustainable throughput the device actually reaches.
     pub fn occupancy(&self, work: f64) -> f64 {

@@ -96,6 +96,15 @@ impl SweepConfig {
         self
     }
 
+    /// A stable content fingerprint of this sweep configuration, for
+    /// content-addressed dataset caches. Hashes the canonical JSON
+    /// serialisation: changing *any* field — models, grids, seed, memory
+    /// gating, or runtime cap — yields a different digest.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).expect("sweep configs serialise");
+        convmeter_graph::stable_digest(&json)
+    }
+
     fn point_seed(&self, model: &str, image: usize, batch: usize) -> u64 {
         // FNV-1a over the identifying tuple: stable, scheduling-independent.
         let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;

@@ -247,6 +247,34 @@ pub fn all_models(image_size: usize) -> Vec<Graph> {
         .collect()
 }
 
+/// A stable content fingerprint of the whole zoo (paper set plus
+/// extensions): every entry's name, minimum image size, and the structural
+/// fingerprint of its graph built at a reference size. Any change to a
+/// model definition — a layer, a channel count, a block span — or to zoo
+/// membership changes the digest, which is what invalidates
+/// content-addressed benchmark-dataset caches.
+///
+/// The reference build is `max(min_image_size, 64)` px; a model edit that
+/// only manifests at other image sizes (none do today — the builders are
+/// parametric in the image size) would be missed, which is the documented
+/// trade-off for not hashing the full (model × image-size) grid on every
+/// cache lookup. Computed once per process.
+pub fn fingerprint() -> &'static str {
+    use convmeter_graph::StableHasher;
+    use std::sync::OnceLock;
+    static FINGERPRINT: OnceLock<String> = OnceLock::new();
+    FINGERPRINT.get_or_init(|| {
+        let mut h = StableHasher::new();
+        for spec in ZOO.iter().chain(EXTENDED_ZOO) {
+            let reference = spec.min_image_size.max(64);
+            h.update_str(spec.name);
+            h.update(&(spec.min_image_size as u64).to_le_bytes());
+            h.update_str(&spec.build(reference, 1000).fingerprint());
+        }
+        h.digest()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,4 +15,15 @@ cargo test -q --offline
 echo "==> convmeter lint (zoo-wide, errors are fatal)"
 cargo run -q -p convmeter-cli --offline -- lint >/dev/null
 
+echo "==> convmeter bench --list (registry is intact)"
+cargo run -q -p convmeter-cli --offline -- bench --list >/dev/null
+
+echo "==> convmeter bench --only extensions (engine smoke run)"
+BENCH_TMP="$(mktemp -d)"
+CONVMETER_RESULTS="$BENCH_TMP" \
+    cargo run -q -p convmeter-cli --offline -- bench --only extensions --jobs 1 >/dev/null
+test -f "$BENCH_TMP/manifest.json"
+test -f "$BENCH_TMP/ext_strategies.json"
+rm -rf "$BENCH_TMP"
+
 echo "all checks passed"
