@@ -167,6 +167,7 @@ impl MlpPredictor {
     /// Train on (features, measured-seconds) pairs. Targets are log-scaled
     /// and standardised; training is full-batch Adam for `config.epochs`.
     pub fn fit(data: &[(Vec<f64>, f64)], config: &MlpConfig) -> Result<Self, String> {
+        let _span = convmeter_metrics::obs::span!("baselines.fit.mlp");
         if data.len() < 8 {
             return Err(format!(
                 "need at least 8 training points, got {}",

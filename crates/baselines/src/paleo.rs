@@ -47,6 +47,7 @@ impl PaleoModel {
     /// Fit `1/B` and `1/C` (plus a constant overhead) on
     /// (metrics, batch, measured-seconds) triples.
     pub fn fit(data: &[(&ModelMetrics, usize, f64)]) -> Result<Self, FitError> {
+        let _span = convmeter_metrics::obs::span!("baselines.fit.paleo");
         let xs: Vec<Vec<f64>> = data.iter().map(|(m, b, _)| loads(m, *b).to_vec()).collect();
         let ys: Vec<f64> = data.iter().map(|(_, _, t)| *t).collect();
         let reg = LinearRegression::new().with_ridge(1e-9).fit(&xs, &ys)?;

@@ -26,6 +26,7 @@ pub use registry::registry;
 pub use store::{DatasetSpec, DatasetStats, DatasetStore, CACHE_FORMAT};
 
 use convmeter::dataset::{InferencePoint, TrainingPoint};
+use convmeter_metrics::obs;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,6 +56,15 @@ pub enum EngineError {
         /// The unmatched name.
         name: String,
     },
+    /// An experiment panicked on a worker thread. The pool catches the
+    /// unwind so one bad experiment fails the run with a real error instead
+    /// of tearing the process down mid-write.
+    ExperimentPanicked {
+        /// Registry name of the panicking experiment.
+        name: String,
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -69,6 +79,9 @@ impl std::fmt::Display for EngineError {
                     f,
                     "unknown experiment '{name}' (run with --list to see the registry)"
                 )
+            }
+            EngineError::ExperimentPanicked { name, message } => {
+                write!(f, "experiment '{name}' panicked: {message}")
             }
         }
     }
@@ -166,12 +179,13 @@ impl EngineConfig {
     }
 }
 
-/// Default worker count: available parallelism, at most 8.
+/// Default worker count: one job per core the scheduler will actually give
+/// us ([`std::thread::available_parallelism`], which respects cgroup quotas
+/// and affinity masks), falling back to 1 when that cannot be determined.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
 }
 
 /// Record of one written artefact file.
@@ -187,6 +201,45 @@ pub struct ArtifactRecord {
     pub bytes: usize,
 }
 
+/// One aggregated span path inside an experiment, for the manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSummary {
+    /// `/`-joined span path relative to the experiment's root span.
+    pub name: String,
+    /// Completions of this exact path.
+    pub count: u64,
+    /// Summed wall time, milliseconds.
+    pub total_ms: f64,
+}
+
+/// Flatten the subtree under `experiment:<name>` into `/`-joined
+/// [`SpanSummary`] rows (the experiment's own root span included, as `""`
+/// would be unhelpful — it appears under its full `experiment:<name>`).
+fn experiment_spans(tree: &obs::SpanAgg, name: &str) -> Vec<SpanSummary> {
+    fn walk(prefix: &str, agg: &obs::SpanAgg, out: &mut Vec<SpanSummary>) {
+        for (child_name, child) in &agg.children {
+            let path = format!("{prefix}/{child_name}");
+            out.push(SpanSummary {
+                name: path.clone(),
+                count: child.count,
+                total_ms: child.total.as_secs_f64() * 1e3,
+            });
+            walk(&path, child, out);
+        }
+    }
+    let label = format!("experiment:{name}");
+    let mut out = Vec::new();
+    if let Some(node) = tree.find(&label) {
+        out.push(SpanSummary {
+            name: label.clone(),
+            count: node.count,
+            total_ms: node.total.as_secs_f64() * 1e3,
+        });
+        walk(&label, node, &mut out);
+    }
+    out
+}
+
 /// Record of one executed experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentRecord {
@@ -198,12 +251,19 @@ pub struct ExperimentRecord {
     pub wall_seconds: f64,
     /// Written artefacts.
     pub artifacts: Vec<ArtifactRecord>,
+    /// Aggregated spans observed while this experiment ran (empty when the
+    /// run happened outside an observability session).
+    pub spans: Vec<SpanSummary>,
 }
+
+/// Manifest schema version. History: 1 = initial engine manifest; 2 = added
+/// per-experiment `spans` summaries.
+pub const MANIFEST_FORMAT: u32 = 2;
 
 /// The whole run, written to `results/manifest.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct Manifest {
-    /// Manifest schema version.
+    /// Manifest schema version ([`MANIFEST_FORMAT`]).
     pub format_version: u32,
     /// Worker threads used.
     pub jobs: usize,
@@ -285,7 +345,14 @@ impl<'a> Engine<'a> {
     /// Run every experiment, write artefacts and the manifest, and return
     /// the report. Output ordering is deterministic (registry order)
     /// regardless of the parallel schedule; progress goes to stderr.
+    ///
+    /// The run happens inside an observability session (joining an
+    /// enclosing one, e.g. `convmeter profile`'s, when the caller already
+    /// holds it): every experiment executes under a `experiment:<name>`
+    /// span, and the aggregated span tree per experiment lands in the
+    /// manifest's [`ExperimentRecord::spans`].
     pub fn run(&self) -> Result<EngineReport, EngineError> {
+        let session = obs::Session::begin();
         let store = DatasetStore::new(
             self.config
                 .use_disk_cache
@@ -294,15 +361,25 @@ impl<'a> Engine<'a> {
         let ctx_store = &store;
         let total = self.experiments.len();
         let completed = AtomicUsize::new(0);
-        let results: Vec<(Result<RunOutput, EngineError>, f64)> =
+        let results: Vec<(Result<RunOutput, EngineError>, f64)> = {
+            // Scope the engine span so sequential (jobs = 1) experiment
+            // spans flush to the sink before we snapshot for the manifest.
+            let _engine_span = obs::span!("engine.run");
             pool::run_ordered(&self.experiments, self.config.jobs, |_, exp| {
+                let _span = obs::span::span(format!("experiment:{}", exp.name()));
                 let started = Instant::now();
                 let out = exp.run(&RunContext { store: ctx_store });
                 let secs = started.elapsed().as_secs_f64();
                 let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!("[{k}/{total}] {} done ({secs:.1}s)", exp.name());
                 (out, secs)
-            });
+            })
+            .map_err(|p| EngineError::ExperimentPanicked {
+                name: self.experiments[p.index].name().to_string(),
+                message: p.message,
+            })?
+        };
+        let span_tree = session.span_snapshot();
 
         std::fs::create_dir_all(&self.config.results_dir).map_err(|source| EngineError::Io {
             context: format!("results directory {}", self.config.results_dir.display()),
@@ -336,11 +413,12 @@ impl<'a> Engine<'a> {
                 title: exp.title().to_string(),
                 wall_seconds,
                 artifacts,
+                spans: experiment_spans(&span_tree, exp.name()),
             });
             rendered.push((exp.name().to_string(), output.rendered));
         }
         let manifest = Manifest {
-            format_version: 1,
+            format_version: MANIFEST_FORMAT,
             jobs: self.config.jobs,
             disk_cache: self.config.use_disk_cache,
             experiments: records,

@@ -4,27 +4,78 @@
 //! the engine brings its own scheduler: `run_ordered` fans N items out to
 //! at most `jobs` worker threads pulling from a shared atomic work index,
 //! and returns results in input order regardless of completion order.
+//!
+//! Worker panics are caught (`catch_unwind`) and surfaced as a typed
+//! [`WorkerPanic`] instead of tearing down the thread scope, so the caller
+//! decides how to report the failure. The pool
+//! also reports itself to the observability layer: a worker-count gauge,
+//! a peak-queue-depth gauge, and an items counter
+//! (`engine.pool.{workers,queue_depth_max,items}`).
 
+use convmeter_metrics::obs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A panic that escaped a work item, captured by [`run_ordered`].
+#[derive(Debug)]
+pub struct WorkerPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Apply `f` to every item on up to `jobs` threads, returning the results
 /// in input order. `f` receives `(index, &item)`.
 ///
 /// With `jobs <= 1` (or a single item) everything runs on the calling
 /// thread, which keeps stack traces and panic messages simple in tests.
-pub fn run_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+///
+/// If any item's closure panics, the panic is caught and the call returns
+/// the [`WorkerPanic`] with the *lowest input index* (deterministic even
+/// under parallel scheduling); results of the other items are discarded.
+pub fn run_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = jobs.max(1).min(items.len());
+    obs::gauge!("engine.pool.workers").record_max(workers as u64);
+    obs::counter!("engine.pool.items").add(items.len() as u64);
+    let run_one = |i: usize, t: &T| -> Result<R, WorkerPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| WorkerPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, WorkerPanic>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -32,7 +83,8 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let out = f(i, &items[i]);
+                obs::gauge!("engine.pool.queue_depth_max").record_max((items.len() - i) as u64);
+                let out = run_one(i, &items[i]);
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -58,15 +110,22 @@ mod tests {
             // Stagger completion so late items can finish before early ones.
             std::thread::sleep(std::time::Duration::from_micros(((64 - i) % 7) as u64));
             x * 2
-        });
+        })
+        .expect("no panics");
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn sequential_fallback() {
         let items = [1, 2, 3];
-        assert_eq!(run_ordered(&items, 0, |_, &x| x + 1), vec![2, 3, 4]);
-        assert_eq!(run_ordered(&items, 1, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(
+            run_ordered(&items, 0, |_, &x| x + 1).unwrap(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            run_ordered(&items, 1, |_, &x| x + 1).unwrap(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -76,7 +135,8 @@ mod tests {
         let out = run_ordered(&items, 4, |_, &x| {
             counter.fetch_add(1, Ordering::Relaxed);
             x
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(out.len(), 100);
     }
@@ -84,6 +144,29 @@ mod tests {
     #[test]
     fn empty_input() {
         let items: [usize; 0] = [];
-        assert!(run_ordered(&items, 4, |_, &x| x).is_empty());
+        assert!(run_ordered(&items, 4, |_, &x| x).unwrap().is_empty());
+    }
+
+    #[test]
+    fn panics_become_typed_errors() {
+        let items: Vec<usize> = (0..16).collect();
+        let err = run_ordered(&items, 4, |_, &x| {
+            if x % 5 == 3 {
+                panic!("item {x} exploded");
+            }
+            x
+        })
+        .unwrap_err();
+        // Lowest panicking index wins deterministically.
+        assert_eq!(err.index, 3);
+        assert_eq!(err.message, "item 3 exploded");
+    }
+
+    #[test]
+    fn sequential_panics_are_caught_too() {
+        let items = [1, 2];
+        let err = run_ordered(&items, 1, |_, &x: &i32| -> i32 { panic!("boom {x}") }).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.message, "boom 1");
     }
 }

@@ -20,6 +20,7 @@ use convmeter::dataset::{InferencePoint, TrainingPoint};
 use convmeter::persist;
 use convmeter::prelude::*;
 use convmeter_graph::StableHasher;
+use convmeter_metrics::obs;
 use convmeter_models::zoo;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
@@ -268,9 +269,12 @@ impl DatasetStore {
                         }
                     }
                 }
+                let _span = obs::span!("engine.dataset.build");
                 let started = Instant::now();
                 let points = build();
-                outcome = FetchOutcome::Built(started.elapsed().as_secs_f64());
+                let elapsed = started.elapsed();
+                obs::histogram!("engine.store.build_us").record_duration_us(elapsed);
+                outcome = FetchOutcome::Built(elapsed.as_secs_f64());
                 if let Some(path) = self.cache_path(&key) {
                     // A failed cache write costs the next run a rebuild but
                     // must not fail this one; artefact writes are the ones
@@ -296,11 +300,18 @@ impl DatasetStore {
         entry.points = value.len();
         match outcome {
             FetchOutcome::Built(secs) => {
+                obs::counter!("engine.store.builds").inc();
                 entry.builds += 1;
                 entry.build_seconds += secs;
             }
-            FetchOutcome::Disk => entry.disk_hits += 1,
-            FetchOutcome::Memory => entry.memory_hits += 1,
+            FetchOutcome::Disk => {
+                obs::counter!("engine.store.disk_hits").inc();
+                entry.disk_hits += 1;
+            }
+            FetchOutcome::Memory => {
+                obs::counter!("engine.store.memory_hits").inc();
+                entry.memory_hits += 1;
+            }
         }
         value
     }

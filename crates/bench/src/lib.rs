@@ -39,4 +39,5 @@ pub mod exp_inference;
 pub mod exp_scaling;
 pub mod exp_training;
 pub mod exp_transformers;
+pub mod profile;
 pub mod report;

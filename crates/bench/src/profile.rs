@@ -1,0 +1,194 @@
+//! The `convmeter profile` workload: a fixed, deterministic suite that
+//! exercises every instrumented layer of the workspace — dataset sweeps
+//! (hwsim + distsim), model fitting (linalg QR), and the experiment engine —
+//! inside one observability session, and freezes the result as a versioned
+//! [`obs::Profile`].
+//!
+//! Two views of the same run serve two jobs:
+//!
+//! * the **timed** profile goes to `results/BENCH_profile.json` and is what
+//!   `tools/perf_gate.sh` compares against the committed
+//!   `BENCH_baseline.json`;
+//! * the **deterministic** view ([`obs::Profile::deterministic`]) zeroes
+//!   every wall-clock field, so `convmeter profile --json` prints
+//!   byte-identical output across runs — the schema-stability contract the
+//!   integration tests pin down.
+//!
+//! The workload string (`quick-v1` / `full-v1`) names the suite; bump the
+//! suffix when the suite changes so the gate flags stale baselines as a
+//! workload mismatch instead of a spurious regression.
+
+use crate::engine::{DatasetSpec, DatasetStore, Engine, EngineConfig, EngineError};
+use convmeter::{ForwardModel, TrainingModel};
+use convmeter_hwsim::{DeviceProfile, SweepConfig};
+use convmeter_metrics::obs;
+use std::path::{Path, PathBuf};
+
+/// File name of the timed profile artefact under the results directory.
+pub const PROFILE_FILE: &str = "BENCH_profile.json";
+
+/// How to run the profile workload.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Smaller fit-repetition count (CI smoke); the dataset sweeps are the
+    /// quick grids either way.
+    pub quick: bool,
+    /// Worker threads for the engine phase.
+    pub jobs: usize,
+    /// Results directory; the engine phase writes its artefacts under
+    /// `<results_dir>/profile/` so a real `bench` manifest is not clobbered.
+    pub results_dir: PathBuf,
+}
+
+/// Run the deterministic workload suite and return the captured profile.
+///
+/// Phases (each a top-level span):
+///
+/// 1. `profile.datasets` — quick inference, training, and distributed
+///    sweeps resolved through a fresh in-memory [`DatasetStore`] (plus one
+///    repeat fetch, so the cache counters show a deterministic memory hit);
+/// 2. `profile.fits` — repeated ConvMeter forward/training fits over those
+///    datasets (the linalg QR path);
+/// 3. the engine phase — `Engine::run` over the dependency-free
+///    `extensions` experiment, which records its own `engine.run` span
+///    tree and writes a v2 manifest with per-experiment span summaries.
+pub fn run_profile(opts: &ProfileOptions) -> Result<obs::Profile, EngineError> {
+    let session = obs::Session::begin();
+    let workload = if opts.quick { "quick-v1" } else { "full-v1" };
+
+    let gpu = DeviceProfile::a100_80gb();
+    let store = DatasetStore::new(None);
+    let inference_spec = DatasetSpec::Inference {
+        device: gpu.clone(),
+        config: SweepConfig::quick(),
+    };
+    let (inference, training, distributed) = {
+        let _span = obs::span!("profile.datasets");
+        let inference = store.inference(&inference_spec)?;
+        let training = store.training(&DatasetSpec::Training {
+            device: gpu.clone(),
+            config: SweepConfig::quick(),
+        })?;
+        let distributed = store.training(&DatasetSpec::Distributed {
+            device: gpu,
+            config: convmeter_distsim::DistSweepConfig::quick(),
+        })?;
+        if !opts.quick {
+            let _cpu = store.inference(&DatasetSpec::Inference {
+                device: DeviceProfile::xeon_gold_5318y_core(),
+                config: SweepConfig::quick(),
+            })?;
+        }
+        // Fetch one spec a second time: a deterministic in-memory cache hit
+        // so the store counters are exercised on every run.
+        let _again = store.inference(&inference_spec)?;
+        (inference, training, distributed)
+    };
+
+    {
+        let _span = obs::span!("profile.fits");
+        let reps = if opts.quick { 3 } else { 25 };
+        for _ in 0..reps {
+            ForwardModel::fit(&inference).expect("quick inference dataset fits");
+            TrainingModel::fit(&training).expect("quick training dataset fits");
+            TrainingModel::fit(&distributed).expect("quick distributed dataset fits");
+        }
+    }
+
+    {
+        // Deliberately NOT wrapped in a span: with jobs <= 1 the engine's
+        // per-experiment spans only flush to the sink once its own
+        // outermost `engine.run` span closes, so an enclosing span here
+        // would keep them out of the snapshot below.
+        let config = EngineConfig {
+            jobs: opts.jobs,
+            use_disk_cache: false,
+            results_dir: opts.results_dir.join("profile"),
+        };
+        Engine::select(&["extensions"], config)?.run()?;
+    }
+
+    Ok(session.profile(workload))
+}
+
+/// Write the timed profile JSON to `path` (creating parent directories).
+pub fn write_profile(profile: &obs::Profile, path: &Path) -> Result<(), EngineError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|source| EngineError::Io {
+            context: format!("profile directory {}", parent.display()),
+            source,
+        })?;
+    }
+    std::fs::write(path, profile.to_json()).map_err(|source| EngineError::Io {
+        context: format!("profile {}", path.display()),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "convmeter-profile-test-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp results dir");
+        dir
+    }
+
+    #[test]
+    fn quick_profile_covers_every_phase() {
+        let dir = tmpdir("phases");
+        let profile = run_profile(&ProfileOptions {
+            quick: true,
+            jobs: 1,
+            results_dir: dir.clone(),
+        })
+        .expect("profile runs");
+        assert_eq!(profile.workload, "quick-v1");
+        let spans = profile.flat_spans();
+        // The acceptance surface: engine, hwsim sweep, distsim, and linalg
+        // fit phases must all appear in the span tree.
+        for needle in [
+            "engine.run",
+            "hwsim.inference_sweep",
+            "distsim.sweep",
+            "linalg.fit",
+            "profile.datasets",
+            "profile.fits",
+        ] {
+            assert!(
+                spans
+                    .keys()
+                    .any(|path| path.split('/').any(|s| s == needle)),
+                "span tree missing {needle}: {:?}",
+                spans.keys().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(profile.metrics.counters["engine.store.memory_hits"], 1);
+        assert!(profile.metrics.counters["engine.store.builds"] >= 3);
+        assert!(profile.metrics.counters["linalg.fits"] > 0);
+        // The engine phase wrote a v2 manifest with span summaries.
+        let manifest = std::fs::read_to_string(dir.join("profile/manifest.json"))
+            .expect("engine manifest written");
+        assert!(manifest.contains("\"format_version\": 2"));
+        assert!(manifest.contains("experiment:extensions"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deterministic_view_is_stable_across_runs() {
+        let dir = tmpdir("stable");
+        let opts = ProfileOptions {
+            quick: true,
+            jobs: 1,
+            results_dir: dir.clone(),
+        };
+        let a = run_profile(&opts).expect("first run");
+        let b = run_profile(&opts).expect("second run");
+        assert_eq!(a.deterministic().to_json(), b.deterministic().to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

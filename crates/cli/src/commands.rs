@@ -747,3 +747,72 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     Ok(())
 }
+
+/// `convmeter profile [--quick] [--json] [--out FILE] [--jobs N]
+/// [--baseline FILE] [--tolerance 0.25]`
+///
+/// Runs the deterministic observability workload, writes the timed profile
+/// to `results/BENCH_profile.json` (or `--out`), prints either a human
+/// summary or — with `--json` — the byte-deterministic view, and, when
+/// `--baseline` is given, gates the run against it.
+pub fn profile(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_bench::profile::{run_profile, write_profile, ProfileOptions, PROFILE_FILE};
+    use convmeter_metrics::obs;
+
+    let results_dir = convmeter_bench::report::results_dir();
+    let opts = ProfileOptions {
+        quick: args.switch("quick"),
+        // One worker keeps the engine phase's pool gauges deterministic.
+        jobs: args.get_or("jobs", 1usize)?,
+        results_dir: results_dir.clone(),
+    };
+    let profile = run_profile(&opts)?;
+    let out_path = match args.opt("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => results_dir.join(PROFILE_FILE),
+    };
+    write_profile(&profile, &out_path)?;
+
+    if args.switch("json") {
+        writeln!(out, "{}", profile.deterministic().to_json())?;
+    } else {
+        writeln!(
+            out,
+            "profile workload '{}' ({} span path(s), {} counter(s)) written to {}",
+            profile.workload,
+            profile.flat_spans().len(),
+            profile.metrics.counters.len(),
+            out_path.display()
+        )?;
+        for span in &profile.spans {
+            writeln!(
+                out,
+                "  {:<24} count {:>5}  total {:>9.3} ms",
+                span.name, span.count, span.total_ms
+            )?;
+        }
+    }
+
+    if let Some(baseline_path) = args.opt("baseline") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::Usage(format!("cannot read baseline {baseline_path}: {e}")))?;
+        let baseline = obs::Profile::from_json(&text).map_err(CliError::Usage)?;
+        let tolerance = args.get_or("tolerance", 0.25f64)?;
+        let report = profile.compare(&baseline, tolerance);
+        for finding in &report.findings {
+            writeln!(out, "perf gate: {finding}")?;
+        }
+        if !report.passed() {
+            return Err(CliError::Gate {
+                findings: report.findings.len(),
+            });
+        }
+        writeln!(
+            out,
+            "perf gate passed: {} span(s) within {:.0}% of baseline",
+            report.gated_spans,
+            tolerance * 100.0
+        )?;
+    }
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! convmeter eval --data data.json                     # LOOCV per model
 //! convmeter bench --only table1,fig3 --jobs 4         # paper artefacts
 //! convmeter bench --list                              # the registry
+//! convmeter profile --quick --json                    # observability snapshot
 //! convmeter lint                                      # lint the whole zoo
 //! convmeter lint resnet50 --json                      # machine-readable
 //! convmeter dot resnet18 > resnet18.dot               # Graphviz export
@@ -46,6 +47,11 @@ pub enum CliError {
     },
     /// `convmeter bench` failed inside the experiment engine.
     Engine(convmeter_bench::engine::EngineError),
+    /// `convmeter profile --baseline` found performance regressions.
+    Gate {
+        /// Number of gate findings (regressions + drift).
+        findings: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -60,6 +66,9 @@ impl std::fmt::Display for CliError {
                 write!(f, "lint found {errors} error(s)")
             }
             CliError::Engine(e) => write!(f, "bench error: {e}"),
+            CliError::Gate { findings } => {
+                write!(f, "perf gate failed with {findings} finding(s)")
+            }
         }
     }
 }
@@ -72,7 +81,7 @@ impl std::error::Error for CliError {
             CliError::Persist(e) => Some(e),
             CliError::Graph(e) => Some(e),
             CliError::Engine(e) => Some(e),
-            CliError::Usage(_) | CliError::Lint { .. } => None,
+            CliError::Usage(_) | CliError::Lint { .. } | CliError::Gate { .. } => None,
         }
     }
 }
@@ -152,6 +161,10 @@ COMMANDS:
   bench                             regenerate paper artefacts (engine)
                                       [--list] [--only table1,fig3,...]
                                       [--jobs N] [--no-cache]
+  profile                           deterministic observability workload
+                                      [--quick] [--json] [--out FILE]
+                                      [--jobs N] [--baseline FILE]
+                                      [--tolerance 0.25]
   lint [<model>...]                 static graph & model lints (CMxxxx codes)
                                       [--image N] [--json]
                                       [--model-file FILE] [--data FILE]
@@ -184,6 +197,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "calibrate" => commands::calibrate(&args, out),
         "eval" => commands::eval(&args, out),
         "bench" => commands::bench(&args, out),
+        "profile" => commands::profile(&args, out),
         "lint" => commands::lint(&args, out),
         "dot" => commands::dot(&args, out),
         "help" | "--help" | "-h" => {

@@ -8,7 +8,7 @@
 
 use convmeter_distsim::{distributed_sweep, DistSweepConfig};
 use convmeter_hwsim::{inference_sweep, training_sweep, DeviceProfile, SweepConfig};
-use convmeter_metrics::{BatchMetrics, ModelMetrics};
+use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use convmeter_models::zoo;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -165,16 +165,19 @@ pub fn attach_distributed_features(
 /// Run an inference sweep on `device` and annotate every sample with its
 /// static features.
 pub fn inference_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferencePoint> {
+    let _span = obs::span!("convmeter.dataset.inference");
     attach_inference_features(inference_sweep(device, config))
 }
 
 /// Run a single-device training sweep and annotate it (nodes = devices = 1).
 pub fn training_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingPoint> {
+    let _span = obs::span!("convmeter.dataset.training");
     attach_training_features(training_sweep(device, config))
 }
 
 /// Run a distributed-training sweep and annotate it.
 pub fn distributed_dataset(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<TrainingPoint> {
+    let _span = obs::span!("convmeter.dataset.distributed");
     attach_distributed_features(distributed_sweep(device, config))
 }
 

@@ -3,7 +3,7 @@
 use crate::dataset::InferencePoint;
 use crate::features::{forward_features, forward_features_at};
 use convmeter_linalg::{FitError, LinearRegression};
-use convmeter_metrics::{BatchMetrics, ModelMetrics};
+use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Default ridge damping. The three metric columns are strongly collinear —
@@ -36,6 +36,7 @@ impl ForwardModel {
         points: &[InferencePoint],
         target: impl Fn(&InferencePoint) -> f64,
     ) -> Result<Self, FitError> {
+        let _span = obs::span!("convmeter.fit.forward");
         let xs: Vec<Vec<f64>> = points
             .iter()
             .map(|p| forward_features(&p.metrics))

@@ -8,7 +8,7 @@ use crate::features::{
 };
 use crate::forward::DEFAULT_RIDGE;
 use convmeter_linalg::{FitError, LinearRegression};
-use convmeter_metrics::{BatchMetrics, ModelMetrics};
+use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use serde::{Deserialize, Serialize};
 
 /// The gradient-update model (Section 3.3):
@@ -83,6 +83,7 @@ impl TrainingModel {
     /// Fit every component from a training dataset (single- and/or
     /// multi-node points).
     pub fn fit(points: &[TrainingPoint]) -> Result<Self, FitError> {
+        let _span = obs::span!("convmeter.fit.training");
         let fwd_xs: Vec<Vec<f64>> = points
             .iter()
             .map(|p| forward_features(&p.metrics))

@@ -125,6 +125,7 @@ pub fn measure_distributed_step(
     batch: usize,
     noise: &mut NoiseModel,
 ) -> TrainingPhases {
+    convmeter_metrics::obs::counter!("distsim.steps").inc();
     let p = expected_distributed_phases(device, cluster, metrics, batch);
     TrainingPhases {
         forward: noise.jitter(p.forward),

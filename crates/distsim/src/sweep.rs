@@ -107,6 +107,7 @@ pub fn distributed_sweep(
     device: &DeviceProfile,
     config: &DistSweepConfig,
 ) -> Vec<DistTrainingSample> {
+    let _span = convmeter_metrics::obs::span!("distsim.sweep");
     let mut out = Vec::new();
     for model in &config.models {
         let spec = zoo::by_name(model)

@@ -512,12 +512,15 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
 
 /// Run a custom pass list over a graph.
 pub fn lint_graph_with(graph: &Graph, passes: &[Box<dyn LintPass>]) -> LintReport {
+    let _span = convmeter_obs::span!("graph.lint");
     let ctx = LintContext::new(graph);
     let mut diagnostics = Vec::new();
     for pass in passes {
         pass.run(&ctx, &mut diagnostics);
     }
     diagnostics.sort_by_key(|d| d.node_index().unwrap_or(usize::MAX));
+    convmeter_obs::counter!("graph.lint.runs").inc();
+    convmeter_obs::counter!("graph.lint.diagnostics").add(diagnostics.len() as u64);
     LintReport::new(diagnostics)
 }
 

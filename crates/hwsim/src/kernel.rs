@@ -40,6 +40,7 @@ fn kernel_time(device: &DeviceProfile, flops: f64, bytes: f64, eff_scale: f64) -
 /// Shape-only nodes (flatten, dropout) cost nothing: frameworks fold them
 /// into neighbouring kernels.
 pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize) -> f64 {
+    convmeter_metrics::obs::counter!("hwsim.kernel.layer_evals").inc();
     let b = batch as f64;
     if cost.is_view {
         return 0.0;
@@ -62,6 +63,7 @@ pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize
 /// gradient), roughly doubling the forward FLOPs; activation gradients also
 /// re-read the stored forward activations.
 pub fn backward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize) -> f64 {
+    convmeter_metrics::obs::counter!("hwsim.kernel.layer_evals").inc();
     let b = batch as f64;
     if cost.is_view {
         return 0.0;

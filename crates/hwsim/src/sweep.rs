@@ -10,7 +10,7 @@ use crate::memory::{inference_memory_bytes, training_memory_bytes};
 use crate::noise::NoiseModel;
 use crate::runner::{measure_inference, InferenceSample};
 use crate::training::{measure_training_step, TrainingSample};
-use convmeter_metrics::ModelMetrics;
+use convmeter_metrics::{obs, ModelMetrics};
 use convmeter_models::zoo;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -124,6 +124,7 @@ impl SweepConfig {
 
 /// Build metrics for each (model, image) combination the models support.
 fn metric_grid(config: &SweepConfig) -> Vec<(String, usize, ModelMetrics)> {
+    let _span = obs::span!("hwsim.metric_grid");
     let pairs: Vec<(&str, usize)> = config
         .models
         .iter()
@@ -150,6 +151,7 @@ fn metric_grid(config: &SweepConfig) -> Vec<(String, usize, ModelMetrics)> {
 /// Run an inference benchmark sweep on a device, returning one noisy sample
 /// per in-memory configuration.
 pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferenceSample> {
+    let _span = obs::span!("hwsim.inference_sweep");
     metric_grid(config)
         .par_iter()
         .flat_map_iter(|(name, size, metrics)| {
@@ -179,6 +181,7 @@ pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Infe
 
 /// Run a single-device training benchmark sweep.
 pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingSample> {
+    let _span = obs::span!("hwsim.training_sweep");
     metric_grid(config)
         .par_iter()
         .flat_map_iter(|(name, size, metrics)| {

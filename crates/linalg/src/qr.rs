@@ -56,10 +56,12 @@ pub struct HouseholderQr {
 impl HouseholderQr {
     /// Factor `a` (which must have `rows >= cols`).
     pub fn new(a: &Matrix) -> Result<Self, QrError> {
+        let _span = convmeter_obs::span!("linalg.qr.factor");
         let (m, n) = (a.rows(), a.cols());
         if m < n {
             return Err(QrError::Underdetermined { rows: m, cols: n });
         }
+        convmeter_obs::histogram!("linalg.qr.rows").record(m as u64);
         let mut qr = a.clone();
         let mut beta = vec![0.0; n];
         for k in 0..n {
@@ -115,6 +117,7 @@ impl HouseholderQr {
     /// Panics if `b.len()` differs from the factored matrix's row count.
     #[allow(clippy::needless_range_loop)] // lockstep indexing into qr and y/x
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, QrError> {
+        let _span = convmeter_obs::span!("linalg.qr.solve");
         let (m, n) = (self.qr.rows(), self.qr.cols());
         assert_eq!(b.len(), m, "rhs length mismatch");
         let mut y = b.to_vec();

@@ -124,6 +124,8 @@ impl LinearRegression {
     /// Fit the model on feature rows `xs` and targets `ys`, consuming the
     /// builder and returning the fitted model.
     pub fn fit(mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, FitError> {
+        let _span = convmeter_obs::span!("linalg.fit");
+        convmeter_obs::counter!("linalg.fits").inc();
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         let n_features = xs.first().map_or(0, |r| r.len());
         if xs.iter().any(|r| r.len() != n_features) {

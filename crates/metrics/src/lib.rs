@@ -27,3 +27,10 @@ pub use flops::{
     layer_flops, layer_macs, try_layer_flops, try_layer_macs, CostOverflow, LayerCost,
 };
 pub use model::{BatchMetrics, ModelMetrics};
+
+/// Workspace-wide observability surface (spans, metrics, profiles).
+///
+/// The implementation lives in the dependency-free `convmeter-obs` crate so
+/// that leaf crates (`convmeter-graph`, `convmeter-linalg`) can use it too;
+/// everything above the metric layer should reach it through this re-export.
+pub use convmeter_obs as obs;

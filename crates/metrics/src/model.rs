@@ -39,6 +39,8 @@ impl ModelMetrics {
     /// per-layer costs — the "parsing its computational graph" step of the
     /// paper.
     pub fn of(graph: &Graph) -> Result<Self, GraphError> {
+        let _span = convmeter_obs::span!("metrics.extract");
+        convmeter_obs::counter!("metrics.extractions").inc();
         let shapes = graph.infer_shapes()?;
         let mut per_node: Vec<LayerCost> = Vec::with_capacity(graph.len());
         for (i, (node, s)) in graph.nodes().iter().zip(&shapes).enumerate() {

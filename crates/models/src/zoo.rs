@@ -36,6 +36,8 @@ impl ModelSpec {
             self.min_image_size,
             image_size
         );
+        let _span = convmeter_obs::span!("models.build");
+        convmeter_obs::counter!("models.builds").inc();
         (self.build)(image_size, num_classes)
     }
 

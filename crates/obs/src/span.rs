@@ -1,0 +1,290 @@
+//! RAII span tracing with thread-local nesting and an amortised-lock sink.
+//!
+//! A [`Span`] guard marks one timed region. Guards nest through a
+//! thread-local stack, so a span opened while another is active becomes its
+//! child in the aggregated tree. Completed spans accumulate into a
+//! *thread-local* tree first; the global sink's mutex is only taken when a
+//! thread's outermost span closes, so hot paths never contend on a lock
+//! per span ("lock-free-ish": the common case is two `Instant` reads and a
+//! thread-local map update).
+//!
+//! Spans close on panic unwinding too — the guard's `Drop` runs during
+//! unwind — so a panicking experiment still reports the time it spent.
+//!
+//! Tracing is off by default ([`enabled`] returns `false` and guards are
+//! no-ops); an [`crate::Session`] switches it on for its lifetime. A
+//! generation counter ties every guard to the session that opened it:
+//! guards that outlive their session are discarded instead of leaking into
+//! the next one.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Span names are `'static` in the hot paths; owned strings are accepted
+/// for dynamic labels like `experiment:table1`.
+pub type SpanName = Cow<'static, str>;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<SpanAgg> = Mutex::new(SpanAgg::new());
+
+/// Whether a tracing session is active. Callers may use this to skip
+/// building dynamic span names when nobody is listening.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Start a new generation and clear the global sink. Called by
+/// [`crate::Session::begin`]; spans still open at this point belong to the
+/// previous generation and will be discarded when they close.
+pub(crate) fn reset() {
+    GENERATION.fetch_add(1, Ordering::SeqCst);
+    lock_sink().children.clear();
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, SpanAgg> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One node of the aggregated span tree: how often a span path ran and how
+/// long it took in total. The root node is synthetic (count 0) and only
+/// carries children.
+#[derive(Debug, Clone)]
+pub struct SpanAgg {
+    /// Completions of this exact span path.
+    pub count: u64,
+    /// Summed wall time across completions.
+    pub total: Duration,
+    /// Child spans, by name.
+    pub children: BTreeMap<SpanName, SpanAgg>,
+}
+
+impl SpanAgg {
+    const fn new() -> Self {
+        SpanAgg {
+            count: 0,
+            total: Duration::ZERO,
+            children: BTreeMap::new(),
+        }
+    }
+
+    /// Wall time not attributed to any child, saturating at zero (children
+    /// on other threads can exceed the parent's own wall time).
+    pub fn self_time(&self) -> Duration {
+        let children: Duration = self.children.values().map(|c| c.total).sum();
+        self.total.saturating_sub(children)
+    }
+
+    fn merge_from(&mut self, other: SpanAgg) {
+        self.count += other.count;
+        self.total += other.total;
+        for (name, child) in other.children {
+            self.children.entry(name).or_default().merge_from(child);
+        }
+    }
+
+    /// Depth-first search for the first node named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanAgg> {
+        if let Some(hit) = self.children.get(name) {
+            return Some(hit);
+        }
+        self.children.values().find_map(|c| c.find(name))
+    }
+}
+
+impl Default for SpanAgg {
+    fn default() -> Self {
+        SpanAgg::new()
+    }
+}
+
+struct LocalState {
+    generation: u64,
+    root: SpanAgg,
+    stack: Vec<(SpanName, Instant)>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalState> = const {
+        RefCell::new(LocalState {
+            generation: 0,
+            root: SpanAgg::new(),
+            stack: Vec::new(),
+        })
+    };
+}
+
+/// Open a span. Drop the returned guard to close it; use [`crate::span!`]
+/// for the cached-literal form. A no-op when tracing is disabled.
+pub fn span(name: impl Into<SpanName>) -> Span {
+    if !enabled() {
+        return Span { generation: None };
+    }
+    let generation = GENERATION.load(Ordering::SeqCst);
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        if local.generation != generation {
+            // A new session started since this thread last traced: drop
+            // everything accumulated for the old one.
+            local.generation = generation;
+            local.root = SpanAgg::new();
+            local.stack.clear();
+        }
+        local.stack.push((name.into(), Instant::now()));
+    });
+    Span {
+        generation: Some(generation),
+    }
+}
+
+/// RAII guard for one span. Closing order is enforced by scoping: the guard
+/// for an inner span must drop before its parent's (Rust's drop order for
+/// locals guarantees this for the `let _guard = span(..)` idiom).
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    /// Generation the span was opened under; `None` for disabled no-ops.
+    generation: Option<u64>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(generation) = self.generation else {
+            return;
+        };
+        LOCAL.with(|local| {
+            let mut local = local.borrow_mut();
+            if local.generation != generation {
+                // The session this span belonged to is gone.
+                return;
+            }
+            let Some((name, started)) = local.stack.pop() else {
+                return;
+            };
+            let elapsed = started.elapsed();
+            // Walk the local tree along the still-open ancestry, then the
+            // closing span's own name.
+            let path: Vec<SpanName> = local.stack.iter().map(|(n, _)| n.clone()).collect();
+            let mut node = &mut local.root;
+            for ancestor in path {
+                node = node.children.entry(ancestor).or_default();
+            }
+            let leaf = node.children.entry(name).or_default();
+            leaf.count += 1;
+            leaf.total += elapsed;
+            if local.stack.is_empty() {
+                // Outermost span closed: publish this thread's tree in one
+                // locked merge and start fresh.
+                let tree = std::mem::take(&mut local.root);
+                if GENERATION.load(Ordering::SeqCst) == generation {
+                    lock_sink().merge_from(tree);
+                }
+            }
+        });
+    }
+}
+
+/// Clone the aggregated global tree. Only *closed* outermost spans are
+/// visible; take snapshots after joining worker threads and dropping the
+/// root guard.
+pub fn snapshot() -> SpanAgg {
+    lock_sink().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let session = Session::begin();
+        {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _child = span("child");
+                let _grand = span("grand");
+            }
+            let _other = span("sibling");
+        }
+        let snap = session.span_snapshot();
+        let root = snap.children.get("root").expect("root recorded");
+        assert_eq!(root.count, 1);
+        let child = root.children.get("child").expect("child recorded");
+        assert_eq!(child.count, 3);
+        assert_eq!(child.children.get("grand").unwrap().count, 3);
+        assert_eq!(root.children.get("sibling").unwrap().count, 1);
+        assert!(root.total >= child.total);
+        assert!(root.self_time() <= root.total);
+    }
+
+    #[test]
+    fn disabled_spans_are_noops() {
+        // No session: nothing may be recorded.
+        {
+            let _g = span("orphan");
+        }
+        let session = Session::begin();
+        let snap = session.span_snapshot();
+        assert!(!snap.children.contains_key("orphan"));
+    }
+
+    #[test]
+    fn panic_unwind_closes_spans() {
+        let session = Session::begin();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("unwind_outer");
+            let _inner = span("unwind_inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // Both spans closed during unwind and flushed at depth zero.
+        let snap = session.span_snapshot();
+        let outer = snap.children.get("unwind_outer").expect("outer flushed");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.children.get("unwind_inner").unwrap().count, 1);
+        // The thread-local stack is clean: a fresh span roots at top level.
+        {
+            let _g = span("after_unwind");
+        }
+        let snap = session.span_snapshot();
+        assert_eq!(snap.children.get("after_unwind").unwrap().count, 1);
+    }
+
+    #[test]
+    fn worker_thread_spans_merge_into_the_sink() {
+        let session = Session::begin();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _g = span("worker");
+                    let _inner = span("worker_inner");
+                });
+            }
+        });
+        let snap = session.span_snapshot();
+        let worker = snap.children.get("worker").expect("workers flushed");
+        assert_eq!(worker.count, 4);
+        assert_eq!(worker.children.get("worker_inner").unwrap().count, 4);
+    }
+
+    #[test]
+    fn find_locates_nested_nodes() {
+        let session = Session::begin();
+        {
+            let _a = span("find_a");
+            let _b = span("find_b");
+            let _c = span("find_c");
+        }
+        let snap = session.span_snapshot();
+        assert!(snap.find("find_c").is_some());
+        assert!(snap.find("find_missing").is_none());
+    }
+}

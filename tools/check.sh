@@ -26,4 +26,18 @@ test -f "$BENCH_TMP/manifest.json"
 test -f "$BENCH_TMP/ext_strategies.json"
 rm -rf "$BENCH_TMP"
 
+echo "==> convmeter profile --quick (observability smoke run)"
+PROFILE_TMP="$(mktemp -d)"
+CONVMETER_RESULTS="$PROFILE_TMP" \
+    cargo run -q -p convmeter-cli --offline -- profile --quick >/dev/null
+test -f "$PROFILE_TMP/BENCH_profile.json"
+rm -rf "$PROFILE_TMP"
+
+# Warn-only for now: flip to a hard failure once the baseline has soaked on
+# the CI runners (timings there are noisier than local ones).
+echo "==> tools/perf_gate.sh (warn-only)"
+if ! tools/perf_gate.sh; then
+    echo "warning: perf gate failed (non-blocking for now)" >&2
+fi
+
 echo "all checks passed"
