@@ -26,12 +26,14 @@ pub use registry::registry;
 pub use store::{DatasetSpec, DatasetStats, DatasetStore, CACHE_FORMAT};
 
 use convmeter::dataset::{InferencePoint, TrainingPoint};
+use convmeter::persist;
+use convmeter_hwsim::FaultProfile;
 use convmeter_metrics::obs;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors the engine can surface. All artefact-write failures abort the run
 /// with a non-zero exit; cache problems only warn (see [`store`]).
@@ -65,6 +67,29 @@ pub enum EngineError {
         /// Rendered panic payload.
         message: String,
     },
+    /// An experiment exceeded the watchdog timeout and was abandoned.
+    TimedOut {
+        /// Registry name of the experiment.
+        name: String,
+        /// The watchdog budget that was exceeded, seconds.
+        seconds: u64,
+    },
+    /// An experiment kept failing after its retry budget (quarantine mode
+    /// without `--keep-going`).
+    ExperimentFailed {
+        /// Registry name of the experiment.
+        name: String,
+        /// Rendered error chain of the final attempt.
+        message: String,
+    },
+    /// A benchmark dataset failed `CM0104` validation: empty, or containing
+    /// non-finite / non-positive measured times.
+    BadDataset {
+        /// Storage key of the offending dataset.
+        key: String,
+        /// What the lint found.
+        problem: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -82,6 +107,15 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::ExperimentPanicked { name, message } => {
                 write!(f, "experiment '{name}' panicked: {message}")
+            }
+            EngineError::TimedOut { name, seconds } => {
+                write!(f, "experiment '{name}' timed out after {seconds}s")
+            }
+            EngineError::ExperimentFailed { name, message } => {
+                write!(f, "experiment '{name}' failed: {message}")
+            }
+            EngineError::BadDataset { key, problem } => {
+                write!(f, "dataset {key} failed validation: {problem}")
             }
         }
     }
@@ -156,6 +190,51 @@ pub trait Experiment: Sync {
     fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError>;
 }
 
+/// Fault-tolerance policy for a run. The default (`Default::default()`) is
+/// everything off, which keeps the engine on its legacy byte-identical
+/// execution path.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceConfig {
+    /// Quarantine failing experiments (record them in the manifest and keep
+    /// going) instead of aborting the run on the first failure.
+    pub keep_going: bool,
+    /// Retries per experiment after the first attempt.
+    pub retries: usize,
+    /// Per-attempt watchdog timeout, seconds. `None` disables the watchdog.
+    pub timeout_secs: Option<u64>,
+    /// Deterministic fault-injection profile threaded into every sweep
+    /// build, or `None` for clean simulation.
+    pub faults: Option<FaultProfile>,
+    /// Base for the exponential retry backoff, milliseconds.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            keep_going: false,
+            retries: 0,
+            timeout_secs: None,
+            faults: None,
+            backoff_base_ms: 250,
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// True when any quarantine feature (keep-going, retries, watchdog) is
+    /// requested — the engine then runs experiments on detached threads.
+    pub fn quarantine_active(&self) -> bool {
+        self.keep_going || self.retries > 0 || self.timeout_secs.is_some()
+    }
+
+    /// True when anything fault-tolerance-related is on, including fault
+    /// injection; drives the manifest's format-version bump.
+    pub fn active(&self) -> bool {
+        self.quarantine_active() || self.faults.as_ref().is_some_and(|f| !f.is_off())
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -165,16 +244,20 @@ pub struct EngineConfig {
     pub use_disk_cache: bool,
     /// Where artefacts, the manifest, and the cache live.
     pub results_dir: PathBuf,
+    /// Fault-tolerance policy (all off by default).
+    pub fault: FaultToleranceConfig,
 }
 
 impl EngineConfig {
     /// Default configuration: results under `$CONVMETER_RESULTS` (or
-    /// `./results`), disk cache on, one job per available core.
+    /// `./results`), disk cache on, one job per available core, fault
+    /// tolerance off.
     pub fn from_env() -> Self {
         EngineConfig {
             jobs: default_jobs(),
             use_disk_cache: true,
             results_dir: crate::report::results_dir(),
+            fault: FaultToleranceConfig::default(),
         }
     }
 }
@@ -256,14 +339,41 @@ pub struct ExperimentRecord {
     pub spans: Vec<SpanSummary>,
 }
 
-/// Manifest schema version. History: 1 = initial engine manifest; 2 = added
-/// per-experiment `spans` summaries.
+/// Manifest schema version for clean runs. History: 1 = initial engine
+/// manifest; 2 = added per-experiment `spans` summaries; 3 =
+/// [`MANIFEST_FORMAT_FAULTS`], emitted only when fault tolerance is active,
+/// appending the fault/quarantine fields.
 pub const MANIFEST_FORMAT: u32 = 2;
 
-/// The whole run, written to `results/manifest.json`.
+/// Manifest schema version when fault injection or quarantine was active
+/// (or any experiment failed): v2 plus `fault_profile`, `keep_going`,
+/// `retries`, `timeout_secs`, and `failures`.
+pub const MANIFEST_FORMAT_FAULTS: u32 = 3;
+
+/// Record of one quarantined (failed) experiment in a `--keep-going` run.
 #[derive(Debug, Clone, Serialize)]
+pub struct FailureRecord {
+    /// Registry name.
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered error chain of the final attempt.
+    pub error: String,
+    /// Every failed attempt: number, kind, error, elapsed, backoff.
+    pub attempts: Vec<pool::AttemptRecord>,
+    /// Total wall time spent on this experiment across attempts, seconds.
+    pub elapsed_seconds: f64,
+}
+
+/// The whole run, written to `results/manifest.json`.
+///
+/// Serialisation is hand-written: a clean run must stay byte-identical to
+/// the pre-fault-tolerance v2 manifest, so the v3 fields are emitted only
+/// when `format_version` is [`MANIFEST_FORMAT_FAULTS`].
+#[derive(Debug, Clone)]
 pub struct Manifest {
-    /// Manifest schema version ([`MANIFEST_FORMAT`]).
+    /// Manifest schema version ([`MANIFEST_FORMAT`] or
+    /// [`MANIFEST_FORMAT_FAULTS`]).
     pub format_version: u32,
     /// Worker threads used.
     pub jobs: usize,
@@ -273,6 +383,39 @@ pub struct Manifest {
     pub experiments: Vec<ExperimentRecord>,
     /// Per-dataset accounting, keyed by cache key.
     pub datasets: std::collections::BTreeMap<String, DatasetStats>,
+    /// Fault-injection profile the run used (v3 only; `None` = clean).
+    pub fault_profile: Option<FaultProfile>,
+    /// Whether quarantine (`--keep-going`) was requested (v3 only).
+    pub keep_going: bool,
+    /// Retry budget per experiment (v3 only).
+    pub retries: usize,
+    /// Watchdog budget per attempt, seconds (v3 only).
+    pub timeout_secs: Option<u64>,
+    /// Quarantined experiments, in registry order (v3 only).
+    pub failures: Vec<FailureRecord>,
+}
+
+impl Serialize for Manifest {
+    fn to_value(&self) -> serde_json::Value {
+        // Mirrors what `derive(Serialize)` emitted for the v2 struct —
+        // field order included — then appends the v3 fields only when this
+        // manifest actually used fault tolerance.
+        let mut pairs = vec![
+            ("format_version".to_string(), self.format_version.to_value()),
+            ("jobs".to_string(), self.jobs.to_value()),
+            ("disk_cache".to_string(), self.disk_cache.to_value()),
+            ("experiments".to_string(), self.experiments.to_value()),
+            ("datasets".to_string(), self.datasets.to_value()),
+        ];
+        if self.format_version >= MANIFEST_FORMAT_FAULTS {
+            pairs.push(("fault_profile".to_string(), self.fault_profile.to_value()));
+            pairs.push(("keep_going".to_string(), self.keep_going.to_value()));
+            pairs.push(("retries".to_string(), self.retries.to_value()));
+            pairs.push(("timeout_secs".to_string(), self.timeout_secs.to_value()));
+            pairs.push(("failures".to_string(), self.failures.to_value()));
+        }
+        serde_json::Value::Object(pairs)
+    }
 }
 
 impl Manifest {
@@ -301,14 +444,19 @@ pub struct EngineReport {
 }
 
 /// Runs a set of experiments against a shared dataset store.
-pub struct Engine<'a> {
-    experiments: Vec<&'a dyn Experiment>,
+///
+/// Experiments are `'static` references (registry experiments are
+/// `static` unit structs; ad-hoc experiments const-promote) because the
+/// quarantine path runs attempts on detached watchdogged threads, which
+/// cannot borrow from the caller's stack.
+pub struct Engine {
+    experiments: Vec<&'static dyn Experiment>,
     config: EngineConfig,
 }
 
-impl<'a> Engine<'a> {
+impl Engine {
     /// Build an engine over an explicit experiment list.
-    pub fn new(experiments: Vec<&'a dyn Experiment>, config: EngineConfig) -> Self {
+    pub fn new(experiments: Vec<&'static dyn Experiment>, config: EngineConfig) -> Self {
         Engine {
             experiments,
             config,
@@ -317,7 +465,7 @@ impl<'a> Engine<'a> {
 
     /// Build an engine over the registry experiments named in `names`
     /// (registry order, not argument order). Unknown names error.
-    pub fn select(names: &[&str], config: EngineConfig) -> Result<Engine<'static>, EngineError> {
+    pub fn select(names: &[&str], config: EngineConfig) -> Result<Engine, EngineError> {
         for &n in names {
             if !registry().iter().any(|e| e.name() == n) {
                 return Err(EngineError::UnknownExperiment { name: n.into() });
@@ -335,7 +483,7 @@ impl<'a> Engine<'a> {
     }
 
     /// An engine over the full registry.
-    pub fn all(config: EngineConfig) -> Engine<'static> {
+    pub fn all(config: EngineConfig) -> Engine {
         Engine {
             experiments: registry().to_vec(),
             config,
@@ -353,31 +501,22 @@ impl<'a> Engine<'a> {
     /// manifest's [`ExperimentRecord::spans`].
     pub fn run(&self) -> Result<EngineReport, EngineError> {
         let session = obs::Session::begin();
-        let store = DatasetStore::new(
+        let store = Arc::new(DatasetStore::with_faults(
             self.config
                 .use_disk_cache
                 .then(|| self.config.results_dir.join("cache")),
-        );
-        let ctx_store = &store;
+            self.config.fault.faults.clone(),
+        ));
         let total = self.experiments.len();
-        let completed = AtomicUsize::new(0);
-        let results: Vec<(Result<RunOutput, EngineError>, f64)> = {
+        let results: Vec<ExpOutcome> = {
             // Scope the engine span so sequential (jobs = 1) experiment
             // spans flush to the sink before we snapshot for the manifest.
             let _engine_span = obs::span!("engine.run");
-            pool::run_ordered(&self.experiments, self.config.jobs, |_, exp| {
-                let _span = obs::span::span(format!("experiment:{}", exp.name()));
-                let started = Instant::now();
-                let out = exp.run(&RunContext { store: ctx_store });
-                let secs = started.elapsed().as_secs_f64();
-                let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!("[{k}/{total}] {} done ({secs:.1}s)", exp.name());
-                (out, secs)
-            })
-            .map_err(|p| EngineError::ExperimentPanicked {
-                name: self.experiments[p.index].name().to_string(),
-                message: p.message,
-            })?
+            if self.config.fault.quarantine_active() {
+                self.run_quarantine_path(&store)
+            } else {
+                self.run_legacy_path(&store)?
+            }
         };
         let span_tree = session.span_snapshot();
 
@@ -385,10 +524,54 @@ impl<'a> Engine<'a> {
             context: format!("results directory {}", self.config.results_dir.display()),
             source,
         })?;
+        // Quarantine features without `--keep-going` (e.g. plain retries or
+        // a watchdog) still abort the run — on a *typed* error once the
+        // budget is spent — before any artefact is written.
+        if !self.config.fault.keep_going {
+            if let Some((exp, outcome)) = self
+                .experiments
+                .iter()
+                .zip(&results)
+                .find(|(_, o)| o.output.is_none())
+            {
+                let last = outcome.attempts.last();
+                return Err(match last.map(|a| a.kind) {
+                    Some(pool::AttemptKind::Timeout) => EngineError::TimedOut {
+                        name: exp.name().to_string(),
+                        seconds: self.config.fault.timeout_secs.unwrap_or(0),
+                    },
+                    Some(pool::AttemptKind::Panic) => EngineError::ExperimentPanicked {
+                        name: exp.name().to_string(),
+                        message: last.map(|a| a.error.clone()).unwrap_or_default(),
+                    },
+                    _ => EngineError::ExperimentFailed {
+                        name: exp.name().to_string(),
+                        message: last.map(|a| a.error.clone()).unwrap_or_default(),
+                    },
+                });
+            }
+        }
         let mut records = Vec::with_capacity(total);
         let mut rendered = Vec::with_capacity(total);
-        for (exp, (result, wall_seconds)) in self.experiments.iter().zip(results) {
-            let output = result?;
+        let mut failures = Vec::new();
+        for (exp, outcome) in self.experiments.iter().zip(results) {
+            let output = match outcome.output {
+                Some(output) => output,
+                None => {
+                    failures.push(FailureRecord {
+                        name: exp.name().to_string(),
+                        title: exp.title().to_string(),
+                        error: outcome
+                            .attempts
+                            .last()
+                            .map(|a| a.error.clone())
+                            .unwrap_or_else(|| "unknown failure".to_string()),
+                        attempts: outcome.attempts,
+                        elapsed_seconds: outcome.elapsed_seconds,
+                    });
+                    continue;
+                }
+            };
             let mut artifacts = Vec::with_capacity(output.artifacts.len());
             for artifact in &output.artifacts {
                 let json = serde_json::to_string_pretty(&artifact.value)
@@ -397,7 +580,7 @@ impl<'a> Engine<'a> {
                     .config
                     .results_dir
                     .join(format!("{}.json", artifact.name));
-                std::fs::write(&path, &json).map_err(|source| EngineError::Io {
+                persist::write_atomic(&path, &json).map_err(|source| EngineError::Io {
                     context: format!("artefact {}", path.display()),
                     source,
                 })?;
@@ -411,27 +594,135 @@ impl<'a> Engine<'a> {
             records.push(ExperimentRecord {
                 name: exp.name().to_string(),
                 title: exp.title().to_string(),
-                wall_seconds,
+                wall_seconds: outcome.elapsed_seconds,
                 artifacts,
                 spans: experiment_spans(&span_tree, exp.name()),
             });
             rendered.push((exp.name().to_string(), output.rendered));
         }
+        let fault = &self.config.fault;
+        let format_version = if fault.active() || !failures.is_empty() {
+            MANIFEST_FORMAT_FAULTS
+        } else {
+            MANIFEST_FORMAT
+        };
         let manifest = Manifest {
-            format_version: MANIFEST_FORMAT,
+            format_version,
             jobs: self.config.jobs,
             disk_cache: self.config.use_disk_cache,
             experiments: records,
             datasets: store.stats(),
+            fault_profile: fault.faults.clone().filter(|f| !f.is_off()),
+            keep_going: fault.keep_going,
+            retries: fault.retries,
+            timeout_secs: fault.timeout_secs,
+            failures,
         };
         let manifest_path = self.config.results_dir.join("manifest.json");
         let manifest_json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
-        std::fs::write(&manifest_path, manifest_json).map_err(|source| EngineError::Io {
-            context: format!("manifest {}", manifest_path.display()),
-            source,
+        persist::write_atomic(&manifest_path, &manifest_json).map_err(|source| {
+            EngineError::Io {
+                context: format!("manifest {}", manifest_path.display()),
+                source,
+            }
         })?;
         Ok(EngineReport { manifest, rendered })
     }
+
+    /// The original execution path: scoped threads, first failure aborts.
+    /// This is what runs when no fault-tolerance feature is requested, and
+    /// it is pinned byte-identical (artefacts, manifest, span nesting) by
+    /// the determinism tests.
+    fn run_legacy_path(&self, store: &Arc<DatasetStore>) -> Result<Vec<ExpOutcome>, EngineError> {
+        let total = self.experiments.len();
+        let completed = AtomicUsize::new(0);
+        let ctx_store: &DatasetStore = store;
+        let results: Vec<(Result<RunOutput, EngineError>, f64)> =
+            pool::run_ordered(&self.experiments, self.config.jobs, |_, exp| {
+                let _span = obs::span::span(format!("experiment:{}", exp.name()));
+                let started = Instant::now();
+                let out = exp.run(&RunContext { store: ctx_store });
+                let secs = started.elapsed().as_secs_f64();
+                let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{k}/{total}] {} done ({secs:.1}s)", exp.name());
+                (out, secs)
+            })
+            .map_err(|p| EngineError::ExperimentPanicked {
+                name: self.experiments[p.index].name().to_string(),
+                message: p.message,
+            })?;
+        results
+            .into_iter()
+            .map(|(result, secs)| {
+                Ok(ExpOutcome {
+                    output: Some(result?),
+                    attempts: Vec::new(),
+                    elapsed_seconds: secs,
+                })
+            })
+            .collect()
+    }
+
+    /// The graceful-degradation path: detached threads with retries,
+    /// deterministic backoff, and a watchdog. Failures become recorded
+    /// outcomes instead of aborting the run.
+    fn run_quarantine_path(&self, store: &Arc<DatasetStore>) -> Vec<ExpOutcome> {
+        let fault = &self.config.fault;
+        let plan = pool::QuarantinePlan {
+            jobs: self.config.jobs,
+            retries: fault.retries,
+            timeout: fault.timeout_secs.map(Duration::from_secs),
+            backoff_base_ms: fault.backoff_base_ms,
+        };
+        let total = self.experiments.len();
+        let completed = Arc::new(AtomicUsize::new(0));
+        let store = Arc::clone(store);
+        let outcomes = pool::run_quarantined(
+            self.experiments.clone(),
+            &plan,
+            move |_, exp: &&'static dyn Experiment| {
+                let _span = obs::span::span(format!("experiment:{}", exp.name()));
+                let started = Instant::now();
+                let out = exp.run(&RunContext {
+                    store: store.as_ref(),
+                });
+                let secs = started.elapsed().as_secs_f64();
+                let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                match &out {
+                    Ok(_) => eprintln!("[{k}/{total}] {} done ({secs:.1}s)", exp.name()),
+                    Err(e) => eprintln!("[{k}/{total}] {} FAILED ({secs:.1}s): {e}", exp.name()),
+                }
+                out.map_err(|e| error_chain(&e))
+            },
+        );
+        outcomes
+            .into_iter()
+            .map(|o| ExpOutcome {
+                output: o.value,
+                attempts: o.attempts,
+                elapsed_seconds: o.elapsed_seconds,
+            })
+            .collect()
+    }
+}
+
+/// Per-experiment outcome, unified across the legacy and quarantine paths.
+struct ExpOutcome {
+    output: Option<RunOutput>,
+    attempts: Vec<pool::AttemptRecord>,
+    elapsed_seconds: f64,
+}
+
+/// Render an error and its `source()` chain on one line, for quarantine
+/// records (which cannot carry the typed error across the thread boundary).
+fn error_chain(err: &dyn std::error::Error) -> String {
+    let mut out = err.to_string();
+    let mut source = err.source();
+    while let Some(cause) = source {
+        out.push_str(&format!(" — caused by: {cause}"));
+        source = cause.source();
+    }
+    out
 }
 
 /// Print a run report the way the old per-experiment binaries did: rendered
@@ -451,6 +742,18 @@ pub fn print_report(report: &EngineReport, results_dir: &std::path::Path) {
         m.total_disk_hits(),
         m.total_memory_hits(),
     );
+    if !m.failures.is_empty() {
+        eprintln!("{} experiment(s) QUARANTINED:", m.failures.len());
+        for f in &m.failures {
+            eprintln!(
+                "  {} — {} attempt(s), {:.1}s: {}",
+                f.name,
+                f.attempts.len(),
+                f.elapsed_seconds,
+                f.error
+            );
+        }
+    }
 }
 
 fn exit_with(err: &EngineError) -> ! {
@@ -470,7 +773,12 @@ pub fn main_only(names: &[&str]) {
     let config = EngineConfig::from_env();
     let results_dir = config.results_dir.clone();
     match Engine::select(names, config).and_then(|e| e.run()) {
-        Ok(report) => print_report(&report, &results_dir),
+        Ok(report) => {
+            print_report(&report, &results_dir);
+            if !report.manifest.failures.is_empty() {
+                std::process::exit(1);
+            }
+        }
         Err(e) => exit_with(&e),
     }
 }
@@ -480,7 +788,12 @@ pub fn main_all() {
     let config = EngineConfig::from_env();
     let results_dir = config.results_dir.clone();
     match Engine::all(config).run() {
-        Ok(report) => print_report(&report, &results_dir),
+        Ok(report) => {
+            print_report(&report, &results_dir);
+            if !report.manifest.failures.is_empty() {
+                std::process::exit(1);
+            }
+        }
         Err(e) => exit_with(&e),
     }
 }

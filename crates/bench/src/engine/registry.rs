@@ -9,8 +9,8 @@
 
 use super::{Artifact, DatasetSpec, EngineError, Experiment, RunContext, RunOutput};
 use crate::{
-    exp_ablations, exp_blocks, exp_compare, exp_extended_zoo, exp_extensions, exp_inference,
-    exp_scaling, exp_training, exp_transformers,
+    exp_ablations, exp_blocks, exp_compare, exp_contamination, exp_extended_zoo, exp_extensions,
+    exp_inference, exp_scaling, exp_training, exp_transformers,
 };
 use convmeter::prelude::*;
 
@@ -445,9 +445,33 @@ impl Experiment for Transformers {
     }
 }
 
+struct Contamination;
+impl Experiment for Contamination {
+    fn name(&self) -> &'static str {
+        "contamination"
+    }
+    fn title(&self) -> &'static str {
+        "Robustness: OLS vs Huber fit under injected measurement outliers"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["contamination"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        vec![spec_inference_gpu()]
+    }
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        let data = ctx.inference(&spec_inference_gpu())?;
+        let result = exp_contamination::run(&data);
+        Ok(RunOutput {
+            rendered: exp_contamination::render(&result),
+            artifacts: vec![Artifact::json("contamination", &result)],
+        })
+    }
+}
+
 /// Every experiment, in the paper's presentation order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &Table1,
         &Fig2,
         &Fig3,
@@ -463,6 +487,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Extensions,
         &ExtendedZoo,
         &Transformers,
+        &Contamination,
     ];
     &REGISTRY
 }
@@ -477,8 +502,16 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
         let set: BTreeSet<&str> = names.iter().copied().collect();
         assert_eq!(set.len(), names.len(), "duplicate experiment names");
-        assert_eq!(names.len(), 15);
-        for pinned in ["table1", "table2", "table3", "fig2", "fig9", "ablations"] {
+        assert_eq!(names.len(), 16);
+        for pinned in [
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig9",
+            "ablations",
+            "contamination",
+        ] {
             assert!(set.contains(pinned), "missing {pinned}");
         }
     }

@@ -16,10 +16,14 @@
 //! never addressed again.
 
 use crate::blocks::block_dataset;
-use convmeter::dataset::{InferencePoint, TrainingPoint};
+use convmeter::dataset::{
+    distributed_dataset_faulted, inference_dataset_faulted, training_dataset_faulted,
+    InferencePoint, TrainingPoint,
+};
 use convmeter::persist;
 use convmeter::prelude::*;
 use convmeter_graph::StableHasher;
+use convmeter_hwsim::FaultProfile;
 use convmeter_metrics::obs;
 use convmeter_models::zoo;
 use serde::Serialize;
@@ -159,6 +163,9 @@ type SlotMap<P> = Mutex<HashMap<String, Arc<OnceLock<Arc<Vec<P>>>>>>;
 /// Builds, memoises, and persists benchmark datasets addressed by content.
 pub struct DatasetStore {
     disk_dir: Option<PathBuf>,
+    /// Fault-injection profile applied to every sweep build; `None` (or an
+    /// all-off profile) leaves the store byte-identical to a clean run.
+    faults: Option<FaultProfile>,
     inference: SlotMap<InferencePoint>,
     training: SlotMap<TrainingPoint>,
     stats: Mutex<BTreeMap<String, DatasetStats>>,
@@ -168,11 +175,34 @@ impl DatasetStore {
     /// Create a store; `disk_dir` is the persistent cache directory, or
     /// `None` to keep everything in memory (`--no-cache`).
     pub fn new(disk_dir: Option<PathBuf>) -> Self {
+        Self::with_faults(disk_dir, None)
+    }
+
+    /// Create a store whose sweep builds run under a fault-injection
+    /// profile. Faulted datasets are cached under a *salted* storage key
+    /// (`<key>-faults-<fingerprint>`), so clean cache entries are never
+    /// contaminated and a clean rerun finds its entries untouched.
+    pub fn with_faults(disk_dir: Option<PathBuf>, faults: Option<FaultProfile>) -> Self {
         DatasetStore {
             disk_dir,
+            faults: faults.filter(|f| !f.is_off()),
             inference: Mutex::new(HashMap::new()),
             training: Mutex::new(HashMap::new()),
             stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The storage/accounting key for a spec under this store's fault
+    /// profile: the plain content key, salted with the profile fingerprint
+    /// when fault injection is active.
+    pub fn storage_key(&self, spec: &DatasetSpec) -> String {
+        let key = spec.key();
+        match &self.faults {
+            Some(f) => {
+                let fp = f.fingerprint();
+                format!("{key}-faults-{}", &fp[..12.min(fp.len())])
+            }
+            None => key,
         }
     }
 
@@ -184,13 +214,18 @@ impl DatasetStore {
                 expected: "inference",
             });
         }
-        Ok(self.fetch(
+        let faults = self.faults.clone().unwrap_or_else(FaultProfile::disabled);
+        self.fetch(
             &self.inference,
             spec,
             |path: &Path| persist::load_inference_dataset(path),
             |path, data| persist::save_inference_dataset(path, data),
             || match spec {
-                DatasetSpec::Inference { device, config } => inference_dataset(device, config),
+                DatasetSpec::Inference { device, config } => {
+                    inference_dataset_faulted(device, config, &faults)
+                }
+                // Block extraction sweeps stay unfaulted: they exercise the
+                // Table 2 decomposition machinery, not the fault model.
                 DatasetSpec::Blocks {
                     device,
                     image_sizes,
@@ -199,7 +234,8 @@ impl DatasetStore {
                 } => block_dataset(device, image_sizes, batch_sizes, *seed),
                 _ => unreachable!("kind checked above"),
             },
-        ))
+            |points| points.iter().map(|p| p.measured).collect(),
+        )
     }
 
     /// Resolve a training-like dataset (`Training` or `Distributed`).
@@ -210,28 +246,52 @@ impl DatasetStore {
                 expected: "training",
             });
         }
-        Ok(self.fetch(
+        let faults = self.faults.clone().unwrap_or_else(FaultProfile::disabled);
+        self.fetch(
             &self.training,
             spec,
             |path: &Path| persist::load_training_dataset(path),
             |path, data| persist::save_training_dataset(path, data),
             || match spec {
-                DatasetSpec::Training { device, config } => training_dataset(device, config),
-                DatasetSpec::Distributed { device, config } => distributed_dataset(device, config),
+                DatasetSpec::Training { device, config } => {
+                    training_dataset_faulted(device, config, &faults)
+                }
+                DatasetSpec::Distributed { device, config } => {
+                    distributed_dataset_faulted(device, config, &faults)
+                }
                 _ => unreachable!("kind checked above"),
             },
-        ))
+            |points| points.iter().flat_map(|p| [p.fwd, p.bwd, p.grad]).collect(),
+        )
     }
 
-    /// Snapshot of per-dataset accounting, keyed by cache key.
+    /// Snapshot of per-dataset accounting, keyed by storage key.
     pub fn stats(&self) -> BTreeMap<String, DatasetStats> {
-        self.stats.lock().expect("stats lock poisoned").clone()
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     fn cache_path(&self, key: &str) -> Option<PathBuf> {
         self.disk_dir
             .as_ref()
             .map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// `CM0104` validation: reject empty datasets and non-finite or
+    /// non-positive measured times with a typed [`EngineError::BadDataset`].
+    fn validate(key: &str, times: &[f64]) -> Result<(), EngineError> {
+        let report = convmeter::lint_measured_times(key, times);
+        if report.has_errors() {
+            return Err(EngineError::BadDataset {
+                key: key.to_string(),
+                problem: report
+                    .diagnostics
+                    .iter()
+                    .map(|d| format!("{}: {}", d.code, d.message))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
+        }
+        Ok(())
     }
 
     fn fetch<P>(
@@ -241,11 +301,12 @@ impl DatasetStore {
         load: impl Fn(&Path) -> Result<Vec<P>, persist::PersistError>,
         save: impl Fn(&Path, &[P]) -> Result<(), persist::PersistError>,
         build: impl FnOnce() -> Vec<P>,
-    ) -> Arc<Vec<P>> {
-        let key = spec.key();
+        times: impl Fn(&[P]) -> Vec<f64>,
+    ) -> Result<Arc<Vec<P>>, EngineError> {
+        let key = self.storage_key(spec);
         let slot = slots
             .lock()
-            .expect("slot map poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(key.clone())
             .or_default()
             .clone();
@@ -257,10 +318,21 @@ impl DatasetStore {
             .get_or_init(|| {
                 if let Some(path) = self.cache_path(&key) {
                     if path.exists() {
+                        // Checksum-validated load: corruption (including a
+                        // truncated write or flipped payload byte) and
+                        // CM0104-invalid contents both fall through to a
+                        // rebuild instead of poisoning the run.
                         match load(&path) {
                             Ok(points) => {
-                                outcome = FetchOutcome::Disk;
-                                return Arc::new(points);
+                                if let Err(e) = Self::validate(&key, &times(&points)) {
+                                    eprintln!(
+                                        "warning: rebuilding {key}: invalid cache entry {}: {e}",
+                                        path.display()
+                                    );
+                                } else {
+                                    outcome = FetchOutcome::Disk;
+                                    return Arc::new(points);
+                                }
                             }
                             Err(e) => eprintln!(
                                 "warning: rebuilding {key}: unreadable cache entry {}: {e}",
@@ -294,25 +366,32 @@ impl DatasetStore {
                 Arc::new(points)
             })
             .clone();
-        let mut stats = self.stats.lock().expect("stats lock poisoned");
-        let entry = stats.entry(key).or_default();
-        entry.kind = spec.kind().to_string();
-        entry.points = value.len();
-        match outcome {
-            FetchOutcome::Built(secs) => {
-                obs::counter!("engine.store.builds").inc();
-                entry.builds += 1;
-                entry.build_seconds += secs;
-            }
-            FetchOutcome::Disk => {
-                obs::counter!("engine.store.disk_hits").inc();
-                entry.disk_hits += 1;
-            }
-            FetchOutcome::Memory => {
-                obs::counter!("engine.store.memory_hits").inc();
-                entry.memory_hits += 1;
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = stats.entry(key.clone()).or_default();
+            entry.kind = spec.kind().to_string();
+            entry.points = value.len();
+            match outcome {
+                FetchOutcome::Built(secs) => {
+                    obs::counter!("engine.store.builds").inc();
+                    entry.builds += 1;
+                    entry.build_seconds += secs;
+                }
+                FetchOutcome::Disk => {
+                    obs::counter!("engine.store.disk_hits").inc();
+                    entry.disk_hits += 1;
+                }
+                FetchOutcome::Memory => {
+                    obs::counter!("engine.store.memory_hits").inc();
+                    entry.memory_hits += 1;
+                }
             }
         }
-        value
+        // Built (and memoised) datasets are validated on every fetch: the
+        // check is a linear scan, and re-erroring on each request keeps a
+        // bad dataset's failure deterministic for every dependent
+        // experiment.
+        Self::validate(&key, &times(&value))?;
+        Ok(value)
     }
 }

@@ -23,6 +23,7 @@
 //! | `extensions` | Sync strategies, fusion buffers, precision modes     |
 //! | `extended_zoo` | Out-of-distribution architecture families          |
 //! | `transformers` | ConvMeter transferred to vision transformers       |
+//! | `contamination` | OLS vs Huber fit under injected outliers          |
 //!
 //! Results print as aligned text tables and are written as JSON under
 //! `results/`, together with a `manifest.json` recording wall times,
@@ -33,6 +34,7 @@ pub mod engine;
 pub mod exp_ablations;
 pub mod exp_blocks;
 pub mod exp_compare;
+pub mod exp_contamination;
 pub mod exp_extended_zoo;
 pub mod exp_extensions;
 pub mod exp_inference;

@@ -104,6 +104,7 @@ pub fn run_profile(opts: &ProfileOptions) -> Result<obs::Profile, EngineError> {
             jobs: opts.jobs,
             use_disk_cache: false,
             results_dir: opts.results_dir.join("profile"),
+            fault: Default::default(),
         };
         Engine::select(&["extensions"], config)?.run()?;
     }

@@ -118,6 +118,7 @@ fn config(results_dir: PathBuf, use_disk_cache: bool) -> EngineConfig {
         jobs: 2,
         use_disk_cache,
         results_dir,
+        fault: Default::default(),
     }
 }
 

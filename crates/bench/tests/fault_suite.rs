@@ -1,0 +1,307 @@
+//! Fault-tolerance integration suite: crash-safe cache recovery and the
+//! quarantine scheduler end to end.
+//!
+//! Covers the robustness acceptance surface:
+//! * a corrupted on-disk dataset cache entry is detected by its checksum,
+//!   rebuilt from the simulator, and the rebuilt artefacts are
+//!   byte-identical to the pre-corruption run;
+//! * a `--keep-going` run with a panicking and a hanging experiment
+//!   completes every healthy experiment and records both failures — with
+//!   their attempt histories — in a v3 manifest;
+//! * a faults-off run stays on the legacy path: v2 manifest, unsalted
+//!   cache keys, byte-identical artefacts across reruns.
+
+use convmeter_bench::engine::{
+    Artifact, DatasetSpec, Engine, EngineConfig, EngineError, Experiment, FaultToleranceConfig,
+    RunContext, RunOutput, MANIFEST_FORMAT_FAULTS,
+};
+use convmeter_hwsim::{DeviceProfile, FaultProfile, SweepConfig};
+use std::path::PathBuf;
+
+fn quick_spec() -> DatasetSpec {
+    DatasetSpec::Inference {
+        device: DeviceProfile::a100_80gb(),
+        config: SweepConfig::quick(),
+    }
+}
+
+/// A healthy experiment over the quick inference sweep.
+struct Healthy;
+impl Experiment for Healthy {
+    fn name(&self) -> &'static str {
+        "fault_healthy"
+    }
+    fn title(&self) -> &'static str {
+        "test: healthy experiment"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["fault_healthy"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        vec![quick_spec()]
+    }
+    fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        let data = ctx.inference(&quick_spec())?;
+        let total: f64 = data.iter().map(|p| p.measured).sum();
+        Ok(RunOutput {
+            rendered: format!("healthy: {} points\n", data.len()),
+            artifacts: vec![Artifact::json(
+                "fault_healthy",
+                &serde_json::json!({"points": data.len(), "total_s": total}),
+            )],
+        })
+    }
+}
+
+/// An experiment that panics on every attempt.
+struct Panics;
+impl Experiment for Panics {
+    fn name(&self) -> &'static str {
+        "fault_panics"
+    }
+    fn title(&self) -> &'static str {
+        "test: always panics"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["fault_panics"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        Vec::new()
+    }
+    fn run(&self, _ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        panic!("injected panic for the fault suite")
+    }
+}
+
+/// An experiment that outlives any reasonable watchdog budget.
+struct Hangs;
+impl Experiment for Hangs {
+    fn name(&self) -> &'static str {
+        "fault_hangs"
+    }
+    fn title(&self) -> &'static str {
+        "test: hangs until abandoned"
+    }
+    fn artifacts(&self) -> &'static [&'static str] {
+        &["fault_hangs"]
+    }
+    fn deps(&self) -> Vec<DatasetSpec> {
+        Vec::new()
+    }
+    fn run(&self, _ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        Ok(RunOutput {
+            rendered: String::new(),
+            artifacts: Vec::new(),
+        })
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("convmeter-faults-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(results_dir: PathBuf, fault: FaultToleranceConfig) -> EngineConfig {
+    EngineConfig {
+        jobs: 2,
+        use_disk_cache: true,
+        results_dir,
+        fault,
+    }
+}
+
+#[test]
+fn corrupted_cache_entry_is_rebuilt_byte_identical() {
+    let dir = temp_dir("corrupt");
+    let exps: Vec<&'static dyn Experiment> = vec![&Healthy];
+
+    let cold = Engine::new(exps.clone(), config(dir.clone(), Default::default()))
+        .run()
+        .expect("cold run");
+    assert_eq!(cold.manifest.total_builds(), 1);
+    let artefact = dir.join("fault_healthy.json");
+    let cold_bytes = std::fs::read(&artefact).expect("artefact written");
+
+    // Tamper with one digit of the cached payload. The envelope checksum
+    // no longer matches, so the load must fail closed and rebuild.
+    let cache_file = dir
+        .join("cache")
+        .join(format!("{}.json", quick_spec().key()));
+    let text = std::fs::read_to_string(&cache_file).expect("cache entry written");
+    let payload_at = text.find("\"payload\"").expect("envelope has a payload");
+    let (digit_at, old) = text[payload_at..]
+        .char_indices()
+        .find(|(_, c)| ('1'..='8').contains(c))
+        .map(|(i, c)| (payload_at + i, c))
+        .expect("payload contains a digit");
+    let mut tampered = text.clone();
+    tampered.replace_range(
+        digit_at..digit_at + 1,
+        &((old as u8 + 1) as char).to_string(),
+    );
+    assert_ne!(tampered, text);
+    std::fs::write(&cache_file, &tampered).unwrap();
+
+    let warm = Engine::new(exps, config(dir.clone(), Default::default()))
+        .run()
+        .expect("run after corruption");
+    assert_eq!(
+        warm.manifest.total_disk_hits(),
+        0,
+        "corrupt cache entry was served"
+    );
+    assert_eq!(warm.manifest.total_builds(), 1, "dataset was not rebuilt");
+    let rebuilt_bytes = std::fs::read(&artefact).unwrap();
+    assert_eq!(
+        rebuilt_bytes, cold_bytes,
+        "rebuild after corruption changed the artefact"
+    );
+    // The rebuilt cache entry is valid again: a third run disk-hits.
+    let third = Engine::new(vec![&Healthy], config(dir.clone(), Default::default()))
+        .run()
+        .expect("third run");
+    assert_eq!(third.manifest.total_disk_hits(), 1);
+    assert_eq!(third.manifest.total_builds(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_going_quarantines_panic_and_timeout_and_completes_the_rest() {
+    let dir = temp_dir("quarantine");
+    let fault = FaultToleranceConfig {
+        keep_going: true,
+        retries: 1,
+        timeout_secs: Some(1),
+        backoff_base_ms: 10,
+        ..Default::default()
+    };
+    let exps: Vec<&'static dyn Experiment> = vec![&Panics, &Hangs, &Healthy];
+    let report = Engine::new(exps, config(dir.clone(), fault))
+        .run()
+        .expect("keep-going run returns a report");
+
+    // The healthy experiment completed and its artefact exists.
+    assert_eq!(report.manifest.experiments.len(), 1);
+    assert_eq!(report.manifest.experiments[0].name, "fault_healthy");
+    assert!(dir.join("fault_healthy.json").exists());
+    assert!(!dir.join("fault_panics.json").exists());
+
+    // Both failures are recorded, in registry (input) order, with their
+    // full attempt histories: 2 attempts each (1 retry).
+    assert_eq!(report.manifest.format_version, MANIFEST_FORMAT_FAULTS);
+    assert_eq!(report.manifest.failures.len(), 2);
+    let panicked = &report.manifest.failures[0];
+    assert_eq!(panicked.name, "fault_panics");
+    assert_eq!(panicked.attempts.len(), 2);
+    assert!(
+        panicked.error.contains("injected panic"),
+        "{}",
+        panicked.error
+    );
+    let hung = &report.manifest.failures[1];
+    assert_eq!(hung.name, "fault_hangs");
+    assert_eq!(hung.attempts.len(), 2);
+    assert!(
+        hung.attempts
+            .iter()
+            .all(|a| a.error.contains("watchdog timeout")),
+        "{:?}",
+        hung.attempts
+    );
+
+    // The on-disk manifest is v3 and carries the quarantine fields.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"format_version\": 3"), "{manifest}");
+    assert!(manifest.contains("\"failures\""), "{manifest}");
+    assert!(manifest.contains("\"keep_going\": true"), "{manifest}");
+    assert!(manifest.contains("fault_panics"), "{manifest}");
+    assert!(manifest.contains("fault_hangs"), "{manifest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failures_without_keep_going_abort_with_typed_errors() {
+    let dir = temp_dir("abort");
+    let fault = FaultToleranceConfig {
+        timeout_secs: Some(1),
+        ..Default::default()
+    };
+    let exps: Vec<&'static dyn Experiment> = vec![&Hangs];
+    let err = match Engine::new(exps, config(dir.clone(), fault)).run() {
+        Ok(_) => panic!("watchdog must abort without --keep-going"),
+        Err(err) => err,
+    };
+    assert!(
+        matches!(err, EngineError::TimedOut { ref name, seconds: 1 } if name == "fault_hangs"),
+        "{err}"
+    );
+    // Aborted runs write nothing.
+    assert!(!dir.join("manifest.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faults_off_runs_stay_on_the_legacy_v2_path() {
+    let dir = temp_dir("clean");
+    // An explicit all-off profile must behave exactly like no profile.
+    let fault = FaultToleranceConfig {
+        faults: Some(FaultProfile::disabled()),
+        ..Default::default()
+    };
+    let exps: Vec<&'static dyn Experiment> = vec![&Healthy];
+    let a = Engine::new(exps.clone(), config(dir.clone(), fault))
+        .run()
+        .expect("first run");
+    assert_eq!(a.manifest.format_version, 2);
+    assert!(a.manifest.fault_profile.is_none());
+    // The cache key is unsalted: the entry sits under the plain spec key.
+    assert!(a.manifest.datasets.contains_key(&quick_spec().key()));
+    let bytes_a = std::fs::read(dir.join("fault_healthy.json")).unwrap();
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"format_version\": 2"), "{manifest}");
+    assert!(!manifest.contains("fault_profile"), "{manifest}");
+
+    let b = Engine::new(exps, config(dir.clone(), Default::default()))
+        .run()
+        .expect("second run");
+    assert_eq!(b.manifest.total_disk_hits(), 1, "clean cache entry reused");
+    let bytes_b = std::fs::read(dir.join("fault_healthy.json")).unwrap();
+    assert_eq!(bytes_a, bytes_b, "faults-off rerun changed the artefact");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_injection_salts_the_cache_key_and_stays_deterministic() {
+    let dir = temp_dir("salted");
+    let fault = FaultToleranceConfig {
+        faults: Some(FaultProfile::ci_smoke()),
+        ..Default::default()
+    };
+    let exps: Vec<&'static dyn Experiment> = vec![&Healthy];
+    let a = Engine::new(exps.clone(), config(dir.clone(), fault.clone()))
+        .run()
+        .expect("faulted run");
+    assert_eq!(a.manifest.format_version, MANIFEST_FORMAT_FAULTS);
+    assert!(a.manifest.fault_profile.is_some());
+    // The dataset landed under a salted key, not the clean one.
+    let clean_key = quick_spec().key();
+    assert!(!a.manifest.datasets.contains_key(&clean_key));
+    let salted_key = a.manifest.datasets.keys().next().expect("one dataset");
+    assert!(
+        salted_key.starts_with(&clean_key) && salted_key.contains("-faults-"),
+        "{salted_key}"
+    );
+    let bytes_a = std::fs::read(dir.join("fault_healthy.json")).unwrap();
+
+    // Same profile, fresh engine: disk hit on the salted entry, identical
+    // artefact — fault injection is bit-for-bit reproducible.
+    let b = Engine::new(exps, config(dir.clone(), fault))
+        .run()
+        .expect("faulted rerun");
+    assert_eq!(b.manifest.total_disk_hits(), 1);
+    let bytes_b = std::fs::read(dir.join("fault_healthy.json")).unwrap();
+    assert_eq!(bytes_a, bytes_b, "faulted rerun is not deterministic");
+    std::fs::remove_dir_all(&dir).ok();
+}

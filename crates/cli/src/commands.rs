@@ -686,14 +686,20 @@ pub fn dot(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `convmeter bench [--list] [--only a,b,...] [--jobs N] [--no-cache]`
+/// `convmeter bench [--list] [--only a,b,...] [--jobs N] [--no-cache]
+/// [--faults PROFILE] [--keep-going] [--retries N] [--timeout-secs S]`
 ///
 /// Drives the unified experiment engine: regenerates paper artefacts under
 /// the results directory with a shared content-addressed dataset cache and
 /// parallel scheduling. `--list` prints the registry without running
-/// anything.
+/// anything. The fault-tolerance flags route the run through the
+/// quarantine scheduler: `--faults` injects a named deterministic fault
+/// profile into every dataset sweep, `--retries`/`--timeout-secs` bound
+/// each experiment's attempts, and `--keep-going` records failures in the
+/// v3 manifest instead of aborting (the exit status is still non-zero).
 pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use convmeter_bench::engine::{registry, Engine, EngineConfig};
+    use convmeter_hwsim::FaultProfile;
 
     if args.switch("list") {
         writeln!(out, "{:<14} {:<34} title", "name", "artefacts")?;
@@ -713,6 +719,27 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut config = EngineConfig::from_env();
     config.jobs = args.get_or("jobs", config.jobs)?;
     config.use_disk_cache = !args.switch("no-cache");
+    config.fault.keep_going = args.switch("keep-going");
+    config.fault.retries = args.get_or("retries", 0usize)?;
+    config.fault.timeout_secs = args
+        .opt("timeout-secs")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| {
+            CliError::Usage(format!(
+                "--timeout-secs={}: expected seconds",
+                args.opt("timeout-secs").unwrap_or_default()
+            ))
+        })?;
+    if let Some(name) = args.opt("faults") {
+        let profile = FaultProfile::by_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown fault profile '{name}' (builtin: {})",
+                FaultProfile::builtin_names().join(", ")
+            ))
+        })?;
+        config.fault.faults = Some(profile);
+    }
     let results_dir = config.results_dir.clone();
 
     let engine = match args.opt("only") {
@@ -745,6 +772,20 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         m.total_disk_hits(),
         m.total_memory_hits(),
     )?;
+    if !m.failures.is_empty() {
+        for failure in &m.failures {
+            writeln!(
+                out,
+                "QUARANTINED {} after {} attempt(s): {}",
+                failure.name,
+                failure.attempts.len(),
+                failure.error
+            )?;
+        }
+        return Err(CliError::Quarantined {
+            failed: m.failures.len(),
+        });
+    }
     Ok(())
 }
 

@@ -52,6 +52,13 @@ pub enum CliError {
         /// Number of gate findings (regressions + drift).
         findings: usize,
     },
+    /// `convmeter bench --keep-going` quarantined failing experiments:
+    /// the rest of the run completed, but the exit status must be
+    /// non-zero so CI notices.
+    Quarantined {
+        /// Number of experiments that exhausted their attempts.
+        failed: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -69,6 +76,9 @@ impl std::fmt::Display for CliError {
             CliError::Gate { findings } => {
                 write!(f, "perf gate failed with {findings} finding(s)")
             }
+            CliError::Quarantined { failed } => {
+                write!(f, "bench quarantined {failed} failing experiment(s)")
+            }
         }
     }
 }
@@ -81,7 +91,10 @@ impl std::error::Error for CliError {
             CliError::Persist(e) => Some(e),
             CliError::Graph(e) => Some(e),
             CliError::Engine(e) => Some(e),
-            CliError::Usage(_) | CliError::Lint { .. } | CliError::Gate { .. } => None,
+            CliError::Usage(_)
+            | CliError::Lint { .. }
+            | CliError::Gate { .. }
+            | CliError::Quarantined { .. } => None,
         }
     }
 }
@@ -161,6 +174,9 @@ COMMANDS:
   bench                             regenerate paper artefacts (engine)
                                       [--list] [--only table1,fig3,...]
                                       [--jobs N] [--no-cache]
+                                      [--faults none|light|heavy|ci-smoke]
+                                      [--keep-going] [--retries N]
+                                      [--timeout-secs S]
   profile                           deterministic observability workload
                                       [--quick] [--json] [--out FILE]
                                       [--jobs N] [--baseline FILE]
@@ -465,7 +481,23 @@ mod tests {
         assert!(out.contains("table1"), "{out}");
         assert!(out.contains("transformers"), "{out}");
         assert!(out.contains("ext_strategies"), "{out}");
-        assert!(out.contains("15 experiment(s) registered"), "{out}");
+        assert!(out.contains("16 experiment(s) registered"), "{out}");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_fault_profile() {
+        let err = run_str(&["bench", "--only", "extensions", "--faults", "bogus"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("bogus") && msg.contains("ci-smoke"), "{msg}");
+    }
+
+    #[test]
+    fn bench_rejects_bad_timeout() {
+        let err =
+            run_str(&["bench", "--only", "extensions", "--timeout-secs", "soon"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("soon"), "{err}");
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! model zoo — the "parsing its computational graph" step — and attaches the
 //! feature values.
 
-use convmeter_distsim::{distributed_sweep, DistSweepConfig};
-use convmeter_hwsim::{inference_sweep, training_sweep, DeviceProfile, SweepConfig};
+use convmeter_distsim::{distributed_sweep, distributed_sweep_faulted, DistSweepConfig};
+use convmeter_hwsim::{
+    inference_sweep, inference_sweep_faulted, training_sweep, training_sweep_faulted,
+    DeviceProfile, FaultProfile, SweepConfig,
+};
 use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use convmeter_models::zoo;
 use serde::{Deserialize, Serialize};
@@ -181,6 +184,68 @@ pub fn distributed_dataset(device: &DeviceProfile, config: &DistSweepConfig) -> 
     attach_distributed_features(distributed_sweep(device, config))
 }
 
+/// Drop samples whose measured times are non-finite (corrupted by the fault
+/// model), counting them on an obs counter so fault runs are auditable.
+/// Straggler spikes and slowdowns are *kept* — they are valid (if extreme)
+/// measurements the robust fit must cope with; only NaN/inf corruption is
+/// unusable as a regression target.
+fn drop_corrupt<P>(points: Vec<P>, finite: impl Fn(&P) -> bool) -> Vec<P> {
+    let before = points.len();
+    let kept: Vec<P> = points.into_iter().filter(finite).collect();
+    let dropped = before - kept.len();
+    if dropped > 0 {
+        obs::counter!("convmeter.dataset.dropped_corrupt").add(dropped as u64);
+    }
+    kept
+}
+
+/// [`inference_dataset`] under an injected [`FaultProfile`]. Corrupted
+/// (NaN) samples are dropped (counted on `convmeter.dataset.dropped_corrupt`);
+/// straggler spikes and slowdowns remain in the data. With `faults.is_off()`
+/// this is byte-identical to the plain builder.
+pub fn inference_dataset_faulted(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    faults: &FaultProfile,
+) -> Vec<InferencePoint> {
+    if faults.is_off() {
+        return inference_dataset(device, config);
+    }
+    let _span = obs::span!("convmeter.dataset.inference");
+    let points = attach_inference_features(inference_sweep_faulted(device, config, faults));
+    drop_corrupt(points, |p| p.measured.is_finite())
+}
+
+/// [`training_dataset`] under an injected [`FaultProfile`]; see
+/// [`inference_dataset_faulted`] for the corruption-dropping contract.
+pub fn training_dataset_faulted(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    faults: &FaultProfile,
+) -> Vec<TrainingPoint> {
+    if faults.is_off() {
+        return training_dataset(device, config);
+    }
+    let _span = obs::span!("convmeter.dataset.training");
+    let points = attach_training_features(training_sweep_faulted(device, config, faults));
+    drop_corrupt(points, |p| p.step_time().is_finite())
+}
+
+/// [`distributed_dataset`] under an injected [`FaultProfile`]; see
+/// [`inference_dataset_faulted`] for the corruption-dropping contract.
+pub fn distributed_dataset_faulted(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+    faults: &FaultProfile,
+) -> Vec<TrainingPoint> {
+    if faults.is_off() {
+        return distributed_dataset(device, config);
+    }
+    let _span = obs::span!("convmeter.dataset.distributed");
+    let points = attach_distributed_features(distributed_sweep_faulted(device, config, faults));
+    drop_corrupt(points, |p| p.step_time().is_finite())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +288,60 @@ mod tests {
         let points = distributed_dataset(&d, &DistSweepConfig::quick());
         assert!(points.iter().any(|p| p.nodes == 4 && p.devices == 16));
         assert!(points.iter().all(|p| p.devices == p.nodes * 4));
+    }
+
+    #[test]
+    fn faulted_builders_with_faults_off_match_plain() {
+        let d = DeviceProfile::a100_80gb();
+        let off = FaultProfile::disabled();
+        let cfg = SweepConfig::quick();
+        let a = inference_dataset(&d, &cfg);
+        let b = inference_dataset_faulted(&d, &cfg, &off);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
+        let dcfg = DistSweepConfig::quick();
+        let da = distributed_dataset(&d, &dcfg);
+        let db = distributed_dataset_faulted(&d, &dcfg, &off);
+        assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.step_time().to_bits(), y.step_time().to_bits());
+        }
+    }
+
+    #[test]
+    fn faulted_builders_drop_corruption_and_keep_data_finite() {
+        let d = DeviceProfile::a100_80gb();
+        // Aggressive corruption so the quick sweep is guaranteed to hit it.
+        let mut faults = FaultProfile::heavy();
+        faults.corrupt_prob = 0.5;
+        let cfg = SweepConfig::quick();
+        let clean = inference_dataset(&d, &cfg);
+        let faulted = inference_dataset_faulted(&d, &cfg, &faults);
+        assert!(
+            faulted.len() < clean.len(),
+            "corruption should drop samples"
+        );
+        assert!(!faulted.is_empty());
+        assert!(faulted.iter().all(|p| p.measured.is_finite()));
+        // Deterministic per seed: a second run is identical.
+        let again = inference_dataset_faulted(&d, &cfg, &faults);
+        assert_eq!(faulted.len(), again.len());
+        for (x, y) in faulted.iter().zip(&again) {
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
+    }
+
+    #[test]
+    fn faulted_training_datasets_stay_finite() {
+        let d = DeviceProfile::a100_80gb();
+        let faults = FaultProfile::heavy();
+        let points = training_dataset_faulted(&d, &SweepConfig::quick(), &faults);
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|p| p.step_time().is_finite()));
+        let dist = distributed_dataset_faulted(&d, &DistSweepConfig::quick(), &faults);
+        assert!(!dist.is_empty());
+        assert!(dist.iter().all(|p| p.step_time().is_finite()));
     }
 }

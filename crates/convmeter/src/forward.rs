@@ -2,7 +2,7 @@
 
 use crate::dataset::InferencePoint;
 use crate::features::{forward_features, forward_features_at};
-use convmeter_linalg::{FitError, LinearRegression};
+use convmeter_linalg::{FitError, HuberRegression, LinearRegression, RobustReport};
 use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,30 @@ impl ForwardModel {
             .with_ridge(DEFAULT_RIDGE)
             .fit(xs, ys)?;
         Ok(Self { reg })
+    }
+
+    /// Outlier-robust fit (Huber IRLS + trimmed refit) on a benchmark
+    /// dataset that may contain straggler spikes or corrupted samples. When
+    /// the data is clean enough that no residual escapes the Huber band,
+    /// the returned model is bit-identical to [`ForwardModel::fit`] (the
+    /// report's `ols_identical` says so).
+    pub fn fit_robust(points: &[InferencePoint]) -> Result<(Self, RobustReport), FitError> {
+        let _span = obs::span!("convmeter.fit.forward_robust");
+        let xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| forward_features(&p.metrics))
+            .collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.measured).collect();
+        Self::fit_raw_robust(&xs, &ys)
+    }
+
+    /// Robust counterpart of [`ForwardModel::fit_raw`]: same ridge, same
+    /// functional form, Huber-weighted solve.
+    pub fn fit_raw_robust(xs: &[Vec<f64>], ys: &[f64]) -> Result<(Self, RobustReport), FitError> {
+        let (reg, report) = HuberRegression::new()
+            .with_ridge(DEFAULT_RIDGE)
+            .fit(xs, ys)?;
+        Ok((Self { reg }, report))
     }
 
     /// Predict from batch-scaled metrics.

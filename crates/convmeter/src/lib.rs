@@ -60,7 +60,7 @@ pub use eval::{
     PerModelReport, ScatterPoint,
 };
 pub use forward::ForwardModel;
-pub use model_lint::{lint_design_matrix, lint_forward_model};
+pub use model_lint::{lint_design_matrix, lint_forward_model, lint_measured_times};
 pub use nas::{search as nas_search, NasConfig, NasResult};
 pub use pipeline::{plan_pipeline, PipelinePlan};
 pub use scalability::{epoch_time, throughput_vs_batch, throughput_vs_nodes, turning_point};

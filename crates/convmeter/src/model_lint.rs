@@ -3,9 +3,10 @@
 //! The graph lints (`convmeter-graph`'s `lint` module) validate what goes
 //! *into* ConvMeter; the passes here validate what comes *out*: fitted
 //! coefficients that are NaN/infinite (`CM0101`), negative cost coefficients
-//! (`CM0102`), and ill-conditioned design matrices (`CM0103`). They reuse
-//! the same [`Diagnostic`]/[`LintReport`] types, so `convmeter lint` renders
-//! graph and model findings uniformly.
+//! (`CM0102`), ill-conditioned design matrices (`CM0103`), and benchmark
+//! datasets whose measured times are missing or unusable (`CM0104`). They
+//! reuse the same [`Diagnostic`]/[`LintReport`] types, so `convmeter lint`
+//! renders graph and model findings uniformly.
 
 use crate::dataset::InferencePoint;
 use crate::features::forward_features;
@@ -61,6 +62,41 @@ pub fn lint_forward_model(model: &ForwardModel) -> LintReport {
             format!(
                 "fitted intercept c4 is negative ({intercept:.3e}); fixed \
                  per-launch overhead should be non-negative"
+            ),
+        ));
+    }
+    LintReport::new(diagnostics)
+}
+
+/// Lint a benchmark dataset's measured times.
+///
+/// * `CM0104` (error): the dataset is empty, or a measured time is NaN,
+///   infinite, or non-positive. A regression target like that either aborts
+///   the fit or silently poisons every coefficient, so the bench engine
+///   refuses such datasets outright (typed as `BadDataset`) instead of
+///   fitting garbage. `label` names the dataset in the message (e.g. its
+///   cache key).
+pub fn lint_measured_times(label: &str, times: &[f64]) -> LintReport {
+    let mut diagnostics = Vec::new();
+    if times.is_empty() {
+        diagnostics.push(Diagnostic::error(
+            codes::BAD_MEASUREMENT,
+            format!("dataset `{label}` is empty — nothing to fit"),
+        ));
+        return LintReport::new(diagnostics);
+    }
+    let bad = times
+        .iter()
+        .filter(|t| !t.is_finite() || **t <= 0.0)
+        .count();
+    if bad > 0 {
+        diagnostics.push(Diagnostic::error(
+            codes::BAD_MEASUREMENT,
+            format!(
+                "dataset `{label}` has {bad} of {} measured times that are \
+                 non-finite or non-positive — corrupted samples must be \
+                 dropped before fitting",
+                times.len()
             ),
         ));
     }
@@ -210,5 +246,33 @@ mod tests {
     #[test]
     fn empty_dataset_lints_clean() {
         assert!(lint_design_matrix(&[]).is_clean());
+    }
+
+    #[test]
+    fn cm0104_fires_on_empty_dataset() {
+        let report = lint_measured_times("inference-x", &[]);
+        assert_eq!(report.with_code(codes::BAD_MEASUREMENT).count(), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn cm0104_fires_on_nonfinite_and_nonpositive_times() {
+        let report =
+            lint_measured_times("t", &[1.0e-3, f64::NAN, 2.0e-3, -1.0, 0.0, f64::INFINITY]);
+        assert_eq!(report.with_code(codes::BAD_MEASUREMENT).count(), 1);
+        assert!(report.has_errors());
+        let msg = report
+            .with_code(codes::BAD_MEASUREMENT)
+            .next()
+            .unwrap()
+            .message
+            .clone();
+        assert!(msg.contains("4 of 6"), "{msg}");
+    }
+
+    #[test]
+    fn cm0104_silent_on_healthy_times() {
+        let times: Vec<f64> = dataset().iter().map(|p| p.measured).collect();
+        assert!(lint_measured_times("quick", &times).is_clean());
     }
 }

@@ -6,21 +6,32 @@
 //! first-class artefacts. This module gives them a stable on-disk format
 //! with a version tag, so a model fitted by one build keeps loading in the
 //! next.
+//!
+//! Writes are crash-safe: every artefact is written to a same-directory
+//! temporary file and atomically renamed into place, so a crash mid-write
+//! leaves either the old file or the new one — never a truncated hybrid.
+//! Each envelope also records a content checksum of its payload; loads
+//! verify it and report [`PersistError::Corrupt`] on mismatch, so silent
+//! disk corruption is caught instead of being fitted.
 
 use crate::dataset::{InferencePoint, TrainingPoint};
 use crate::forward::ForwardModel;
 use crate::training::TrainingModel;
+use convmeter_graph::stable_digest;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::path::Path;
 
 /// Current on-disk format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Envelope wrapping every persisted artefact.
+/// Envelope wrapping every persisted artefact. `checksum` is the stable
+/// digest of the payload's canonical (compact) JSON; it is `None` only in
+/// legacy files written before checksumming existed, which still load.
 #[derive(Debug, Serialize, Deserialize)]
 struct Envelope<T> {
     format_version: u32,
     kind: String,
+    checksum: Option<String>,
     payload: T,
 }
 
@@ -38,6 +49,14 @@ pub enum PersistError {
         /// What the file contained.
         found: String,
     },
+    /// The file's recorded checksum does not match its payload — the bytes
+    /// on disk were altered after the artefact was written.
+    Corrupt {
+        /// The checksum the envelope recorded at save time.
+        expected: String,
+        /// The checksum of the payload actually on disk.
+        found: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -48,6 +67,13 @@ impl std::fmt::Display for PersistError {
             PersistError::Format { expected, found } => {
                 write!(f, "format mismatch: expected {expected}, found {found}")
             }
+            PersistError::Corrupt { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: file records {expected} but payload hashes to {found} — \
+                     the artefact is corrupt"
+                )
+            }
         }
     }
 }
@@ -57,7 +83,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Json(e) => Some(e),
-            PersistError::Format { .. } => None,
+            PersistError::Format { .. } | PersistError::Corrupt { .. } => None,
         }
     }
 }
@@ -74,25 +100,57 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-fn save<T: Serialize>(path: &Path, kind: &str, payload: &T) -> Result<(), PersistError> {
-    let envelope = Envelope {
-        format_version: FORMAT_VERSION,
-        kind: kind.to_string(),
-        payload,
-    };
-    let json = serde_json::to_string_pretty(&envelope)?;
+/// Write `contents` to `path` atomically: write a same-directory temporary
+/// file, then rename it into place. POSIX rename is atomic within a
+/// filesystem, so readers (and crash recovery) see either the complete old
+/// file or the complete new one, never a truncated write. Exported because
+/// the bench engine reuses it for artefacts and manifests.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, json)?;
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artefact".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// The checksum the envelope records: a stable digest of the payload's
+/// canonical (compact) JSON. Computed from the [`serde_json::Value`] model
+/// on both the save and load path, so formatting is identical by
+/// construction.
+fn payload_checksum(payload: &serde_json::Value) -> Result<String, PersistError> {
+    Ok(stable_digest(&serde_json::to_string(payload)?))
+}
+
+fn save<T: Serialize>(path: &Path, kind: &str, payload: &T) -> Result<(), PersistError> {
+    let payload = serde_json::to_value(payload);
+    let checksum = payload_checksum(&payload)?;
+    let envelope = Envelope {
+        format_version: FORMAT_VERSION,
+        kind: kind.to_string(),
+        checksum: Some(checksum),
+        payload,
+    };
+    let json = serde_json::to_string_pretty(&envelope)?;
+    write_atomic(path, &json)?;
     Ok(())
 }
 
 fn load<T: DeserializeOwned>(path: &Path, kind: &str) -> Result<T, PersistError> {
     let body = std::fs::read_to_string(path)?;
-    let envelope: Envelope<T> = serde_json::from_str(&body)?;
+    let envelope: Envelope<serde_json::Value> = serde_json::from_str(&body)?;
     if envelope.format_version != FORMAT_VERSION {
         return Err(PersistError::Format {
             expected: format!("version {FORMAT_VERSION}"),
@@ -105,7 +163,16 @@ fn load<T: DeserializeOwned>(path: &Path, kind: &str) -> Result<T, PersistError>
             found: envelope.kind,
         });
     }
-    Ok(envelope.payload)
+    if let Some(expected) = &envelope.checksum {
+        let found = payload_checksum(&envelope.payload)?;
+        if &found != expected {
+            return Err(PersistError::Corrupt {
+                expected: expected.clone(),
+                found,
+            });
+        }
+    }
+    Ok(T::from_value(&envelope.payload).map_err(serde_json::Error::from)?)
 }
 
 /// Save a fitted forward (inference) model.
@@ -257,5 +324,72 @@ mod tests {
             Err(PersistError::Io(_)) => {}
             other => panic!("expected io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tampered_payload_is_detected_as_corrupt() {
+        let p = convmeter_hwsim::DeviceProfile::a100_80gb();
+        let path = tmp("tamper");
+        save_device_profile(&path, &p).unwrap();
+        // Flip one digit inside the payload; the envelope stays well-formed
+        // JSON, so only the checksum can catch the alteration.
+        let body = std::fs::read_to_string(&path).unwrap();
+        let payload_at = body.find("\"payload\"").unwrap();
+        let digit_at = body[payload_at..]
+            .find(|c: char| ('1'..='8').contains(&c))
+            .map(|i| payload_at + i)
+            .expect("payload has a digit");
+        let mut bytes = body.into_bytes();
+        bytes[digit_at] += 1;
+        std::fs::write(&path, bytes).unwrap();
+        match load_device_profile(&path) {
+            Err(PersistError::Corrupt { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_file_without_checksum_still_loads() {
+        let p = convmeter_hwsim::DeviceProfile::a100_80gb();
+        let path = tmp("legacy");
+        save_device_profile(&path, &p).unwrap();
+        // Strip the checksum line to fake a pre-checksum artefact.
+        let body = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = body
+            .lines()
+            .filter(|l| !l.contains("\"checksum\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(body, stripped, "checksum line should have been removed");
+        std::fs::write(&path, stripped).unwrap();
+        let loaded = load_device_profile(&path).unwrap();
+        assert_eq!(p, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("convmeter-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        save_device_profile(&path, &convmeter_hwsim::DeviceProfile::a100_80gb()).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let path = tmp("atomic-replace");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        std::fs::remove_file(path).ok();
     }
 }

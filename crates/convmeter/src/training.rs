@@ -7,7 +7,7 @@ use crate::features::{
     bwd_grad_features, forward_features, grad_features_multi, grad_features_single,
 };
 use crate::forward::DEFAULT_RIDGE;
-use convmeter_linalg::{FitError, LinearRegression};
+use convmeter_linalg::{FitError, HuberRegression, LinearRegression, RobustReport};
 use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +136,69 @@ impl TrainingModel {
             fused_single,
             fused_multi,
         })
+    }
+
+    /// Outlier-robust fit: per-phase Huber IRLS + trimmed refits replace
+    /// the OLS solves for the forward, backward, and fused phases (the
+    /// phases fault injection contaminates). Returns the worst per-phase
+    /// contamination report. On exactly-linear (residual-free) data every
+    /// component is bit-identical to [`TrainingModel::fit`].
+    pub fn fit_robust(points: &[TrainingPoint]) -> Result<(Self, RobustReport), FitError> {
+        let _span = obs::span!("convmeter.fit.training");
+        let huber = || HuberRegression::new().with_ridge(DEFAULT_RIDGE);
+        let fwd_xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| forward_features(&p.metrics))
+            .collect();
+        let (forward, fwd_report) =
+            huber().fit(&fwd_xs, &points.iter().map(|p| p.fwd).collect::<Vec<_>>())?;
+        let (backward, bwd_report) =
+            huber().fit(&fwd_xs, &points.iter().map(|p| p.bwd).collect::<Vec<_>>())?;
+        let grad = GradUpdateModel::fit(points)?;
+
+        let fit_fused =
+            |pts: &[&TrainingPoint]| -> Result<(LinearRegression, RobustReport), FitError> {
+                let xs: Vec<Vec<f64>> = pts
+                    .iter()
+                    .map(|p| bwd_grad_features(&p.metrics, p.nodes))
+                    .collect();
+                let ys: Vec<f64> = pts.iter().map(|p| p.bwd + p.grad).collect();
+                huber().fit(&xs, &ys)
+            };
+        let all: Vec<&TrainingPoint> = points.iter().collect();
+        let (fused_all, fused_report) = fit_fused(&all)?;
+        let single_pts: Vec<&TrainingPoint> = points.iter().filter(|p| p.nodes == 1).collect();
+        let multi_pts: Vec<&TrainingPoint> = points.iter().filter(|p| p.nodes > 1).collect();
+        let min_rows = 8;
+        let fused_single = if single_pts.len() >= min_rows {
+            fit_fused(&single_pts)?.0
+        } else {
+            fused_all.clone()
+        };
+        let fused_multi = if multi_pts.len() >= min_rows {
+            fit_fused(&multi_pts)?.0
+        } else {
+            fused_all
+        };
+
+        let worst = [fwd_report, bwd_report, fused_report]
+            .into_iter()
+            .max_by(|a, b| {
+                a.contamination
+                    .partial_cmp(&b.contamination)
+                    .expect("contamination rates are finite")
+            })
+            .expect("three reports");
+        Ok((
+            Self {
+                forward,
+                backward,
+                grad,
+                fused_single,
+                fused_multi,
+            },
+            worst,
+        ))
     }
 
     /// Predicted forward-pass time.

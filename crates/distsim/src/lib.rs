@@ -40,13 +40,15 @@ pub use dataio::{epoch_time_with_io, step_with_io, StepWithIo, StorageProfile};
 pub use fusion::{fuse_gradients, Bucket};
 pub use parallel::simulate_step_threaded;
 pub use pipeline_sim::{simulate_pipeline, PipelineSimResult, SimStage};
-pub use ring::{all_reduce_time, reduce_scatter_time};
+pub use ring::{all_reduce_time, all_reduce_time_with_dropout, reduce_scatter_time};
 pub use step::{
     expected_distributed_phases, expected_distributed_phases_with_strategy,
-    measure_distributed_step,
+    measure_distributed_step, measure_distributed_step_faulted,
 };
 pub use strategies::{
     hierarchical_all_reduce_time, parameter_server_time, sync_time, SyncStrategy,
 };
-pub use sweep::{distributed_sweep, DistSweepConfig, DistTrainingSample};
+pub use sweep::{
+    distributed_sweep, distributed_sweep_faulted, DistSweepConfig, DistTrainingSample,
+};
 pub use trace::{trace_step, StepTrace};

@@ -28,6 +28,24 @@ pub fn all_reduce_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
     steps as f64 * (cluster.bottleneck_latency() + chunk / cluster.bottleneck_bandwidth())
 }
 
+/// Time for one all-reduce after `dropped` nodes fell out of the ring:
+/// the survivors pay a fixed `re_ring_cost` to re-form the ring, then run
+/// the collective over the reduced cluster. With no dropouts this is
+/// exactly [`all_reduce_time`].
+pub fn all_reduce_time_with_dropout(
+    cluster: &ClusterConfig,
+    bytes: u64,
+    dropped: usize,
+    re_ring_cost: f64,
+) -> f64 {
+    if dropped == 0 {
+        return all_reduce_time(cluster, bytes);
+    }
+    let mut survivors = cluster.clone();
+    survivors.nodes = cluster.nodes.saturating_sub(dropped).max(1);
+    re_ring_cost + all_reduce_time(&survivors, bytes)
+}
+
 /// Time for a reduce-scatter only (half an all-reduce); exposed for
 /// completeness and for testing the algebra.
 pub fn reduce_scatter_time(cluster: &ClusterConfig, bytes: u64) -> f64 {
@@ -95,6 +113,29 @@ mod tests {
         let multi = ClusterConfig::hpc_cluster(1 + 3); // 16 GPUs over IB
         let bytes = 100 << 20;
         assert!(all_reduce_time(&multi, bytes) > 5.0 * all_reduce_time(&single, bytes));
+    }
+
+    #[test]
+    fn dropout_free_path_matches_plain_all_reduce() {
+        let c = ClusterConfig::hpc_cluster(8);
+        let bytes = 100 << 20;
+        assert_eq!(
+            all_reduce_time_with_dropout(&c, bytes, 0, 0.5),
+            all_reduce_time(&c, bytes)
+        );
+    }
+
+    #[test]
+    fn dropout_pays_re_ring_and_runs_on_survivors() {
+        let c = ClusterConfig::hpc_cluster(8);
+        let bytes = 100 << 20;
+        let mut survivors = c.clone();
+        survivors.nodes = 7;
+        let t = all_reduce_time_with_dropout(&c, bytes, 1, 0.25);
+        assert!((t - (0.25 + all_reduce_time(&survivors, bytes))).abs() < 1e-12);
+        // Dropping everything still leaves one node (no panic, finite time).
+        let all_gone = all_reduce_time_with_dropout(&c, bytes, 100, 0.25);
+        assert!(all_gone.is_finite());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use crate::cluster::ClusterConfig;
 use crate::fusion::fuse_gradients;
+use crate::ring::all_reduce_time_with_dropout;
 use crate::strategies::{sync_time, SyncStrategy};
 use convmeter_hwsim::kernel::{backward_layer_time, forward_layer_time, optimizer_layer_time};
-use convmeter_hwsim::{DeviceProfile, NoiseModel, TrainingPhases};
+use convmeter_hwsim::{DeviceProfile, FaultModel, NoiseModel, TrainingPhases};
 use convmeter_metrics::ModelMetrics;
 
 /// Expected straggler inflation for `n` synchronising devices with
@@ -132,6 +133,70 @@ pub fn measure_distributed_step(
         backward: noise.jitter(p.backward),
         grad_update: noise.jitter(p.grad_update),
     }
+}
+
+/// A fault-injected distributed step. On top of
+/// [`measure_distributed_step`]'s jitter, the step may suffer:
+///
+/// * **per-node stragglers** — the compute phases stretch by the worst of
+///   `N` sampled per-node multipliers (synchronous data parallelism waits
+///   for the slowest device),
+/// * **node dropout** — a node leaves mid-step; the survivors pay the
+///   profile's re-ring cost and restart the full gradient all-reduce over
+///   the reduced ring, all charged to the gradient-update phase,
+/// * **slowdown windows / spikes / corruption** — as in the single-device
+///   path ([`convmeter_hwsim::measure_training_step_faulted`]).
+///
+/// With the fault model's profile off this is exactly
+/// [`measure_distributed_step`].
+pub fn measure_distributed_step_faulted(
+    device: &DeviceProfile,
+    cluster: &ClusterConfig,
+    metrics: &ModelMetrics,
+    batch: usize,
+    noise: &mut NoiseModel,
+    fault: &mut FaultModel,
+) -> TrainingPhases {
+    if fault.profile().is_off() {
+        return measure_distributed_step(device, cluster, metrics, batch, noise);
+    }
+    convmeter_metrics::obs::counter!("distsim.steps").inc();
+    let slowdown = fault.compute_slowdown();
+    let straggle = fault.node_straggler_max(cluster.total_devices());
+    let dropped = fault.node_dropout(cluster.nodes);
+    let p = expected_distributed_phases(device, cluster, metrics, batch);
+    let mut grad_update = p.grad_update;
+    if dropped > 0 {
+        // The collective restarts from scratch on the re-formed ring: every
+        // trainable tensor is re-reduced in one (unoverlapped) pass.
+        let total_grad_bytes: u64 = metrics
+            .per_node
+            .iter()
+            .filter(|c| c.is_trainable)
+            .map(|c| c.param_elements * 4)
+            .sum();
+        grad_update += all_reduce_time_with_dropout(
+            cluster,
+            total_grad_bytes,
+            dropped,
+            fault.profile().reringing_cost,
+        );
+    }
+    let mut phases = TrainingPhases {
+        forward: noise.jitter(p.forward * slowdown * straggle),
+        backward: noise.jitter(p.backward * slowdown * straggle),
+        grad_update: noise.jitter(grad_update),
+    };
+    let spike = fault.spike_factor();
+    phases.forward *= spike;
+    phases.backward *= spike;
+    phases.grad_update *= spike;
+    if fault.is_corrupt() {
+        phases.forward = f64::NAN;
+        phases.backward = f64::NAN;
+        phases.grad_update = f64::NAN;
+    }
+    phases
 }
 
 #[cfg(test)]

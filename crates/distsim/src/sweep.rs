@@ -2,8 +2,11 @@
 //! Table 3 (right half), Figure 7, and Figure 8 of the paper.
 
 use crate::cluster::ClusterConfig;
-use crate::step::measure_distributed_step;
-use convmeter_hwsim::{training_memory_bytes, DeviceProfile, NoiseModel, TrainingPhases};
+use crate::step::{measure_distributed_step, measure_distributed_step_faulted};
+use convmeter_hwsim::{
+    training_memory_bytes, DeviceProfile, FaultModel, FaultProfile, NoiseModel, TrainingPhases,
+    FAULT_SALT,
+};
 use convmeter_metrics::ModelMetrics;
 use convmeter_models::zoo;
 use serde::{Deserialize, Serialize};
@@ -133,6 +136,60 @@ pub fn distributed_sweep(
                     );
                     let phases =
                         measure_distributed_step(device, &cluster, &metrics, batch, &mut noise);
+                    out.push(DistTrainingSample {
+                        model: model.clone(),
+                        image_size: image,
+                        batch,
+                        nodes,
+                        gpus_per_node: cluster.gpus_per_node,
+                        phases,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`distributed_sweep`] under a fault profile. With faults off this *is*
+/// [`distributed_sweep`] (byte-identical); otherwise every point draws from
+/// an independent fault stream seeded by the per-point tuple XOR
+/// [`FAULT_SALT`], adding node dropouts with ring re-formation, per-node
+/// straggler multipliers, slowdown windows, spikes, and NaN corruption.
+pub fn distributed_sweep_faulted(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+    faults: &FaultProfile,
+) -> Vec<DistTrainingSample> {
+    if faults.is_off() {
+        return distributed_sweep(device, config);
+    }
+    let _span = convmeter_metrics::obs::span!("distsim.sweep");
+    let mut out = Vec::new();
+    for model in &config.models {
+        let spec = zoo::by_name(model)
+            .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
+        for &image in &config.image_sizes {
+            if !spec.supports(image) {
+                continue;
+            }
+            let graph = spec.build(image, 1000);
+            if let Err(report) = graph.check() {
+                panic!("graph '{model}' @ {image}px failed lint:\n{report}");
+            }
+            let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
+            for &batch in &config.batch_sizes {
+                if training_memory_bytes(&metrics, batch) > device.memory_capacity {
+                    continue;
+                }
+                for &nodes in &config.node_counts {
+                    let cluster = ClusterConfig::hpc_cluster(nodes);
+                    let seed = config.point_seed(model, image, batch, nodes);
+                    let mut noise = NoiseModel::new(seed, device.noise_sigma);
+                    let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
+                    let phases = measure_distributed_step_faulted(
+                        device, &cluster, &metrics, batch, &mut noise, &mut fault,
+                    );
                     out.push(DistTrainingSample {
                         model: model.clone(),
                         image_size: image,

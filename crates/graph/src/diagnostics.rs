@@ -42,6 +42,9 @@ pub mod codes {
     pub const NEGATIVE_COEFFICIENT: &str = "CM0102";
     /// The regression design matrix is ill-conditioned.
     pub const ILL_CONDITIONED: &str = "CM0103";
+    /// A benchmark dataset is empty or contains a non-finite or
+    /// non-positive measured time (e.g. a corrupted sample).
+    pub const BAD_MEASUREMENT: &str = "CM0104";
 }
 
 /// How bad a finding is. Ordered: `Info < Warning < Error`.

@@ -23,11 +23,19 @@ fn efficiency_scale(cost: &LayerCost) -> f64 {
 }
 
 /// Roofline time for a kernel of `flops` and `bytes`, including occupancy
-/// ramp and launch overhead.
-fn kernel_time(device: &DeviceProfile, flops: f64, bytes: f64, eff_scale: f64) -> f64 {
+/// ramp and launch overhead. `slowdown` throttles the compute rate only
+/// (thermal/clock throttling semantics — memory traffic is unaffected);
+/// 1.0 is the exact unfaulted path.
+fn kernel_time_slowed(
+    device: &DeviceProfile,
+    flops: f64,
+    bytes: f64,
+    eff_scale: f64,
+    slowdown: f64,
+) -> f64 {
     let occ = device.occupancy(flops.max(bytes));
     let compute = if flops > 0.0 {
-        flops / (device.effective_flops(eff_scale) * occ)
+        flops / (device.effective_flops(eff_scale) * occ) * slowdown
     } else {
         0.0
     };
@@ -35,11 +43,27 @@ fn kernel_time(device: &DeviceProfile, flops: f64, bytes: f64, eff_scale: f64) -
     compute.max(memory) + device.kernel_launch_overhead
 }
 
+fn kernel_time(device: &DeviceProfile, flops: f64, bytes: f64, eff_scale: f64) -> f64 {
+    kernel_time_slowed(device, flops, bytes, eff_scale, 1.0)
+}
+
 /// Forward-pass (= inference) time of one layer at the given batch size.
 ///
 /// Shape-only nodes (flatten, dropout) cost nothing: frameworks fold them
 /// into neighbouring kernels.
 pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize) -> f64 {
+    forward_layer_time_slowed(device, cost, batch, 1.0)
+}
+
+/// [`forward_layer_time`] under a compute-rate slowdown (fault injection's
+/// transient throttling windows). `slowdown = 1.0` is bit-identical to the
+/// plain path.
+pub fn forward_layer_time_slowed(
+    device: &DeviceProfile,
+    cost: &LayerCost,
+    batch: usize,
+    slowdown: f64,
+) -> f64 {
     convmeter_metrics::obs::counter!("hwsim.kernel.layer_evals").inc();
     let b = batch as f64;
     if cost.is_view {
@@ -48,13 +72,13 @@ pub fn forward_layer_time(device: &DeviceProfile, cost: &LayerCost, batch: usize
     if cost.flops == 0 {
         // Pure data movement (concat): copy in + out.
         let bytes = (cost.input_elements + cost.output_elements) as f64 * b * BYTES;
-        return kernel_time(device, 0.0, bytes, 1.0);
+        return kernel_time_slowed(device, 0.0, bytes, 1.0, slowdown);
     }
     let flops = cost.flops as f64 * b;
     let bytes = ((cost.input_elements + cost.output_elements) as f64 * b
         + cost.param_elements as f64)
         * BYTES;
-    kernel_time(device, flops, bytes, efficiency_scale(cost))
+    kernel_time_slowed(device, flops, bytes, efficiency_scale(cost), slowdown)
 }
 
 /// Backward-pass time of one layer at the given batch size.

@@ -26,6 +26,7 @@
 
 pub mod calibration;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod noise;
@@ -36,12 +37,21 @@ pub mod training;
 
 pub use calibration::{calibrate, Calibration, Observation};
 pub use device::{DeviceKind, DeviceProfile};
-pub use kernel::{backward_layer_time, forward_layer_time, optimizer_layer_time};
+pub use fault::{FaultModel, FaultProfile, FAULT_SALT};
+pub use kernel::{
+    backward_layer_time, forward_layer_time, forward_layer_time_slowed, optimizer_layer_time,
+};
 pub use memory::{inference_memory_bytes, training_memory_bytes};
 pub use noise::NoiseModel;
 pub use precision::Precision;
-pub use runner::{expected_inference_time, measure_inference, InferenceSample};
-pub use sweep::{inference_sweep, training_sweep, SweepConfig};
+pub use runner::{
+    degraded_inference_time, expected_inference_time, measure_inference, measure_inference_faulted,
+    InferenceSample,
+};
+pub use sweep::{
+    inference_sweep, inference_sweep_faulted, training_sweep, training_sweep_faulted, SweepConfig,
+};
 pub use training::{
-    expected_training_phases, measure_training_step, TrainingPhases, TrainingSample,
+    expected_training_phases, measure_training_step, measure_training_step_faulted, TrainingPhases,
+    TrainingSample,
 };

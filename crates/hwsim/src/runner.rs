@@ -1,7 +1,8 @@
 //! Model-level inference "measurement".
 
 use crate::device::DeviceProfile;
-use crate::kernel::forward_layer_time;
+use crate::fault::FaultModel;
+use crate::kernel::{forward_layer_time, forward_layer_time_slowed};
 use crate::noise::NoiseModel;
 use convmeter_metrics::ModelMetrics;
 use serde::{Deserialize, Serialize};
@@ -43,6 +44,39 @@ pub fn measure_inference(
     noise: &mut NoiseModel,
 ) -> f64 {
     noise.jitter(expected_inference_time(device, metrics, batch))
+}
+
+/// Expected inference time under a compute-rate slowdown (fault injection's
+/// throttling windows). `slowdown = 1.0` matches
+/// [`expected_inference_time`] exactly.
+pub fn degraded_inference_time(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    batch: usize,
+    slowdown: f64,
+) -> f64 {
+    let kernels: f64 = metrics
+        .per_node
+        .iter()
+        .map(|c| forward_layer_time_slowed(device, c, batch, slowdown))
+        .sum();
+    kernels + device.base_overhead
+}
+
+/// A fault-injected measurement: the point may land in a slowdown window
+/// (throttled compute), be hit by a heavy-tailed straggler spike, or come
+/// back corrupted as NaN. Noise and faults draw from independent seeded
+/// streams.
+pub fn measure_inference_faulted(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    batch: usize,
+    noise: &mut NoiseModel,
+    fault: &mut FaultModel,
+) -> f64 {
+    let slowdown = fault.compute_slowdown();
+    let expected = degraded_inference_time(device, metrics, batch, slowdown);
+    fault.corrupt(noise.jitter(expected))
 }
 
 #[cfg(test)]

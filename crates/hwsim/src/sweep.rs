@@ -6,10 +6,11 @@
 //! regardless of rayon's scheduling.
 
 use crate::device::DeviceProfile;
+use crate::fault::{FaultModel, FaultProfile, FAULT_SALT};
 use crate::memory::{inference_memory_bytes, training_memory_bytes};
 use crate::noise::NoiseModel;
-use crate::runner::{measure_inference, InferenceSample};
-use crate::training::{measure_training_step, TrainingSample};
+use crate::runner::{measure_inference, measure_inference_faulted, InferenceSample};
+use crate::training::{measure_training_step, measure_training_step_faulted, TrainingSample};
 use convmeter_metrics::{obs, ModelMetrics};
 use convmeter_models::zoo;
 use rayon::prelude::*;
@@ -179,6 +180,52 @@ pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Infe
         .collect()
 }
 
+/// [`inference_sweep`] under a fault profile. With faults off this *is*
+/// [`inference_sweep`] (same code path, byte-identical results); otherwise
+/// each point additionally draws from a fault stream seeded by the same
+/// per-point tuple XOR [`FAULT_SALT`], so injected faults are bit-for-bit
+/// reproducible and independent of the noise stream. Sweep gates (memory,
+/// runtime cap) always use the *unfaulted* expected time, so the sampled
+/// grid is identical with and without faults.
+pub fn inference_sweep_faulted(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    faults: &FaultProfile,
+) -> Vec<InferenceSample> {
+    if faults.is_off() {
+        return inference_sweep(device, config);
+    }
+    let _span = obs::span!("hwsim.inference_sweep");
+    metric_grid(config)
+        .par_iter()
+        .flat_map_iter(|(name, size, metrics)| {
+            config.batch_sizes.iter().filter_map(move |&batch| {
+                if config.respect_memory
+                    && inference_memory_bytes(metrics, batch) > device.memory_capacity
+                {
+                    return None;
+                }
+                if let Some(cap) = config.max_point_time {
+                    if crate::runner::expected_inference_time(device, metrics, batch) > cap {
+                        return None;
+                    }
+                }
+                let seed = config.point_seed(name, *size, batch);
+                let mut noise = NoiseModel::new(seed, device.noise_sigma);
+                let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
+                Some(InferenceSample {
+                    model: name.clone(),
+                    image_size: *size,
+                    batch,
+                    time_s: measure_inference_faulted(
+                        device, metrics, batch, &mut noise, &mut fault,
+                    ),
+                })
+            })
+        })
+        .collect()
+}
+
 /// Run a single-device training benchmark sweep.
 pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingSample> {
     let _span = obs::span!("hwsim.training_sweep");
@@ -207,6 +254,49 @@ pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Train
                     image_size: *size,
                     batch,
                     phases: measure_training_step(device, metrics, batch, &mut noise),
+                })
+            })
+        })
+        .collect()
+}
+
+/// [`training_sweep`] under a fault profile; see
+/// [`inference_sweep_faulted`] for the determinism contract.
+pub fn training_sweep_faulted(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    faults: &FaultProfile,
+) -> Vec<TrainingSample> {
+    if faults.is_off() {
+        return training_sweep(device, config);
+    }
+    let _span = obs::span!("hwsim.training_sweep");
+    metric_grid(config)
+        .par_iter()
+        .flat_map_iter(|(name, size, metrics)| {
+            config.batch_sizes.iter().filter_map(move |&batch| {
+                if config.respect_memory
+                    && training_memory_bytes(metrics, batch) > device.memory_capacity
+                {
+                    return None;
+                }
+                if let Some(cap) = config.max_point_time {
+                    let expected =
+                        crate::training::expected_training_phases(device, metrics, batch);
+                    if expected.total() > cap {
+                        return None;
+                    }
+                }
+                let seed = config.point_seed(name, *size, batch).wrapping_add(1);
+                let mut noise = NoiseModel::new(seed, device.noise_sigma);
+                let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
+                Some(TrainingSample {
+                    model: name.clone(),
+                    image_size: *size,
+                    batch,
+                    phases: measure_training_step_faulted(
+                        device, metrics, batch, &mut noise, &mut fault,
+                    ),
                 })
             })
         })

@@ -2,6 +2,7 @@
 //! optimizer (gradient update) phases, as in Figure 1 of the paper.
 
 use crate::device::DeviceProfile;
+use crate::fault::FaultModel;
 use crate::kernel::{backward_layer_time, forward_layer_time, optimizer_layer_time};
 use crate::noise::NoiseModel;
 use convmeter_metrics::ModelMetrics;
@@ -91,6 +92,36 @@ pub fn measure_training_step(
         backward: noise.jitter(p.backward),
         grad_update: noise.jitter(p.grad_update),
     }
+}
+
+/// A fault-injected training-step measurement: a slowdown window throttles
+/// all compute phases, one straggler spike stretches the whole step (the
+/// phase timers all see the same straggling device), and corruption NaNs
+/// every phase (the harness lost the sample).
+pub fn measure_training_step_faulted(
+    device: &DeviceProfile,
+    metrics: &ModelMetrics,
+    batch: usize,
+    noise: &mut NoiseModel,
+    fault: &mut FaultModel,
+) -> TrainingPhases {
+    let slowdown = fault.compute_slowdown();
+    let p = expected_training_phases(device, metrics, batch);
+    let mut phases = TrainingPhases {
+        forward: noise.jitter(p.forward * slowdown),
+        backward: noise.jitter(p.backward * slowdown),
+        grad_update: noise.jitter(p.grad_update * slowdown),
+    };
+    let spike = fault.spike_factor();
+    phases.forward *= spike;
+    phases.backward *= spike;
+    phases.grad_update *= spike;
+    if fault.is_corrupt() {
+        phases.forward = f64::NAN;
+        phases.backward = f64::NAN;
+        phases.grad_update = f64::NAN;
+    }
+    phases
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod diagnostics;
 pub mod matrix;
 pub mod qr;
 pub mod regression;
+pub mod robust;
 pub mod stats;
 
 pub use cv::{KFold, LeaveOneGroupOut, Split};
@@ -35,4 +36,5 @@ pub use diagnostics::ResidualProfile;
 pub use matrix::Matrix;
 pub use qr::condition_estimate;
 pub use regression::{FitError, FitSummary, LinearRegression};
+pub use robust::{HuberRegression, RobustReport, HUBER_K};
 pub use stats::{mae, mape, mean, nrmse, r_squared, rmse, std_dev};

@@ -232,6 +232,23 @@ impl LinearRegression {
     pub fn has_intercept(&self) -> bool {
         self.with_intercept
     }
+
+    /// Assemble a fitted model from explicit parts. Used by the robust
+    /// fitting path ([`crate::robust`]), which solves for the coefficients
+    /// through its own weighted design matrix.
+    pub(crate) fn from_parts(
+        with_intercept: bool,
+        ridge_lambda: f64,
+        coefficients: Vec<f64>,
+        intercept: f64,
+    ) -> Self {
+        Self {
+            with_intercept,
+            ridge_lambda,
+            coefficients,
+            intercept,
+        }
+    }
 }
 
 #[cfg(test)]

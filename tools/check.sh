@@ -26,6 +26,15 @@ test -f "$BENCH_TMP/manifest.json"
 test -f "$BENCH_TMP/ext_strategies.json"
 rm -rf "$BENCH_TMP"
 
+echo "==> convmeter bench --faults ci-smoke --keep-going (fault-suite smoke run)"
+FAULT_TMP="$(mktemp -d)"
+CONVMETER_RESULTS="$FAULT_TMP" \
+    cargo run -q -p convmeter-cli --offline -- \
+    bench --only extensions --faults ci-smoke --keep-going --jobs 1 >/dev/null
+grep -q '"format_version": 3' "$FAULT_TMP/manifest.json"
+grep -q '"fault_profile"' "$FAULT_TMP/manifest.json"
+rm -rf "$FAULT_TMP"
+
 echo "==> convmeter profile --quick (observability smoke run)"
 PROFILE_TMP="$(mktemp -d)"
 CONVMETER_RESULTS="$PROFILE_TMP" \
