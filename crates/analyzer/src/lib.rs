@@ -1,0 +1,291 @@
+//! Determinism auditor for the ConvMeter workspace.
+//!
+//! `convmeter analyze` runs this crate over every workspace source file and
+//! enforces the CA rule set (the source-level sibling of the CM model-lint
+//! codes in `convmeter-graph::lint`):
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | CA0001 | no `HashMap`/`HashSet` in determinism-critical modules |
+//! | CA0002 | no wall-clock reads outside the obs clock shim |
+//! | CA0003 | no unchecked cost arithmetic where checked variants exist |
+//! | CA0004 | no `unwrap`/`expect`/`panic!` in library code |
+//! | CA0005 | no exact float comparison against non-zero literals |
+//! | CA0006 | `fingerprint()` must account for every struct field |
+//!
+//! Findings are suppressed site-by-site with an inline `analyzer:allow`
+//! comment naming the CA code — the justifying reason is mandatory,
+//! and a malformed directive is itself reported (as `CA0000`) rather than
+//! silently ignored. The pass is offline and AST-free: a hand-rolled lexer
+//! (`syn` is unavailable in this build environment) feeds token-level
+//! rules, which keeps the analyzer honest about what it can see — every
+//! rule's scope is documented in `docs/analyzer.md`.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Stable rule code (`CA0001`..`CA0006`, `CA0000` for broken allows).
+    pub code: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(code: &str, file: &SourceFile, line: u32, message: String) -> Finding {
+        Finding {
+            code: code.to_string(),
+            path: file.path.clone(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Result of one analysis run.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, code).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Findings suppressed by well-formed allow directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (gates exit status in the CLI).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Plain-text rendering: one `path:line: CODE message` per finding plus
+    /// a one-line summary.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.path, f.line, f.code, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "analyze: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// JSON rendering for `--json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Struct field lists indexed by `(crate, struct name)`, collected in a
+/// first pass so CA0006 can check `fingerprint()` impls whose struct lives
+/// in a sibling file. Ambiguous names (two same-named structs in one
+/// crate) are dropped rather than guessed at.
+#[derive(Default)]
+pub struct StructIndex {
+    by_key: BTreeMap<(Option<String>, String), Option<Vec<String>>>,
+}
+
+impl StructIndex {
+    fn record(&mut self, crate_name: Option<&str>, name: &str, fields: Vec<String>) {
+        let key = (crate_name.map(str::to_string), name.to_string());
+        match self.by_key.get_mut(&key) {
+            Some(existing) => *existing = None, // duplicate: ambiguous
+            None => {
+                self.by_key.insert(key, Some(fields));
+            }
+        }
+    }
+
+    /// Fields of `name` within `crate_name`, when known unambiguously.
+    #[must_use]
+    pub fn fields_of(&self, crate_name: Option<&str>, name: &str) -> Option<&[String]> {
+        let key = (crate_name.map(str::to_string), name.to_string());
+        self.by_key.get(&key)?.as_deref()
+    }
+}
+
+/// Analysis failure: the filesystem, not the source, is the problem.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// A file or directory could not be read.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying I/O error (via `Error::source`).
+        source: std::io::Error,
+    },
+    /// The given root is not the workspace root.
+    NotAWorkspace {
+        /// The path that was checked.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Io { path, .. } => {
+                write!(f, "cannot read {}", path.display())
+            }
+            AnalyzeError::NotAWorkspace { path } => write!(
+                f,
+                "{} does not look like the workspace root (no crates/ directory)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Io { source, .. } => Some(source),
+            AnalyzeError::NotAWorkspace { .. } => None,
+        }
+    }
+}
+
+/// Analyze in-memory sources: `(workspace-relative path, content)` pairs.
+/// This is the core the fixture tests drive; [`analyze_workspace`] is the
+/// filesystem front-end.
+#[must_use]
+pub fn analyze_files(files: &[(String, String)]) -> Report {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, content)| SourceFile::parse(path, content))
+        .collect();
+
+    let mut structs = StructIndex::default();
+    for file in &parsed {
+        for (name, fields) in rules::struct_fields(file) {
+            structs.record(file.crate_name(), &name, fields);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for file in &parsed {
+        let mut raw = Vec::new();
+        for malformed in &file.malformed_allows {
+            raw.push(Finding::new(
+                "CA0000",
+                file,
+                malformed.line,
+                format!(
+                    "malformed allow directive ({}): it suppresses nothing until fixed",
+                    malformed.error
+                ),
+            ));
+        }
+        rules::ca0001(file, &mut raw);
+        rules::ca0002(file, &mut raw);
+        rules::ca0003(file, &mut raw);
+        rules::ca0004(file, &mut raw);
+        rules::ca0005(file, &mut raw);
+        rules::ca0006(file, &structs, &mut raw);
+        for finding in raw {
+            if finding.code != "CA0000" && file.is_allowed(&finding.code, finding.line) {
+                suppressed += 1;
+            } else {
+                findings.push(finding);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.code).cmp(&(&b.path, b.line, &b.code)));
+    Report {
+        findings,
+        files_scanned: parsed.len(),
+        suppressed,
+    }
+}
+
+/// Analyze the workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src` plus the root crate's `src/`. Test directories,
+/// `third_party/` shims, and build output are out of scope by
+/// construction; `#[cfg(test)]` regions inside library files are excluded
+/// per rule.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(AnalyzeError::NotAWorkspace {
+            path: root.to_path_buf(),
+        });
+    }
+    let mut files = Vec::new();
+    let mut src_roots = vec![root.join("src")];
+    for entry in sorted_entries(&crates_dir)? {
+        src_roots.push(entry.join("src"));
+    }
+    for src_root in src_roots {
+        if src_root.is_dir() {
+            collect_rs_files(root, &src_root, &mut files)?;
+        }
+    }
+    Ok(analyze_files(&files))
+}
+
+fn sorted_entries(dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {
+    let io = |source| AnalyzeError::Io {
+        path: dir.to_path_buf(),
+        source,
+    };
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(io)?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(io)?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), AnalyzeError> {
+    for path in sorted_entries(dir)? {
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let content = std::fs::read_to_string(&path).map_err(|source| AnalyzeError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, content));
+        }
+    }
+    Ok(())
+}

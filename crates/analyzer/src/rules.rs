@@ -1,0 +1,470 @@
+//! The CA rule set: six token-level determinism and robustness lints.
+//!
+//! Every rule is deliberately *narrow*: each one encodes an invariant this
+//! workspace has already committed to (stable iteration on fingerprint
+//! paths, clock reads through the obs shim, checked cost arithmetic,
+//! panic-free library code, float-comparison hygiene, fingerprint
+//! exhaustiveness), so a finding is actionable — fix the site or suppress
+//! it with a justified inline `analyzer:allow` comment.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::{Finding, StructIndex};
+
+/// Module stems whose iteration order reaches persisted artefacts or
+/// fingerprints: nondeterministic collections are banned here (CA0001).
+pub const CRITICAL_STEMS: &[&str] = &[
+    "fingerprint",
+    "persist",
+    "store",
+    "dataset",
+    "manifest",
+    "render",
+    "report",
+    "profile",
+];
+
+/// Panicking cost-arithmetic entry points with checked counterparts
+/// (CA0003): method name, replacement, and the defining files where the
+/// panicking variant itself lives (exempt).
+const COST_METHODS: &[(&str, &str)] = &[
+    ("elements", "checked_elements"),
+    ("layer_flops", "try_layer_flops"),
+    ("layer_macs", "try_layer_macs"),
+];
+
+const COST_DEFINING_FILES: &[&str] = &["crates/metrics/src/flops.rs", "crates/graph/src/shape.rs"];
+
+fn code_tokens(file: &SourceFile) -> Vec<&Token> {
+    file.tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect()
+}
+
+fn is_float_literal(token: &Token) -> bool {
+    if token.kind != TokenKind::Literal || !token.text.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let text = token.text.as_str();
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+}
+
+fn float_literal_value(token: &Token) -> Option<f64> {
+    let text = token
+        .text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_')
+        .replace('_', "");
+    text.parse::<f64>().ok()
+}
+
+/// CA0001: `HashMap`/`HashSet` in a determinism-critical module. Their
+/// iteration order varies per process (`RandomState`), so anything that
+/// feeds fingerprints, persisted artefacts, or rendered reports must use
+/// `BTreeMap`/`BTreeSet` instead.
+pub fn ca0001(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !CRITICAL_STEMS.contains(&file.stem()) {
+        return;
+    }
+    for token in code_tokens(file) {
+        if token.kind == TokenKind::Ident
+            && (token.text == "HashMap" || token.text == "HashSet")
+            && !file.in_test_region(token.line)
+        {
+            out.push(Finding::new(
+                "CA0001",
+                file,
+                token.line,
+                format!(
+                    "{} in determinism-critical module `{}`: iteration order is \
+                     per-process random; use the BTree equivalent so artefact \
+                     bytes cannot depend on hasher seeds",
+                    token.text,
+                    file.stem()
+                ),
+            ));
+        }
+    }
+}
+
+/// CA0002: direct wall-clock reads outside the obs crate. All timing goes
+/// through `convmeter_metrics::obs::clock` so the sources of
+/// nondeterministic telemetry stay auditable in one module.
+pub fn ca0002(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.crate_name() == Some("obs") {
+        return;
+    }
+    let toks = code_tokens(file);
+    for window in toks.windows(4) {
+        let [a, b, c, d] = window else { continue };
+        let is_clock_type =
+            a.kind == TokenKind::Ident && (a.text == "Instant" || a.text == "SystemTime");
+        if is_clock_type
+            && b.is_punct(':')
+            && c.is_punct(':')
+            && d.is_ident("now")
+            && !file.in_test_region(a.line)
+        {
+            out.push(Finding::new(
+                "CA0002",
+                file,
+                a.line,
+                format!(
+                    "{}::now() outside the obs clock shim: route wall-clock reads \
+                     through convmeter_metrics::obs::clock::now() so every timing \
+                     source is auditable",
+                    a.text
+                ),
+            ));
+        }
+    }
+}
+
+/// CA0003: panicking cost arithmetic where a checked variant exists.
+/// `Shape::elements` / `layer_flops` / `layer_macs` multiply tensor
+/// dimensions and abort on overflow; library code off the defining modules
+/// must use `checked_elements` / `try_layer_*` and propagate the error.
+pub fn ca0003(file: &SourceFile, out: &mut Vec<Finding>) {
+    if COST_DEFINING_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    let toks = code_tokens(file);
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.line) {
+            continue;
+        }
+        let Some((_, checked)) = COST_METHODS.iter().find(|(name, _)| t.text == *name) else {
+            continue;
+        };
+        // Must be a call: `name(`. Declarations (`fn name(`) and paths to
+        // the checked variants are distinct tokens and never match here.
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        out.push(Finding::new(
+            "CA0003",
+            file,
+            t.line,
+            format!(
+                "unchecked cost arithmetic: `{}` panics on u64 overflow; use \
+                 `{}` and propagate the error",
+                t.text, checked
+            ),
+        ));
+    }
+}
+
+/// Files whose *job* is to abort loudly on broken invariants: binary entry
+/// points and the bench experiment drivers. CA0004 does not apply there.
+fn is_application_file(file: &SourceFile) -> bool {
+    let path = file.path.as_str();
+    if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+        return true;
+    }
+    file.crate_name() == Some("bench")
+        && (file.stem().starts_with("exp_")
+            || matches!(file.stem(), "blocks" | "profile" | "report"))
+}
+
+/// CA0004: `unwrap`/`expect`/`panic!`-family in library code. Library
+/// crates surface failures as typed errors with `source()` chains; aborts
+/// are reserved for binaries, experiment drivers, tests, and individually
+/// justified contract violations.
+pub fn ca0004(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_application_file(file) {
+        return;
+    }
+    let toks = code_tokens(file);
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.line) {
+            continue;
+        }
+        let method_call = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let abort_macro = matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if method_call || abort_macro {
+            let display = if abort_macro {
+                format!("{}!", t.text)
+            } else {
+                format!(".{}()", t.text)
+            };
+            out.push(Finding::new(
+                "CA0004",
+                file,
+                t.line,
+                format!(
+                    "{display} in library code: return a typed error (with a \
+                     source() chain) or justify the abort with an allow directive"
+                ),
+            ));
+        }
+    }
+}
+
+/// CA0005: exact float comparison against a non-zero literal. Comparing
+/// against exactly `0.0` is a legitimate sentinel/guard idiom in this
+/// codebase; anything else should use a tolerance helper.
+pub fn ca0005(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = code_tokens(file);
+    for i in 0..toks.len().saturating_sub(1) {
+        let a = toks[i];
+        let b = toks[i + 1];
+        let is_eq = (a.is_punct('=') || a.is_punct('!')) && b.is_punct('=');
+        // `==` arrives as two `=` tokens; reject `<=`/`>=`/`=>`/assignment
+        // by requiring the pair shape exactly.
+        if !is_eq || file.in_test_region(a.line) {
+            continue;
+        }
+        if a.is_punct('=') && i > 0 && matches!(toks[i - 1].text.as_str(), "<" | ">" | "=" | "!") {
+            continue; // second char of <=, >=, ==, !=
+        }
+        let neighbour_lit = [i.checked_sub(1), Some(i + 2)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| toks.get(j))
+            .find(|t| is_float_literal(t));
+        let Some(lit) = neighbour_lit else { continue };
+        match float_literal_value(lit) {
+            Some(0.0) => {} // exact-zero guard: allowed
+            _ => out.push(Finding::new(
+                "CA0005",
+                file,
+                a.line,
+                format!(
+                    "exact float comparison with `{}`: equality on non-zero floats \
+                     is representation-dependent; compare with an explicit tolerance",
+                    lit.text
+                ),
+            )),
+        }
+    }
+}
+
+/// CA0006: fingerprint exhaustiveness. Every named field of a struct with
+/// an inherent `fn fingerprint` must be mentioned inside that method's
+/// body — the idiomatic witness is an exhaustive destructuring
+/// `let Self { a, b: _, ..-free } = self;`, which also turns new fields
+/// into compile errors. Deliberate exclusions stay visible as `name: _`.
+pub fn ca0006(file: &SourceFile, structs: &StructIndex, out: &mut Vec<Finding>) {
+    let toks = code_tokens(file);
+    for imp in find_impls(&toks) {
+        let Some((fn_line, body_idents)) = fingerprint_body(&toks, imp.body_start, imp.body_end)
+        else {
+            continue;
+        };
+        let Some(fields) = structs.fields_of(file.crate_name(), &imp.type_name) else {
+            continue;
+        };
+        for field in fields {
+            if !body_idents.iter().any(|ident| ident == field) {
+                out.push(Finding::new(
+                    "CA0006",
+                    file,
+                    fn_line,
+                    format!(
+                        "fingerprint() of `{}` never mentions field `{field}`: \
+                         hash it, or record the exclusion as `{field}: _` in an \
+                         exhaustive `let Self {{ .. }}` destructuring",
+                        imp.type_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+struct ImplBlock {
+    type_name: String,
+    /// Token index of the opening `{` of the impl body.
+    body_start: usize,
+    /// Token index of the matching closing `}`.
+    body_end: usize,
+}
+
+/// Locate `impl` blocks and their self types (`impl Foo`, `impl<T> Foo<T>`,
+/// `impl Trait for Foo`). Angle-bracket depth is tracked so generic
+/// parameters never masquerade as the type name.
+fn find_impls(toks: &[&Token]) -> Vec<ImplBlock> {
+    let mut impls = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0i32;
+        let mut candidate: Option<String> = None;
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            let t = toks[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_ident("for") && angle == 0 {
+                // `impl Trait for Type`: the self type starts after `for`.
+                candidate = None;
+            } else if t.kind == TokenKind::Ident && angle == 0 {
+                if candidate.is_none() {
+                    candidate = Some(t.text.clone());
+                } else {
+                    // Later path segments win: `impl module::Type`.
+                    if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+                        candidate = Some(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(';') {
+            i = j;
+            continue;
+        }
+        let body_start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(type_name) = candidate {
+            impls.push(ImplBlock {
+                type_name,
+                body_start,
+                body_end: j.min(toks.len().saturating_sub(1)),
+            });
+        }
+        i = body_start + 1;
+    }
+    impls
+}
+
+/// Find `fn fingerprint` inside an impl body; return its starting line and
+/// every identifier mentioned in its body.
+fn fingerprint_body(
+    toks: &[&Token],
+    body_start: usize,
+    body_end: usize,
+) -> Option<(u32, Vec<String>)> {
+    let mut i = body_start;
+    while i + 1 < body_end {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident("fingerprint") {
+            let fn_line = toks[i].line;
+            let mut j = i + 2;
+            while j < body_end && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut idents = Vec::new();
+            while j <= body_end {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].kind == TokenKind::Ident {
+                    idents.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            return Some((fn_line, idents));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extract named-struct field lists from a file: `(struct_name, fields)`.
+/// Tuple structs and generics-only bodies yield no entry.
+pub fn struct_fields(file: &SourceFile) -> Vec<(String, Vec<String>)> {
+    let toks = code_tokens(file);
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !toks[i].is_ident("struct") || toks[i + 1].kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Skip generics, then require a braced body.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            let t = toks[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0
+                && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';') || t.is_ident("where"))
+            {
+                break;
+            }
+            j += 1;
+        }
+        // `where` clauses on braced structs: scan on to the `{`.
+        while j < toks.len()
+            && !toks[j].is_punct('{')
+            && !toks[j].is_punct('(')
+            && !toks[j].is_punct(';')
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i = j.max(i + 2);
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut fields = Vec::new();
+        while j < toks.len() {
+            let t = toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && t.kind == TokenKind::Ident
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_none_or(|n| !n.is_punct(':'))
+                && toks.get(j - 1).is_some_and(|p| {
+                    p.is_punct('{')
+                        || p.is_punct(',')
+                        || p.is_punct(')')
+                        || p.is_ident("pub")
+                        || p.is_punct(']')
+                })
+            {
+                fields.push(t.text.clone());
+            }
+            j += 1;
+        }
+        if !fields.is_empty() {
+            found.push((name, fields));
+        }
+        i = j.max(i + 2);
+    }
+    found
+}

@@ -1,0 +1,93 @@
+//! Property tests for the allow-directive grammar: whatever
+//! [`format_allow`] emits, [`parse_allow_comment`] reads back verbatim —
+//! including reasons containing quotes, backslashes, and parentheses —
+//! and the directive actually suppresses when embedded in a real file.
+
+use convmeter_analyzer::source::{format_allow, parse_allow_comment, SourceFile};
+use proptest::prelude::*;
+
+/// Build a printable-ASCII reason from sampled byte values. A leading
+/// letter keeps the trimmed reason non-empty (the grammar rejects
+/// whitespace-only justifications, which is its own test below).
+fn reason_from(bytes: &[usize]) -> String {
+    let mut reason = String::from("r");
+    reason.extend(bytes.iter().map(|&b| b as u8 as char));
+    reason
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn format_then_parse_roundtrips(
+        code_num in 0u32..10_000,
+        bytes in prop::collection::vec(0x20usize..0x7F, 0..40),
+    ) {
+        let code = format!("CA{code_num:04}");
+        let reason = reason_from(&bytes);
+        let comment = format_allow(&code, &reason);
+        let parsed = parse_allow_comment(&comment, 7)
+            .expect("formatted directive parses")
+            .expect("formatted directive is recognised");
+        prop_assert_eq!(&parsed.code, &code);
+        prop_assert_eq!(&parsed.reason, &reason);
+        prop_assert_eq!(parsed.line, 7);
+    }
+
+    #[test]
+    fn formatted_directive_suppresses_in_a_real_file(
+        code_num in 0u32..10_000,
+        bytes in prop::collection::vec(0x20usize..0x7F, 0..40),
+    ) {
+        let code = format!("CA{code_num:04}");
+        let source = format!("{}\nfn f() {{}}\n", format_allow(&code, &reason_from(&bytes)));
+        let file = SourceFile::parse("crates/fake/src/lib.rs", &source);
+        prop_assert!(file.malformed_allows.is_empty());
+        // The directive covers its own line and the line below.
+        prop_assert!(file.is_allowed(&code, 1));
+        prop_assert!(file.is_allowed(&code, 2));
+        prop_assert!(!file.is_allowed(&code, 3));
+        prop_assert!(!file.is_allowed("CAXXXX", 2));
+    }
+
+    #[test]
+    fn truncated_directives_never_parse_as_valid(
+        code_num in 0u32..10_000,
+        cut in 0usize..20,
+    ) {
+        let comment = format_allow(&format!("CA{code_num:04}"), "valid reason");
+        // Cut the tail off: every strict prefix that still contains the
+        // marker must either be rejected or not recognised — never
+        // misread as a (different) valid directive.
+        let cut = comment.len() - 1 - (cut % (comment.len() - 1));
+        let Some(prefix) = comment.get(..cut) else {
+            // Landed mid-UTF-8 sequence; ASCII-only comments never do.
+            return Ok(());
+        };
+        if let Ok(Some(allow)) = parse_allow_comment(prefix, 1) {
+            return Err(TestCaseError::fail(format!(
+                "truncated directive {prefix:?} parsed as {allow:?}"
+            )));
+        }
+    }
+}
+
+#[test]
+fn whitespace_only_reasons_are_rejected() {
+    for reason in ["", " ", "   ", "\t"] {
+        let comment = format_allow("CA0004", reason);
+        let err = parse_allow_comment(&comment, 1);
+        assert!(
+            err.is_err(),
+            "reason {reason:?} must be rejected, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn prose_mentioning_the_marker_without_parens_is_ignored() {
+    // Documentation talks about `analyzer:allow` comments without writing
+    // a parenthesised directive; that must parse as "no directive".
+    let parsed = parse_allow_comment("// suppressed via an analyzer:allow comment", 1);
+    assert!(matches!(parsed, Ok(None)), "{parsed:?}");
+}

@@ -1,0 +1,229 @@
+//! Fixture corpus for the CA rules plus the self-check: the workspace that
+//! ships the analyzer must itself analyze clean.
+//!
+//! Each fixture under `tests/fixtures/` is a minimal source file designed
+//! to trip exactly one rule (or, for `clean.rs`, none). Fixtures are fed
+//! through [`analyze_files`] with a synthetic workspace-relative path,
+//! because several rules key off the path (module stem, crate name).
+
+use convmeter_analyzer::{analyze_files, analyze_workspace, Report};
+use std::path::Path;
+
+fn analyze_one(path: &str, content: &str) -> Report {
+    analyze_files(&[(path.to_string(), content.to_string())])
+}
+
+/// Assert every finding carries `code` and that there is at least one.
+fn assert_all(report: &Report, code: &str) {
+    assert!(
+        !report.findings.is_empty(),
+        "expected at least one {code} finding, got none"
+    );
+    for f in &report.findings {
+        assert_eq!(
+            f.code, code,
+            "expected only {code} findings, got {} at {}:{} ({})",
+            f.code, f.path, f.line, f.message
+        );
+    }
+}
+
+#[test]
+fn ca0000_malformed_allow_is_reported() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/ca0000_malformed_allow.rs"),
+    );
+    assert_all(&report, "CA0000");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].line, 3);
+    assert_eq!(
+        report.suppressed, 0,
+        "a broken directive suppresses nothing"
+    );
+}
+
+#[test]
+fn ca0001_hash_collections_in_critical_module() {
+    let fixture = include_str!("fixtures/ca0001_hash_collections.rs");
+    let report = analyze_one("crates/fake/src/store.rs", fixture);
+    assert_all(&report, "CA0001");
+
+    // The same source off the critical-stem list is fine: CA0001 bans the
+    // types where iteration order can reach artefacts, not everywhere.
+    let relaxed = analyze_one("crates/fake/src/scratch.rs", fixture);
+    assert!(
+        relaxed.findings.is_empty(),
+        "CA0001 must only fire in critical modules: {}",
+        relaxed.to_text()
+    );
+}
+
+#[test]
+fn ca0002_wall_clock_outside_obs() {
+    let fixture = include_str!("fixtures/ca0002_wall_clock.rs");
+    let report = analyze_one("crates/fake/src/runner.rs", fixture);
+    assert_all(&report, "CA0002");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].line, 4);
+
+    // The obs crate hosts the shim itself and is exempt.
+    let obs = analyze_one("crates/obs/src/clock.rs", fixture);
+    assert!(obs.findings.is_empty(), "{}", obs.to_text());
+}
+
+#[test]
+fn ca0003_unchecked_cost_arithmetic() {
+    let fixture = include_str!("fixtures/ca0003_unchecked_cost.rs");
+    let report = analyze_one("crates/fake/src/cost.rs", fixture);
+    assert_all(&report, "CA0003");
+    assert_eq!(report.findings.len(), 1);
+    assert!(
+        report.findings[0].message.contains("checked_elements"),
+        "finding must name the checked replacement: {}",
+        report.findings[0].message
+    );
+
+    // The defining file is exempt: the panicking variant has to live
+    // somewhere.
+    let defining = analyze_one("crates/graph/src/shape.rs", fixture);
+    assert!(defining.findings.is_empty(), "{}", defining.to_text());
+}
+
+#[test]
+fn ca0004_aborts_in_library_code() {
+    let fixture = include_str!("fixtures/ca0004_aborts.rs");
+    let report = analyze_one("crates/fake/src/fit.rs", fixture);
+    assert_all(&report, "CA0004");
+    assert_eq!(report.findings.len(), 2, "{}", report.to_text());
+
+    // Binary entry points are allowed to abort loudly.
+    let binary = analyze_one("crates/cli/src/bin/tool.rs", fixture);
+    assert!(binary.findings.is_empty(), "{}", binary.to_text());
+}
+
+#[test]
+fn ca0005_float_equality_spares_exact_zero() {
+    let report = analyze_one(
+        "crates/fake/src/compare.rs",
+        include_str!("fixtures/ca0005_float_eq.rs"),
+    );
+    assert_all(&report, "CA0005");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "the `== 0.0` guard must not be flagged: {}",
+        report.to_text()
+    );
+    assert_eq!(report.findings[0].line, 2);
+}
+
+#[test]
+fn ca0006_fingerprint_must_cover_every_field() {
+    let report = analyze_one(
+        "crates/fake/src/config.rs",
+        include_str!("fixtures/ca0006_partial_fingerprint.rs"),
+    );
+    assert_all(&report, "CA0006");
+    assert_eq!(report.findings.len(), 1);
+    assert!(
+        report.findings[0].message.contains("seed"),
+        "the missing field must be named: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn ca0006_sees_structs_in_sibling_files() {
+    // The struct and its fingerprint impl live in different files of the
+    // same crate; the struct index must connect them.
+    let definition = "pub struct Profile {\n    pub name: String,\n    pub speed: f64,\n}\n";
+    let usage = "use crate::profile::Profile;\n\nimpl Profile {\n    pub fn fingerprint(&self) -> String {\n        self.name.clone()\n    }\n}\n";
+    let report = analyze_files(&[
+        (
+            "crates/fake/src/profile.rs".to_string(),
+            definition.to_string(),
+        ),
+        ("crates/fake/src/digest.rs".to_string(), usage.to_string()),
+    ]);
+    assert_all(&report, "CA0006");
+    assert!(report.findings[0].message.contains("speed"));
+
+    // A same-named struct in a *different* crate must not leak across.
+    let report = analyze_files(&[
+        (
+            "crates/other/src/profile.rs".to_string(),
+            definition.to_string(),
+        ),
+        ("crates/fake/src/digest.rs".to_string(), usage.to_string()),
+    ]);
+    assert!(
+        report.findings.is_empty(),
+        "cross-crate struct leak: {}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn clean_file_has_no_findings() {
+    let report = analyze_one(
+        "crates/fake/src/store.rs",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(report.findings.is_empty(), "{}", report.to_text());
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn allow_directive_suppresses_and_is_counted() {
+    let report = analyze_one(
+        "crates/fake/src/fit.rs",
+        include_str!("fixtures/suppressed.rs"),
+    );
+    assert!(report.findings.is_empty(), "{}", report.to_text());
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn test_regions_are_exempt() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/test_region.rs"),
+    );
+    assert!(
+        report.findings.is_empty(),
+        "#[cfg(test)] code must be exempt: {}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn an_allow_for_the_wrong_code_does_not_suppress() {
+    let source = "pub fn pick(xs: &[f64]) -> f64 {\n    // analyzer:allow(CA0005, reason = \"wrong code on purpose\")\n    *xs.first().unwrap()\n}\n";
+    let report = analyze_one("crates/fake/src/fit.rs", source);
+    assert_all(&report, "CA0004");
+    assert_eq!(report.suppressed, 0);
+}
+
+/// The self-check the CI gate rests on: the workspace that defines the CA
+/// rules passes them. Every suppression in the tree is a deliberate,
+/// justified allow directive — so this test failing means either a new
+/// violation or a broken rule, and both need a human decision.
+#[test]
+fn workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = analyze_workspace(&root).expect("workspace analysis runs");
+    assert!(
+        report.is_clean(),
+        "the workspace must analyze clean:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

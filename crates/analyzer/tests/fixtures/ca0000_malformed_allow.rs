@@ -1,0 +1,4 @@
+// A directive with a truncated code: it must be reported (CA0000), not
+// silently ignored.
+// analyzer:allow(CA99, reason = "broken on purpose")
+pub fn nothing() {}

@@ -1,0 +1,5 @@
+use convmeter_graph::Shape;
+
+pub fn total(shape: &Shape) -> u64 {
+    shape.elements()
+}

@@ -1,0 +1,5 @@
+pub fn close(x: f64) -> bool {
+    let hit = x == 1.5;
+    let zero_ok = x == 0.0;
+    hit && !zero_ok
+}

@@ -1,0 +1,10 @@
+pub struct Config {
+    pub models: Vec<String>,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn fingerprint(&self) -> String {
+        format!("{:?}", self.models)
+    }
+}

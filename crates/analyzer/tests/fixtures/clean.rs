@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn counts(names: &[String]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for name in names {
+        *out.entry(name.clone()).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,11 @@
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert_eq!(super::double(2).checked_mul(1).unwrap(), 4);
+    }
+}

@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn metric_names_distinct() {
-        let names: Vec<_> = Metric::all().iter().map(|m| m.name()).collect();
+        let names: Vec<_> = Metric::all().iter().map(super::Metric::name).collect();
         assert_eq!(names, ["flops", "inputs", "outputs"]);
     }
 }

@@ -25,7 +25,10 @@ fn md_row(out: &mut String, cells: &[String]) {
 fn md_header(out: &mut String, cells: &[&str]) {
     md_row(
         out,
-        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &cells
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
     );
     let _ = writeln!(
         out,

@@ -33,7 +33,7 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors the engine can surface. All artefact-write failures abort the run
 /// with a non-zero exit; cache problems only warn (see [`store`]).
@@ -266,9 +266,7 @@ impl EngineConfig {
 /// us ([`std::thread::available_parallelism`], which respects cgroup quotas
 /// and affinity masks), falling back to 1 when that cannot be determined.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Record of one written artefact file.
@@ -555,26 +553,23 @@ impl Engine {
         let mut rendered = Vec::with_capacity(total);
         let mut failures = Vec::new();
         for (exp, outcome) in self.experiments.iter().zip(results) {
-            let output = match outcome.output {
-                Some(output) => output,
-                None => {
-                    failures.push(FailureRecord {
-                        name: exp.name().to_string(),
-                        title: exp.title().to_string(),
-                        error: outcome
-                            .attempts
-                            .last()
-                            .map(|a| a.error.clone())
-                            .unwrap_or_else(|| "unknown failure".to_string()),
-                        attempts: outcome.attempts,
-                        elapsed_seconds: outcome.elapsed_seconds,
-                    });
-                    continue;
-                }
+            let Some(output) = outcome.output else {
+                failures.push(FailureRecord {
+                    name: exp.name().to_string(),
+                    title: exp.title().to_string(),
+                    error: outcome
+                        .attempts
+                        .last()
+                        .map_or_else(|| "unknown failure".to_string(), |a| a.error.clone()),
+                    attempts: outcome.attempts,
+                    elapsed_seconds: outcome.elapsed_seconds,
+                });
+                continue;
             };
             let mut artifacts = Vec::with_capacity(output.artifacts.len());
             for artifact in &output.artifacts {
                 let json = serde_json::to_string_pretty(&artifact.value)
+                    // analyzer:allow(CA0004, reason = "artefact values are plain data; canonical JSON serialisation cannot fail")
                     .expect("artefact values serialise");
                 let path = self
                     .config
@@ -619,6 +614,7 @@ impl Engine {
             failures,
         };
         let manifest_path = self.config.results_dir.join("manifest.json");
+        // analyzer:allow(CA0004, reason = "manifest is a plain data struct; serialisation cannot fail")
         let manifest_json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
         persist::write_atomic(&manifest_path, &manifest_json).map_err(|source| {
             EngineError::Io {
@@ -640,7 +636,7 @@ impl Engine {
         let results: Vec<(Result<RunOutput, EngineError>, f64)> =
             pool::run_ordered(&self.experiments, self.config.jobs, |_, exp| {
                 let _span = obs::span::span(format!("experiment:{}", exp.name()));
-                let started = Instant::now();
+                let started = obs::clock::now();
                 let out = exp.run(&RunContext { store: ctx_store });
                 let secs = started.elapsed().as_secs_f64();
                 let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -682,7 +678,7 @@ impl Engine {
             &plan,
             move |_, exp: &&'static dyn Experiment| {
                 let _span = obs::span::span(format!("experiment:{}", exp.name()));
-                let started = Instant::now();
+                let started = obs::clock::now();
                 let out = exp.run(&RunContext {
                     store: store.as_ref(),
                 });

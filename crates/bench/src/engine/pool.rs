@@ -25,10 +25,28 @@ use convmeter_metrics::obs;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[doc(hidden)]
+pub mod sys {
+    //! Sync primitives for the ordered-pool core: `std` in production, the
+    //! `loom` shim under `--cfg loom` so the claim/store/collect protocol is
+    //! model-checked against every sampled interleaving
+    //! (`tests/loom_pool.rs`). The aliases keep the *same* worker code on
+    //! both paths — what loom verifies is what production runs.
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{AtomicUsize, Ordering};
+    #[cfg(loom)]
+    pub use loom::sync::Mutex;
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{AtomicUsize, Ordering};
+    #[cfg(not(loom))]
+    pub use std::sync::Mutex;
+}
+
+use sys::{AtomicUsize, Mutex, Ordering};
 
 /// A panic that escaped a work item, captured by [`run_ordered`].
 #[derive(Debug)]
@@ -53,6 +71,60 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "opaque panic payload".to_string()
     }
+}
+
+/// One result slot per input item, all starting empty.
+#[doc(hidden)]
+pub fn new_slots<R>(n: usize) -> Vec<Mutex<Option<Result<R, WorkerPanic>>>> {
+    (0..n).map(|_| Mutex::new(None)).collect()
+}
+
+/// The worker loop shared by every pool thread: claim the next input index
+/// from the shared counter, run the item, store the outcome in its slot.
+/// Exposed (hidden) so the loom suite can model-check exactly this code.
+#[doc(hidden)]
+pub fn drain_work<T, R, F>(
+    next: &AtomicUsize,
+    slots: &[Mutex<Option<Result<R, WorkerPanic>>>],
+    items: &[T],
+    run_one: &F,
+) where
+    F: Fn(usize, &T) -> Result<R, WorkerPanic>,
+{
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            break;
+        }
+        #[cfg(not(loom))]
+        obs::gauge!("engine.pool.queue_depth_max").record_max((items.len() - i) as u64);
+        let out = run_one(i, &items[i]);
+        // Recover from poisoning: a slot is poisoned only when the *store*
+        // operation itself panicked, and the `Option` write is atomic
+        // enough that the inner value is still coherent.
+        *slots[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+    }
+}
+
+/// Drain the slots in input order. Any panic outcome surfaces as the
+/// [`WorkerPanic`] with the lowest input index; the remaining results are
+/// discarded. Exposed (hidden) for the loom suite.
+#[doc(hidden)]
+pub fn collect_ordered<R>(
+    slots: &[Mutex<Option<Result<R, WorkerPanic>>>],
+) -> Result<Vec<R>, WorkerPanic> {
+    slots
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                // analyzer:allow(CA0004, reason = "drain_work stores a result into every claimed slot before returning; checked by the loom suite")
+                .expect("every work item produces a result")
+        })
+        .collect()
 }
 
 /// Apply `f` to every item on up to `jobs` threads, returning the results
@@ -87,32 +159,13 @@ where
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<R, WorkerPanic>>>> =
-        items.iter().map(|_| Mutex::new(None)).collect();
+    let slots = new_slots(items.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                obs::gauge!("engine.pool.queue_depth_max").record_max((items.len() - i) as u64);
-                let out = run_one(i, &items[i]);
-                // Recover from poisoning: a slot is poisoned only when the
-                // *store* operation itself panicked, and the `Option` write
-                // is atomic enough that the inner value is still coherent.
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
-            });
+            scope.spawn(|| drain_work(&next, &slots, items, &run_one));
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every work item produces a result")
-        })
-        .collect()
+    collect_ordered(&slots)
 }
 
 /// How one failed attempt ended, for typed error mapping in the engine.
@@ -240,7 +293,7 @@ where
                 // A dropped send means the supervisor already returned (it
                 // abandoned this attempt); nothing left to report to.
                 let _ = tx.send(Msg::Started { index, attempt });
-                let started = Instant::now();
+                let started = obs::clock::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(index, &items[index])))
                     .map_err(|payload| (AttemptKind::Panic, panic_message(payload)))
                     .and_then(|r| r.map_err(|msg| (AttemptKind::Error, msg)));
@@ -261,7 +314,7 @@ where
             spawn_attempt(index, attempt, backoff_ms, &tx);
             in_flight.insert((index, attempt), None);
         }
-        let now = Instant::now();
+        let now = obs::clock::now();
         let nearest = in_flight.values().flatten().min().copied();
         let wait = match nearest {
             Some(deadline) => deadline.saturating_duration_since(now),
@@ -273,7 +326,7 @@ where
             Ok(Msg::Started { index, attempt }) => {
                 if let (Some(t), Some(slot)) = (plan.timeout, in_flight.get_mut(&(index, attempt)))
                 {
-                    *slot = Some(Instant::now() + t);
+                    *slot = Some(obs::clock::now() + t);
                 }
             }
             Ok(Msg::Done {
@@ -304,7 +357,7 @@ where
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                let now = Instant::now();
+                let now = obs::clock::now();
                 let expired: Vec<(usize, usize)> = in_flight
                     .iter()
                     .filter(|(_, deadline)| deadline.is_some_and(|d| d <= now))
@@ -328,6 +381,7 @@ where
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // analyzer:allow(CA0004, reason = "supervisor keeps a live sender, so the channel cannot disconnect before a verdict")
                 unreachable!("supervisor holds a sender; the channel cannot disconnect")
             }
         }

@@ -27,10 +27,9 @@ use convmeter_hwsim::FaultProfile;
 use convmeter_metrics::obs;
 use convmeter_models::zoo;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
 
 use super::EngineError;
 
@@ -158,7 +157,7 @@ enum FetchOutcome {
     Memory,
 }
 
-type SlotMap<P> = Mutex<HashMap<String, Arc<OnceLock<Arc<Vec<P>>>>>>;
+type SlotMap<P> = Mutex<BTreeMap<String, Arc<OnceLock<Arc<Vec<P>>>>>>;
 
 /// Builds, memoises, and persists benchmark datasets addressed by content.
 pub struct DatasetStore {
@@ -186,8 +185,8 @@ impl DatasetStore {
         DatasetStore {
             disk_dir,
             faults: faults.filter(|f| !f.is_off()),
-            inference: Mutex::new(HashMap::new()),
-            training: Mutex::new(HashMap::new()),
+            inference: Mutex::new(BTreeMap::new()),
+            training: Mutex::new(BTreeMap::new()),
             stats: Mutex::new(BTreeMap::new()),
         }
     }
@@ -232,6 +231,7 @@ impl DatasetStore {
                     batch_sizes,
                     seed,
                 } => block_dataset(device, image_sizes, batch_sizes, *seed),
+                // analyzer:allow(CA0004, reason = "the outer match arm admits only scalar dataset kinds here")
                 _ => unreachable!("kind checked above"),
             },
             |points| points.iter().map(|p| p.measured).collect(),
@@ -259,6 +259,7 @@ impl DatasetStore {
                 DatasetSpec::Distributed { device, config } => {
                     distributed_dataset_faulted(device, config, &faults)
                 }
+                // analyzer:allow(CA0004, reason = "the outer match arm admits only triple dataset kinds here")
                 _ => unreachable!("kind checked above"),
             },
             |points| points.iter().flat_map(|p| [p.fwd, p.bwd, p.grad]).collect(),
@@ -267,7 +268,10 @@ impl DatasetStore {
 
     /// Snapshot of per-dataset accounting, keyed by storage key.
     pub fn stats(&self) -> BTreeMap<String, DatasetStats> {
-        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     fn cache_path(&self, key: &str) -> Option<PathBuf> {
@@ -306,7 +310,7 @@ impl DatasetStore {
         let key = self.storage_key(spec);
         let slot = slots
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key.clone())
             .or_default()
             .clone();
@@ -342,7 +346,7 @@ impl DatasetStore {
                     }
                 }
                 let _span = obs::span!("engine.dataset.build");
-                let started = Instant::now();
+                let started = obs::clock::now();
                 let points = build();
                 let elapsed = started.elapsed();
                 obs::histogram!("engine.store.build_us").record_duration_us(elapsed);
@@ -367,7 +371,10 @@ impl DatasetStore {
             })
             .clone();
         {
-            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            let mut stats = self
+                .stats
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let entry = stats.entry(key.clone()).or_default();
             entry.kind = spec.kind().to_string();
             entry.points = value.len();

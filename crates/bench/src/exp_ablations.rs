@@ -130,7 +130,10 @@ pub fn run(data: &[InferencePoint], dist: &[TrainingPoint]) -> AblationsResult {
 
     // 5. Training-model composition on the distributed dataset.
     let model = TrainingModel::fit(dist).expect("training fit");
-    let meas: Vec<f64> = dist.iter().map(|p| p.step_time()).collect();
+    let meas: Vec<f64> = dist
+        .iter()
+        .map(convmeter::TrainingPoint::step_time)
+        .collect();
     let fused: Vec<f64> = dist
         .iter()
         .map(|p| model.predict_step(&p.metrics, p.nodes))

@@ -109,7 +109,7 @@ pub fn fig2(data: &[InferencePoint]) -> Vec<Fig2Series> {
         out.push(Fig2Series {
             metric: metric.name().to_string(),
             report: ErrorReport::compute(&preds, &meas),
-            scatter: meas.iter().cloned().zip(preds).collect(),
+            scatter: meas.iter().copied().zip(preds).collect(),
         });
     }
     let combined = ForwardModel::fit(data).expect("combined fit");
@@ -117,7 +117,7 @@ pub fn fig2(data: &[InferencePoint]) -> Vec<Fig2Series> {
     out.push(Fig2Series {
         metric: "combined".to_string(),
         report: ErrorReport::compute(&preds, &meas),
-        scatter: meas.iter().cloned().zip(preds).collect(),
+        scatter: meas.iter().copied().zip(preds).collect(),
     });
     out
 }

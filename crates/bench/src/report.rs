@@ -16,7 +16,10 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -92,8 +95,7 @@ pub fn save_json<T: serde::Serialize>(
 /// The output directory: `$CONVMETER_RESULTS` or `./results`.
 pub fn results_dir() -> std::path::PathBuf {
     std::env::var_os("CONVMETER_RESULTS")
-        .map(Into::into)
-        .unwrap_or_else(|| Path::new("results").to_path_buf())
+        .map_or_else(|| Path::new("results").to_path_buf(), Into::into)
 }
 
 #[cfg(test)]

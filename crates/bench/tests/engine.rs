@@ -96,7 +96,10 @@ impl Experiment for QuickDistributed {
     }
     fn run(&self, ctx: &RunContext<'_>) -> Result<RunOutput, EngineError> {
         let data = ctx.training(&quick_distributed_spec())?;
-        let total: f64 = data.iter().map(|p| p.step_time()).sum();
+        let total: f64 = data
+            .iter()
+            .map(convmeter::dataset::TrainingPoint::step_time)
+            .sum();
         Ok(RunOutput {
             rendered: format!("quick distributed: {} points\n", data.len()),
             artifacts: vec![Artifact::json(
@@ -332,4 +335,79 @@ fn wrong_kind_requests_error() {
     assert!(matches!(err, EngineError::WrongKind { .. }));
     let err = store.inference(&quick_distributed_spec()).unwrap_err();
     assert!(matches!(err, EngineError::WrongKind { .. }));
+}
+
+/// Strip the telemetry from a manifest JSON value, leaving only the
+/// deterministic payload. `wall_seconds`/`build_seconds` are wall-clock;
+/// `spans` are both
+/// wall-clock *and* scheduling-attributed — when two experiments race for
+/// a shared dataset, the build span lands under whichever got there first.
+fn without_telemetry(mut manifest: serde_json::Value) -> serde_json::Value {
+    fn walk(value: &mut serde_json::Value) {
+        match value {
+            serde_json::Value::Object(pairs) => {
+                for (key, child) in pairs.iter_mut() {
+                    if key == "wall_seconds" || key == "build_seconds" {
+                        *child = serde_json::Value::UInt(0);
+                    } else if key == "spans" {
+                        *child = serde_json::Value::Array(Vec::new());
+                    } else {
+                        walk(child);
+                    }
+                }
+            }
+            serde_json::Value::Array(items) => {
+                for item in items.iter_mut() {
+                    walk(item);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(&mut manifest);
+    manifest
+}
+
+/// The determinism regression the pool refactor is held to: two cold runs
+/// at `--jobs 4` must produce byte-identical artefacts and (telemetry
+/// aside) identical manifests, no matter how the four workers interleave.
+#[test]
+fn parallel_runs_are_byte_identical_at_jobs_4() {
+    let mut artefacts: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    let mut manifests: Vec<serde_json::Value> = Vec::new();
+    let dir = temp_results_dir("jobs4");
+    for _round in 0..2 {
+        let exps: Vec<&dyn Experiment> = vec![&QuickInference, &QuickShared, &QuickDistributed];
+        let cfg = EngineConfig {
+            jobs: 4,
+            use_disk_cache: false,
+            results_dir: dir.clone(),
+            fault: Default::default(),
+        };
+        Engine::new(exps, cfg).run().expect("run succeeds");
+        artefacts.push(
+            ["quick_inference", "quick_shared", "quick_distributed"]
+                .iter()
+                .map(|n| {
+                    let bytes =
+                        std::fs::read(dir.join(format!("{n}.json"))).expect("artefact exists");
+                    (n.to_string(), bytes)
+                })
+                .collect(),
+        );
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+        manifests.push(serde_json::from_str(&manifest).expect("manifest parses"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    for ((name, first), (_, second)) in artefacts[0].iter().zip(&artefacts[1]) {
+        assert_eq!(
+            first, second,
+            "{name}.json differs between identical --jobs 4 runs"
+        );
+    }
+    assert_eq!(
+        without_telemetry(manifests[0].clone()),
+        without_telemetry(manifests[1].clone()),
+        "manifest payload differs between identical --jobs 4 runs"
+    );
 }

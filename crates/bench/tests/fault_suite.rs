@@ -229,9 +229,8 @@ fn failures_without_keep_going_abort_with_typed_errors() {
         ..Default::default()
     };
     let exps: Vec<&'static dyn Experiment> = vec![&Hangs];
-    let err = match Engine::new(exps, config(dir.clone(), fault)).run() {
-        Ok(_) => panic!("watchdog must abort without --keep-going"),
-        Err(err) => err,
+    let Err(err) = Engine::new(exps, config(dir.clone(), fault)).run() else {
+        panic!("watchdog must abort without --keep-going");
     };
     assert!(
         matches!(err, EngineError::TimedOut { ref name, seconds: 1 } if name == "fault_hangs"),

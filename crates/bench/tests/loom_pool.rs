@@ -1,0 +1,135 @@
+//! Model-checking suite for the ordered pool's worker core.
+//!
+//! Runs only under `RUSTFLAGS="--cfg loom"` (tools/check.sh step 5), which
+//! switches `engine::pool::sys` onto the loom shim's instrumented
+//! primitives and explores seeded interleavings of the claim / run / store
+//! / collect protocol. The functions under test are the *production* worker
+//! core — `drain_work` and `collect_ordered` are exactly what
+//! `run_ordered` executes on scoped std threads.
+#![cfg(loom)]
+
+use convmeter_bench::engine::pool::{self, WorkerPanic};
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+type Slots<R> = Vec<pool::sys::Mutex<Option<Result<R, WorkerPanic>>>>;
+
+/// Two workers racing over the shared claim counter: every schedule must
+/// produce every result, in input order.
+#[test]
+fn ordered_drain_fills_every_slot_in_order() {
+    loom::model(|| {
+        let items = vec![10usize, 20, 30];
+        let state: Arc<(AtomicUsize, Slots<usize>, Vec<usize>)> =
+            Arc::new((AtomicUsize::new(0), pool::new_slots(items.len()), items));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let st = Arc::clone(&state);
+                loom::thread::spawn(move || {
+                    pool::drain_work(&st.0, &st.1, &st.2, &|i, &x: &usize| Ok(x + i));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker finishes cleanly");
+        }
+        let out = pool::collect_ordered(&state.1).expect("no panics recorded");
+        assert_eq!(out, vec![10, 21, 32]);
+    });
+}
+
+/// No interleaving of the claim counter lets two workers run the same item.
+#[test]
+fn submit_claims_are_exactly_once() {
+    loom::model(|| {
+        let items = vec![(), ()];
+        let runs: Arc<Vec<AtomicUsize>> =
+            Arc::new(items.iter().map(|()| AtomicUsize::new(0)).collect());
+        let state: Arc<(AtomicUsize, Slots<usize>, Vec<()>)> =
+            Arc::new((AtomicUsize::new(0), pool::new_slots(items.len()), items));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let st = Arc::clone(&state);
+                let runs = Arc::clone(&runs);
+                loom::thread::spawn(move || {
+                    pool::drain_work(&st.0, &st.1, &st.2, &|i, &(): &()| {
+                        Ok(runs[i].fetch_add(1, Ordering::SeqCst))
+                    });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker finishes cleanly");
+        }
+        for (i, counter) in runs.iter().enumerate() {
+            assert_eq!(counter.load(Ordering::SeqCst), 1, "item {i} ran once");
+        }
+    });
+}
+
+/// A caught item panic (modelled as the `Err` arm `run_ordered` produces
+/// from `catch_unwind`) surfaces as the lowest panicking input index on
+/// every schedule, no matter which worker reached it first.
+#[test]
+fn panic_quarantine_reports_lowest_index() {
+    loom::model(|| {
+        let items = vec![0usize, 1, 2, 3];
+        let state: Arc<(AtomicUsize, Slots<usize>, Vec<usize>)> =
+            Arc::new((AtomicUsize::new(0), pool::new_slots(items.len()), items));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let st = Arc::clone(&state);
+                loom::thread::spawn(move || {
+                    pool::drain_work(&st.0, &st.1, &st.2, &|i, &x: &usize| {
+                        if x % 2 == 1 {
+                            Err(WorkerPanic {
+                                index: i,
+                                message: format!("item {x} exploded"),
+                            })
+                        } else {
+                            Ok(x)
+                        }
+                    });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker finishes cleanly");
+        }
+        let err = pool::collect_ordered(&state.1).expect_err("odd items panicked");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.message, "item 1 exploded");
+    });
+}
+
+/// A worker that dies while holding a slot lock poisons the mutex; the
+/// store and collect paths must both recover (`PoisonError::into_inner`)
+/// instead of propagating the poison.
+#[test]
+fn poison_recovery_on_store_and_collect() {
+    loom::model(|| {
+        let slots: Arc<Slots<usize>> = Arc::new(pool::new_slots(1));
+        let poisoner = {
+            let slots = Arc::clone(&slots);
+            loom::thread::spawn(move || {
+                let _guard = slots[0].lock().expect("first lock is clean");
+                panic!("die while holding the slot lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner panics by design");
+
+        let writer = {
+            let slots = Arc::clone(&slots);
+            loom::thread::spawn(move || {
+                // The exact store expression from `drain_work`.
+                *slots[0]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(7));
+            })
+        };
+        writer.join().expect("store path recovers from poison");
+
+        let out = pool::collect_ordered(&slots).expect("collect recovers from poison");
+        assert_eq!(out, vec![7]);
+    });
+}

@@ -143,7 +143,12 @@ mod tests {
     use super::*;
 
     fn parse(v: &[&str]) -> Args {
-        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        Args::parse(
+            &v.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
     }
 
     #[test]

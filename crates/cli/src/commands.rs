@@ -59,6 +59,7 @@ pub fn list_models(out: &mut dyn Write) -> Result<(), CliError> {
         "model", "params (M)", "GFLOPs @224", "layers", "min px"
     )?;
     for spec in zoo::ZOO.iter().chain(zoo::EXTENDED_ZOO) {
+        // analyzer:allow(CA0004, reason = "zoo specs are statically valid; covered by the zoo-wide lint test")
         let m = ModelMetrics::of(&spec.build(224, 1000)).expect("zoo validates");
         writeln!(
             out,
@@ -184,7 +185,10 @@ pub fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 .iter()
                 .map(|p| model.predict_step(&p.metrics, p.nodes))
                 .collect();
-            let meas: Vec<f64> = data.iter().map(|p| p.step_time()).collect();
+            let meas: Vec<f64> = data
+                .iter()
+                .map(convmeter::TrainingPoint::step_time)
+                .collect();
             persist::save_training_model(model_path, &model)?;
             writeln!(
                 out,
@@ -673,6 +677,52 @@ pub fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Lint { errors });
     }
     Ok(())
+}
+
+/// `convmeter analyze [--json]`
+///
+/// Runs the determinism auditor (`convmeter-analyzer`) over every workspace
+/// source file and reports CA-coded findings. Exit status is non-zero when
+/// any finding is unsuppressed, so CI can gate on it; suppressions are
+/// inline `analyzer:allow` comments (CA code plus a mandatory reason) at
+/// the offending site.
+pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let root = workspace_root()?;
+    let report = convmeter_analyzer::analyze_workspace(&root).map_err(CliError::AnalyzeSetup)?;
+    if args.switch("json") {
+        writeln!(out, "{}", report.to_json())?;
+    } else {
+        write!(out, "{}", report.to_text())?;
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Analyze {
+            findings: report.findings.len(),
+        })
+    }
+}
+
+/// Locate the workspace root by walking up from the current directory
+/// until a `Cargo.toml` next to a `crates/` directory appears.
+fn workspace_root() -> Result<std::path::PathBuf, CliError> {
+    let start = std::env::current_dir()?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(CliError::Usage(format!(
+                    "cannot find the workspace root above {}: run `convmeter analyze` \
+                     from inside the repository",
+                    start.display()
+                )))
+            }
+        }
+    }
 }
 
 /// `convmeter dot <model> [--image N]`

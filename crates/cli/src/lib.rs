@@ -59,6 +59,13 @@ pub enum CliError {
         /// Number of experiments that exhausted their attempts.
         failed: usize,
     },
+    /// `convmeter analyze` found unsuppressed CA findings.
+    Analyze {
+        /// Number of unsuppressed findings.
+        findings: usize,
+    },
+    /// `convmeter analyze` could not read the workspace sources.
+    AnalyzeSetup(convmeter_analyzer::AnalyzeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -79,6 +86,10 @@ impl std::fmt::Display for CliError {
             CliError::Quarantined { failed } => {
                 write!(f, "bench quarantined {failed} failing experiment(s)")
             }
+            CliError::Analyze { findings } => {
+                write!(f, "analyze found {findings} unsuppressed finding(s)")
+            }
+            CliError::AnalyzeSetup(e) => write!(f, "analyze failed: {e}"),
         }
     }
 }
@@ -91,10 +102,12 @@ impl std::error::Error for CliError {
             CliError::Persist(e) => Some(e),
             CliError::Graph(e) => Some(e),
             CliError::Engine(e) => Some(e),
+            CliError::AnalyzeSetup(e) => Some(e),
             CliError::Usage(_)
             | CliError::Lint { .. }
             | CliError::Gate { .. }
-            | CliError::Quarantined { .. } => None,
+            | CliError::Quarantined { .. }
+            | CliError::Analyze { .. } => None,
         }
     }
 }
@@ -184,6 +197,8 @@ COMMANDS:
   lint [<model>...]                 static graph & model lints (CMxxxx codes)
                                       [--image N] [--json]
                                       [--model-file FILE] [--data FILE]
+  analyze                           source-level determinism audit (CAxxxx
+                                      codes) over the workspace [--json]
   dot <model>                       emit the graph in Graphviz DOT
   help                              show this message
 ";
@@ -215,6 +230,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bench" => commands::bench(&args, out),
         "profile" => commands::profile(&args, out),
         "lint" => commands::lint(&args, out),
+        "analyze" => commands::analyze(&args, out),
         "dot" => commands::dot(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -233,7 +249,7 @@ mod tests {
 
     fn run_str(argv: &[&str]) -> Result<String, CliError> {
         let mut buf = Vec::new();
-        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = argv.iter().map(std::string::ToString::to_string).collect();
         run(&argv, &mut buf)?;
         Ok(String::from_utf8(buf).unwrap())
     }

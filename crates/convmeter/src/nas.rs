@@ -195,7 +195,7 @@ mod tests {
         );
         match (loose.best, tight.best) {
             (Some(l), Some(t)) => {
-                assert!(t.flops <= l.flops, "tight {} loose {}", t.flops, l.flops)
+                assert!(t.flops <= l.flops, "tight {} loose {}", t.flops, l.flops);
             }
             (Some(_), None) => {} // tight budget may be infeasible entirely
             other => panic!("unexpected {other:?}"),

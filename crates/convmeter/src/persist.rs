@@ -111,10 +111,10 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let file_name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "artefact".to_string());
+    let file_name = path.file_name().map_or_else(
+        || "artefact".to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
     let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
     std::fs::write(&tmp, contents)?;
     match std::fs::rename(&tmp, path) {
@@ -376,7 +376,7 @@ mod tests {
         save_device_profile(&path, &convmeter_hwsim::DeviceProfile::a100_80gb()).unwrap();
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .filter(|n| n.ends_with(".tmp"))
             .collect();

@@ -186,8 +186,10 @@ impl TrainingModel {
             .max_by(|a, b| {
                 a.contamination
                     .partial_cmp(&b.contamination)
+                    // analyzer:allow(CA0004, reason = "contamination rates are finite fractions in [0, 1]")
                     .expect("contamination rates are finite")
             })
+            // analyzer:allow(CA0004, reason = "the array literal above holds exactly three reports")
             .expect("three reports");
         Ok((
             Self {
@@ -351,7 +353,10 @@ mod tests {
             .iter()
             .map(|p| model.predict_step(&p.metrics, p.nodes))
             .collect();
-        let meas: Vec<f64> = data.iter().map(|p| p.step_time()).collect();
+        let meas: Vec<f64> = data
+            .iter()
+            .map(super::super::dataset::TrainingPoint::step_time)
+            .collect();
         let r2 = convmeter_linalg::r_squared(&preds, &meas);
         assert!(r2 > 0.85, "R2 {r2}");
     }

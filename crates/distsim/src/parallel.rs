@@ -160,6 +160,7 @@ pub fn simulate_step_threaded(
                     comm_end,
                     optimizer,
                 })
+                // analyzer:allow(CA0004, reason = "the collector receiver outlives the scoped workers; send cannot fail")
                 .expect("collector alive");
             });
         }

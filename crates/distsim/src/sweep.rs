@@ -60,7 +60,10 @@ impl DistSweepConfig {
     /// 1–16 nodes.
     pub fn paper() -> Self {
         DistSweepConfig {
-            models: zoo::model_names().iter().map(|s| s.to_string()).collect(),
+            models: zoo::model_names()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             image_sizes: vec![64, 128, 224],
             batch_sizes: vec![8, 32, 64, 128, 256],
             node_counts: vec![1, 2, 4, 8, 16],
@@ -83,6 +86,17 @@ impl DistSweepConfig {
     /// content-addressed dataset caches. Hashes the canonical JSON
     /// serialisation: changing any field yields a different digest.
     pub fn fingerprint(&self) -> String {
+        // Exhaustiveness witness: every field reaches the digest through the
+        // canonical serialisation below. Adding a field without deciding its
+        // hashing story fails to compile here (and trips analyzer CA0006).
+        let Self {
+            models: _,
+            image_sizes: _,
+            batch_sizes: _,
+            node_counts: _,
+            seed: _,
+        } = self;
+        // analyzer:allow(CA0004, reason = "plain data struct; canonical JSON serialisation cannot fail")
         let json = serde_json::to_string(self).expect("sweep configs serialise");
         convmeter_graph::stable_digest(&json)
     }
@@ -114,6 +128,7 @@ pub fn distributed_sweep(
     let mut out = Vec::new();
     for model in &config.models {
         let spec = zoo::by_name(model)
+            // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
             .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
         for &image in &config.image_sizes {
             if !spec.supports(image) {
@@ -121,8 +136,10 @@ pub fn distributed_sweep(
             }
             let graph = spec.build(image, 1000);
             if let Err(report) = graph.check() {
+                // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction")
                 panic!("graph '{model}' @ {image}px failed lint:\n{report}");
             }
+            // analyzer:allow(CA0004, reason = "zoo models validate by construction")
             let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
             for &batch in &config.batch_sizes {
                 if training_memory_bytes(&metrics, batch) > device.memory_capacity {
@@ -168,6 +185,7 @@ pub fn distributed_sweep_faulted(
     let mut out = Vec::new();
     for model in &config.models {
         let spec = zoo::by_name(model)
+            // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
             .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
         for &image in &config.image_sizes {
             if !spec.supports(image) {
@@ -175,8 +193,10 @@ pub fn distributed_sweep_faulted(
             }
             let graph = spec.build(image, 1000);
             if let Err(report) = graph.check() {
+                // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction")
                 panic!("graph '{model}' @ {image}px failed lint:\n{report}");
             }
+            // analyzer:allow(CA0004, reason = "zoo models validate by construction")
             let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
             for &batch in &config.batch_sizes {
                 if training_memory_bytes(&metrics, batch) > device.memory_capacity {

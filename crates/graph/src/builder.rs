@@ -82,6 +82,7 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if no block is open.
     pub fn end_block(&mut self) {
+        // analyzer:allow(CA0004, reason = "documented # Panics contract: closing a never-opened block is a builder bug")
         let (name, start) = self.open_blocks.pop().expect("no open block");
         self.graph
             .add_block(BlockSpan::new(name, start, self.graph.len()));

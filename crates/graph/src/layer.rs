@@ -345,7 +345,10 @@ impl Layer {
                 }
                 Ok(Shape::Flat(out_features))
             }
-            Layer::Flatten => Ok(Shape::Flat(inputs[0].elements() as usize)),
+            Layer::Flatten => {
+                let n = inputs[0].checked_elements().map_err(|e| e.to_string())?;
+                Ok(Shape::Flat(n as usize))
+            }
             Layer::Add => {
                 if inputs[0] != inputs[1] {
                     return Err(format!(

@@ -450,18 +450,15 @@ impl LintPass for CostOverflowPass {
                 continue;
             };
             let layer = &ctx.graph().nodes()[i].layer;
-            let flops = match checked_node_flops(layer, &shapes.inputs, shapes.output) {
-                Some(f) => f,
-                None => {
-                    out.push(ctx.diag_at(
-                        Diagnostic::error(
-                            codes::COST_OVERFLOW,
-                            format!("element/FLOP count of {layer} overflows u64"),
-                        ),
-                        i,
-                    ));
-                    continue;
-                }
+            let Some(flops) = checked_node_flops(layer, &shapes.inputs, shapes.output) else {
+                out.push(ctx.diag_at(
+                    Diagnostic::error(
+                        codes::COST_OVERFLOW,
+                        format!("element/FLOP count of {layer} overflows u64"),
+                    ),
+                    i,
+                ));
+                continue;
             };
             total = match total.checked_add(flops) {
                 Some(t) => t,
@@ -755,7 +752,11 @@ mod tests {
         let a = g.push(conv2d(3, 8, 3, 2, 0), vec![NodeId::INPUT], None); // CM0006
         g.push(conv2d(8, 8, 3, 2, 0), vec![a], None); // CM0006 again
         let report = lint_graph(&g);
-        let nodes: Vec<_> = report.diagnostics.iter().map(|d| d.node_index()).collect();
+        let nodes: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(super::super::diagnostics::Diagnostic::node_index)
+            .collect();
         let mut sorted = nodes.clone();
         sorted.sort();
         assert_eq!(nodes, sorted);

@@ -54,6 +54,7 @@ impl Shape {
     /// Panics if the product overflows `u64`; use
     /// [`Shape::checked_elements`] to handle astronomically large shapes.
     pub fn elements(&self) -> u64 {
+        // analyzer:allow(CA0004, reason = "documented # Panics contract; checked_elements is the fallible API")
         self.checked_elements().unwrap_or_else(|e| panic!("{e}"))
     }
 

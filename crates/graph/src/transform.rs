@@ -57,6 +57,7 @@ pub fn fold_batch_norm(graph: &Graph) -> Graph {
                 if *id == NodeId::INPUT {
                     NodeId::INPUT
                 } else {
+                    // analyzer:allow(CA0004, reason = "topological order guarantees producers are remapped before consumers")
                     remap[id.index()].expect("topological order guarantees mapping")
                 }
             })

@@ -146,6 +146,22 @@ impl FaultProfile {
     /// Stable content fingerprint (canonical-JSON digest), used to salt
     /// dataset cache keys so faulted datasets never alias clean ones.
     pub fn fingerprint(&self) -> String {
+        // Exhaustiveness witness: every field reaches the digest through the
+        // canonical serialisation below. Adding a field without deciding its
+        // hashing story fails to compile here (and trips analyzer CA0006).
+        let Self {
+            name: _,
+            straggler_prob: _,
+            straggler_shape: _,
+            straggler_cap: _,
+            slowdown_prob: _,
+            slowdown_factor: _,
+            corrupt_prob: _,
+            node_drop_prob: _,
+            reringing_cost: _,
+            node_straggler_sigma: _,
+        } = self;
+        // analyzer:allow(CA0004, reason = "plain data struct; canonical JSON serialisation cannot fail")
         let json = serde_json::to_string(self).expect("fault profiles serialise");
         convmeter_graph::stable_digest(&json)
     }

@@ -58,7 +58,7 @@ impl Matrix {
     /// Panics if the rows are ragged.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let r = rows.len();
-        let c = rows.first().map_or(0, |row| row.len());
+        let c = rows.first().map_or(0, std::vec::Vec::len);
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged row in Matrix::from_rows");

@@ -127,7 +127,7 @@ impl LinearRegression {
         let _span = convmeter_obs::span!("linalg.fit");
         convmeter_obs::counter!("linalg.fits").inc();
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
-        let n_features = xs.first().map_or(0, |r| r.len());
+        let n_features = xs.first().map_or(0, std::vec::Vec::len);
         if xs.iter().any(|r| r.len() != n_features) {
             return Err(FitError::RaggedFeatures);
         }
@@ -169,6 +169,7 @@ impl LinearRegression {
         let solution = qr::ridge_lstsq(&scaled, ys, self.ridge_lambda)?;
         let mut coefs: Vec<f64> = solution.iter().zip(&scales).map(|(b, s)| b / s).collect();
         self.intercept = if self.with_intercept {
+            // analyzer:allow(CA0004, reason = "with_intercept appended the column, so the solution includes its coefficient")
             coefs.pop().expect("intercept column present")
         } else {
             0.0

@@ -153,6 +153,7 @@ impl HuberRegression {
             .fit(&wxs, &wys)?;
         let mut coefs = solved.coefficients().to_vec();
         let intercept = if self.with_intercept {
+            // analyzer:allow(CA0004, reason = "with_intercept appended the column, so the solution includes its coefficient")
             coefs.pop().expect("intercept column present")
         } else {
             0.0
@@ -203,12 +204,11 @@ impl HuberRegression {
                 .map(|r| (self.tuning * scale / r.abs()).min(1.0))
                 .collect();
             downweighted = weights.iter().filter(|&&w| w < 1.0).count();
-            let next = match self.weighted_fit(xs, ys, &weights) {
-                Ok(m) => m,
-                // A degenerate weighting (e.g. almost all mass on a few
-                // rows) can make the weighted design deficient; keep the
-                // last good model rather than failing the whole fit.
-                Err(_) => break,
+            // A degenerate weighting (e.g. almost all mass on a few rows)
+            // can make the weighted design deficient; keep the last good
+            // model rather than failing the whole fit.
+            let Ok(next) = self.weighted_fit(xs, ys, &weights) else {
+                break;
             };
             iterations += 1;
             let delta = coef_delta(&model, &next);
@@ -231,7 +231,7 @@ impl HuberRegression {
             .filter(|(_, r)| r.abs() <= self.trim_z * scale)
             .map(|(i, _)| i)
             .collect();
-        let unknowns = xs.first().map_or(0, |r| r.len()) + usize::from(self.with_intercept);
+        let unknowns = xs.first().map_or(0, std::vec::Vec::len) + usize::from(self.with_intercept);
         if keep.len() < n && keep.len() > unknowns {
             let txs: Vec<Vec<f64>> = keep.iter().map(|&i| xs[i].clone()).collect();
             let tys: Vec<f64> = keep.iter().map(|&i| ys[i]).collect();
@@ -267,6 +267,7 @@ fn robust_scale(residuals: &[f64]) -> f64 {
         return 0.0;
     }
     let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+    // analyzer:allow(CA0004, reason = "fit rejects non-finite inputs, so residuals are finite and totally ordered")
     abs.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
     let mid = abs.len() / 2;
     let median = if abs.len().is_multiple_of(2) {

@@ -69,8 +69,8 @@ pub fn rmse(predicted: &[f64], measured: &[f64]) -> f64 {
 /// Returns plain RMSE if the range is zero.
 pub fn nrmse(predicted: &[f64], measured: &[f64]) -> f64 {
     check_lengths(predicted, measured);
-    let max = measured.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let min = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = measured.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = measured.iter().copied().fold(f64::INFINITY, f64::min);
     let range = max - min;
     let e = rmse(predicted, measured);
     if range > 0.0 {

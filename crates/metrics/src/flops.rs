@@ -51,6 +51,7 @@ impl From<ShapeOverflow> for CostOverflow {
 /// Panics if the count overflows `u64`; use [`try_layer_macs`] to handle
 /// astronomically large layers.
 pub fn layer_macs(layer: &Layer, inputs: &[Shape], output: Shape) -> u64 {
+    // analyzer:allow(CA0004, reason = "documented # Panics contract; try_layer_macs is the fallible API")
     try_layer_macs(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -103,6 +104,7 @@ pub fn try_layer_macs(layer: &Layer, inputs: &[Shape], output: Shape) -> Result<
 /// Panics if the count overflows `u64`; use [`try_layer_flops`] to handle
 /// astronomically large layers.
 pub fn layer_flops(layer: &Layer, inputs: &[Shape], output: Shape) -> u64 {
+    // analyzer:allow(CA0004, reason = "documented # Panics contract; try_layer_flops is the fallible API")
     try_layer_flops(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -234,6 +236,7 @@ impl LayerCost {
     /// Panics if any count overflows `u64`; use [`LayerCost::try_of`] to
     /// handle astronomically large layers.
     pub fn of(layer: &Layer, inputs: &[Shape], output: Shape) -> Self {
+        // analyzer:allow(CA0004, reason = "documented # Panics contract; LayerCost::try_of is the fallible API")
         Self::try_of(layer, inputs, output).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -88,6 +88,7 @@ fn mobilenet_v3(
     for (i, &(in_ch, k, exp, out, se, hs, s)) in settings.iter().enumerate() {
         bneck(&mut b, i + 1, in_ch, k, exp, out, se, hs, s);
     }
+    // analyzer:allow(CA0004, reason = "settings tables are non-empty const arrays")
     let trunk_out = settings.last().expect("non-empty settings").3;
     b.conv_bn_act(trunk_out, last_conv, 1, 1, 0, Activation::HardSwish);
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });

@@ -1,0 +1,31 @@
+//! The workspace's single doorway to the wall clock.
+//!
+//! Reproducibility is the repo's core invariant, and stray clock reads are
+//! how nondeterminism leaks into artefacts: a `Instant::now()` deep inside
+//! an engine path is invisible until a manifest stops being byte-identical.
+//! All non-test code outside this crate must obtain time through these
+//! shims — the `convmeter analyze` pass enforces it as lint `CA0002` — so
+//! every timing source is auditable in one place.
+//!
+//! Simulated runtimes never come from here: they are computed from the
+//! analytical cost model. These readings only feed *telemetry* (span
+//! durations, manifest wall-time fields, watchdog deadlines), which is
+//! explicitly excluded from fingerprints and byte-identity checks.
+
+use std::time::Instant;
+
+/// A monotonic reading for measuring elapsed telemetry time.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn monotonic() {
+        let a = super::now();
+        let b = super::now();
+        assert!(b >= a);
+    }
+}

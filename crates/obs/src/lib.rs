@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod metric;
 pub mod profile;
 pub mod span;
@@ -70,7 +71,9 @@ impl Session {
         if IN_SESSION.with(Cell::get) {
             return Session { guard: None };
         }
-        let guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = SESSION_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         IN_SESSION.with(|f| f.set(true));
         span::reset();
         metric::reset();

@@ -178,7 +178,7 @@ fn registry() -> &'static Registry {
 
 fn intern<T: Default>(map: &Mutex<BTreeMap<&'static str, Arc<T>>>, name: &'static str) -> Arc<T> {
     map.lock()
-        .unwrap_or_else(|e| e.into_inner())
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .entry(name)
         .or_default()
         .clone()
@@ -206,18 +206,23 @@ pub(crate) fn reset() {
     for c in r
         .counters
         .lock()
-        .unwrap_or_else(|e| e.into_inner())
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .values()
     {
         c.reset();
     }
-    for g in r.gauges.lock().unwrap_or_else(|e| e.into_inner()).values() {
+    for g in r
+        .gauges
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+    {
         g.reset();
     }
     for h in r
         .histograms
         .lock()
-        .unwrap_or_else(|e| e.into_inner())
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .values()
     {
         h.reset();
@@ -254,21 +259,21 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: r
             .counters
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, c)| (name.to_string(), c.get()))
             .collect(),
         gauges: r
             .gauges
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, g)| (name.to_string(), g.get()))
             .collect(),
         histograms: r
             .histograms
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| {
                 (

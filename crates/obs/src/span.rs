@@ -51,7 +51,8 @@ pub(crate) fn reset() {
 }
 
 fn lock_sink() -> std::sync::MutexGuard<'static, SpanAgg> {
-    SINK.lock().unwrap_or_else(|e| e.into_inner())
+    SINK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One node of the aggregated span tree: how often a span path ran and how
@@ -138,7 +139,7 @@ pub fn span(name: impl Into<SpanName>) -> Span {
             local.root = SpanAgg::new();
             local.stack.clear();
         }
-        local.stack.push((name.into(), Instant::now()));
+        local.stack.push((name.into(), crate::clock::now()));
     });
     Span {
         generation: Some(generation),

@@ -1,0 +1,279 @@
+//! The cooperative single-token scheduler behind [`crate::model`].
+//!
+//! Every loom-managed thread is a real OS thread, but exactly one holds the
+//! execution token at any moment; the rest park on a condvar. At each
+//! instrumented point the running thread calls [`switch_point`], which hands
+//! the token to a pseudo-randomly chosen runnable thread (possibly itself).
+//! The PRNG is seeded per model iteration, so every schedule is
+//! deterministic and a failing seed reproduces exactly.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on scheduling decisions per iteration: a schedule that spins
+/// this long is livelocked (or the model is far too large for a checker).
+const SWITCH_BUDGET: u64 = 2_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct ThreadCell {
+    status: Status,
+    /// Rendered payload of a panic that escaped the thread body.
+    failure: Option<String>,
+    /// Whether a `join` consumed the failure (observed panics are the
+    /// caller's to assert on; unobserved ones fail the whole model).
+    observed: bool,
+}
+
+struct State {
+    threads: Vec<ThreadCell>,
+    /// Thread currently holding the execution token.
+    active: Option<usize>,
+    rng: u64,
+    switches: u64,
+    /// Fatal scheduler verdict (deadlock / budget); makes every waiter
+    /// panic so the iteration drains quickly.
+    abort: Option<String>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// The scheduler and thread id of the current loom-managed thread.
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The `(scheduler, id)` of the calling thread, if it is loom-managed.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Instrumented point: yield the token to a randomly chosen runnable
+/// thread. Outside a model this is a no-op, so loom-typed values still work
+/// in plain code.
+pub(crate) fn switch_point() {
+    if let Some((sched, me)) = current() {
+        sched.switch(me);
+    }
+}
+
+/// Render a panic payload the way `std::thread` does.
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    pub(crate) fn new(seed: u64) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: None,
+                rng: seed ^ 0xd6e8_feb8_6659_fd93,
+                switches: 0,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register a new thread (runnable, token not granted yet).
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadCell {
+            status: Status::Runnable,
+            failure: None,
+            observed: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Called first on every loom-managed OS thread: bind the thread-local
+    /// identity and park until the token arrives.
+    pub(crate) fn enter(self: &Arc<Self>, me: usize) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(self), me)));
+        let mut st = self.lock();
+        st = self.wait_for_token(st, me);
+        drop(st);
+    }
+
+    /// Grant the token to `id` (used once per iteration to start the root).
+    pub(crate) fn kick(&self, id: usize) {
+        let mut st = self.lock();
+        st.active = Some(id);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        loop {
+            if let Some(msg) = &st.abort {
+                let msg = msg.clone();
+                drop(st);
+                panic!("loom schedule aborted: {msg}");
+            }
+            if st.active == Some(me) {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Pick the next token holder among runnable threads. Returns `false`
+    /// when nothing is runnable (then `active` is `None`, and `abort` is set
+    /// if unfinished threads remain — a join deadlock).
+    fn pick_next(&self, st: &mut State) -> bool {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            st.active = None;
+            if st.threads.iter().any(|t| t.status != Status::Finished) {
+                st.abort = Some("deadlock: every live thread is blocked on a join".into());
+            }
+            return false;
+        }
+        let pick = runnable[(splitmix(&mut st.rng) as usize) % runnable.len()];
+        st.active = Some(pick);
+        true
+    }
+
+    fn charge_switch(&self, st: &mut State) {
+        st.switches += 1;
+        if st.switches > SWITCH_BUDGET && st.abort.is_none() {
+            st.abort = Some(format!(
+                "schedule exceeded {SWITCH_BUDGET} scheduling decisions (livelock?)"
+            ));
+        }
+    }
+
+    /// Yield the token: choose the next runnable thread (possibly the
+    /// caller) and park until the token returns.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut st = self.lock();
+        self.charge_switch(&mut st);
+        self.pick_next(&mut st);
+        drop(st);
+        self.cv.notify_all();
+        let st = self.wait_for_token(self.lock(), me);
+        drop(st);
+    }
+
+    /// Park until `target` finishes.
+    pub(crate) fn block_on_join(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        self.charge_switch(&mut st);
+        if st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::BlockedOnJoin(target);
+            self.pick_next(&mut st);
+            drop(st);
+            self.cv.notify_all();
+            st = self.lock();
+            loop {
+                if let Some(msg) = &st.abort {
+                    let msg = msg.clone();
+                    drop(st);
+                    panic!("loom schedule aborted: {msg}");
+                }
+                if st.threads[me].status == Status::Runnable && st.active == Some(me) {
+                    break;
+                }
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        drop(st);
+    }
+
+    /// Mark a joined thread's failure as observed by the caller.
+    pub(crate) fn mark_observed(&self, id: usize) {
+        self.lock().threads[id].observed = true;
+    }
+
+    /// Terminal transition: record the outcome, wake joiners, hand off the
+    /// token, and never take it back.
+    pub(crate) fn finish(&self, me: usize, failure: Option<String>) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        st.threads[me].failure = failure;
+        for t in &mut st.threads {
+            if t.status == Status::BlockedOnJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.pick_next(&mut st);
+        drop(st);
+        self.cv.notify_all();
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Controller wait: block until every registered thread finished, then
+    /// report the iteration verdict (abort reason or first unobserved
+    /// panic).
+    pub(crate) fn wait_all_finished(&self) -> Result<(), String> {
+        let mut st = self.lock();
+        loop {
+            if st.abort.is_some() || st.threads.iter().all(|t| t.status == Status::Finished) {
+                break;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(msg) = &st.abort {
+            // Give straggler threads a chance to see the abort and drain.
+            let verdict = Err(msg.clone());
+            drop(st);
+            self.cv.notify_all();
+            return verdict;
+        }
+        for t in &st.threads {
+            if let (Some(msg), false) = (&t.failure, t.observed) {
+                return Err(format!("thread panicked: {msg}"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,175 @@
+//! Loom-instrumented synchronisation primitives.
+//!
+//! Each type wraps its `std::sync` counterpart and inserts a scheduler
+//! switch point around every operation, so the model explores interleavings
+//! at exactly the places real threads could be preempted. Outside a
+//! [`crate::model`] run the switch points are no-ops and these types behave
+//! like plain `std` primitives.
+
+use crate::sched::switch_point;
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomics with a switch point before every access. All operations are
+    //! modelled as sequentially consistent regardless of the requested
+    //! ordering (the shim cannot explore weak-memory reorderings).
+
+    use crate::sched::switch_point;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_shim {
+        ($name:ident, $inner:ty, $value:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $inner,
+            }
+
+            impl $name {
+                pub fn new(value: $value) -> Self {
+                    Self {
+                        inner: <$inner>::new(value),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $value {
+                    switch_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $value, order: Ordering) {
+                    switch_point();
+                    self.inner.store(value, order);
+                }
+
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    switch_point();
+                    self.inner.swap(value, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    switch_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! atomic_int_ops {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    switch_point();
+                    self.inner.fetch_add(value, order)
+                }
+
+                pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                    switch_point();
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_int_ops!(AtomicUsize, usize);
+
+    atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int_ops!(AtomicU64, u64);
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            switch_point();
+            self.inner.fetch_or(value, order)
+        }
+    }
+}
+
+/// Mutex with switch points on acquisition and release. Poisoning behaves
+/// exactly like `std`: a panic while the guard is live poisons the lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        // Spin over `try_lock` with a switch point per attempt instead of
+        // blocking in std: the holder is parked without the token, so a
+        // blocking `lock()` here would deadlock the single-token scheduler.
+        // Staying Runnable lets the scheduler hand the token back to the
+        // holder, which eventually releases.
+        loop {
+            switch_point();
+            match self.inner.try_lock() {
+                Ok(guard) => return Ok(MutexGuard { inner: Some(guard) }),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(MutexGuard {
+                        inner: Some(poisoned.into_inner()),
+                    }));
+                }
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        switch_point();
+        match self.inner.try_lock() {
+            Ok(guard) => Ok(MutexGuard { inner: Some(guard) }),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    inner: Some(poisoned.into_inner()),
+                })))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+}
+
+/// Guard mirroring `std::sync::MutexGuard`, with a switch point after the
+/// lock is released (skipped during unwinding, where scheduling decisions
+/// belong to the panic machinery).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is live until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if !std::thread::panicking() {
+            switch_point();
+        }
+    }
+}

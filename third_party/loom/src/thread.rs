@@ -1,0 +1,72 @@
+//! Loom-managed threads.
+//!
+//! [`spawn`] registers the child with the current model's scheduler before
+//! launching a real OS thread; the child parks until the scheduler grants
+//! it the execution token. [`JoinHandle::join`] returns the child's result
+//! (or its panic payload, like `std`), and marks a panic as *observed* so
+//! the model knows the caller had a chance to assert on it.
+
+use crate::sched::{self, switch_point};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+pub struct JoinHandle<T> {
+    id: usize,
+    sched: Arc<sched::Scheduler>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (in model time) until the child finishes, then return its
+    /// result. A child panic comes back as `Err(payload)`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = sched::current().expect("join called outside a loom model");
+        self.sched.block_on_join(me, self.id);
+        self.sched.mark_observed(self.id);
+        let result = self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        result.expect("finished loom thread left a result")
+    }
+}
+
+/// Spawn a loom-managed thread. Must be called from inside a
+/// [`crate::model`] execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (scheduler, _me) = sched::current().expect("spawn called outside a loom model");
+    let id = scheduler.register();
+    let result = Arc::new(Mutex::new(None));
+
+    let child_sched = Arc::clone(&scheduler);
+    let child_result = Arc::clone(&result);
+    std::thread::spawn(move || {
+        child_sched.enter(id);
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let failure = outcome.as_ref().err().map(sched::panic_message);
+        *child_result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+        child_sched.finish(id, failure);
+    });
+
+    // Spawning is itself a scheduling event: the child may run before the
+    // parent's next instruction.
+    switch_point();
+
+    JoinHandle {
+        id,
+        sched: scheduler,
+        result,
+    }
+}
+
+/// Cooperative yield: a pure switch point.
+pub fn yield_now() {
+    switch_point();
+}

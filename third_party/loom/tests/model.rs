@@ -1,0 +1,110 @@
+//! Self-checks for the loom shim: the checker must pass correct code,
+//! and — more importantly — must *fail* code with reachable races.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn model_fails<F>(f: F) -> bool
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    catch_unwind(AssertUnwindSafe(|| loom::model(f))).is_err()
+}
+
+#[test]
+fn mutex_counter_is_exact() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                loom::thread::spawn(move || {
+                    let mut guard = counter.lock().expect("counter lock");
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("incrementer finishes");
+        }
+        assert_eq!(*counter.lock().expect("counter lock"), 2);
+    });
+}
+
+#[test]
+fn fetch_add_claims_are_disjoint() {
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                loom::thread::spawn(move || next.fetch_add(1, Ordering::Relaxed))
+            })
+            .collect();
+        let mut claims: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.join().expect("claimer finishes"))
+            .collect();
+        claims.sort_unstable();
+        assert_eq!(claims, vec![0, 1]);
+    });
+}
+
+#[test]
+fn detects_check_then_act_race() {
+    // Both threads can observe 0 before either stores, so under some
+    // interleaving both claim the slot; the model must find that schedule.
+    assert!(model_fails(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let claims = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let flag = Arc::clone(&flag);
+                let claims = Arc::clone(&claims);
+                loom::thread::spawn(move || {
+                    if flag.load(Ordering::SeqCst) == 0 {
+                        flag.store(1, Ordering::SeqCst);
+                        claims.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("racer finishes");
+        }
+        assert!(claims.load(Ordering::SeqCst) <= 1, "slot claimed twice");
+    }));
+}
+
+#[test]
+fn detects_unobserved_panic() {
+    assert!(model_fails(|| {
+        let _detached = loom::thread::spawn(|| panic!("nobody joins me"));
+        // The handle is dropped without join: the model must surface the
+        // child's panic instead of reporting success.
+    }));
+}
+
+#[test]
+fn observed_panic_is_callers_choice() {
+    loom::model(|| {
+        let handle = loom::thread::spawn(|| panic!("joined panic"));
+        assert!(handle.join().is_err(), "panic surfaces through join");
+    });
+}
+
+#[test]
+fn yield_now_makes_progress() {
+    loom::model(|| {
+        let turn = Arc::new(AtomicUsize::new(0));
+        let other = Arc::clone(&turn);
+        let handle = loom::thread::spawn(move || {
+            other.store(1, Ordering::SeqCst);
+        });
+        while turn.load(Ordering::SeqCst) == 0 {
+            loom::thread::yield_now();
+        }
+        handle.join().expect("signaller finishes");
+    });
+}

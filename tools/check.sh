@@ -9,8 +9,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q --offline
+echo "==> cargo test --workspace"
+# --workspace matters: from the root, a bare `cargo test` runs only the
+# root package, silently skipping every crates/* suite.
+cargo test -q --workspace --offline
+
+echo "==> convmeter analyze (CAxxxx determinism audit, findings are fatal)"
+cargo run -q -p convmeter-cli --offline -- analyze
+
+echo "==> loom: model-check the engine worker pool"
+RUSTFLAGS="--cfg loom" cargo test -q -p convmeter-bench --test loom_pool --offline
 
 echo "==> convmeter lint (zoo-wide, errors are fatal)"
 cargo run -q -p convmeter-cli --offline -- lint >/dev/null
