@@ -13,8 +13,26 @@
 //! | CA0005 | no exact float comparison against non-zero literals |
 //! | CA0006 | `fingerprint()` must account for every struct field |
 //!
+//! On top of the token rules sits a workspace-wide *syntactic* layer: an
+//! item-level parser (`parser`), a cross-crate symbol index (`symbols`),
+//! and a call graph with reachability queries (`callgraph`). They power the
+//! interprocedural rules:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | CA0007 | no panic source transitively reachable from a public API |
+//! | CP0001 | no allocation inside a hot loop |
+//! | CP0002 | no per-iteration `.clone()` in a hot loop |
+//! | CP0003 | no per-iteration `.collect()` in a hot loop |
+//! | CP0004 | no unsized `Vec` grown by `push` in a hot loop |
+//! | CP0005 | no lock acquisition inside a hot loop |
+//!
+//! "Hot" is seeded by `span!` instrumentation and propagated transitively
+//! over the call graph; the CP family runs only under
+//! [`AnalysisOptions::perf`].
+//!
 //! Findings are suppressed site-by-site with an inline `analyzer:allow`
-//! comment naming the CA code — the justifying reason is mandatory,
+//! comment naming the CA/CP code — the justifying reason is mandatory,
 //! and a malformed directive is itself reported (as `CA0000`) rather than
 //! silently ignored. The pass is offline and AST-free: a hand-rolled lexer
 //! (`syn` is unavailable in this build environment) feeds token-level
@@ -25,16 +43,21 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
+pub use callgraph::{CallGraph, CallGraphStats, FileAnalysis};
 use source::SourceFile;
 
 /// One diagnostic: a rule violation at a source location.
 #[derive(Debug, Clone, Serialize)]
 pub struct Finding {
-    /// Stable rule code (`CA0001`..`CA0006`, `CA0000` for broken allows).
+    /// Stable rule code (`CA0001`..`CA0007`, `CP0001`..`CP0005` under
+    /// `--perf`, `CA0000` for broken allows).
     pub code: String,
     /// Workspace-relative file path.
     pub path: String,
@@ -55,6 +78,13 @@ impl Finding {
     }
 }
 
+/// What to analyze beyond the always-on determinism rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// Run the CP hot-path performance family (CP0001–CP0005).
+    pub perf: bool,
+}
+
 /// Result of one analysis run.
 #[derive(Debug, Serialize)]
 pub struct Report {
@@ -64,6 +94,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings suppressed by well-formed allow directives.
     pub suppressed: usize,
+    /// Call-graph coverage: how much the interprocedural rules could see.
+    pub call_graph: CallGraphStats,
 }
 
 impl Report {
@@ -84,6 +116,16 @@ impl Report {
                 f.path, f.line, f.code, f.message
             ));
         }
+        out.push_str(&format!(
+            "call graph: {} fn(s), {} public API(s), {} hot, \
+             edges {} resolved / {} external / {} ambiguous\n",
+            self.call_graph.functions,
+            self.call_graph.public_apis,
+            self.call_graph.hot_functions,
+            self.call_graph.calls_resolved,
+            self.call_graph.calls_external,
+            self.call_graph.calls_ambiguous
+        ));
         out.push_str(&format!(
             "analyze: {} finding(s), {} suppressed, {} file(s) scanned\n",
             self.findings.len(),
@@ -171,25 +213,34 @@ impl std::error::Error for AnalyzeError {
 
 /// Analyze in-memory sources: `(workspace-relative path, content)` pairs.
 /// This is the core the fixture tests drive; [`analyze_workspace`] is the
-/// filesystem front-end.
+/// filesystem front-end. Runs the always-on rules only (no CP family).
 #[must_use]
 pub fn analyze_files(files: &[(String, String)]) -> Report {
-    let parsed: Vec<SourceFile> = files
+    let parsed: Vec<FileAnalysis> = files
         .iter()
-        .map(|(path, content)| SourceFile::parse(path, content))
+        .map(|(path, content)| FileAnalysis::parse(path, content))
         .collect();
+    analyze_parsed(&parsed, AnalysisOptions::default())
+}
 
+/// Analyze already-parsed files. The per-file parse
+/// ([`FileAnalysis::parse`]) is embarrassingly parallel; this combining
+/// pass — symbol index, call graph, rules, suppression — is sequential and
+/// deterministic, so callers may fan the parse out across threads and feed
+/// the results here in path order.
+#[must_use]
+pub fn analyze_parsed(parsed: &[FileAnalysis], opts: AnalysisOptions) -> Report {
     let mut structs = StructIndex::default();
-    for file in &parsed {
-        for (name, fields) in rules::struct_fields(file) {
-            structs.record(file.crate_name(), &name, fields);
+    for fa in parsed {
+        for (name, fields) in rules::struct_fields(&fa.file) {
+            structs.record(fa.file.crate_name(), &name, fields);
         }
     }
+    let graph = CallGraph::build(parsed);
 
-    let mut findings = Vec::new();
-    let mut suppressed = 0usize;
-    for file in &parsed {
-        let mut raw = Vec::new();
+    let mut raw = Vec::new();
+    for fa in parsed {
+        let file = &fa.file;
         for malformed in &file.malformed_allows {
             raw.push(Finding::new(
                 "CA0000",
@@ -207,20 +258,44 @@ pub fn analyze_files(files: &[(String, String)]) -> Report {
         rules::ca0004(file, &mut raw);
         rules::ca0005(file, &mut raw);
         rules::ca0006(file, &structs, &mut raw);
-        for finding in raw {
-            if finding.code != "CA0000" && file.is_allowed(&finding.code, finding.line) {
-                suppressed += 1;
-            } else {
-                findings.push(finding);
-            }
+    }
+    rules::ca0007(parsed, &graph, &mut raw);
+    if opts.perf {
+        rules::cp_rules(parsed, &graph, &mut raw);
+    }
+
+    let by_path: BTreeMap<&str, &SourceFile> = parsed
+        .iter()
+        .map(|fa| (fa.file.path.as_str(), &fa.file))
+        .collect();
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in raw {
+        let allowed = finding.code != "CA0000"
+            && by_path
+                .get(finding.path.as_str())
+                .is_some_and(|file| file.is_allowed(&finding.code, finding.line));
+        if allowed {
+            suppressed += 1;
+        } else {
+            findings.push(finding);
         }
     }
     findings.sort_by(|a, b| (&a.path, a.line, &a.code).cmp(&(&b.path, b.line, &b.code)));
+    // A site inside a nested `fn` is scanned once per enclosing item; keep
+    // one finding per (path, line, code).
+    findings.dedup_by(|a, b| (&a.path, a.line, &a.code) == (&b.path, b.line, &b.code));
     Report {
         findings,
         files_scanned: parsed.len(),
         suppressed,
+        call_graph: graph.stats,
     }
+}
+
+/// Analyze the workspace rooted at `root` with the always-on rule set.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    analyze_workspace_opts(root, AnalysisOptions::default())
 }
 
 /// Analyze the workspace rooted at `root`: every `.rs` file under
@@ -228,7 +303,19 @@ pub fn analyze_files(files: &[(String, String)]) -> Report {
 /// `third_party/` shims, and build output are out of scope by
 /// construction; `#[cfg(test)]` regions inside library files are excluded
 /// per rule.
-pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+pub fn analyze_workspace_opts(root: &Path, opts: AnalysisOptions) -> Result<Report, AnalyzeError> {
+    let files = workspace_files(root)?;
+    let parsed: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(path, content)| FileAnalysis::parse(path, content))
+        .collect();
+    Ok(analyze_parsed(&parsed, opts))
+}
+
+/// Gather the workspace's in-scope sources as `(relative path, content)`
+/// pairs, sorted by path. Exposed so the CLI can parallelise the per-file
+/// parse over the engine pool and then call [`analyze_parsed`].
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, String)>, AnalyzeError> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(AnalyzeError::NotAWorkspace {
@@ -245,7 +332,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
             collect_rs_files(root, &src_root, &mut files)?;
         }
     }
-    Ok(analyze_files(&files))
+    Ok(files)
 }
 
 fn sorted_entries(dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {

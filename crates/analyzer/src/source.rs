@@ -96,14 +96,26 @@ impl SourceFile {
     }
 
     /// Whether a finding of `code` on `line` is suppressed by a directive
-    /// on the same line or the line immediately above.
+    /// on the same line or a contiguous run of directive lines directly
+    /// above it (stacked directives each suppress one code).
     #[must_use]
     pub fn is_allowed(&self, code: &str, line: u32) -> bool {
-        [line, line.saturating_sub(1)]
-            .iter()
-            .filter_map(|l| self.allows.get(l))
-            .flatten()
-            .any(|a| a.code == code)
+        let covers = |l: u32| {
+            self.allows
+                .get(&l)
+                .is_some_and(|v| v.iter().any(|a| a.code == code))
+        };
+        if covers(line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 0 && self.allows.contains_key(&(l - 1)) {
+            l -= 1;
+            if covers(l) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Every well-formed allow directive in the file, in line order.
@@ -137,16 +149,23 @@ pub fn parse_allow_comment(comment: &str, line: u32) -> Result<Option<Allow>, St
     let Some(at) = comment.find(DIRECTIVE) else {
         return Ok(None);
     };
-    let rest = &comment[at + DIRECTIVE.len()..];
+    let Some(rest) = comment[at..].strip_prefix(DIRECTIVE) else {
+        return Ok(None);
+    };
     let mut chars = rest.char_indices().peekable();
 
     let code: String = rest
         .chars()
         .take_while(char::is_ascii_alphanumeric)
         .collect();
-    if code.len() != 6 || !code.starts_with("CA") || !code[2..].chars().all(|c| c.is_ascii_digit())
+    if code.len() != 6
+        || !(code.starts_with("CA") || code.starts_with("CP"))
+        || !code[2..].chars().all(|c| c.is_ascii_digit())
     {
-        return Err(format!("allow code must look like CA0004, got {:?}", code));
+        return Err(format!(
+            "allow code must look like CA0004 or CP0001, got {:?}",
+            code
+        ));
     }
     for _ in 0..code.len() {
         chars.next();
@@ -220,13 +239,14 @@ fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
         .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
         .collect();
     let mut regions = Vec::new();
+    let at = |k: usize| code.get(k).map(|&(_, t)| t);
     let mut i = 0;
     while i + 3 < code.len() {
         // `# [ cfg ( ... test ... ) ]`
         let is_attr = code[i].1.is_punct('#')
-            && code[i + 1].1.is_punct('[')
-            && code[i + 2].1.is_ident("cfg")
-            && code[i + 3].1.is_punct('(');
+            && at(i + 1).is_some_and(|t| t.is_punct('['))
+            && at(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && at(i + 3).is_some_and(|t| t.is_punct('('));
         if !is_attr {
             i += 1;
             continue;
@@ -305,6 +325,15 @@ mod tests {
     }
 
     #[test]
+    fn cp_codes_are_valid_allow_targets() {
+        let formatted = format_allow("CP0005", "slot-publication protocol; loom-checked");
+        let parsed = parse_allow_comment(&formatted, 3)
+            .expect("well-formed")
+            .expect("present");
+        assert_eq!(parsed.code, "CP0005");
+    }
+
+    #[test]
     fn allow_with_escaped_quotes() {
         let formatted = format_allow("CA0005", r#"compares "exact" zero"#);
         let parsed = parse_allow_comment(&formatted, 1)
@@ -359,5 +388,17 @@ mod tests {
         assert!(file.is_allowed("CA0004", 2));
         assert!(!file.is_allowed("CA0004", 3));
         assert!(!file.is_allowed("CA0001", 2));
+    }
+
+    #[test]
+    fn stacked_allows_all_cover_the_line_below_the_run() {
+        let src = "// analyzer:allow(CA0003, reason = \"validated upstream\")\n\
+                   // analyzer:allow(CA0007, reason = \"bound holds by construction\")\n\
+                   risky();\nafter();\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(file.is_allowed("CA0003", 3));
+        assert!(file.is_allowed("CA0007", 3));
+        assert!(!file.is_allowed("CA0003", 4));
+        assert!(!file.is_allowed("CA0004", 3));
     }
 }

@@ -6,11 +6,20 @@
 //! through [`analyze_files`] with a synthetic workspace-relative path,
 //! because several rules key off the path (module stem, crate name).
 
-use convmeter_analyzer::{analyze_files, analyze_workspace, Report};
+use convmeter_analyzer::{
+    analyze_files, analyze_parsed, analyze_workspace, analyze_workspace_opts, AnalysisOptions,
+    FileAnalysis, Report,
+};
 use std::path::Path;
 
 fn analyze_one(path: &str, content: &str) -> Report {
     analyze_files(&[(path.to_string(), content.to_string())])
+}
+
+/// Like [`analyze_one`] but with the CP hot-path rules switched on.
+fn analyze_one_perf(path: &str, content: &str) -> Report {
+    let parsed = vec![FileAnalysis::parse(path, content)];
+    analyze_parsed(&parsed, AnalysisOptions { perf: true })
 }
 
 /// Assert every finding carries `code` and that there is at least one.
@@ -210,6 +219,95 @@ fn an_allow_for_the_wrong_code_does_not_suppress() {
 /// justified allow directive — so this test failing means either a new
 /// violation or a broken rule, and both need a human decision.
 #[test]
+fn ca0007_computed_index_reachable_from_public_api() {
+    let fixture = include_str!("fixtures/ca0007_computed_index.rs");
+    let report = analyze_one("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CA0007");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].line, 6);
+    assert!(
+        report.findings[0].message.contains("lib::midpoint"),
+        "the finding must name the public route: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn ca0007_app_aborts_reachable_from_public_api() {
+    let lib = "pub fn api(xs: &[u64]) -> u64 {\n    helper(xs)\n}\n";
+    let app = "pub fn helper(xs: &[u64]) -> u64 {\n    *xs.first().unwrap()\n}\n";
+    let report = analyze_files(&[
+        ("crates/fake/src/lib.rs".to_string(), lib.to_string()),
+        ("crates/fake/src/main.rs".to_string(), app.to_string()),
+    ]);
+    assert_all(&report, "CA0007");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].path, "crates/fake/src/main.rs");
+    assert!(
+        report.findings[0].message.contains("lib::api"),
+        "the finding must show the example route from the public API: {}",
+        report.findings[0].message
+    );
+
+    // Negative: the same abort with no public library API above it is the
+    // application's own business (CA0004 already scopes lib files).
+    let alone = analyze_files(&[("crates/fake/src/main.rs".to_string(), app.to_string())]);
+    assert!(alone.findings.is_empty(), "{}", alone.to_text());
+}
+
+#[test]
+fn cp0001_alloc_in_hot_loop() {
+    let fixture = include_str!("fixtures/cp0001_alloc_in_loop.rs");
+    let report = analyze_one_perf("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CP0001");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].line, 7);
+
+    // Negative: without --perf the CP family stays off.
+    let ca_only = analyze_one("crates/fake/src/lib.rs", fixture);
+    assert!(ca_only.findings.is_empty(), "{}", ca_only.to_text());
+}
+
+#[test]
+fn cp0002_clone_in_hot_loop() {
+    let fixture = include_str!("fixtures/cp0002_clone_in_loop.rs");
+    let report = analyze_one_perf("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CP0002");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].line, 7);
+}
+
+#[test]
+fn cp0003_collect_in_hot_loop() {
+    let fixture = include_str!("fixtures/cp0003_collect_in_loop.rs");
+    let report = analyze_one_perf("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CP0003");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].line, 7);
+}
+
+#[test]
+fn cp0004_push_growth_without_reserve() {
+    let fixture = include_str!("fixtures/cp0004_push_without_reserve.rs");
+    let report = analyze_one_perf("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CP0004");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(
+        report.findings[0].line, 6,
+        "CP0004 reports at the binding, where the fix goes"
+    );
+}
+
+#[test]
+fn cp0005_lock_in_hot_loop() {
+    let fixture = include_str!("fixtures/cp0005_lock_in_loop.rs");
+    let report = analyze_one_perf("crates/fake/src/lib.rs", fixture);
+    assert_all(&report, "CP0005");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert_eq!(report.findings[0].line, 8);
+}
+
+#[test]
 fn workspace_analyzes_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -225,5 +323,29 @@ fn workspace_analyzes_clean() {
         report.files_scanned > 100,
         "suspiciously few files scanned: {}",
         report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_analyzes_clean_with_perf_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = analyze_workspace_opts(&root, AnalysisOptions { perf: true })
+        .expect("workspace analysis runs");
+    assert!(
+        report.is_clean(),
+        "the workspace must analyze clean under --perf:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.call_graph.hot_functions > 0,
+        "span!-instrumented functions must seed the hot set"
+    );
+    assert!(
+        report.call_graph.calls_resolved > 1000,
+        "suspiciously few resolved call edges: {}",
+        report.call_graph.calls_resolved
     );
 }

@@ -1,0 +1,24 @@
+//! CA0007 fixture: a computed-offset slice index in library code, reachable
+//! from the public API that contains it.
+
+pub fn midpoint(xs: &[f64]) -> f64 {
+    let mid = xs.len() / 2;
+    (xs[mid - 1] + xs[mid]) / 2.0
+}
+
+pub fn checked_midpoint(xs: &[f64]) -> Option<f64> {
+    // Negative: checked offsets through .get() never panic.
+    let mid = xs.len() / 2;
+    let lo = xs.get(mid.checked_sub(1)?)?;
+    let hi = xs.get(mid)?;
+    Some((lo + hi) / 2.0)
+}
+
+fn plain_index(xs: &[f64], i: usize) -> f64 {
+    // Negative: a plain `xs[i]` carries no hidden offset arithmetic.
+    xs[i]
+}
+
+pub fn uses_plain(xs: &[f64]) -> f64 {
+    plain_index(xs, 0)
+}

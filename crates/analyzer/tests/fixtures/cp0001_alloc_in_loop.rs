@@ -1,0 +1,32 @@
+//! CP0001 fixture: per-iteration allocation inside a hot loop.
+
+pub fn hot(names: &[&str]) -> usize {
+    let _span = obs::span!("fixture.hot");
+    let mut n = 0;
+    for name in names {
+        let label = format!("item-{name}");
+        n += label.len();
+    }
+    n
+}
+
+pub fn hoisted(names: &[&str]) -> usize {
+    // Negative: the allocation happens once, outside the loop.
+    let _span = obs::span!("fixture.hoisted");
+    let prefix = String::from("item-");
+    let mut n = 0;
+    for name in names {
+        n += prefix.len() + name.len();
+    }
+    n
+}
+
+pub fn not_hot(names: &[&str]) -> usize {
+    // Negative: same shape as `hot`, but no span marks this path hot.
+    let mut n = 0;
+    for name in names {
+        let label = format!("item-{name}");
+        n += label.len();
+    }
+    n
+}

@@ -1,0 +1,35 @@
+//! CP0002 fixture: per-iteration clone inside a hot loop.
+
+pub fn hot(rows: &[Vec<f64>]) -> usize {
+    let _span = obs::span!("fixture.hot");
+    let mut n = 0;
+    for row in rows {
+        let copy = row.clone();
+        n += copy.len();
+    }
+    n
+}
+
+pub fn borrowed(rows: &[Vec<f64>]) -> usize {
+    // Negative: borrowing needs no copy.
+    let _span = obs::span!("fixture.borrowed");
+    let mut n = 0;
+    for row in rows {
+        n += row.len();
+    }
+    n
+}
+
+pub fn clone_on_failure(rows: &[Vec<f64>]) -> Result<usize, String> {
+    // Negative: a clone inside an error-path closure runs at most once
+    // per failure, not per iteration.
+    let _span = obs::span!("fixture.failure");
+    let mut n = 0;
+    for row in rows {
+        n += row.first().copied().map_or_else(|| 0, |v| v as usize);
+        if row.is_empty() {
+            return Err(format_row(row.clone()));
+        }
+    }
+    Ok(n)
+}

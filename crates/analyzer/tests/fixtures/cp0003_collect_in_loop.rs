@@ -1,0 +1,22 @@
+//! CP0003 fixture: per-iteration collect inside a hot loop.
+
+pub fn hot(rows: &[Vec<f64>]) -> f64 {
+    let _span = obs::span!("fixture.hot");
+    let mut total = 0.0;
+    for row in rows {
+        let scaled: Vec<f64> = row.iter().map(|v| v * 2.0).collect();
+        total += scaled.iter().sum::<f64>();
+    }
+    total
+}
+
+pub fn collected_once(rows: &[Vec<f64>]) -> f64 {
+    // Negative: one collect before the loop, reused every pass.
+    let _span = obs::span!("fixture.once");
+    let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+    let mut total = 0.0;
+    for _ in 0..3 {
+        total += flat.iter().sum::<f64>();
+    }
+    total
+}

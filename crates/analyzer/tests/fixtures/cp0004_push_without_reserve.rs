@@ -1,0 +1,32 @@
+//! CP0004 fixture: an empty Vec grown by push inside a hot loop, with and
+//! without an up-front reservation.
+
+pub fn hot(xs: &[f64]) -> Vec<f64> {
+    let _span = obs::span!("fixture.hot");
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(x * 2.0);
+    }
+    out
+}
+
+pub fn reserved(xs: &[f64]) -> Vec<f64> {
+    // Negative: an explicit reserve sizes the buffer before the loop.
+    let _span = obs::span!("fixture.reserved");
+    let mut out = Vec::new();
+    out.reserve(xs.len());
+    for x in xs {
+        out.push(x * 2.0);
+    }
+    out
+}
+
+pub fn sized(xs: &[f64]) -> Vec<f64> {
+    // Negative: with_capacity at the binding is the canonical fix.
+    let _span = obs::span!("fixture.sized");
+    let mut out = Vec::with_capacity(xs.len());
+    for x in xs {
+        out.push(x * 2.0);
+    }
+    out
+}

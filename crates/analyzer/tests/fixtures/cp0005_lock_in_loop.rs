@@ -1,0 +1,21 @@
+//! CP0005 fixture: a mutex acquired on every iteration of a hot loop.
+
+use std::sync::Mutex;
+
+pub fn hot(counter: &Mutex<u64>, xs: &[u64]) {
+    let _span = obs::span!("fixture.hot");
+    for x in xs {
+        *counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += x;
+    }
+}
+
+pub fn batched(counter: &Mutex<u64>, xs: &[u64]) {
+    // Negative: one acquisition outside the loop covers the whole batch.
+    let _span = obs::span!("fixture.batched");
+    let mut guard = counter
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for x in xs {
+        *guard += x;
+    }
+}

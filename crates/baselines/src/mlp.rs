@@ -116,18 +116,18 @@ struct Standardizer {
 }
 
 impl Standardizer {
-    fn fit(rows: &[Vec<f64>]) -> Result<Self, String> {
+    fn fit(rows: &[&[f64]]) -> Result<Self, String> {
         let n = rows.len() as f64;
-        let dim = rows.first().map_or(0, Vec::len);
+        let dim = rows.first().map_or(0, |r| r.len());
         let mut mean = vec![0.0; dim];
         for r in rows {
-            for (m, x) in mean.iter_mut().zip(r) {
+            for (m, x) in mean.iter_mut().zip(r.iter()) {
                 *m += x / n;
             }
         }
         let mut std = vec![0.0; dim];
         for r in rows {
-            for ((s, x), m) in std.iter_mut().zip(r).zip(&mean) {
+            for ((s, x), m) in std.iter_mut().zip(r.iter()).zip(&mean) {
                 *s += (x - m) * (x - m) / n;
             }
         }
@@ -180,7 +180,7 @@ impl MlpPredictor {
         if data.iter().any(|(_, t)| *t <= 0.0 || !t.is_finite()) {
             return Err("targets must be positive and finite".into());
         }
-        let raw_xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+        let raw_xs: Vec<&[f64]> = data.iter().map(|(x, _)| x.as_slice()).collect();
         let features = Standardizer::fit(&raw_xs)?;
         let xs: Vec<Vec<f64>> = raw_xs.iter().map(|x| features.apply(x)).collect();
 
@@ -215,19 +215,35 @@ impl MlpPredictor {
     fn train(&mut self, xs: &[Vec<f64>], ys: &[f64], config: &MlpConfig) {
         let n = xs.len() as f64;
         let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        // Gradient and activation buffers, allocated once and reused across
+        // epochs and samples (CP0001/CP0003: this loop is the trainer's hot
+        // path, one pass per epoch over the full batch).
+        let mut g1w = vec![0.0; self.l1.w.len()];
+        let mut g1b = vec![0.0; self.l1.b.len()];
+        let mut g2w = vec![0.0; self.l2.w.len()];
+        let mut g2b = vec![0.0; self.l2.b.len()];
+        let mut g3w = vec![0.0; self.l3.w.len()];
+        let mut g3b = vec![0.0; self.l3.b.len()];
+        let mut a1 = vec![0.0; self.l1.n_out];
+        let mut a2 = vec![0.0; self.l2.n_out];
+        let mut d_a2 = vec![0.0; self.l3.w.len()];
+        let mut d_z2 = vec![0.0; self.l2.n_out];
+        let mut d_a1 = vec![0.0; self.l2.n_in];
+        let mut d_z1 = vec![0.0; self.l1.n_out];
         for epoch in 1..=config.epochs {
             // Accumulate full-batch gradients.
-            let mut g1w = vec![0.0; self.l1.w.len()];
-            let mut g1b = vec![0.0; self.l1.b.len()];
-            let mut g2w = vec![0.0; self.l2.w.len()];
-            let mut g2b = vec![0.0; self.l2.b.len()];
-            let mut g3w = vec![0.0; self.l3.w.len()];
-            let mut g3b = vec![0.0; self.l3.b.len()];
+            for g in [&mut g1w, &mut g1b, &mut g2w, &mut g2b, &mut g3w, &mut g3b] {
+                g.fill(0.0);
+            }
             for (x, y) in xs.iter().zip(ys) {
                 let z1 = self.l1.forward(x);
-                let a1: Vec<f64> = z1.iter().map(|v| v.max(0.0)).collect();
+                for (a, z) in a1.iter_mut().zip(&z1) {
+                    *a = z.max(0.0);
+                }
                 let z2 = self.l2.forward(&a1);
-                let a2: Vec<f64> = z2.iter().map(|v| v.max(0.0)).collect();
+                for (a, z) in a2.iter_mut().zip(&z2) {
+                    *a = z.max(0.0);
+                }
                 let out = self.l3.forward(&a2)[0];
                 // d MSE / d out.
                 let d_out = 2.0 * (out - y) / n;
@@ -237,32 +253,33 @@ impl MlpPredictor {
                 }
                 g3b[0] += d_out;
                 // Back through layer 2.
-                let d_a2: Vec<f64> = self.l3.w.iter().map(|w| d_out * w).collect();
-                let d_z2: Vec<f64> = d_a2
-                    .iter()
-                    .zip(&z2)
-                    .map(|(d, z)| if *z > 0.0 { *d } else { 0.0 })
-                    .collect();
+                for (d, w) in d_a2.iter_mut().zip(&self.l3.w) {
+                    *d = d_out * w;
+                }
+                for ((dz, da), z) in d_z2.iter_mut().zip(&d_a2).zip(&z2) {
+                    *dz = if *z > 0.0 { *da } else { 0.0 };
+                }
                 for o in 0..self.l2.n_out {
                     for i in 0..self.l2.n_in {
+                        // analyzer:allow(CA0007, reason = "row-major offset: o < n_out and i < n_in, and the weight buffers hold n_out*n_in entries by construction")
                         g2w[o * self.l2.n_in + i] += d_z2[o] * a1[i];
                     }
                     g2b[o] += d_z2[o];
                 }
                 // Back through layer 1.
-                let mut d_a1 = vec![0.0; self.l2.n_in];
+                d_a1.fill(0.0);
                 for o in 0..self.l2.n_out {
                     for i in 0..self.l2.n_in {
+                        // analyzer:allow(CA0007, reason = "row-major offset: o < n_out and i < n_in, and the weight buffers hold n_out*n_in entries by construction")
                         d_a1[i] += d_z2[o] * self.l2.w[o * self.l2.n_in + i];
                     }
                 }
-                let d_z1: Vec<f64> = d_a1
-                    .iter()
-                    .zip(&z1)
-                    .map(|(d, z)| if *z > 0.0 { *d } else { 0.0 })
-                    .collect();
+                for ((dz, da), z) in d_z1.iter_mut().zip(&d_a1).zip(&z1) {
+                    *dz = if *z > 0.0 { *da } else { 0.0 };
+                }
                 for o in 0..self.l1.n_out {
                     for i in 0..self.l1.n_in {
+                        // analyzer:allow(CA0007, reason = "row-major offset: o < n_out and i < n_in, and the weight buffers hold n_out*n_in entries by construction")
                         g1w[o * self.l1.n_in + i] += d_z1[o] * x[i];
                     }
                     g1b[o] += d_z1[o];

@@ -103,6 +103,7 @@ pub fn drain_work<T, R, F>(
         // operation itself panicked, and the `Option` write is atomic
         // enough that the inner value is still coherent.
         *slots[i]
+            // analyzer:allow(CP0005, reason = "the per-slot mutex IS the result-publication protocol (one uncontended lock per work item); checked by the loom suite")
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
     }
@@ -118,6 +119,7 @@ pub fn collect_ordered<R>(
     slots
         .iter()
         .map(|slot| {
+            // analyzer:allow(CP0005, reason = "the per-slot mutex IS the result-publication protocol; the workers are done, so every lock is uncontended")
             slot.lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
@@ -362,6 +364,7 @@ where
                     .iter()
                     .filter(|(_, deadline)| deadline.is_some_and(|d| d <= now))
                     .map(|(k, _)| *k)
+                    // analyzer:allow(CP0003, reason = "watchdog-timeout branch only; materialised so in_flight can be mutated while walking the expired keys")
                     .collect();
                 for (index, attempt) in expired {
                     in_flight.remove(&(index, attempt));
@@ -375,6 +378,7 @@ where
                         index,
                         attempt,
                         AttemptKind::Timeout,
+                        // analyzer:allow(CP0001, reason = "renders the failure message, once per timed-out attempt")
                         format!("watchdog timeout after {budget:.1}s"),
                         budget,
                     );

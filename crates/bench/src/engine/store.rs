@@ -275,9 +275,8 @@ impl DatasetStore {
     }
 
     fn cache_path(&self, key: &str) -> Option<PathBuf> {
-        self.disk_dir
-            .as_ref()
-            .map(|d| d.join(format!("{key}.json")))
+        let dir = self.disk_dir.as_ref()?;
+        Some(dir.join(format!("{key}.json")))
     }
 
     /// `CM0104` validation: reject empty datasets and non-finite or

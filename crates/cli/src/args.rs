@@ -53,7 +53,16 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["quick", "help", "json", "list", "no-cache", "keep-going"];
+const SWITCHES: &[&str] = &[
+    "quick",
+    "help",
+    "json",
+    "list",
+    "no-cache",
+    "keep-going",
+    "perf",
+    "github",
+];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).

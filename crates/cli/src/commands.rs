@@ -679,20 +679,44 @@ pub fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `convmeter analyze [--json]`
+/// `convmeter analyze [--perf] [--json] [--github] [--jobs N]`
 ///
 /// Runs the determinism auditor (`convmeter-analyzer`) over every workspace
-/// source file and reports CA-coded findings. Exit status is non-zero when
-/// any finding is unsuppressed, so CI can gate on it; suppressions are
-/// inline `analyzer:allow` comments (CA code plus a mandatory reason) at
-/// the offending site.
+/// source file and reports CA-coded findings; `--perf` additionally runs
+/// the CP hot-path rules over the call graph's span-reachable set. Exit
+/// status is non-zero when any finding is unsuppressed, so CI can gate on
+/// it; suppressions are inline `analyzer:allow` comments (CA/CP code plus
+/// a mandatory reason) at the offending site.
+///
+/// The per-file lex/parse phase fans out across the engine pool
+/// (`--jobs N`, default 1); the combine phase is sequential, so output is
+/// byte-identical for every job count. `--github` mirrors findings to
+/// stderr as GitHub Actions workflow annotations, composing with `--json`
+/// on stdout.
 pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let root = workspace_root()?;
-    let report = convmeter_analyzer::analyze_workspace(&root).map_err(CliError::AnalyzeSetup)?;
+    let jobs = args.get_or("jobs", 1usize)?;
+    let opts = convmeter_analyzer::AnalysisOptions {
+        perf: args.switch("perf"),
+    };
+    let files = convmeter_analyzer::workspace_files(&root).map_err(CliError::AnalyzeSetup)?;
+    let parsed = convmeter_bench::engine::pool::run_ordered(&files, jobs, |_, (path, content)| {
+        convmeter_analyzer::FileAnalysis::parse(path, content)
+    })
+    .map_err(|p| CliError::Usage(format!("analyzer worker panicked: {p}")))?;
+    let report = convmeter_analyzer::analyze_parsed(&parsed, opts);
     if args.switch("json") {
         writeln!(out, "{}", report.to_json())?;
     } else {
         write!(out, "{}", report.to_text())?;
+    }
+    if args.switch("github") {
+        for f in &report.findings {
+            eprintln!(
+                "::error file={},line={},title={}::{}",
+                f.path, f.line, f.code, f.message
+            );
+        }
     }
     if report.is_clean() {
         Ok(())

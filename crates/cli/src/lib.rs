@@ -198,7 +198,9 @@ COMMANDS:
                                       [--image N] [--json]
                                       [--model-file FILE] [--data FILE]
   analyze                           source-level determinism audit (CAxxxx
-                                      codes) over the workspace [--json]
+                                      codes) over the workspace; --perf adds
+                                      the hot-path CPxxxx rules [--json]
+                                      [--github] [--jobs N]
   dot <model>                       emit the graph in Graphviz DOT
   help                              show this message
 ";

@@ -1,0 +1,65 @@
+//! Integration tests for `convmeter analyze`: the report must be
+//! byte-identical however the per-file parse phase is scheduled, because
+//! the combine phase is sequential over path-sorted inputs and findings
+//! are sorted by (path, line, code).
+//!
+//! These spawn the real binary from the workspace root, which is exactly
+//! how CI and `tools/check.sh` consume the command.
+
+use std::process::Command;
+
+fn run_analyze(args: &[&str]) -> std::process::Output {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    Command::new(env!("CARGO_BIN_EXE_convmeter"))
+        .arg("analyze")
+        .args(args)
+        .current_dir(&root)
+        .output()
+        .expect("spawn convmeter analyze")
+}
+
+#[test]
+fn analyze_output_is_byte_identical_across_job_counts() {
+    let sequential = run_analyze(&["--perf", "--json", "--jobs", "1"]);
+    let parallel = run_analyze(&["--perf", "--json", "--jobs", "8"]);
+    assert!(
+        sequential.status.success(),
+        "analyze --jobs 1 failed: {}",
+        String::from_utf8_lossy(&sequential.stdout)
+    );
+    assert!(
+        parallel.status.success(),
+        "analyze --jobs 8 failed: {}",
+        String::from_utf8_lossy(&parallel.stdout)
+    );
+    assert_eq!(
+        sequential.stdout, parallel.stdout,
+        "analyze output must not depend on the pool's job count"
+    );
+}
+
+#[test]
+fn analyze_runs_are_byte_identical_back_to_back() {
+    let first = run_analyze(&["--perf", "--json", "--jobs", "4"]);
+    let second = run_analyze(&["--perf", "--json", "--jobs", "4"]);
+    assert!(first.status.success() && second.status.success());
+    assert_eq!(first.stdout, second.stdout);
+}
+
+#[test]
+fn github_annotations_go_to_stderr_and_compose_with_json() {
+    // The workspace is clean, so --github must add nothing to stderr and
+    // stdout must stay pure JSON.
+    let out = run_analyze(&["--perf", "--json", "--github"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("stdout is utf-8");
+    assert!(
+        stdout.trim_start().starts_with('{'),
+        "--json stdout must remain machine-readable with --github on"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("::error"),
+        "a clean tree must emit no ::error annotations: {stderr}"
+    );
+}

@@ -144,9 +144,12 @@ pub fn plan_pipeline(
 
     let cuts = valid_cut_points(graph);
     // Prefix sums of node costs, so cut evaluation is O(1).
-    let mut prefix = vec![0.0f64; n + 1];
-    for (i, c) in node_cost.iter().enumerate() {
-        prefix[i + 1] = prefix[i] + c;
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    let mut acc = 0.0f64;
+    for c in &node_cost {
+        acc += c;
+        prefix.push(acc);
     }
     let mut boundaries = Vec::with_capacity(k + 1);
     boundaries.push(0usize);
@@ -203,6 +206,7 @@ pub fn plan_pipeline(
             0
         } else {
             // analyzer:allow(CA0003, reason = "shapes come from infer_shapes on a validated graph; element counts already fit u64")
+            // analyzer:allow(CA0007, reason = "stage boundaries come from valid_cut_points, which only yields cuts in 1..n")
             shapes[end - 1].output.elements()
         };
         stages.push(Stage {

@@ -28,7 +28,8 @@ pub struct Bucket {
 /// likewise falls back to unfused transmission).
 pub fn fuse_gradients(tensor_bytes: &[u64], buffer_bytes: u64) -> Vec<Bucket> {
     assert!(buffer_bytes > 0, "fusion buffer must be positive");
-    let mut buckets = Vec::new();
+    // Every bucket holds at least one tensor, so this bounds the count.
+    let mut buckets = Vec::with_capacity(tensor_bytes.len());
     let mut current = Bucket {
         tensor_indices: Vec::new(),
         bytes: 0,

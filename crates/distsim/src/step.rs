@@ -71,8 +71,8 @@ pub fn expected_distributed_phases_with_strategy(
     // Backward timeline in reverse layer order, recording when each
     // trainable layer's gradient tensor becomes available.
     let mut t = 0.0;
-    let mut tensor_bytes: Vec<u64> = Vec::new();
-    let mut tensor_ready: Vec<f64> = Vec::new();
+    let mut tensor_bytes: Vec<u64> = Vec::with_capacity(metrics.per_node.len());
+    let mut tensor_ready: Vec<f64> = Vec::with_capacity(metrics.per_node.len());
     for cost in metrics.per_node.iter().rev() {
         t += backward_layer_time(device, cost, batch) * straggle;
         if cost.is_trainable {

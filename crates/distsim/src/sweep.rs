@@ -125,7 +125,12 @@ pub fn distributed_sweep(
     config: &DistSweepConfig,
 ) -> Vec<DistTrainingSample> {
     let _span = convmeter_metrics::obs::span!("distsim.sweep");
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(
+        config.models.len()
+            * config.image_sizes.len()
+            * config.batch_sizes.len()
+            * config.node_counts.len(),
+    );
     for model in &config.models {
         let spec = zoo::by_name(model)
             // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
@@ -154,6 +159,7 @@ pub fn distributed_sweep(
                     let phases =
                         measure_distributed_step(device, &cluster, &metrics, batch, &mut noise);
                     out.push(DistTrainingSample {
+                        // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                         model: model.clone(),
                         image_size: image,
                         batch,
@@ -182,7 +188,12 @@ pub fn distributed_sweep_faulted(
         return distributed_sweep(device, config);
     }
     let _span = convmeter_metrics::obs::span!("distsim.sweep");
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(
+        config.models.len()
+            * config.image_sizes.len()
+            * config.batch_sizes.len()
+            * config.node_counts.len(),
+    );
     for model in &config.models {
         let spec = zoo::by_name(model)
             // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
@@ -211,6 +222,7 @@ pub fn distributed_sweep_faulted(
                         device, &cluster, &metrics, batch, &mut noise, &mut fault,
                     );
                     out.push(DistTrainingSample {
+                        // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                         model: model.clone(),
                         image_size: image,
                         batch,

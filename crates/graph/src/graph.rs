@@ -209,6 +209,7 @@ impl Graph {
                         shapes[id.index()].output
                     }
                 })
+                // analyzer:allow(CP0003, reason = "each NodeShapes owns its input-shape list; the collect IS the per-node result, not a scratch buffer")
                 .collect();
             let output = node.layer.infer_output(&input_shapes).map_err(|reason| {
                 GraphError::ShapeMismatch {

@@ -64,6 +64,7 @@ impl<'g> LintContext<'g> {
         let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut shapes: Vec<ShapeInfo> = Vec::with_capacity(n);
         for (i, node) in graph.nodes().iter().enumerate() {
+            // analyzer:allow(CP0001, reason = "each ShapeInfo owns its input-shape list; one exactly-sized allocation per node")
             let mut input_shapes = Vec::with_capacity(node.inputs.len());
             let mut known = true;
             for id in &node.inputs {

@@ -7,7 +7,7 @@
 //! a dense block. This pass walks the topological order, retiring each
 //! tensor after its last consumer, and reports the true peak working set.
 
-use crate::graph::{Graph, GraphError, NodeId};
+use crate::graph::{Graph, GraphError, NodeId, NodeShapes};
 
 /// Peak live activation elements (batch size 1) across the forward pass.
 ///
@@ -16,6 +16,14 @@ use crate::graph::{Graph, GraphError, NodeId};
 /// output. The graph input is live until its last consumer.
 pub fn peak_activation_elements(graph: &Graph) -> Result<u64, GraphError> {
     let shapes = graph.infer_shapes()?;
+    Ok(peak_activation_elements_with_shapes(graph, &shapes))
+}
+
+/// [`peak_activation_elements`] over shapes the caller has already
+/// inferred, so a metric-extraction pass that needs both never runs shape
+/// inference twice.
+#[must_use]
+pub fn peak_activation_elements_with_shapes(graph: &Graph, shapes: &[NodeShapes]) -> u64 {
     let n = graph.len();
 
     // Last consumer step of every producer (and of the graph input).
@@ -31,14 +39,26 @@ pub fn peak_activation_elements(graph: &Graph) -> Result<u64, GraphError> {
         }
     }
     // The final node's output is the result: alive at the end.
-    if n > 0 {
-        last_use[n - 1] = n;
+    if let Some(last) = last_use.last_mut() {
+        *last = n;
     }
 
     // analyzer:allow(CA0003, reason = "shapes come from infer_shapes on a validated graph; counts already fit u64")
     let out_elems: Vec<u64> = shapes.iter().map(|s| s.output.elements()).collect();
     // analyzer:allow(CA0003, reason = "the input shape was validated by the same infer_shapes pass")
     let input_elements = graph.input_shape().elements();
+
+    // Bucket producers by their retirement step so the walk retires each
+    // tensor in O(1) instead of rescanning every earlier node per step.
+    let mut retire_at: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, &step) in last_use.iter().enumerate() {
+        if let Some(bucket) = retire_at.get_mut(step) {
+            if step > j {
+                bucket.push(j);
+            }
+        }
+    }
+
     let mut live = input_elements;
     let mut peak = live;
     for i in 0..n {
@@ -49,14 +69,12 @@ pub fn peak_activation_elements(graph: &Graph) -> Result<u64, GraphError> {
         if input_last_use == i {
             live -= input_elements;
         }
-        for j in 0..i {
-            if last_use[j] == i {
-                live -= out_elems[j];
-            }
+        for &j in &retire_at[i] {
+            live -= out_elems[j];
         }
         // (The just-produced output retires later, at its own last_use.)
     }
-    Ok(peak)
+    peak
 }
 
 #[cfg(test)]

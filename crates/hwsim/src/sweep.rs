@@ -165,6 +165,7 @@ fn metric_grid(config: &SweepConfig) -> Vec<(String, usize, ModelMetrics)> {
             }
             // analyzer:allow(CA0004, reason = "zoo models validate by construction")
             let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
+            // analyzer:allow(CP0001, reason = "each grid entry owns its model name; one copy per in-memory configuration")
             Some((name.to_string(), size, metrics))
         })
         .collect()
@@ -191,6 +192,7 @@ pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Infe
                 let mut noise =
                     NoiseModel::new(config.point_seed(name, *size, batch), device.noise_sigma);
                 Some(InferenceSample {
+                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                     model: name.clone(),
                     image_size: *size,
                     batch,
@@ -235,6 +237,7 @@ pub fn inference_sweep_faulted(
                 let mut noise = NoiseModel::new(seed, device.noise_sigma);
                 let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
                 Some(InferenceSample {
+                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                     model: name.clone(),
                     image_size: *size,
                     batch,
@@ -271,6 +274,7 @@ pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<Train
                     device.noise_sigma,
                 );
                 Some(TrainingSample {
+                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                     model: name.clone(),
                     image_size: *size,
                     batch,
@@ -312,6 +316,7 @@ pub fn training_sweep_faulted(
                 let mut noise = NoiseModel::new(seed, device.noise_sigma);
                 let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
                 Some(TrainingSample {
+                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
                     model: name.clone(),
                     image_size: *size,
                     batch,

@@ -140,6 +140,7 @@ impl HuberRegression {
         let mut wys = Vec::with_capacity(ys.len());
         for ((x, &y), &w) in xs.iter().zip(ys).zip(weights) {
             let sw = w.sqrt();
+            // analyzer:allow(CP0003, reason = "each scaled row is owned by the weighted design matrix; the collect IS the output row, not a scratch buffer")
             let mut row: Vec<f64> = x.iter().map(|v| v * sw).collect();
             if self.with_intercept {
                 row.push(sw);
@@ -198,11 +199,12 @@ impl HuberRegression {
         let mut model = base;
         let mut iterations = 0;
         let mut downweighted = 0;
+        // One weight buffer, refilled per IRLS iteration.
+        let mut weights = vec![1.0f64; n];
         for _ in 0..self.max_iter {
-            let weights: Vec<f64> = res
-                .iter()
-                .map(|r| (self.tuning * scale / r.abs()).min(1.0))
-                .collect();
+            for (w, r) in weights.iter_mut().zip(&res) {
+                *w = (self.tuning * scale / r.abs()).min(1.0);
+            }
             downweighted = weights.iter().filter(|&&w| w < 1.0).count();
             // A degenerate weighting (e.g. almost all mass on a few rows)
             // can make the weighted design deficient; keep the last good
@@ -233,6 +235,7 @@ impl HuberRegression {
             .collect();
         let unknowns = xs.first().map_or(0, std::vec::Vec::len) + usize::from(self.with_intercept);
         if keep.len() < n && keep.len() > unknowns {
+            // analyzer:allow(CP0002, reason = "the trimmed design matrix owns its surviving rows; built once after IRLS converges")
             let txs: Vec<Vec<f64>> = keep.iter().map(|&i| xs[i].clone()).collect();
             let tys: Vec<f64> = keep.iter().map(|&i| ys[i]).collect();
             if let Ok(trimmed) = self.base().fit(&txs, &tys) {
@@ -271,6 +274,7 @@ fn robust_scale(residuals: &[f64]) -> f64 {
     abs.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
     let mid = abs.len() / 2;
     let median = if abs.len().is_multiple_of(2) {
+        // analyzer:allow(CA0007, reason = "the empty case returned above, so an even length means mid >= 1")
         (abs[mid - 1] + abs[mid]) / 2.0
     } else {
         abs[mid]

@@ -44,13 +44,12 @@ impl ModelMetrics {
         let shapes = graph.infer_shapes()?;
         let mut per_node: Vec<LayerCost> = Vec::with_capacity(graph.len());
         for (i, (node, s)) in graph.nodes().iter().zip(&shapes).enumerate() {
-            let cost = LayerCost::try_of(&node.layer, &s.inputs, s.output).map_err(|e| {
-                GraphError::Overflow {
-                    node: Some(i),
-                    name: node.name.clone(),
-                    what: e.to_string(),
-                }
-            })?;
+            // The error path is the only consumer of the node name; keep
+            // the clone out of the per-node success path.
+            let cost = match LayerCost::try_of(&node.layer, &s.inputs, s.output) {
+                Ok(cost) => cost,
+                Err(e) => return Err(overflow_at(i, node.name.as_deref(), &e)),
+            };
             per_node.push(cost);
         }
         let checked_sum = |costs: &[LayerCost],
@@ -82,7 +81,9 @@ impl ModelMetrics {
             weights: graph.parameter_count(),
             trainable_layers: graph.trainable_layer_count(),
             node_count: graph.len(),
-            peak_live_elements: convmeter_graph::liveness::peak_activation_elements(graph)?,
+            peak_live_elements: convmeter_graph::liveness::peak_activation_elements_with_shapes(
+                graph, &shapes,
+            ),
             per_node,
         })
     }
@@ -109,6 +110,16 @@ impl ModelMetrics {
             .iter()
             .map(|c| c.bytes_read() + c.bytes_written())
             .sum()
+    }
+}
+
+/// Cold error constructor for the extraction loop: allocates the node name
+/// only when a cost actually overflows.
+fn overflow_at(node: usize, name: Option<&str>, e: &dyn std::fmt::Display) -> GraphError {
+    GraphError::Overflow {
+        node: Some(node),
+        name: name.map(str::to_string),
+        what: e.to_string(),
     }
 }
 

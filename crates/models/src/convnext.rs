@@ -55,18 +55,18 @@ pub fn convnext_tiny(image_size: usize, num_classes: usize) -> Graph {
     b.layer(Layer::LayerNorm2d { channels: DIMS[0] });
 
     let mut index = 1usize;
+    let mut prev_dim = DIMS[0];
     for (stage, (&depth, &dim)) in DEPTHS.iter().zip(&DIMS).enumerate() {
         if stage > 0 {
             // Downsample: norm + 2x2 stride-2 conv.
-            b.layer(Layer::LayerNorm2d {
-                channels: DIMS[stage - 1],
-            });
-            b.layer(biased_conv(DIMS[stage - 1], dim, 2, 2));
+            b.layer(Layer::LayerNorm2d { channels: prev_dim });
+            b.layer(biased_conv(prev_dim, dim, 2, 2));
         }
         for _ in 0..depth {
             cn_block(&mut b, index, dim);
             index += 1;
         }
+        prev_dim = dim;
     }
     b.layer(Layer::AdaptiveAvgPool2d { output: (1, 1) });
     b.layer(Layer::LayerNorm2d { channels: DIMS[3] });

@@ -62,8 +62,7 @@ pub fn shufflenet_v2_x1_0(image_size: usize, num_classes: usize) -> Graph {
     b.maxpool(3, 2, 1);
     let mut in_ch = OUT_CHANNELS[0];
     let mut index = 1usize;
-    for (stage, &repeats) in REPEATS.iter().enumerate() {
-        let out_ch = OUT_CHANNELS[stage + 1];
+    for (&repeats, &out_ch) in REPEATS.iter().zip(&OUT_CHANNELS[1..]) {
         unit_s2(&mut b, index, in_ch, out_ch);
         index += 1;
         for _ in 1..repeats {

@@ -14,8 +14,8 @@ echo "==> cargo test --workspace"
 # root package, silently skipping every crates/* suite.
 cargo test -q --workspace --offline
 
-echo "==> convmeter analyze (CAxxxx determinism audit, findings are fatal)"
-cargo run -q -p convmeter-cli --offline -- analyze
+echo "==> convmeter analyze --perf (CAxxxx + hot-path CPxxxx audit, findings are fatal)"
+cargo run -q -p convmeter-cli --offline -- analyze --perf --jobs 2
 
 echo "==> loom: model-check the engine worker pool"
 RUSTFLAGS="--cfg loom" cargo test -q -p convmeter-bench --test loom_pool --offline
