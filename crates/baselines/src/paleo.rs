@@ -111,17 +111,26 @@ mod tests {
             "densenet121".into(),
         ];
         cfg.batch_sizes = vec![1, 4, 16, 64, 256];
-        let sweep = convmeter_hwsim::inference_sweep(&device, &cfg);
+        let sweep = convmeter_hwsim::inference_sweep(&device, &cfg).unwrap();
         let mut metrics = HashMap::new();
         let mut rows = Vec::new();
         for s in sweep {
             metrics
-                .entry((s.model.clone(), s.image_size))
+                .entry((s.model.as_str().to_string(), s.image_size))
                 .or_insert_with(|| {
-                    ModelMetrics::of(&zoo::by_name(&s.model).unwrap().build(s.image_size, 1000))
-                        .unwrap()
+                    ModelMetrics::of(
+                        &zoo::by_name(s.model.as_str())
+                            .unwrap()
+                            .build(s.image_size, 1000),
+                    )
+                    .unwrap()
                 });
-            rows.push((s.model, s.image_size, s.batch, s.time_s));
+            rows.push((
+                s.model.as_str().to_string(),
+                s.image_size,
+                s.batch,
+                s.time_s,
+            ));
         }
         (rows, metrics)
     }

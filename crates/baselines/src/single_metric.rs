@@ -94,13 +94,16 @@ mod tests {
             "squeezenet1_0".into(),
         ];
         cfg.batch_sizes = vec![1, 4, 16, 64, 256];
-        let sweep = convmeter_hwsim::inference_sweep(&device, &cfg);
+        let sweep = convmeter_hwsim::inference_sweep(&device, &cfg).unwrap();
         sweep
             .into_iter()
             .map(|s| {
-                let m =
-                    ModelMetrics::of(&zoo::by_name(&s.model).unwrap().build(s.image_size, 1000))
-                        .unwrap();
+                let m = ModelMetrics::of(
+                    &zoo::by_name(s.model.as_str())
+                        .unwrap()
+                        .build(s.image_size, 1000),
+                )
+                .unwrap();
                 (m.at_batch(s.batch), s.time_s)
             })
             .collect()

@@ -61,7 +61,7 @@ fn bench_end_to_end_fit(c: &mut Criterion) {
     // The paper's "modeling effort" argument: a full device model from a
     // quick sweep in well under a second.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::quick());
+    let data = inference_dataset(&device, &SweepConfig::quick()).expect("sweep");
     c.bench_function("forward-model-fit-from-sweep", |b| {
         b.iter(|| ForwardModel::fit(black_box(&data)).unwrap());
     });
@@ -80,7 +80,7 @@ fn bench_extensions(c: &mut Criterion) {
     });
     // Pipeline planning over a deep network.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::quick());
+    let data = inference_dataset(&device, &SweepConfig::quick()).expect("sweep");
     let model = ForwardModel::fit(&data).unwrap();
     let graph = zoo::by_name("resnet101").unwrap().build(224, 1000);
     c.bench_function("pipeline-plan-resnet101-8stage", |b| {

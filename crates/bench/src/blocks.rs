@@ -7,7 +7,7 @@
 use convmeter::dataset::InferencePoint;
 use convmeter_graph::Graph;
 use convmeter_hwsim::{measure_inference, DeviceProfile, NoiseModel};
-use convmeter_metrics::ModelMetrics;
+use convmeter_metrics::{ModelId, ModelMetrics};
 use convmeter_models::zoo;
 
 /// One Table 2 entry: (block span name, source model).
@@ -68,7 +68,7 @@ pub fn block_dataset(
                 );
                 let measured = measure_inference(device, &metrics, batch, &mut noise);
                 out.push(InferencePoint {
-                    model: block.to_string(),
+                    model: ModelId::intern(block),
                     image_size: image,
                     batch,
                     metrics: metrics.at_batch(batch),
@@ -100,7 +100,7 @@ mod tests {
         let d = DeviceProfile::a100_80gb();
         let data = block_dataset(&d, &[128], &[1, 32], 1);
         assert_eq!(data.len(), TABLE2_BLOCKS.len() * 2);
-        let names: std::collections::BTreeSet<_> = data.iter().map(|p| p.model.clone()).collect();
+        let names: std::collections::BTreeSet<_> = data.iter().map(|p| p.model).collect();
         assert_eq!(names.len(), TABLE2_BLOCKS.len());
         assert!(data.iter().all(|p| p.measured > 0.0));
     }

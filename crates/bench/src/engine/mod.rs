@@ -18,9 +18,14 @@
 //!                     artefact JSON + rendered tables + manifest.json
 //! ```
 
-pub mod pool;
 pub mod registry;
 pub mod store;
+
+/// The ordered thread pool / quarantine runner, re-exported from its own
+/// crate (`convmeter-pool`) now that the simulators share it for
+/// intra-build sweep parallelism. The `engine::pool` path is kept so the
+/// loom suite and downstream callers are unaffected by the move.
+pub use convmeter_pool as pool;
 
 pub use registry::registry;
 pub use store::{DatasetSpec, DatasetStats, DatasetStore, CACHE_FORMAT};
@@ -90,6 +95,14 @@ pub enum EngineError {
         /// What the lint found.
         problem: String,
     },
+    /// A sweep could not run (unknown model, failed lint, extraction
+    /// failure, or a sweep worker panic).
+    Sweep {
+        /// Storage key of the dataset whose build failed.
+        key: String,
+        /// The underlying sweep error.
+        source: convmeter_hwsim::SweepError,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -117,6 +130,9 @@ impl std::fmt::Display for EngineError {
             EngineError::BadDataset { key, problem } => {
                 write!(f, "dataset {key} failed validation: {problem}")
             }
+            EngineError::Sweep { key, source } => {
+                write!(f, "dataset {key} could not be built: {source}")
+            }
         }
     }
 }
@@ -125,6 +141,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Io { source, .. } => Some(source),
+            EngineError::Sweep { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -501,6 +518,12 @@ impl Engine {
     /// manifest's [`ExperimentRecord::spans`].
     pub fn run(&self) -> Result<EngineReport, EngineError> {
         let session = obs::Session::begin();
+        // Sweep-point evaluation inside a single dataset build fans out over
+        // the same ordered pool as the experiments themselves. Per-point
+        // seeding is scheduling-invariant and `run_ordered` preserves item
+        // order, so artefacts stay byte-identical at any job count (pinned
+        // by the determinism tests).
+        convmeter_hwsim::set_sweep_jobs(self.config.jobs);
         let store = Arc::new(DatasetStore::with_faults(
             self.config
                 .use_disk_cache

@@ -9,11 +9,14 @@
 //!
 //! The cache key is a stable content hash over everything the dataset
 //! depends on: the cache format version, the dataset kind, the device
-//! profile, the sweep configuration, and the model-zoo fingerprint (which
-//! covers every graph the sweeps can build). Changing any field of any of
-//! those — a batch grid, a seed, a device efficiency, a zoo architecture —
-//! yields a different key and triggers a rebuild; stale entries are simply
-//! never addressed again.
+//! profile, the sweep configuration, and the compiled fingerprint of every
+//! `(model, image_size)` pair the sweep can touch (sourced from the
+//! process-global compile cache the sweeps themselves use, so keying a
+//! dataset costs no extra graph builds on a cold run and only the config's
+//! own pairs — not the whole zoo — on a warm one). Changing any field of
+//! any of those — a batch grid, a seed, a device efficiency, an
+//! architecture edit to a referenced model — yields a different key and
+//! triggers a rebuild; stale entries are simply never addressed again.
 
 use crate::blocks::block_dataset;
 use convmeter::dataset::{
@@ -23,9 +26,8 @@ use convmeter::dataset::{
 use convmeter::persist;
 use convmeter::prelude::*;
 use convmeter_graph::StableHasher;
-use convmeter_hwsim::FaultProfile;
+use convmeter_hwsim::{compile, FaultProfile, SweepError};
 use convmeter_metrics::obs;
-use convmeter_models::zoo;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -35,7 +37,11 @@ use super::EngineError;
 
 /// Bump when the persisted dataset layout (or the sweep semantics behind
 /// it) changes incompatibly: old cache entries stop being addressed.
-pub const CACHE_FORMAT: u32 = 1;
+///
+/// v2: graph fingerprints recomposed from per-node digests, and keys hash
+/// per-config compiled-model fingerprints instead of the whole-zoo
+/// fingerprint.
+pub const CACHE_FORMAT: u32 = 2;
 
 /// A benchmark dataset an experiment depends on, by content.
 #[derive(Debug, Clone)]
@@ -86,21 +92,30 @@ impl DatasetSpec {
     }
 
     /// The content-addressed cache key: `<kind>-<digest>`.
+    ///
+    /// Instead of the whole-zoo fingerprint, the key hashes the compiled
+    /// fingerprint of exactly the `(model, image_size)` pairs this spec's
+    /// sweep can touch. Editing an unrelated zoo architecture no longer
+    /// invalidates every cached dataset, and computing a key shares its
+    /// graph builds with the sweep itself through the compile cache.
+    /// Unknown or unsupported pairs hash a typed marker — the key stays
+    /// infallible, and the build step reports the real error.
     pub fn key(&self) -> String {
         let mut h = StableHasher::new();
         h.update_str("convmeter-dataset-cache");
         h.update(&CACHE_FORMAT.to_le_bytes());
         h.update_str(self.kind());
-        h.update_str(zoo::fingerprint());
         match self {
             DatasetSpec::Inference { device, config }
             | DatasetSpec::Training { device, config } => {
                 h.update_str(&device.fingerprint());
                 h.update_str(&config.fingerprint());
+                Self::hash_model_grid(&mut h, &config.models, &config.image_sizes);
             }
             DatasetSpec::Distributed { device, config } => {
                 h.update_str(&device.fingerprint());
                 h.update_str(&config.fingerprint());
+                Self::hash_model_grid(&mut h, &config.models, &config.image_sizes);
             }
             DatasetSpec::Blocks {
                 device,
@@ -119,9 +134,33 @@ impl DatasetSpec {
                     h.update(&(b as u64).to_le_bytes());
                 }
                 h.update(&seed.to_le_bytes());
+                // Block datasets cut their graphs out of the Table 2 parent
+                // models; hash those parents' compiled fingerprints.
+                let parents: Vec<String> = crate::blocks::TABLE2_BLOCKS
+                    .iter()
+                    .map(|&(_, model)| model.to_string())
+                    .collect();
+                Self::hash_model_grid(&mut h, &parents, image_sizes);
             }
         }
         format!("{}-{}", self.kind(), h.short_digest())
+    }
+
+    /// Hash the compiled fingerprint of every `(model, image_size)` pair in
+    /// the grid, in grid order, with typed markers for pairs that cannot
+    /// compile (the sweep build will surface the real error).
+    fn hash_model_grid(h: &mut StableHasher, models: &[String], image_sizes: &[usize]) {
+        for name in models {
+            for &size in image_sizes {
+                h.update_str(name);
+                h.update(&(size as u64).to_le_bytes());
+                match compile::compiled(name, size) {
+                    Ok(Some(cm)) => h.update_str(&cm.fingerprint),
+                    Ok(None) => h.update_str("!unsupported"),
+                    Err(_) => h.update_str("!unbuildable"),
+                }
+            }
+        }
     }
 
     fn is_inference_like(&self) -> bool {
@@ -230,7 +269,7 @@ impl DatasetStore {
                     image_sizes,
                     batch_sizes,
                     seed,
-                } => block_dataset(device, image_sizes, batch_sizes, *seed),
+                } => Ok(block_dataset(device, image_sizes, batch_sizes, *seed)),
                 // analyzer:allow(CA0004, reason = "the outer match arm admits only scalar dataset kinds here")
                 _ => unreachable!("kind checked above"),
             },
@@ -303,7 +342,7 @@ impl DatasetStore {
         spec: &DatasetSpec,
         load: impl Fn(&Path) -> Result<Vec<P>, persist::PersistError>,
         save: impl Fn(&Path, &[P]) -> Result<(), persist::PersistError>,
-        build: impl FnOnce() -> Vec<P>,
+        build: impl FnOnce() -> Result<Vec<P>, SweepError>,
         times: impl Fn(&[P]) -> Vec<f64>,
     ) -> Result<Arc<Vec<P>>, EngineError> {
         let key = self.storage_key(spec);
@@ -317,6 +356,12 @@ impl DatasetStore {
         // experiments request the same dataset in parallel the sweep runs
         // exactly once per process.
         let mut outcome = FetchOutcome::Memory;
+        // `OnceLock::get_or_init` cannot fail, so a failed sweep is smuggled
+        // out through this slot: the cell memoises an empty dataset (never
+        // persisted), the first caller gets the typed `Sweep` error below,
+        // and every later caller of the same key fails the CM0104
+        // empty-dataset validation deterministically.
+        let mut build_err: Option<SweepError> = None;
         let value = slot
             .get_or_init(|| {
                 if let Some(path) = self.cache_path(&key) {
@@ -346,10 +391,19 @@ impl DatasetStore {
                 }
                 let _span = obs::span!("engine.dataset.build");
                 let started = obs::clock::now();
-                let points = build();
+                let points = match build() {
+                    Ok(points) => points,
+                    Err(e) => {
+                        build_err = Some(e);
+                        Vec::new()
+                    }
+                };
                 let elapsed = started.elapsed();
                 obs::histogram!("engine.store.build_us").record_duration_us(elapsed);
                 outcome = FetchOutcome::Built(elapsed.as_secs_f64());
+                if build_err.is_some() {
+                    return Arc::new(points);
+                }
                 if let Some(path) = self.cache_path(&key) {
                     // A failed cache write costs the next run a rebuild but
                     // must not fail this one; artefact writes are the ones
@@ -392,6 +446,9 @@ impl DatasetStore {
                     entry.memory_hits += 1;
                 }
             }
+        }
+        if let Some(source) = build_err {
+            return Err(EngineError::Sweep { key, source });
         }
         // Built (and memoised) datasets are validated on every fetch: the
         // check is a linear scan, and re-erroring on each request keeps a

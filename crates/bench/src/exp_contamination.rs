@@ -170,7 +170,7 @@ mod tests {
     use convmeter_hwsim::{DeviceProfile, SweepConfig};
 
     fn dataset() -> Vec<InferencePoint> {
-        inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick())
+        inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap()
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_linalg::cv::LeaveOneGroupOut;
 use convmeter_linalg::stats::ErrorReport;
+use convmeter_metrics::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -13,8 +14,9 @@ use std::fmt::Write as _;
 pub struct PhaseScatter {
     /// Phase name: `forward`, `backward`, `grad_update`, `step`.
     pub phase: String,
-    /// Points: (model, measured, predicted).
-    pub points: Vec<(String, f64, f64)>,
+    /// Points: (model, measured, predicted). The model id is interned and
+    /// serialises as the plain string.
+    pub points: Vec<(ModelId, f64, f64)>,
     /// Error metrics across the phase.
     pub report: ErrorReport,
 }
@@ -46,11 +48,11 @@ pub fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
         let mut step_meas = Vec::new();
         for &i in &split.test {
             let p = &points[i];
-            let name = p.model.clone();
-            fwd.push((name.clone(), p.fwd, fitted.predict_forward(&p.metrics)));
-            bwd.push((name.clone(), p.bwd, fitted.predict_backward(&p.metrics)));
+            let name = p.model;
+            fwd.push((name, p.fwd, fitted.predict_forward(&p.metrics)));
+            bwd.push((name, p.bwd, fitted.predict_backward(&p.metrics)));
             grad.push((
-                name.clone(),
+                name,
                 p.grad,
                 fitted.predict_grad_update(&p.metrics, p.nodes),
             ));
@@ -64,7 +66,7 @@ pub fn evaluate_phases(points: &[TrainingPoint]) -> TrainingPhasesResult {
             report: ErrorReport::compute(&step_pred, &step_meas),
         });
     }
-    let to_scatter = |phase: &str, pts: Vec<(String, f64, f64)>| {
+    let to_scatter = |phase: &str, pts: Vec<(ModelId, f64, f64)>| {
         let meas: Vec<f64> = pts.iter().map(|p| p.1).collect();
         let pred: Vec<f64> = pts.iter().map(|p| p.2).collect();
         PhaseScatter {

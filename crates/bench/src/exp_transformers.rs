@@ -12,7 +12,7 @@ use crate::report::Table;
 use convmeter::prelude::*;
 use convmeter_hwsim::{measure_inference, NoiseModel};
 use convmeter_linalg::stats::ErrorReport;
-use convmeter_metrics::ModelMetrics;
+use convmeter_metrics::{ModelId, ModelMetrics};
 use convmeter_models::vit::{vit_b_16, vit_b_32, vit_l_16};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -62,7 +62,7 @@ pub fn run() -> TransformersResult {
                     continue; // same runtime cap policy as the CNN sweeps
                 }
                 points.push(InferencePoint {
-                    model: name.to_string(),
+                    model: ModelId::intern(name),
                     image_size: image,
                     batch,
                     metrics: metrics.at_batch(batch),

@@ -14,9 +14,12 @@
 //!   byte-identical output across runs — the schema-stability contract the
 //!   integration tests pin down.
 //!
-//! The workload string (`quick-v1` / `full-v1`) names the suite; bump the
+//! The workload string (`quick-v2` / `full-v2`) names the suite; bump the
 //! suffix when the suite changes so the gate flags stale baselines as a
-//! workload mismatch instead of a spurious regression.
+//! workload mismatch instead of a spurious regression. v2 added the
+//! compiled-model and batched-QR phases (and pins the process-global
+//! compile cache cold at the start, so `compile.model` span counts are a
+//! function of the workload, not of what ran earlier in the process).
 
 use crate::engine::{DatasetSpec, DatasetStore, Engine, EngineConfig, EngineError};
 use convmeter::{ForwardModel, TrainingModel};
@@ -44,17 +47,24 @@ pub struct ProfileOptions {
 ///
 /// Phases (each a top-level span):
 ///
-/// 1. `profile.datasets` — quick inference, training, and distributed
+/// 1. `profile.compile` — the compile cache is pinned cold and every
+///    (model, image) pair the workload sweeps is lowered once, so the
+///    one-time `compile.model` costs are measured here, separately from
+///    the steady state;
+/// 2. `profile.datasets` — quick inference, training, and distributed
 ///    sweeps resolved through a fresh in-memory [`DatasetStore`] (plus one
-///    repeat fetch, so the cache counters show a deterministic memory hit);
-/// 2. `profile.fits` — repeated ConvMeter forward/training fits over those
+///    repeat fetch, so the cache counters show a deterministic memory
+///    hit), all over the warm compile cache;
+/// 3. `profile.fits` — repeated ConvMeter forward/training fits over those
 ///    datasets (the linalg QR path);
-/// 3. the engine phase — `Engine::run` over the dependency-free
+/// 4. `profile.eval` — batched leave-one-model-out evaluations over the
+///    same datasets (the `linalg.qr.batched` fold-solver path);
+/// 5. the engine phase — `Engine::run` over the dependency-free
 ///    `extensions` experiment, which records its own `engine.run` span
 ///    tree and writes a v2 manifest with per-experiment span summaries.
 pub fn run_profile(opts: &ProfileOptions) -> Result<obs::Profile, EngineError> {
     let session = obs::Session::begin();
-    let workload = if opts.quick { "quick-v1" } else { "full-v1" };
+    let workload = if opts.quick { "quick-v2" } else { "full-v2" };
 
     let gpu = DeviceProfile::a100_80gb();
     let store = DatasetStore::new(None);
@@ -62,6 +72,33 @@ pub fn run_profile(opts: &ProfileOptions) -> Result<obs::Profile, EngineError> {
         device: gpu.clone(),
         config: SweepConfig::quick(),
     };
+
+    {
+        // Pin the process-global compile cache cold, then warm every
+        // (model, image) pair the workload sweeps — so the one-time
+        // `compile.model` lowerings are measured here, and
+        // `profile.datasets` below times the steady state the compiled
+        // representation exists for (cost-table folds, no graph work).
+        let _span = obs::span!("profile.compile");
+        convmeter_hwsim::compile::clear_cache();
+        let quick = SweepConfig::quick();
+        let dist = convmeter_distsim::DistSweepConfig::quick();
+        for (models, sizes) in [
+            (&quick.models, &quick.image_sizes),
+            (&dist.models, &dist.image_sizes),
+        ] {
+            for name in models {
+                for &size in sizes {
+                    convmeter_hwsim::compile::compiled(name, size).map_err(|source| {
+                        EngineError::Sweep {
+                            key: format!("profile.compile/{name}@{size}"),
+                            source,
+                        }
+                    })?;
+                }
+            }
+        }
+    }
     let (inference, training, distributed) = {
         let _span = obs::span!("profile.datasets");
         let inference = store.inference(&inference_spec)?;
@@ -95,6 +132,19 @@ pub fn run_profile(opts: &ProfileOptions) -> Result<obs::Profile, EngineError> {
             TrainingModel::fit(&training).expect("quick training dataset fits");
             // analyzer:allow(CA0007, reason = "the profiler drives fixed in-repo sweep datasets; a fit failure is a workspace bug worth aborting the profile run")
             TrainingModel::fit(&distributed).expect("quick distributed dataset fits");
+        }
+    }
+
+    {
+        let _span = obs::span!("profile.eval");
+        let reps = if opts.quick { 2 } else { 10 };
+        for _ in 0..reps {
+            convmeter::leave_one_model_out_inference_batched(&inference)
+                // analyzer:allow(CA0007, reason = "the profiler drives fixed in-repo sweep datasets; a fit failure is a workspace bug worth aborting the profile run")
+                .expect("quick inference dataset evaluates");
+            convmeter::leave_one_model_out_training_batched(&training)
+                // analyzer:allow(CA0007, reason = "the profiler drives fixed in-repo sweep datasets; a fit failure is a workspace bug worth aborting the profile run")
+                .expect("quick training dataset evaluates");
         }
     }
 
@@ -151,17 +201,23 @@ mod tests {
             results_dir: dir.clone(),
         })
         .expect("profile runs");
-        assert_eq!(profile.workload, "quick-v1");
+        assert_eq!(profile.workload, "quick-v2");
         let spans = profile.flat_spans();
-        // The acceptance surface: engine, hwsim sweep, distsim, and linalg
-        // fit phases must all appear in the span tree.
+        // The acceptance surface: engine, hwsim sweep, distsim, compiled
+        // lowering, linalg fit, and batched-QR phases must all appear in
+        // the span tree.
         for needle in [
             "engine.run",
             "hwsim.inference_sweep",
             "distsim.sweep",
             "linalg.fit",
+            "compile.model",
+            "linalg.qr.batched",
+            "convmeter.eval.batched",
+            "profile.compile",
             "profile.datasets",
             "profile.fits",
+            "profile.eval",
         ] {
             assert!(
                 spans
@@ -174,6 +230,13 @@ mod tests {
         assert_eq!(profile.metrics.counters["engine.store.memory_hits"], 1);
         assert!(profile.metrics.counters["engine.store.builds"] >= 3);
         assert!(profile.metrics.counters["linalg.fits"] > 0);
+        // The compile cache is pinned cold, so the quick grid compiles a
+        // deterministic set of (model, image) pairs.
+        assert!(profile.metrics.counters["compile.models"] >= 7);
+        // Each batched eval factors its designs once and solves one fold
+        // per held-out model.
+        assert!(profile.metrics.counters["linalg.qr.batched_designs"] > 0);
+        assert!(profile.metrics.counters["linalg.qr.batched_folds"] > 0);
         // The engine phase wrote a v2 manifest with span summaries.
         let manifest = std::fs::read_to_string(dir.join("profile/manifest.json"))
             .expect("engine manifest written");

@@ -411,3 +411,57 @@ fn parallel_runs_are_byte_identical_at_jobs_4() {
         "manifest payload differs between identical --jobs 4 runs"
     );
 }
+
+/// `--jobs` also raises the intra-sweep worker count (the engine forwards
+/// it to `set_sweep_jobs`), so a sequential and a parallel run exercise
+/// different schedules inside every dataset build. Per-point seeding and
+/// the ordered pool fold must make that invisible: the committed artefacts
+/// are byte-identical across job counts.
+#[test]
+fn artefacts_are_byte_identical_across_job_counts() {
+    let mut artefacts: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    let mut manifests: Vec<serde_json::Value> = Vec::new();
+    let dir = temp_results_dir("jobs1v4");
+    for jobs in [1, 4] {
+        let exps: Vec<&dyn Experiment> = vec![&QuickInference, &QuickShared, &QuickDistributed];
+        let cfg = EngineConfig {
+            jobs,
+            use_disk_cache: false,
+            results_dir: dir.clone(),
+            fault: Default::default(),
+        };
+        Engine::new(exps, cfg).run().expect("run succeeds");
+        artefacts.push(
+            ["quick_inference", "quick_shared", "quick_distributed"]
+                .iter()
+                .map(|n| {
+                    let bytes =
+                        std::fs::read(dir.join(format!("{n}.json"))).expect("artefact exists");
+                    (n.to_string(), bytes)
+                })
+                .collect(),
+        );
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+        manifests.push(serde_json::from_str(&manifest).expect("manifest parses"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    for ((name, first), (_, second)) in artefacts[0].iter().zip(&artefacts[1]) {
+        assert_eq!(
+            first, second,
+            "{name}.json differs between --jobs 1 and --jobs 4"
+        );
+    }
+    // The manifest records the configured job count itself; everything
+    // else must match.
+    let strip_jobs = |mut v: serde_json::Value| {
+        if let serde_json::Value::Object(map) = &mut v {
+            map.retain(|(k, _)| k != "jobs");
+        }
+        v
+    };
+    assert_eq!(
+        strip_jobs(without_telemetry(manifests[0].clone())),
+        strip_jobs(without_telemetry(manifests[1].clone())),
+        "manifest payload differs between --jobs 1 and --jobs 4"
+    );
+}

@@ -96,12 +96,14 @@ pub fn metrics(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `convmeter benchmark --device gpu|cpu --kind inference|training --out FILE [--quick]`
+/// `convmeter benchmark --device gpu|cpu --kind inference|training --out FILE
+/// [--quick] [--jobs N]`
 pub fn benchmark(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let device = apply_precision(
         device_by_name(args.get_or("device", "gpu".to_string())?.as_str())?,
         args,
     )?;
+    convmeter_hwsim::set_sweep_jobs(args.get_or("jobs", 1usize)?);
     let kind = args.get_or("kind", "inference".to_string())?;
     let path = args.required("out")?;
     let sweep = if args.switch("quick") {
@@ -116,12 +118,12 @@ pub fn benchmark(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     match kind.as_str() {
         "inference" => {
-            let data = inference_dataset(&device, &sweep);
+            let data = inference_dataset(&device, &sweep)?;
             persist::save_inference_dataset(path, &data)?;
             writeln!(out, "wrote {} inference points to {path}", data.len())?;
         }
         "training" => {
-            let data = training_dataset(&device, &sweep);
+            let data = training_dataset(&device, &sweep)?;
             persist::save_training_dataset(path, &data)?;
             writeln!(out, "wrote {} training points to {path}", data.len())?;
         }
@@ -130,9 +132,10 @@ pub fn benchmark(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `convmeter benchmark-distributed --out FILE [--nodes 1,2,4] [--quick]`
+/// `convmeter benchmark-distributed --out FILE [--nodes 1,2,4] [--quick] [--jobs N]`
 pub fn benchmark_distributed(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let device = device_by_name(args.get_or("device", "gpu".to_string())?.as_str())?;
+    convmeter_hwsim::set_sweep_jobs(args.get_or("jobs", 1usize)?);
     let path = args.required("out")?;
     let mut cfg = if args.switch("quick") {
         DistSweepConfig::quick()
@@ -140,7 +143,7 @@ pub fn benchmark_distributed(args: &Args, out: &mut dyn Write) -> Result<(), Cli
         DistSweepConfig::paper()
     };
     cfg.node_counts = args.list_or("nodes", &cfg.node_counts.clone())?;
-    let data = distributed_dataset(&device, &cfg);
+    let data = distributed_dataset(&device, &cfg)?;
     persist::save_training_dataset(path, &data)?;
     writeln!(
         out,
@@ -887,6 +890,32 @@ pub fn profile(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         None => results_dir.join(PROFILE_FILE),
     };
     write_profile(&profile, &out_path)?;
+
+    // Coverage assertions: the workload must have exercised the compiled
+    // lowering and the batched fold solver — a profile (or gate run) that
+    // skipped them would be measuring a stale workload and silently pass.
+    let required_spans = [
+        "compile.model",
+        "linalg.qr.batched",
+        "convmeter.eval.batched",
+    ];
+    let flat = profile.flat_spans();
+    let missing: Vec<&str> = required_spans
+        .iter()
+        .copied()
+        .filter(|needle| !flat.keys().any(|p| p.split('/').any(|s| s == *needle)))
+        .collect();
+    if !missing.is_empty() {
+        for span in &missing {
+            writeln!(
+                out,
+                "perf gate: [missing-span] {span}: required workload span never ran"
+            )?;
+        }
+        return Err(CliError::Gate {
+            findings: missing.len(),
+        });
+    }
 
     if args.switch("json") {
         writeln!(out, "{}", profile.deterministic().to_json())?;

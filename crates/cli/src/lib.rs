@@ -40,6 +40,8 @@ pub enum CliError {
     Persist(convmeter::persist::PersistError),
     /// Graph construction or shape inference failed.
     Graph(convmeter_graph::GraphError),
+    /// A benchmark sweep could not run (unknown model, failed lint, ...).
+    Sweep(convmeter_hwsim::SweepError),
     /// `convmeter lint` found error-severity diagnostics.
     Lint {
         /// Number of error-severity findings across all linted targets.
@@ -76,6 +78,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Persist(e) => write!(f, "{e}"),
             CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Sweep(e) => write!(f, "sweep error: {e}"),
             CliError::Lint { errors } => {
                 write!(f, "lint found {errors} error(s)")
             }
@@ -101,6 +104,7 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::Persist(e) => Some(e),
             CliError::Graph(e) => Some(e),
+            CliError::Sweep(e) => Some(e),
             CliError::Engine(e) => Some(e),
             CliError::AnalyzeSetup(e) => Some(e),
             CliError::Usage(_)
@@ -136,6 +140,12 @@ impl From<convmeter_graph::GraphError> for CliError {
     }
 }
 
+impl From<convmeter_hwsim::SweepError> for CliError {
+    fn from(e: convmeter_hwsim::SweepError) -> Self {
+        CliError::Sweep(e)
+    }
+}
+
 impl From<convmeter_bench::engine::EngineError> for CliError {
     fn from(e: convmeter_bench::engine::EngineError) -> Self {
         CliError::Engine(e)
@@ -155,8 +165,10 @@ COMMANDS:
   benchmark                         run a benchmark sweep and save it
                                       --out FILE [--device gpu|cpu]
                                       [--kind inference|training] [--quick]
+                                      [--jobs N]
   benchmark-distributed             multi-node training sweep
                                       --out FILE [--nodes 1,2,4,8,16] [--quick]
+                                      [--jobs N]
   fit                               fit a performance model from a dataset
                                       --data FILE --out FILE
                                       [--kind inference|training]

@@ -54,11 +54,11 @@ fn profile_json_schema_is_stable() {
 
     // Versioned envelope.
     assert!(stdout.contains("\"format_version\": 1"));
-    assert!(stdout.contains("\"workload\": \"quick-v1\""));
+    assert!(stdout.contains("\"workload\": \"quick-v2\""));
     assert!(stdout.contains("\"deterministic\": true"));
 
     // Span-tree keys and the phases the acceptance criteria name: engine,
-    // hwsim sweep, distsim, linalg fit.
+    // hwsim sweep, distsim, compiled lowering, linalg fit, batched QR.
     for key in [
         "\"spans\"",
         "\"counters\"",
@@ -70,8 +70,12 @@ fn profile_json_schema_is_stable() {
         "hwsim.inference_sweep",
         "distsim.sweep",
         "linalg.fit",
+        "compile.model",
+        "linalg.qr.batched",
+        "convmeter.eval.batched",
         "profile.datasets",
         "profile.fits",
+        "profile.eval",
     ] {
         assert!(stdout.contains(key), "profile --json missing {key}");
     }

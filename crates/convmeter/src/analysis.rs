@@ -110,7 +110,7 @@ mod tests {
     use convmeter_models::zoo;
 
     fn fitted() -> ForwardModel {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         ForwardModel::fit(&data).unwrap()
     }
 

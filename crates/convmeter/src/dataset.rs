@@ -8,19 +8,18 @@
 
 use convmeter_distsim::{distributed_sweep, distributed_sweep_faulted, DistSweepConfig};
 use convmeter_hwsim::{
-    inference_sweep, inference_sweep_faulted, training_sweep, training_sweep_faulted,
-    DeviceProfile, FaultProfile, SweepConfig,
+    compile, inference_sweep, inference_sweep_faulted, training_sweep, training_sweep_faulted,
+    DeviceProfile, FaultProfile, SweepConfig, SweepError,
 };
-use convmeter_metrics::{obs, BatchMetrics, ModelMetrics};
-use convmeter_models::zoo;
+use convmeter_metrics::{obs, BatchMetrics, ModelId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One inference observation with its resolved features.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InferencePoint {
-    /// Model name (the leave-one-out group key).
-    pub model: String,
+    /// Model name (the leave-one-out group key; interned, serialises as the
+    /// plain string).
+    pub model: ModelId,
     /// Square image size, pixels.
     pub image_size: usize,
     /// Batch size.
@@ -34,8 +33,9 @@ pub struct InferencePoint {
 /// One training observation (single- or multi-node) with resolved features.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainingPoint {
-    /// Model name (the leave-one-out group key).
-    pub model: String,
+    /// Model name (the leave-one-out group key; interned, serialises as the
+    /// plain string).
+    pub model: ModelId,
     /// Square image size, pixels.
     pub image_size: usize,
     /// Per-device batch size.
@@ -61,47 +61,28 @@ impl TrainingPoint {
     }
 }
 
-/// Cache of model metrics per (model, image size), shared across a sweep.
-#[derive(Default)]
-struct MetricsCache {
-    cache: BTreeMap<(String, usize), ModelMetrics>,
-}
-
-impl MetricsCache {
-    fn get(&mut self, model: &str, image: usize) -> &ModelMetrics {
-        self.cache
-            .entry((model.to_string(), image))
-            .or_insert_with(|| {
-                // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug, not runtime input")
-                let spec = zoo::by_name(model).unwrap_or_else(|| panic!("unknown model '{model}'"));
-                let graph = spec.build(image, 1000);
-                if let Err(report) = graph.check() {
-                    // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction; covered by the zoo-wide lint test")
-                    panic!("graph '{model}' @ {image}px failed lint:\n{report}");
-                }
-                // analyzer:allow(CA0004, reason = "zoo models validate by construction; covered by the zoo-wide lint test")
-                ModelMetrics::of(&graph).expect("zoo models validate")
-            })
-    }
-}
-
 /// The generic feature-attachment step: resolve each raw sample's
 /// `(model, image, batch)` configuration to its batch-scaled static metrics
-/// through the zoo (caching per `(model, image)`), and let `make` assemble
-/// the annotated point. Every dataset flavour funnels through this one
-/// loop.
+/// through the process-global compile cache (one graph build + extraction
+/// per `(model, image)` per process — shared with the sweeps themselves,
+/// which have typically warmed it already), and let `make` assemble the
+/// annotated point. Every dataset flavour funnels through this one loop.
 fn attach_features<S, P>(
     samples: Vec<S>,
     key: impl Fn(&S) -> (&str, usize, usize),
     make: impl Fn(S, BatchMetrics) -> P,
-) -> Vec<P> {
-    let mut cache = MetricsCache::default();
+) -> Result<Vec<P>, SweepError> {
     samples
         .into_iter()
         .map(|sample| {
             let (model, image, batch) = key(&sample);
-            let metrics = cache.get(model, image).at_batch(batch);
-            make(sample, metrics)
+            let compiled = compile::compiled(model, image)?.ok_or_else(|| {
+                SweepError::UnsupportedImageSize {
+                    model: model.to_string(),
+                    image_size: image,
+                }
+            })?;
+            Ok(make(sample, compiled.at_batch(batch)))
         })
         .collect()
 }
@@ -112,7 +93,7 @@ fn attach_features<S, P>(
 /// cached) sweep outputs can attach features without re-simulating.
 pub fn attach_inference_features(
     samples: Vec<convmeter_hwsim::InferenceSample>,
-) -> Vec<InferencePoint> {
+) -> Result<Vec<InferencePoint>, SweepError> {
     attach_features(
         samples,
         |s| (s.model.as_str(), s.image_size, s.batch),
@@ -129,7 +110,7 @@ pub fn attach_inference_features(
 /// Annotate raw single-device training sweep samples (nodes = devices = 1).
 pub fn attach_training_features(
     samples: Vec<convmeter_hwsim::TrainingSample>,
-) -> Vec<TrainingPoint> {
+) -> Result<Vec<TrainingPoint>, SweepError> {
     attach_features(
         samples,
         |s| (s.model.as_str(), s.image_size, s.batch),
@@ -150,7 +131,7 @@ pub fn attach_training_features(
 /// Annotate raw distributed-training sweep samples.
 pub fn attach_distributed_features(
     samples: Vec<convmeter_distsim::DistTrainingSample>,
-) -> Vec<TrainingPoint> {
+) -> Result<Vec<TrainingPoint>, SweepError> {
     attach_features(
         samples,
         |s| (s.model.as_str(), s.image_size, s.batch),
@@ -170,21 +151,30 @@ pub fn attach_distributed_features(
 
 /// Run an inference sweep on `device` and annotate every sample with its
 /// static features.
-pub fn inference_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferencePoint> {
+pub fn inference_dataset(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+) -> Result<Vec<InferencePoint>, SweepError> {
     let _span = obs::span!("convmeter.dataset.inference");
-    attach_inference_features(inference_sweep(device, config))
+    attach_inference_features(inference_sweep(device, config)?)
 }
 
 /// Run a single-device training sweep and annotate it (nodes = devices = 1).
-pub fn training_dataset(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingPoint> {
+pub fn training_dataset(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+) -> Result<Vec<TrainingPoint>, SweepError> {
     let _span = obs::span!("convmeter.dataset.training");
-    attach_training_features(training_sweep(device, config))
+    attach_training_features(training_sweep(device, config)?)
 }
 
 /// Run a distributed-training sweep and annotate it.
-pub fn distributed_dataset(device: &DeviceProfile, config: &DistSweepConfig) -> Vec<TrainingPoint> {
+pub fn distributed_dataset(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+) -> Result<Vec<TrainingPoint>, SweepError> {
     let _span = obs::span!("convmeter.dataset.distributed");
-    attach_distributed_features(distributed_sweep(device, config))
+    attach_distributed_features(distributed_sweep(device, config)?)
 }
 
 /// Drop samples whose measured times are non-finite (corrupted by the fault
@@ -210,13 +200,13 @@ pub fn inference_dataset_faulted(
     device: &DeviceProfile,
     config: &SweepConfig,
     faults: &FaultProfile,
-) -> Vec<InferencePoint> {
+) -> Result<Vec<InferencePoint>, SweepError> {
     if faults.is_off() {
         return inference_dataset(device, config);
     }
     let _span = obs::span!("convmeter.dataset.inference");
-    let points = attach_inference_features(inference_sweep_faulted(device, config, faults));
-    drop_corrupt(points, |p| p.measured.is_finite())
+    let points = attach_inference_features(inference_sweep_faulted(device, config, faults)?)?;
+    Ok(drop_corrupt(points, |p| p.measured.is_finite()))
 }
 
 /// [`training_dataset`] under an injected [`FaultProfile`]; see
@@ -225,13 +215,13 @@ pub fn training_dataset_faulted(
     device: &DeviceProfile,
     config: &SweepConfig,
     faults: &FaultProfile,
-) -> Vec<TrainingPoint> {
+) -> Result<Vec<TrainingPoint>, SweepError> {
     if faults.is_off() {
         return training_dataset(device, config);
     }
     let _span = obs::span!("convmeter.dataset.training");
-    let points = attach_training_features(training_sweep_faulted(device, config, faults));
-    drop_corrupt(points, |p| p.step_time().is_finite())
+    let points = attach_training_features(training_sweep_faulted(device, config, faults)?)?;
+    Ok(drop_corrupt(points, |p| p.step_time().is_finite()))
 }
 
 /// [`distributed_dataset`] under an injected [`FaultProfile`]; see
@@ -240,13 +230,13 @@ pub fn distributed_dataset_faulted(
     device: &DeviceProfile,
     config: &DistSweepConfig,
     faults: &FaultProfile,
-) -> Vec<TrainingPoint> {
+) -> Result<Vec<TrainingPoint>, SweepError> {
     if faults.is_off() {
         return distributed_dataset(device, config);
     }
     let _span = obs::span!("convmeter.dataset.distributed");
-    let points = attach_distributed_features(distributed_sweep_faulted(device, config, faults));
-    drop_corrupt(points, |p| p.step_time().is_finite())
+    let points = attach_distributed_features(distributed_sweep_faulted(device, config, faults)?)?;
+    Ok(drop_corrupt(points, |p| p.step_time().is_finite()))
 }
 
 #[cfg(test)]
@@ -256,7 +246,7 @@ mod tests {
     #[test]
     fn inference_dataset_attaches_features() {
         let d = DeviceProfile::a100_80gb();
-        let points = inference_dataset(&d, &SweepConfig::quick());
+        let points = inference_dataset(&d, &SweepConfig::quick()).unwrap();
         assert!(!points.is_empty());
         for p in &points {
             assert!(p.metrics.flops > 0);
@@ -280,7 +270,7 @@ mod tests {
     #[test]
     fn training_dataset_single_node() {
         let d = DeviceProfile::a100_80gb();
-        let points = training_dataset(&d, &SweepConfig::quick());
+        let points = training_dataset(&d, &SweepConfig::quick()).unwrap();
         assert!(points.iter().all(|p| p.nodes == 1 && p.devices == 1));
         assert!(points.iter().all(|p| p.step_time() > p.fwd));
     }
@@ -288,7 +278,7 @@ mod tests {
     #[test]
     fn distributed_dataset_node_counts() {
         let d = DeviceProfile::a100_80gb();
-        let points = distributed_dataset(&d, &DistSweepConfig::quick());
+        let points = distributed_dataset(&d, &DistSweepConfig::quick()).unwrap();
         assert!(points.iter().any(|p| p.nodes == 4 && p.devices == 16));
         assert!(points.iter().all(|p| p.devices == p.nodes * 4));
     }
@@ -298,15 +288,15 @@ mod tests {
         let d = DeviceProfile::a100_80gb();
         let off = FaultProfile::disabled();
         let cfg = SweepConfig::quick();
-        let a = inference_dataset(&d, &cfg);
-        let b = inference_dataset_faulted(&d, &cfg, &off);
+        let a = inference_dataset(&d, &cfg).unwrap();
+        let b = inference_dataset_faulted(&d, &cfg, &off).unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.measured.to_bits(), y.measured.to_bits());
         }
         let dcfg = DistSweepConfig::quick();
-        let da = distributed_dataset(&d, &dcfg);
-        let db = distributed_dataset_faulted(&d, &dcfg, &off);
+        let da = distributed_dataset(&d, &dcfg).unwrap();
+        let db = distributed_dataset_faulted(&d, &dcfg, &off).unwrap();
         assert_eq!(da.len(), db.len());
         for (x, y) in da.iter().zip(&db) {
             assert_eq!(x.step_time().to_bits(), y.step_time().to_bits());
@@ -320,8 +310,8 @@ mod tests {
         let mut faults = FaultProfile::heavy();
         faults.corrupt_prob = 0.5;
         let cfg = SweepConfig::quick();
-        let clean = inference_dataset(&d, &cfg);
-        let faulted = inference_dataset_faulted(&d, &cfg, &faults);
+        let clean = inference_dataset(&d, &cfg).unwrap();
+        let faulted = inference_dataset_faulted(&d, &cfg, &faults).unwrap();
         assert!(
             faulted.len() < clean.len(),
             "corruption should drop samples"
@@ -329,7 +319,7 @@ mod tests {
         assert!(!faulted.is_empty());
         assert!(faulted.iter().all(|p| p.measured.is_finite()));
         // Deterministic per seed: a second run is identical.
-        let again = inference_dataset_faulted(&d, &cfg, &faults);
+        let again = inference_dataset_faulted(&d, &cfg, &faults).unwrap();
         assert_eq!(faulted.len(), again.len());
         for (x, y) in faulted.iter().zip(&again) {
             assert_eq!(x.measured.to_bits(), y.measured.to_bits());
@@ -340,10 +330,10 @@ mod tests {
     fn faulted_training_datasets_stay_finite() {
         let d = DeviceProfile::a100_80gb();
         let faults = FaultProfile::heavy();
-        let points = training_dataset_faulted(&d, &SweepConfig::quick(), &faults);
+        let points = training_dataset_faulted(&d, &SweepConfig::quick(), &faults).unwrap();
         assert!(!points.is_empty());
         assert!(points.iter().all(|p| p.step_time().is_finite()));
-        let dist = distributed_dataset_faulted(&d, &DistSweepConfig::quick(), &faults);
+        let dist = distributed_dataset_faulted(&d, &DistSweepConfig::quick(), &faults).unwrap();
         assert!(!dist.is_empty());
         assert!(dist.iter().all(|p| p.step_time().is_finite()));
     }

@@ -7,11 +7,13 @@
 //! the scatter data behind Figures 3–5 and 7.
 
 use crate::dataset::{InferencePoint, TrainingPoint};
-use crate::forward::ForwardModel;
+use crate::features::{bwd_grad_features, forward_features};
+use crate::forward::{ForwardModel, DEFAULT_RIDGE};
 use crate::training::TrainingModel;
 use convmeter_linalg::cv::LeaveOneGroupOut;
 use convmeter_linalg::stats::ErrorReport;
-use convmeter_linalg::FitError;
+use convmeter_linalg::{FitError, FoldedLstsq};
+use convmeter_metrics::{obs, ModelId};
 use serde::{Deserialize, Serialize};
 
 /// Per-ConvNet error report (one row of Table 1 / Table 3).
@@ -26,8 +28,9 @@ pub struct PerModelReport {
 /// One scatter-plot point: measured vs. predicted.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScatterPoint {
-    /// Model the point belongs to.
-    pub model: String,
+    /// Model the point belongs to (interned; serialises as the plain
+    /// string).
+    pub model: ModelId,
     /// Square image size.
     pub image_size: usize,
     /// Batch size (per device where applicable).
@@ -61,7 +64,7 @@ pub fn leave_one_model_out_inference(
             pred.push(y_hat);
             meas.push(p.measured);
             scatter.push(ScatterPoint {
-                model: p.model.clone(),
+                model: p.model,
                 image_size: p.image_size,
                 batch: p.batch,
                 measured: p.measured,
@@ -99,7 +102,7 @@ pub fn leave_one_model_out_training(
             pred.push(y_hat);
             meas.push(p.step_time());
             scatter.push(ScatterPoint {
-                model: p.model.clone(),
+                model: p.model,
                 image_size: p.image_size,
                 batch: p.batch,
                 measured: p.step_time(),
@@ -109,6 +112,197 @@ pub fn leave_one_model_out_training(
         all_pred.extend_from_slice(&pred);
         all_meas.extend_from_slice(&meas);
         reports.push(PerModelReport {
+            model: model_name.to_string(),
+            report: ErrorReport::compute(&pred, &meas),
+        });
+    }
+    let overall = ErrorReport::compute(&all_pred, &all_meas);
+    Ok((reports, scatter, overall))
+}
+
+/// Evaluate a fold solution `(coefficients, intercept)` on one feature row,
+/// in the same term order as [`convmeter_linalg::LinearRegression::predict`].
+fn predict_fold(x: &[f64], sol: &(Vec<f64>, f64)) -> f64 {
+    sol.1 + x.iter().zip(&sol.0).map(|(a, b)| a * b).sum::<f64>()
+}
+
+/// Leave-one-model-out inference evaluation against a single factorisation.
+///
+/// Produces the same reports/scatter/overall tuple as
+/// [`leave_one_model_out_inference`], but instead of refitting
+/// [`ForwardModel`] per held-out ConvNet it factors the full design once and
+/// solves each fold by Gram downdating ([`FoldedLstsq`]). Predictions agree
+/// with the exact path to ~1e-5 relative (fold solves share the full-design
+/// column scales and go through the normal equations — see
+/// [`convmeter_linalg::batched`]), so committed experiment artefacts keep
+/// the exact path while sweeps and profiling use this one.
+pub fn leave_one_model_out_inference_batched(
+    points: &[InferencePoint],
+) -> Result<(Vec<PerModelReport>, Vec<ScatterPoint>, ErrorReport), FitError> {
+    let _span = obs::span!("convmeter.eval.batched");
+    let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
+    // analyzer:allow(CP0001, reason = "materialises the owned design matrix once for the whole evaluation; FoldedLstsq borrows it across every fold")
+    let xs: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| forward_features(&p.metrics))
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.measured).collect();
+    let folds = FoldedLstsq::new(&xs, &[&ys], true, DEFAULT_RIDGE)?;
+    let splits = LeaveOneGroupOut::splits(&groups);
+    let mut reports = Vec::with_capacity(splits.len());
+    let mut scatter = Vec::with_capacity(points.len());
+    let mut all_pred = Vec::with_capacity(points.len());
+    let mut all_meas = Vec::with_capacity(points.len());
+    let mut pred = Vec::with_capacity(points.len());
+    let mut meas = Vec::with_capacity(points.len());
+    for (model_name, split) in splits {
+        let sol = folds
+            .solve_excluding(&split.test)?
+            .pop()
+            .ok_or(FitError::TooFewObservations { have: 0, need: 1 })?;
+        pred.clear();
+        meas.clear();
+        for &i in &split.test {
+            let p = &points[i];
+            let y_hat = predict_fold(&xs[i], &sol);
+            pred.push(y_hat);
+            meas.push(p.measured);
+            scatter.push(ScatterPoint {
+                model: p.model,
+                image_size: p.image_size,
+                batch: p.batch,
+                measured: p.measured,
+                predicted: y_hat,
+            });
+        }
+        all_pred.extend_from_slice(&pred);
+        all_meas.extend_from_slice(&meas);
+        reports.push(PerModelReport {
+            // analyzer:allow(CP0001, reason = "one owned name per distinct held-out model; the report rows own their labels")
+            model: model_name.to_string(),
+            report: ErrorReport::compute(&pred, &meas),
+        });
+    }
+    let overall = ErrorReport::compute(&all_pred, &all_meas);
+    Ok((reports, scatter, overall))
+}
+
+/// Leave-one-model-out training evaluation against shared factorisations.
+///
+/// Mirrors [`leave_one_model_out_training`], replicating
+/// [`TrainingModel`]'s prediction structure per fold — forward-phase fit
+/// plus the fused backward+gradient fit with its single-/multi-node regime
+/// split (a regime is fitted on its own rows when the fold leaves at least
+/// 8 of them, otherwise it falls back to the all-rows fused fit) — but every
+/// design (forward, fused-all, fused-single, fused-multi) is factored once
+/// and folds are solved by downdating. Same accuracy contract as
+/// [`leave_one_model_out_inference_batched`].
+pub fn leave_one_model_out_training_batched(
+    points: &[TrainingPoint],
+) -> Result<(Vec<PerModelReport>, Vec<ScatterPoint>, ErrorReport), FitError> {
+    let _span = obs::span!("convmeter.eval.batched");
+    // Matches `TrainingModel::fit`'s regime threshold.
+    let min_rows = 8;
+    let groups: Vec<&str> = points.iter().map(|p| p.model.as_str()).collect();
+    // analyzer:allow(CP0001, reason = "materialises the owned forward/fused design matrices once for the whole evaluation; FoldedLstsq borrows them across every fold")
+    let fwd_xs: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| forward_features(&p.metrics))
+        .collect();
+    let fwd_ys: Vec<f64> = points.iter().map(|p| p.fwd).collect();
+    let fused_xs: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| bwd_grad_features(&p.metrics, p.nodes))
+        .collect();
+    let fused_ys: Vec<f64> = points.iter().map(|p| p.bwd + p.grad).collect();
+    let fwd_folds = FoldedLstsq::new(&fwd_xs, &[&fwd_ys], true, DEFAULT_RIDGE)?;
+    let all_folds = FoldedLstsq::new(&fused_xs, &[&fused_ys], true, DEFAULT_RIDGE)?;
+
+    // Regime sub-designs, factored once over their own rows. A regime with
+    // fewer than `min_rows` rows overall can never be fitted in any fold.
+    let regime = |keep: &dyn Fn(&TrainingPoint) -> bool| -> Result<
+        Option<(Vec<usize>, FoldedLstsq)>,
+        FitError,
+    > {
+        let idx: Vec<usize> = (0..points.len()).filter(|&i| keep(&points[i])).collect();
+        if idx.len() < min_rows {
+            return Ok(None);
+        }
+        // analyzer:allow(CP0002, reason = "the regime sub-design is materialised once at construction and then reused across every fold")
+        let sub_xs: Vec<Vec<f64>> = idx.iter().map(|&i| fused_xs[i].clone()).collect();
+        let sub_ys: Vec<f64> = idx.iter().map(|&i| fused_ys[i]).collect();
+        let folds = FoldedLstsq::new(&sub_xs, &[&sub_ys], true, DEFAULT_RIDGE)?;
+        Ok(Some((idx, folds)))
+    };
+    let single = regime(&|p| p.nodes == 1)?;
+    let multi = regime(&|p| p.nodes > 1)?;
+
+    // Solve one regime's fold: exclude the held-out rows (mapped into the
+    // sub-design) when enough regime rows remain, else use the all-rows fit.
+    let solve_regime = |reg: &Option<(Vec<usize>, FoldedLstsq)>,
+                        test: &[usize],
+                        fallback: &(Vec<f64>, f64)|
+     -> Result<(Vec<f64>, f64), FitError> {
+        if let Some((idx, folds)) = reg {
+            let excl: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| test.binary_search(g).is_ok())
+                .map(|(pos, _)| pos)
+                .collect();
+            if idx.len() - excl.len() >= min_rows {
+                let sol = folds
+                    .solve_excluding(&excl)?
+                    .pop()
+                    .ok_or(FitError::TooFewObservations { have: 0, need: 1 })?;
+                return Ok(sol);
+            }
+        }
+        Ok(fallback.clone())
+    };
+
+    let splits = LeaveOneGroupOut::splits(&groups);
+    let mut reports = Vec::with_capacity(splits.len());
+    let mut scatter = Vec::with_capacity(points.len());
+    let mut all_pred = Vec::with_capacity(points.len());
+    let mut all_meas = Vec::with_capacity(points.len());
+    let mut pred = Vec::with_capacity(points.len());
+    let mut meas = Vec::with_capacity(points.len());
+    for (model_name, split) in splits {
+        let fwd_sol = fwd_folds
+            .solve_excluding(&split.test)?
+            .pop()
+            .ok_or(FitError::TooFewObservations { have: 0, need: 1 })?;
+        let fused_all_sol = all_folds
+            .solve_excluding(&split.test)?
+            .pop()
+            .ok_or(FitError::TooFewObservations { have: 0, need: 1 })?;
+        let fused_single_sol = solve_regime(&single, &split.test, &fused_all_sol)?;
+        let fused_multi_sol = solve_regime(&multi, &split.test, &fused_all_sol)?;
+        pred.clear();
+        meas.clear();
+        for &i in &split.test {
+            let p = &points[i];
+            let fused_sol = if p.nodes <= 1 {
+                &fused_single_sol
+            } else {
+                &fused_multi_sol
+            };
+            let y_hat = predict_fold(&fwd_xs[i], &fwd_sol) + predict_fold(&fused_xs[i], fused_sol);
+            pred.push(y_hat);
+            meas.push(p.step_time());
+            scatter.push(ScatterPoint {
+                model: p.model,
+                image_size: p.image_size,
+                batch: p.batch,
+                measured: p.step_time(),
+                predicted: y_hat,
+            });
+        }
+        all_pred.extend_from_slice(&pred);
+        all_meas.extend_from_slice(&meas);
+        reports.push(PerModelReport {
+            // analyzer:allow(CP0001, reason = "one owned name per distinct held-out model; the report rows own their labels")
             model: model_name.to_string(),
             report: ErrorReport::compute(&pred, &meas),
         });
@@ -181,7 +375,7 @@ mod tests {
 
     #[test]
     fn inference_loocv_reports_per_model() {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
         let (reports, scatter, overall) = leave_one_model_out_inference(&data).unwrap();
         assert_eq!(reports.len(), 6);
         assert_eq!(scatter.len(), data.len());
@@ -195,7 +389,7 @@ mod tests {
 
     #[test]
     fn training_loocv_runs() {
-        let data = training_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let data = training_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
         let (reports, scatter, overall) = leave_one_model_out_training(&data).unwrap();
         assert_eq!(reports.len(), 6);
         assert_eq!(scatter.len(), data.len());
@@ -206,7 +400,7 @@ mod tests {
     fn kfold_beats_leave_one_model_out() {
         // K-fold mixes every model into training, so it must be at least as
         // accurate as the stricter unseen-model protocol.
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
         let kfold = kfold_inference(&data, 5).unwrap();
         let (_, _, loocv) = leave_one_model_out_inference(&data).unwrap();
         assert!(
@@ -220,7 +414,7 @@ mod tests {
     fn accuracy_improves_with_batch_size() {
         // The paper: "the prediction is more accurate for larger batch
         // sizes." Compare relative error at the extremes of the sweep.
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
         let (_, scatter, _) = leave_one_model_out_inference(&data).unwrap();
         let by_batch = breakdown_by(&scatter, |s| s.batch);
         let small = by_batch.first().unwrap();
@@ -236,17 +430,92 @@ mod tests {
         );
     }
 
+    /// Relative agreement between the exact (refit-per-fold) and batched
+    /// (downdate-per-fold) paths. The two differ only in per-fold column
+    /// rescaling and normal-equation roundoff; ridge keeps both tame.
+    fn assert_scatter_close(exact: &[ScatterPoint], batched: &[ScatterPoint], tol: f64) {
+        assert_eq!(exact.len(), batched.len());
+        for (e, b) in exact.iter().zip(batched) {
+            assert_eq!(
+                (e.model, e.image_size, e.batch),
+                (b.model, b.image_size, b.batch)
+            );
+            assert_eq!(e.measured, b.measured);
+            let rel = (e.predicted - b.predicted).abs() / e.predicted.abs().max(1e-30);
+            assert!(
+                rel < tol,
+                "{} i{} b{}: exact={} batched={} (rel {rel:.3e})",
+                e.model,
+                e.image_size,
+                e.batch,
+                e.predicted,
+                b.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn batched_inference_loocv_matches_exact_path() {
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
+        let (exact_reports, exact_scatter, exact_overall) =
+            leave_one_model_out_inference(&data).unwrap();
+        let (reports, scatter, overall) = leave_one_model_out_inference_batched(&data).unwrap();
+        assert_scatter_close(&exact_scatter, &scatter, 1e-5);
+        assert_eq!(reports.len(), exact_reports.len());
+        for (e, b) in exact_reports.iter().zip(&reports) {
+            assert_eq!(e.model, b.model);
+            assert!((e.report.mape - b.report.mape).abs() < 1e-5);
+        }
+        assert!((exact_overall.mape - overall.mape).abs() < 1e-5);
+        assert!((exact_overall.r2 - overall.r2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batched_training_loocv_matches_exact_path() {
+        let data = training_dataset(&DeviceProfile::a100_80gb(), &eval_config()).unwrap();
+        let (exact_reports, exact_scatter, exact_overall) =
+            leave_one_model_out_training(&data).unwrap();
+        let (reports, scatter, overall) = leave_one_model_out_training_batched(&data).unwrap();
+        assert_scatter_close(&exact_scatter, &scatter, 1e-4);
+        assert_eq!(reports.len(), exact_reports.len());
+        for (e, b) in exact_reports.iter().zip(&reports) {
+            assert_eq!(e.model, b.model);
+            assert!((e.report.mape - b.report.mape).abs() < 1e-4);
+        }
+        assert!((exact_overall.mape - overall.mape).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batched_training_loocv_matches_on_distributed_points() {
+        // Multi-node points exercise the single/multi fused-regime split and
+        // its per-fold fallback logic.
+        let device = DeviceProfile::a100_80gb();
+        let mut sweep = convmeter_distsim::DistSweepConfig::quick();
+        sweep.models = vec![
+            "resnet18".into(),
+            "alexnet".into(),
+            "mobilenet_v2".into(),
+            "vgg11".into(),
+        ];
+        sweep.batch_sizes = vec![8, 32, 64, 128];
+        let data = crate::dataset::distributed_dataset(&device, &sweep).unwrap();
+        let (_, exact_scatter, exact_overall) = leave_one_model_out_training(&data).unwrap();
+        let (_, scatter, overall) = leave_one_model_out_training_batched(&data).unwrap();
+        assert_scatter_close(&exact_scatter, &scatter, 1e-4);
+        assert!((exact_overall.mape - overall.mape).abs() < 1e-4);
+    }
+
     #[test]
     fn held_out_model_not_in_training_set() {
         // Indirect check: per-model error should differ from an in-sample
         // fit; more importantly, every point appears exactly once in the
         // scatter output.
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         let (_, scatter, _) = leave_one_model_out_inference(&data).unwrap();
         let mut counts = std::collections::HashMap::new();
         for s in &scatter {
             *counts
-                .entry((s.model.clone(), s.image_size, s.batch))
+                .entry((s.model, s.image_size, s.batch))
                 .or_insert(0usize) += 1;
         }
         assert!(counts.values().all(|&c| c == 1));

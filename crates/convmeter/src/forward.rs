@@ -129,6 +129,7 @@ mod tests {
 
     fn dataset() -> Vec<InferencePoint> {
         crate::dataset::inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick())
+            .unwrap()
     }
 
     #[test]
@@ -202,7 +203,7 @@ mod tests {
         cfg.models = vec!["resnet18".into()];
         cfg.image_sizes = vec![64];
         cfg.batch_sizes = vec![1, 2, 4, 8, 16, 32, 64, 128];
-        let data = crate::dataset::inference_dataset(&DeviceProfile::a100_80gb(), &cfg);
+        let data = crate::dataset::inference_dataset(&DeviceProfile::a100_80gb(), &cfg).unwrap();
         assert_eq!(data.len(), 8);
         let model = ForwardModel::fit(&data).unwrap();
         for p in &data {

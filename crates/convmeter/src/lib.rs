@@ -25,7 +25,7 @@
 //! // 1. Benchmark a device (here: the bundled A100-class simulator).
 //! let device = DeviceProfile::a100_80gb();
 //! let sweep = SweepConfig::quick();
-//! let data = inference_dataset(&device, &sweep);
+//! let data = inference_dataset(&device, &sweep).unwrap();
 //!
 //! // 2. Fit ConvMeter's four forward-pass coefficients.
 //! let model = ForwardModel::fit(&data).unwrap();
@@ -56,8 +56,9 @@ pub use dataset::{
     distributed_dataset, inference_dataset, training_dataset, InferencePoint, TrainingPoint,
 };
 pub use eval::{
-    breakdown_by, kfold_inference, leave_one_model_out_inference, leave_one_model_out_training,
-    PerModelReport, ScatterPoint,
+    breakdown_by, kfold_inference, leave_one_model_out_inference,
+    leave_one_model_out_inference_batched, leave_one_model_out_training,
+    leave_one_model_out_training_batched, PerModelReport, ScatterPoint,
 };
 pub use forward::ForwardModel;
 pub use model_lint::{lint_design_matrix, lint_forward_model, lint_measured_times};
@@ -73,7 +74,9 @@ pub mod prelude {
         distributed_dataset, inference_dataset, training_dataset, InferencePoint, TrainingPoint,
     };
     pub use crate::eval::{
-        leave_one_model_out_inference, leave_one_model_out_training, PerModelReport, ScatterPoint,
+        leave_one_model_out_inference, leave_one_model_out_inference_batched,
+        leave_one_model_out_training, leave_one_model_out_training_batched, PerModelReport,
+        ScatterPoint,
     };
     pub use crate::forward::ForwardModel;
     pub use crate::scalability::{

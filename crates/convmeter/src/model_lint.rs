@@ -167,7 +167,7 @@ mod tests {
     use convmeter_hwsim::{DeviceProfile, SweepConfig};
 
     fn dataset() -> Vec<InferencePoint> {
-        inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick())
+        inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap()
     }
 
     #[test]
@@ -224,7 +224,7 @@ mod tests {
         cfg.models = vec!["resnet18".into()];
         cfg.image_sizes = vec![64];
         cfg.batch_sizes = vec![1, 2, 4, 8];
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &cfg);
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &cfg).unwrap();
         let report = lint_design_matrix(&data);
         assert_eq!(
             report.with_code(codes::ILL_CONDITIONED).count(),

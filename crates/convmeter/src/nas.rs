@@ -147,7 +147,7 @@ mod tests {
     use convmeter_hwsim::{DeviceProfile, SweepConfig};
 
     fn fitted() -> ForwardModel {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         ForwardModel::fit(&data).unwrap()
     }
 

@@ -257,7 +257,7 @@ mod tests {
 
     #[test]
     fn forward_model_roundtrip() {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         let model = ForwardModel::fit(&data).unwrap();
         let path = tmp("fwd");
         save_forward_model(&path, &model).unwrap();
@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn dataset_roundtrip() {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         let path = tmp("data");
         save_inference_dataset(&path, &data).unwrap();
         let loaded = load_inference_dataset(&path).unwrap();
@@ -285,7 +285,8 @@ mod tests {
     #[test]
     fn training_model_roundtrip() {
         let data =
-            crate::dataset::training_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+            crate::dataset::training_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick())
+                .unwrap();
         let model = TrainingModel::fit(&data).unwrap();
         let path = tmp("train");
         save_training_model(&path, &model).unwrap();
@@ -307,7 +308,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_is_rejected() {
-        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+        let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
         let model = ForwardModel::fit(&data).unwrap();
         let path = tmp("kind");
         save_forward_model(&path, &model).unwrap();

@@ -112,7 +112,7 @@ mod tests {
             node_counts: vec![1, 2, 4, 8],
             seed: 5,
         };
-        let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg);
+        let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg).unwrap();
         TrainingModel::fit(&data).unwrap()
     }
 
@@ -149,7 +149,7 @@ mod tests {
                 node_counts: vec![1, 2, 4, 8, 16],
                 seed: 6,
             };
-            let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg);
+            let data = distributed_dataset(&DeviceProfile::a100_80gb(), &cfg).unwrap();
             TrainingModel::fit(&data).unwrap()
         };
         let nodes = [1usize, 2, 4, 8, 16];

@@ -313,11 +313,11 @@ mod tests {
     use convmeter_models::zoo::by_name;
 
     fn single_node_data() -> Vec<TrainingPoint> {
-        training_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick())
+        training_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap()
     }
 
     fn multi_node_data() -> Vec<TrainingPoint> {
-        distributed_dataset(&DeviceProfile::a100_80gb(), &DistSweepConfig::quick())
+        distributed_dataset(&DeviceProfile::a100_80gb(), &DistSweepConfig::quick()).unwrap()
     }
 
     fn r18_metrics() -> ModelMetrics {

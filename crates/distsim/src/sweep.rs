@@ -1,21 +1,30 @@
 //! Multi-node benchmark sweep: the distributed-training dataset behind
 //! Table 3 (right half), Figure 7, and Figure 8 of the paper.
+//!
+//! Pairs come from the process-global compile cache shared with
+//! `convmeter-hwsim` (one graph build + metric extraction per
+//! `(model, image)` per process); point evaluation fans out over the
+//! ordered worker pool when `convmeter_hwsim::set_sweep_jobs` raises the
+//! worker count. Per-point seeding keeps results identical at any count.
+
+use std::sync::Arc;
 
 use crate::cluster::ClusterConfig;
 use crate::step::{measure_distributed_step, measure_distributed_step_faulted};
 use convmeter_hwsim::{
-    training_memory_bytes, DeviceProfile, FaultModel, FaultProfile, NoiseModel, TrainingPhases,
-    FAULT_SALT,
+    compile, training_memory_bytes_compiled, DeviceProfile, FaultModel, FaultProfile, NoiseModel,
+    SweepError, TrainingPhases, FAULT_SALT,
 };
-use convmeter_metrics::ModelMetrics;
+use convmeter_metrics::{CompiledModel, ModelId};
 use convmeter_models::zoo;
+use convmeter_pool as pool;
 use serde::{Deserialize, Serialize};
 
 /// One measured distributed-training data point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DistTrainingSample {
-    /// Model name.
-    pub model: String,
+    /// Model name (interned; serialises as the plain string).
+    pub model: ModelId,
     /// Square image size in pixels.
     pub image_size: usize,
     /// Per-device batch size.
@@ -118,60 +127,82 @@ impl DistSweepConfig {
     }
 }
 
+/// Compile each supported (model, image) pair in config order via the
+/// shared cache.
+fn compiled_grid(config: &DistSweepConfig) -> Result<Vec<Arc<CompiledModel>>, SweepError> {
+    let mut grid = Vec::with_capacity(config.models.len() * config.image_sizes.len());
+    for name in &config.models {
+        for &size in &config.image_sizes {
+            if let Some(cm) = compile::compiled(name, size)? {
+                grid.push(cm);
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// All (batch, nodes) points for one compiled pair. The step simulator
+/// consumes `ModelMetrics`, reassembled from the compiled table once per
+/// pair (bit-for-bit the extraction output); memory gating uses the
+/// compiled aggregates directly (exact integer arithmetic).
+fn dist_points(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+    cm: &CompiledModel,
+    faults: Option<&FaultProfile>,
+) -> Vec<DistTrainingSample> {
+    let metrics = cm.to_metrics();
+    let mut out = Vec::with_capacity(config.batch_sizes.len() * config.node_counts.len());
+    for &batch in &config.batch_sizes {
+        if training_memory_bytes_compiled(cm, batch) > device.memory_capacity {
+            continue;
+        }
+        for &nodes in &config.node_counts {
+            let cluster = ClusterConfig::hpc_cluster(nodes);
+            let seed = config.point_seed(cm.id.as_str(), cm.image_size, batch, nodes);
+            let mut noise = NoiseModel::new(seed, device.noise_sigma);
+            let phases = match faults {
+                None => measure_distributed_step(device, &cluster, &metrics, batch, &mut noise),
+                Some(profile) => {
+                    let mut fault = FaultModel::new(profile, seed ^ FAULT_SALT);
+                    measure_distributed_step_faulted(
+                        device, &cluster, &metrics, batch, &mut noise, &mut fault,
+                    )
+                }
+            };
+            out.push(DistTrainingSample {
+                model: cm.id,
+                image_size: cm.image_size,
+                batch,
+                nodes,
+                gpus_per_node: cluster.gpus_per_node,
+                phases,
+            });
+        }
+    }
+    out
+}
+
+fn sweep_with(
+    device: &DeviceProfile,
+    config: &DistSweepConfig,
+    faults: Option<&FaultProfile>,
+) -> Result<Vec<DistTrainingSample>, SweepError> {
+    let grid = compiled_grid(config)?;
+    let per_pair = pool::run_ordered(&grid, compile::sweep_jobs(), |_, cm| {
+        dist_points(device, config, cm, faults)
+    })?;
+    Ok(per_pair.into_iter().flatten().collect())
+}
+
 /// Run a distributed-training sweep. Configurations whose per-device
 /// footprint exceeds device memory are skipped, as in the paper.
 pub fn distributed_sweep(
     device: &DeviceProfile,
     config: &DistSweepConfig,
-) -> Vec<DistTrainingSample> {
+) -> Result<Vec<DistTrainingSample>, SweepError> {
     let _span = convmeter_metrics::obs::span!("distsim.sweep");
-    let mut out = Vec::with_capacity(
-        config.models.len()
-            * config.image_sizes.len()
-            * config.batch_sizes.len()
-            * config.node_counts.len(),
-    );
-    for model in &config.models {
-        let spec = zoo::by_name(model)
-            // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
-            .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
-        for &image in &config.image_sizes {
-            if !spec.supports(image) {
-                continue;
-            }
-            let graph = spec.build(image, 1000);
-            if let Err(report) = graph.check() {
-                // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction")
-                panic!("graph '{model}' @ {image}px failed lint:\n{report}");
-            }
-            // analyzer:allow(CA0004, reason = "zoo models validate by construction")
-            let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
-            for &batch in &config.batch_sizes {
-                if training_memory_bytes(&metrics, batch) > device.memory_capacity {
-                    continue;
-                }
-                for &nodes in &config.node_counts {
-                    let cluster = ClusterConfig::hpc_cluster(nodes);
-                    let mut noise = NoiseModel::new(
-                        config.point_seed(model, image, batch, nodes),
-                        device.noise_sigma,
-                    );
-                    let phases =
-                        measure_distributed_step(device, &cluster, &metrics, batch, &mut noise);
-                    out.push(DistTrainingSample {
-                        // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                        model: model.clone(),
-                        image_size: image,
-                        batch,
-                        nodes,
-                        gpus_per_node: cluster.gpus_per_node,
-                        phases,
-                    });
-                }
-            }
-        }
-    }
-    out
+    sweep_with(device, config, None)
 }
 
 /// [`distributed_sweep`] under a fault profile. With faults off this *is*
@@ -183,58 +214,12 @@ pub fn distributed_sweep_faulted(
     device: &DeviceProfile,
     config: &DistSweepConfig,
     faults: &FaultProfile,
-) -> Vec<DistTrainingSample> {
+) -> Result<Vec<DistTrainingSample>, SweepError> {
     if faults.is_off() {
         return distributed_sweep(device, config);
     }
     let _span = convmeter_metrics::obs::span!("distsim.sweep");
-    let mut out = Vec::with_capacity(
-        config.models.len()
-            * config.image_sizes.len()
-            * config.batch_sizes.len()
-            * config.node_counts.len(),
-    );
-    for model in &config.models {
-        let spec = zoo::by_name(model)
-            // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
-            .unwrap_or_else(|| panic!("unknown model '{model}' in sweep config"));
-        for &image in &config.image_sizes {
-            if !spec.supports(image) {
-                continue;
-            }
-            let graph = spec.build(image, 1000);
-            if let Err(report) = graph.check() {
-                // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction")
-                panic!("graph '{model}' @ {image}px failed lint:\n{report}");
-            }
-            // analyzer:allow(CA0004, reason = "zoo models validate by construction")
-            let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
-            for &batch in &config.batch_sizes {
-                if training_memory_bytes(&metrics, batch) > device.memory_capacity {
-                    continue;
-                }
-                for &nodes in &config.node_counts {
-                    let cluster = ClusterConfig::hpc_cluster(nodes);
-                    let seed = config.point_seed(model, image, batch, nodes);
-                    let mut noise = NoiseModel::new(seed, device.noise_sigma);
-                    let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
-                    let phases = measure_distributed_step_faulted(
-                        device, &cluster, &metrics, batch, &mut noise, &mut fault,
-                    );
-                    out.push(DistTrainingSample {
-                        // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                        model: model.clone(),
-                        image_size: image,
-                        batch,
-                        nodes,
-                        gpus_per_node: cluster.gpus_per_node,
-                        phases,
-                    });
-                }
-            }
-        }
-    }
-    out
+    sweep_with(device, config, Some(faults))
 }
 
 #[cfg(test)]
@@ -244,7 +229,7 @@ mod tests {
     #[test]
     fn quick_sweep_covers_grid() {
         let d = DeviceProfile::a100_80gb();
-        let samples = distributed_sweep(&d, &DistSweepConfig::quick());
+        let samples = distributed_sweep(&d, &DistSweepConfig::quick()).unwrap();
         // 2 models x 1 image x 2 batches x 3 node counts.
         assert_eq!(samples.len(), 12);
         assert!(samples.iter().all(|s| s.phases.total() > 0.0));
@@ -253,7 +238,7 @@ mod tests {
     #[test]
     fn throughput_computation() {
         let s = DistTrainingSample {
-            model: "x".into(),
+            model: ModelId::intern("x"),
             image_size: 128,
             batch: 64,
             nodes: 2,
@@ -280,7 +265,7 @@ mod tests {
             node_counts: vec![1, 4],
             seed: 1,
         };
-        let samples = distributed_sweep(&d, &cfg);
+        let samples = distributed_sweep(&d, &cfg).unwrap();
         let tp = |nodes: usize| {
             samples
                 .iter()
@@ -294,10 +279,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_model_is_an_error_not_a_panic() {
+        let d = DeviceProfile::a100_80gb();
+        let mut cfg = DistSweepConfig::quick();
+        cfg.models = vec!["resnet999".into()];
+        let err = distributed_sweep(&d, &cfg).unwrap_err();
+        assert!(matches!(err, SweepError::UnknownModel { ref name } if name == "resnet999"));
+    }
+
+    #[test]
     fn deterministic() {
         let d = DeviceProfile::a100_80gb();
-        let a = distributed_sweep(&d, &DistSweepConfig::quick());
-        let b = distributed_sweep(&d, &DistSweepConfig::quick());
+        let a = distributed_sweep(&d, &DistSweepConfig::quick()).unwrap();
+        let b = distributed_sweep(&d, &DistSweepConfig::quick()).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.phases, y.phases);
         }

@@ -14,7 +14,7 @@
 //! cryptographic; 128 bits is collision headroom for a cache with tens of
 //! entries, not an integrity guarantee.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeId};
 use std::hash::{Hash, Hasher};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -69,6 +69,13 @@ impl StableHasher {
     /// file names.
     pub fn short_digest(&self) -> String {
         format!("{:016x}", self.a ^ self.b.rotate_left(32))
+    }
+
+    /// The raw 128-bit state as two `u64` lanes. Used to compose digests
+    /// incrementally: a parent hasher absorbs a child's lanes instead of
+    /// re-walking the child's content.
+    pub fn lanes(&self) -> (u64, u64) {
+        (self.a, self.b)
     }
 }
 
@@ -137,25 +144,83 @@ pub fn stable_digest(content: &str) -> String {
     h.digest()
 }
 
+/// Edge-kind domain separators for node-digest composition: an edge from
+/// the graph input must never collide with an edge from a real producer.
+const EDGE_FROM_NODE: u8 = 0x00;
+const EDGE_FROM_INPUT: u8 = 0xFF;
+/// Fallback tag for a malformed (forward or out-of-range) producer id;
+/// unreachable for graphs built through `GraphBuilder`/`Graph::push`, but
+/// keeps digest composition total.
+const EDGE_MALFORMED: u8 = 0x01;
+
 impl Graph {
+    /// Per-node 128-bit digests, composed bottom-up: each node's digest
+    /// absorbs its operator, the digests of its producer nodes (or the
+    /// graph input shape for [`NodeId::INPUT`] edges), and its name. A
+    /// node's digest therefore identifies its entire upstream subgraph, so
+    /// whole-graph and block fingerprints can be assembled from these
+    /// without rehashing shared prefixes.
+    pub fn node_digests(&self) -> Vec<(u64, u64)> {
+        let mut digests: Vec<(u64, u64)> = Vec::with_capacity(self.len());
+        for node in self.nodes() {
+            let mut h = StableHasher::new();
+            node.layer.hash(&mut h);
+            h.write_usize(node.inputs.len());
+            for input in &node.inputs {
+                if *input == NodeId::INPUT {
+                    h.write_u8(EDGE_FROM_INPUT);
+                    self.input_shape().hash(&mut h);
+                } else if let Some(&(a, b)) = digests.get(input.0 as usize) {
+                    h.write_u8(EDGE_FROM_NODE);
+                    h.write_u64(a);
+                    h.write_u64(b);
+                } else {
+                    h.write_u8(EDGE_MALFORMED);
+                    h.write_u32(input.0);
+                }
+            }
+            node.name.hash(&mut h);
+            digests.push(h.lanes());
+        }
+        digests
+    }
+
+    /// Digest of the node span `start..end` (as used by block extraction):
+    /// composed from [`Graph::node_digests`], so a block's identity is the
+    /// identity of the subgraphs feeding its nodes. Out-of-range spans
+    /// digest the empty sequence.
+    pub fn span_digest(&self, start: usize, end: usize) -> String {
+        let digests = self.node_digests();
+        let mut h = StableHasher::new();
+        h.write_usize(start);
+        for &(a, b) in digests.get(start..end).unwrap_or_default() {
+            h.write_u64(a);
+            h.write_u64(b);
+        }
+        h.digest()
+    }
+
     /// A stable structural fingerprint of this graph: input shape, every
     /// node's operator, wiring and name, and the registered block spans.
     /// Two graphs with identical structure produce identical fingerprints
     /// in every process; any change to a layer, connection, or block span
     /// changes the digest. The graph's display *name* is deliberately
     /// excluded so renamed copies (e.g. extracted blocks) still match.
+    ///
+    /// Composed from [`Graph::node_digests`]: the whole-graph digest folds
+    /// the per-node subgraph digests in topological order, so callers that
+    /// already hold node digests (block extraction, cache keys over many
+    /// sweep points) share the per-node work instead of rehashing the node
+    /// list from scratch.
     pub fn fingerprint(&self) -> String {
         let mut h = StableHasher::new();
         self.input_shape().hash(&mut h);
-        h.write_usize(self.len());
-        for node in self.nodes() {
-            node.layer.hash(&mut h);
-            for input in &node.inputs {
-                // Raw id, not index(): the INPUT pseudo-id (u32::MAX) is a
-                // legitimate producer and must hash stably too.
-                h.write_u32(input.0);
-            }
-            node.name.hash(&mut h);
+        // Every node reaches the digest through `node_digests()` below; the
+        // length prefix keeps node/block boundaries unambiguous.
+        h.write_usize(self.nodes().len());
+        for (a, b) in self.node_digests() {
+            h.write_u64(a);
+            h.write_u64(b);
         }
         for span in self.blocks() {
             h.update_str(&span.name);
@@ -220,6 +285,58 @@ mod tests {
         two.update_str("a");
         two.update_str("bc");
         assert_ne!(one.digest(), two.digest());
+    }
+
+    #[test]
+    fn node_digests_are_prefix_stable() {
+        // Appending nodes must not disturb the digests of earlier nodes:
+        // that is what lets sweep points and block extraction reuse
+        // subgraph hashes.
+        let short = demo_graph(16);
+        let mut b = GraphBuilder::new("demo", Shape::Chw { c: 3, h: 32, w: 32 });
+        b.layer(crate::layer::Layer::Conv2d {
+            in_channels: 3,
+            out_channels: 16,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            groups: 1,
+            bias: true,
+        });
+        b.layer(crate::layer::Layer::Flatten);
+        b.layer(crate::layer::Layer::Linear {
+            in_features: 16 * 32 * 32,
+            out_features: 10,
+            bias: true,
+        });
+        b.layer(crate::layer::Layer::Act(crate::layer::Activation::ReLU));
+        let long = b.finish();
+        let short_d = short.node_digests();
+        let long_d = long.node_digests();
+        assert_eq!(long_d.len(), short_d.len() + 1);
+        assert_eq!(&long_d[..short_d.len()], &short_d[..]);
+    }
+
+    #[test]
+    fn node_digest_depends_on_upstream_subgraph() {
+        // Changing an early layer must ripple into every downstream digest.
+        let a = demo_graph(16).node_digests();
+        let b = demo_graph(17).node_digests();
+        assert_eq!(a.len(), b.len());
+        for (da, db) in a.iter().zip(&b) {
+            assert_ne!(da, db);
+        }
+    }
+
+    #[test]
+    fn span_digest_is_stable_and_span_sensitive() {
+        let g = demo_graph(16);
+        assert_eq!(g.span_digest(0, 2), g.span_digest(0, 2));
+        assert_ne!(g.span_digest(0, 2), g.span_digest(0, 3));
+        assert_ne!(g.span_digest(0, 2), g.span_digest(1, 3));
+        assert_eq!(g.span_digest(0, 2).len(), 32);
+        // Out-of-range spans are total, not panicking.
+        let _ = g.span_digest(5, 99);
     }
 
     #[test]

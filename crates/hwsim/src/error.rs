@@ -1,0 +1,88 @@
+//! Typed sweep errors.
+//!
+//! Sweeps used to panic on unknown model names and failed graph lints
+//! (under CA0004 allows); those paths are now [`SweepError`] values that
+//! propagate through the dataset builders to the experiment engine.
+
+use convmeter_graph::GraphError;
+use convmeter_pool::WorkerPanic;
+
+/// Why a benchmark sweep could not run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The sweep configuration names a model the zoo does not know.
+    UnknownModel {
+        /// The unmatched name.
+        name: String,
+    },
+    /// A model graph failed its structural lint.
+    Lint {
+        /// Model name.
+        model: String,
+        /// Image size the graph was built for.
+        image_size: usize,
+        /// The rendered lint report.
+        report: String,
+    },
+    /// Metric extraction (shape inference / cost accounting) failed.
+    Graph {
+        /// Model name.
+        model: String,
+        /// Image size the graph was built for.
+        image_size: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+    /// A sample references an image size its model does not support
+    /// (possible only for samples that did not come from a sweep, e.g.
+    /// hand-built or deserialised from a foreign source).
+    UnsupportedImageSize {
+        /// Model name.
+        model: String,
+        /// The unsupported image size.
+        image_size: usize,
+    },
+    /// A sweep worker thread panicked (caught by the pool).
+    Worker(WorkerPanic),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownModel { name } => {
+                write!(f, "unknown model '{name}' in sweep config")
+            }
+            SweepError::Lint {
+                model,
+                image_size,
+                report,
+            } => {
+                write!(f, "graph '{model}' @ {image_size}px failed lint:\n{report}")
+            }
+            SweepError::Graph {
+                model, image_size, ..
+            } => {
+                write!(f, "metric extraction failed for '{model}' @ {image_size}px")
+            }
+            SweepError::UnsupportedImageSize { model, image_size } => {
+                write!(f, "model '{model}' does not support {image_size}px images")
+            }
+            SweepError::Worker(p) => write!(f, "sweep worker failed: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Graph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkerPanic> for SweepError {
+    fn from(p: WorkerPanic) -> Self {
+        SweepError::Worker(p)
+    }
+}

@@ -156,8 +156,16 @@ mod tests {
         let base = DeviceProfile::a100_80gb();
         let tf32 = base.with_precision(Precision::Tf32);
         let cfg = SweepConfig::quick();
-        let fp32_times: f64 = inference_sweep(&base, &cfg).iter().map(|s| s.time_s).sum();
-        let tf32_times: f64 = inference_sweep(&tf32, &cfg).iter().map(|s| s.time_s).sum();
+        let fp32_times: f64 = inference_sweep(&base, &cfg)
+            .unwrap()
+            .iter()
+            .map(|s| s.time_s)
+            .sum();
+        let tf32_times: f64 = inference_sweep(&tf32, &cfg)
+            .unwrap()
+            .iter()
+            .map(|s| s.time_s)
+            .sum();
         assert!(tf32_times < fp32_times);
     }
 }

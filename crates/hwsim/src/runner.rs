@@ -4,14 +4,14 @@ use crate::device::DeviceProfile;
 use crate::fault::FaultModel;
 use crate::kernel::{forward_layer_time, forward_layer_time_slowed};
 use crate::noise::NoiseModel;
-use convmeter_metrics::ModelMetrics;
+use convmeter_metrics::{CompiledModel, ModelId, ModelMetrics};
 use serde::{Deserialize, Serialize};
 
 /// One measured inference data point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InferenceSample {
-    /// Model name.
-    pub model: String,
+    /// Model name (interned; serialises as the plain string).
+    pub model: ModelId,
     /// Square image size in pixels.
     pub image_size: usize,
     /// Batch size.
@@ -36,6 +36,26 @@ pub fn expected_inference_time(
     kernels + device.base_overhead
 }
 
+/// [`expected_inference_time`] over a compiled cost table.
+///
+/// Runs the identical per-layer fold over the same [`LayerCost`] values the
+/// graph extraction produced (the compiled table stores them losslessly),
+/// so the result is bit-for-bit equal — without rebuilding any graph.
+///
+/// [`LayerCost`]: convmeter_metrics::LayerCost
+pub fn expected_inference_time_compiled(
+    device: &DeviceProfile,
+    model: &CompiledModel,
+    batch: usize,
+) -> f64 {
+    let kernels: f64 = model
+        .table
+        .rows()
+        .map(|c| forward_layer_time(device, &c, batch))
+        .sum();
+    kernels + device.base_overhead
+}
+
 /// A noisy "measurement" of inference time, as a real benchmark would record.
 pub fn measure_inference(
     device: &DeviceProfile,
@@ -44,6 +64,27 @@ pub fn measure_inference(
     noise: &mut NoiseModel,
 ) -> f64 {
     noise.jitter(expected_inference_time(device, metrics, batch))
+}
+
+/// [`measure_inference`] over a compiled cost table (bit-identical).
+pub fn measure_inference_compiled(
+    device: &DeviceProfile,
+    model: &CompiledModel,
+    batch: usize,
+    noise: &mut NoiseModel,
+) -> f64 {
+    measure_inference_from_expected(
+        expected_inference_time_compiled(device, model, batch),
+        noise,
+    )
+}
+
+/// One noisy inference measurement around an already-computed expected time.
+///
+/// Sweeps fold the cost table once per point and reuse the value for both
+/// the point-time cap check and the measurement; this is that second half.
+pub fn measure_inference_from_expected(expected: f64, noise: &mut NoiseModel) -> f64 {
+    noise.jitter(expected)
 }
 
 /// Expected inference time under a compute-rate slowdown (fault injection's
@@ -63,6 +104,21 @@ pub fn degraded_inference_time(
     kernels + device.base_overhead
 }
 
+/// [`degraded_inference_time`] over a compiled cost table (bit-identical).
+pub fn degraded_inference_time_compiled(
+    device: &DeviceProfile,
+    model: &CompiledModel,
+    batch: usize,
+    slowdown: f64,
+) -> f64 {
+    let kernels: f64 = model
+        .table
+        .rows()
+        .map(|c| forward_layer_time_slowed(device, &c, batch, slowdown))
+        .sum();
+    kernels + device.base_overhead
+}
+
 /// A fault-injected measurement: the point may land in a slowdown window
 /// (throttled compute), be hit by a heavy-tailed straggler spike, or come
 /// back corrupted as NaN. Noise and faults draw from independent seeded
@@ -77,6 +133,42 @@ pub fn measure_inference_faulted(
     let slowdown = fault.compute_slowdown();
     let expected = degraded_inference_time(device, metrics, batch, slowdown);
     fault.corrupt(noise.jitter(expected))
+}
+
+/// [`measure_inference_faulted`] over a compiled cost table (bit-identical).
+pub fn measure_inference_faulted_compiled(
+    device: &DeviceProfile,
+    model: &CompiledModel,
+    batch: usize,
+    noise: &mut NoiseModel,
+    fault: &mut FaultModel,
+) -> f64 {
+    let expected = expected_inference_time_compiled(device, model, batch);
+    measure_inference_faulted_from_expected(device, model, batch, expected, noise, fault)
+}
+
+/// [`measure_inference_faulted_compiled`] reusing an already-computed
+/// unfaulted expected time.
+///
+/// Outside a slowdown window (`slowdown == 1.0`, the common case) the
+/// degraded fold is skipped entirely — throttling by `1.0` is bit-identical
+/// to the plain roofline — so a sweep point costs one table fold, not two.
+pub fn measure_inference_faulted_from_expected(
+    device: &DeviceProfile,
+    model: &CompiledModel,
+    batch: usize,
+    expected: f64,
+    noise: &mut NoiseModel,
+    fault: &mut FaultModel,
+) -> f64 {
+    let slowdown = fault.compute_slowdown();
+    // analyzer:allow(CA0005, reason = "compute_slowdown returns the literal 1.0 outside a fault window; this is a sentinel check, not a float-arithmetic comparison, and a false negative only costs one redundant (still bit-identical) table fold")
+    let degraded = if slowdown == 1.0 {
+        expected
+    } else {
+        degraded_inference_time_compiled(device, model, batch, slowdown)
+    };
+    fault.corrupt(noise.jitter(degraded))
 }
 
 #[cfg(test)]
@@ -142,6 +234,23 @@ mod tests {
         let small_img = expected_inference_time(&d, &metrics("resnet18", 64), 32);
         let big_img = expected_inference_time(&d, &metrics("resnet18", 224), 32);
         assert!(big_img > small_img);
+    }
+
+    #[test]
+    fn compiled_expectation_is_bit_identical() {
+        let d = DeviceProfile::a100_80gb();
+        for (name, size) in [("resnet18", 64), ("densenet121", 224), ("vgg16", 128)] {
+            let m = metrics(name, size);
+            let cm = CompiledModel::from_metrics(ModelId::intern(name), size, String::new(), &m);
+            for batch in [1, 8, 64, 512] {
+                let legacy = expected_inference_time(&d, &m, batch);
+                let compiled = expected_inference_time_compiled(&d, &cm, batch);
+                assert_eq!(legacy.to_bits(), compiled.to_bits());
+                let legacy = degraded_inference_time(&d, &m, batch, 1.7);
+                let compiled = degraded_inference_time_compiled(&d, &cm, batch, 1.7);
+                assert_eq!(legacy.to_bits(), compiled.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,19 +1,36 @@
 //! Benchmark sweep generation — the "collect < 5,000 data points" step of
-//! the paper, parallelised over (model, image-size) pairs with rayon.
+//! the paper, evaluated over compiled cost tables.
+//!
+//! Each `(model, image_size)` pair is compiled once per process (see
+//! [`crate::compile`]); the sweep then evaluates every batch size from the
+//! cached table — no graph rebuilds, no re-extraction, no per-point
+//! allocation. Point evaluation fans out over the order-preserving worker
+//! pool when [`crate::compile::set_sweep_jobs`] raises the worker count.
 //!
 //! Determinism: each data point derives its noise seed from
 //! (sweep seed, model name, image size, batch), so results are identical
-//! regardless of rayon's scheduling.
+//! regardless of worker count or scheduling, and the pool returns per-pair
+//! results in submission order.
 
+use std::sync::Arc;
+
+use crate::compile;
 use crate::device::DeviceProfile;
+use crate::error::SweepError;
 use crate::fault::{FaultModel, FaultProfile, FAULT_SALT};
-use crate::memory::{inference_memory_bytes, training_memory_bytes};
+use crate::memory::{inference_memory_bytes_compiled, training_memory_bytes_compiled};
 use crate::noise::NoiseModel;
-use crate::runner::{measure_inference, measure_inference_faulted, InferenceSample};
-use crate::training::{measure_training_step, measure_training_step_faulted, TrainingSample};
-use convmeter_metrics::{obs, ModelMetrics};
+use crate::runner::{
+    expected_inference_time_compiled, measure_inference_faulted_from_expected,
+    measure_inference_from_expected, InferenceSample,
+};
+use crate::training::{
+    expected_training_phases_compiled, measure_training_step_faulted_from_phases,
+    measure_training_step_from_phases, TrainingSample,
+};
+use convmeter_metrics::{obs, CompiledModel};
 use convmeter_models::zoo;
-use rayon::prelude::*;
+use convmeter_pool as pool;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one benchmark sweep.
@@ -141,66 +158,131 @@ impl SweepConfig {
     }
 }
 
-/// Build metrics for each (model, image) combination the models support.
-fn metric_grid(config: &SweepConfig) -> Vec<(String, usize, ModelMetrics)> {
+/// Compile each (model, image) combination the models support, in config
+/// order. Warm pairs come straight from the process-global cache.
+fn compiled_grid(config: &SweepConfig) -> Result<Vec<Arc<CompiledModel>>, SweepError> {
     let _span = obs::span!("hwsim.metric_grid");
-    let pairs: Vec<(&str, usize)> = config
-        .models
+    let mut grid = Vec::with_capacity(config.models.len() * config.image_sizes.len());
+    for name in &config.models {
+        for &size in &config.image_sizes {
+            if let Some(cm) = compile::compiled(name, size)? {
+                grid.push(cm);
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Evaluate one point-generator per grid pair across the ordered worker
+/// pool and flatten in grid order. Workers only fold cached cost tables —
+/// they emit no spans (spans are thread-local), and per-point seeding makes
+/// the output independent of scheduling.
+fn sweep_points<S, F>(grid: &[Arc<CompiledModel>], points: F) -> Result<Vec<S>, SweepError>
+where
+    S: Send,
+    F: Fn(&CompiledModel) -> Vec<S> + Sync,
+{
+    let per_pair = pool::run_ordered(grid, compile::sweep_jobs(), |_, cm| points(cm))?;
+    Ok(per_pair.into_iter().flatten().collect())
+}
+
+fn inference_points(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    cm: &CompiledModel,
+    faults: Option<&FaultProfile>,
+) -> Vec<InferenceSample> {
+    config
+        .batch_sizes
         .iter()
-        .flat_map(|m| config.image_sizes.iter().map(move |&s| (m.as_str(), s)))
-        .collect();
-    pairs
-        .par_iter()
-        .filter_map(|&(name, size)| {
-            let spec = zoo::by_name(name)
-                // analyzer:allow(CA0004, reason = "sweep configs name zoo models only; an unknown name is a caller bug")
-                .unwrap_or_else(|| panic!("unknown model '{name}' in sweep config"));
-            if !spec.supports(size) {
+        .filter_map(|&batch| {
+            if config.respect_memory
+                && inference_memory_bytes_compiled(cm, batch) > device.memory_capacity
+            {
                 return None;
             }
-            let graph = spec.build(size, 1000);
-            if let Err(report) = graph.check() {
-                // analyzer:allow(CA0004, reason = "zoo graphs pass lint by construction")
-                panic!("graph '{name}' @ {size}px failed lint:\n{report}");
+            // One table fold per point: the cap check and the measurement
+            // share the expected time.
+            let expected = expected_inference_time_compiled(device, cm, batch);
+            if let Some(cap) = config.max_point_time {
+                if expected > cap {
+                    return None;
+                }
             }
-            // analyzer:allow(CA0004, reason = "zoo models validate by construction")
-            let metrics = ModelMetrics::of(&graph).expect("zoo models validate");
-            // analyzer:allow(CP0001, reason = "each grid entry owns its model name; one copy per in-memory configuration")
-            Some((name.to_string(), size, metrics))
+            let seed = config.point_seed(cm.id.as_str(), cm.image_size, batch);
+            let mut noise = NoiseModel::new(seed, device.noise_sigma);
+            let time_s = match faults {
+                None => measure_inference_from_expected(expected, &mut noise),
+                Some(profile) => {
+                    let mut fault = FaultModel::new(profile, seed ^ FAULT_SALT);
+                    measure_inference_faulted_from_expected(
+                        device, cm, batch, expected, &mut noise, &mut fault,
+                    )
+                }
+            };
+            Some(InferenceSample {
+                model: cm.id,
+                image_size: cm.image_size,
+                batch,
+                time_s,
+            })
+        })
+        .collect()
+}
+
+fn training_points(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+    cm: &CompiledModel,
+    faults: Option<&FaultProfile>,
+) -> Vec<TrainingSample> {
+    config
+        .batch_sizes
+        .iter()
+        .filter_map(|&batch| {
+            if config.respect_memory
+                && training_memory_bytes_compiled(cm, batch) > device.memory_capacity
+            {
+                return None;
+            }
+            // One table fold per point: the cap check and the measurement
+            // share the expected phases.
+            let expected = expected_training_phases_compiled(device, cm, batch);
+            if let Some(cap) = config.max_point_time {
+                if expected.total() > cap {
+                    return None;
+                }
+            }
+            let seed = config
+                .point_seed(cm.id.as_str(), cm.image_size, batch)
+                .wrapping_add(1);
+            let mut noise = NoiseModel::new(seed, device.noise_sigma);
+            let phases = match faults {
+                None => measure_training_step_from_phases(&expected, &mut noise),
+                Some(profile) => {
+                    let mut fault = FaultModel::new(profile, seed ^ FAULT_SALT);
+                    measure_training_step_faulted_from_phases(&expected, &mut noise, &mut fault)
+                }
+            };
+            Some(TrainingSample {
+                model: cm.id,
+                image_size: cm.image_size,
+                batch,
+                phases,
+            })
         })
         .collect()
 }
 
 /// Run an inference benchmark sweep on a device, returning one noisy sample
 /// per in-memory configuration.
-pub fn inference_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<InferenceSample> {
+pub fn inference_sweep(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+) -> Result<Vec<InferenceSample>, SweepError> {
     let _span = obs::span!("hwsim.inference_sweep");
-    metric_grid(config)
-        .par_iter()
-        .flat_map_iter(|(name, size, metrics)| {
-            config.batch_sizes.iter().filter_map(move |&batch| {
-                if config.respect_memory
-                    && inference_memory_bytes(metrics, batch) > device.memory_capacity
-                {
-                    return None;
-                }
-                if let Some(cap) = config.max_point_time {
-                    if crate::runner::expected_inference_time(device, metrics, batch) > cap {
-                        return None;
-                    }
-                }
-                let mut noise =
-                    NoiseModel::new(config.point_seed(name, *size, batch), device.noise_sigma);
-                Some(InferenceSample {
-                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                    model: name.clone(),
-                    image_size: *size,
-                    batch,
-                    time_s: measure_inference(device, metrics, batch, &mut noise),
-                })
-            })
-        })
-        .collect()
+    let grid = compiled_grid(config)?;
+    sweep_points(&grid, |cm| inference_points(device, config, cm, None))
 }
 
 /// [`inference_sweep`] under a fault profile. With faults off this *is*
@@ -214,75 +296,25 @@ pub fn inference_sweep_faulted(
     device: &DeviceProfile,
     config: &SweepConfig,
     faults: &FaultProfile,
-) -> Vec<InferenceSample> {
+) -> Result<Vec<InferenceSample>, SweepError> {
     if faults.is_off() {
         return inference_sweep(device, config);
     }
     let _span = obs::span!("hwsim.inference_sweep");
-    metric_grid(config)
-        .par_iter()
-        .flat_map_iter(|(name, size, metrics)| {
-            config.batch_sizes.iter().filter_map(move |&batch| {
-                if config.respect_memory
-                    && inference_memory_bytes(metrics, batch) > device.memory_capacity
-                {
-                    return None;
-                }
-                if let Some(cap) = config.max_point_time {
-                    if crate::runner::expected_inference_time(device, metrics, batch) > cap {
-                        return None;
-                    }
-                }
-                let seed = config.point_seed(name, *size, batch);
-                let mut noise = NoiseModel::new(seed, device.noise_sigma);
-                let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
-                Some(InferenceSample {
-                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                    model: name.clone(),
-                    image_size: *size,
-                    batch,
-                    time_s: measure_inference_faulted(
-                        device, metrics, batch, &mut noise, &mut fault,
-                    ),
-                })
-            })
-        })
-        .collect()
+    let grid = compiled_grid(config)?;
+    sweep_points(&grid, |cm| {
+        inference_points(device, config, cm, Some(faults))
+    })
 }
 
 /// Run a single-device training benchmark sweep.
-pub fn training_sweep(device: &DeviceProfile, config: &SweepConfig) -> Vec<TrainingSample> {
+pub fn training_sweep(
+    device: &DeviceProfile,
+    config: &SweepConfig,
+) -> Result<Vec<TrainingSample>, SweepError> {
     let _span = obs::span!("hwsim.training_sweep");
-    metric_grid(config)
-        .par_iter()
-        .flat_map_iter(|(name, size, metrics)| {
-            config.batch_sizes.iter().filter_map(move |&batch| {
-                if config.respect_memory
-                    && training_memory_bytes(metrics, batch) > device.memory_capacity
-                {
-                    return None;
-                }
-                if let Some(cap) = config.max_point_time {
-                    let expected =
-                        crate::training::expected_training_phases(device, metrics, batch);
-                    if expected.total() > cap {
-                        return None;
-                    }
-                }
-                let mut noise = NoiseModel::new(
-                    config.point_seed(name, *size, batch).wrapping_add(1),
-                    device.noise_sigma,
-                );
-                Some(TrainingSample {
-                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                    model: name.clone(),
-                    image_size: *size,
-                    batch,
-                    phases: measure_training_step(device, metrics, batch, &mut noise),
-                })
-            })
-        })
-        .collect()
+    let grid = compiled_grid(config)?;
+    sweep_points(&grid, |cm| training_points(device, config, cm, None))
 }
 
 /// [`training_sweep`] under a fault profile; see
@@ -291,42 +323,15 @@ pub fn training_sweep_faulted(
     device: &DeviceProfile,
     config: &SweepConfig,
     faults: &FaultProfile,
-) -> Vec<TrainingSample> {
+) -> Result<Vec<TrainingSample>, SweepError> {
     if faults.is_off() {
         return training_sweep(device, config);
     }
     let _span = obs::span!("hwsim.training_sweep");
-    metric_grid(config)
-        .par_iter()
-        .flat_map_iter(|(name, size, metrics)| {
-            config.batch_sizes.iter().filter_map(move |&batch| {
-                if config.respect_memory
-                    && training_memory_bytes(metrics, batch) > device.memory_capacity
-                {
-                    return None;
-                }
-                if let Some(cap) = config.max_point_time {
-                    let expected =
-                        crate::training::expected_training_phases(device, metrics, batch);
-                    if expected.total() > cap {
-                        return None;
-                    }
-                }
-                let seed = config.point_seed(name, *size, batch).wrapping_add(1);
-                let mut noise = NoiseModel::new(seed, device.noise_sigma);
-                let mut fault = FaultModel::new(faults, seed ^ FAULT_SALT);
-                Some(TrainingSample {
-                    // analyzer:allow(CP0002, reason = "each sample owns its model name; one copy per emitted sweep point")
-                    model: name.clone(),
-                    image_size: *size,
-                    batch,
-                    phases: measure_training_step_faulted(
-                        device, metrics, batch, &mut noise, &mut fault,
-                    ),
-                })
-            })
-        })
-        .collect()
+    let grid = compiled_grid(config)?;
+    sweep_points(&grid, |cm| {
+        training_points(device, config, cm, Some(faults))
+    })
 }
 
 #[cfg(test)]
@@ -336,31 +341,31 @@ mod tests {
     #[test]
     fn quick_sweep_produces_all_points() {
         let d = DeviceProfile::a100_80gb();
-        let samples = inference_sweep(&d, &SweepConfig::quick());
+        let samples = inference_sweep(&d, &SweepConfig::quick()).unwrap();
         // 3 models x 2 sizes x 3 batches, nothing OOMs at these sizes.
         assert_eq!(samples.len(), 18);
         assert!(samples.iter().all(|s| s.time_s > 0.0));
     }
 
     #[test]
-    fn sweep_is_deterministic_across_runs() {
+    fn sweep_is_deterministic_across_runs_and_worker_counts() {
         let d = DeviceProfile::a100_80gb();
-        let a = inference_sweep(&d, &SweepConfig::quick());
-        let b = inference_sweep(&d, &SweepConfig::quick());
-        let key = |s: &InferenceSample| (s.model.clone(), s.image_size, s.batch);
-        let mut a2 = a.clone();
-        let mut b2 = b.clone();
-        a2.sort_by_key(key);
-        b2.sort_by_key(key);
-        for (x, y) in a2.iter().zip(&b2) {
-            assert_eq!(x.time_s, y.time_s);
+        let a = inference_sweep(&d, &SweepConfig::quick()).unwrap();
+        compile::set_sweep_jobs(4);
+        let b = inference_sweep(&d, &SweepConfig::quick()).unwrap();
+        compile::set_sweep_jobs(1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.model, y.model);
+            assert_eq!((x.image_size, x.batch), (y.image_size, y.batch));
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
         }
     }
 
     #[test]
     fn paper_sweep_stays_under_5000_points() {
         let d = DeviceProfile::a100_80gb();
-        let samples = inference_sweep(&d, &SweepConfig::paper());
+        let samples = inference_sweep(&d, &SweepConfig::paper()).unwrap();
         assert!(samples.len() < 5000, "got {}", samples.len());
         assert!(samples.len() > 500, "got {}", samples.len());
     }
@@ -371,7 +376,7 @@ mod tests {
         let mut cfg = SweepConfig::quick().with_models(&["vgg16"]);
         cfg.image_sizes = vec![224];
         cfg.batch_sizes = vec![1, 64, 2048];
-        let samples = training_sweep(&d, &cfg);
+        let samples = training_sweep(&d, &cfg).unwrap();
         // Batch 2048 training of VGG-16 at 224 px cannot fit in 80 GB.
         assert!(samples.iter().all(|s| s.batch < 2048));
         assert!(samples.iter().any(|s| s.batch == 64));
@@ -380,7 +385,7 @@ mod tests {
     #[test]
     fn training_sweep_phases_positive() {
         let d = DeviceProfile::a100_80gb();
-        for s in training_sweep(&d, &SweepConfig::quick()) {
+        for s in training_sweep(&d, &SweepConfig::quick()).unwrap() {
             assert!(s.phases.forward > 0.0);
             assert!(s.phases.backward > s.phases.forward * 0.5);
             assert!(s.phases.grad_update > 0.0);
@@ -388,10 +393,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
-    fn unknown_model_panics() {
+    fn unknown_model_is_an_error_not_a_panic() {
         let d = DeviceProfile::a100_80gb();
         let cfg = SweepConfig::quick().with_models(&["resnet999"]);
-        let _ = inference_sweep(&d, &cfg);
+        let err = inference_sweep(&d, &cfg).unwrap_err();
+        assert!(matches!(err, SweepError::UnknownModel { ref name } if name == "resnet999"));
     }
 }

@@ -1,0 +1,169 @@
+//! The compiled-model equivalence suite: [`CompiledModel`] is a *lowering*
+//! of the legacy per-node representation, so every quantity the prediction
+//! stack consumes — aggregate metrics, batch-scaled features, per-layer
+//! cost rows, peak-live memory, structural fingerprints, and the roofline
+//! times built on top of them — must match the [`ModelMetrics`] path
+//! bit for bit. Zoo-wide over every (model, image size) the sweeps can
+//! touch, plus a property test over randomly shaped conv stacks.
+
+use convmeter_hwsim::{
+    expected_inference_time, expected_inference_time_compiled, expected_training_phases,
+    expected_training_phases_compiled, inference_memory_bytes, inference_memory_bytes_compiled,
+    training_memory_bytes, training_memory_bytes_compiled, DeviceProfile,
+};
+use convmeter_metrics::{CompiledModel, ModelId, ModelMetrics};
+use convmeter_models::zoo;
+
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+/// Assert every compiled view of `graph` agrees with the legacy extraction
+/// bit for bit.
+fn assert_equivalent(name: &str, image_size: usize, graph: &convmeter_graph::Graph) {
+    let legacy = ModelMetrics::of(graph).expect("legacy extraction succeeds");
+    let compiled = CompiledModel::compile(ModelId::intern(name), image_size, graph)
+        .expect("compilation succeeds");
+
+    // Aggregates and structure.
+    assert_eq!(compiled.flops, legacy.flops, "{name}@{image_size}: flops");
+    assert_eq!(compiled.conv_inputs, legacy.conv_inputs);
+    assert_eq!(compiled.conv_outputs, legacy.conv_outputs);
+    assert_eq!(compiled.token_inputs, legacy.token_inputs);
+    assert_eq!(compiled.token_outputs, legacy.token_outputs);
+    assert_eq!(compiled.weights, legacy.weights);
+    assert_eq!(compiled.trainable_layers, legacy.trainable_layers);
+    assert_eq!(compiled.node_count, legacy.node_count);
+    assert_eq!(
+        compiled.peak_live_elements, legacy.peak_live_elements,
+        "{name}@{image_size}: peak-live"
+    );
+    assert_eq!(
+        compiled.fingerprint,
+        graph.fingerprint(),
+        "{name}@{image_size}: fingerprint"
+    );
+
+    // The cost table reassembles the extraction rows exactly.
+    assert_eq!(compiled.table.len(), legacy.per_node.len());
+    for (i, (row, want)) in compiled.table.rows().zip(&legacy.per_node).enumerate() {
+        assert_eq!(&row, want, "{name}@{image_size}: cost row {i}");
+    }
+
+    // Batch scaling and the kernel model on top of it.
+    let gpu = DeviceProfile::a100_80gb();
+    let cpu = DeviceProfile::xeon_gold_5318y_core();
+    for batch in BATCHES {
+        assert_eq!(compiled.at_batch(batch), legacy.at_batch(batch));
+        for device in [&gpu, &cpu] {
+            let t_legacy = expected_inference_time(device, &legacy, batch);
+            let t_compiled = expected_inference_time_compiled(device, &compiled, batch);
+            assert_eq!(
+                t_legacy.to_bits(),
+                t_compiled.to_bits(),
+                "{name}@{image_size} b{batch}: inference time"
+            );
+            let p_legacy = expected_training_phases(device, &legacy, batch);
+            let p_compiled = expected_training_phases_compiled(device, &compiled, batch);
+            for (a, b) in [
+                (p_legacy.forward, p_compiled.forward),
+                (p_legacy.backward, p_compiled.backward),
+                (p_legacy.grad_update, p_compiled.grad_update),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}@{image_size} b{batch}: training phase"
+                );
+            }
+        }
+        assert_eq!(
+            inference_memory_bytes(&legacy, batch),
+            inference_memory_bytes_compiled(&compiled, batch)
+        );
+        assert_eq!(
+            training_memory_bytes(&legacy, batch),
+            training_memory_bytes_compiled(&compiled, batch)
+        );
+    }
+}
+
+#[test]
+fn zoo_wide_compiled_models_match_legacy_bit_for_bit() {
+    let mut checked = 0usize;
+    for name in zoo::all_model_names() {
+        let spec = zoo::by_name(name).expect("listed model resolves");
+        for size in [64, 224] {
+            if !spec.supports(size) {
+                continue;
+            }
+            assert_equivalent(name, size, &spec.build(size, 1000));
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "zoo sweep covered only {checked} pairs");
+}
+
+#[test]
+fn compilation_is_deterministic_per_pair() {
+    // Two independent compilations of the same (model, image) agree on
+    // every field the cache key and sweeps depend on.
+    let spec = zoo::by_name("resnet18").unwrap();
+    let a = CompiledModel::compile(ModelId::intern("resnet18"), 64, &spec.build(64, 1000)).unwrap();
+    let b = CompiledModel::compile(ModelId::intern("resnet18"), 64, &spec.build(64, 1000)).unwrap();
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.flops, b.flops);
+    assert_eq!(a.peak_live_elements, b.peak_live_elements);
+    assert_eq!(a.table.flops, b.table.flops);
+    assert_eq!(a.table.output_elements, b.table.output_elements);
+}
+
+mod random_stacks {
+    use super::*;
+    use convmeter_graph::layer::Activation;
+    use convmeter_graph::{GraphBuilder, Shape};
+    use proptest::prelude::*;
+
+    /// A plain conv stack parameterised by proptest: random depth, widths,
+    /// kernel shapes, and downsampling pattern.
+    fn build_stack(
+        image: usize,
+        widths: &[usize],
+        kernel: usize,
+        downsample_every: usize,
+    ) -> convmeter_graph::Graph {
+        let mut b = GraphBuilder::new("prop-stack", Shape::image(3, image));
+        let mut in_ch = 3;
+        for (i, &out_ch) in widths.iter().enumerate() {
+            let stride = if downsample_every > 0 && i % downsample_every == downsample_every - 1 {
+                2
+            } else {
+                1
+            };
+            b.conv_bn_act(in_ch, out_ch, kernel, stride, kernel / 2, Activation::ReLU);
+            in_ch = out_ch;
+        }
+        b.classifier(in_ch, 10);
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // Any stack the builder can express lowers losslessly: aggregates,
+        // cost rows, batch scaling, fingerprints, and roofline times all
+        // agree with the legacy path bit for bit.
+        #[test]
+        fn random_conv_stacks_lower_losslessly(
+            image_pow in 5usize..=7,          // 32, 64, 128
+            depth in 1usize..=6,
+            width_base in 1usize..=5,          // channels: 8..=40 in steps of 8
+            kernel_idx in 0usize..=2,
+            downsample_every in 0usize..=3,
+        ) {
+            let kernel = [1usize, 3, 5][kernel_idx];
+            let image = 1 << image_pow;
+            let widths: Vec<usize> = (0..depth).map(|i| 8 * (width_base + i % 3)).collect();
+            let graph = build_stack(image, &widths, kernel, downsample_every);
+            assert_equivalent("prop-stack", image, &graph);
+        }
+    }
+}

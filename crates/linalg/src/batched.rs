@@ -1,0 +1,434 @@
+//! Batched leave-one-group-out least squares.
+//!
+//! ConvMeter's headline evaluation (Table 3) refits the same design matrix
+//! once per held-out ConvNet: `k` groups means `k` full QR factorisations of
+//! nearly identical matrices. This module factors the design **once** and
+//! derives every fold from that single factorisation:
+//!
+//! * The full (ridge-augmented, column-scaled) design is factored by
+//!   Householder QR under the `linalg.qr.batched` span. Full-data solves use
+//!   [`HouseholderQr::solve_many`], so they are bit-identical to
+//!   [`crate::LinearRegression::fit`] on the same rows.
+//! * Each fold's normal equations are obtained by *downdating* the Gram
+//!   system: `G = RᵀR (= XᵀX + λI)` and `c = Xᵀy` are reduced by the
+//!   held-out rows (`G_g = G − Σ xᵢxᵢᵀ`, `c_g = c − Σ xᵢyᵢ`), and the
+//!   small `n × n` system is solved directly. For ConvMeter `n ≤ 7`, so a
+//!   fold costs `O(|held-out| · n²)` instead of `O(m n²)`.
+//!
+//! A fresh per-fold refit ([`crate::LinearRegression`]) rescales columns by
+//! the fold's own max-abs values, and the ridge penalty lives in that
+//! scaling — on near-degenerate designs the scaling materially changes the
+//! ridge solution, so it cannot be ignored. Fold solves therefore rescale
+//! the downdated Gram system diagonally to the fold's scales (an `O(m·n)`
+//! scan, no refactorisation) before applying the ridge diagonal.
+//!
+//! The remaining trade: fold solutions go through the normal equations,
+//! whose conditioning is the square of the design's; max-abs scaling plus
+//! the ridge floor on `G`'s spectrum keep the roundoff around
+//! `eps · cond(G)`. Fold coefficients agree with a fresh QR refit to far
+//! better than error-reporting precision, but are **not** bit-identical to
+//! it. Committed experiment artefacts keep using the exact path; this one
+//! serves sweeps and profiles.
+
+use crate::matrix::Matrix;
+use crate::qr::HouseholderQr;
+use crate::regression::FitError;
+
+/// A design matrix factored once, ready to solve any leave-rows-out fold.
+///
+/// Multiple target vectors may share the factorisation (ConvMeter's training
+/// model fits forward and fused phases over the same metric rows); every
+/// solve returns one `(coefficients, intercept)` pair per target, in the
+/// order the targets were given.
+#[derive(Debug, Clone)]
+pub struct FoldedLstsq {
+    /// Scaled design rows (intercept column included when enabled).
+    scaled: Matrix,
+    /// Target vectors, one per regression problem sharing this design.
+    targets: Vec<Vec<f64>>,
+    /// Per-column max-abs scales of the unscaled design.
+    scales: Vec<f64>,
+    /// Gram matrix `XᵀX + λI` of the scaled design, composed as `RᵀR`.
+    gram: Matrix,
+    /// `Xᵀy` per target, in scaled-column space.
+    xty: Vec<Vec<f64>>,
+    /// Factorisation of the (ridge-augmented) scaled design.
+    qr: HouseholderQr,
+    /// Ridge damping used for the augmentation.
+    lambda: f64,
+    with_intercept: bool,
+}
+
+impl FoldedLstsq {
+    /// Build and factor the design once for `xs` with the given `targets`.
+    ///
+    /// Column scaling, intercept handling, and ridge semantics match
+    /// [`crate::LinearRegression`]: columns are divided by their max
+    /// absolute value over the **full** design, an all-ones column is
+    /// appended when `with_intercept`, and `lambda` augments the system
+    /// with `sqrt(lambda)·I` rows before factoring.
+    ///
+    /// # Panics
+    /// Panics if any target's length differs from `xs.len()`.
+    pub fn new(
+        xs: &[Vec<f64>],
+        targets: &[&[f64]],
+        with_intercept: bool,
+        lambda: f64,
+    ) -> Result<Self, FitError> {
+        let _span = convmeter_obs::span!("linalg.qr.batched");
+        convmeter_obs::counter!("linalg.qr.batched_designs").inc();
+        assert!(lambda >= 0.0, "ridge lambda must be non-negative");
+        let n_features = xs.first().map_or(0, std::vec::Vec::len);
+        if xs.iter().any(|r| r.len() != n_features) {
+            return Err(FitError::RaggedFeatures);
+        }
+        let unknowns = n_features + usize::from(with_intercept);
+        if xs.len() < unknowns {
+            return Err(FitError::TooFewObservations {
+                have: xs.len(),
+                need: unknowns,
+            });
+        }
+        for y in targets {
+            assert_eq!(y.len(), xs.len(), "target length mismatch");
+        }
+
+        // Identical preconditioning to LinearRegression::fit — max-abs
+        // column scales over the full design — so the full-data solve below
+        // reproduces its coefficients bit-for-bit.
+        let design = Matrix::from_rows(xs);
+        let design = if with_intercept {
+            design.with_ones_column()
+        } else {
+            design
+        };
+        let mut scales = vec![1.0f64; design.cols()];
+        for (c, scale) in scales.iter_mut().enumerate() {
+            let m = design
+                .col(c)
+                .iter()
+                .fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            if m > 0.0 {
+                *scale = m;
+            }
+        }
+        let mut scaled = design;
+        for r in 0..scaled.rows() {
+            let row = scaled.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v /= scales[c];
+            }
+        }
+
+        let n = scaled.cols();
+        let aug = if lambda > 0.0 {
+            let mut reg = Matrix::zeros(n, n);
+            let s = lambda.sqrt();
+            for i in 0..n {
+                reg[(i, i)] = s;
+            }
+            scaled.vstack(&reg)
+        } else {
+            scaled.clone()
+        };
+        let qr = HouseholderQr::new(&aug)?;
+
+        // Gram matrix from the factor: RᵀR = AᵀA = XᵀX + λI (the ridge rows
+        // are part of A), composed without a second O(m n²) pass over X. The
+        // ridge diagonal is removed again so fold solves can re-apply it in
+        // the fold's own column scaling (see `solve_excluding`).
+        let r = qr.r();
+        let mut gram = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let upto = i.min(j);
+                let mut s = 0.0;
+                for k in 0..=upto {
+                    s += r[(k, i)] * r[(k, j)];
+                }
+                gram[(i, j)] = s;
+            }
+        }
+        for i in 0..n {
+            gram[(i, i)] -= lambda;
+        }
+        let mut xty: Vec<Vec<f64>> = vec![vec![0.0; n]; targets.len()];
+        for (col, y) in xty.iter_mut().zip(targets) {
+            for (c, v) in col.iter_mut().enumerate() {
+                *v = (0..scaled.rows())
+                    .map(|row| scaled[(row, c)] * y[row])
+                    .sum();
+            }
+        }
+
+        Ok(Self {
+            scaled,
+            // analyzer:allow(CP0001, reason = "the factorisation takes ownership of its target vectors once at construction")
+            targets: targets.iter().map(|y| y.to_vec()).collect(),
+            scales,
+            gram,
+            xty,
+            qr,
+            lambda,
+            with_intercept,
+        })
+    }
+
+    /// Number of observation rows in the design.
+    pub fn rows(&self) -> usize {
+        self.scaled.rows()
+    }
+
+    /// Number of unknowns per target (features plus intercept if enabled).
+    pub fn unknowns(&self) -> usize {
+        self.scaled.cols()
+    }
+
+    /// Solve every target over the **full** design.
+    ///
+    /// Goes through the stored QR factorisation (one Qᵀ sweep for all
+    /// targets via [`HouseholderQr::solve_many`]), so the result is
+    /// bit-identical to fitting [`crate::LinearRegression`] with the same
+    /// intercept/ridge settings on the same rows.
+    pub fn solve_all(&self) -> Result<Vec<(Vec<f64>, f64)>, FitError> {
+        let n = self.scaled.cols();
+        let pad = if self.lambda > 0.0 { n } else { 0 };
+        let padded: Vec<Vec<f64>> = self
+            .targets
+            .iter()
+            .map(|y| {
+                let mut rhs = y.clone();
+                rhs.extend(std::iter::repeat_n(0.0, pad));
+                rhs
+            })
+            .collect();
+        let refs: Vec<&[f64]> = padded.iter().map(std::vec::Vec::as_slice).collect();
+        let sols = self.qr.solve_many(&refs)?;
+        Ok(sols.into_iter().map(|sol| self.unscale(sol)).collect())
+    }
+
+    /// Solve every target with the rows in `exclude` removed from the fit —
+    /// one leave-one-group-out fold. Indices must be in range and distinct.
+    ///
+    /// The fold system is the downdated Gram system, diagonally rescaled to
+    /// the fold's own max-abs column scales before the ridge diagonal is
+    /// applied — so the ridge acts in the same geometry as a fresh
+    /// [`crate::LinearRegression`] refit on the surviving rows would use —
+    /// then solved by QR of the small `n × n` matrix. See the module docs
+    /// for the accuracy contract.
+    pub fn solve_excluding(&self, exclude: &[usize]) -> Result<Vec<(Vec<f64>, f64)>, FitError> {
+        let n = self.gram.cols();
+        let m = self.scaled.rows();
+        let remaining = m.saturating_sub(exclude.len());
+        if remaining < n {
+            return Err(FitError::TooFewObservations {
+                have: remaining,
+                need: n,
+            });
+        }
+        convmeter_obs::counter!("linalg.qr.batched_folds").inc();
+        let mut kept = vec![true; m];
+        let mut gram = self.gram.clone();
+        let mut xty = self.xty.clone();
+        for &i in exclude {
+            assert!(i < m, "exclude index out of range");
+            kept[i] = false;
+            let row = self.scaled.row(i);
+            for (a, &xa) in row.iter().enumerate() {
+                for (b, &xb) in row.iter().enumerate() {
+                    gram[(a, b)] -= xa * xb;
+                }
+                for (c, y) in xty.iter_mut().zip(&self.targets) {
+                    c[a] -= xa * y[i];
+                }
+            }
+        }
+        // Per-fold column rescale: a fresh refit computes max-abs scales
+        // over its own rows, and the ridge penalty lives in that scaling.
+        // `ratio[c]` converts full-design scaling to the fold's: the fold's
+        // max-abs of column `c` in full-scaled units (1.0 when the fold
+        // still contains the column's global maximum), inverted — or, for a
+        // column that is all zero in the fold, the legacy scale of 1.0 in
+        // original units.
+        let mut ratio = vec![1.0f64; n];
+        for (c, rat) in ratio.iter_mut().enumerate() {
+            let mut mx = 0.0f64;
+            for (r, keep) in kept.iter().enumerate() {
+                if *keep {
+                    mx = mx.max(self.scaled[(r, c)].abs());
+                }
+            }
+            *rat = if mx > 0.0 { 1.0 / mx } else { self.scales[c] };
+        }
+        for a in 0..n {
+            for b in 0..n {
+                gram[(a, b)] *= ratio[a] * ratio[b];
+            }
+        }
+        for (a, c) in xty.iter_mut().flat_map(|t| t.iter_mut().enumerate()) {
+            *c *= ratio[a];
+        }
+        for a in 0..n {
+            gram[(a, a)] += self.lambda;
+        }
+        let qr = HouseholderQr::new(&gram)?;
+        let refs: Vec<&[f64]> = xty.iter().map(std::vec::Vec::as_slice).collect();
+        let sols = qr.solve_many(&refs)?;
+        // Solutions are in fold-scaled space; converting through `ratio`
+        // lands them back in full-design scaling, which `unscale` undoes.
+        Ok(sols
+            .into_iter()
+            .map(|mut sol| {
+                for (s, r) in sol.iter_mut().zip(&ratio) {
+                    *s *= r;
+                }
+                self.unscale(sol)
+            })
+            .collect())
+    }
+
+    /// Undo column scaling and split off the intercept coefficient.
+    fn unscale(&self, solution: Vec<f64>) -> (Vec<f64>, f64) {
+        let mut coefs: Vec<f64> = solution
+            .iter()
+            .zip(&self.scales)
+            .map(|(b, s)| b / s)
+            .collect();
+        let intercept = if self.with_intercept {
+            coefs.pop().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        (coefs, intercept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::LinearRegression;
+
+    fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut y1 = Vec::new();
+        let mut y2 = Vec::new();
+        for i in 0..n {
+            let t = i as f64 + 1.0;
+            let row = vec![t * 1e9, (t * 0.37).sin() * 1e6 + t * 2e6, t * t * 1e3];
+            y1.push(3e-12 * row[0] + 1.5e-9 * row[1] + 2.5e-6 * row[2] + 4e-4);
+            y2.push(1e-12 * row[0] - 2.0e-9 * row[1] + 1.0e-6 * row[2] + 7e-3);
+            xs.push(row);
+        }
+        (xs, y1, y2)
+    }
+
+    #[test]
+    fn solve_all_is_bit_identical_to_linear_regression() {
+        let (xs, y1, y2) = synthetic(40);
+        for lambda in [0.0, 1e-6] {
+            let folds = FoldedLstsq::new(&xs, &[&y1, &y2], true, lambda).unwrap();
+            let sols = folds.solve_all().unwrap();
+            for (sol, ys) in sols.iter().zip([&y1, &y2]) {
+                let reg = LinearRegression::new()
+                    .with_ridge(lambda)
+                    .fit(&xs, ys)
+                    .unwrap();
+                assert_eq!(sol.0, reg.coefficients(), "lambda={lambda}");
+                assert_eq!(sol.1, reg.intercept(), "lambda={lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_all_without_intercept() {
+        let (xs, y1, _) = synthetic(30);
+        let folds = FoldedLstsq::new(&xs, &[&y1], false, 1e-9).unwrap();
+        let sols = folds.solve_all().unwrap();
+        let reg = LinearRegression::new()
+            .with_intercept(false)
+            .with_ridge(1e-9)
+            .fit(&xs, &y1)
+            .unwrap();
+        assert_eq!(sols[0].0, reg.coefficients());
+        assert_eq!(sols[0].1, 0.0);
+    }
+
+    #[test]
+    fn fold_solution_matches_refit_on_remaining_rows() {
+        // Downdated Gram solve vs. a fresh QR fit on the surviving rows.
+        // The fold rescale reproduces the refit's ridge geometry exactly, so
+        // agreement is limited only by normal-equation roundoff.
+        let (xs, y1, _) = synthetic(40);
+        let folds = FoldedLstsq::new(&xs, &[&y1], true, 1e-6).unwrap();
+        let exclude: Vec<usize> = vec![3, 17, 18, 19, 31];
+        let sol = &folds.solve_excluding(&exclude).unwrap()[0];
+        let kept: Vec<Vec<f64>> = (0..xs.len())
+            .filter(|i| !exclude.contains(i))
+            .map(|i| xs[i].clone())
+            .collect();
+        let kept_y: Vec<f64> = (0..xs.len())
+            .filter(|i| !exclude.contains(i))
+            .map(|i| y1[i])
+            .collect();
+        let reg = LinearRegression::new()
+            .with_ridge(1e-6)
+            .fit(&kept, &kept_y)
+            .unwrap();
+        // Compare predictions on the held-out rows, the quantity evaluation
+        // actually consumes.
+        for &i in &exclude {
+            let batched: f64 = sol.1 + xs[i].iter().zip(&sol.0).map(|(a, b)| a * b).sum::<f64>();
+            let exact = reg.predict(&xs[i]);
+            let rel = (batched - exact).abs() / exact.abs().max(1e-30);
+            assert!(rel < 1e-8, "row {i}: batched={batched} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn excluding_nothing_agrees_with_solve_all() {
+        let (xs, y1, _) = synthetic(25);
+        let folds = FoldedLstsq::new(&xs, &[&y1], true, 1e-6).unwrap();
+        let all = &folds.solve_all().unwrap()[0];
+        let none = &folds.solve_excluding(&[]).unwrap()[0];
+        for (a, b) in all.0.iter().zip(&none.0) {
+            assert!((a - b).abs() / a.abs().max(1e-30) < 1e-6);
+        }
+        assert!((all.1 - none.1).abs() / all.1.abs().max(1e-30) < 1e-6);
+    }
+
+    #[test]
+    fn rejects_ragged_and_underdetermined_designs() {
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        let ys = [1.0, 2.0];
+        assert!(matches!(
+            FoldedLstsq::new(&ragged, &[&ys], true, 0.0),
+            Err(FitError::RaggedFeatures)
+        ));
+        let thin = vec![vec![1.0, 2.0]];
+        let y1 = [1.0];
+        assert!(matches!(
+            FoldedLstsq::new(&thin, &[&y1], true, 0.0),
+            Err(FitError::TooFewObservations { have: 1, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn excluding_too_many_rows_is_an_error() {
+        let (xs, y1, _) = synthetic(6);
+        let folds = FoldedLstsq::new(&xs, &[&y1], true, 1e-6).unwrap();
+        let exclude: Vec<usize> = (0..4).collect();
+        assert!(matches!(
+            folds.solve_excluding(&exclude),
+            Err(FitError::TooFewObservations { have: 2, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn accessors_report_dimensions() {
+        let (xs, y1, _) = synthetic(12);
+        let folds = FoldedLstsq::new(&xs, &[&y1], true, 1e-6).unwrap();
+        assert_eq!(folds.rows(), 12);
+        assert_eq!(folds.unknowns(), 4);
+    }
+}

@@ -20,12 +20,16 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod flops;
+pub mod ident;
 pub mod model;
 
+pub use compiled::{CompiledModel, CostTable};
 pub use flops::{
     layer_flops, layer_macs, try_layer_flops, try_layer_macs, CostOverflow, LayerCost,
 };
+pub use ident::ModelId;
 pub use model::{BatchMetrics, ModelMetrics};
 
 /// Workspace-wide observability surface (spans, metrics, profiles).

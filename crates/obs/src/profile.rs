@@ -107,7 +107,8 @@ pub struct ProfileMetrics {
 pub struct Profile {
     /// Schema version ([`PROFILE_FORMAT`]).
     pub format_version: u32,
-    /// Which workload suite produced this profile (`default` or `quick`).
+    /// Which workload suite produced this profile (a versioned name such as
+    /// `quick-v2` / `full-v2`; the suffix is bumped when the suite changes).
     pub workload: String,
     /// Whether machine-dependent fields have been zeroed.
     pub deterministic: bool,
@@ -205,10 +206,33 @@ impl Profile {
     /// Span wall times may regress by at most `tolerance` (relative, e.g.
     /// `0.25`); baseline spans shorter than [`GATE_MIN_SPAN_MS`] are
     /// ignored. Span counts and counters must match exactly — they are
-    /// machine-independent, so any drift means the workload changed and
+    /// machine-independent (identical between the timed profile and its
+    /// deterministic view), so any drift means the workload changed and
     /// the baseline needs regenerating.
+    ///
+    /// Both sides must be *timed* profiles: a [`Profile::deterministic`]
+    /// view carries zeroed wall times, so comparing one would let every
+    /// span pass (or regress) trivially. Such inputs are rejected with a
+    /// `deterministic-profile` finding instead of silently passing.
     pub fn compare(&self, baseline: &Profile, tolerance: f64) -> GateReport {
         let mut findings = Vec::new();
+        for (who, deterministic) in [
+            ("baseline", baseline.deterministic),
+            ("profile", self.deterministic),
+        ] {
+            if deterministic {
+                findings.push(GateFinding {
+                    kind: "deterministic-profile".into(),
+                    name: who.into(),
+                    baseline: 0.0,
+                    current: 0.0,
+                    detail: format!(
+                        "the {who} is a deterministic view (wall times zeroed), so span \
+                         times cannot be gated — regenerate it with `convmeter profile --out`"
+                    ),
+                });
+            }
+        }
         if self.workload != baseline.workload {
             findings.push(GateFinding {
                 kind: "workload-mismatch".into(),
@@ -292,8 +316,8 @@ impl Profile {
 /// One perf-gate finding.
 #[derive(Debug, Clone, Serialize)]
 pub struct GateFinding {
-    /// `regression`, `missing-span`, `count-drift`, `counter-drift`, or
-    /// `workload-mismatch`.
+    /// `regression`, `missing-span`, `count-drift`, `counter-drift`,
+    /// `workload-mismatch`, or `deterministic-profile`.
     pub kind: String,
     /// Span path or metric name.
     pub name: String,
@@ -405,6 +429,28 @@ mod tests {
         let kinds: Vec<&str> = report.findings.iter().map(|f| f.kind.as_str()).collect();
         assert!(kinds.contains(&"counter-drift"));
         assert!(kinds.contains(&"workload-mismatch"));
+    }
+
+    #[test]
+    fn gate_rejects_deterministic_views() {
+        // A deterministic view has zeroed wall times; gating against (or
+        // with) one would pass trivially, so it must be rejected outright.
+        let timed = sample_profile(1.0);
+        let zeroed = timed.deterministic();
+        let report = sample_profile(5.0).compare(&zeroed, 0.25);
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "deterministic-profile" && f.name == "baseline"));
+        // ... and a 5x slowdown against the zeroed baseline produced no
+        // regression finding — exactly the silent pass the guard exists for.
+        assert!(report.findings.iter().all(|f| f.kind != "regression"));
+        let report = zeroed.compare(&timed, 0.25);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "deterministic-profile" && f.name == "profile"));
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Order-preserving parallel map over scoped OS threads, plus the
 //! fault-tolerant quarantine runner.
 //!
+//! Extracted from the bench engine (which re-exports it as
+//! `convmeter_bench::engine::pool`) so the simulators can parallelise
+//! sweep-point evaluation *inside* one dataset build without depending on
+//! the experiment harness. The metric names keep their historical
+//! `engine.pool.*` prefix.
+//!
 //! The workspace's `rayon` dependency is an offline *sequential* shim, so
 //! the engine brings its own scheduler: `run_ordered` fans N items out to
 //! at most `jobs` worker threads pulling from a shared atomic work index,
@@ -21,7 +27,9 @@
 //! into quarantine semantics; `run_ordered` remains the byte-identical
 //! default path.
 
-use convmeter_metrics::obs;
+#![warn(missing_docs)]
+
+use convmeter_obs as obs;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -24,7 +24,7 @@ fn main() {
     let device = DeviceProfile::a100_80gb();
     let mut cfg = DistSweepConfig::paper();
     cfg.models.retain(|m| m != "resnet50");
-    let data = distributed_dataset(&device, &cfg);
+    let data = distributed_dataset(&device, &cfg).expect("sweep");
     let model = TrainingModel::fit(&data).expect("fit");
 
     let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(224, 1000)).unwrap();

@@ -16,7 +16,7 @@ use convmeter::prelude::*;
 fn main() {
     // Fit the device model once.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
+    let data = inference_dataset(&device, &SweepConfig::paper_gpu()).expect("sweep");
     let model = ForwardModel::fit(&data).expect("fit");
 
     println!(

@@ -33,7 +33,7 @@ fn candidate(name: &str, width: usize, kernel: usize, depthwise: bool) -> Graph 
 fn main() {
     // Fit the device model once on the standard sweep.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::paper_gpu());
+    let data = inference_dataset(&device, &SweepConfig::paper_gpu()).expect("sweep");
     let model = ForwardModel::fit(&data).expect("fit");
 
     // Enumerate the slot's design space.

@@ -26,7 +26,7 @@ fn main() {
         // One benchmark + fit per platform, excluding the target model.
         let mut cfg = SweepConfig::paper_gpu();
         cfg.models.retain(|m| m != target);
-        let data = inference_dataset(&device, &cfg);
+        let data = inference_dataset(&device, &cfg).expect("sweep");
         let model = ForwardModel::fit(&data).expect("fit");
         let profile = model.residual_profile(&data);
         let (lo, mid, hi) = model.predict_interval(&metrics, batch, &profile, 1.96);

@@ -15,7 +15,7 @@ fn main() {
     let device = DeviceProfile::a100_80gb();
     let mut sweep = SweepConfig::paper_gpu();
     sweep.models.retain(|m| m != "resnet50");
-    let data = inference_dataset(&device, &sweep);
+    let data = inference_dataset(&device, &sweep).expect("sweep");
     println!(
         "collected {} benchmark points on {}",
         data.len(),

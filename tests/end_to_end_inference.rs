@@ -26,7 +26,7 @@ fn mid_config() -> SweepConfig {
 #[test]
 fn held_out_inference_accuracy_meets_paper_bar() {
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &mid_config());
+    let data = inference_dataset(&device, &mid_config()).unwrap();
     let (reports, scatter, overall) = leave_one_model_out_inference(&data).unwrap();
     assert_eq!(scatter.len(), data.len());
     // Paper: R2 0.96 on GPU; we require >= 0.9 on this reduced sweep.
@@ -43,8 +43,8 @@ fn cpu_and_gpu_coefficients_differ_but_pipeline_is_shared() {
     let gpu = DeviceProfile::a100_80gb();
     let mut cfg = mid_config();
     cfg.max_point_time = Some(5.0);
-    let cpu_model = ForwardModel::fit(&inference_dataset(&cpu, &cfg)).unwrap();
-    let gpu_model = ForwardModel::fit(&inference_dataset(&gpu, &mid_config())).unwrap();
+    let cpu_model = ForwardModel::fit(&inference_dataset(&cpu, &cfg).unwrap()).unwrap();
+    let gpu_model = ForwardModel::fit(&inference_dataset(&gpu, &mid_config()).unwrap()).unwrap();
     // The same ConvNet must predict dramatically slower on one CPU core.
     let metrics = ModelMetrics::of(
         &convmeter_models::zoo::by_name("resnet50")
@@ -61,7 +61,7 @@ fn cpu_and_gpu_coefficients_differ_but_pipeline_is_shared() {
 fn combined_metrics_beat_single_metrics_out_of_sample() {
     // Figure 2's claim, checked on *held-out* models rather than in-sample.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &mid_config());
+    let data = inference_dataset(&device, &mid_config()).unwrap();
     let groups: Vec<&str> = data.iter().map(|p| p.model.as_str()).collect();
     let mut single_errs = vec![Vec::new(); 3];
     let mut combined_errs = Vec::new();
@@ -94,8 +94,8 @@ fn combined_metrics_beat_single_metrics_out_of_sample() {
 #[test]
 fn pipeline_is_deterministic() {
     let device = DeviceProfile::a100_80gb();
-    let a = inference_dataset(&device, &mid_config());
-    let b = inference_dataset(&device, &mid_config());
+    let a = inference_dataset(&device, &mid_config()).unwrap();
+    let b = inference_dataset(&device, &mid_config()).unwrap();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.measured, y.measured);

@@ -26,7 +26,7 @@ fn dist_config() -> DistSweepConfig {
 #[test]
 fn held_out_training_step_accuracy() {
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let (reports, _, overall) = leave_one_model_out_training(&data).unwrap();
     assert_eq!(reports.len(), 6);
     // Paper: distributed step R2 = 0.78, MAPE = 0.15.
@@ -37,7 +37,7 @@ fn held_out_training_step_accuracy() {
 #[test]
 fn backward_dominates_and_grad_grows_with_nodes() {
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let model = TrainingModel::fit(&data).unwrap();
     let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let bm = metrics.at_batch(64);
@@ -72,7 +72,7 @@ fn weak_scaling_keeps_epoch_time_falling() {
     // Weak scaling: per-device batch fixed, nodes grow -> steps per epoch
     // shrink faster than step time grows, so epochs get shorter.
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let model = TrainingModel::fit(&data).unwrap();
     let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let mut last = f64::INFINITY;
@@ -90,7 +90,7 @@ fn weak_scaling_keeps_epoch_time_falling() {
 fn strong_scaling_prediction_with_fixed_global_batch() {
     // Strong scaling: fixed global batch 512 split across more devices.
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let model = TrainingModel::fit(&data).unwrap();
     let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let global = 512usize;
@@ -106,7 +106,7 @@ fn strong_scaling_prediction_with_fixed_global_batch() {
 fn alexnet_scales_worst_in_measured_data() {
     // Figure 8's qualitative anchor, on raw simulated measurements.
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let throughput = |model: &str, nodes: usize| -> f64 {
         let pts: Vec<&TrainingPoint> = data
             .iter()
@@ -140,7 +140,7 @@ fn alexnet_scales_worst_in_measured_data() {
 #[test]
 fn batch_scaling_curves_saturate() {
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &dist_config());
+    let data = distributed_dataset(&device, &dist_config()).unwrap();
     let model = TrainingModel::fit(&data).unwrap();
     let metrics = ModelMetrics::of(&zoo::by_name("resnet18").unwrap().build(128, 1000)).unwrap();
     let curve = throughput_vs_batch(&model, &metrics, &[16, 64, 256, 1024, 4096], 1, 4);

@@ -16,8 +16,8 @@ fn precision_specific_models_predict_precision_specific_devices() {
     let fp32 = base.clone();
     let tf32 = base.with_precision(Precision::Tf32);
     let cfg = SweepConfig::quick();
-    let fp32_model = ForwardModel::fit(&inference_dataset(&fp32, &cfg)).unwrap();
-    let tf32_model = ForwardModel::fit(&inference_dataset(&tf32, &cfg)).unwrap();
+    let fp32_model = ForwardModel::fit(&inference_dataset(&fp32, &cfg).unwrap()).unwrap();
+    let tf32_model = ForwardModel::fit(&inference_dataset(&tf32, &cfg).unwrap()).unwrap();
     let metrics = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let truth_fp32 = expected_inference_time(&fp32, &metrics, 64);
     let truth_tf32 = expected_inference_time(&tf32, &metrics, 64);
@@ -37,7 +37,7 @@ fn transformed_graphs_flow_through_the_whole_pipeline() {
     // BN-folded and width-scaled graphs must survive metric extraction,
     // simulation, and prediction end-to-end.
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::quick());
+    let data = inference_dataset(&device, &SweepConfig::quick()).unwrap();
     let model = ForwardModel::fit(&data).unwrap();
     let graph = zoo::by_name("resnet18").unwrap().build(64, 1000);
 
@@ -80,7 +80,8 @@ fn calibrated_profile_feeds_the_standard_fit() {
         .collect();
     let cal = calibrate(&DeviceProfile::a100_80gb(), &obs);
     let fitted =
-        ForwardModel::fit(&inference_dataset(&cal.profile, &SweepConfig::quick())).unwrap();
+        ForwardModel::fit(&inference_dataset(&cal.profile, &SweepConfig::quick()).unwrap())
+            .unwrap();
     let unseen = ModelMetrics::of(&zoo::by_name("resnet50").unwrap().build(128, 1000)).unwrap();
     let pred = fitted.predict_metrics(&unseen, 64);
     let real = expected_inference_time(&truth, &unseen, 64);
@@ -93,7 +94,7 @@ fn calibrated_profile_feeds_the_standard_fit() {
 #[test]
 fn accumulation_matches_explicit_micro_step_sum() {
     let device = DeviceProfile::a100_80gb();
-    let data = distributed_dataset(&device, &DistSweepConfig::quick());
+    let data = distributed_dataset(&device, &DistSweepConfig::quick()).unwrap();
     let model = TrainingModel::fit(&data).unwrap();
     let m = ModelMetrics::of(&zoo::by_name("resnet18").unwrap().build(128, 1000)).unwrap();
     let bm = m.at_batch(32);
@@ -109,7 +110,7 @@ fn persistence_workflow_round_trips_through_disk() {
     let dir = std::env::temp_dir().join(format!("cm-it-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::quick());
+    let data = inference_dataset(&device, &SweepConfig::quick()).unwrap();
     persist::save_inference_dataset(dir.join("d.json"), &data).unwrap();
     let loaded = persist::load_inference_dataset(dir.join("d.json")).unwrap();
     let model = ForwardModel::fit(&loaded).unwrap();
@@ -128,7 +129,7 @@ fn shufflenet_stresses_the_flops_only_baseline() {
     // far worse than the combined model does.
     use convmeter_baselines::{Metric, SingleMetricModel};
     let device = DeviceProfile::a100_80gb();
-    let data = inference_dataset(&device, &SweepConfig::quick());
+    let data = inference_dataset(&device, &SweepConfig::quick()).unwrap();
     let combined = ForwardModel::fit(&data).unwrap();
     let pairs: Vec<_> = data.iter().map(|p| (p.metrics, p.measured)).collect();
     let flops_only = SingleMetricModel::fit(Metric::Flops, &pairs).unwrap();

@@ -34,7 +34,7 @@ fn zoo_wide_lint_sweep_has_no_errors() {
 #[test]
 fn fitted_model_lints_without_errors() {
     use convmeter::prelude::*;
-    let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick());
+    let data = inference_dataset(&DeviceProfile::a100_80gb(), &SweepConfig::quick()).unwrap();
     let model = ForwardModel::fit(&data).unwrap();
     let report = convmeter::lint_forward_model(&model);
     assert!(!report.has_errors(), "{report}");

@@ -43,6 +43,27 @@ status=0
 cargo run -q -p convmeter-cli --offline -- profile $QUICK_FLAG \
     --baseline "$BASELINE" --tolerance "$TOLERANCE" || status=$?
 
+# Per-span coverage assertions on the freshly written profile: the workload
+# must have exercised the compiled-model lowering and the batched QR fold
+# solver. The CLI enforces the same list; this is the belt to its braces so
+# a stale CLI binary cannot silently gate a hollow workload.
+PROFILE_JSON="$CONVMETER_RESULTS/BENCH_profile.json"
+if [[ -f "$PROFILE_JSON" ]]; then
+    for span in "compile.model" "linalg.qr.batched" "profile.datasets"; do
+        if ! grep -q "\"name\": \"$span\"" "$PROFILE_JSON"; then
+            echo "perf gate: required span '$span' missing from $PROFILE_JSON" >&2
+            status=1
+        fi
+    done
+    if grep -q '"deterministic": true' "$PROFILE_JSON"; then
+        echo "perf gate: profile is a deterministic view; wall times are zeroed" >&2
+        status=1
+    fi
+else
+    echo "perf gate: expected profile at $PROFILE_JSON was not written" >&2
+    status=1
+fi
+
 # Quarantined experiments make timings incomparable but are a robustness
 # signal, not a perf regression: warn, never fail, on a v3 manifest with
 # recorded failures.
