@@ -62,6 +62,7 @@ const SWITCHES: &[&str] = &[
     "keep-going",
     "perf",
     "github",
+    "warm",
 ];
 
 impl Args {

@@ -960,3 +960,149 @@ pub fn profile(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// `convmeter serve`: run the HTTP prediction API until interrupted (or
+/// until `--requests N` connections have been accepted — the bounded mode
+/// the smoke gate uses).
+pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_serve::{ServeConfig, ServeState, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let host = args.opt("host").unwrap_or("127.0.0.1").to_string();
+    let port: u16 = args.get_or("port", 8077u16)?;
+    let max_requests =
+        match args.opt("requests") {
+            None => None,
+            Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("--requests={v}: expected a request count"))
+            })?),
+        };
+    let state = Arc::new(ServeState::new(&ServeConfig {
+        // Persist calibration datasets next to the other artefacts so
+        // server restarts skip the sweep (CONVMETER_RESULTS-relative).
+        disk_cache_dir: Some(convmeter_bench::report::results_dir().join("serve-store")),
+        cache_capacity: args.get_or("cache-capacity", 256usize)?,
+    }));
+    if args.switch("warm") {
+        for device in ["gpu", "cpu"] {
+            state
+                .warm(device, "fp32")
+                .map_err(|e| CliError::Usage(format!("warmup failed for {device}: {e}")))?;
+            writeln!(out, "warmed {device} coefficient shard")?;
+        }
+    }
+    let server = Server::start(
+        state,
+        &ServerConfig {
+            host,
+            port,
+            max_requests,
+        },
+    )?;
+    writeln!(out, "listening on http://{}", server.addr())?;
+    out.flush()?;
+    server.wait();
+    writeln!(out, "server stopped")?;
+    Ok(())
+}
+
+/// `convmeter loadgen`: replay a seeded query stream, write the timed
+/// [`convmeter_serve::SloReport`], and optionally gate it against a
+/// committed baseline.
+pub fn loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use convmeter_serve::loadgen::{run, LoadgenConfig, Workload};
+    use convmeter_serve::slo;
+
+    let workload = if args.switch("quick") {
+        Workload::Quick
+    } else {
+        Workload::Full
+    };
+    let default_requests = match workload {
+        Workload::Quick => 64u64,
+        Workload::Full => 256u64,
+    };
+    let addr = match args.opt("addr") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<std::net::SocketAddr>()
+                .map_err(|_| CliError::Usage(format!("--addr={v}: expected HOST:PORT")))?,
+        ),
+    };
+    let config = LoadgenConfig {
+        workload,
+        seed: args.get_or("seed", 7u64)?,
+        requests: args.get_or("requests", default_requests)?,
+        clients: args.get_or("clients", 4u64)?,
+        addr,
+    };
+    let report = run(&config).map_err(|e| CliError::Usage(format!("loadgen failed: {e}")))?;
+
+    let out_path = match args.opt("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => convmeter_bench::report::results_dir().join("BENCH_slo_report.json"),
+    };
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, report.to_json())?;
+
+    if let Some(baseline_out) = args.opt("write-baseline") {
+        let baseline = slo::SloBaseline {
+            slo_format: slo::SLO_FORMAT,
+            contract: slo::default_contract(),
+            report: report.deterministic_view(),
+        };
+        std::fs::write(baseline_out, baseline.to_json())?;
+        writeln!(out, "baseline written to {baseline_out}")?;
+    }
+
+    if args.switch("json") {
+        writeln!(out, "{}", report.deterministic_view().to_json())?;
+    } else {
+        writeln!(
+            out,
+            "loadgen '{}' seed {}: {} requests over {} client(s), {} distinct queries",
+            report.workload, report.seed, report.requests, report.clients, report.distinct_queries
+        )?;
+        writeln!(
+            out,
+            "  ok {}  errors {}  cache builds {}  served from cache {}",
+            report.ok, report.errors, report.cache_builds, report.cache_served
+        )?;
+        writeln!(
+            out,
+            "  latency p50 {} us  p99 {} us  mean {} us  throughput {:.1} req/s",
+            report.latency_p50_us,
+            report.latency_p99_us,
+            report.latency_mean_us,
+            report.throughput_rps
+        )?;
+        writeln!(out, "  stream digest {}", report.stream_digest)?;
+        writeln!(out, "  report written to {}", out_path.display())?;
+    }
+
+    if let Some(baseline_path) = args.opt("baseline") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::Usage(format!("cannot read baseline {baseline_path}: {e}")))?;
+        let baseline = slo::SloBaseline::from_json(&text).map_err(CliError::Usage)?;
+        let tolerance = args.get_or("tolerance", 0.5f64)?;
+        let findings = slo::compare(&report, &baseline, tolerance);
+        for finding in &findings {
+            writeln!(out, "slo gate: {finding}")?;
+        }
+        if !findings.is_empty() {
+            return Err(CliError::Gate {
+                findings: findings.len(),
+            });
+        }
+        writeln!(
+            out,
+            "slo gate passed: deterministic fields match, timed fields within contract (+{:.0}%)",
+            tolerance * 100.0
+        )?;
+    }
+    Ok(())
+}

@@ -16,6 +16,8 @@
 //! convmeter bench --only table1,fig3 --jobs 4         # paper artefacts
 //! convmeter bench --list                              # the registry
 //! convmeter profile --quick --json                    # observability snapshot
+//! convmeter serve --port 8077                         # HTTP prediction API
+//! convmeter loadgen --quick --seed 7                  # replay a query stream
 //! convmeter lint                                      # lint the whole zoo
 //! convmeter lint resnet50 --json                      # machine-readable
 //! convmeter dot resnet18 > resnet18.dot               # Graphviz export
@@ -206,6 +208,17 @@ COMMANDS:
                                       [--quick] [--json] [--out FILE]
                                       [--jobs N] [--baseline FILE]
                                       [--tolerance 0.25]
+  serve                             long-running HTTP prediction API
+                                      (/predict, /healthz, /metrics)
+                                      [--host 127.0.0.1] [--port 8077]
+                                      [--requests N] [--warm]
+                                      [--cache-capacity 256]
+  loadgen                           deterministic load generator + SLO report
+                                      [--quick] [--seed 7] [--requests N]
+                                      [--clients 4] [--addr HOST:PORT]
+                                      [--out FILE] [--json]
+                                      [--baseline FILE] [--tolerance 0.5]
+                                      [--write-baseline FILE]
   lint [<model>...]                 static graph & model lints (CMxxxx codes)
                                       [--image N] [--json]
                                       [--model-file FILE] [--data FILE]
@@ -243,6 +256,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "eval" => commands::eval(&args, out),
         "bench" => commands::bench(&args, out),
         "profile" => commands::profile(&args, out),
+        "serve" => commands::serve(&args, out),
+        "loadgen" => commands::loadgen(&args, out),
         "lint" => commands::lint(&args, out),
         "analyze" => commands::analyze(&args, out),
         "dot" => commands::dot(&args, out),
@@ -589,6 +604,114 @@ mod tests {
         assert!(out.contains("dataset "), "{out}");
         std::fs::remove_file(data).ok();
         std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn loadgen_writes_report_and_gates_against_baseline() {
+        let report = tmpfile("slo-report");
+        let baseline = tmpfile("slo-baseline");
+        let out = run_str(&[
+            "loadgen",
+            "--quick",
+            "--seed",
+            "7",
+            "--requests",
+            "24",
+            "--clients",
+            "2",
+            "--out",
+            &report,
+            "--write-baseline",
+            &baseline,
+        ])
+        .unwrap();
+        assert!(out.contains("24 requests"), "{out}");
+        assert!(out.contains("errors 0"), "{out}");
+        let body = std::fs::read_to_string(&report).unwrap();
+        assert!(body.contains("\"deterministic\": false"), "{body}");
+
+        // A second identical run gates clean against the written baseline.
+        let out = run_str(&[
+            "loadgen",
+            "--quick",
+            "--seed",
+            "7",
+            "--requests",
+            "24",
+            "--clients",
+            "2",
+            "--out",
+            &report,
+            "--baseline",
+            &baseline,
+        ])
+        .unwrap();
+        assert!(out.contains("slo gate passed"), "{out}");
+
+        // A reseeded run drifts on the deterministic fields and fails.
+        let mut buf = Vec::new();
+        let argv: Vec<String> = [
+            "loadgen",
+            "--quick",
+            "--seed",
+            "8",
+            "--requests",
+            "24",
+            "--clients",
+            "2",
+            "--out",
+            &report,
+            "--baseline",
+            &baseline,
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let err = run(&argv, &mut buf).unwrap_err();
+        assert!(matches!(err, CliError::Gate { .. }), "{err}");
+        assert!(String::from_utf8(buf).unwrap().contains("stream_digest"));
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baseline).ok();
+    }
+
+    #[test]
+    fn loadgen_json_prints_deterministic_view() {
+        let report = tmpfile("slo-json");
+        let out = run_str(&[
+            "loadgen",
+            "--quick",
+            "--requests",
+            "12",
+            "--clients",
+            "1",
+            "--out",
+            &report,
+            "--json",
+        ])
+        .unwrap();
+        let parsed = serde_json::parse(&out).unwrap();
+        assert!(
+            matches!(
+                parsed.get("deterministic"),
+                Some(serde_json::Value::Bool(true))
+            ),
+            "{out}"
+        );
+        assert_eq!(
+            parsed
+                .get("throughput_rps")
+                .and_then(serde_json::Value::as_f64),
+            Some(0.0)
+        );
+        std::fs::remove_file(report).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_before_binding() {
+        let err = run_str(&["serve", "--requests", "soon"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run_str(&["loadgen", "--addr", "not-an-addr"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod clock;
 pub mod metric;
 pub mod profile;
+pub mod prometheus;
 pub mod span;
 
 pub use metric::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricsSnapshot};

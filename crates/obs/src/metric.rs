@@ -251,6 +251,44 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(usize, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Deterministic approximate quantile `q` in `[0, 1]`: the inclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`.
+    ///
+    /// Power-of-two buckets bound the answer within 2x of the exact value,
+    /// which is the right resolution for log-scale latency SLOs: the
+    /// reported percentile only moves when observations cross a bucket
+    /// boundary, so two runs with the same bucket occupancy report the same
+    /// p50/p99 regardless of intra-bucket jitter. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                // The bucket's largest admissible value (its exclusive upper
+                // bound minus one); the unbounded top bucket reports its
+                // lower edge, the only bound it has.
+                return match bucket_upper_bound(i) {
+                    Some(upper) => upper - 1,
+                    None => bucket_lower_bound(i),
+                };
+            }
+        }
+        // Sparse buckets always sum to `count`; reaching here means the
+        // snapshot was assembled by hand with fewer bucket entries than
+        // `count` claims — answer with the largest recorded edge.
+        self.buckets.last().map_or(0, |&(i, _)| {
+            bucket_upper_bound(i).map_or(u64::MAX, |u| u - 1)
+        })
+    }
+}
+
 /// Snapshot every registered metric. Zero-valued counters and gauges are
 /// included, so the schema is stable across runs that skip a code path.
 pub fn snapshot() -> MetricsSnapshot {
@@ -336,6 +374,35 @@ mod tests {
         assert_eq!(bucket_index(u64::MAX), 64);
         assert_eq!(bucket_lower_bound(64), 1u64 << 63);
         assert_eq!(bucket_upper_bound(64), None);
+    }
+
+    #[test]
+    fn percentiles_follow_bucket_edges() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        let snap = HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            buckets: h.nonzero_buckets(),
+        };
+        // p50 lands among the ones (bucket 1 = [1, 2) -> edge 1); p99 must
+        // reach the 1000 outlier (bucket 10 = [512, 1024) -> edge 1023).
+        assert_eq!(snap.percentile(0.5), 1);
+        assert_eq!(snap.percentile(0.99), 1023);
+        assert_eq!(snap.percentile(0.0), 1);
+        assert_eq!(snap.percentile(1.0), 1023);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let snap = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(snap.percentile(0.5), 0);
     }
 
     proptest! {

@@ -1,0 +1,154 @@
+//! Prometheus text exposition for the metrics registry.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the Prometheus text format
+//! (version 0.0.4): counters as `<name>_total`, gauges verbatim, and the
+//! fixed log-scale histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`. Dots in registry names become underscores, the one
+//! transformation needed to satisfy Prometheus' `[a-zA-Z_:][a-zA-Z0-9_:]*`
+//! metric-name grammar.
+//!
+//! [`parse`] is the minimal inverse used by the load generator's remote
+//! mode: it reads plain (unlabelled) samples back into a name -> value map,
+//! folding `_bucket` series away, so cache hit/miss counters can be diffed
+//! across a scrape pair without a real Prometheus client.
+
+use crate::metric::{bucket_upper_bound, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A metric name rewritten for Prometheus: dots to underscores. Registry
+/// names are `'static` idents-with-dots by construction, so this is total.
+fn prom_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Output is deterministic: the snapshot's maps are ordered by name, and
+/// each family renders `# TYPE` followed by its samples. Counter families
+/// get the conventional `_total` suffix.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prom_name(name);
+        // A `write!` to a String cannot fail; ignore the unit result via let.
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for &(bucket, count) in &h.buckets {
+            cumulative = cumulative.saturating_add(count);
+            // `le` is an inclusive upper bound; our buckets are [lo, hi), so
+            // the edge is hi - 1. The top (unbounded) bucket folds into +Inf.
+            if let Some(upper) = bucket_upper_bound(bucket) {
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", upper - 1);
+            }
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Parse Prometheus text back into a flat `name -> value` map.
+///
+/// Scoped to what [`render`] emits and the load generator consumes:
+/// comment lines are skipped, labelled samples (the `_bucket` series) are
+/// dropped, and plain `name value` samples are collected. Unparseable
+/// sample lines are reported, not ignored — a scrape that silently loses
+/// samples would corrupt the hit-rate arithmetic built on it.
+pub fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.contains('{') {
+            continue; // labelled series (histogram buckets) — not needed
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: malformed sample '{line}'", lineno + 1));
+        };
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad sample value '{value}'", lineno + 1))?;
+        samples.insert(name.to_string(), value);
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::HistogramSnapshot;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("serve.requests".into(), 12);
+        s.gauges.insert("serve.inflight".into(), 3);
+        s.histograms.insert(
+            "serve.request_us".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 1034,
+                buckets: vec![(1, 2), (11, 2)],
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn render_emits_prometheus_families() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 12"));
+        assert!(text.contains("# TYPE serve_inflight gauge"));
+        assert!(text.contains("serve_inflight 3"));
+        assert!(text.contains("# TYPE serve_request_us histogram"));
+        // Bucket 1 = [1, 2) -> le="1", cumulative 2; bucket 11 = [1024,
+        // 2048) -> le="2047", cumulative 4; then +Inf, sum, count.
+        assert!(text.contains("serve_request_us_bucket{le=\"1\"} 2"));
+        assert!(text.contains("serve_request_us_bucket{le=\"2047\"} 4"));
+        assert!(text.contains("serve_request_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_request_us_sum 1034"));
+        assert!(text.contains("serve_request_us_count 4"));
+    }
+
+    #[test]
+    fn parse_roundtrips_plain_samples() {
+        let text = render(&sample_snapshot());
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples["serve_requests_total"], 12.0);
+        assert_eq!(samples["serve_inflight"], 3.0);
+        assert_eq!(samples["serve_request_us_sum"], 1034.0);
+        assert_eq!(samples["serve_request_us_count"], 4.0);
+        // Labelled bucket series are dropped by design.
+        assert!(!samples.keys().any(|k| k.contains("bucket")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_samples() {
+        assert!(parse("just_a_name_no_value").is_err());
+        assert!(parse("name not_a_number").is_err());
+        // Comments and blank lines are fine.
+        assert_eq!(parse("# HELP x y\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = render(&sample_snapshot());
+        let b = render(&sample_snapshot());
+        assert_eq!(a, b);
+    }
+}

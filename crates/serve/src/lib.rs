@@ -1,0 +1,35 @@
+//! Online prediction service for the ConvMeter models.
+//!
+//! `convmeter serve` turns the fitted runtime/scalability models into a
+//! long-running, zero-dependency HTTP/1.1 JSON API: POST an architecture
+//! (zoo name or raw graph JSON) plus device and cluster parameters to
+//! `/predict` and get back predicted forward/step/epoch times, the scaling
+//! curve with its turning point, and the bottleneck blocks. `/healthz`
+//! answers liveness probes and `/metrics` exports the obs registry in
+//! Prometheus text format.
+//!
+//! The interesting machinery is in [`state`]: coefficient sets are fitted
+//! once per device profile (sharded on the device fingerprint, calibration
+//! sweeps served by the engine's dataset store), and responses are cached
+//! in a fingerprint-keyed LRU whose slots double as coalescing points —
+//! identical concurrent requests compute exactly once.
+//!
+//! [`loadgen`] replays a seeded zipf query stream against the service and
+//! emits the versioned [`slo::SloReport`] that `tools/slo_gate.sh` compares
+//! against the committed `BENCH_slo.json`. See `docs/serving.md` for the
+//! wire schema and the gate contract.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod slo;
+pub mod state;
+
+pub use api::{PredictRequest, PredictResponse, API_FORMAT};
+pub use loadgen::{LoadgenConfig, Workload};
+pub use server::{Server, ServerConfig};
+pub use slo::{SloBaseline, SloContract, SloReport, SLO_FORMAT};
+pub use state::{CacheOutcome, CacheStats, ServeConfig, ServeState};

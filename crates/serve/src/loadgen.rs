@@ -1,0 +1,360 @@
+//! Deterministic load generator.
+//!
+//! Replays a seeded, zipf-distributed query stream over a fixed model ×
+//! image × batch grid against a server — an in-process one it spawns
+//! itself (the reproducible mode the SLO gate uses) or a remote address —
+//! and summarises the run as an [`SloReport`].
+//!
+//! Everything that shapes the stream is derived from the seed through a
+//! local SplitMix64, and the full request sequence is generated up front
+//! and folded into `stream_digest`, so two runs with the same
+//! `(workload, seed, requests, clients)` replay byte-identical traffic no
+//! matter how the client threads interleave on the wire.
+
+use crate::http;
+use crate::server::{Server, ServerConfig};
+use crate::slo::{SloReport, SLO_FORMAT};
+use crate::state::{ServeConfig, ServeState};
+use convmeter_graph::StableHasher;
+use convmeter_metrics::obs;
+use convmeter_metrics::obs::metric::{Histogram, HistogramSnapshot};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Zipf skew exponent: rank-`i` query weight is `1 / (i+1)^S`. Mild skew —
+/// popular models dominate but the tail still appears in short runs.
+const ZIPF_S: f64 = 1.1;
+
+/// Which query grid the stream samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The engine's quick sweep grid: 3 models × 2 image sizes × 3 batch
+    /// sizes = 18 distinct queries. What CI replays.
+    Quick,
+    /// A wider grid (3 image sizes, 4 batch sizes) for local soak runs.
+    Full,
+}
+
+impl Workload {
+    /// Stable label stamped into reports and baselines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Quick => "serve-quick",
+            Workload::Full => "serve-full",
+        }
+    }
+
+    /// The distinct request bodies, in deterministic grid order
+    /// (model-major). Rank in this list is the zipf rank.
+    fn grid(self) -> Vec<String> {
+        let models = ["resnet18", "mobilenet_v2", "vgg11"];
+        let (images, batches): (&[usize], &[usize]) = match self {
+            Workload::Quick => (&[64, 128], &[1, 8, 64]),
+            Workload::Full => (&[64, 128, 224], &[1, 8, 32, 64]),
+        };
+        let mut bodies = Vec::with_capacity(models.len() * images.len() * batches.len());
+        for model in models {
+            for &image in images {
+                for &batch in batches {
+                    bodies.push(format!(
+                        r#"{{"model": "{model}", "image": {image}, "batch": {batch}, "nodes": [1, 2, 4], "top_blocks": 3}}"#
+                    ));
+                }
+            }
+        }
+        bodies
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Query grid.
+    pub workload: Workload,
+    /// Stream seed.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Client threads (requests are round-robin partitioned).
+    pub clients: u64,
+    /// Target server; `None` spawns an in-process server on an ephemeral
+    /// port and tears it down afterwards.
+    pub addr: Option<SocketAddr>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            workload: Workload::Quick,
+            seed: 7,
+            requests: 64,
+            clients: 4,
+            addr: None,
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and identical on every platform — exactly
+/// what a replayable stream needs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The sampled query index sequence for a run, plus its digest.
+struct Stream {
+    indices: Vec<usize>,
+    digest: String,
+}
+
+fn build_stream(config: &LoadgenConfig, bodies: &[String]) -> Stream {
+    // Cumulative zipf weights over grid ranks.
+    let mut cumulative = Vec::with_capacity(bodies.len());
+    let mut total = 0.0f64;
+    for rank in 0..bodies.len() {
+        total += 1.0 / ((rank + 1) as f64).powf(ZIPF_S);
+        cumulative.push(total);
+    }
+    let mut rng = SplitMix64(config.seed);
+    let mut indices = Vec::with_capacity(config.requests as usize);
+    for _ in 0..config.requests {
+        let target = rng.next_f64() * total;
+        let index = cumulative
+            .iter()
+            .position(|&c| c >= target)
+            .unwrap_or(bodies.len().saturating_sub(1));
+        indices.push(index);
+    }
+    let mut hasher = StableHasher::new();
+    hasher.update_str("convmeter-serve-loadgen");
+    hasher.update(&SLO_FORMAT.to_le_bytes());
+    hasher.update_str(config.workload.label());
+    hasher.update(&config.seed.to_le_bytes());
+    hasher.update(&config.clients.to_le_bytes());
+    for body in bodies {
+        hasher.update_str(body);
+    }
+    for &index in &indices {
+        hasher.update(&(index as u64).to_le_bytes());
+    }
+    Stream {
+        indices,
+        digest: hasher.digest(),
+    }
+}
+
+/// Scrape `serve_predict_builds_total` from a server's `/metrics`.
+fn scrape_builds(addr: SocketAddr) -> Result<u64, String> {
+    let (status, body) = http::call(addr, "GET", "/metrics", None)
+        .map_err(|e| format!("metrics scrape failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics scrape returned {status}"));
+    }
+    let samples = obs::prometheus::parse(&body).map_err(|e| format!("metrics parse: {e}"))?;
+    Ok(samples
+        .get("serve_predict_builds_total")
+        .copied()
+        .unwrap_or(0.0) as u64)
+}
+
+struct ClientResult {
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_client(addr: SocketAddr, bodies: Arc<Vec<String>>, work: Vec<usize>) -> ClientResult {
+    let mut result = ClientResult {
+        ok: 0,
+        errors: 0,
+        latencies_us: Vec::with_capacity(work.len()),
+    };
+    for index in work {
+        let body = bodies.get(index).map(String::as_str).unwrap_or_default();
+        let started = obs::clock::now();
+        let outcome = http::call(addr, "POST", "/predict", Some(body));
+        let elapsed = started.elapsed();
+        result
+            .latencies_us
+            .push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        match outcome {
+            Ok((200, _)) => result.ok += 1,
+            Ok(_) | Err(_) => result.errors += 1,
+        }
+    }
+    result
+}
+
+/// Run the load and produce a timed [`SloReport`].
+///
+/// In-process mode reads `cache_builds` from the spawned state's own
+/// accounting; remote mode falls back to `/metrics` scrape deltas, which
+/// are only meaningful against a freshly started server.
+pub fn run(config: &LoadgenConfig) -> Result<SloReport, String> {
+    let bodies = Arc::new(config.workload.grid());
+    let stream = build_stream(config, &bodies);
+    let clients = config.clients.max(1) as usize;
+
+    // Spawn or resolve the target server.
+    let in_process = match config.addr {
+        Some(_) => None,
+        None => {
+            let state = Arc::new(ServeState::new(&ServeConfig::default()));
+            let server = Server::start(
+                Arc::clone(&state),
+                &ServerConfig {
+                    host: "127.0.0.1".to_string(),
+                    port: 0,
+                    max_requests: None,
+                },
+            )
+            .map_err(|e| format!("failed to start in-process server: {e}"))?;
+            Some((state, server))
+        }
+    };
+    let addr = match (&in_process, config.addr) {
+        (_, Some(addr)) => addr,
+        (Some((_, server)), None) => server.addr(),
+        (None, None) => return Err("no server to target".to_string()),
+    };
+    let builds_before = match &in_process {
+        Some(_) => 0,
+        None => scrape_builds(addr)?,
+    };
+
+    // Round-robin partition of the sampled sequence.
+    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); clients];
+    for (position, &index) in stream.indices.iter().enumerate() {
+        if let Some(part) = partitions.get_mut(position % clients) {
+            part.push(index);
+        }
+    }
+
+    let started = obs::clock::now();
+    let workers: Vec<std::thread::JoinHandle<ClientResult>> = partitions
+        .into_iter()
+        .map(|work| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || run_client(addr, bodies, work))
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let latency = Histogram::default();
+    for worker in workers {
+        let Ok(result) = worker.join() else {
+            return Err("a client thread panicked".to_string());
+        };
+        ok += result.ok;
+        errors += result.errors;
+        for us in result.latencies_us {
+            latency.record(us);
+            obs::histogram!("loadgen.request_us").record(us);
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let cache_builds = match &in_process {
+        Some((state, server)) => {
+            server.shutdown();
+            state.cache_stats().builds
+        }
+        None => scrape_builds(addr)?.saturating_sub(builds_before),
+    };
+
+    let snapshot = HistogramSnapshot {
+        count: latency.count(),
+        sum: latency.sum(),
+        buckets: latency.nonzero_buckets(),
+    };
+    let latency_mean_us = snapshot.sum.checked_div(snapshot.count).unwrap_or(0);
+    let throughput_rps = if wall_seconds > 0.0 {
+        config.requests as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    Ok(SloReport {
+        slo_format: SLO_FORMAT,
+        workload: config.workload.label().to_string(),
+        seed: config.seed,
+        requests: config.requests,
+        clients: config.clients,
+        distinct_queries: bodies.len() as u64,
+        stream_digest: stream.digest,
+        ok,
+        errors,
+        cache_builds,
+        cache_served: config.requests.saturating_sub(cache_builds),
+        latency_p50_us: snapshot.percentile(0.50),
+        latency_p99_us: snapshot.percentile(0.99),
+        latency_mean_us,
+        throughput_rps,
+        wall_seconds,
+        deterministic: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_seed_deterministic() {
+        let config = LoadgenConfig::default();
+        let bodies = config.workload.grid();
+        let a = build_stream(&config, &bodies);
+        let b = build_stream(&config, &bodies);
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.digest, b.digest);
+        let other = LoadgenConfig {
+            seed: 8,
+            ..LoadgenConfig::default()
+        };
+        let c = build_stream(&other, &bodies);
+        assert_ne!(a.digest, c.digest, "seed must reshape the stream");
+    }
+
+    #[test]
+    fn zipf_sampling_skews_toward_low_ranks() {
+        let config = LoadgenConfig {
+            requests: 2_000,
+            ..LoadgenConfig::default()
+        };
+        let bodies = config.workload.grid();
+        let stream = build_stream(&config, &bodies);
+        let head = stream.indices.iter().filter(|&&i| i == 0).count();
+        let tail = stream
+            .indices
+            .iter()
+            .filter(|&&i| i == bodies.len() - 1)
+            .count();
+        assert!(
+            head > tail * 3,
+            "rank 0 drew {head}, last rank drew {tail}: stream is not zipf-skewed"
+        );
+        // Every index stays inside the grid.
+        assert!(stream.indices.iter().all(|&i| i < bodies.len()));
+    }
+
+    #[test]
+    fn grids_are_stable_and_parse_as_requests() {
+        let quick = Workload::Quick.grid();
+        assert_eq!(quick.len(), 18);
+        assert_eq!(Workload::Full.grid().len(), 36);
+        for body in &quick {
+            crate::api::PredictRequest::from_json(body).expect("grid bodies must parse");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The listener: accept loop, per-connection workers, and the router.
+//!
+//! One request per connection (`Connection: close`), one worker thread per
+//! connection. The service's concurrency story lives in [`crate::state`] —
+//! workers share the [`ServeState`] and coalesce on its slots — so the
+//! transport layer stays a plain thread-per-connection loop with a
+//! self-poke shutdown.
+
+use crate::api::{error_body, HealthResponse, PredictRequest, API_FORMAT};
+use crate::http::{self, HttpError, Response};
+use crate::state::ServeState;
+use convmeter_metrics::obs;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Listener configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind host.
+    pub host: String,
+    /// Bind port; `0` asks the OS for an ephemeral port (tests, smoke).
+    pub port: u16,
+    /// Stop accepting after this many connections (`None` = run forever).
+    /// Lets the CLI smoke gate run a bounded server without signal
+    /// handling.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 8077,
+            max_requests: None,
+        }
+    }
+}
+
+/// A running server. Dropping it shuts the listener down and joins the
+/// accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `state` in background threads.
+    pub fn start(state: Arc<ServeState>, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let max_requests = config.max_requests;
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(&listener, &state, &accept_stop, max_requests));
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop. Idempotent; returns without waiting.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-poke: `accept` only notices the flag on its next wakeup.
+        if let Ok(stream) = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)) {
+            drop(stream);
+        }
+    }
+
+    /// Block until the accept loop exits (because `max_requests` was
+    /// reached or [`Server::shutdown`] was called from another thread).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServeState>,
+    stop: &AtomicBool,
+    max_requests: Option<u64>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            obs::counter!("serve.accept.errors").inc();
+            continue;
+        };
+        accepted += 1;
+        let worker_state = Arc::clone(state);
+        workers.push(std::thread::spawn(move || {
+            handle_connection(stream, &worker_state);
+        }));
+        if max_requests.is_some_and(|max| accepted >= max) {
+            break;
+        }
+        // Reap finished workers so the handle list stays bounded on
+        // long-running servers.
+        workers.retain(|handle| !handle.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServeState) {
+    let started = obs::clock::now();
+    obs::counter!("serve.requests").inc();
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => route(&request, state),
+        Err(e) => {
+            obs::counter!("serve.http.errors").inc();
+            let status = match e {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            Response::json(status, error_body(&e.to_string()))
+        }
+    };
+    obs::histogram!("serve.request_us").record_duration_us(started.elapsed());
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn route(request: &http::Request, state: &ServeState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let health = HealthResponse {
+                status: "ok".to_string(),
+                api_format: API_FORMAT,
+            };
+            match serde_json::to_string_pretty(&health) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json(500, error_body(&e.to_string())),
+            }
+        }
+        ("GET", "/metrics") => {
+            let snapshot = obs::metric::snapshot();
+            Response::text(200, obs::prometheus::render(&snapshot))
+        }
+        ("POST", "/predict") => match PredictRequest::from_json(&request.body) {
+            Ok(predict) => match state.predict(&predict) {
+                Ok((rendered, _)) => Response::json(rendered.status, rendered.body.clone()),
+                Err(message) => Response::json(400, error_body(&message)),
+            },
+            Err(message) => Response::json(400, error_body(&message)),
+        },
+        (_, "/healthz" | "/metrics" | "/predict") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        _ => Response::json(404, error_body("not found")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+
+    fn test_server() -> Server {
+        let state = Arc::new(ServeState::new(&ServeConfig::default()));
+        Server::start(
+            state,
+            &ServerConfig {
+                host: "127.0.0.1".to_string(),
+                port: 0,
+                max_requests: None,
+            },
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn routes_answer_and_server_shuts_down() {
+        let server = test_server();
+        let addr = server.addr();
+        let (status, body) = http::call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+        let (status, _) = http::call(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http::call(addr, "DELETE", "/predict", None).unwrap();
+        assert_eq!(status, 405);
+        let (status, body) = http::call(addr, "POST", "/predict", Some("{}")).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("error"), "{body}");
+        let (status, body) = http::call(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_requests_total"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bounded_server_exits_after_max_requests() {
+        let state = Arc::new(ServeState::new(&ServeConfig::default()));
+        let server = Server::start(
+            state,
+            &ServerConfig {
+                host: "127.0.0.1".to_string(),
+                port: 0,
+                max_requests: Some(2),
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (status, _) = http::call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = http::call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        // The accept loop has stopped; wait() returns instead of hanging.
+        server.wait();
+    }
+}

@@ -1,0 +1,370 @@
+//! Versioned SLO report and the gate that compares it to a committed
+//! baseline.
+//!
+//! The report splits into two kinds of fields:
+//!
+//! * **deterministic** fields — request mix, stream digest, cache builds —
+//!   are functions of `(workload, seed, requests, clients)` alone and must
+//!   be *byte-identical* across runs and machines;
+//! * **timed** fields — latency percentiles, throughput, wall time — vary
+//!   per machine and are checked against the contract's generous absolute
+//!   ceilings (scaled by the gate tolerance) instead of exact equality.
+//!
+//! [`deterministic_view`](SloReport::deterministic_view) zeroes the timed
+//! fields; the committed `BENCH_slo.json` stores that view, so the baseline
+//! never churns when CI hardware changes speed.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema version for [`SloReport`] / [`SloBaseline`]. Bump on any field
+/// change so the gate fails loudly instead of comparing mismatched shapes.
+pub const SLO_FORMAT: u32 = 1;
+
+/// One load-generator run, summarised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Schema version ([`SLO_FORMAT`]).
+    pub slo_format: u32,
+    /// Workload label (`serve-quick`, ...).
+    pub workload: String,
+    /// RNG seed the query stream was generated from.
+    pub seed: u64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Client threads.
+    pub clients: u64,
+    /// Distinct queries in the grid the zipf stream samples from.
+    pub distinct_queries: u64,
+    /// Fingerprint of the exact query sequence (order-sensitive): the
+    /// witness that two runs replayed the same stream.
+    pub stream_digest: String,
+    /// Requests answered 200.
+    pub ok: u64,
+    /// Requests answered anything else (or failing transport).
+    pub errors: u64,
+    /// Responses the server computed (cache misses that built).
+    pub cache_builds: u64,
+    /// Requests served without a build (cache hits + coalesced).
+    pub cache_served: u64,
+    /// Client-observed p50 latency, microseconds. Timed.
+    pub latency_p50_us: u64,
+    /// Client-observed p99 latency, microseconds. Timed.
+    pub latency_p99_us: u64,
+    /// Client-observed mean latency, microseconds. Timed.
+    pub latency_mean_us: u64,
+    /// Requests per wall-clock second. Timed.
+    pub throughput_rps: f64,
+    /// Wall-clock duration of the run, seconds. Timed.
+    pub wall_seconds: f64,
+    /// `true` when the timed fields have been zeroed by
+    /// [`SloReport::deterministic_view`].
+    pub deterministic: bool,
+}
+
+impl SloReport {
+    /// A copy with every machine-dependent field zeroed — the byte-stable
+    /// form that is committed and diffed.
+    pub fn deterministic_view(&self) -> SloReport {
+        SloReport {
+            latency_p50_us: 0,
+            latency_p99_us: 0,
+            latency_mean_us: 0,
+            throughput_rps: 0.0,
+            wall_seconds: 0.0,
+            deterministic: true,
+            ..self.clone()
+        }
+    }
+
+    /// Serialise to pretty JSON (trailing newline included: the file form).
+    pub fn to_json(&self) -> String {
+        let mut body = serde_json::to_string_pretty(&self).unwrap_or_default();
+        body.push('\n');
+        body
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(text: &str) -> Result<SloReport, String> {
+        let value = serde_json::parse(text).map_err(|e| format!("invalid SLO report: {e}"))?;
+        SloReport::from_value(&value).map_err(|e| format!("invalid SLO report: {e}"))
+    }
+}
+
+/// Absolute ceilings a timed run must stay inside. Deliberately generous —
+/// they catch order-of-magnitude regressions (a lost cache, an accidental
+/// O(n²) in the hot path), not machine-to-machine noise; `tolerance`
+/// loosens them further in CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloContract {
+    /// Ceiling on p50 latency, microseconds.
+    pub max_p50_us: u64,
+    /// Ceiling on p99 latency, microseconds.
+    pub max_p99_us: u64,
+    /// Floor on throughput, requests per second.
+    pub min_throughput_rps: f64,
+    /// Ceiling on `errors / requests`.
+    pub max_error_rate: f64,
+}
+
+/// The contract committed in `BENCH_slo.json`. Ceilings are sized for the
+/// quick workload on a cold in-process server — the p99 budget absorbs the
+/// first-request calibration sweep — with room for slow CI machines; the
+/// gate's tolerance scales them further.
+pub fn default_contract() -> SloContract {
+    SloContract {
+        max_p50_us: 200_000,
+        max_p99_us: 5_000_000,
+        min_throughput_rps: 2.0,
+        max_error_rate: 0.0,
+    }
+}
+
+/// The committed baseline file (`BENCH_slo.json`): contract plus the
+/// expected deterministic view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBaseline {
+    /// Schema version ([`SLO_FORMAT`]).
+    pub slo_format: u32,
+    /// Timed-field ceilings.
+    pub contract: SloContract,
+    /// Expected deterministic view of the run.
+    pub report: SloReport,
+}
+
+impl SloBaseline {
+    /// Serialise to pretty JSON with trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut body = serde_json::to_string_pretty(&self).unwrap_or_default();
+        body.push('\n');
+        body
+    }
+
+    /// Parse a baseline file.
+    pub fn from_json(text: &str) -> Result<SloBaseline, String> {
+        let value = serde_json::parse(text).map_err(|e| format!("invalid SLO baseline: {e}"))?;
+        SloBaseline::from_value(&value).map_err(|e| format!("invalid SLO baseline: {e}"))
+    }
+}
+
+fn push_mismatch<T: std::fmt::Display + PartialEq>(
+    findings: &mut Vec<String>,
+    field: &str,
+    fresh: T,
+    baseline: T,
+) {
+    if fresh != baseline {
+        findings.push(format!(
+            "{field}: got {fresh}, baseline expects {baseline} (deterministic field — must match exactly)"
+        ));
+    }
+}
+
+/// Compare a fresh *timed* report against the committed baseline.
+///
+/// Deterministic fields must match the baseline byte-for-byte; timed fields
+/// must stay inside the contract scaled by `tolerance` (`0.25` = 25% slack
+/// on every ceiling). Returns one human-readable finding per violation;
+/// empty means the gate passes.
+pub fn compare(fresh: &SloReport, baseline: &SloBaseline, tolerance: f64) -> Vec<String> {
+    let mut findings = Vec::new();
+    if baseline.slo_format != SLO_FORMAT || fresh.slo_format != SLO_FORMAT {
+        findings.push(format!(
+            "slo_format mismatch: report v{}, baseline v{}, this binary speaks v{SLO_FORMAT} \
+             (regenerate the baseline)",
+            fresh.slo_format, baseline.slo_format
+        ));
+        return findings;
+    }
+    if fresh.deterministic {
+        findings
+            .push("fresh report is a deterministic view; the gate needs a timed run".to_string());
+        return findings;
+    }
+
+    let expected = &baseline.report;
+    push_mismatch(
+        &mut findings,
+        "workload",
+        &fresh.workload,
+        &expected.workload,
+    );
+    push_mismatch(&mut findings, "seed", fresh.seed, expected.seed);
+    push_mismatch(&mut findings, "requests", fresh.requests, expected.requests);
+    push_mismatch(&mut findings, "clients", fresh.clients, expected.clients);
+    push_mismatch(
+        &mut findings,
+        "distinct_queries",
+        fresh.distinct_queries,
+        expected.distinct_queries,
+    );
+    push_mismatch(
+        &mut findings,
+        "stream_digest",
+        &fresh.stream_digest,
+        &expected.stream_digest,
+    );
+    push_mismatch(&mut findings, "ok", fresh.ok, expected.ok);
+    push_mismatch(&mut findings, "errors", fresh.errors, expected.errors);
+    push_mismatch(
+        &mut findings,
+        "cache_builds",
+        fresh.cache_builds,
+        expected.cache_builds,
+    );
+    push_mismatch(
+        &mut findings,
+        "cache_served",
+        fresh.cache_served,
+        expected.cache_served,
+    );
+
+    let slack = 1.0 + tolerance.max(0.0);
+    let contract = &baseline.contract;
+    let p50_ceiling = (contract.max_p50_us as f64 * slack) as u64;
+    if fresh.latency_p50_us > p50_ceiling {
+        findings.push(format!(
+            "latency_p50_us {} exceeds contract ceiling {} (max_p50_us {} x {slack:.2})",
+            fresh.latency_p50_us, p50_ceiling, contract.max_p50_us
+        ));
+    }
+    let p99_ceiling = (contract.max_p99_us as f64 * slack) as u64;
+    if fresh.latency_p99_us > p99_ceiling {
+        findings.push(format!(
+            "latency_p99_us {} exceeds contract ceiling {} (max_p99_us {} x {slack:.2})",
+            fresh.latency_p99_us, p99_ceiling, contract.max_p99_us
+        ));
+    }
+    let throughput_floor = contract.min_throughput_rps / slack;
+    if fresh.throughput_rps < throughput_floor {
+        findings.push(format!(
+            "throughput_rps {:.2} below contract floor {throughput_floor:.2} \
+             (min_throughput_rps {:.2} / {slack:.2})",
+            fresh.throughput_rps, contract.min_throughput_rps
+        ));
+    }
+    let error_rate = if fresh.requests == 0 {
+        0.0
+    } else {
+        fresh.errors as f64 / fresh.requests as f64
+    };
+    if error_rate > contract.max_error_rate {
+        findings.push(format!(
+            "error rate {error_rate:.4} exceeds contract ceiling {:.4}",
+            contract.max_error_rate
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timed_report() -> SloReport {
+        SloReport {
+            slo_format: SLO_FORMAT,
+            workload: "serve-quick".to_string(),
+            seed: 7,
+            requests: 64,
+            clients: 4,
+            distinct_queries: 18,
+            stream_digest: "abc123".to_string(),
+            ok: 64,
+            errors: 0,
+            cache_builds: 12,
+            cache_served: 52,
+            latency_p50_us: 900,
+            latency_p99_us: 40_000,
+            latency_mean_us: 3_000,
+            throughput_rps: 800.0,
+            wall_seconds: 0.08,
+            deterministic: false,
+        }
+    }
+
+    fn baseline() -> SloBaseline {
+        SloBaseline {
+            slo_format: SLO_FORMAT,
+            contract: SloContract {
+                max_p50_us: 50_000,
+                max_p99_us: 2_000_000,
+                min_throughput_rps: 5.0,
+                max_error_rate: 0.0,
+            },
+            report: timed_report().deterministic_view(),
+        }
+    }
+
+    #[test]
+    fn matching_run_passes() {
+        assert_eq!(
+            compare(&timed_report(), &baseline(), 0.25),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn deterministic_drift_is_reported_exactly() {
+        let mut fresh = timed_report();
+        fresh.cache_builds += 1;
+        fresh.stream_digest = "def456".to_string();
+        let findings = compare(&fresh, &baseline(), 0.25);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.contains("stream_digest")));
+        assert!(findings.iter().any(|f| f.contains("cache_builds")));
+    }
+
+    #[test]
+    fn contract_ceilings_scale_with_tolerance() {
+        let mut fresh = timed_report();
+        fresh.latency_p99_us = 2_100_000; // breaches at tol 0, passes at 0.25
+        assert!(compare(&fresh, &baseline(), 0.0)
+            .iter()
+            .any(|f| f.contains("latency_p99_us")));
+        assert!(compare(&fresh, &baseline(), 0.25).is_empty());
+    }
+
+    #[test]
+    fn error_budget_and_deterministic_input_are_enforced() {
+        let mut fresh = timed_report();
+        fresh.ok -= 1;
+        fresh.errors += 1;
+        // The deterministic `ok`/`errors` fields drift AND the error-rate
+        // ceiling (0.0) is breached.
+        let findings = compare(&fresh, &baseline(), 0.25);
+        assert!(
+            findings.iter().any(|f| f.contains("error rate")),
+            "{findings:?}"
+        );
+
+        let view = timed_report().deterministic_view();
+        let findings = compare(&view, &baseline(), 0.25);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("timed run"));
+    }
+
+    #[test]
+    fn report_and_baseline_roundtrip_through_json() {
+        let report = timed_report();
+        let parsed = SloReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let base = baseline();
+        let parsed = SloBaseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        // Byte determinism of the committed view: serialising twice is
+        // identical.
+        assert_eq!(
+            base.to_json(),
+            SloBaseline::from_json(&base.to_json()).unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn format_mismatch_short_circuits() {
+        let mut base = baseline();
+        base.slo_format = 99;
+        let findings = compare(&timed_report(), &base, 0.25);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("slo_format"));
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end service tests over real sockets: the HTTP round-trip, the
+//! 8-thread coalescing guarantee, and byte-determinism of the load
+//! generator's SLO report.
+
+use convmeter_serve::loadgen::{self, LoadgenConfig, Workload};
+use convmeter_serve::server::{Server, ServerConfig};
+use convmeter_serve::state::{CacheOutcome, ServeConfig, ServeState};
+use convmeter_serve::{http, PredictRequest};
+use std::sync::Arc;
+
+fn ephemeral(state: Arc<ServeState>) -> Server {
+    Server::start(
+        state,
+        &ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            max_requests: None,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+const BODY: &str =
+    r#"{"model": "resnet18", "image": 64, "batch": 8, "nodes": [1, 2, 4], "top_blocks": 3}"#;
+
+#[test]
+fn predict_round_trip_over_http() {
+    let state = Arc::new(ServeState::new(&ServeConfig::default()));
+    let server = ephemeral(Arc::clone(&state));
+    let addr = server.addr();
+
+    let (status, body) = http::call(addr, "POST", "/predict", Some(BODY)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse(&body).unwrap();
+    assert_eq!(
+        v.get("model").and_then(serde_json::Value::as_str),
+        Some("resnet18")
+    );
+    let forward = v
+        .get("forward_s")
+        .and_then(serde_json::Value::as_f64)
+        .expect("forward_s present");
+    let step = v
+        .get("step_s")
+        .and_then(serde_json::Value::as_f64)
+        .expect("step_s present");
+    assert!(
+        forward > 0.0 && step > forward,
+        "step {step} vs fwd {forward}"
+    );
+    assert_eq!(
+        v.get("scaling")
+            .and_then(serde_json::Value::as_array)
+            .map(<[serde_json::Value]>::len),
+        Some(3)
+    );
+
+    // The second identical request is answered from the cache with the
+    // exact same bytes.
+    let (status, again) = http::call(addr, "POST", "/predict", Some(BODY)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(again, body, "cached response must be byte-identical");
+    let stats = state.cache_stats();
+    assert_eq!((stats.builds, stats.hits), (1, 1));
+}
+
+#[test]
+fn concurrent_identical_requests_build_exactly_once() {
+    let state = Arc::new(ServeState::new(&ServeConfig::default()));
+    let server = ephemeral(Arc::clone(&state));
+    let addr = server.addr();
+
+    // 8 threads race the same request through real sockets.
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, body) = http::call(addr, "POST", "/predict", Some(BODY)).unwrap();
+                assert_eq!(status, 200, "{body}");
+                body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert!(
+        bodies.iter().all(|b| b == &bodies[0]),
+        "all racers must observe the same rendered response"
+    );
+
+    // The response was computed exactly once; every other request hit or
+    // coalesced.
+    let stats = state.cache_stats();
+    assert_eq!(stats.builds, 1, "coalescing must collapse identical builds");
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits + stats.coalesced, 7);
+
+    // And the engine store underneath built each calibration dataset
+    // exactly once, however many connections raced into it.
+    let store = state.store_stats();
+    assert!(!store.is_empty(), "predict must have touched the store");
+    for (key, dataset) in store {
+        assert_eq!(dataset.builds, 1, "dataset {key} built more than once");
+    }
+}
+
+#[test]
+fn direct_state_coalescing_reports_outcomes() {
+    // Same guarantee below the HTTP layer, where outcomes are observable.
+    let state = Arc::new(ServeState::new(&ServeConfig::default()));
+    let request = PredictRequest::from_json(BODY).unwrap();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let request = request.clone();
+            std::thread::spawn(move || state.predict(&request).unwrap().1)
+        })
+        .collect();
+    let outcomes: Vec<CacheOutcome> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let misses = outcomes
+        .iter()
+        .filter(|&&o| o == CacheOutcome::Miss)
+        .count();
+    assert_eq!(misses, 1, "exactly one racer may build: {outcomes:?}");
+    assert_eq!(state.cache_stats().builds, 1);
+}
+
+#[test]
+fn loadgen_reports_are_byte_deterministic_per_seed() {
+    let config = LoadgenConfig {
+        workload: Workload::Quick,
+        seed: 11,
+        requests: 48,
+        clients: 4,
+        addr: None,
+    };
+    let first = loadgen::run(&config).expect("first run");
+    let second = loadgen::run(&config).expect("second run");
+
+    // Timed runs must be clean before determinism means anything.
+    assert_eq!(first.errors, 0, "first run saw errors");
+    assert_eq!(first.ok, 48);
+    assert!(!first.deterministic);
+    assert!(first.cache_builds > 0 && first.cache_builds <= first.distinct_queries);
+    assert_eq!(first.cache_served, 48 - first.cache_builds);
+
+    // The committed view is byte-identical across runs of the same seed.
+    assert_eq!(
+        first.deterministic_view().to_json(),
+        second.deterministic_view().to_json(),
+        "deterministic views diverged between identical runs"
+    );
+
+    // A different seed replays a different stream.
+    let other = loadgen::run(&LoadgenConfig { seed: 12, ..config }).expect("reseeded run");
+    assert_ne!(first.stream_digest, other.stream_digest);
+}

@@ -50,6 +50,36 @@ CONVMETER_RESULTS="$PROFILE_TMP" \
 test -f "$PROFILE_TMP/BENCH_profile.json"
 rm -rf "$PROFILE_TMP"
 
+echo "==> convmeter serve smoke (ephemeral port, /healthz + /predict round-trip)"
+SERVE_TMP="$(mktemp -d)"
+SERVE_LOG="$SERVE_TMP/serve.log"
+# Bounded server: exits on its own after accepting two requests.
+CONVMETER_RESULTS="$SERVE_TMP" \
+    cargo run -q -p convmeter-cli --offline -- serve --port 0 --requests 2 >"$SERVE_LOG" &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 100); do
+    SERVE_URL="$(sed -n 's#^listening on \(http://[^ ]*\)$#\1#p' "$SERVE_LOG")"
+    [[ -n "$SERVE_URL" ]] && break
+    sleep 0.1
+done
+if [[ -z "$SERVE_URL" ]]; then
+    echo "serve smoke: server never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# curl -f turns any non-2xx answer into a non-zero exit; the greps assert
+# the response schema.
+curl -sf "$SERVE_URL/healthz" | grep -q '"status": "ok"'
+PREDICT_BODY='{"model": "resnet18", "image": 64, "batch": 8, "nodes": [1, 2]}'
+PREDICT="$(curl -sf -X POST --data "$PREDICT_BODY" "$SERVE_URL/predict")"
+grep -q '"forward_s"' <<<"$PREDICT"
+grep -q '"step_s"' <<<"$PREDICT"
+grep -q '"scaling"' <<<"$PREDICT"
+# The bounded server must now exit cleanly by itself.
+wait "$SERVE_PID"
+rm -rf "$SERVE_TMP"
+
 # Warn-only for now: flip to a hard failure once the baseline has soaked on
 # the CI runners (timings there are noisier than local ones).
 echo "==> tools/perf_gate.sh (warn-only)"

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# SLO gate: replay the deterministic load-generator stream against an
+# in-process server and compare the fresh SLO report against the committed
+# baseline.
+#
+#   tools/slo_gate.sh [baseline.json]
+#
+# Environment:
+#   SLO_GATE_TOLERANCE    relative slack on the contract's timed ceilings
+#                         (default 0.5 = 50%; deterministic fields always
+#                         compare exactly)
+#   SLO_GATE_SEED         stream seed (default 7; must match the baseline)
+#   CONVMETER_RESULTS     results directory (default: a temp dir, removed
+#                         afterwards). The fresh report lands at
+#                         $CONVMETER_RESULTS/BENCH_slo_report.json so CI can
+#                         upload it as an artifact.
+#
+# Exits non-zero when the deterministic fields (stream digest, request mix,
+# cache builds) drift from the baseline, when a timed field breaks the SLO
+# contract past the tolerance, or when the baseline is missing. The
+# comparison itself is done by `convmeter loadgen --baseline`, so this
+# script needs no python/jq. Regenerate the baseline with:
+#   cargo run -q -p convmeter-cli -- loadgen --quick --seed 7 --write-baseline BENCH_slo.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_slo.json}"
+TOLERANCE="${SLO_GATE_TOLERANCE:-0.5}"
+SEED="${SLO_GATE_SEED:-7}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "slo gate: baseline '$BASELINE' not found" >&2
+    echo "slo gate: generate one with: cargo run -q -p convmeter-cli -- loadgen --quick --seed $SEED --write-baseline $BASELINE" >&2
+    exit 1
+fi
+
+CLEANUP=""
+if [[ -z "${CONVMETER_RESULTS:-}" ]]; then
+    CONVMETER_RESULTS="$(mktemp -d)"
+    CLEANUP="$CONVMETER_RESULTS"
+fi
+export CONVMETER_RESULTS
+
+REPORT_JSON="$CONVMETER_RESULTS/BENCH_slo_report.json"
+
+status=0
+cargo run -q -p convmeter-cli --offline -- loadgen --quick \
+    --seed "$SEED" --out "$REPORT_JSON" \
+    --baseline "$BASELINE" --tolerance "$TOLERANCE" || status=$?
+
+# Belt to the CLI's braces: the report must exist and must be a timed run —
+# a deterministic view here would mean the gate compared zeroed latencies.
+if [[ -f "$REPORT_JSON" ]]; then
+    if ! grep -q '"deterministic": false' "$REPORT_JSON"; then
+        echo "slo gate: report at $REPORT_JSON is not a timed run" >&2
+        status=1
+    fi
+    if ! grep -q '"slo_format"' "$REPORT_JSON"; then
+        echo "slo gate: report at $REPORT_JSON is missing its format stamp" >&2
+        status=1
+    fi
+else
+    echo "slo gate: expected report at $REPORT_JSON was not written" >&2
+    status=1
+fi
+
+if [[ -n "$CLEANUP" ]]; then
+    rm -rf "$CLEANUP"
+fi
+
+if [[ $status -ne 0 ]]; then
+    echo "slo gate: FAILED (tolerance ${TOLERANCE})" >&2
+else
+    echo "slo gate: OK (tolerance ${TOLERANCE})"
+fi
+exit $status
