@@ -991,12 +991,24 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "warmed {device} coefficient shard")?;
         }
     }
+    let defaults = ServerConfig::default();
     let server = Server::start(
         state,
         &ServerConfig {
             host,
             port,
             max_requests,
+            workers: args.get_or("workers", defaults.workers)?,
+            queue_capacity: args.get_or("queue-capacity", defaults.queue_capacity)?,
+            max_connections: args.get_or("max-connections", defaults.max_connections)?,
+            request_deadline: std::time::Duration::from_millis(args.get_or(
+                "request-deadline-ms",
+                defaults.request_deadline.as_millis() as u64,
+            )?),
+            drain_timeout: std::time::Duration::from_millis(args.get_or(
+                "drain-timeout-ms",
+                defaults.drain_timeout.as_millis() as u64,
+            )?),
         },
     )?;
     writeln!(out, "listening on http://{}", server.addr())?;
@@ -1011,7 +1023,7 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// committed baseline.
 pub fn loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use convmeter_serve::loadgen::{run, LoadgenConfig, Workload};
-    use convmeter_serve::slo;
+    use convmeter_serve::{slo, ChaosProfile};
 
     let workload = if args.switch("quick") {
         Workload::Quick
@@ -1029,12 +1041,20 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 .map_err(|_| CliError::Usage(format!("--addr={v}: expected HOST:PORT")))?,
         ),
     };
+    let chaos_name = args.opt("chaos").unwrap_or("none");
+    let chaos = ChaosProfile::by_name(chaos_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--chaos={chaos_name}: unknown profile (builtins: {})",
+            ChaosProfile::builtin_names().join(", ")
+        ))
+    })?;
     let config = LoadgenConfig {
         workload,
         seed: args.get_or("seed", 7u64)?,
         requests: args.get_or("requests", default_requests)?,
         clients: args.get_or("clients", 4u64)?,
         addr,
+        chaos,
     };
     let report = run(&config).map_err(|e| CliError::Usage(format!("loadgen failed: {e}")))?;
 
@@ -1080,6 +1100,16 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             report.latency_mean_us,
             report.throughput_rps
         )?;
+        if report.chaos_profile != "none" {
+            writeln!(
+                out,
+                "  chaos '{}': {} fault(s) injected, {} mismatch(es), {} burst request(s)",
+                report.chaos_profile,
+                report.chaos_faults,
+                report.chaos_mismatches,
+                report.burst_requests
+            )?;
+        }
         writeln!(out, "  stream digest {}", report.stream_digest)?;
         writeln!(out, "  report written to {}", out_path.display())?;
     }
@@ -1103,6 +1133,15 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "slo gate passed: deterministic fields match, timed fields within contract (+{:.0}%)",
             tolerance * 100.0
         )?;
+    }
+
+    // Chaos gate: a fault that drew the wrong status code or a panicking
+    // client worker fails the run even though the report was written.
+    if report.chaos_mismatches > 0 || report.client_panics > 0 {
+        return Err(CliError::Chaos {
+            mismatches: report.chaos_mismatches,
+            panics: report.client_panics,
+        });
     }
     Ok(())
 }

@@ -63,6 +63,15 @@ pub enum CliError {
         /// Number of experiments that exhausted their attempts.
         failed: usize,
     },
+    /// `convmeter loadgen` saw chaos fault mismatches or client worker
+    /// panics: the report was still written, but CI must notice.
+    Chaos {
+        /// Injected faults whose observed outcome diverged from the
+        /// expected status mapping.
+        mismatches: u64,
+        /// Client worker threads that panicked mid-run.
+        panics: u64,
+    },
     /// `convmeter analyze` found unsuppressed CA findings.
     Analyze {
         /// Number of unsuppressed findings.
@@ -91,6 +100,12 @@ impl std::fmt::Display for CliError {
             CliError::Quarantined { failed } => {
                 write!(f, "bench quarantined {failed} failing experiment(s)")
             }
+            CliError::Chaos { mismatches, panics } => {
+                write!(
+                    f,
+                    "loadgen chaos gate failed: {mismatches} fault mismatch(es), {panics} client panic(s)"
+                )
+            }
             CliError::Analyze { findings } => {
                 write!(f, "analyze found {findings} unsuppressed finding(s)")
             }
@@ -113,6 +128,7 @@ impl std::error::Error for CliError {
             | CliError::Lint { .. }
             | CliError::Gate { .. }
             | CliError::Quarantined { .. }
+            | CliError::Chaos { .. }
             | CliError::Analyze { .. } => None,
         }
     }
@@ -213,9 +229,14 @@ COMMANDS:
                                       [--host 127.0.0.1] [--port 8077]
                                       [--requests N] [--warm]
                                       [--cache-capacity 256]
+                                      [--workers 8] [--queue-capacity 64]
+                                      [--max-connections 256]
+                                      [--request-deadline-ms 10000]
+                                      [--drain-timeout-ms 5000]
   loadgen                           deterministic load generator + SLO report
                                       [--quick] [--seed 7] [--requests N]
                                       [--clients 4] [--addr HOST:PORT]
+                                      [--chaos none|light|heavy|ci-smoke]
                                       [--out FILE] [--json]
                                       [--baseline FILE] [--tolerance 0.5]
                                       [--write-baseline FILE]

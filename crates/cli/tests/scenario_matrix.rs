@@ -1,0 +1,722 @@
+//! Scenario-matrix e2e harness (ROADMAP item 5).
+//!
+//! Executes the declarative stanzas under `tests/scenarios/*.toml` against
+//! the real `convmeter` binary, each in an isolated temp results directory.
+//! The stanza format is a deliberately small TOML subset parsed by hand
+//! (the workspace vendors no TOML crate): `[[scenario]]` tables with
+//! string / integer / boolean / string-array values, where arrays may span
+//! lines.
+//!
+//! Gated behind `CONVMETER_SCENARIOS=1` so the plain workspace test pass
+//! stays fast; `tools/check.sh` and CI run it as a dedicated step.
+
+use std::io::Read;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Whole-scenario wall-clock budget, generous enough for a debug-profile
+/// bench run on a loaded CI runner.
+const SCENARIO_TIMEOUT: Duration = Duration::from_secs(180);
+/// How long a `mode = "serve"` stanza waits for the "listening on" line.
+const SERVE_STARTUP: Duration = Duration::from_secs(60);
+
+// ---------------------------------------------------------------------------
+// Stanza model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Probe {
+    method: String,
+    path: String,
+    body: Option<String>,
+    status: u16,
+    contains: Option<String>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Scenario {
+    name: String,
+    args: Vec<String>,
+    /// `"warm-cache"` or `"corrupt-cache"`.
+    setup: Option<String>,
+    /// `"run"` (default) or `"serve"`.
+    mode: String,
+    expect_exit: i32,
+    stdout_contains: Vec<String>,
+    stderr_contains: Vec<String>,
+    /// Top-level keys that must be present when stdout parses as JSON.
+    json_keys: Vec<String>,
+    /// Top-level JSON keys whose values must match across two fresh runs.
+    stable_keys: Vec<String>,
+    /// Full stdout must match byte-for-byte across two fresh runs.
+    byte_identical: bool,
+    /// Paths relative to the results dir that must exist afterwards.
+    files_exist: Vec<String>,
+    /// `"relative/path :: needle"` — the file must contain the needle.
+    file_contains: Vec<String>,
+    probes: Vec<Probe>,
+}
+
+// ---------------------------------------------------------------------------
+// TOML-subset parser
+// ---------------------------------------------------------------------------
+
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Arr(Vec<String>),
+}
+
+/// True when every `[`/`]` outside quoted strings is balanced — used to
+/// join multi-line arrays before parsing.
+fn array_is_complete(raw: &str) -> bool {
+    let mut depth = 0i32;
+    let mut quote: Option<char> = None;
+    let mut escaped = false;
+    for c in raw.chars() {
+        match quote {
+            Some(q) => {
+                if escaped {
+                    escaped = false;
+                } else if q == '"' && c == '\\' {
+                    escaped = true;
+                } else if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => quote = Some(c),
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            },
+        }
+    }
+    depth <= 0
+}
+
+fn parse_quoted(raw: &str, context: &str) -> (String, usize) {
+    let mut chars = raw.char_indices();
+    let (_, quote) = chars
+        .next()
+        .unwrap_or_else(|| panic!("{context}: empty string literal"));
+    assert!(
+        quote == '"' || quote == '\'',
+        "{context}: expected a quote, got {raw:?}"
+    );
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            escaped = false;
+        } else if quote == '"' && c == '\\' {
+            escaped = true;
+        } else if c == quote {
+            return (out, i + c.len_utf8());
+        } else {
+            out.push(c);
+        }
+    }
+    panic!("{context}: unterminated string literal in {raw:?}");
+}
+
+fn parse_value(raw: &str, context: &str) -> Value {
+    let raw = raw.trim();
+    if raw.starts_with('[') {
+        let inner = raw
+            .strip_prefix('[')
+            .and_then(|r| r.trim_end().strip_suffix(']'))
+            .unwrap_or_else(|| panic!("{context}: malformed array {raw:?}"));
+        let mut items = Vec::new();
+        let mut rest = inner.trim_start();
+        while !rest.is_empty() {
+            if rest.starts_with(',') {
+                rest = rest[1..].trim_start();
+                continue;
+            }
+            assert!(
+                rest.starts_with('"') || rest.starts_with('\''),
+                "{context}: array items must be quoted strings, got {rest:?}"
+            );
+            let (item, consumed) = parse_quoted(rest, context);
+            items.push(item);
+            rest = rest[consumed..].trim_start();
+        }
+        return Value::Arr(items);
+    }
+    if raw.starts_with('"') || raw.starts_with('\'') {
+        let (s, consumed) = parse_quoted(raw, context);
+        assert!(
+            raw[consumed..].trim().is_empty(),
+            "{context}: trailing junk after string in {raw:?}"
+        );
+        return Value::Str(s);
+    }
+    match raw {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Int(
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{context}: unsupported value {raw:?}")),
+        ),
+    }
+}
+
+/// `METHOD PATH [BODY] => STATUS [~ NEEDLE]`
+fn parse_probe(raw: &str, context: &str) -> Probe {
+    let (request, expect) = raw
+        .split_once(" => ")
+        .unwrap_or_else(|| panic!("{context}: probe {raw:?} is missing ' => '"));
+    let (method, rest) = request
+        .trim()
+        .split_once(' ')
+        .unwrap_or_else(|| panic!("{context}: probe {raw:?} is missing a path"));
+    let (path, body) = match rest.trim().split_once(' ') {
+        Some((p, b)) => (p.to_string(), Some(b.trim().to_string())),
+        None => (rest.trim().to_string(), None),
+    };
+    let (status_raw, contains) = match expect.split_once(" ~ ") {
+        Some((s, needle)) => (s.trim(), Some(needle.trim().to_string())),
+        None => (expect.trim(), None),
+    };
+    Probe {
+        method: method.to_string(),
+        path,
+        body,
+        status: status_raw
+            .parse()
+            .unwrap_or_else(|_| panic!("{context}: bad probe status {status_raw:?}")),
+        contains,
+    }
+}
+
+fn assign(scenario: &mut Scenario, key: &str, value: Value, context: &str) {
+    let want_strings = |v: Value| -> Vec<String> {
+        match v {
+            Value::Arr(items) => items,
+            _ => panic!("{context}: key '{key}' wants an array of strings"),
+        }
+    };
+    match key {
+        "name" => match value {
+            Value::Str(s) => scenario.name = s,
+            _ => panic!("{context}: 'name' wants a string"),
+        },
+        "setup" => match value {
+            Value::Str(s) => scenario.setup = Some(s),
+            _ => panic!("{context}: 'setup' wants a string"),
+        },
+        "mode" => match value {
+            Value::Str(s) => scenario.mode = s,
+            _ => panic!("{context}: 'mode' wants a string"),
+        },
+        "expect_exit" => match value {
+            Value::Int(i) => scenario.expect_exit = i as i32,
+            _ => panic!("{context}: 'expect_exit' wants an integer"),
+        },
+        "byte_identical" => match value {
+            Value::Bool(b) => scenario.byte_identical = b,
+            _ => panic!("{context}: 'byte_identical' wants a boolean"),
+        },
+        "args" => scenario.args = want_strings(value),
+        "stdout_contains" => scenario.stdout_contains = want_strings(value),
+        "stderr_contains" => scenario.stderr_contains = want_strings(value),
+        "json_keys" => scenario.json_keys = want_strings(value),
+        "stable_keys" => scenario.stable_keys = want_strings(value),
+        "files_exist" => scenario.files_exist = want_strings(value),
+        "file_contains" => scenario.file_contains = want_strings(value),
+        "probes" => {
+            scenario.probes = want_strings(value)
+                .iter()
+                .map(|p| parse_probe(p, context))
+                .collect();
+        }
+        other => panic!("{context}: unknown key '{other}'"),
+    }
+}
+
+fn parse_stanzas(source: &str, file: &str) -> Vec<Scenario> {
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((number, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let context = format!("{file}:{}", number + 1);
+        if line == "[[scenario]]" {
+            scenarios.push(Scenario {
+                mode: "run".to_string(),
+                ..Scenario::default()
+            });
+            continue;
+        }
+        let (key, raw_value) = line
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{context}: expected 'key = value', got {line:?}"));
+        let mut raw_value = raw_value.trim().to_string();
+        // Join continuation lines of a multi-line array.
+        while raw_value.starts_with('[') && !array_is_complete(&raw_value) {
+            let (_, continuation) = lines
+                .next()
+                .unwrap_or_else(|| panic!("{context}: unterminated array"));
+            raw_value.push(' ');
+            raw_value.push_str(continuation.trim());
+        }
+        let scenario = scenarios
+            .last_mut()
+            .unwrap_or_else(|| panic!("{context}: key before any [[scenario]] header"));
+        assign(
+            scenario,
+            key.trim(),
+            parse_value(&raw_value, &context),
+            &context,
+        );
+    }
+    for scenario in &scenarios {
+        assert!(!scenario.name.is_empty(), "{file}: stanza without a name");
+        assert!(
+            !scenario.args.is_empty(),
+            "{file}: '{}' has no args",
+            scenario.name
+        );
+    }
+    scenarios
+}
+
+fn load_all() -> Vec<Scenario> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    let mut scenarios = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let label = file
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        scenarios.extend(parse_stanzas(&source, &label));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for scenario in &scenarios {
+        assert!(
+            seen.insert(scenario.name.clone()),
+            "duplicate scenario '{}'",
+            scenario.name
+        );
+    }
+    scenarios
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct RunOutput {
+    exit: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn fresh_dir(name: &str, suffix: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "convmeter-scenario-{}-{name}-{suffix}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scenario temp dir");
+    dir
+}
+
+fn spawn(binary: &Path, args: &[String], dir: &Path) -> std::io::Result<Child> {
+    Command::new(binary)
+        .args(args)
+        .current_dir(dir)
+        .env("CONVMETER_RESULTS", dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+}
+
+/// Drain a child stream into a shared buffer from a reader thread.
+fn tee(stream: Option<impl Read + Send + 'static>) -> Arc<Mutex<Vec<u8>>> {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    if let Some(mut stream) = stream {
+        let sink = Arc::clone(&buffer);
+        std::thread::spawn(move || {
+            let mut chunk = [0u8; 4096];
+            while let Ok(n) = stream.read(&mut chunk) {
+                if n == 0 {
+                    break;
+                }
+                sink.lock().unwrap().extend_from_slice(&chunk[..n]);
+            }
+        });
+    }
+    buffer
+}
+
+fn wait_bounded(child: &mut Child, deadline: Instant, what: &str) -> Result<i32, String> {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Ok(status.code().unwrap_or(-1)),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("{what} timed out after {SCENARIO_TIMEOUT:?}"));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("{what}: wait failed: {e}")),
+        }
+    }
+}
+
+fn drain(buffer: &Arc<Mutex<Vec<u8>>>) -> String {
+    // Give the reader threads a beat to observe EOF after process exit.
+    std::thread::sleep(Duration::from_millis(50));
+    String::from_utf8_lossy(&buffer.lock().unwrap()).into_owned()
+}
+
+fn run_to_exit(
+    binary: &Path,
+    args: &[String],
+    dir: &Path,
+    what: &str,
+) -> Result<RunOutput, String> {
+    let mut child = spawn(binary, args, dir).map_err(|e| format!("{what}: spawn failed: {e}"))?;
+    let stdout = tee(child.stdout.take());
+    let stderr = tee(child.stderr.take());
+    let exit = wait_bounded(&mut child, Instant::now() + SCENARIO_TIMEOUT, what)?;
+    Ok(RunOutput {
+        exit,
+        stdout: drain(&stdout),
+        stderr: drain(&stderr),
+    })
+}
+
+fn apply_setup(setup: &str, binary: &Path, dir: &Path) -> Result<(), String> {
+    let warm = || -> Result<(), String> {
+        let args: Vec<String> = ["bench", "--only", "table1", "--jobs", "1"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let out = run_to_exit(binary, &args, dir, "setup: warm bench run")?;
+        if out.exit != 0 {
+            return Err(format!(
+                "setup bench run exited {}: {}",
+                out.exit, out.stderr
+            ));
+        }
+        Ok(())
+    };
+    match setup {
+        "warm-cache" => warm(),
+        "corrupt-cache" => {
+            warm()?;
+            let cache = dir.join("cache");
+            let mut corrupted = 0usize;
+            for entry in std::fs::read_dir(&cache).map_err(|e| format!("read cache dir: {e}"))? {
+                let path = entry.map_err(|e| format!("cache entry: {e}"))?.path();
+                std::fs::write(&path, b"{ corrupted, not json")
+                    .map_err(|e| format!("corrupt {}: {e}", path.display()))?;
+                corrupted += 1;
+            }
+            if corrupted == 0 {
+                return Err("corrupt-cache setup found no cache entries to corrupt".to_string());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown setup '{other}'")),
+    }
+}
+
+/// Spawn the server, wait for its "listening on" line, run the probes,
+/// then wait for the bounded server to exit on its own.
+fn run_serve(scenario: &Scenario, binary: &Path, dir: &Path) -> Result<RunOutput, String> {
+    let mut child = spawn(binary, &scenario.args, dir).map_err(|e| format!("spawn serve: {e}"))?;
+    let stdout = tee(child.stdout.take());
+    let stderr = tee(child.stderr.take());
+
+    let started = Instant::now();
+    let addr: SocketAddr = loop {
+        let snapshot = String::from_utf8_lossy(&stdout.lock().unwrap()).into_owned();
+        if let Some(raw) = snapshot
+            .lines()
+            .find_map(|l| l.strip_prefix("listening on http://"))
+        {
+            break raw
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad listen address {raw:?}: {e}"))?;
+        }
+        if child.try_wait().map_err(|e| e.to_string())?.is_some() {
+            return Err(format!(
+                "server exited before announcing its address; stderr: {}",
+                drain(&stderr)
+            ));
+        }
+        if started.elapsed() > SERVE_STARTUP {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("server never announced its address".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let mut probe_errors = Vec::new();
+    for probe in &scenario.probes {
+        match convmeter_serve::http::call(addr, &probe.method, &probe.path, probe.body.as_deref()) {
+            Ok((status, body)) => {
+                if status != probe.status {
+                    probe_errors.push(format!(
+                        "probe {} {}: got {status}, want {}; body: {body}",
+                        probe.method, probe.path, probe.status
+                    ));
+                } else if let Some(needle) = &probe.contains {
+                    if !body.contains(needle.as_str()) {
+                        probe_errors.push(format!(
+                            "probe {} {}: body missing {needle:?}: {body}",
+                            probe.method, probe.path
+                        ));
+                    }
+                }
+            }
+            Err(e) => probe_errors.push(format!("probe {} {}: {e}", probe.method, probe.path)),
+        }
+    }
+    if !probe_errors.is_empty() {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(probe_errors.join("\n  "));
+    }
+
+    let exit = wait_bounded(
+        &mut child,
+        Instant::now() + SCENARIO_TIMEOUT,
+        "bounded server exit",
+    )?;
+    Ok(RunOutput {
+        exit,
+        stdout: drain(&stdout),
+        stderr: drain(&stderr),
+    })
+}
+
+fn run_once(
+    scenario: &Scenario,
+    binary: &Path,
+    suffix: &str,
+) -> Result<(RunOutput, PathBuf), String> {
+    let dir = fresh_dir(&scenario.name, suffix);
+    if let Some(setup) = &scenario.setup {
+        apply_setup(setup, binary, &dir)?;
+    }
+    let output = if scenario.mode == "serve" {
+        run_serve(scenario, binary, &dir)?
+    } else {
+        run_to_exit(binary, &scenario.args, &dir, "scenario run")?
+    };
+    Ok((output, dir))
+}
+
+fn check_output(scenario: &Scenario, output: &RunOutput, dir: &Path) -> Result<(), String> {
+    let mut errors = Vec::new();
+    if output.exit != scenario.expect_exit {
+        errors.push(format!(
+            "exit {} (want {}); stderr: {}",
+            output.exit,
+            scenario.expect_exit,
+            output.stderr.trim()
+        ));
+    }
+    for needle in &scenario.stdout_contains {
+        if !output.stdout.contains(needle.as_str()) {
+            errors.push(format!(
+                "stdout missing {needle:?}; stdout: {}",
+                output.stdout.trim()
+            ));
+        }
+    }
+    for needle in &scenario.stderr_contains {
+        if !output.stderr.contains(needle.as_str()) {
+            errors.push(format!(
+                "stderr missing {needle:?}; stderr: {}",
+                output.stderr.trim()
+            ));
+        }
+    }
+    if !scenario.json_keys.is_empty() {
+        match serde_json::parse(&output.stdout) {
+            Ok(value) => match value.as_object() {
+                Some(pairs) => {
+                    for key in &scenario.json_keys {
+                        if !pairs.iter().any(|(k, _)| k == key) {
+                            errors.push(format!("stdout JSON missing key {key:?}"));
+                        }
+                    }
+                }
+                None => errors.push(format!("stdout JSON is not an object: {}", value.kind())),
+            },
+            Err(e) => errors.push(format!("stdout is not JSON: {e}")),
+        }
+    }
+    for relative in &scenario.files_exist {
+        if !dir.join(relative).exists() {
+            errors.push(format!("expected artefact {relative:?} does not exist"));
+        }
+    }
+    for spec in &scenario.file_contains {
+        let (relative, needle) = spec
+            .split_once(" :: ")
+            .ok_or_else(|| format!("bad file_contains spec {spec:?} (want 'path :: needle')"))?;
+        match std::fs::read_to_string(dir.join(relative)) {
+            Ok(content) => {
+                if !content.contains(needle) {
+                    errors.push(format!("{relative} missing {needle:?}"));
+                }
+            }
+            Err(e) => errors.push(format!("read {relative}: {e}")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n  "))
+    }
+}
+
+fn check_stability(
+    scenario: &Scenario,
+    first: &RunOutput,
+    second: &RunOutput,
+) -> Result<(), String> {
+    if scenario.byte_identical && first.stdout != second.stdout {
+        return Err("stdout diverged between two identical runs".to_string());
+    }
+    if scenario.stable_keys.is_empty() {
+        return Ok(());
+    }
+    let parse = |out: &RunOutput, which: &str| {
+        serde_json::parse(&out.stdout).map_err(|e| format!("{which} run stdout is not JSON: {e}"))
+    };
+    let a = parse(first, "first")?;
+    let b = parse(second, "second")?;
+    let mut errors = Vec::new();
+    for key in &scenario.stable_keys {
+        let (va, vb) = (a.get(key.as_str()), b.get(key.as_str()));
+        if va.is_none() {
+            errors.push(format!("stable key {key:?} absent from report"));
+        } else if va != vb {
+            errors.push(format!("key {key:?} diverged: {va:?} vs {vb:?}"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n  "))
+    }
+}
+
+fn run_scenario(scenario: &Scenario, binary: &Path) -> Result<(), String> {
+    let (first, dir) = run_once(scenario, binary, "a")?;
+    let mut result = check_output(scenario, &first, &dir);
+    let mut dirs = vec![dir];
+    if result.is_ok() && (scenario.byte_identical || !scenario.stable_keys.is_empty()) {
+        let (second, dir_b) = run_once(scenario, binary, "b")?;
+        dirs.push(dir_b);
+        result = check_stability(scenario, &first, &second);
+    }
+    if result.is_ok() {
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stanza_files_parse_and_cover_the_matrix() {
+    // Always-on guard: the stanza corpus must stay parseable and keep the
+    // acceptance floor of eight scenarios, including the serve probe, a
+    // faulted bench, and the corrupted-cache recovery.
+    let scenarios = load_all();
+    assert!(
+        scenarios.len() >= 8,
+        "scenario matrix shrank to {} stanzas (floor is 8)",
+        scenarios.len()
+    );
+    let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    for required in [
+        "serve-answers-healthz-and-predict",
+        "bench-faulted-ci-smoke",
+        "bench-recovers-from-corrupted-cache",
+    ] {
+        assert!(
+            names.contains(&required),
+            "missing required stanza '{required}'"
+        );
+    }
+    let serve = scenarios
+        .iter()
+        .find(|s| s.mode == "serve")
+        .expect("a serve-mode stanza");
+    assert_eq!(serve.probes.len(), 2);
+    assert_eq!(serve.probes[1].method, "POST");
+    assert!(serve.probes[1]
+        .body
+        .as_deref()
+        .unwrap_or("")
+        .contains("resnet18"));
+}
+
+#[test]
+fn scenario_matrix() {
+    if std::env::var_os("CONVMETER_SCENARIOS").is_none() {
+        eprintln!("scenario_matrix: skipped (set CONVMETER_SCENARIOS=1 to run)");
+        return;
+    }
+    let scenarios = load_all();
+    let binary = PathBuf::from(env!("CARGO_BIN_EXE_convmeter"));
+    let mut failures = Vec::new();
+    for scenario in &scenarios {
+        let started = Instant::now();
+        match run_scenario(scenario, &binary) {
+            Ok(()) => eprintln!(
+                "scenario '{}' ok in {:.1}s",
+                scenario.name,
+                started.elapsed().as_secs_f64()
+            ),
+            Err(e) => failures.push(format!("'{}' failed:\n  {e}", scenario.name)),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{}/{} scenarios failed:\n{}",
+        failures.len(),
+        scenarios.len(),
+        failures.join("\n")
+    );
+}

@@ -224,10 +224,17 @@ pub struct PredictResponse {
 /// The `/healthz` response document.
 #[derive(Debug, Clone, Serialize)]
 pub struct HealthResponse {
-    /// Always `"ok"` when the listener answers.
+    /// `"ok"`, `"degraded"` (admission queue under pressure), or
+    /// `"draining"` (shutdown in progress; new connections are shed).
     pub status: String,
     /// Schema version.
     pub api_format: u32,
+    /// Connections waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Requests currently being processed by workers.
+    pub in_flight: u64,
+    /// Connections shed with `503` since the server started.
+    pub shed_total: u64,
 }
 
 /// Render an error body: `{"error": "..."}`.

@@ -1,0 +1,371 @@
+//! Deterministic chaos injection for the load generator.
+//!
+//! A [`ChaosProfile`] turns a fraction of the seeded query stream into
+//! protocol-level attacks — malformed heads, oversized bodies, slow-loris
+//! drip writes, mid-body truncation, instant disconnects — plus
+//! barrier-synchronized connection bursts. The whole fault plan is drawn
+//! up front from the stream seed, so two runs with the same
+//! `(workload, seed, requests, clients, profile)` inject byte-identical
+//! attacks, and every fault has one deterministic expected outcome the
+//! report can assert on:
+//!
+//! | action          | expected server answer                       |
+//! |-----------------|----------------------------------------------|
+//! | well-formed     | `200`                                        |
+//! | malformed head  | `400`                                        |
+//! | oversized body  | `413`                                        |
+//! | slow-loris      | `408` (deadline eviction)                    |
+//! | truncated body  | `400` (half-close: the reply still arrives)  |
+//! | disconnect      | none — the client hangs up without reading   |
+//!
+//! Builtin profiles mirror the hwsim fault-profile family
+//! (`none|light|heavy|ci-smoke`) so the CLI speaks one dialect for
+//! simulator faults and server chaos.
+
+use crate::http::MAX_BODY_BYTES;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Salt folded into the stream seed so the fault plan is independent of
+/// the zipf index draw (changing one never reshuffles the other).
+pub const CHAOS_SALT: u64 = 0xC4A0_5EED_0BAD_CA11;
+
+/// What one request slot in the stream does to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// A normal `/predict` request; must be answered `200`.
+    WellFormed,
+    /// A garbage request line; must be answered `400`.
+    MalformedHead,
+    /// A head declaring a body beyond `MAX_BODY_BYTES`; must be answered
+    /// `413`.
+    OversizedBody,
+    /// A partial head followed by silence; the server must evict the
+    /// connection with `408` when the request deadline lapses.
+    SlowLoris,
+    /// A head promising more body bytes than are sent before the client
+    /// half-closes; must be answered `400`.
+    TruncatedBody,
+    /// Connect and hang up without writing; the client observes nothing
+    /// and the server must simply survive.
+    Disconnect,
+    /// Test hook: makes the executing client worker panic, to exercise
+    /// the load generator's panic containment. Never drawn from a
+    /// profile.
+    #[cfg(test)]
+    PanicForTest,
+}
+
+impl ChaosAction {
+    /// Stable label for digests and report detail.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosAction::WellFormed => "well-formed",
+            ChaosAction::MalformedHead => "malformed-head",
+            ChaosAction::OversizedBody => "oversized-body",
+            ChaosAction::SlowLoris => "slow-loris",
+            ChaosAction::TruncatedBody => "truncated-body",
+            ChaosAction::Disconnect => "disconnect",
+            #[cfg(test)]
+            ChaosAction::PanicForTest => "panic-for-test",
+        }
+    }
+
+    /// The deterministic outcome the server must produce for this action.
+    pub fn expected(self) -> ChaosOutcome {
+        match self {
+            ChaosAction::WellFormed => ChaosOutcome::Status(200),
+            ChaosAction::MalformedHead | ChaosAction::TruncatedBody => ChaosOutcome::Status(400),
+            ChaosAction::OversizedBody => ChaosOutcome::Status(413),
+            ChaosAction::SlowLoris => ChaosOutcome::Status(408),
+            ChaosAction::Disconnect => ChaosOutcome::Cut,
+            #[cfg(test)]
+            ChaosAction::PanicForTest => ChaosOutcome::Cut,
+        }
+    }
+}
+
+/// What the client observed for one executed action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// A response with this status code.
+    Status(u16),
+    /// No response was (or could be) observed.
+    Cut,
+}
+
+/// A seeded fault-injection profile: per-mille rates for each attack over
+/// the request stream, plus synchronized burst rounds appended after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Profile label, stamped into reports and digests.
+    pub name: String,
+    /// Malformed-head rate, per mille of requests.
+    pub malformed_per_mille: u32,
+    /// Oversized-body rate, per mille.
+    pub oversized_per_mille: u32,
+    /// Slow-loris rate, per mille.
+    pub slowloris_per_mille: u32,
+    /// Truncated-body rate, per mille.
+    pub truncated_per_mille: u32,
+    /// Instant-disconnect rate, per mille.
+    pub disconnect_per_mille: u32,
+    /// Barrier-synchronized burst rounds after the main stream.
+    pub burst_rounds: u64,
+    /// Simultaneous well-formed connections per burst round.
+    pub burst_size: u64,
+}
+
+impl ChaosProfile {
+    /// No chaos: every request is well-formed, no bursts.
+    pub fn disabled() -> ChaosProfile {
+        ChaosProfile {
+            name: "none".to_string(),
+            malformed_per_mille: 0,
+            oversized_per_mille: 0,
+            slowloris_per_mille: 0,
+            truncated_per_mille: 0,
+            disconnect_per_mille: 0,
+            burst_rounds: 0,
+            burst_size: 0,
+        }
+    }
+
+    /// Mild background hostility: ~6% faults, one small burst.
+    pub fn light() -> ChaosProfile {
+        ChaosProfile {
+            name: "light".to_string(),
+            malformed_per_mille: 20,
+            oversized_per_mille: 10,
+            slowloris_per_mille: 10,
+            truncated_per_mille: 10,
+            disconnect_per_mille: 10,
+            burst_rounds: 1,
+            burst_size: 4,
+        }
+    }
+
+    /// Sustained attack: ~22% faults, repeated thundering herds.
+    pub fn heavy() -> ChaosProfile {
+        ChaosProfile {
+            name: "heavy".to_string(),
+            malformed_per_mille: 60,
+            oversized_per_mille: 40,
+            slowloris_per_mille: 40,
+            truncated_per_mille: 40,
+            disconnect_per_mille: 40,
+            burst_rounds: 2,
+            burst_size: 8,
+        }
+    }
+
+    /// CI smoke: every fault family present at rates that keep short runs
+    /// fast, one modest burst.
+    pub fn ci_smoke() -> ChaosProfile {
+        ChaosProfile {
+            name: "ci-smoke".to_string(),
+            malformed_per_mille: 40,
+            oversized_per_mille: 30,
+            slowloris_per_mille: 30,
+            truncated_per_mille: 30,
+            disconnect_per_mille: 30,
+            burst_rounds: 1,
+            burst_size: 6,
+        }
+    }
+
+    /// Builtin profile names, in documentation order.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &["none", "light", "heavy", "ci-smoke"]
+    }
+
+    /// Look up a builtin profile by name (`none`/`off`/`disabled` all
+    /// resolve to the disabled profile, mirroring the hwsim fault
+    /// profiles).
+    pub fn by_name(name: &str) -> Option<ChaosProfile> {
+        match name {
+            "none" | "off" | "disabled" => Some(ChaosProfile::disabled()),
+            "light" => Some(ChaosProfile::light()),
+            "heavy" => Some(ChaosProfile::heavy()),
+            "ci-smoke" => Some(ChaosProfile::ci_smoke()),
+            _ => None,
+        }
+    }
+
+    /// `true` when the profile injects nothing.
+    pub fn is_off(&self) -> bool {
+        self.malformed_per_mille == 0
+            && self.oversized_per_mille == 0
+            && self.slowloris_per_mille == 0
+            && self.truncated_per_mille == 0
+            && self.disconnect_per_mille == 0
+            && self.burst_rounds == 0
+    }
+
+    /// Map one uniform draw in `[0, 1000)` to an action. Cumulative
+    /// thresholds in field order; the remainder is well-formed.
+    pub fn action_for_draw(&self, draw: u32) -> ChaosAction {
+        let draw = draw % 1000;
+        let mut edge = self.malformed_per_mille;
+        if draw < edge {
+            return ChaosAction::MalformedHead;
+        }
+        edge = edge.saturating_add(self.oversized_per_mille);
+        if draw < edge {
+            return ChaosAction::OversizedBody;
+        }
+        edge = edge.saturating_add(self.slowloris_per_mille);
+        if draw < edge {
+            return ChaosAction::SlowLoris;
+        }
+        edge = edge.saturating_add(self.truncated_per_mille);
+        if draw < edge {
+            return ChaosAction::TruncatedBody;
+        }
+        edge = edge.saturating_add(self.disconnect_per_mille);
+        if draw < edge {
+            return ChaosAction::Disconnect;
+        }
+        ChaosAction::WellFormed
+    }
+}
+
+/// Read one response off `stream` and classify it. EOF before any status
+/// line (or any transport error) is a [`ChaosOutcome::Cut`].
+fn read_outcome(stream: &mut TcpStream, patience: Duration) -> ChaosOutcome {
+    let _ = stream.set_read_timeout(Some(patience));
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                if raw.len() > 64 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .lines()
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse::<u16>().ok());
+    match status {
+        Some(code) => ChaosOutcome::Status(code),
+        None => ChaosOutcome::Cut,
+    }
+}
+
+/// Execute one fault action against `addr` and return what was observed.
+///
+/// `patience` bounds how long the client waits for the server's verdict;
+/// for slow-loris it must exceed the server's request deadline, since the
+/// expected `408` only arrives once that deadline lapses. The slow-loris
+/// client deliberately goes *silent* after its partial head rather than
+/// dripping past the server's cut — writing into a server-closed socket
+/// would RST away the queued `408` and make the observation racy.
+pub fn execute(addr: SocketAddr, action: ChaosAction, patience: Duration) -> ChaosOutcome {
+    let run = || -> Result<ChaosOutcome, std::io::Error> {
+        let mut stream = TcpStream::connect_timeout(&addr, patience)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(patience))?;
+        match action {
+            ChaosAction::WellFormed => Ok(ChaosOutcome::Cut),
+            ChaosAction::MalformedHead => {
+                stream.write_all(b"BOGUS nonsense\r\n\r\n")?;
+                Ok(read_outcome(&mut stream, patience))
+            }
+            ChaosAction::OversizedBody => {
+                let head = format!(
+                    "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES.saturating_add(1)
+                );
+                stream.write_all(head.as_bytes())?;
+                Ok(read_outcome(&mut stream, patience))
+            }
+            ChaosAction::SlowLoris => {
+                stream.write_all(b"POST /pre")?;
+                stream.flush()?;
+                Ok(read_outcome(&mut stream, patience))
+            }
+            ChaosAction::TruncatedBody => {
+                stream.write_all(b"POST /predict HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"mo")?;
+                stream.flush()?;
+                stream.shutdown(std::net::Shutdown::Write)?;
+                Ok(read_outcome(&mut stream, patience))
+            }
+            ChaosAction::Disconnect => {
+                drop(stream);
+                Ok(ChaosOutcome::Cut)
+            }
+            #[cfg(test)]
+            ChaosAction::PanicForTest => Ok(ChaosOutcome::Cut),
+        }
+    };
+    // A refused/reset connection is itself an observation: the server cut
+    // us off before answering.
+    run().unwrap_or(ChaosOutcome::Cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_by_name_and_aliases() {
+        for name in ChaosProfile::builtin_names() {
+            let profile = ChaosProfile::by_name(name).expect("builtin resolves");
+            assert_eq!(&profile.name, name);
+        }
+        assert_eq!(ChaosProfile::by_name("off"), Some(ChaosProfile::disabled()));
+        assert_eq!(
+            ChaosProfile::by_name("disabled"),
+            Some(ChaosProfile::disabled())
+        );
+        assert_eq!(ChaosProfile::by_name("nope"), None);
+        assert!(ChaosProfile::disabled().is_off());
+        assert!(!ChaosProfile::heavy().is_off());
+    }
+
+    #[test]
+    fn draw_mapping_is_total_and_ordered() {
+        let profile = ChaosProfile::heavy();
+        // Every draw maps to exactly one action; boundaries follow the
+        // cumulative field order.
+        assert_eq!(profile.action_for_draw(0), ChaosAction::MalformedHead);
+        assert_eq!(profile.action_for_draw(59), ChaosAction::MalformedHead);
+        assert_eq!(profile.action_for_draw(60), ChaosAction::OversizedBody);
+        assert_eq!(profile.action_for_draw(219), ChaosAction::Disconnect);
+        assert_eq!(profile.action_for_draw(220), ChaosAction::WellFormed);
+        assert_eq!(profile.action_for_draw(999), ChaosAction::WellFormed);
+        // Wraps instead of panicking on out-of-range draws.
+        assert_eq!(profile.action_for_draw(1000), ChaosAction::MalformedHead);
+    }
+
+    #[test]
+    fn expected_outcomes_are_fixed_per_action() {
+        assert_eq!(
+            ChaosAction::WellFormed.expected(),
+            ChaosOutcome::Status(200)
+        );
+        assert_eq!(
+            ChaosAction::MalformedHead.expected(),
+            ChaosOutcome::Status(400)
+        );
+        assert_eq!(
+            ChaosAction::OversizedBody.expected(),
+            ChaosOutcome::Status(413)
+        );
+        assert_eq!(ChaosAction::SlowLoris.expected(), ChaosOutcome::Status(408));
+        assert_eq!(
+            ChaosAction::TruncatedBody.expected(),
+            ChaosOutcome::Status(400)
+        );
+        assert_eq!(ChaosAction::Disconnect.expected(), ChaosOutcome::Cut);
+    }
+}

@@ -39,6 +39,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Optional `Retry-After` header value, seconds. Set on shed (`503`)
+    /// responses so well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -48,6 +51,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -57,7 +61,14 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body,
+            retry_after: None,
         }
+    }
+
+    /// Attach a `Retry-After` hint (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -107,9 +118,32 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// Map a framing/transport error to the status code the server answers
+/// with. Read timeouts surface either as [`HttpError::Deadline`] (the
+/// whole-message budget elapsed) or as a `WouldBlock`/`TimedOut` I/O error
+/// (a single read stalled); both mean the peer was too slow and both map
+/// to `408` so slow-loris connections are evicted with an honest code.
+pub fn status_for_error(error: &HttpError) -> u16 {
+    match error {
+        HttpError::TooLarge(_) => 413,
+        HttpError::Deadline => 408,
+        HttpError::Io(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            408
+        }
+        HttpError::Io(_) | HttpError::Malformed(_) => 400,
     }
 }
 
@@ -172,21 +206,26 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
-/// Read and parse one request from `stream`, enforcing size limits and the
-/// connection deadline.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let deadline = Deadline::start(IO_TIMEOUT);
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = read_until(
-        stream,
-        &mut buf,
-        b"\r\n\r\n",
-        MAX_HEAD_BYTES,
-        "request head",
-        &deadline,
-    )?;
-    let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default())
-        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+/// A parsed request head: everything before the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// Request method.
+    pub method: String,
+    /// Request target path.
+    pub path: String,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+}
+
+/// Parse the raw head bytes (request line + headers, up to and including
+/// the blank line) into a [`Head`].
+///
+/// Pure — no sockets, no clocks — so the adversarial proptest corpus can
+/// hammer it directly with arbitrary byte soup: whatever the bytes, this
+/// either returns a `Head` or a typed [`HttpError`], never panics.
+pub fn parse_head(raw: &[u8]) -> Result<Head, HttpError> {
+    let head =
+        std::str::from_utf8(raw).map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines
         .next()
@@ -203,19 +242,65 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("bad version '{version}'")));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+                let parsed = value.trim().parse().map_err(|_| {
                     HttpError::Malformed(format!("bad content-length '{}'", value.trim()))
                 })?;
+                // Duplicate Content-Length headers are a request-smuggling
+                // vector; reject rather than pick one.
+                if content_length.is_some() {
+                    return Err(HttpError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge("request body"));
     }
+    Ok(Head {
+        method: method.to_string(),
+        path: path.to_string(),
+        content_length,
+    })
+}
+
+/// Read and parse one request from `stream`, enforcing size limits and the
+/// default connection deadline.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    read_request_within(stream, IO_TIMEOUT)
+}
+
+/// Read and parse one request from `stream` under an explicit whole-message
+/// `budget`. The server threads each connection's remaining deadline budget
+/// (admission → queue wait → read) through this, so time spent queued
+/// shrinks the time the peer gets to finish its message.
+pub fn read_request_within(stream: &mut TcpStream, budget: Duration) -> Result<Request, HttpError> {
+    if budget.is_zero() {
+        return Err(HttpError::Deadline);
+    }
+    let deadline = Deadline::start(budget);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = read_until(
+        stream,
+        &mut buf,
+        b"\r\n\r\n",
+        MAX_HEAD_BYTES,
+        "request head",
+        &deadline,
+    )?;
+    let head = parse_head(buf.get(..head_end).unwrap_or_default())?;
+    let Head {
+        method,
+        path,
+        content_length,
+    } = head;
     // Whatever followed the head in the buffer is the start of the body.
     let mut body: Vec<u8> = buf.get(head_end..).unwrap_or_default().to_vec();
     let mut chunk = [0u8; 4096];
@@ -230,17 +315,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     body.truncate(content_length);
     let body =
         String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?;
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-    })
+    Ok(Request { method, path, body })
 }
 
 /// Serialise `response` onto `stream` with `Connection: close` semantics.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), HttpError> {
+    let retry_after = match response.retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,

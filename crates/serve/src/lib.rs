@@ -16,12 +16,17 @@
 //!
 //! [`loadgen`] replays a seeded zipf query stream against the service and
 //! emits the versioned [`slo::SloReport`] that `tools/slo_gate.sh` compares
-//! against the committed `BENCH_slo.json`. See `docs/serving.md` for the
-//! wire schema and the gate contract.
+//! against the committed `BENCH_slo.json`; [`chaos`] arms that stream with
+//! deterministic protocol-level attacks (malformed heads, slow-loris,
+//! disconnects, bursts) whose expected outcomes the report asserts on. The
+//! [`server`] side answers with admission control, a whole-request deadline
+//! budget, and graceful drain. See `docs/serving.md` for the wire schema,
+//! the gate contract, and the resilience limits.
 
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod http;
 pub mod loadgen;
 pub mod server;
@@ -29,7 +34,8 @@ pub mod slo;
 pub mod state;
 
 pub use api::{PredictRequest, PredictResponse, API_FORMAT};
+pub use chaos::{ChaosAction, ChaosOutcome, ChaosProfile};
 pub use loadgen::{LoadgenConfig, Workload};
-pub use server::{Server, ServerConfig};
+pub use server::{HealthState, Server, ServerConfig, ServiceHealth};
 pub use slo::{SloBaseline, SloContract, SloReport, SLO_FORMAT};
 pub use state::{CacheOutcome, CacheStats, ServeConfig, ServeState};

@@ -1,20 +1,45 @@
-//! The listener: accept loop, per-connection workers, and the router.
+//! The listener: bounded worker pool, admission control, and the router.
 //!
-//! One request per connection (`Connection: close`), one worker thread per
-//! connection. The service's concurrency story lives in [`crate::state`] —
-//! workers share the [`ServeState`] and coalesce on its slots — so the
-//! transport layer stays a plain thread-per-connection loop with a
-//! self-poke shutdown.
+//! One request per connection (`Connection: close`). The transport layer
+//! is built to stay up under hostile load:
+//!
+//! * **Admission control** — accepted connections enter a capacity-limited
+//!   queue feeding a fixed pool of worker threads. When the queue is full
+//!   or the connection cap is reached, the connection is *shed*: answered
+//!   `503` with a `Retry-After` hint instead of being allowed to pile up
+//!   an unbounded thread per connection.
+//! * **Deadline budget** — each connection gets one deadline from the
+//!   moment it is accepted; time spent waiting in the queue shrinks the
+//!   time the peer gets to finish its message, and slow-loris peers are
+//!   evicted with `408`.
+//! * **Graceful drain** — shutdown stops admitting (new connections get
+//!   `503 draining`), finishes every queued and in-flight request under a
+//!   drain timeout, then hard-closes whatever remains.
+//!
+//! `/healthz` reports `ok`/`degraded`/`draining` from the same counters
+//! the obs gauges export, so operators and load balancers see the shed
+//! decisions the admission path is making.
 
 use crate::api::{error_body, HealthResponse, PredictRequest, API_FORMAT};
-use crate::http::{self, HttpError, Response};
+use crate::http::{self, Response};
 use crate::state::ServeState;
 use convmeter_metrics::obs;
+use std::collections::VecDeque;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How often the nonblocking accept loop re-checks the stop flag while
+/// idle. Bounds shutdown latency with zero inbound traffic.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Accept poll interval while draining (shorter: shed fast, exit fast).
+const DRAIN_POLL: Duration = Duration::from_millis(2);
+/// Bound on writing a response so a peer that stops reading cannot wedge
+/// a worker forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Listener configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +52,20 @@ pub struct ServerConfig {
     /// Lets the CLI smoke gate run a bounded server without signal
     /// handling.
     pub max_requests: Option<u64>,
+    /// Worker threads processing admitted connections.
+    pub workers: usize,
+    /// Admission queue capacity; connections beyond it are shed with
+    /// `503`.
+    pub queue_capacity: usize,
+    /// Cap on queued + in-flight connections; beyond it, shed.
+    pub max_connections: usize,
+    /// Whole-request deadline, accepted → response. Queue wait counts
+    /// against it; peers slower than the remainder are evicted with
+    /// `408`.
+    pub request_deadline: Duration,
+    /// How long a graceful drain may wait for queued + in-flight requests
+    /// before hard-closing the stragglers.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -35,15 +74,124 @@ impl Default for ServerConfig {
             host: "127.0.0.1".to_string(),
             port: 8077,
             max_requests: None,
+            workers: 8,
+            queue_capacity: 64,
+            max_connections: 256,
+            request_deadline: http::IO_TIMEOUT,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// A running server. Dropping it shuts the listener down and joins the
-/// accept loop.
+/// Health state derived from the admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting normally.
+    Ok,
+    /// Accepting, but the admission queue is at least half full — load is
+    /// outrunning the worker pool and shedding is near.
+    Degraded,
+    /// Shutdown in progress: in-flight work is finishing, new connections
+    /// are shed.
+    Draining,
+}
+
+impl HealthState {
+    /// Stable label stamped into `/healthz` responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+}
+
+/// Shared admission/health counters. The `/healthz` endpoint, the obs
+/// gauges, and the drain loop all read the same numbers.
+#[derive(Debug)]
+pub struct ServiceHealth {
+    queue_depth: AtomicU64,
+    in_flight: AtomicU64,
+    shed: AtomicU64,
+    draining: AtomicBool,
+    queue_capacity: u64,
+}
+
+impl ServiceHealth {
+    fn new(queue_capacity: usize) -> ServiceHealth {
+        ServiceHealth {
+            queue_depth: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            queue_capacity: queue_capacity as u64,
+        }
+    }
+
+    /// Connections waiting in the admission queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently being processed by workers.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Connections answered `503` since the server started.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    /// `true` once a graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current health state: `draining` wins over `degraded` wins over
+    /// `ok`; degraded means the queue is at least half full.
+    pub fn state(&self) -> HealthState {
+        if self.is_draining() {
+            HealthState::Draining
+        } else if self.queue_capacity > 0
+            && self.queue_depth().saturating_mul(2) >= self.queue_capacity
+        {
+            HealthState::Degraded
+        } else {
+            HealthState::Ok
+        }
+    }
+}
+
+/// An admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted_at: std::time::Instant,
+}
+
+/// The bounded queue between the accept loop and the worker pool.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    kill: AtomicBool,
+}
+
+/// Lock a mutex, recovering the guard if a holder panicked; the queue's
+/// invariants are a plain `VecDeque` and survive any interrupted push/pop.
+fn lock_jobs<'a>(queue: &'a Queue) -> MutexGuard<'a, VecDeque<Job>> {
+    queue
+        .jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A running server. Dropping it shuts the listener down gracefully and
+/// joins the accept loop.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    health: Arc<ServiceHealth>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -51,15 +199,24 @@ impl Server {
     /// Bind and start serving `state` in background threads.
     pub fn start(state: Arc<ServeState>, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        // Nonblocking accept + stop-flag polling: shutdown completes
+        // within one poll interval even with zero inbound traffic (the
+        // old self-poke connection was best-effort and could leave the
+        // loop blocked in `accept` forever).
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let health = Arc::new(ServiceHealth::new(config.queue_capacity));
         let accept_stop = Arc::clone(&stop);
-        let max_requests = config.max_requests;
-        let accept_thread =
-            std::thread::spawn(move || accept_loop(&listener, &state, &accept_stop, max_requests));
+        let accept_health = Arc::clone(&health);
+        let config = config.clone();
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &state, &accept_stop, &accept_health, &config);
+        });
         Ok(Server {
             addr,
             stop,
+            health,
             accept_thread: Some(accept_thread),
         })
     }
@@ -69,13 +226,18 @@ impl Server {
         self.addr
     }
 
-    /// Ask the accept loop to stop. Idempotent; returns without waiting.
+    /// The shared health counters (queue depth, in-flight, shed, drain
+    /// state) this server exports.
+    pub fn health(&self) -> Arc<ServiceHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// Ask the server to drain and stop. Idempotent; returns without
+    /// waiting — the accept loop notices within one poll interval, sheds
+    /// new connections with `503`, and finishes in-flight work under the
+    /// drain timeout.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Self-poke: `accept` only notices the flag on its next wakeup.
-        if let Ok(stream) = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)) {
-            drop(stream);
-        }
     }
 
     /// Block until the accept loop exits (because `max_requests` was
@@ -100,62 +262,209 @@ fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServeState>,
     stop: &AtomicBool,
-    max_requests: Option<u64>,
+    health: &Arc<ServiceHealth>,
+    config: &ServerConfig,
 ) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let queue = Arc::new(Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        kill: AtomicBool::new(false),
+    });
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(state);
+            let health = Arc::clone(health);
+            let deadline = config.request_deadline;
+            std::thread::spawn(move || worker_loop(&queue, &state, &health, deadline))
+        })
+        .collect();
+
     let mut accepted = 0u64;
-    for stream in listener.incoming() {
+    loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else {
-            obs::counter!("serve.accept.errors").inc();
-            continue;
-        };
-        accepted += 1;
-        let worker_state = Arc::clone(state);
-        workers.push(std::thread::spawn(move || {
-            handle_connection(stream, &worker_state);
-        }));
-        if max_requests.is_some_and(|max| accepted >= max) {
-            break;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted += 1;
+                admit(stream, &queue, health, config);
+                if config.max_requests.is_some_and(|max| accepted >= max) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                obs::counter!("serve.accept.errors").inc();
+                std::thread::sleep(ACCEPT_POLL);
+            }
         }
-        // Reap finished workers so the handle list stays bounded on
-        // long-running servers.
-        workers.retain(|handle| !handle.is_finished());
     }
+
+    drain(listener, &queue, health, config.drain_timeout);
+    queue.kill.store(true, Ordering::SeqCst);
+    queue.available.notify_all();
     for handle in workers {
         let _ = handle.join();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServeState) {
-    let started = obs::clock::now();
+/// Admission control: shed when draining, over the connection cap, or
+/// over queue capacity; otherwise enqueue for the worker pool.
+fn admit(stream: TcpStream, queue: &Queue, health: &ServiceHealth, config: &ServerConfig) {
+    let accepted_at = obs::clock::now();
+    let _ = stream.set_nodelay(true);
+    if health.is_draining() {
+        shed(stream, "server is draining", health);
+        return;
+    }
+    let busy = health.queue_depth().saturating_add(health.in_flight());
+    if busy >= config.max_connections as u64 {
+        shed(stream, "connection cap reached", health);
+        return;
+    }
+    let mut jobs = lock_jobs(queue);
+    if jobs.len() >= config.queue_capacity.max(1) {
+        drop(jobs);
+        shed(stream, "admission queue full", health);
+        return;
+    }
+    jobs.push_back(Job {
+        stream,
+        accepted_at,
+    });
+    let depth = jobs.len() as u64;
+    drop(jobs);
+    health.queue_depth.store(depth, Ordering::SeqCst);
+    obs::gauge!("serve.queue.depth").set(depth);
+    queue.available.notify_one();
+}
+
+/// Answer `503` with `Retry-After` and close carefully: the request bytes
+/// were never read, and an abrupt close would RST the connection and can
+/// destroy the response before the peer reads it. Half-close the write
+/// side and drain the peer's bytes briefly instead.
+fn shed(mut stream: TcpStream, why: &str, health: &ServiceHealth) {
+    health.shed.fetch_add(1, Ordering::SeqCst);
+    obs::counter!("serve.shed").inc();
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let response = Response::json(503, error_body(why)).with_retry_after(1);
+    let _ = http::write_response(&mut stream, &response);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Graceful drain: shed new connections while queued + in-flight work
+/// finishes; hard-close whatever is still queued when the timeout lapses.
+fn drain(listener: &TcpListener, queue: &Queue, health: &ServiceHealth, drain_timeout: Duration) {
+    health.draining.store(true, Ordering::SeqCst);
+    let drain_started = obs::clock::now();
+    loop {
+        if health.queue_depth() == 0 && health.in_flight() == 0 {
+            break;
+        }
+        if drain_started.elapsed() >= drain_timeout {
+            let mut jobs = lock_jobs(queue);
+            let dropped = jobs.len() as u64;
+            jobs.clear();
+            drop(jobs);
+            health.queue_depth.store(0, Ordering::SeqCst);
+            if dropped > 0 {
+                obs::counter!("serve.drain.dropped").add(dropped);
+            }
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => shed(stream, "server is draining", health),
+            Err(_) => std::thread::sleep(DRAIN_POLL),
+        }
+    }
+    let drain_us = u64::try_from(drain_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    obs::gauge!("serve.drain_us").set(drain_us);
+}
+
+fn worker_loop(queue: &Queue, state: &ServeState, health: &ServiceHealth, deadline: Duration) {
+    loop {
+        let job = {
+            let mut jobs = lock_jobs(queue);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    let depth = jobs.len() as u64;
+                    health.queue_depth.store(depth, Ordering::SeqCst);
+                    obs::gauge!("serve.queue.depth").set(depth);
+                    break job;
+                }
+                if queue.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = queue
+                    .available
+                    .wait_timeout(jobs, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                jobs = guard;
+            }
+        };
+        health.in_flight.fetch_add(1, Ordering::SeqCst);
+        obs::gauge!("serve.inflight").set(health.in_flight());
+        handle_job(job, state, health, deadline);
+        health.in_flight.fetch_sub(1, Ordering::SeqCst);
+        obs::gauge!("serve.inflight").set(health.in_flight());
+    }
+}
+
+/// Process one admitted connection under what remains of its deadline
+/// budget.
+fn handle_job(job: Job, state: &ServeState, health: &ServiceHealth, deadline: Duration) {
+    let Job {
+        mut stream,
+        accepted_at,
+    } = job;
     obs::counter!("serve.requests").inc();
-    let response = match http::read_request(&mut stream) {
-        Ok(request) => route(&request, state),
-        Err(e) => {
-            obs::counter!("serve.http.errors").inc();
-            let status = match e {
-                HttpError::TooLarge(_) => 413,
-                _ => 400,
-            };
-            Response::json(status, error_body(&e.to_string()))
+    let remaining = deadline.saturating_sub(accepted_at.elapsed());
+    let response = if remaining.is_zero() {
+        // The budget burned down while the connection sat in the queue:
+        // overload, answered as a shed rather than a timeout.
+        obs::counter!("serve.deadline.cut").inc();
+        Response::json(503, error_body("deadline exhausted while queued")).with_retry_after(1)
+    } else {
+        match http::read_request_within(&mut stream, remaining) {
+            Ok(request) => route(&request, state, health),
+            Err(e) => {
+                obs::counter!("serve.http.errors").inc();
+                let status = http::status_for_error(&e);
+                if status == 408 {
+                    obs::counter!("serve.deadline.cut").inc();
+                }
+                Response::json(status, error_body(&e.to_string()))
+            }
         }
     };
-    obs::histogram!("serve.request_us").record_duration_us(started.elapsed());
+    obs::histogram!("serve.request_us").record_duration_us(accepted_at.elapsed());
     // The peer may already be gone; nothing useful to do about it.
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = http::write_response(&mut stream, &response);
 }
 
-fn route(request: &http::Request, state: &ServeState) -> Response {
+fn route(request: &http::Request, state: &ServeState, health: &ServiceHealth) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let health = HealthResponse {
-                status: "ok".to_string(),
+            let body = HealthResponse {
+                status: health.state().label().to_string(),
                 api_format: API_FORMAT,
+                queue_depth: health.queue_depth(),
+                in_flight: health.in_flight(),
+                shed_total: health.shed_total(),
             };
-            match serde_json::to_string_pretty(&health) {
+            match serde_json::to_string_pretty(&body) {
                 Ok(body) => Response::json(200, body),
                 Err(e) => Response::json(500, error_body(&e.to_string())),
             }
@@ -190,7 +499,7 @@ mod tests {
             &ServerConfig {
                 host: "127.0.0.1".to_string(),
                 port: 0,
-                max_requests: None,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral port")
@@ -225,6 +534,7 @@ mod tests {
                 host: "127.0.0.1".to_string(),
                 port: 0,
                 max_requests: Some(2),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -235,5 +545,16 @@ mod tests {
         assert_eq!(status, 200);
         // The accept loop has stopped; wait() returns instead of hanging.
         server.wait();
+    }
+
+    #[test]
+    fn health_state_derives_from_counters() {
+        let health = ServiceHealth::new(4);
+        assert_eq!(health.state(), HealthState::Ok);
+        health.queue_depth.store(2, Ordering::SeqCst);
+        assert_eq!(health.state(), HealthState::Degraded);
+        health.draining.store(true, Ordering::SeqCst);
+        assert_eq!(health.state(), HealthState::Draining);
+        assert_eq!(HealthState::Degraded.label(), "degraded");
     }
 }

@@ -18,7 +18,10 @@ use serde::{Deserialize, Serialize};
 
 /// Schema version for [`SloReport`] / [`SloBaseline`]. Bump on any field
 /// change so the gate fails loudly instead of comparing mismatched shapes.
-pub const SLO_FORMAT: u32 = 1;
+///
+/// v2: chaos fields (`chaos_profile`, `chaos_faults`, `chaos_mismatches`,
+/// `burst_requests`) and `client_panics`.
+pub const SLO_FORMAT: u32 = 2;
 
 /// One load-generator run, summarised.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +49,20 @@ pub struct SloReport {
     pub cache_builds: u64,
     /// Requests served without a build (cache hits + coalesced).
     pub cache_served: u64,
+    /// Chaos profile name the run injected (`none` when chaos is off).
+    pub chaos_profile: String,
+    /// Fault actions injected into the stream (malformed, oversized,
+    /// slow-loris, truncated, disconnect slots).
+    pub chaos_faults: u64,
+    /// Injected faults whose observed outcome differed from the expected
+    /// status mapping. Must be zero on a healthy server.
+    pub chaos_mismatches: u64,
+    /// Extra well-formed requests issued by synchronized burst rounds
+    /// (not counted in `requests`).
+    pub burst_requests: u64,
+    /// Client worker threads that panicked mid-run. The report survives
+    /// the panic; the CLI turns any nonzero count into a nonzero exit.
+    pub client_panics: u64,
     /// Client-observed p50 latency, microseconds. Timed.
     pub latency_p50_us: u64,
     /// Client-observed p99 latency, microseconds. Timed.
@@ -217,6 +234,36 @@ pub fn compare(fresh: &SloReport, baseline: &SloBaseline, tolerance: f64) -> Vec
         fresh.cache_served,
         expected.cache_served,
     );
+    push_mismatch(
+        &mut findings,
+        "chaos_profile",
+        &fresh.chaos_profile,
+        &expected.chaos_profile,
+    );
+    push_mismatch(
+        &mut findings,
+        "chaos_faults",
+        fresh.chaos_faults,
+        expected.chaos_faults,
+    );
+    push_mismatch(
+        &mut findings,
+        "chaos_mismatches",
+        fresh.chaos_mismatches,
+        expected.chaos_mismatches,
+    );
+    push_mismatch(
+        &mut findings,
+        "burst_requests",
+        fresh.burst_requests,
+        expected.burst_requests,
+    );
+    push_mismatch(
+        &mut findings,
+        "client_panics",
+        fresh.client_panics,
+        expected.client_panics,
+    );
 
     let slack = 1.0 + tolerance.max(0.0);
     let contract = &baseline.contract;
@@ -273,6 +320,11 @@ mod tests {
             errors: 0,
             cache_builds: 12,
             cache_served: 52,
+            chaos_profile: "none".to_string(),
+            chaos_faults: 0,
+            chaos_mismatches: 0,
+            burst_requests: 0,
+            client_panics: 0,
             latency_p50_us: 900,
             latency_p99_us: 40_000,
             latency_mean_us: 3_000,

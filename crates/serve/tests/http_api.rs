@@ -14,7 +14,7 @@ fn ephemeral(state: Arc<ServeState>) -> Server {
         &ServerConfig {
             host: "127.0.0.1".to_string(),
             port: 0,
-            max_requests: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -130,7 +130,7 @@ fn loadgen_reports_are_byte_deterministic_per_seed() {
         seed: 11,
         requests: 48,
         clients: 4,
-        addr: None,
+        ..LoadgenConfig::default()
     };
     let first = loadgen::run(&config).expect("first run");
     let second = loadgen::run(&config).expect("second run");

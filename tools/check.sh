@@ -80,6 +80,24 @@ grep -q '"scaling"' <<<"$PREDICT"
 wait "$SERVE_PID"
 rm -rf "$SERVE_TMP"
 
+echo "==> convmeter loadgen --chaos ci-smoke (fault-injecting load smoke run)"
+CHAOS_TMP="$(mktemp -d)"
+CONVMETER_RESULTS="$CHAOS_TMP" \
+    cargo run -q -p convmeter-cli --offline -- \
+    loadgen --quick --seed 11 --requests 32 --clients 4 --chaos ci-smoke \
+    --json --out "$CHAOS_TMP/BENCH_chaos_report.json" >/dev/null
+# Every injected fault must have mapped to its expected status, and every
+# worker must have survived; the CLI already exits non-zero otherwise, the
+# greps pin the report schema.
+grep -q '"chaos_profile": "ci-smoke"' "$CHAOS_TMP/BENCH_chaos_report.json"
+grep -q '"chaos_mismatches": 0' "$CHAOS_TMP/BENCH_chaos_report.json"
+grep -q '"client_panics": 0' "$CHAOS_TMP/BENCH_chaos_report.json"
+rm -rf "$CHAOS_TMP"
+
+echo "==> scenario matrix (tests/scenarios/*.toml against the real binary)"
+CONVMETER_SCENARIOS=1 \
+    cargo test -q -p convmeter-cli --test scenario_matrix --offline
+
 # Warn-only for now: flip to a hard failure once the baseline has soaked on
 # the CI runners (timings there are noisier than local ones).
 echo "==> tools/perf_gate.sh (warn-only)"
