@@ -1,0 +1,128 @@
+//! Content-hash parse cache: repeated `analyze` invocations skip re-lexing
+//! files whose bytes have not changed.
+//!
+//! Each cache entry is the full serialised [`FileAnalysis`] (tokens, allow
+//! directives, test regions, and the item-level parse), keyed by a
+//! [`StableHasher`] digest of the cache format version, the
+//! workspace-relative path, and the file content. Because the key covers
+//! the content, invalidation is automatic: an edited file simply misses and
+//! is re-parsed. Because it covers the version, bumping
+//! [`CACHE_VERSION`] after any lexer/parser change orphans stale entries
+//! instead of deserialising them into wrong shapes.
+//!
+//! A hit deserialises to the byte-identical structure the parser would have
+//! produced — the determinism tests assert `analyze` output is unchanged
+//! warm vs cold. Corrupt or unreadable entries degrade to a miss, never to
+//! an error: the cache is an accelerator, not a dependency.
+
+use crate::callgraph::FileAnalysis;
+use convmeter_graph::fingerprint::StableHasher;
+use std::path::{Path, PathBuf};
+
+/// Bump on ANY change to the lexer, parser, or the serialised shapes —
+/// stale entries are then unreachable (different key) and harmless.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Digest identifying one (version, path, content) parse input.
+#[must_use]
+pub fn entry_key(path: &str, content: &str) -> String {
+    let mut h = StableHasher::new();
+    h.update(&CACHE_VERSION.to_le_bytes());
+    h.update_str(path);
+    h.update_str(content);
+    h.digest()
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.json"))
+}
+
+/// Look up a prior parse of `(path, content)`. Any failure — missing
+/// entry, unreadable file, schema drift — is a miss.
+#[must_use]
+pub fn load(dir: &Path, path: &str, content: &str) -> Option<FileAnalysis> {
+    let text = std::fs::read_to_string(entry_path(dir, &entry_key(path, content))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Persist one parse result. Write-to-temp plus rename keeps concurrent
+/// analyzers from ever observing a torn entry; errors are swallowed — a
+/// cache that cannot be written just means the next run parses again.
+pub fn store(dir: &Path, path: &str, content: &str, analysis: &FileAnalysis) {
+    let Ok(text) = serde_json::to_string(analysis) else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let dest = entry_path(dir, &entry_key(path, content));
+    let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &dest).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Parse `(path, content)`, consulting the cache when `dir` is set.
+#[must_use]
+pub fn parse_cached(dir: Option<&Path>, path: &str, content: &str) -> FileAnalysis {
+    if let Some(dir) = dir {
+        if let Some(hit) = load(dir, path, content) {
+            return hit;
+        }
+    }
+    let analysis = FileAnalysis::parse(path, content);
+    if let Some(dir) = dir {
+        store(dir, path, content, &analysis);
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "fn f() { let g = m.lock(); g.push(1); }\n";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "convmeter-analyzer-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_reproduces_the_parse() {
+        let dir = tmp_dir("round-trip");
+        let cold = parse_cached(Some(&dir), "crates/x/src/a.rs", SRC);
+        let warm = parse_cached(Some(&dir), "crates/x/src/a.rs", SRC);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "warm hit must be byte-identical to the cold parse"
+        );
+        assert_eq!(warm.parsed.fns.len(), 1);
+        assert_eq!(warm.parsed.fns[0].name, "f");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_covers_path_content_and_version() {
+        let a = entry_key("crates/x/src/a.rs", SRC);
+        assert_ne!(a, entry_key("crates/x/src/b.rs", SRC));
+        assert_ne!(a, entry_key("crates/x/src/a.rs", "fn f() {}\n"));
+        assert_eq!(a, entry_key("crates/x/src/a.rs", SRC));
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_a_miss() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = entry_key("crates/x/src/a.rs", SRC);
+        std::fs::write(dir.join(format!("{key}.json")), b"{not json").unwrap();
+        let parsed = parse_cached(Some(&dir), "crates/x/src/a.rs", SRC);
+        assert_eq!(parsed.parsed.fns.len(), 1, "corrupt entry must re-parse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

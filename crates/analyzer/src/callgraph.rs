@@ -35,6 +35,7 @@ pub struct CallGraphStats {
 
 /// One analysed file: the lexed source plus its parsed items. Built per
 /// file (cheaply parallelisable), combined by the workspace passes.
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FileAnalysis {
     /// Lexed and allow-annotated source.
     pub file: SourceFile,

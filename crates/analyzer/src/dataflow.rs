@@ -1,0 +1,527 @@
+//! Intraprocedural def-use scaffolding shared by the CD (determinism
+//! taint) and CB (lock discipline) rule families.
+//!
+//! The parser gives us token ranges, call sites, and binders; this module
+//! turns one `fn` body into a flat, source-ordered statement list with the
+//! def/use facts the dataflow rules need: which names a statement binds
+//! (`let` patterns), which name it assigns, and where its value expression
+//! starts. The model is deliberately name-keyed and scope-flat — shadowing
+//! and disjoint scopes merge — which over-approximates flow a little and
+//! keeps the fixed points tiny. Closure captures need no special handling:
+//! a closure body's uses refer to the same flat name space.
+//!
+//! It also hosts [`Resolver`], a thin per-call-site wrapper over the
+//! symbol index: the call graph keeps only deduplicated edges, while the
+//! summary computations here need to ask "which workspace fn does *this*
+//! call site reach".
+
+use crate::callgraph::FileAnalysis;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{CallSite, FnDef};
+use crate::symbols::{crate_key_of, CallCtx, FnKey, Resolution, SymbolIndex};
+use std::collections::BTreeMap;
+
+/// Identifiers that can appear where a value name could, but never name a
+/// local binding.
+const VALUE_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "if", "else", "match", "for", "while", "loop", "return", "in", "as",
+    "move", "fn", "self", "Self", "true", "false", "break", "continue", "where", "unsafe", "dyn",
+    "impl", "pub", "use", "const", "static", "struct", "enum", "trait", "mod", "crate", "super",
+    "async", "await",
+];
+
+/// One flat statement inside a `fn` body: a code-token range plus the
+/// def-use facts the taint and lock rules consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Inclusive code-token range of the statement's tokens.
+    pub range: (usize, usize),
+    /// Names bound by a `let` pattern in this statement (the *last* `let`
+    /// when a block header precedes one, e.g. `if x { let t = .. }`).
+    pub binders: Vec<String>,
+    /// Root name of a plain assignment target (`x = ..`, `x.f = ..`).
+    pub assign: Option<String>,
+    /// Code-token index where the statement's value expression starts:
+    /// just after the `=` for lets/assignments, the statement start
+    /// otherwise.
+    pub rhs: usize,
+    /// Whether the statement starts with `return`.
+    pub is_return: bool,
+    /// Whether this statement is a tail expression of the fn body (its
+    /// terminator is the body's closing `}` or one of the `}`s directly
+    /// cascading into it).
+    pub is_tail: bool,
+}
+
+/// Whether the punct token at `k` is a *lone* `=` — an assignment or let
+/// initializer, not `==`, `!=`, `<=`, `>=`, a compound `+=`-family
+/// operator, or the `=>` arrow (the lexer emits single-char puncts).
+#[must_use]
+pub fn is_lone_eq(toks: &[&Token], k: usize) -> bool {
+    if !toks[k].is_punct('=') {
+        return false;
+    }
+    if toks
+        .get(k + 1)
+        .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+    {
+        return false;
+    }
+    !k.checked_sub(1)
+        .map(|p| toks[p])
+        .is_some_and(|p| "=!<>+-*/%&|^".chars().any(|c| p.is_punct(c)))
+}
+
+/// Split a fn body into flat statements. Terminators are `;` at
+/// paren/bracket depth zero (any brace depth — nested blocks contribute
+/// their statements to the same flat list) and `}`. A `{` does *not*
+/// terminate, so `let y = match x { .. }` keeps its arm expressions in
+/// the binding statement; when an arm opens its own block (`A => { ..;
+/// tail }`), the pending binder is re-attached to every `}`-terminated
+/// tail segment of the initializer, so block results still flow into it.
+#[must_use]
+pub fn statements(toks: &[&Token], body: (usize, usize)) -> Vec<Stmt> {
+    let (open, close) = body;
+    // The body's closing `}` plus any `}`s cascading directly into it
+    // terminate tail expressions (`fn f() { if c { a } else { b } }`).
+    let mut tail_terms = vec![close];
+    let mut t = close;
+    while t > open + 1 && toks.get(t - 1).is_some_and(|tk| tk.is_punct('}')) {
+        t -= 1;
+        tail_terms.push(t);
+    }
+    let mut segs: Vec<(Stmt, i32, bool)> = Vec::new();
+    let mut start = open + 1;
+    let mut start_bd = 0i32; // brace depth where the current segment began
+    let mut depth = 0i32; // paren/bracket depth
+    let mut bdepth = 0i32; // brace depth within the body
+    let mut i = open + 1;
+    while i <= close {
+        let tok = toks[i];
+        let mut brace_term = false;
+        let terminator = if tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+            false
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            depth -= 1;
+            false
+        } else if tok.is_punct('{') {
+            bdepth += 1;
+            false
+        } else if tok.is_punct('}') {
+            bdepth -= 1;
+            brace_term = depth <= 0;
+            brace_term
+        } else {
+            depth <= 0 && tok.is_punct(';')
+        };
+        if terminator {
+            if i > start {
+                segs.push((
+                    make_stmt(toks, start, i - 1, tail_terms.contains(&i)),
+                    start_bd,
+                    brace_term,
+                ));
+            }
+            start = i + 1;
+            start_bd = bdepth;
+            depth = depth.max(0);
+        }
+        i += 1;
+    }
+    // Re-attach pending binders: a let/assign whose initializer opens a
+    // block keeps collecting from that block's `}`-terminated tails.
+    let mut stack: Vec<(Vec<String>, i32)> = Vec::new();
+    for (stmt, seg_bd, brace_term) in &mut segs {
+        while stack.last().is_some_and(|(_, d)| *seg_bd <= *d) {
+            stack.pop();
+        }
+        if *brace_term {
+            if let Some((targets, _)) = stack.last() {
+                for t in targets {
+                    if !stmt.binders.contains(t) {
+                        stmt.binders.push(t.clone());
+                    }
+                }
+            }
+        }
+        // A let/assign whose initializer opens a block this segment does
+        // not close becomes pending: the block's `}`-terminated tails
+        // re-attach to it above. The target is the last `let` *before*
+        // the first unclosed `{` — not necessarily the segment's own
+        // binder, because an inner `let` after the brace (`let a = {
+        // let mid = ..;`) wins the segment's last-let-wins scan.
+        let (first, last) = stmt.range;
+        let mut open_stack: Vec<usize> = Vec::new();
+        for (off, t) in toks[first..=last].iter().enumerate() {
+            if t.is_punct('{') {
+                open_stack.push(first + off);
+            } else if t.is_punct('}') {
+                open_stack.pop();
+            }
+        }
+        if let Some(&unclosed) = open_stack.first() {
+            let targets =
+                if let Some(l) = (first..unclosed).rev().find(|&k| toks[k].is_ident("let")) {
+                    let_pattern_binders(toks, l, last).0
+                } else if stmt.assign.is_some() && stmt.rhs <= unclosed {
+                    stmt.assign.clone().into_iter().collect()
+                } else {
+                    Vec::new()
+                };
+            if !targets.is_empty() {
+                stack.push((targets, *seg_bd));
+            }
+        }
+    }
+    segs.into_iter().map(|(s, _, _)| s).collect()
+}
+
+/// Binder names of the `let` at `let_at`, scanning its pattern up to the
+/// lone `=` (searched within `..=limit`); a `:` at pattern depth zero
+/// starts the type annotation (no binders in it). Returns the binders and
+/// the `=` index when one was found.
+fn let_pattern_binders(
+    toks: &[&Token],
+    let_at: usize,
+    limit: usize,
+) -> (Vec<String>, Option<usize>) {
+    let mut binders = Vec::new();
+    let eq = (let_at + 1..=limit).find(|&k| is_lone_eq(toks, k));
+    let pat_end = eq.unwrap_or(limit + 1);
+    let mut depth = 0i32;
+    let mut annotated = false;
+    for k in let_at + 1..pat_end {
+        let t = toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct(':') && depth <= 0 {
+            let part_of_path = toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                || k.checked_sub(1)
+                    .map(|p| toks[p])
+                    .is_some_and(|p| p.is_punct(':'));
+            if !part_of_path {
+                annotated = true;
+            }
+        } else if !annotated
+            && t.kind == TokenKind::Ident
+            && !VALUE_KEYWORDS.contains(&t.text.as_str())
+            && !t.text.chars().next().is_some_and(char::is_uppercase)
+        {
+            binders.push(t.text.clone());
+        }
+    }
+    (binders, eq)
+}
+
+/// Build one statement's def-use facts from its token range.
+fn make_stmt(toks: &[&Token], first: usize, last: usize, is_tail: bool) -> Stmt {
+    let mut binders = Vec::new();
+    let mut assign = None;
+    let mut rhs = first;
+    let is_return = toks[first].is_ident("return");
+    // The *last* `let` in the range: block headers (`if x {`) may precede
+    // the statement proper in a flat segment.
+    let let_at = (first..=last).rev().find(|&k| toks[k].is_ident("let"));
+    if let Some(let_at) = let_at {
+        let (b, eq) = let_pattern_binders(toks, let_at, last);
+        binders = b;
+        if let Some(eq) = eq {
+            rhs = (eq + 1).min(last);
+        }
+    } else if toks[first].kind == TokenKind::Ident
+        && !VALUE_KEYWORDS.contains(&toks[first].text.as_str())
+    {
+        // `x = ..` or `x.f = ..`: a leading dotted chain followed by a
+        // lone `=` is an assignment whose taint key is the root name.
+        let mut k = first;
+        while k + 2 <= last
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(k + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            k += 2;
+        }
+        if k < last && is_lone_eq(toks, k + 1) {
+            assign = Some(toks[first].text.clone());
+            rhs = (k + 2).min(last);
+        }
+    }
+    Stmt {
+        range: (first, last),
+        binders,
+        assign,
+        rhs,
+        is_return,
+        is_tail,
+    }
+}
+
+/// Identifiers used *as values* in `range` (inclusive): plain idents that
+/// are not call names, path segments, field accesses, struct-literal field
+/// names, macro names, keywords, or type-like (uppercase-initial) names.
+/// Returned with their token index, in source order.
+#[must_use]
+pub fn value_idents(toks: &[&Token], range: (usize, usize)) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for k in range.0..=range.1.min(toks.len().saturating_sub(1)) {
+        let t = toks[k];
+        if t.kind != TokenKind::Ident
+            || VALUE_KEYWORDS.contains(&t.text.as_str())
+            || t.text.chars().next().is_some_and(char::is_uppercase)
+        {
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| toks[p]);
+        if prev.is_some_and(|p| p.is_punct('.')) {
+            continue; // field/method component
+        }
+        if prev.is_some_and(|p| p.is_punct(':'))
+            && k.checked_sub(2)
+                .map(|p| toks[p])
+                .is_some_and(|p| p.is_punct(':'))
+        {
+            continue; // path segment after `::`
+        }
+        if let Some(next) = toks.get(k + 1) {
+            if next.is_punct('(') || next.is_punct('!') {
+                continue; // call or macro name
+            }
+            if next.is_punct(':') {
+                // `pkg::item` head or `name: expr` field/annotation label.
+                continue;
+            }
+        }
+        out.push((k, t.text.clone()));
+    }
+    out
+}
+
+/// Index of the token closing the `open_ch` delimiter at `open`, clamped
+/// to `limit`. Works for any of the three bracket pairs.
+#[must_use]
+pub fn matching_delim(toks: &[&Token], open: usize, limit: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => ('{', '}'),
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j <= limit && j < toks.len() {
+        if toks[j].is_punct(o) {
+            depth += 1;
+        } else if toks[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Index (into the code-token stream) where the block enclosing `from`
+/// ends: the first `}` that closes a brace not opened at or after `from`,
+/// clamped to `limit`.
+#[must_use]
+pub fn enclosing_block_end(toks: &[&Token], from: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j <= limit && j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Per-call-site resolution over the same fn population as the call
+/// graph (test regions excluded), exposing node ids compatible with a
+/// side table indexed like [`Resolver::nodes`].
+pub struct Resolver {
+    index: SymbolIndex,
+    node_of: BTreeMap<FnKey, usize>,
+    /// Every indexed fn as `(file, fn)` keys; summary tables align to it.
+    pub nodes: Vec<FnKey>,
+}
+
+impl Resolver {
+    /// Index every non-test fn, mirroring `CallGraph::build`.
+    #[must_use]
+    pub fn build(files: &[FileAnalysis]) -> Resolver {
+        let mut index = SymbolIndex::default();
+        let mut nodes: Vec<FnKey> = Vec::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for (ki, f) in fa.parsed.fns.iter().enumerate() {
+                if fa.file.in_test_region(f.line) {
+                    continue;
+                }
+                nodes.push((fi, ki));
+                index.record(
+                    (fi, ki),
+                    &f.name,
+                    f.self_type.as_deref(),
+                    &fa.file.path,
+                    fa.file.stem(),
+                );
+            }
+        }
+        let node_of = nodes.iter().enumerate().map(|(n, &k)| (k, n)).collect();
+        Resolver {
+            index,
+            node_of,
+            nodes,
+        }
+    }
+
+    /// Node ids this call site resolves to (empty for external/ambiguous).
+    #[must_use]
+    pub fn resolve(
+        &self,
+        files: &[FileAnalysis],
+        fi: usize,
+        f: &FnDef,
+        call: &CallSite,
+    ) -> Vec<usize> {
+        let crate_key = crate_key_of(&files[fi].file.path);
+        let ctx = CallCtx {
+            file: fi,
+            crate_key: &crate_key,
+            self_type: f.self_type.as_deref(),
+        };
+        match self.index.resolve(call, &ctx) {
+            Resolution::Resolved(keys) => keys
+                .into_iter()
+                .filter_map(|k| self.node_of.get(&k).copied())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn body_stmts(src: &str) -> (Vec<Token>, Vec<usize>, Vec<Stmt>) {
+        let tokens = lex(src);
+        let parsed = parse(&tokens);
+        let toks: Vec<&Token> = parsed.code.iter().map(|&i| &tokens[i]).collect();
+        let stmts = statements(&toks, parsed.fns[0].body);
+        // Re-collect owned tokens so the test can inspect text by index.
+        let owned: Vec<Token> = toks.iter().map(|t| (*t).clone()).collect();
+        (owned, parsed.code.clone(), stmts)
+    }
+
+    #[test]
+    fn let_binders_and_assignment_targets() {
+        let (toks, _, stmts) = body_stmts(
+            "fn f() {\n    let mut a = seed();\n    let (b, c): (u32, u32) = pair();\n    a = b + c;\n    a.field = c;\n}\n",
+        );
+        assert_eq!(stmts[0].binders, vec!["a"]);
+        assert_eq!(stmts[1].binders, vec!["b", "c"]);
+        assert_eq!(stmts[2].assign.as_deref(), Some("a"));
+        assert_eq!(stmts[3].assign.as_deref(), Some("a"));
+        // rhs of stmt 2 starts at `b`.
+        assert_eq!(toks[stmts[2].rhs].text, "b");
+    }
+
+    #[test]
+    fn comparison_operators_are_not_assignments() {
+        let (_, _, stmts) = body_stmts("fn f(x: u32) {\n    let ok = x == 3;\n    flag(ok);\n}\n");
+        assert_eq!(stmts[0].binders, vec!["ok"]);
+        assert!(stmts[1].assign.is_none());
+    }
+
+    #[test]
+    fn nested_block_lets_are_seen_flat() {
+        let (_, _, stmts) = body_stmts(
+            "fn f(c: bool) {\n    if c {\n        let t = stamp();\n        use_it(t);\n    }\n}\n",
+        );
+        // `if c { let t = stamp()` is one flat segment binding `t`.
+        assert!(stmts.iter().any(|s| s.binders == vec!["t"]));
+    }
+
+    #[test]
+    fn match_initializer_stays_one_statement() {
+        let (toks, _, stmts) = body_stmts(
+            "fn f(x: u32) {\n    let y = match x { 0 => zero(), _ => other(x) };\n    sink(y);\n}\n",
+        );
+        let y_stmt = stmts.iter().find(|s| s.binders == vec!["y"]).unwrap();
+        let text: Vec<&str> = (y_stmt.rhs..=y_stmt.range.1)
+            .map(|k| toks[k].text.as_str())
+            .collect();
+        assert!(
+            text.contains(&"other"),
+            "match arms belong to the let: {text:?}"
+        );
+    }
+
+    #[test]
+    fn block_bodied_arm_tails_rebind_the_pending_let() {
+        let (toks, _, stmts) = body_stmts(
+            "fn f(m: Mode) {\n\
+                 let picked = match m {\n\
+                     Mode::A => { prep(); observed() }\n\
+                     Mode::B => fallback(),\n\
+                 };\n\
+                 sink(picked);\n\
+             }\n",
+        );
+        // Both the block-arm tail and the expression arm collect into
+        // `picked` (the let segment itself is cut at the `;` after
+        // `prep()` — its head is an over-approximated part of the rhs).
+        let binds_picked: Vec<Vec<&str>> = stmts
+            .iter()
+            .filter(|s| s.binders.iter().any(|b| b == "picked"))
+            .map(|s| (s.rhs..=s.range.1).map(|k| toks[k].text.as_str()).collect())
+            .collect();
+        assert_eq!(binds_picked.len(), 3, "{stmts:?}");
+        assert!(binds_picked[1].contains(&"observed"));
+        assert!(binds_picked[2].contains(&"fallback"));
+    }
+
+    #[test]
+    fn tail_expressions_are_flagged() {
+        let (_, _, stmts) = body_stmts("fn f() -> u32 {\n    let a = mk();\n    a + 1\n}\n");
+        assert!(!stmts[0].is_tail);
+        assert!(stmts[1].is_tail);
+    }
+
+    #[test]
+    fn value_idents_skip_calls_paths_and_fields() {
+        let tokens =
+            lex("fn f() { let k = base.field + helper(x) + pkg::item + Struct { w: v }; }\n");
+        let parsed = parse(&tokens);
+        let toks: Vec<&Token> = parsed.code.iter().map(|&i| &tokens[i]).collect();
+        let stmts = statements(&toks, parsed.fns[0].body);
+        let uses: Vec<String> = value_idents(&toks, (stmts[0].rhs, stmts[0].range.1))
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(uses, vec!["base", "x", "v"]);
+    }
+
+    #[test]
+    fn enclosing_block_end_finds_the_closing_brace() {
+        let tokens = lex("fn f() { { inner(); post(); } after(); }\n");
+        let parsed = parse(&tokens);
+        let toks: Vec<&Token> = parsed.code.iter().map(|&i| &tokens[i]).collect();
+        let inner = toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        let end = enclosing_block_end(&toks, inner, parsed.fns[0].body.1);
+        assert!(toks[end].is_punct('}'));
+        let after = toks.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(end < after);
+    }
+}

@@ -21,6 +21,13 @@
 //! | code | invariant |
 //! |------|-----------|
 //! | CA0007 | no panic source transitively reachable from a public API |
+//! | CD0001 | no clock value flowing into a determinism sink |
+//! | CD0002 | no unseeded RNG draw flowing into a determinism sink |
+//! | CD0003 | no thread/queue-order observable flowing into a determinism sink |
+//! | CD0004 | no summary-propagated taint (via a callee's return) into a determinism sink |
+//! | CB0001 | no guard held across a directly blocking operation |
+//! | CB0002 | no guard held across a call that may block transitively |
+//! | CB0003 | no lock-order inversion across the workspace |
 //! | CP0001 | no allocation inside a hot loop |
 //! | CP0002 | no per-iteration `.clone()` in a hot loop |
 //! | CP0003 | no per-iteration `.collect()` in a hot loop |
@@ -43,12 +50,18 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+pub mod budget;
+pub mod cache;
 pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 pub mod symbols;
+pub mod taint;
 
 pub use callgraph::{CallGraph, CallGraphStats, FileAnalysis};
 use source::SourceFile;
@@ -94,6 +107,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings suppressed by well-formed allow directives.
     pub suppressed: usize,
+    /// Suppressed-finding counts per rule code — the suppression budget's
+    /// raw material (`analyze --stats`).
+    pub allow_counts: BTreeMap<String, usize>,
     /// Call-graph coverage: how much the interprocedural rules could see.
     pub call_graph: CallGraphStats,
 }
@@ -260,6 +276,8 @@ pub fn analyze_parsed(parsed: &[FileAnalysis], opts: AnalysisOptions) -> Report 
         rules::ca0006(file, &structs, &mut raw);
     }
     rules::ca0007(parsed, &graph, &mut raw);
+    taint::cd_rules(parsed, &mut raw);
+    locks::cb_rules(parsed, &mut raw);
     if opts.perf {
         rules::cp_rules(parsed, &graph, &mut raw);
     }
@@ -270,6 +288,7 @@ pub fn analyze_parsed(parsed: &[FileAnalysis], opts: AnalysisOptions) -> Report 
         .collect();
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
+    let mut allow_counts: BTreeMap<String, usize> = BTreeMap::new();
     for finding in raw {
         let allowed = finding.code != "CA0000"
             && by_path
@@ -277,6 +296,7 @@ pub fn analyze_parsed(parsed: &[FileAnalysis], opts: AnalysisOptions) -> Report 
                 .is_some_and(|file| file.is_allowed(&finding.code, finding.line));
         if allowed {
             suppressed += 1;
+            *allow_counts.entry(finding.code).or_default() += 1;
         } else {
             findings.push(finding);
         }
@@ -289,6 +309,7 @@ pub fn analyze_parsed(parsed: &[FileAnalysis], opts: AnalysisOptions) -> Report 
         findings,
         files_scanned: parsed.len(),
         suppressed,
+        allow_counts,
         call_graph: graph.stats,
     }
 }

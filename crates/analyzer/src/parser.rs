@@ -10,9 +10,10 @@
 //! simply yields fewer items, which is the honest behaviour for a linter.
 
 use crate::lexer::{Token, TokenKind};
+use serde::{Deserialize, Serialize};
 
 /// One syntactic call site inside a function body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CallSite {
     /// 1-based line of the callee name.
     pub line: u32,
@@ -25,10 +26,30 @@ pub struct CallSite {
     pub name: String,
     /// Whether this is a `.name(..)` method call.
     pub is_method: bool,
+    /// Code-token index of the callee name token.
+    pub idx: usize,
+    /// Code-token indices of the argument list's `(` and matching `)`.
+    pub args: (usize, usize),
+    /// For method calls on a simple dotted chain, the receiver components
+    /// left to right: `self.cache.lock()` records `["self", "cache"]` and
+    /// `table().lock()` records `["table()"]`. Empty when the receiver is
+    /// an arbitrary expression the parser does not model.
+    pub recv: Vec<String>,
+}
+
+/// One macro invocation (`name!(..)`) inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroUse {
+    /// 1-based line of the macro name.
+    pub line: u32,
+    /// Macro name without the `!`.
+    pub name: String,
+    /// Code-token index of the macro name token.
+    pub idx: usize,
 }
 
 /// One parsed `fn` item.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FnDef {
     /// Bare function name.
     pub name: String,
@@ -53,6 +74,11 @@ pub struct FnDef {
     /// Whether the body opens an `obs` span (`span!("..")`) — the seed for
     /// hot-path propagation.
     pub has_span: bool,
+    /// Parameter binder names, in declaration order (`self` excluded;
+    /// destructuring patterns contribute each binder).
+    pub params: Vec<String>,
+    /// Every macro invocation in the body, in source order.
+    pub macros: Vec<MacroUse>,
 }
 
 impl FnDef {
@@ -74,7 +100,7 @@ impl FnDef {
 
 /// The parsed structure of one file: the comment-free token indices and
 /// every `fn` item found in them.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct ParsedFile {
     /// Indices into the file's full token stream, comments removed. All
     /// `FnDef` positions refer to this vector ("code-token indices").
@@ -156,6 +182,8 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
             loops: Vec::new(),
             calls: Vec::new(),
             has_span: false,
+            params: param_names(&toks, i + 2, body.0),
+            macros: Vec::new(),
         };
         scan_body(&toks, &mut def);
         // Continue *inside* the body so nested fns are parsed too; they
@@ -256,6 +284,67 @@ fn body_range(toks: &[&Token], from: usize) -> Option<(usize, usize)> {
     None
 }
 
+/// Binder names in the parameter list between the fn name and its body:
+/// the first `(..)` group at angle-depth zero. Within each top-level
+/// comma-separated segment, the binders are the lowercase idents before
+/// the segment's type annotation `:` (destructuring patterns contribute
+/// each one); `self`, `mut`, `ref`, and type-position idents are not
+/// binders.
+fn param_names(toks: &[&Token], from: usize, body_open: usize) -> Vec<String> {
+    let mut angle = 0i32;
+    let mut open = None;
+    let mut j = from;
+    while j < body_open {
+        let t = toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            open = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let Some(open) = open else {
+        return Vec::new();
+    };
+    let close = matching_paren(toks, open, body_open);
+    let mut params = Vec::new();
+    let mut depth = 0i32; // nesting inside the param list itself
+    let mut annotated = false; // saw the segment's top-level `:`
+    for k in open + 1..close {
+        let t = toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct('>') {
+            // `->` in an `impl Fn(..) -> T` parameter type is an arrow,
+            // not a closing angle bracket.
+            if !back(toks, k, 1).is_some_and(|p| p.is_punct('-')) {
+                depth -= 1;
+            }
+        } else if t.is_punct(',') && depth <= 0 {
+            annotated = false;
+        } else if t.is_punct(':') && !annotated {
+            // A lone `:` ends the pattern; `::` is a path inside it.
+            let part_of_path = toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                || back(toks, k, 1).is_some_and(|p| p.is_punct(':'));
+            if !part_of_path {
+                annotated = true;
+            }
+        } else if !annotated
+            && t.kind == TokenKind::Ident
+            && !matches!(t.text.as_str(), "self" | "mut" | "ref")
+            && !t.text.chars().next().is_some_and(char::is_uppercase)
+        {
+            params.push(t.text.clone());
+        }
+    }
+    params
+}
+
 /// Visibility and cfg-gating of the fn item at `fn_idx`, read backwards
 /// over qualifiers (`pub(crate) const unsafe fn ..`) and attributes.
 fn modifiers(toks: &[&Token], fn_idx: usize) -> (bool, bool) {
@@ -348,6 +437,19 @@ fn scan_body(toks: &[&Token], def: &mut FnDef) {
                 if t.text == "span" {
                     def.has_span = true;
                 }
+                // `name!` followed by a delimiter is an invocation; a bare
+                // `!=` never has an ident directly before it, and macro
+                // *definitions* (`macro_rules!`) are item-level.
+                if toks
+                    .get(i + 2)
+                    .is_some_and(|d| d.is_punct('(') || d.is_punct('[') || d.is_punct('{'))
+                {
+                    def.macros.push(MacroUse {
+                        line: t.line,
+                        name: t.text.clone(),
+                        idx: i,
+                    });
+                }
             } else if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
                 // `.method(` with an iterator combinator: the argument span
                 // runs per element.
@@ -356,7 +458,7 @@ fn scan_body(toks: &[&Token], def: &mut FnDef) {
                     let close_paren = matching_paren(toks, i + 1, close);
                     def.loops.push((i + 1, close_paren));
                 }
-                if let Some(call) = call_at(toks, i) {
+                if let Some(call) = call_at(toks, i, close) {
                     def.calls.push(call);
                 }
             }
@@ -411,12 +513,13 @@ fn loop_body(toks: &[&Token], kw: usize, limit: usize) -> Option<(usize, usize)>
 
 /// Classify the `ident (` at `i` as a call site, or `None` for keywords,
 /// tuple-struct constructors, and declarations.
-fn call_at(toks: &[&Token], i: usize) -> Option<CallSite> {
+fn call_at(toks: &[&Token], i: usize, limit: usize) -> Option<CallSite> {
     let name = &toks[i].text;
     if CALL_KEYWORDS.contains(&name.as_str()) {
         return None;
     }
     let line = toks[i].line;
+    let args = (i + 1, matching_paren(toks, i + 1, limit));
     let prev = i.checked_sub(1).map(|p| toks[p]);
     if prev.is_some_and(|p| p.is_ident("fn")) {
         return None;
@@ -427,6 +530,9 @@ fn call_at(toks: &[&Token], i: usize) -> Option<CallSite> {
             path: Vec::new(),
             name: name.clone(),
             is_method: true,
+            idx: i,
+            args,
+            recv: receiver_chain(toks, i - 1),
         });
     }
     let is_path_sep = back(toks, i, 1).is_some_and(|p| p.is_punct(':'))
@@ -438,6 +544,9 @@ fn call_at(toks: &[&Token], i: usize) -> Option<CallSite> {
             path,
             name: name.clone(),
             is_method: false,
+            idx: i,
+            args,
+            recv: Vec::new(),
         });
     }
     // Bare `Name(` with an uppercase initial is a tuple-struct or enum
@@ -450,7 +559,50 @@ fn call_at(toks: &[&Token], i: usize) -> Option<CallSite> {
         path: Vec::new(),
         name: name.clone(),
         is_method: false,
+        idx: i,
+        args,
+        recv: Vec::new(),
     })
+}
+
+/// The dotted receiver chain of a method call whose `.` sits at `dot`,
+/// walking backwards: `self.cache.lock()` yields `["self", "cache"]`,
+/// `table().lock()` yields `["table()"]`. Chains the parser cannot model
+/// as idents and zero-argument calls (indexing, nested expressions) yield
+/// whatever suffix was recognisable, or nothing.
+fn receiver_chain(toks: &[&Token], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = dot; // index of the `.` left of the current component
+    while let Some(before) = j.checked_sub(1).map(|p| toks[p]) {
+        if before.kind == TokenKind::Ident {
+            chain.push(before.text.clone());
+            j -= 1;
+        } else if before.is_punct(')') {
+            // A zero-argument call component: `table()` but not `f(x)`,
+            // whose result is an arbitrary expression.
+            if !back(toks, j, 2).is_some_and(|p| p.is_punct('(')) {
+                break;
+            }
+            let Some(callee) = j.checked_sub(3).map(|p| toks[p]) else {
+                break;
+            };
+            if callee.kind != TokenKind::Ident {
+                break;
+            }
+            chain.push(format!("{}()", callee.text));
+            j -= 3;
+        } else {
+            break;
+        }
+        // Another `.` component further left?
+        if back(toks, j, 1).is_some_and(|p| p.is_punct('.')) {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
 }
 
 /// Collect the path segments ending at the `::` whose first `:` sits at

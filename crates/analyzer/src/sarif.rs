@@ -1,0 +1,201 @@
+//! SARIF 2.1.0 rendering of a [`Report`] so findings land in code-scanning
+//! UIs (GitHub's security tab, VS Code SARIF viewers) with stable rule
+//! identities.
+//!
+//! The emitted log is deliberately minimal but schema-valid: one run, one
+//! driver, a `rules` array covering exactly the codes that appear in the
+//! results (sorted, deduplicated, with `ruleIndex` back-references), and
+//! one `result` per finding with a `physicalLocation`. Output is a pure
+//! function of the report — byte-identical across job counts and cache
+//! states, like every other analyzer rendering.
+
+use crate::Report;
+use serde_json::json;
+
+/// Short descriptions for the stable rule codes. Unknown codes (future
+/// families) fall back to the code itself rather than failing the export.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("CA0000", "malformed analyzer:allow directive"),
+    ("CA0001", "HashMap/HashSet in a determinism-critical module"),
+    ("CA0002", "wall-clock read outside the obs clock shim"),
+    (
+        "CA0003",
+        "unchecked cost arithmetic where checked variants exist",
+    ),
+    ("CA0004", "unwrap/expect/panic! in library code"),
+    (
+        "CA0005",
+        "exact float comparison against a non-zero literal",
+    ),
+    (
+        "CA0006",
+        "fingerprint() does not account for every struct field",
+    ),
+    ("CA0007", "panic source reachable from a public API"),
+    ("CP0001", "allocation inside a hot loop"),
+    ("CP0002", "per-iteration clone in a hot loop"),
+    ("CP0003", "per-iteration collect in a hot loop"),
+    ("CP0004", "unsized Vec grown by push in a hot loop"),
+    ("CP0005", "lock acquisition inside a hot loop"),
+    ("CD0001", "clock value reaches a determinism sink"),
+    ("CD0002", "unseeded randomness reaches a determinism sink"),
+    (
+        "CD0003",
+        "scheduling-order observable reaches a determinism sink",
+    ),
+    (
+        "CD0004",
+        "nondeterministic value reaches a sink through a call",
+    ),
+    ("CB0001", "guard held across a blocking operation"),
+    (
+        "CB0002",
+        "guard held across a call that may block transitively",
+    ),
+    ("CB0003", "lock-order inversion between two guards"),
+];
+
+fn describe(code: &str) -> &str {
+    RULE_DESCRIPTIONS
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map_or(code, |(_, d)| d)
+}
+
+/// Render the report as a SARIF 2.1.0 log.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    let mut codes: Vec<&str> = report.findings.iter().map(|f| f.code.as_str()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    let rules: Vec<_> = codes
+        .iter()
+        .map(|code| {
+            json!({
+                "id": *code,
+                "shortDescription": json!({ "text": describe(code) }),
+            })
+        })
+        .collect();
+    let results: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let rule_index = codes.binary_search(&f.code.as_str()).unwrap_or(0);
+            let location = json!({
+                "physicalLocation": json!({
+                    "artifactLocation": json!({
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    }),
+                    "region": json!({ "startLine": f.line }),
+                }),
+            });
+            json!({
+                "ruleId": f.code,
+                "ruleIndex": rule_index,
+                "level": "error",
+                "message": json!({ "text": f.message }),
+                "locations": json!([location]),
+            })
+        })
+        .collect();
+    let run = json!({
+        "tool": json!({
+            "driver": json!({
+                "name": "convmeter-analyzer",
+                "informationUri": "https://github.com/convmeter/convmeter-rs",
+                "rules": rules,
+            }),
+        }),
+        "originalUriBaseIds": json!({
+            "SRCROOT": json!({ "uri": "file:///" }),
+        }),
+        "results": results,
+    });
+    let log = json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": json!([run]),
+    });
+    serde_json::to_string_pretty(&log).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CallGraphStats, Finding, Report};
+    use std::collections::BTreeMap;
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            files_scanned: 1,
+            suppressed: 0,
+            allow_counts: BTreeMap::new(),
+            call_graph: CallGraphStats::default(),
+        }
+    }
+
+    fn finding(code: &str, path: &str, line: u32) -> Finding {
+        Finding {
+            code: code.to_string(),
+            path: path.to_string(),
+            line,
+            message: format!("{code} at {path}:{line}"),
+        }
+    }
+
+    #[test]
+    fn results_reference_rules_by_index() {
+        let sarif = to_sarif(&report(vec![
+            finding("CD0001", "crates/a/src/x.rs", 10),
+            finding("CB0001", "crates/a/src/y.rs", 20),
+            finding("CD0001", "crates/a/src/z.rs", 30),
+        ]));
+        let v = serde_json::parse(&sarif).unwrap();
+        assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        let run = &v.get("runs").and_then(|x| x.as_array()).unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_array())
+            .unwrap();
+        assert_eq!(rules.len(), 2, "codes are deduplicated");
+        let rule_id = |i: usize| rules[i].get("id").and_then(|x| x.as_str());
+        assert_eq!(rule_id(0), Some("CB0001"));
+        assert_eq!(rule_id(1), Some("CD0001"));
+        let results = run.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in results {
+            let idx = r
+                .get("ruleIndex")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap() as usize;
+            assert_eq!(rule_id(idx), r.get("ruleId").and_then(|x| x.as_str()));
+        }
+        let start_line = results[0]
+            .get("locations")
+            .and_then(|l| l.as_array())
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(serde_json::Value::as_u64);
+        assert_eq!(start_line, Some(10));
+    }
+
+    #[test]
+    fn clean_report_is_an_empty_run() {
+        let sarif = to_sarif(&report(Vec::new()));
+        let v = serde_json::parse(&sarif).unwrap();
+        let run = &v.get("runs").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(run.get("results").and_then(|r| r.as_array()), Some(&[][..]));
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_array());
+        assert_eq!(rules, Some(&[][..]));
+    }
+}

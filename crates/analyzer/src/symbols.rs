@@ -350,6 +350,9 @@ mod tests {
             path: path.iter().map(|s| (*s).to_string()).collect(),
             name: name.to_string(),
             is_method,
+            idx: 0,
+            args: (0, 0),
+            recv: Vec::new(),
         }
     }
 

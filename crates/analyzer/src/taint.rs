@@ -1,0 +1,594 @@
+//! CD determinism-taint rules: values born at nondeterministic sources
+//! must not reach determinism sinks.
+//!
+//! | code | source reaching a sink |
+//! |------|------------------------|
+//! | CD0001 | wall/monotonic clock (`obs::clock::now`, `Instant::now`, `SystemTime::now`) |
+//! | CD0002 | unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`) |
+//! | CD0003 | thread/queue-order observables (cache stats, queue gauges, metric reads, scraped metrics) |
+//! | CD0004 | any of the above arriving *through a call* — the callee's return is tainted per its summary |
+//!
+//! Sinks are the artefacts the workspace asserts byte-identical: stable
+//! fingerprints (`StableHasher` inputs, `fingerprint()` / `storage_key()`
+//! arguments), persisted model/dataset files, and the deterministic
+//! fields of `SloReport`. Timed report fields (latencies, throughput,
+//! wall time) are *expected* to vary and are not sinks.
+//!
+//! Flow is tracked name-keyed and flow-flat inside each fn (see
+//! `dataflow`), and across calls by a bottom-up returns-taint summary
+//! over the same fn population as the call graph: a fn whose tail or
+//! `return` expression is tainted taints every call site's result.
+//! Findings carry the full source→sink route, one hop per binding.
+
+use crate::callgraph::FileAnalysis;
+use crate::dataflow::{self, Resolver, Stmt};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FnDef;
+use crate::Finding;
+
+/// Names whose *call result* is clock-born (CD0001).
+const CLOCK_CALLS: &[&str] = &["now"];
+/// Path tails that qualify a `now()` as a clock read.
+const CLOCK_PATHS: &[&str] = &["clock", "Instant", "SystemTime"];
+/// Calls whose result is unseeded randomness (CD0002).
+const RNG_CALLS: &[&str] = &["thread_rng", "from_entropy", "os_rng"];
+/// Calls whose result depends on thread/queue interleaving (CD0003).
+const ORDER_CALLS: &[&str] = &[
+    "cache_stats",
+    "queue_depth",
+    "in_flight",
+    "shed_total",
+    "snapshot",
+];
+/// Telemetry macros whose handles can be read back (`gauge!(..).get()`).
+const TELEMETRY_MACROS: &[&str] = &["counter", "gauge", "histogram"];
+/// Methods that read a telemetry handle's current (order-dependent) value.
+const TELEMETRY_READS: &[&str] = &["get", "value", "snapshot"];
+/// Persisted artefacts that must be byte-stable run to run.
+const PERSIST_SINKS: &[&str] = &[
+    "save_forward_model",
+    "save_training_model",
+    "save_inference_dataset",
+    "save_training_dataset",
+    "save_device_profile",
+];
+/// `SloReport` fields that legitimately carry timing-dependent values.
+const SLO_TIMED_FIELDS: &[&str] = &[
+    "latency_p50_us",
+    "latency_p99_us",
+    "latency_mean_us",
+    "throughput_rps",
+    "wall_seconds",
+];
+
+/// A taint fact: which rule family the origin belongs to, and the hop
+/// list from the origin to wherever the fact currently lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taint {
+    /// `CD0001`..`CD0003` at the origin; `CD0004` once it crossed a call.
+    pub code: &'static str,
+    /// Human-readable hops, origin first.
+    pub route: Vec<String>,
+}
+
+/// A nondeterministic origin inside one fn body.
+struct SourceSpot {
+    /// Code-token index the origin occupies (its name token).
+    idx: usize,
+    code: &'static str,
+    what: String,
+}
+
+/// A determinism sink inside one fn body: a code-token region whose
+/// values must be reproducible.
+struct SinkSpot {
+    /// Inclusive code-token region feeding the sink.
+    region: (usize, usize),
+    line: u32,
+    what: String,
+}
+
+/// Run the CD family over every parsed file, appending findings.
+pub fn cd_rules(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    let resolver = Resolver::build(files);
+    // Bottom-up returns-taint summaries, to a fixed point (monotone:
+    // None -> Some only, so cycles converge).
+    let mut summaries: Vec<Option<Taint>> = vec![None; resolver.nodes.len()];
+    for _pass in 0..6 {
+        let mut changed = false;
+        for (n, &(fi, ki)) in resolver.nodes.iter().enumerate() {
+            if summaries[n].is_some() {
+                continue;
+            }
+            let fa = &files[fi];
+            let f = &fa.parsed.fns[ki];
+            let toks = code_toks(fa);
+            let body = FnBody::analyze(&toks, files, fi, f, &resolver, &summaries);
+            if let Some(t) = body.returns_taint(&toks) {
+                summaries[n] = Some(t);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Findings pass: with final summaries, check every fn's sinks.
+    for (fi, fa) in files.iter().enumerate() {
+        for f in &fa.parsed.fns {
+            if fa.file.in_test_region(f.line) {
+                continue;
+            }
+            let toks = code_toks(fa);
+            let body = FnBody::analyze(&toks, files, fi, f, &resolver, &summaries);
+            body.check_sinks(&toks, f, &fa.file, out);
+        }
+    }
+}
+
+fn code_toks(fa: &FileAnalysis) -> Vec<&Token> {
+    fa.parsed.code.iter().map(|&i| &fa.file.tokens[i]).collect()
+}
+
+/// One fn body's converged taint state.
+struct FnBody<'a> {
+    files: &'a [FileAnalysis],
+    fi: usize,
+    f: &'a FnDef,
+    resolver: &'a Resolver,
+    summaries: &'a [Option<Taint>],
+    sources: Vec<SourceSpot>,
+    stmts: Vec<Stmt>,
+    /// Name-keyed taint after the fixed point (monotone, first-writer
+    /// route wins, statements visited in source order).
+    taint: std::collections::BTreeMap<String, Taint>,
+}
+
+impl<'a> FnBody<'a> {
+    fn analyze(
+        toks: &[&Token],
+        files: &'a [FileAnalysis],
+        fi: usize,
+        f: &'a FnDef,
+        resolver: &'a Resolver,
+        summaries: &'a [Option<Taint>],
+    ) -> FnBody<'a> {
+        let sources = collect_sources(toks, f);
+        let stmts = dataflow::statements(toks, f.body);
+        let mut body = FnBody {
+            files,
+            fi,
+            f,
+            resolver,
+            summaries,
+            sources,
+            stmts,
+            taint: std::collections::BTreeMap::new(),
+        };
+        for _pass in 0..4 {
+            let mut changed = false;
+            for si in 0..body.stmts.len() {
+                let stmt = body.stmts[si].clone();
+                let Some(t) = body.region_taint(toks, (stmt.rhs, stmt.range.1)) else {
+                    continue;
+                };
+                let line = toks[stmt.range.0].line;
+                let mut targets = stmt.binders.clone();
+                targets.extend(stmt.assign.clone());
+                for name in targets {
+                    if body.taint.contains_key(&name) {
+                        continue;
+                    }
+                    let mut routed = t.clone();
+                    routed.route.push(format!("{name} (line {line})"));
+                    body.taint.insert(name, routed);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        body
+    }
+
+    /// The first (lowest token index) taint cause inside `region`: a
+    /// direct source, a tainted name use, or a call whose summary says
+    /// its return is tainted.
+    fn region_taint(&self, toks: &[&Token], region: (usize, usize)) -> Option<Taint> {
+        if region.0 > region.1 {
+            return None;
+        }
+        let mut best: Option<(usize, Taint)> = None;
+        let mut consider = |idx: usize, t: Taint| {
+            if best.as_ref().is_none_or(|(b, _)| idx < *b) {
+                best = Some((idx, t));
+            }
+        };
+        for s in &self.sources {
+            if (region.0..=region.1).contains(&s.idx) {
+                consider(
+                    s.idx,
+                    Taint {
+                        code: s.code,
+                        route: vec![s.what.clone()],
+                    },
+                );
+            }
+        }
+        for (idx, name) in dataflow::value_idents(toks, region) {
+            if let Some(t) = self.taint.get(&name) {
+                consider(idx, t.clone());
+            }
+        }
+        for call in &self.f.calls {
+            if !(region.0..=region.1).contains(&call.idx) {
+                continue;
+            }
+            for n in self.resolver.resolve(self.files, self.fi, self.f, call) {
+                if let Some(t) = &self.summaries[n] {
+                    let mut route = t.route.clone();
+                    route.push(format!("returned by {}() (line {})", call.name, call.line));
+                    consider(
+                        call.idx,
+                        Taint {
+                            code: "CD0004",
+                            route,
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// Taint of the fn's return value: the first tainted `return` or tail
+    /// expression.
+    fn returns_taint(&self, toks: &[&Token]) -> Option<Taint> {
+        self.stmts
+            .iter()
+            .filter(|s| s.is_return || s.is_tail)
+            .find_map(|s| self.region_taint(toks, (s.rhs, s.range.1)))
+    }
+
+    /// Evaluate every sink region and emit findings for tainted ones.
+    fn check_sinks(
+        &self,
+        toks: &[&Token],
+        f: &FnDef,
+        file: &crate::source::SourceFile,
+        out: &mut Vec<Finding>,
+    ) {
+        for sink in collect_sinks(toks, f, &self.stmts) {
+            let Some(t) = self.region_taint(toks, sink.region) else {
+                continue;
+            };
+            let route = t.route.join(" -> ");
+            out.push(Finding::new(
+                t.code,
+                file,
+                sink.line,
+                format!(
+                    "nondeterministic value reaches {}; route: {route} -> {}. \
+                     Derive the value from seeded/coalesced state, or keep it \
+                     out of reproducible artefacts",
+                    sink.what, sink.what
+                ),
+            ));
+        }
+    }
+}
+
+/// Every nondeterministic origin in one fn body.
+fn collect_sources(toks: &[&Token], f: &FnDef) -> Vec<SourceSpot> {
+    let mut out = Vec::new();
+    for call in &f.calls {
+        let tail = call.path.last().map(String::as_str);
+        if CLOCK_CALLS.contains(&call.name.as_str())
+            && tail.is_some_and(|t| CLOCK_PATHS.contains(&t))
+        {
+            out.push(SourceSpot {
+                idx: call.idx,
+                code: "CD0001",
+                what: format!(
+                    "{}::{}() (line {})",
+                    tail.unwrap_or(""),
+                    call.name,
+                    call.line
+                ),
+            });
+        } else if RNG_CALLS.contains(&call.name.as_str()) || tail.is_some_and(|t| t == "OsRng") {
+            out.push(SourceSpot {
+                idx: call.idx,
+                code: "CD0002",
+                what: format!("{}() (line {})", call.name, call.line),
+            });
+        } else if ORDER_CALLS.contains(&call.name.as_str())
+            || (call.name == "parse" && tail.is_some_and(|t| t == "prometheus"))
+        {
+            let what = if call.name == "parse" {
+                format!("prometheus::parse() (line {})", call.line)
+            } else {
+                format!("{}() (line {})", call.name, call.line)
+            };
+            out.push(SourceSpot {
+                idx: call.idx,
+                code: "CD0003",
+                what,
+            });
+        }
+    }
+    // `gauge!("name").get()`-style reads of a telemetry handle.
+    for m in &f.macros {
+        if !TELEMETRY_MACROS.contains(&m.name.as_str()) {
+            continue;
+        }
+        let Some(delim) = m.idx.checked_add(2) else {
+            continue;
+        };
+        if delim >= toks.len() || !toks[delim].is_punct('(') {
+            continue;
+        }
+        let close = dataflow::matching_delim(toks, delim, f.body.1);
+        if toks.get(close + 1).is_some_and(|t| t.is_punct('.')) {
+            if let Some(read) = toks.get(close + 2).filter(|t| {
+                t.kind == TokenKind::Ident && TELEMETRY_READS.contains(&t.text.as_str())
+            }) {
+                out.push(SourceSpot {
+                    idx: close + 2,
+                    code: "CD0003",
+                    what: format!("{}!(..).{} (line {})", m.name, read.text, m.line),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every determinism sink region in one fn body.
+fn collect_sinks(toks: &[&Token], f: &FnDef, stmts: &[Stmt]) -> Vec<SinkSpot> {
+    let mut out = Vec::new();
+    // Locals that hold a `StableHasher` (their let-initializer names the
+    // type): feeding them is feeding a fingerprint.
+    let hashers: Vec<&str> = stmts
+        .iter()
+        .filter(|s| (s.range.0..=s.range.1).any(|k| toks[k].is_ident("StableHasher")))
+        .flat_map(|s| s.binders.iter().map(String::as_str))
+        .collect();
+    for call in &f.calls {
+        let arg_region = (call.args.0 + 1, call.args.1.saturating_sub(1));
+        if call.is_method
+            && matches!(call.name.as_str(), "update" | "update_str")
+            && call
+                .recv
+                .last()
+                .is_some_and(|r| hashers.contains(&r.as_str()))
+        {
+            out.push(SinkSpot {
+                region: arg_region,
+                line: call.line,
+                what: format!("StableHasher::{} fingerprint input", call.name),
+            });
+        } else if call.name == "fingerprint" || call.name == "storage_key" {
+            out.push(SinkSpot {
+                region: arg_region,
+                line: call.line,
+                what: format!("{}() argument", call.name),
+            });
+        } else if PERSIST_SINKS.contains(&call.name.as_str()) {
+            out.push(SinkSpot {
+                region: arg_region,
+                line: call.line,
+                what: format!("persisted artefact via {}()", call.name),
+            });
+        }
+    }
+    // `SloReport { .. }` literals: every deterministic field's
+    // initializer is a sink (timed fields are expected to vary).
+    let (open, close) = f.body;
+    for k in open + 1..close {
+        if !toks[k].is_ident("SloReport") || !toks.get(k + 1).is_some_and(|t| t.is_punct('{')) {
+            continue;
+        }
+        let lit_close = dataflow::matching_delim(toks, k + 1, close);
+        let mut seg_start = k + 2;
+        let mut depth = 0i32;
+        for j in k + 2..=lit_close {
+            let t = toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if j != lit_close {
+                    continue;
+                }
+            }
+            if (t.is_punct(',') && depth <= 0) || j == lit_close {
+                let seg_end = j.saturating_sub(1);
+                if seg_end >= seg_start {
+                    if let Some(field) = field_of_segment(toks, seg_start, seg_end) {
+                        if !SLO_TIMED_FIELDS.contains(&field) {
+                            out.push(SinkSpot {
+                                region: (seg_start, seg_end),
+                                line: toks[seg_start].line,
+                                what: format!("SloReport::{field} (deterministic field)"),
+                            });
+                        }
+                    }
+                }
+                seg_start = j + 1;
+            }
+        }
+    }
+    out
+}
+
+/// The field name of one struct-literal segment (`name: expr` or
+/// shorthand `name`), or `None` for `..base` spreads.
+fn field_of_segment<'t>(toks: &[&'t Token], start: usize, end: usize) -> Option<&'t str> {
+    let first = toks[start];
+    if first.kind != TokenKind::Ident {
+        return None;
+    }
+    if start == end || toks.get(start + 1).is_some_and(|t| t.is_punct(':')) {
+        return Some(first.text.as_str());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::FileAnalysis;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let files = vec![FileAnalysis::parse("crates/x/src/lib.rs", src)];
+        let mut out = Vec::new();
+        cd_rules(&files, &mut out);
+        out
+    }
+
+    #[test]
+    fn clock_value_reaching_hasher_is_cd0001_with_route() {
+        let out = findings(
+            "use convmeter_obs as obs;\n\
+             pub fn key() -> u64 {\n\
+                 let stamp = obs::clock::now();\n\
+                 let salt = stamp;\n\
+                 let mut h = StableHasher::new();\n\
+                 h.update(salt);\n\
+                 h.digest()\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "CD0001");
+        assert!(
+            out[0].message.contains("clock::now() (line 3)"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("stamp (line 3)"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("salt (line 4)"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("StableHasher::update"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn clock_into_timed_fields_only_is_clean() {
+        let out = findings(
+            "use convmeter_obs as obs;\n\
+             pub fn run() -> SloReport {\n\
+                 let t0 = obs::clock::now();\n\
+                 let wall = obs::clock::now().duration_since(t0).as_secs_f64();\n\
+                 SloReport { wall_seconds: wall, latency_p50_us: 1, requests: 10 }\n\
+             }\n",
+        );
+        // `requests: 10` is deterministic but its initializer is a clean
+        // literal; the tainted `wall` feeds only a timed field.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn order_observable_into_deterministic_slo_field_is_cd0003() {
+        let out = findings(
+            "pub fn report(state: &ServeState) -> SloReport {\n\
+                 let builds = state.cache_stats().builds;\n\
+                 SloReport { cache_builds: builds, wall_seconds: 0.0 }\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "CD0003");
+        assert!(
+            out[0].message.contains("SloReport::cache_builds"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn taint_through_helper_return_is_cd0004() {
+        let out = findings(
+            "use convmeter_obs as obs;\n\
+             fn stamp_ms() -> u64 {\n\
+                 let t = obs::clock::now();\n\
+                 mix(t)\n\
+             }\n\
+             fn mix(t: u64) -> u64 { t }\n\
+             pub fn bad_key(spec: &Spec) -> String {\n\
+                 let salt = stamp_ms();\n\
+                 storage_key(salt)\n\
+             }\n\
+             fn storage_key(x: u64) -> String { format!(\"{x}\") }\n",
+        );
+        assert!(out.iter().any(|f| f.code == "CD0004"), "{out:?}");
+        let f = out.iter().find(|f| f.code == "CD0004").unwrap();
+        assert!(
+            f.message.contains("returned by stamp_ms()"),
+            "{}",
+            f.message
+        );
+        assert!(
+            f.message.contains("storage_key() argument"),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn rng_draw_into_fingerprint_is_cd0002() {
+        let out = findings(
+            "pub fn unstable(dev: &Device) -> String {\n\
+                 let noise = thread_rng();\n\
+                 dev.fingerprint(noise)\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "CD0002");
+    }
+
+    #[test]
+    fn gauge_readback_into_persisted_artefact_is_cd0003() {
+        let out = findings(
+            "use convmeter_obs::gauge;\n\
+             pub fn persist_depth(path: &Path) {\n\
+                 let depth = gauge!(\"serve.queue.depth\").get();\n\
+                 save_training_dataset(path, depth);\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "CD0003");
+        assert!(
+            out[0].message.contains("gauge!(..).get"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn seeded_values_into_sinks_are_clean() {
+        let out = findings(
+            "pub fn key(seed: u64, spec: &Spec) -> String {\n\
+                 let mut h = StableHasher::new();\n\
+                 h.update(seed);\n\
+                 h.update_str(&spec.name);\n\
+                 storage_key(h.digest())\n\
+             }\n\
+             fn storage_key(x: u64) -> String { format!(\"{x}\") }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

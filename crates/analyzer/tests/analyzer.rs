@@ -349,3 +349,154 @@ fn workspace_analyzes_clean_with_perf_rules() {
         report.call_graph.calls_resolved
     );
 }
+
+// ---------------------------------------------------------------------------
+// CD/CB dataflow fixture corpus
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cd0001_clock_into_cache_key() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd0001_clock_to_cache_key.rs"),
+    );
+    assert_all(&report, "CD0001");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("route:"), "finding must carry a route: {msg}");
+    assert!(
+        msg.contains("now()") && msg.contains("stamp"),
+        "route must walk source -> binder: {msg}"
+    );
+}
+
+#[test]
+fn cd0002_rng_into_fingerprint() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd0002_rng_to_fingerprint.rs"),
+    );
+    assert_all(&report, "CD0002");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    assert!(report.findings[0].message.contains("thread_rng"));
+}
+
+#[test]
+fn cd0003_order_observable_into_slo_report() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd0003_order_observable.rs"),
+    );
+    assert_all(&report, "CD0003");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("cache_stats") && msg.contains("SloReport::cache_builds"),
+        "route must name the observable and the struct field: {msg}"
+    );
+}
+
+#[test]
+fn cd0004_route_crosses_the_helper_return() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd0004_taint_through_call.rs"),
+    );
+    assert_all(&report, "CD0004");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    let msg = &report.findings[0].message;
+    // The full source -> sink chain: clock source inside the helper, the
+    // summary hop back into the caller, the caller's binder, the sink.
+    assert!(msg.contains("now()"), "route names the source: {msg}");
+    assert!(
+        msg.contains("returned by stamp_ms()"),
+        "route names the summary hop: {msg}"
+    );
+    assert!(msg.contains("salt"), "route names the caller binder: {msg}");
+    assert!(msg.contains("storage_key"), "finding names the sink: {msg}");
+}
+
+#[test]
+fn cb0001_guard_across_accept_names_the_blocking_call() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cb0001_guard_across_accept.rs"),
+    );
+    assert_all(&report, "CB0001");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly one finding for the one blocking call:\n{}",
+        report.to_text()
+    );
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("accept"), "must name the blocking call: {msg}");
+    assert!(
+        msg.contains("guard `jobs`"),
+        "must name the lock the guard came from: {msg}"
+    );
+}
+
+#[test]
+fn cb0002_transitive_blocking_carries_the_call_route() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cb0002_transitive_blocking.rs"),
+    );
+    assert_all(&report, "CB0002");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_text());
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("persist()"),
+        "must name the may-block callee: {msg}"
+    );
+}
+
+#[test]
+fn cb0003_inversion_reported_once() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cb0003_lock_inversion.rs"),
+    );
+    assert_all(&report, "CB0003");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "one finding per inverted pair, not one per site:\n{}",
+        report.to_text()
+    );
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("alpha") && msg.contains("beta"),
+        "must name both lock labels: {msg}"
+    );
+}
+
+#[test]
+fn cd_cb_negative_corpus_is_clean() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd_cb_clean.rs"),
+    );
+    assert!(
+        report.is_clean(),
+        "seeded sinks, timed fields, dropped guards, and consistent lock \
+         order must not fire:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn cd_cb_allow_directives_suppress_and_are_budget_counted() {
+    let report = analyze_one(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/cd_cb_suppressed.rs"),
+    );
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(
+        report.allow_counts.get("CB0001"),
+        Some(&1),
+        "suppressions must be counted per rule for the budget gate"
+    );
+}

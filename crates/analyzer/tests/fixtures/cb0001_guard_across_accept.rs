@@ -1,0 +1,5 @@
+pub fn admit_one(listener: &TcpListener, jobs: &Mutex<Vec<Job>>) {
+    let mut queue = jobs.lock();
+    let conn = listener.accept();
+    queue.push(Job::from(conn));
+}

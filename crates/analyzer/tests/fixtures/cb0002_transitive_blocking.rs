@@ -1,0 +1,8 @@
+fn persist(path: &Path, data: &[u8]) {
+    let _ = std::fs::write(path, data);
+}
+
+pub fn checkpoint(state: &Mutex<Snapshot>, path: &Path) {
+    let guard = state.lock();
+    persist(path, guard.bytes());
+}

@@ -1,0 +1,13 @@
+pub fn transfer(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let mut from = alpha.lock();
+    let mut to = beta.lock();
+    *from -= 1;
+    *to += 1;
+}
+
+pub fn refund(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let mut to = beta.lock();
+    let mut from = alpha.lock();
+    *to -= 1;
+    *from += 1;
+}

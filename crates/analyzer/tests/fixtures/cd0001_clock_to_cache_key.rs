@@ -1,0 +1,9 @@
+use convmeter_graph::fingerprint::StableHasher;
+
+pub fn cache_key(name: &str) -> String {
+    let stamp = obs::clock::now();
+    let mut hasher = StableHasher::new();
+    hasher.update_str(name);
+    hasher.update(&stamp.elapsed_micros().to_le_bytes());
+    hasher.digest()
+}

@@ -1,0 +1,5 @@
+pub fn salted_tag(graph: &Graph) -> u64 {
+    let mut rng = thread_rng();
+    let salt = rng.next_u64();
+    fingerprint(graph, salt)
+}

@@ -1,0 +1,8 @@
+pub fn snapshot_report(state: &ServeState) -> SloReport {
+    let builds = state.cache_stats().builds;
+    SloReport {
+        workload: String::from("fixture"),
+        cache_builds: builds,
+        latency_p50_us: 0,
+    }
+}

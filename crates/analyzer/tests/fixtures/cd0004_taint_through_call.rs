@@ -1,0 +1,9 @@
+fn stamp_ms() -> u64 {
+    let t = obs::clock::now();
+    t.elapsed_millis()
+}
+
+pub fn keyed(name: &str) -> String {
+    let salt = stamp_ms();
+    storage_key(name, salt)
+}

@@ -1,0 +1,31 @@
+pub fn timed_report(plan: &SeedPlan, graph: &Graph) -> SloReport {
+    let started = obs::clock::now();
+    let salt = plan.seed();
+    let tag = fingerprint(graph, salt);
+    SloReport {
+        workload: tag,
+        wall_seconds: started.elapsed_secs(),
+        latency_p50_us: 0,
+    }
+}
+
+pub fn drop_then_block(listener: &TcpListener, jobs: &Mutex<Vec<u64>>) {
+    let mut queue = jobs.lock();
+    queue.push(1);
+    drop(queue);
+    let _conn = listener.accept();
+}
+
+pub fn ordered_first(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let mut from = alpha.lock();
+    let mut to = beta.lock();
+    *from += 1;
+    *to += 1;
+}
+
+pub fn ordered_second(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let mut from = alpha.lock();
+    let mut to = beta.lock();
+    *from -= 1;
+    *to -= 1;
+}

@@ -1,0 +1,6 @@
+pub fn flush_under_guard(out: &Mutex<Buffer>, sink: &mut TcpStream) {
+    let guard = out.lock();
+    // analyzer:allow(CB0001, reason = "fixture: the flush is intentionally serialised under the buffer guard")
+    let _ = sink.flush();
+    guard.note();
+}

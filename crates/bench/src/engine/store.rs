@@ -433,19 +433,20 @@ impl DatasetStore {
             entry.points = value.len();
             match outcome {
                 FetchOutcome::Built(secs) => {
-                    obs::counter!("engine.store.builds").inc();
                     entry.builds += 1;
                     entry.build_seconds += secs;
                 }
-                FetchOutcome::Disk => {
-                    obs::counter!("engine.store.disk_hits").inc();
-                    entry.disk_hits += 1;
-                }
-                FetchOutcome::Memory => {
-                    obs::counter!("engine.store.memory_hits").inc();
-                    entry.memory_hits += 1;
-                }
+                FetchOutcome::Disk => entry.disk_hits += 1,
+                FetchOutcome::Memory => entry.memory_hits += 1,
             }
+        }
+        // Process-wide counters go through the telemetry registry, which
+        // takes its own mutex on first intern — keep that outside the
+        // per-store stats lock above.
+        match outcome {
+            FetchOutcome::Built(_) => obs::counter!("engine.store.builds").inc(),
+            FetchOutcome::Disk => obs::counter!("engine.store.disk_hits").inc(),
+            FetchOutcome::Memory => obs::counter!("engine.store.memory_hits").inc(),
         }
         if let Some(source) = build_err {
             return Err(EngineError::Sweep { key, source });

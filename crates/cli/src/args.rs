@@ -63,6 +63,7 @@ const SWITCHES: &[&str] = &[
     "perf",
     "github",
     "warm",
+    "stats",
 ];
 
 impl Args {

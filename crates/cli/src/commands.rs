@@ -682,36 +682,63 @@ pub fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `convmeter analyze [--perf] [--json] [--github] [--jobs N]`
+/// `convmeter analyze [--perf] [--json] [--github] [--jobs N] [--stats]
+/// [--sarif FILE] [--budget FILE] [--parse-cache DIR]`
 ///
 /// Runs the determinism auditor (`convmeter-analyzer`) over every workspace
-/// source file and reports CA-coded findings; `--perf` additionally runs
-/// the CP hot-path rules over the call graph's span-reachable set. Exit
-/// status is non-zero when any finding is unsuppressed, so CI can gate on
-/// it; suppressions are inline `analyzer:allow` comments (CA/CP code plus
-/// a mandatory reason) at the offending site.
+/// source file and reports CA/CD/CB-coded findings; `--perf` additionally
+/// runs the CP hot-path rules over the call graph's span-reachable set.
+/// Exit status is non-zero when any finding is unsuppressed, so CI can
+/// gate on it; suppressions are inline `analyzer:allow` comments (rule
+/// code plus a mandatory reason) at the offending site.
 ///
 /// The per-file lex/parse phase fans out across the engine pool
 /// (`--jobs N`, default 1); the combine phase is sequential, so output is
-/// byte-identical for every job count. `--github` mirrors findings to
-/// stderr as GitHub Actions workflow annotations, composing with `--json`
-/// on stdout.
+/// byte-identical for every job count — and, because `--parse-cache DIR`
+/// keys entries by a content hash, for every cache state. `--github`
+/// mirrors findings to stderr as GitHub Actions workflow annotations,
+/// `--sarif FILE` writes a SARIF 2.1.0 log for code-scanning upload, and
+/// both compose with `--json` on stdout. `--stats` appends the per-rule
+/// suppression counts (to stderr under `--json`, keeping stdout parseable);
+/// `--budget FILE` gates those counts against the committed
+/// `analyzer_budget.json` caps.
 pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let root = workspace_root()?;
     let jobs = args.get_or("jobs", 1usize)?;
     let opts = convmeter_analyzer::AnalysisOptions {
         perf: args.switch("perf"),
     };
+    let cache_dir = args.opt("parse-cache").map(std::path::PathBuf::from);
     let files = convmeter_analyzer::workspace_files(&root).map_err(CliError::AnalyzeSetup)?;
     let parsed = convmeter_bench::engine::pool::run_ordered(&files, jobs, |_, (path, content)| {
-        convmeter_analyzer::FileAnalysis::parse(path, content)
+        convmeter_analyzer::cache::parse_cached(cache_dir.as_deref(), path, content)
     })
     .map_err(|p| CliError::Usage(format!("analyzer worker panicked: {p}")))?;
     let report = convmeter_analyzer::analyze_parsed(&parsed, opts);
-    if args.switch("json") {
+    let json = args.switch("json");
+    if json {
         writeln!(out, "{}", report.to_json())?;
     } else {
         write!(out, "{}", report.to_text())?;
+    }
+    if args.switch("stats") {
+        let mut lines = vec!["suppressions by rule:".to_string()];
+        if report.allow_counts.is_empty() {
+            lines.push("  (none)".to_string());
+        }
+        for (code, n) in &report.allow_counts {
+            lines.push(format!("  {code}: {n}"));
+        }
+        for line in lines {
+            if json {
+                eprintln!("{line}");
+            } else {
+                writeln!(out, "{line}")?;
+            }
+        }
+    }
+    if let Some(path) = args.opt("sarif") {
+        std::fs::write(path, convmeter_analyzer::sarif::to_sarif(&report))?;
     }
     if args.switch("github") {
         for f in &report.findings {
@@ -721,12 +748,26 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             );
         }
     }
-    if report.is_clean() {
-        Ok(())
-    } else {
+    let over_budget = match args.opt("budget") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let budget = convmeter_analyzer::budget::parse(&text).map_err(CliError::Usage)?;
+            let violations = convmeter_analyzer::budget::check(&budget, &report.allow_counts);
+            for v in &violations {
+                eprintln!("budget: {v}");
+            }
+            violations.len()
+        }
+        None => 0,
+    };
+    if !report.is_clean() {
         Err(CliError::Analyze {
             findings: report.findings.len(),
         })
+    } else if over_budget > 0 {
+        Err(CliError::Budget { rules: over_budget })
+    } else {
+        Ok(())
     }
 }
 

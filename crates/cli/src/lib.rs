@@ -79,6 +79,12 @@ pub enum CliError {
     },
     /// `convmeter analyze` could not read the workspace sources.
     AnalyzeSetup(convmeter_analyzer::AnalyzeError),
+    /// `convmeter analyze --budget` found per-rule suppression counts
+    /// above the committed caps (the budget only ratchets down).
+    Budget {
+        /// Number of rules over their cap.
+        rules: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -110,6 +116,9 @@ impl std::fmt::Display for CliError {
                 write!(f, "analyze found {findings} unsuppressed finding(s)")
             }
             CliError::AnalyzeSetup(e) => write!(f, "analyze failed: {e}"),
+            CliError::Budget { rules } => {
+                write!(f, "suppression budget exceeded for {rules} rule(s)")
+            }
         }
     }
 }
@@ -129,7 +138,8 @@ impl std::error::Error for CliError {
             | CliError::Gate { .. }
             | CliError::Quarantined { .. }
             | CliError::Chaos { .. }
-            | CliError::Analyze { .. } => None,
+            | CliError::Analyze { .. }
+            | CliError::Budget { .. } => None,
         }
     }
 }
@@ -246,7 +256,9 @@ COMMANDS:
   analyze                           source-level determinism audit (CAxxxx
                                       codes) over the workspace; --perf adds
                                       the hot-path CPxxxx rules [--json]
-                                      [--github] [--jobs N]
+                                      [--github] [--jobs N] [--stats]
+                                      [--sarif FILE] [--budget FILE]
+                                      [--parse-cache DIR]
   dot <model>                       emit the graph in Graphviz DOT
   help                              show this message
 ";

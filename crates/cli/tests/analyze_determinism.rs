@@ -63,3 +63,88 @@ fn github_annotations_go_to_stderr_and_compose_with_json() {
         "a clean tree must emit no ::error annotations: {stderr}"
     );
 }
+
+#[test]
+fn analyze_output_is_byte_identical_warm_vs_cold_parse_cache() {
+    let dir = std::env::temp_dir().join(format!(
+        "convmeter-analyze-cache-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.to_string_lossy().to_string();
+    let cold = run_analyze(&["--perf", "--json", "--parse-cache", &cache]);
+    let warm = run_analyze(&["--perf", "--json", "--parse-cache", &cache]);
+    let uncached = run_analyze(&["--perf", "--json"]);
+    assert!(
+        cold.status.success() && warm.status.success() && uncached.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&cold.stdout)
+    );
+    assert!(
+        std::fs::read_dir(&dir).is_ok_and(|d| d.count() > 0),
+        "cold run must populate the cache directory"
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "a cache hit must reproduce the cold parse byte-for-byte"
+    );
+    assert_eq!(
+        cold.stdout, uncached.stdout,
+        "caching must not change the report at all"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_gate_passes_on_the_committed_budget() {
+    let out = run_analyze(&["--stats", "--budget", "analyzer_budget.json"]);
+    assert!(
+        out.status.success(),
+        "the committed budget must cover the tree's live suppressions: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("suppressions by rule:"),
+        "--stats must print the per-rule table: {stdout}"
+    );
+}
+
+#[test]
+fn budget_gate_fails_when_a_cap_is_exceeded() {
+    // An empty budget means every code's cap is zero; the tree has audited
+    // suppressions, so the ratchet must trip.
+    let path =
+        std::env::temp_dir().join(format!("convmeter-zero-budget-{}.json", std::process::id()));
+    std::fs::write(&path, "{}").expect("write zero budget");
+    let out = run_analyze(&["--budget", &path.to_string_lossy()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        !out.status.success(),
+        "a zero budget must fail while suppressions exist"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("budget:"),
+        "violations must be named on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn sarif_export_is_schema_shaped_and_empty_on_a_clean_tree() {
+    let path = std::env::temp_dir().join(format!("convmeter-{}.sarif", std::process::id()));
+    let out = run_analyze(&["--sarif", &path.to_string_lossy()]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("sarif file written");
+    let _ = std::fs::remove_file(&path);
+    let v = serde_json::parse(&text).expect("sarif is valid JSON");
+    assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+    let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let results = runs[0].get("results").and_then(|r| r.as_array());
+    assert_eq!(
+        results.map(<[serde_json::Value]>::len),
+        Some(0),
+        "a clean tree exports an empty (but schema-valid) result set"
+    );
+}

@@ -53,6 +53,10 @@ struct Scenario {
     stable_keys: Vec<String>,
     /// Full stdout must match byte-for-byte across two fresh runs.
     byte_identical: bool,
+    /// Run with the workspace root as the working directory (for commands
+    /// like `analyze` that locate the source tree by walking upwards).
+    /// The isolated temp results dir still receives any artefacts.
+    run_in_workspace: bool,
     /// Paths relative to the results dir that must exist afterwards.
     files_exist: Vec<String>,
     /// `"relative/path :: needle"` — the file must contain the needle.
@@ -228,6 +232,10 @@ fn assign(scenario: &mut Scenario, key: &str, value: Value, context: &str) {
             Value::Bool(b) => scenario.byte_identical = b,
             _ => panic!("{context}: 'byte_identical' wants a boolean"),
         },
+        "run_in_workspace" => match value {
+            Value::Bool(b) => scenario.run_in_workspace = b,
+            _ => panic!("{context}: 'run_in_workspace' wants a boolean"),
+        },
         "args" => scenario.args = want_strings(value),
         "stdout_contains" => scenario.stdout_contains = want_strings(value),
         "stderr_contains" => scenario.stderr_contains = want_strings(value),
@@ -344,11 +352,11 @@ fn fresh_dir(name: &str, suffix: &str) -> PathBuf {
     dir
 }
 
-fn spawn(binary: &Path, args: &[String], dir: &Path) -> std::io::Result<Child> {
+fn spawn(binary: &Path, args: &[String], cwd: &Path, results: &Path) -> std::io::Result<Child> {
     Command::new(binary)
         .args(args)
-        .current_dir(dir)
-        .env("CONVMETER_RESULTS", dir)
+        .current_dir(cwd)
+        .env("CONVMETER_RESULTS", results)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -399,10 +407,12 @@ fn drain(buffer: &Arc<Mutex<Vec<u8>>>) -> String {
 fn run_to_exit(
     binary: &Path,
     args: &[String],
+    cwd: &Path,
     dir: &Path,
     what: &str,
 ) -> Result<RunOutput, String> {
-    let mut child = spawn(binary, args, dir).map_err(|e| format!("{what}: spawn failed: {e}"))?;
+    let mut child =
+        spawn(binary, args, cwd, dir).map_err(|e| format!("{what}: spawn failed: {e}"))?;
     let stdout = tee(child.stdout.take());
     let stderr = tee(child.stderr.take());
     let exit = wait_bounded(&mut child, Instant::now() + SCENARIO_TIMEOUT, what)?;
@@ -419,7 +429,7 @@ fn apply_setup(setup: &str, binary: &Path, dir: &Path) -> Result<(), String> {
             .iter()
             .map(ToString::to_string)
             .collect();
-        let out = run_to_exit(binary, &args, dir, "setup: warm bench run")?;
+        let out = run_to_exit(binary, &args, dir, dir, "setup: warm bench run")?;
         if out.exit != 0 {
             return Err(format!(
                 "setup bench run exited {}: {}",
@@ -452,7 +462,8 @@ fn apply_setup(setup: &str, binary: &Path, dir: &Path) -> Result<(), String> {
 /// Spawn the server, wait for its "listening on" line, run the probes,
 /// then wait for the bounded server to exit on its own.
 fn run_serve(scenario: &Scenario, binary: &Path, dir: &Path) -> Result<RunOutput, String> {
-    let mut child = spawn(binary, &scenario.args, dir).map_err(|e| format!("spawn serve: {e}"))?;
+    let mut child =
+        spawn(binary, &scenario.args, dir, dir).map_err(|e| format!("spawn serve: {e}"))?;
     let stdout = tee(child.stdout.take());
     let stderr = tee(child.stderr.take());
 
@@ -530,10 +541,15 @@ fn run_once(
     if let Some(setup) = &scenario.setup {
         apply_setup(setup, binary, &dir)?;
     }
+    let cwd = if scenario.run_in_workspace {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    } else {
+        dir.clone()
+    };
     let output = if scenario.mode == "serve" {
         run_serve(scenario, binary, &dir)?
     } else {
-        run_to_exit(binary, &scenario.args, &dir, "scenario run")?
+        run_to_exit(binary, &scenario.args, &cwd, &dir, "scenario run")?
     };
     Ok((output, dir))
 }

@@ -437,7 +437,9 @@ fn run_with_actions(
     let cache_builds = match &in_process {
         Some((state, server)) => {
             server.shutdown();
-            state.cache_stats().builds
+            // Exactly-once per fingerprint: deterministic in the request
+            // stream, unlike the scheduling-dependent hit/coalesced split.
+            state.builds()
         }
         None => scrape_builds(addr)?.saturating_sub(builds_before),
     };
@@ -463,7 +465,9 @@ fn run_with_actions(
         stream_digest: stream.digest,
         ok: totals.ok,
         errors: totals.errors,
+        // analyzer:allow(CD0004, reason = "remote arm only: serve_predict_builds_total is bumped exactly once per distinct fingerprint (coalescing cache), so the scraped delta is a function of the request stream, not of worker scheduling; the in-process arm reads ServeState::builds() directly")
         cache_builds,
+        // analyzer:allow(CD0004, reason = "derived from cache_builds above; same exactly-once argument")
         cache_served: totals.ok.saturating_sub(cache_builds),
         chaos_profile: config.chaos.name.clone(),
         chaos_faults: totals.faults,

@@ -394,14 +394,11 @@ fn drain(listener: &TcpListener, queue: &Queue, health: &ServiceHealth, drain_ti
 
 fn worker_loop(queue: &Queue, state: &ServeState, health: &ServiceHealth, deadline: Duration) {
     loop {
-        let job = {
+        let (job, depth) = {
             let mut jobs = lock_jobs(queue);
             loop {
                 if let Some(job) = jobs.pop_front() {
-                    let depth = jobs.len() as u64;
-                    health.queue_depth.store(depth, Ordering::SeqCst);
-                    obs::gauge!("serve.queue.depth").set(depth);
-                    break job;
+                    break (job, jobs.len() as u64);
                 }
                 if queue.kill.load(Ordering::SeqCst) {
                     return;
@@ -413,6 +410,11 @@ fn worker_loop(queue: &Queue, state: &ServeState, health: &ServiceHealth, deadli
                 jobs = guard;
             }
         };
+        // Publish the depth only after the queue guard is released: the
+        // gauge registry takes its own mutex when the metric is first
+        // interned, and admission paths contend on the queue lock.
+        health.queue_depth.store(depth, Ordering::SeqCst);
+        obs::gauge!("serve.queue.depth").set(depth);
         health.in_flight.fetch_add(1, Ordering::SeqCst);
         obs::gauge!("serve.inflight").set(health.in_flight());
         handle_job(job, state, health, deadline);

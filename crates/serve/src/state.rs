@@ -118,7 +118,11 @@ impl LruCache {
     /// remains (waiters keep their own `Arc` to the slot, so dropping the
     /// map entry never breaks an in-progress coalesce — it merely lets a
     /// future identical request rebuild).
-    fn evict(&mut self) {
+    /// Returns how many entries were dropped so the caller can bump the
+    /// process-wide telemetry counter once its own guard is released — the
+    /// registry takes a mutex on the cold path and must not nest under ours.
+    fn evict(&mut self) -> u64 {
+        let mut evicted = 0;
         while self.slots.len() > self.capacity {
             let victim = self
                 .order
@@ -128,11 +132,12 @@ impl LruCache {
             if let Some(key) = self.order.remove(victim) {
                 self.slots.remove(&key);
                 self.stats.evictions += 1;
-                obs::counter!("serve.cache.evictions").inc();
+                evicted += 1;
             } else {
-                return;
+                break;
             }
         }
+        evicted
     }
 }
 
@@ -219,6 +224,15 @@ impl ServeState {
         self.device_models(&device).map(|_| ())
     }
 
+    /// Exactly-once build count. The coalescing cache guarantees each
+    /// distinct fingerprint is built by exactly one caller, so this value is
+    /// a function of the admitted request set alone — unlike the hit/miss
+    /// split in [`Self::cache_stats`], it does not depend on worker
+    /// scheduling order and is safe to put in reproducible artefacts.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
     /// Response-cache accounting (authoritative for tests: unlike the obs
     /// counters, this is scoped to one state instance).
     pub fn cache_stats(&self) -> CacheStats {
@@ -266,28 +280,38 @@ impl ServeState {
 
     fn lookup(&self, fingerprint: &str) -> (ResponseSlot, CacheOutcome) {
         let mut lru = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(slot) = lru.slots.get(fingerprint) {
+        let (slot, outcome, evicted) = if let Some(slot) = lru.slots.get(fingerprint) {
             let slot = slot.clone();
             let outcome = if slot.get().is_some() {
                 lru.stats.hits += 1;
-                obs::counter!("serve.cache.hits").inc();
                 CacheOutcome::Hit
             } else {
                 lru.stats.coalesced += 1;
-                obs::counter!("serve.cache.coalesced").inc();
                 CacheOutcome::Coalesced
             };
             lru.touch(fingerprint);
-            (slot, outcome)
+            (slot, outcome, 0)
         } else {
             lru.stats.misses += 1;
-            obs::counter!("serve.cache.misses").inc();
             let slot = ResponseSlot::default();
             lru.slots.insert(fingerprint.to_string(), slot.clone());
             lru.order.push_back(fingerprint.to_string());
-            lru.evict();
-            (slot, CacheOutcome::Miss)
+            let evicted = lru.evict();
+            (slot, CacheOutcome::Miss, evicted)
+        };
+        drop(lru);
+        // The telemetry registry takes its own mutex when a counter is first
+        // interned; bump the process-wide counters only after the cache guard
+        // is released so the two locks never nest.
+        match outcome {
+            CacheOutcome::Hit => obs::counter!("serve.cache.hits").inc(),
+            CacheOutcome::Coalesced => obs::counter!("serve.cache.coalesced").inc(),
+            CacheOutcome::Miss => obs::counter!("serve.cache.misses").inc(),
         }
+        if evicted > 0 {
+            obs::counter!("serve.cache.evictions").add(evicted);
+        }
+        (slot, outcome)
     }
 
     fn device_models(&self, device: &DeviceProfile) -> Result<Arc<DeviceModels>, String> {

@@ -14,8 +14,21 @@ echo "==> cargo test --workspace"
 # root package, silently skipping every crates/* suite.
 cargo test -q --workspace --offline
 
-echo "==> convmeter analyze --perf (CAxxxx + hot-path CPxxxx audit, findings are fatal)"
-cargo run -q -p convmeter-cli --offline -- analyze --perf --jobs 2
+echo "==> convmeter analyze --perf (CA/CD/CB + hot-path CP audit; findings and budget overruns are fatal)"
+ANALYZE_TMP="$(mktemp -d)"
+cargo run -q -p convmeter-cli --offline -- \
+    analyze --perf --jobs 2 --parse-cache "$ANALYZE_TMP/cache" \
+    --budget analyzer_budget.json --sarif "$ANALYZE_TMP/cold.sarif" \
+    --json >"$ANALYZE_TMP/cold.json"
+# Warm re-run through the same parse cache must reproduce the cold report
+# byte-for-byte: a cache hit is not allowed to change the analysis.
+cargo run -q -p convmeter-cli --offline -- \
+    analyze --perf --jobs 2 --parse-cache "$ANALYZE_TMP/cache" \
+    --budget analyzer_budget.json --sarif "$ANALYZE_TMP/warm.sarif" \
+    --json >"$ANALYZE_TMP/warm.json"
+cmp "$ANALYZE_TMP/cold.json" "$ANALYZE_TMP/warm.json"
+cmp "$ANALYZE_TMP/cold.sarif" "$ANALYZE_TMP/warm.sarif"
+rm -rf "$ANALYZE_TMP"
 
 echo "==> loom: model-check the engine worker pool"
 RUSTFLAGS="--cfg loom" cargo test -q -p convmeter-bench --test loom_pool --offline
